@@ -1,0 +1,111 @@
+//===- bench/BenchCommon.h - Shared experiment-harness helpers ---------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure bench binaries. Budgets
+/// honor two environment variables:
+///   CUASMRL_STEPS  — override the RL step budget of training benches.
+///   CUASMRL_FAST=1 — divide every budget by 8 (smoke-test mode).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_BENCH_BENCHCOMMON_H
+#define CUASMRL_BENCH_BENCHCOMMON_H
+
+#include "core/GameEnvAdapter.h"
+#include "core/Optimizer.h"
+#include "env/AssemblyGame.h"
+#include "rl/Ppo.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace cuasmrl {
+namespace bench {
+
+inline bool fastMode() {
+  const char *Fast = std::getenv("CUASMRL_FAST");
+  return Fast && std::string(Fast) == "1";
+}
+
+inline unsigned stepsBudget(unsigned Default) {
+  if (const char *Env = std::getenv("CUASMRL_STEPS"))
+    if (unsigned V = static_cast<unsigned>(std::atoi(Env)))
+      Default = V;
+  return fastMode() ? std::max(128u, Default / 8) : Default;
+}
+
+/// Reward-measurement protocol for training: one deterministic rep with
+/// ~0.1% noise — the std of the paper's 100-rep averaged measurement.
+inline env::GameConfig trainingGameConfig() {
+  env::GameConfig G;
+  G.Measure.WarmupIters = 1;
+  G.Measure.RepeatIters = 1;
+  G.Measure.NoiseStddev = 0.001;
+  return G;
+}
+
+/// PPO defaults used by every training bench: the paper's algorithm and
+/// shared-across-kernels hyperparameters, with the learning rate scaled
+/// to the reduced step budget (the paper trains ~15k steps; benches run
+/// a few thousand).
+inline rl::PpoConfig benchPpoConfig(unsigned TotalSteps, uint64_t Seed = 1) {
+  rl::PpoConfig C;
+  C.TotalSteps = TotalSteps;
+  C.RolloutLen = 64;
+  C.Lr = 1e-3;
+  C.Seed = Seed;
+  return C;
+}
+
+/// Geometric mean of positive values.
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / Values.size());
+}
+
+/// Trains PPO on one kernel's assembly game and (optionally) replays the
+/// converged policy greedily for the §5.7 move trace.
+struct TrainOutcome {
+  double TritonUs = 0.0;
+  double BestUs = 0.0;
+  sass::Program BestProg;
+  std::vector<rl::UpdateStats> Series;
+  std::vector<double> EpisodeReturns;
+  std::vector<env::AppliedAction> GreedyTrace;
+
+  double speedup() const { return BestUs > 0 ? TritonUs / BestUs : 1.0; }
+};
+
+inline TrainOutcome trainOnKernel(gpusim::Gpu &Device,
+                                  const kernels::BuiltKernel &Kernel,
+                                  unsigned TotalSteps, uint64_t Seed = 1,
+                                  bool WantTrace = false) {
+  env::AssemblyGame Game(Device, Kernel, trainingGameConfig());
+  core::GameEnvAdapter Env(Game);
+  rl::PpoTrainer Trainer({&Env}, benchPpoConfig(TotalSteps, Seed));
+  TrainOutcome Out;
+  Out.Series = Trainer.train();
+  Out.EpisodeReturns = Trainer.episodicReturns();
+  if (WantTrace) {
+    Trainer.playGreedy(Env, 32);
+    Out.GreedyTrace = Game.trace();
+  }
+  Out.TritonUs = Game.initialTimeUs();
+  Out.BestUs = Game.bestTimeUs();
+  Out.BestProg = Game.best();
+  return Out;
+}
+
+} // namespace bench
+} // namespace cuasmrl
+
+#endif // CUASMRL_BENCH_BENCHCOMMON_H

@@ -1,0 +1,52 @@
+//===- bench/bench_clock_vs_dependency.cpp - §4.3 methodology comparison -----===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the paper's critique of clock-based microbenchmarking
+// (§4.3, Listings 6/7): bracketing an instruction sequence with CS2R
+// clock reads underestimates the stall count, because nothing guarantees
+// the sequence *completed* at the second read (the paper measures 2.6
+// cycles for IADD3 against the true 4). The dependency-based method is
+// exact by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MicroBench.h"
+#include "sass/Opcode.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace cuasmrl;
+using namespace cuasmrl::analysis;
+
+int main() {
+  std::cout << "== clock-based vs dependency-based stall measurement "
+               "(paper §4.3) ==\n\n";
+
+  Table Out({"instruction", "clock-based (cycles)", "dependency-based",
+             "ground truth", "clock underestimates"});
+  bool AllUnder = true;
+  for (const char *Key :
+       {"IADD3", "IMAD", "MOV", "FADD", "LEA", "SEL", "FFMA"}) {
+    std::optional<double> Clock = clockBasedStall(Key);
+    std::optional<unsigned> Dep = dependencyStallCount(Key);
+    std::optional<unsigned> Truth = sass::groundTruthLatency(Key);
+    bool Under = Clock && Dep && *Clock < static_cast<double>(*Dep);
+    AllUnder = AllUnder && Under;
+    Out.addRow({Key, Clock ? formatDouble(*Clock, 2) : "-",
+                Dep ? std::to_string(*Dep) : "-",
+                Truth ? std::to_string(*Truth) : "-",
+                Under ? "yes" : "NO"});
+  }
+  Out.print(std::cout);
+
+  std::cout << "\npaper: clock-based IADD3 measures ~2.6 cycles vs the "
+               "true 4;\nthe simulator reproduces the direction (clock < "
+               "dependency = truth)\nbecause the clock reads at issue "
+               "time, before the sequence retires.\n";
+  return AllUnder ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+//===- bench/bench_simulator_perf.cpp - substrate microbenchmarks ------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark timings of the substrate hot paths: the reward loop's
+// cost is dominated by timed simulation (one measurement per RL step,
+// §3.6/§7), so these numbers bound achievable training throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/AssemblyGame.h"
+#include "kernels/Builder.h"
+#include "rl/ActorCritic.h"
+#include "sass/Parser.h"
+#include "triton/Autotuner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+struct Fixture {
+  gpusim::Gpu Device;
+  Rng DataRng{3};
+  BuiltKernel Kernel;
+
+  Fixture() {
+    Kernel = buildKernel(Device, WorkloadKind::MmLeakyRelu,
+                         paperShape(WorkloadKind::MmLeakyRelu),
+                         candidateConfigs(WorkloadKind::MmLeakyRelu)
+                             .front(),
+                         ScheduleStyle::TritonO3, DataRng);
+  }
+};
+
+Fixture &fixture() {
+  static Fixture F;
+  return F;
+}
+
+} // namespace
+
+/// One timed simulation of the fused GEMM kernel (the reward oracle).
+static void BM_TimedSimulation(benchmark::State &State) {
+  Fixture &F = fixture();
+  unsigned Resident = F.Device.residentBlocks(F.Kernel.Launch);
+  for (auto _ : State) {
+    gpusim::RunResult R = F.Device.run(F.Kernel.Prog, F.Kernel.Launch,
+                                       gpusim::RunMode::Timed, Resident);
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+}
+BENCHMARK(BM_TimedSimulation)->Unit(benchmark::kMillisecond);
+
+/// Architectural-oracle execution (probabilistic-testing reference).
+static void BM_OracleSimulation(benchmark::State &State) {
+  Fixture &F = fixture();
+  unsigned Resident = F.Device.residentBlocks(F.Kernel.Launch);
+  for (auto _ : State) {
+    gpusim::RunResult R = F.Device.run(F.Kernel.Prog, F.Kernel.Launch,
+                                       gpusim::RunMode::Oracle, Resident);
+    benchmark::DoNotOptimize(R.Valid);
+  }
+}
+BENCHMARK(BM_OracleSimulation)->Unit(benchmark::kMillisecond);
+
+/// SASS text parsing (disassembler output -> Program).
+static void BM_ParseProgram(benchmark::State &State) {
+  std::string Text = fixture().Kernel.Prog.str();
+  for (auto _ : State) {
+    Expected<sass::Program> P = sass::Parser::parseProgram(Text, "bench");
+    benchmark::DoNotOptimize(P.hasValue());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Text.size()));
+}
+BENCHMARK(BM_ParseProgram);
+
+/// State embedding (Figure 4) of the current schedule.
+static void BM_Embedding(benchmark::State &State) {
+  env::Embedding E(fixture().Kernel.Prog);
+  for (auto _ : State) {
+    std::vector<float> Obs = E.embed(fixture().Kernel.Prog);
+    benchmark::DoNotOptimize(Obs.data());
+  }
+}
+BENCHMARK(BM_Embedding);
+
+/// Action-mask evaluation over the whole action space (§3.5).
+static void BM_ActionMask(benchmark::State &State) {
+  Fixture &F = fixture();
+  env::GameConfig G;
+  G.Measure.WarmupIters = 1;
+  G.Measure.RepeatIters = 1;
+  env::AssemblyGame Game(F.Device, F.Kernel, G);
+  for (auto _ : State) {
+    std::vector<uint8_t> Mask = Game.actionMask();
+    benchmark::DoNotOptimize(Mask.data());
+  }
+}
+BENCHMARK(BM_ActionMask);
+
+/// Policy-network forward pass (CNN + MLP heads).
+static void BM_NetForward(benchmark::State &State) {
+  Fixture &F = fixture();
+  env::Embedding E(F.Kernel.Prog);
+  Rng R(1);
+  rl::NetConfig NC;
+  NC.Features = E.features();
+  NC.Length = E.rows();
+  NC.Actions = 32;
+  rl::ActorCritic Net(NC, R);
+  std::vector<float> Obs = E.embed(F.Kernel.Prog);
+  std::vector<uint8_t> Mask(32, 1);
+  for (auto _ : State) {
+    rl::ActorCritic::Output Out = Net.forward(Obs, Mask);
+    benchmark::DoNotOptimize(Out.Value.item());
+  }
+}
+BENCHMARK(BM_NetForward);
+
+BENCHMARK_MAIN();

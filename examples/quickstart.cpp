@@ -1,0 +1,116 @@
+//===- examples/quickstart.cpp - five-minute tour of the library -------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parses a small SASS kernel, runs it on the simulated A100, plays a few
+// assembly-game moves by hand and prints the rewards — the paper's
+// Figure 3 loop in miniature.
+//
+//   $ build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/AssemblyGame.h"
+#include "kernels/Builder.h"
+#include "sass/Parser.h"
+
+#include <cstdio>
+
+using namespace cuasmrl;
+
+int main() {
+  std::printf("== CuAsmRL quickstart ==\n\n");
+
+  // 1. A hand-written SASS kernel: out[i] = x[i] + y[i].
+  const char *VecAdd = R"(
+  [B------:R-:W-:-:S01] MOV R2, c[0x0][0x160] ;
+  [B------:R-:W-:-:S01] MOV R3, c[0x0][0x164] ;
+  [B------:R-:W-:-:S01] MOV R4, c[0x0][0x168] ;
+  [B------:R-:W-:-:S01] MOV R5, c[0x0][0x16c] ;
+  [B------:R-:W-:-:S01] MOV R6, c[0x0][0x170] ;
+  [B------:R-:W-:-:S04] MOV R7, c[0x0][0x174] ;
+  [B------:R-:W-:-:S04] MOV R9, 0x0 ;
+.L_LOOP:
+  [B------:R-:W-:-:S05] ISETP.GE.AND P0, PT, R9, 0x40, PT ;
+  [B------:R-:W-:-:S01] @P0 BRA `(.L_EXIT) ;
+  [B------:R-:W-:-:S05] IMAD.WIDE R10, R9, 0x4, R2 ;
+  [B------:R-:W0:-:S01] LDG.E R12, [R10.64] ;
+  [B------:R-:W-:-:S05] IMAD.WIDE R14, R9, 0x4, R4 ;
+  [B------:R-:W1:-:S01] LDG.E R13, [R14.64] ;
+  [B------:R-:W-:-:S05] IMAD.WIDE R16, R9, 0x4, R6 ;
+  [B01----:R-:W-:-:S05] FADD R18, R12, R13 ;
+  [B------:R-:W-:-:S01] STG.E [R16.64], R18 ;
+  [B------:R-:W-:-:S04] IADD3 R9, R9, 0x1, RZ ;
+  [B------:R-:W-:-:S01] BRA `(.L_LOOP) ;
+.L_EXIT:
+  [B------:R-:W-:-:S01] EXIT ;
+)";
+  Expected<sass::Program> Parsed = sass::Parser::parseProgram(VecAdd,
+                                                              "vecadd");
+  if (!Parsed) {
+    std::printf("parse error: %s\n", Parsed.error().str().c_str());
+    return 1;
+  }
+  std::printf("parsed %zu instructions\n", Parsed->instrCount());
+
+  // 2. Allocate buffers on the simulated device and launch.
+  gpusim::Gpu Device;
+  const unsigned N = 64;
+  uint64_t X = Device.globalMemory().allocate(4 * N);
+  uint64_t Y = Device.globalMemory().allocate(4 * N);
+  uint64_t Out = Device.globalMemory().allocate(4 * N);
+  for (unsigned I = 0; I < N; ++I) {
+    Device.globalMemory().writeValue<float>(X + 4 * I, 1.0f * I);
+    Device.globalMemory().writeValue<float>(Y + 4 * I, 2.0f * I);
+  }
+  gpusim::KernelLaunch Launch;
+  Launch.WarpsPerBlock = 1;
+  Launch.addParam64(X);
+  Launch.addParam64(Y);
+  Launch.addParam64(Out);
+
+  gpusim::RunResult R = Device.run(*Parsed, Launch,
+                                   gpusim::RunMode::Timed);
+  std::printf("timed run: %llu cycles (%.2f us), out[5] = %.1f\n",
+              static_cast<unsigned long long>(R.Cycles), R.TimeUs,
+              Device.globalMemory().readValue<float>(Out + 20));
+
+  // 3. Wrap it in the assembly game and try a few legal moves.
+  kernels::BuiltKernel Kernel;
+  Kernel.Name = "vecadd";
+  Kernel.Prog = Parsed.takeValue();
+  Kernel.Launch = Launch;
+  Kernel.OutAddr = Out;
+  Kernel.OutBytes = 4 * N;
+  Kernel.Inputs = {{X, 4 * N}, {Y, 4 * N}};
+
+  env::GameConfig Config;
+  Config.Measure.WarmupIters = 1;
+  Config.Measure.RepeatIters = 2;
+  env::AssemblyGame Game(Device, Kernel, Config);
+  std::printf("\nassembly game: %u actions over %zu x %zu state matrix\n",
+              Game.actionCount(), Game.obsRows(), Game.obsFeatures());
+  std::printf("initial runtime T0 = %.3f us\n", Game.initialTimeUs());
+
+  Game.reset();
+  std::vector<uint8_t> Mask = Game.actionMask();
+  unsigned Played = 0;
+  for (unsigned A = 0; A < Mask.size() && Played < 4; ++A) {
+    if (!Mask[A])
+      continue;
+    env::AssemblyGame::StepResult S = Game.step(A);
+    const env::AppliedAction &Last = Game.trace().back();
+    std::printf("  move %s %-46s reward %+0.4f\n",
+                Last.Up ? "UP  " : "DOWN", Last.MovedText.substr(0, 44).c_str(),
+                S.Reward);
+    ++Played;
+    Mask = Game.actionMask();
+  }
+
+  std::printf("\nbest schedule so far: %.3f us (started at %.3f us)\n",
+              Game.bestTimeUs(), Game.initialTimeUs());
+  std::printf("run examples/optimize_gemm for the full RL loop.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+//===- analysis/ControlFlow.cpp ------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ControlFlow.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::analysis;
+
+bool analysis::isBoundary(const sass::Statement &S, BoundaryKind Kind) {
+  if (S.isLabel())
+    return true;
+  const sass::Instruction &I = S.instr();
+  if (I.isControlFlow())
+    return true;
+  return Kind == BoundaryKind::LabelsAndSync && I.isBarrierOrSync();
+}
+
+RegionInfo analysis::computeRegions(const sass::Program &Prog,
+                                    BoundaryKind Kind) {
+  RegionInfo Info;
+  Info.RegionOf.assign(Prog.size(), RegionInfo::kBoundary);
+  int Region = -1;
+  bool Open = false;
+  for (size_t I = 0; I < Prog.size(); ++I) {
+    if (isBoundary(Prog.stmt(I), Kind)) {
+      Open = false;
+      continue;
+    }
+    if (!Open) {
+      ++Region;
+      Open = true;
+    }
+    Info.RegionOf[I] = Region;
+  }
+  Info.NumRegions = Region + 1;
+  return Info;
+}

@@ -1,0 +1,65 @@
+//===- analysis/ControlFlow.h - Reordering regions / basic blocks -----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits a kernel section into contiguous statement regions. Two region
+/// notions are needed:
+///
+///  - *Basic blocks* (`BoundaryKind::Labels`): bounded by labels and
+///    control-flow instructions. The stall-count inference pass scans
+///    def-use pairs within these (§3.2: "the analysis takes place within
+///    the same basic block").
+///  - *Reorder regions* (`BoundaryKind::LabelsAndSync`): additionally
+///    bounded by barrier/synchronization instructions. The action masker
+///    only permits swaps inside these (§3.5: "we also prevent
+///    instructions from moving across labels or any barrier/
+///    synchronization instructions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_ANALYSIS_CONTROLFLOW_H
+#define CUASMRL_ANALYSIS_CONTROLFLOW_H
+
+#include "sass/Program.h"
+
+#include <vector>
+
+namespace cuasmrl {
+namespace analysis {
+
+/// Which statements terminate a region.
+enum class BoundaryKind {
+  Labels,        ///< Labels + control flow (basic blocks).
+  LabelsAndSync, ///< Labels + control flow + barrier/sync (reordering).
+};
+
+/// Per-statement region assignment.
+struct RegionInfo {
+  /// Region id per statement; boundary statements carry kBoundary.
+  std::vector<int> RegionOf;
+  /// Number of regions.
+  int NumRegions = 0;
+
+  static constexpr int kBoundary = -1;
+
+  /// True when statements \p A and \p B live in the same region (and
+  /// neither is a boundary).
+  bool sameRegion(size_t A, size_t B) const {
+    return RegionOf[A] != kBoundary && RegionOf[A] == RegionOf[B];
+  }
+};
+
+/// Computes regions of \p Prog under the given boundary rule.
+RegionInfo computeRegions(const sass::Program &Prog,
+                          BoundaryKind Kind = BoundaryKind::LabelsAndSync);
+
+/// True when the statement terminates a region under \p Kind.
+bool isBoundary(const sass::Statement &S, BoundaryKind Kind);
+
+} // namespace analysis
+} // namespace cuasmrl
+
+#endif // CUASMRL_ANALYSIS_CONTROLFLOW_H

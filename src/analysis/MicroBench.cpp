@@ -1,0 +1,189 @@
+//===- analysis/MicroBench.cpp -------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MicroBench.h"
+
+#include "gpusim/Gpu.h"
+#include "sass/Parser.h"
+#include "sass/Program.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::analysis;
+
+namespace {
+
+/// A probe: one instruction line computing into a destination register
+/// from the prepared inputs R4 (0x40000000 = 2.0f) and R5
+/// (0x3f800000 = 1.0f).
+struct Probe {
+  const char *Key;
+  const char *Line; ///< The producer, without control code.
+  const char *DestReg;
+  /// Optional consumer materializing a predicate result into DestReg
+  /// (emitted directly after the producer; the hazard under test is the
+  /// producer's stall count).
+  const char *Consumer = nullptr;
+};
+
+// Probes follow the paper's recipe: start from a simple CUDA kernel's
+// SASS and program the use-definition pair directly (§4.3).
+const Probe Probes[] = {
+    {"MOV", "MOV R15, 0x2a ;", "R15"},
+    {"IADD3", "IADD3 R15, R4, R5, RZ ;", "R15"},
+    {"IADD3.X", "IADD3.X R15, R4, R5, RZ, !PT ;", "R15"},
+    {"IMAD.IADD", "IMAD.IADD R15, R4, 0x1, R5 ;", "R15"},
+    {"IABS", "IABS R15, R4 ;", "R15"},
+    {"IMAD", "IMAD R15, R4, R5, RZ ;", "R15"},
+    {"FADD", "FADD R15, R4, R5 ;", "R15"},
+    {"HADD2", "HADD2 R15, R4, R5 ;", "R15"},
+    {"IMNMX", "IMNMX R15, R4, R5, PT ;", "R15"},
+    {"SEL", "SEL R15, R4, R5, PT ;", "R15"},
+    {"LEA", "LEA R15, R4, R5, 0x2 ;", "R15"},
+    {"IMAD.WIDE", "IMAD.WIDE R14, R4, R5, RZ ;", "R14"},
+    {"IMAD.WIDE.U32", "IMAD.WIDE.U32 R14, R4, R5, RZ ;", "R14"},
+    {"LOP3", "LOP3.LUT R15, R4, R5, RZ, 0xc0, !PT ;", "R15"},
+    {"SHF", "SHF.R.U32 R15, R4, 0x2, RZ ;", "R15"},
+    {"POPC", "POPC R15, R4 ;", "R15"},
+    {"FMUL", "FMUL R15, R4, R5 ;", "R15"},
+    {"FFMA", "FFMA R15, R4, R5, RZ ;", "R15"},
+    {"FSEL", "FSEL R15, R4, R5, PT ;", "R15"},
+    {"FMNMX", "FMNMX R15, R4, R5, PT ;", "R15"},
+    {"HMUL2", "HMUL2 R15, R4, R5 ;", "R15"},
+    {"HFMA2", "HFMA2 R15, R4, R5, RZ ;", "R15"},
+    {"HMMA", "HMMA.16816.F32 R15, R4, R5, RZ ;", "R15"},
+    {"PRMT", "PRMT R15, R4, 0x5410, R5 ;", "R15"},
+    {"MOV32I", "MOV32I R15, 0x2a ;", "R15"},
+    // Predicate producers: consumed through SEL so the result is
+    // observable in a general register.
+    {"ISETP", "ISETP.GE.AND P0, PT, R4, R5, PT ;", "R15",
+     "SEL R15, R4, R5, P0 ;"},
+    {"FSETP", "FSETP.GT.AND P0, PT, R4, R5, PT ;", "R15",
+     "SEL R15, R4, R5, P0 ;"},
+};
+
+const Probe *findProbe(const std::string &Key) {
+  for (const Probe &P : Probes)
+    if (Key == P.Key)
+      return &P;
+  return nullptr;
+}
+
+/// Builds the microbenchmark kernel: prologue loads the output pointer
+/// and input values with conservative stalls, then the probe with the
+/// candidate stall count, then a store of the probe's result.
+std::string buildProbeKernel(const Probe &P, unsigned Stall) {
+  char StallField[8];
+  std::snprintf(StallField, sizeof(StallField), "S%02u", Stall);
+  std::string Text;
+  Text += "  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;\n";
+  Text += "  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;\n";
+  // Sentinel-poison the destinations: a too-small stall must store a
+  // value observably different from the probe's result. Inputs are small
+  // odd integers so that integer, logic, shift *and* float probes all
+  // produce results distinct from both 0 and the sentinel.
+  Text += "  [B------:R-:W-:-:S06] MOV R14, 0xbadc0de ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R15, 0xbadc0de ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R4, 0x9 ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R5, 0x7 ;\n";
+  Text += std::string("  [B------:R-:W-:-:") + StallField + "] " + P.Line +
+          "\n";
+  if (P.Consumer)
+    Text += std::string("  [B------:R-:W-:-:S05] ") + P.Consumer + "\n";
+  Text += std::string("  [B------:R-:W-:-:S01] STG.E [R2.64], ") +
+          P.DestReg + " ;\n";
+  Text += "  [B------:R-:W-:-:S01] EXIT ;\n";
+  return Text;
+}
+
+/// Runs one probe kernel; returns the stored word.
+std::optional<uint32_t> runProbe(const std::string &Text,
+                                 gpusim::RunMode Mode) {
+  Expected<sass::Program> Prog = sass::Parser::parseProgram(Text, "probe");
+  if (!Prog)
+    return std::nullopt;
+  gpusim::Gpu Device;
+  uint64_t Out = Device.globalMemory().allocate(4);
+  gpusim::KernelLaunch Launch;
+  Launch.WarpsPerBlock = 1;
+  Launch.addParam64(Out);
+  gpusim::RunResult R = Device.run(*Prog, Launch, Mode);
+  if (!R.Valid)
+    return std::nullopt;
+  return Device.globalMemory().readValue<uint32_t>(Out);
+}
+
+} // namespace
+
+std::vector<std::string> analysis::microbenchableKeys() {
+  std::vector<std::string> Keys;
+  Keys.reserve(std::size(Probes));
+  for (const Probe &P : Probes)
+    Keys.emplace_back(P.Key);
+  return Keys;
+}
+
+std::optional<unsigned>
+analysis::dependencyStallCount(const std::string &Key) {
+  const Probe *P = findProbe(Key);
+  if (!P)
+    return std::nullopt;
+
+  // Architectural expectation from the oracle (stall value irrelevant).
+  std::optional<uint32_t> Expected =
+      runProbe(buildProbeKernel(*P, 15), gpusim::RunMode::Oracle);
+  if (!Expected)
+    return std::nullopt;
+
+  // "Gradually lower the stall count until the output does not match."
+  unsigned MinCorrect = 0;
+  for (unsigned Stall = 15; Stall >= 1; --Stall) {
+    std::optional<uint32_t> Got =
+        runProbe(buildProbeKernel(*P, Stall), gpusim::RunMode::Timed);
+    if (!Got || *Got != *Expected)
+      break;
+    MinCorrect = Stall;
+  }
+  if (MinCorrect == 0)
+    return std::nullopt;
+  return MinCorrect;
+}
+
+StallTable
+analysis::microbenchmarkTable(const std::vector<std::string> &Keys) {
+  StallTable Table;
+  for (const std::string &Key : Keys)
+    if (std::optional<unsigned> Cycles = dependencyStallCount(Key))
+      Table.record(Key, *Cycles);
+  return Table;
+}
+
+std::optional<double> analysis::clockBasedStall(const std::string &Key,
+                                                unsigned SeqLen) {
+  const Probe *P = findProbe(Key);
+  if (!P || SeqLen == 0)
+    return std::nullopt;
+
+  // Clock-based recipe (paper Listing 7): CS2R; independent op sequence
+  // (compiler-style short stalls); CS2R; subtract. There is no guarantee
+  // the sequence *completed* when the second clock read issues.
+  std::string Text;
+  Text += "  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;\n";
+  Text += "  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R4, 0x40000000 ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R5, 0x3f800000 ;\n";
+  Text += "  [B------:R-:W-:-:S02] CS2R R6, SR_CLOCKLO ;\n";
+  for (unsigned I = 0; I < SeqLen; ++I)
+    Text += std::string("  [B------:R-:W-:-:S02] ") + P->Line + "\n";
+  Text += "  [B------:R-:W-:-:S02] CS2R R7, SR_CLOCKLO ;\n";
+  Text += "  [B------:R-:W-:-:S04] IADD3 R7, R7, -R6, RZ ;\n";
+  Text += "  [B------:R-:W-:-:S01] STG.E [R2.64], R7 ;\n";
+  Text += "  [B------:R-:W-:-:S01] EXIT ;\n";
+
+  std::optional<uint32_t> Delta = runProbe(Text, gpusim::RunMode::Timed);
+  if (!Delta)
+    return std::nullopt;
+  return static_cast<double>(*Delta) / SeqLen;
+}

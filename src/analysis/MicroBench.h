@@ -1,0 +1,55 @@
+//===- analysis/MicroBench.h - Stall-count microbenchmarking -----------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §4.3 methodology, run against the simulated device:
+///
+///  - *Dependency-based*: program a use-definition pair in SASS, then
+///    "gradually lower the stall count of the [producer] until the
+///    output does not match the expected value" — the minimum correct
+///    stall is the instruction's latency. Exact by construction.
+///  - *Clock-based* (the prior-work approach the paper critiques):
+///    bracket a sequence of independent instructions with CS2R clock
+///    reads. Because nothing guarantees the sequence has *completed* at
+///    the second read, this underestimates (paper: 2.6 cycles for IADD3
+///    vs the true 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_ANALYSIS_MICROBENCH_H
+#define CUASMRL_ANALYSIS_MICROBENCH_H
+
+#include "analysis/StallTable.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace analysis {
+
+/// Latency keys the probe generator can microbenchmark (a superset of
+/// the paper's Table 1).
+std::vector<std::string> microbenchableKeys();
+
+/// Dependency-based measurement of one latency key. Returns the minimum
+/// stall count that still produces the architecturally correct value, or
+/// std::nullopt if the key has no probe template.
+std::optional<unsigned> dependencyStallCount(const std::string &Key);
+
+/// Runs dependencyStallCount over \p Keys and assembles a StallTable.
+StallTable microbenchmarkTable(const std::vector<std::string> &Keys);
+
+/// Clock-based average issue distance for \p Key over a sequence of
+/// \p SeqLen independent instructions (returns cycles per instruction).
+/// Underestimates the true hazard latency.
+std::optional<double> clockBasedStall(const std::string &Key,
+                                      unsigned SeqLen = 64);
+
+} // namespace analysis
+} // namespace cuasmrl
+
+#endif // CUASMRL_ANALYSIS_MICROBENCH_H

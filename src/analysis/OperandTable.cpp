@@ -1,0 +1,46 @@
+//===- analysis/OperandTable.cpp -----------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OperandTable.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::analysis;
+
+OperandTable OperandTable::build(const sass::Program &Prog) {
+  OperandTable T;
+  for (size_t I = 0; I < Prog.size(); ++I) {
+    if (!Prog.stmt(I).isInstr())
+      continue;
+    const sass::Instruction &Instr = Prog.stmt(I).instr();
+    T.MaxOperands = std::max(T.MaxOperands, Instr.operands().size());
+    for (const sass::Operand &Op : Instr.operands()) {
+      switch (Op.kind()) {
+      case sass::Operand::Kind::Reg:
+        T.RegToIndex.emplace(Op.baseReg().str(),
+                             static_cast<int>(T.RegToIndex.size()));
+        break;
+      case sass::Operand::Kind::Mem:
+      case sass::Operand::Kind::ConstMem:
+        T.MemToIndex.emplace(Op.str(),
+                             static_cast<int>(T.MemToIndex.size()));
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return T;
+}
+
+int OperandTable::regIndex(const sass::Register &R) const {
+  auto It = RegToIndex.find(R.str());
+  return It == RegToIndex.end() ? -1 : It->second;
+}
+
+int OperandTable::memIndex(const sass::Operand &Op) const {
+  auto It = MemToIndex.find(Op.str());
+  return It == MemToIndex.end() ? -1 : It->second;
+}

@@ -1,0 +1,53 @@
+//===- analysis/OperandTable.h - Embedding preparation tables ----------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-game pass that "prepares for embedding" (§3.2): a table
+/// mapping operand registers to integers, a table mapping memory
+/// locations to indices, and the maximum operand count in the file
+/// (instructions with fewer operands are padded with dummy values during
+/// embedding, §3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_ANALYSIS_OPERANDTABLE_H
+#define CUASMRL_ANALYSIS_OPERANDTABLE_H
+
+#include "sass/Program.h"
+
+#include <map>
+#include <string>
+
+namespace cuasmrl {
+namespace analysis {
+
+/// Operand index tables for state embedding.
+class OperandTable {
+public:
+  /// Builds tables from every operand in \p Prog.
+  static OperandTable build(const sass::Program &Prog);
+
+  /// Index of a register (by spelling), or -1 if unseen.
+  int regIndex(const sass::Register &R) const;
+
+  /// Index of a memory location (by full operand spelling, so distinct
+  /// base+offset pairs are distinct locations), or -1 if unseen.
+  int memIndex(const sass::Operand &Op) const;
+
+  size_t numRegs() const { return RegToIndex.size(); }
+  size_t numMems() const { return MemToIndex.size(); }
+  size_t maxOperands() const { return MaxOperands; }
+
+private:
+  std::map<std::string, int> RegToIndex;
+  std::map<std::string, int> MemToIndex;
+  size_t MaxOperands = 0;
+};
+
+} // namespace analysis
+} // namespace cuasmrl
+
+#endif // CUASMRL_ANALYSIS_OPERANDTABLE_H

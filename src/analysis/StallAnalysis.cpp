@@ -1,0 +1,71 @@
+//===- analysis/StallAnalysis.cpp ----------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StallAnalysis.h"
+
+#include <algorithm>
+
+using namespace cuasmrl;
+using namespace cuasmrl::analysis;
+
+StallAnalysis analysis::analyzeStallCounts(const sass::Program &Prog,
+                                           const StallTable &Table) {
+  StallAnalysis Out;
+  // Stall inference scans basic blocks: labels and control flow bound the
+  // scan, but BAR.SYNC does not end a block (§3.2).
+  RegionInfo Regions = computeRegions(Prog, BoundaryKind::Labels);
+
+  for (size_t MemIdx = 0; MemIdx < Prog.size(); ++MemIdx) {
+    const sass::Statement &S = Prog.stmt(MemIdx);
+    if (!S.isInstr() || !S.instr().isMemory())
+      continue;
+    const sass::Instruction &Mem = S.instr();
+
+    // Every source register of the memory instruction is one potential
+    // stall-count dependency on a fixed-latency producer.
+    for (sass::Register Use : Mem.regUses()) {
+      if (Use.isUniform())
+        continue; // The uniform datapath has no per-warp stall hazards.
+
+      bool FoundDef = false;
+      unsigned Accum = 0;
+      for (size_t Prev = MemIdx; Prev-- > 0;) {
+        if (!Regions.sameRegion(Prev, MemIdx))
+          break; // Label or sync boundary: definition not visible.
+        const sass::Instruction &Cand = Prog.stmt(Prev).instr();
+        Accum += std::max<unsigned>(1, Cand.ctrl().stall());
+
+        std::vector<sass::Register> Defs = Cand.regDefs();
+        if (std::find(Defs.begin(), Defs.end(), Use) == Defs.end())
+          continue;
+
+        FoundDef = true;
+        if (!Cand.isFixedLatency())
+          break; // Variable latency: protected by scoreboard, not stalls.
+        std::optional<std::string> Key = Cand.latencyKey();
+        if (!Key)
+          break;
+        if (Table.lookup(*Key)) {
+          ++Out.ResolvedByTable;
+        } else {
+          // Valid -O3 schedule: the observed distance bounds the true
+          // latency from above; keep the minimum observation.
+          Out.Inferred.record(*Key, Accum);
+          ++Out.ResolvedByInference;
+        }
+        break;
+      }
+
+      if (!FoundDef && !Use.isPredicate()) {
+        // Definition crosses a region boundary: unresolvable without
+        // control-flow analysis -> denylist this memory instruction.
+        ++Out.DenylistedDeps;
+        Out.Denylist.insert(MemIdx);
+      }
+    }
+  }
+  return Out;
+}

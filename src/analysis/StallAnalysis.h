@@ -1,0 +1,82 @@
+//===- analysis/StallAnalysis.h - Pre-game stall-count inference -------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's pre-game static analysis pass (§3.2): for every memory
+/// instruction, walk backwards through its reorder region looking for
+/// the defining instruction of each source register.
+///
+///  - Definition found and its latency key is in the stall table:
+///    dependency resolved by the table ("db" in Figure 7).
+///  - Definition found, key unknown: the accumulated stall count between
+///    the def-use pair is recorded as an *inferred* (over)estimate of
+///    the instruction's latency — the original -O3 schedule is valid, so
+///    the observed distance is >= the true latency ("infer-only").
+///  - A label (region boundary) is reached before the definition: the
+///    memory instruction joins the denylist and is permanently masked
+///    out of the action space ("not resolved").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_ANALYSIS_STALLANALYSIS_H
+#define CUASMRL_ANALYSIS_STALLANALYSIS_H
+
+#include "analysis/ControlFlow.h"
+#include "analysis/StallTable.h"
+#include "sass/Program.h"
+
+#include <set>
+#include <vector>
+
+namespace cuasmrl {
+namespace analysis {
+
+/// Outcome of the pre-game pass.
+struct StallAnalysis {
+  /// Latency keys inferred from def-use distances (overestimates).
+  StallTable Inferred;
+  /// Statement indices of denylisted memory instructions.
+  std::set<size_t> Denylist;
+
+  /// \name Figure 7 statistics (counted per dependency pair)
+  /// @{
+  unsigned ResolvedByTable = 0;
+  unsigned ResolvedByInference = 0;
+  unsigned DenylistedDeps = 0;
+
+  double totalDeps() const {
+    return static_cast<double>(ResolvedByTable + ResolvedByInference +
+                               DenylistedDeps);
+  }
+  double pctTable() const {
+    return totalDeps() ? 100.0 * ResolvedByTable / totalDeps() : 0.0;
+  }
+  double pctInferred() const {
+    return totalDeps() ? 100.0 * ResolvedByInference / totalDeps() : 0.0;
+  }
+  double pctDenylisted() const {
+    return totalDeps() ? 100.0 * DenylistedDeps / totalDeps() : 0.0;
+  }
+  /// @}
+
+  /// Best known minimum stall for a latency key: the table first, then
+  /// the inferred estimate.
+  std::optional<unsigned> resolve(const StallTable &Table,
+                                  const std::string &Key) const {
+    if (std::optional<unsigned> T = Table.lookup(Key))
+      return T;
+    return Inferred.lookup(Key);
+  }
+};
+
+/// Runs the pass over \p Prog with knowledge \p Table.
+StallAnalysis analyzeStallCounts(const sass::Program &Prog,
+                                 const StallTable &Table);
+
+} // namespace analysis
+} // namespace cuasmrl
+
+#endif // CUASMRL_ANALYSIS_STALLANALYSIS_H

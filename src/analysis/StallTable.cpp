@@ -1,0 +1,46 @@
+//===- analysis/StallTable.cpp --------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StallTable.h"
+
+#include "analysis/MicroBench.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::analysis;
+
+StallTable StallTable::builtin() {
+  // Paper Table 1 (A100). Common integer operations at 4 cycles,
+  // multiply/wide and FP adds at 5.
+  StallTable T;
+  T.record("IADD3", 4);
+  T.record("IMAD.IADD", 4);
+  T.record("IADD3.X", 4);
+  T.record("MOV", 4);
+  T.record("IABS", 4);
+  T.record("IMAD", 5);
+  T.record("FADD", 5);
+  T.record("HADD2", 5);
+  T.record("IMNMX", 5);
+  T.record("SEL", 5);
+  T.record("LEA", 5);
+  T.record("IMAD.WIDE", 5);
+  T.record("IMAD.WIDE.U32", 5);
+  return T;
+}
+
+const StallTable &StallTable::extended() {
+  static const StallTable Table = [] {
+    StallTable T = StallTable::builtin();
+    // Keep the measured table alive through the loop (its entries() is a
+    // reference into the object).
+    StallTable Measured = microbenchmarkTable(microbenchableKeys());
+    for (const auto &[Key, Cycles] : Measured.entries())
+      if (!T.lookup(Key))
+        T.record(Key, Cycles);
+    return T;
+  }();
+  return Table;
+}

@@ -1,0 +1,75 @@
+//===- analysis/StallTable.h - Fixed-latency stall count knowledge -----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The toolchain's knowledge of fixed-latency instruction stall counts
+/// (paper §4.3, Table 1). The *built-in* table ships the values CuAsmRL
+/// hard-codes after microbenchmarking common integer operations; the
+/// microbench driver (MicroBench.h) re-derives them against the
+/// simulated device, validating the methodology end-to-end.
+///
+/// This is deliberately separate from `sass::groundTruthLatency()` (what
+/// the hardware actually does): the action masker must work from
+/// *measured/inferred* knowledge exactly as the paper's system does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_ANALYSIS_STALLTABLE_H
+#define CUASMRL_ANALYSIS_STALLTABLE_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace cuasmrl {
+namespace analysis {
+
+/// Latency-key -> minimum stall count (cycles).
+class StallTable {
+public:
+  StallTable() = default;
+
+  /// The table the paper presents as Table 1: microbenchmarked stall
+  /// counts for the common integer (and a few float) operations that
+  /// dominate address calculation.
+  static StallTable builtin();
+
+  /// An empty table (for ablations: everything must be inferred).
+  static StallTable empty() { return StallTable(); }
+
+  /// Table 1 extended with every latency key the dependency-based
+  /// microbench can measure (HMMA, FFMA, ISETP, ...). This is the
+  /// §3.2 proposal — "build a stall count look-up table automatically" —
+  /// realized against the simulated device; the result is cached
+  /// process-wide (the measurements are deterministic).
+  static const StallTable &extended();
+
+  std::optional<unsigned> lookup(const std::string &Key) const {
+    auto It = Entries.find(Key);
+    if (It == Entries.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Records \p Cycles for \p Key, keeping the minimum of repeated
+  /// insertions (§3.2: "we take the minimum one").
+  void record(const std::string &Key, unsigned Cycles) {
+    auto [It, New] = Entries.emplace(Key, Cycles);
+    if (!New && Cycles < It->second)
+      It->second = Cycles;
+  }
+
+  size_t size() const { return Entries.size(); }
+  const std::map<std::string, unsigned> &entries() const { return Entries; }
+
+private:
+  std::map<std::string, unsigned> Entries;
+};
+
+} // namespace analysis
+} // namespace cuasmrl
+
+#endif // CUASMRL_ANALYSIS_STALLTABLE_H

@@ -1,0 +1,91 @@
+//===- core/Optimizer.cpp ----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimizer.h"
+
+#include "core/GameEnvAdapter.h"
+
+#include <memory>
+
+using namespace cuasmrl;
+using namespace cuasmrl::core;
+
+Optimizer::Optimizer(OptimizeConfig C) : Config(std::move(C)) {}
+
+OptimizeResult Optimizer::optimize(gpusim::Gpu &Device,
+                                   kernels::WorkloadKind Kind,
+                                   const kernels::WorkloadShape &Shape,
+                                   Rng &DataRng) {
+  // Level 1: kernel-configuration search (§3.1). The configurations can
+  // be worth up to 2x and completely change the SASS the agent sees.
+  triton::Autotuner Tuner(Config.AutotuneMeasure);
+  triton::AutotuneResult Tuned = Tuner.tune(Device, Kind, Shape, DataRng);
+
+  // Compile at the winning configuration and intercept the cubin.
+  triton::CompiledKernel Compiled =
+      triton::compileKernel(Device, Kind, Shape, Tuned.Best, DataRng);
+
+  OptimizeResult Result = optimizeSchedule(Device, Compiled.Runtime,
+                                           DataRng);
+  Result.BestConfig = Tuned.Best;
+
+  // Substitute the optimized kernel section back into the binary.
+  Result.Kernel = std::move(Compiled);
+  if (Result.Verified)
+    triton::substituteSchedule(Result.Kernel, Result.OptimizedProg);
+  return Result;
+}
+
+OptimizeResult
+Optimizer::optimizeSchedule(gpusim::Gpu &Device,
+                            const kernels::BuiltKernel &Kernel,
+                            Rng &DataRng) {
+  OptimizeResult Result;
+
+  // Level 2: the assembly game (§3.3). One game per vectorized env; all
+  // share the device and the kernel's buffers.
+  std::vector<std::unique_ptr<env::AssemblyGame>> Games;
+  std::vector<std::unique_ptr<GameEnvAdapter>> Adapters;
+  std::vector<rl::Env *> Envs;
+  for (unsigned E = 0; E < std::max(1u, Config.NumEnvs); ++E) {
+    Games.push_back(
+        std::make_unique<env::AssemblyGame>(Device, Kernel, Config.Game));
+    Adapters.push_back(std::make_unique<GameEnvAdapter>(*Games.back()));
+    Envs.push_back(Adapters.back().get());
+  }
+
+  rl::PpoTrainer Trainer(Envs, Config.Ppo);
+  Result.Training = Trainer.train();
+  Result.EpisodeReturns = Trainer.episodicReturns();
+
+  // Best schedule across every game (the paper deploys the best cubin
+  // found "throughout the assembly game", §4.2).
+  env::AssemblyGame *BestGame = Games.front().get();
+  for (auto &G : Games)
+    if (G->bestTimeUs() < BestGame->bestTimeUs())
+      BestGame = G.get();
+  Result.TritonUs = BestGame->initialTimeUs();
+  Result.OptimizedUs = BestGame->bestTimeUs();
+  Result.OptimizedProg = BestGame->best();
+  for (auto &G : Games)
+    Result.KernelExecutions += G->measurementsTaken();
+
+  // Deterministic inference replay for the §5.7 move traces.
+  GameEnvAdapter Probe(*BestGame);
+  Trainer.playGreedy(Probe, Config.Game.EpisodeLength);
+  Result.Trace = BestGame->trace();
+  if (BestGame->bestTimeUs() < Result.OptimizedUs) {
+    Result.OptimizedUs = BestGame->bestTimeUs();
+    Result.OptimizedProg = BestGame->best();
+  }
+
+  // Probabilistic testing of the winning schedule (§4.1).
+  Result.Verified =
+      triton::probabilisticTest(Device, Kernel, Kernel.Prog,
+                                Result.OptimizedProg,
+                                Config.ProbTestRounds, DataRng);
+  return Result;
+}

@@ -1,0 +1,85 @@
+//===- core/Optimizer.h - The CuAsmRL optimizer facade (Figure 2) ------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end hierarchical workflow of Figure 2: the autotuner finds
+/// the optimal kernel configuration, the compilation pipeline emits a
+/// cubin, the cubin is intercepted and disassembled, the RL agent plays
+/// the assembly game over the SASS schedule, and the best schedule found
+/// is probabilistically tested and substituted back into the binary.
+/// `@cuasmrl.jit`'s one-line integration maps to a single optimize()
+/// call here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_CORE_OPTIMIZER_H
+#define CUASMRL_CORE_OPTIMIZER_H
+
+#include "env/AssemblyGame.h"
+#include "rl/Ppo.h"
+#include "triton/Autotuner.h"
+#include "triton/Pipeline.h"
+
+namespace cuasmrl {
+namespace core {
+
+/// Knobs for one optimization run. Users "may add more arguments to
+/// specify the hyperparameters of the RL agents" (§4.1).
+struct OptimizeConfig {
+  rl::PpoConfig Ppo;
+  env::GameConfig Game;
+  /// Parallel game instances feeding PPO (vectorized envs).
+  unsigned NumEnvs = 1;
+  /// Probabilistic-testing rounds on the final schedule (§4.1).
+  unsigned ProbTestRounds = 3;
+  /// Measurement protocol for the autotuner.
+  gpusim::MeasureConfig AutotuneMeasure = triton::Autotuner::defaultMeasure();
+};
+
+/// Everything one run produces.
+struct OptimizeResult {
+  kernels::TileConfig BestConfig; ///< Autotuner winner (§3.1).
+  double TritonUs = 0.0;          ///< -O3 schedule at the best config.
+  double OptimizedUs = 0.0;       ///< Best schedule the agent found.
+  sass::Program OptimizedProg;
+  triton::CompiledKernel Kernel;  ///< Binary with the substituted text.
+  std::vector<rl::UpdateStats> Training; ///< Figure 8/12 series.
+  std::vector<double> EpisodeReturns;
+  std::vector<env::AppliedAction> Trace; ///< Greedy replay (§5.7).
+  bool Verified = false;                 ///< Probabilistic test passed.
+  unsigned KernelExecutions = 0;         ///< Measurement cost (§7).
+
+  double speedup() const {
+    return OptimizedUs > 0 ? TritonUs / OptimizedUs : 1.0;
+  }
+};
+
+/// The optimizer.
+class Optimizer {
+public:
+  explicit Optimizer(OptimizeConfig Config = OptimizeConfig());
+
+  /// Runs the full hierarchical optimization for one workload.
+  OptimizeResult optimize(gpusim::Gpu &Device, kernels::WorkloadKind Kind,
+                          const kernels::WorkloadShape &Shape,
+                          Rng &DataRng);
+
+  /// Plays the assembly game on an already-built kernel (the inner
+  /// level only; used when the configuration is fixed).
+  OptimizeResult optimizeSchedule(gpusim::Gpu &Device,
+                                  const kernels::BuiltKernel &Kernel,
+                                  Rng &DataRng);
+
+  const OptimizeConfig &config() const { return Config; }
+
+private:
+  OptimizeConfig Config;
+};
+
+} // namespace core
+} // namespace cuasmrl
+
+#endif // CUASMRL_CORE_OPTIMIZER_H

@@ -1,0 +1,334 @@
+//===- env/AssemblyGame.cpp --------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/AssemblyGame.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace cuasmrl;
+using namespace cuasmrl::env;
+
+namespace {
+
+bool intersects(const std::vector<sass::Register> &A,
+                const std::vector<sass::Register> &B) {
+  for (const sass::Register &RA : A)
+    for (const sass::Register &RB : B)
+      if (RA == RB)
+        return true;
+  return false;
+}
+
+unsigned issueStall(const sass::Instruction &I) {
+  return std::max<unsigned>(1, I.ctrl().stall());
+}
+
+} // namespace
+
+AssemblyGame::AssemblyGame(gpusim::Gpu &Dev,
+                           const kernels::BuiltKernel &K, GameConfig Cfg)
+    : Device(Dev), Kernel(K), Config(std::move(Cfg)), Original(K.Prog),
+      Prog(K.Prog), Embed(K.Prog),
+      Analysis(analysis::analyzeStallCounts(K.Prog, Config.Table)),
+      Regions(analysis::computeRegions(K.Prog,
+                                       analysis::BoundaryKind::LabelsAndSync)),
+      BestProg(K.Prog) {
+  if (Config.Measure.MaxBlocks == 0) {
+    // Reward measurements only need *relative* timing: one small block
+    // group keeps the inner loop fast even for kernels whose occupancy
+    // admits many resident blocks.
+    Config.Measure.MaxBlocks =
+        std::min(Device.residentBlocks(Kernel.Launch), 2u);
+  }
+  rebuildCaches();
+  T0 = measure();
+  assert(!std::isnan(T0) && "initial -O3 schedule must be valid");
+  TPrev = T0;
+  BestTime = T0;
+}
+
+void AssemblyGame::rebuildCaches() {
+  Movable.clear();
+  Defs.assign(Prog.size(), {});
+  Uses.assign(Prog.size(), {});
+  for (size_t I = 0; I < Prog.size(); ++I) {
+    if (!Prog.stmt(I).isInstr())
+      continue;
+    const sass::Instruction &Instr = Prog.stmt(I).instr();
+    Defs[I] = Instr.regDefs();
+    Uses[I] = Instr.regUses();
+    // The action space: reorderable memory instructions that survived
+    // the denylist (§3.2/§3.5).
+    if (Instr.isReorderableMemory() && !Analysis.Denylist.count(I) &&
+        Regions.RegionOf[I] != analysis::RegionInfo::kBoundary)
+      Movable.push_back(I);
+  }
+}
+
+std::optional<unsigned>
+AssemblyGame::resolveStall(const sass::Instruction &I) const {
+  std::optional<std::string> Key = I.latencyKey();
+  if (!Key)
+    return std::nullopt;
+  return Analysis.resolve(Config.Table, *Key);
+}
+
+bool AssemblyGame::stallCheckAfterSwap(size_t Upper) const {
+  const sass::Instruction &A = Prog.stmt(Upper).instr();
+  const sass::Instruction &B = Prog.stmt(Upper + 1).instr();
+
+  // Check 1 — A moves *down*: the distance from A to its first
+  // consumers shrinks by stall(B). Only fixed-latency producers are
+  // protected by stall counts (variable latency uses the scoreboard).
+  std::optional<unsigned> NeedA = resolveStall(A);
+  if (A.isFixedLatency() && !Defs[Upper].empty() && NeedA) {
+    // Unresolvable producer latencies are left to the schedule's own
+    // slack, matching the paper's Algorithm 1 (which only guards the
+    // moved memory instruction's upward dependencies).
+    unsigned Need = *NeedA;
+    for (const sass::Register &D : Defs[Upper]) {
+      unsigned Accum = issueStall(A);
+      for (size_t Q = Upper + 2; Q < Prog.size(); ++Q) {
+        if (!Regions.sameRegion(Upper, Q))
+          break;
+        const std::vector<sass::Register> &QUses = Uses[Q];
+        if (std::find(QUses.begin(), QUses.end(), D) != QUses.end()) {
+          if (Accum < Need)
+            return false;
+          break;
+        }
+        const std::vector<sass::Register> &QDefs = Defs[Q];
+        if (std::find(QDefs.begin(), QDefs.end(), D) != QDefs.end())
+          break; // Redefined before any use.
+        Accum += issueStall(Prog.stmt(Q).instr());
+      }
+    }
+  }
+
+  // Check 2 — B moves *up* (Algorithm 1): the distance from each of B's
+  // producers shrinks by stall(A).
+  for (const sass::Register &U : Uses[Upper + 1]) {
+    unsigned Accum = 0;
+    for (size_t Q = Upper; Q-- > 0;) {
+      if (!Regions.sameRegion(Upper, Q))
+        break;
+      // Note: A (at Upper) is excluded automatically — it sits below B
+      // after the swap; the scan starts at Upper-1.
+      Accum += issueStall(Prog.stmt(Q).instr());
+      const std::vector<sass::Register> &QDefs = Defs[Q];
+      if (std::find(QDefs.begin(), QDefs.end(), U) == QDefs.end())
+        continue;
+      const sass::Instruction &P = Prog.stmt(Q).instr();
+      if (P.isFixedLatency()) {
+        std::optional<unsigned> Need = resolveStall(P);
+        if (!Need || Accum < *Need)
+          return false;
+      }
+      break; // Nearest definition decides.
+    }
+  }
+  return true;
+}
+
+bool AssemblyGame::swapLegal(size_t Upper) const {
+  if (Upper + 1 >= Prog.size())
+    return false;
+  const sass::Statement &SA = Prog.stmt(Upper);
+  const sass::Statement &SB = Prog.stmt(Upper + 1);
+  if (!SA.isInstr() || !SB.isInstr())
+    return false;
+  // Labels and barrier/synchronization instructions bound reordering.
+  if (!Regions.sameRegion(Upper, Upper + 1))
+    return false;
+
+  const sass::Instruction &A = SA.instr();
+  const sass::Instruction &B = SB.instr();
+
+  // LDGSTS groups targeting the same shared base must stay in issue
+  // order (hardware idiosyncrasy, §3.5).
+  if (A.opcode() == sass::Opcode::LDGSTS &&
+      B.opcode() == sass::Opcode::LDGSTS && !A.operands().empty() &&
+      !B.operands().empty() && A.operands()[0].isMem() &&
+      B.operands()[0].isMem() &&
+      A.operands()[0].baseReg() == B.operands()[0].baseReg())
+    return false;
+
+  // Register dependencies: any RAW/WAR/WAW between the pair.
+  if (intersects(Defs[Upper], Uses[Upper + 1]) ||
+      intersects(Uses[Upper], Defs[Upper + 1]) ||
+      intersects(Defs[Upper], Defs[Upper + 1]))
+    return false;
+
+  // Barrier dependencies: neither may wait on a slot the other sets,
+  // and two setters of one slot must not reorder (§3.5).
+  for (int Slot = 0; Slot < sass::ControlCode::NumBarrierSlots; ++Slot) {
+    bool ASets = A.ctrl().setsBarrier(Slot);
+    bool BSets = B.ctrl().setsBarrier(Slot);
+    if ((ASets && B.ctrl().waitsOn(Slot)) ||
+        (A.ctrl().waitsOn(Slot) && BSets) || (ASets && BSets))
+      return false;
+  }
+
+  return stallCheckAfterSwap(Upper);
+}
+
+std::vector<uint8_t> AssemblyGame::actionMask() const {
+  std::vector<uint8_t> Mask(actionCount(), 0);
+  for (size_t M = 0; M < Movable.size(); ++M) {
+    size_t Stmt = Movable[M];
+    if (Config.UseActionMasking) {
+      if (Stmt > 0 && swapLegal(Stmt - 1))
+        Mask[2 * M] = 1; // Up.
+      if (swapLegal(Stmt))
+        Mask[2 * M + 1] = 1; // Down.
+      continue;
+    }
+    // Masking disabled (ablation): only structural feasibility — both
+    // neighbors must be instructions. Semantic violations then surface
+    // as corrupted outputs at measurement time.
+    if (Stmt > 0 && Prog.stmt(Stmt - 1).isInstr())
+      Mask[2 * M] = 1;
+    if (Stmt + 1 < Prog.size() && Prog.stmt(Stmt + 1).isInstr())
+      Mask[2 * M + 1] = 1;
+  }
+  return Mask;
+}
+
+bool AssemblyGame::allMasked() const {
+  std::vector<uint8_t> Mask = actionMask();
+  return std::none_of(Mask.begin(), Mask.end(),
+                      [](uint8_t M) { return M != 0; });
+}
+
+double AssemblyGame::measure() {
+  std::string Key;
+  if (Config.CacheMeasurements) {
+    Key = Prog.str();
+    auto It = MeasureCache.find(Key);
+    if (It != MeasureCache.end())
+      return It->second;
+  }
+
+  gpusim::MeasureConfig MC = Config.Measure;
+  MC.Seed = MeasureSeed++;
+  gpusim::Measurement M = measureKernel(Device, Prog, Kernel.Launch, MC);
+  Measurements += MC.WarmupIters + MC.RepeatIters;
+  if (!M.Valid)
+    return std::nan("");
+
+  if (!Config.UseActionMasking) {
+    // No masking: catch silent corruption by comparing the timed output
+    // against the architectural oracle on the same block subset
+    // (probabilistic testing in the reward loop).
+    std::vector<uint32_t> Timed = Kernel.readOutput(Device);
+    gpusim::RunResult Ref = Device.run(Prog, Kernel.Launch,
+                                       gpusim::RunMode::Oracle,
+                                       MC.MaxBlocks);
+    if (!Ref.Valid)
+      return std::nan("");
+    std::vector<uint32_t> Oracle = Kernel.readOutput(Device);
+    if (Timed != Oracle)
+      return std::nan("");
+  }
+
+  if (Config.CacheMeasurements)
+    MeasureCache.emplace(std::move(Key), M.MeanUs);
+  return M.MeanUs;
+}
+
+std::vector<float> AssemblyGame::reset() {
+  Prog = Original;
+  rebuildCaches();
+  TPrev = T0;
+  StepsTaken = 0;
+  Trace.clear();
+  return Embed.embed(Prog);
+}
+
+AssemblyGame::StepResult AssemblyGame::step(unsigned Action) {
+  assert(Action < actionCount() && "action out of range");
+  StepResult Res;
+  ++StepsTaken;
+
+  size_t MovIdx = Action / 2;
+  bool Up = Action % 2 == 0;
+  size_t Stmt = Movable[MovIdx];
+  size_t Upper = Up ? Stmt - 1 : Stmt;
+  bool StructurallyPossible =
+      (!Up || Stmt > 0) && Upper + 1 < Prog.size() &&
+      Prog.stmt(Upper).isInstr() && Prog.stmt(Upper + 1).isInstr();
+  bool Legal = StructurallyPossible && swapLegal(Upper);
+
+  if (!Config.UseActionMasking)
+    Legal = StructurallyPossible;
+  if (Config.UseActionMasking && !Legal) {
+    // Masked actions carry ~zero probability; a defensive no-op keeps
+    // the environment consistent if one is forced through.
+    Res.Observation = Embed.embed(Prog);
+    Res.Done = StepsTaken >= Config.EpisodeLength || allMasked();
+    return Res;
+  }
+  if (!StructurallyPossible) {
+    Res.Observation = Embed.embed(Prog);
+    Res.Reward = Config.InvalidPenalty;
+    Res.Invalid = true;
+    Res.Done = true;
+    return Res;
+  }
+
+  // Apply the swap (the environment transition, Figure 3).
+  Prog.swap(Upper, Upper + 1);
+  std::swap(Defs[Upper], Defs[Upper + 1]);
+  std::swap(Uses[Upper], Uses[Upper + 1]);
+  for (size_t &M : Movable) {
+    if (M == Upper)
+      M = Upper + 1;
+    else if (M == Upper + 1)
+      M = Upper;
+  }
+
+  double T = measure();
+  if (std::isnan(T)) {
+    // Invalid schedule executed (only reachable without masking):
+    // penalize, revert, terminate.
+    Prog.swap(Upper, Upper + 1);
+    std::swap(Defs[Upper], Defs[Upper + 1]);
+    std::swap(Uses[Upper], Uses[Upper + 1]);
+    for (size_t &M : Movable) {
+      if (M == Upper)
+        M = Upper + 1;
+      else if (M == Upper + 1)
+        M = Upper;
+    }
+    Res.Observation = Embed.embed(Prog);
+    Res.Reward = Config.InvalidPenalty;
+    Res.Invalid = true;
+    Res.Done = true;
+    return Res;
+  }
+
+  // Eq. 3.
+  Res.Reward = (TPrev - T) / T0 * 100.0;
+  TPrev = T;
+  if (T < BestTime) {
+    BestTime = T;
+    BestProg = Prog;
+  }
+
+  AppliedAction AA;
+  AA.StmtIndex = Up ? Upper : Upper + 1;
+  AA.Up = Up;
+  AA.Reward = Res.Reward;
+  AA.MovedText = Prog.stmt(Up ? Upper : Upper + 1).instr().str();
+  AA.OtherText = Prog.stmt(Up ? Upper + 1 : Upper).instr().str();
+  Trace.push_back(std::move(AA));
+
+  Res.Observation = Embed.embed(Prog);
+  Res.Done = StepsTaken >= Config.EpisodeLength || allMasked();
+  return Res;
+}

@@ -1,0 +1,154 @@
+//===- env/AssemblyGame.h - The paper's assembly game (§3.3-3.6) ------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The iterative environment the RL agent plays: the state is the
+/// embedded SASS schedule, an action picks one *memory* instruction and
+/// swaps it with the statement above or below (§3.5), the mutated
+/// schedule is assembled and executed on the (simulated) GPU, and the
+/// relative runtime change is the reward (§3.6, Eq. 3):
+///
+///     R_i = (T_{i-1} - T_i) / T_0 * 100
+///
+/// Action masking guarantees mutated schedules stay semantically valid:
+/// register dependencies, read/write-barrier dependencies, stall-count
+/// dependencies (Algorithm 1, resolved through the stall table and the
+/// inference pass), the LDGSTS ordering idiosyncrasy, label/sync
+/// boundaries and the denylist. The interface follows the standardized
+/// Gym shape (reset / step / action mask) so alternative search
+/// algorithms plug in directly (§3.7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_ENV_ASSEMBLYGAME_H
+#define CUASMRL_ENV_ASSEMBLYGAME_H
+
+#include "analysis/StallAnalysis.h"
+#include "env/Embedding.h"
+#include "gpusim/Measurement.h"
+#include "kernels/Builder.h"
+
+#include <unordered_map>
+
+namespace cuasmrl {
+namespace env {
+
+/// Environment configuration.
+struct GameConfig {
+  /// Episode length (paper §5.7.2: 32 by default).
+  unsigned EpisodeLength = 32;
+  /// Runtime measurement settings for the reward signal.
+  gpusim::MeasureConfig Measure;
+  /// Stall-count knowledge for Algorithm 1. Defaults to the
+  /// microbench-extended table (§3.2's automatic look-up table); pass
+  /// StallTable::builtin() to restrict to the paper's Table 1.
+  analysis::StallTable Table = analysis::StallTable::extended();
+  /// Ablation: disable masking (invalid schedules then surface as
+  /// faults/corruption and terminate the episode with a penalty).
+  bool UseActionMasking = true;
+  /// Penalty reward for executing an invalid schedule (unmasked mode).
+  double InvalidPenalty = -10.0;
+  /// Memoize measurements by schedule identity (revisited states are
+  /// frequent: the paper observes "lingering" agents, §5.7.2).
+  bool CacheMeasurements = true;
+};
+
+/// One applied (accepted) action, for the §5.7 move-discovery traces.
+struct AppliedAction {
+  size_t StmtIndex;   ///< Statement index of the moved instruction.
+  bool Up;            ///< Direction.
+  double Reward;
+  std::string MovedText; ///< The memory instruction that moved.
+  std::string OtherText; ///< The instruction it swapped with.
+};
+
+/// The assembly game.
+class AssemblyGame {
+public:
+  /// \p Kernel supplies the -O3 schedule, launch geometry and buffers;
+  /// the game owns a mutable copy of the schedule.
+  AssemblyGame(gpusim::Gpu &Device, const kernels::BuiltKernel &Kernel,
+               GameConfig Config = GameConfig());
+
+  /// \name Gym-style interface
+  /// @{
+  struct StepResult {
+    std::vector<float> Observation;
+    double Reward = 0.0;
+    bool Done = false;
+    bool Invalid = false; ///< Unmasked invalid schedule was executed.
+  };
+
+  std::vector<float> reset();
+  StepResult step(unsigned Action);
+
+  /// 2 * movable-instruction count; action 2k moves instruction k up,
+  /// 2k+1 moves it down.
+  unsigned actionCount() const {
+    return static_cast<unsigned>(2 * Movable.size());
+  }
+  /// Legality of every action under the current schedule (§3.5).
+  std::vector<uint8_t> actionMask() const;
+  /// True when every action is masked (episode terminates immediately).
+  bool allMasked() const;
+
+  size_t obsRows() const { return Embed.rows(); }
+  size_t obsFeatures() const { return Embed.features(); }
+  /// @}
+
+  /// \name Results
+  /// @{
+  const sass::Program &current() const { return Prog; }
+  const sass::Program &best() const { return BestProg; }
+  double initialTimeUs() const { return T0; }
+  double bestTimeUs() const { return BestTime; }
+  double currentTimeUs() const { return TPrev; }
+  const std::vector<AppliedAction> &trace() const { return Trace; }
+  const analysis::StallAnalysis &stallAnalysis() const { return Analysis; }
+  unsigned measurementsTaken() const { return Measurements; }
+  /// @}
+
+  /// Checks whether swapping statements \p Upper and \p Upper+1 is legal
+  /// under the §3.5 rules (exposed for tests and search baselines).
+  bool swapLegal(size_t Upper) const;
+
+private:
+  double measure();
+  void rebuildCaches();
+  bool stallCheckAfterSwap(size_t Upper) const;
+  std::optional<unsigned> resolveStall(const sass::Instruction &I) const;
+
+  gpusim::Gpu &Device;
+  kernels::BuiltKernel Kernel;
+  GameConfig Config;
+
+  sass::Program Original;
+  sass::Program Prog;
+  Embedding Embed;
+  analysis::StallAnalysis Analysis;
+  analysis::RegionInfo Regions;
+
+  /// Statement indices of movable memory instructions (§3.2 pass),
+  /// dynamically updated after every swap.
+  std::vector<size_t> Movable;
+  /// Per-statement def/use caches (register lists), swapped along.
+  std::vector<std::vector<sass::Register>> Defs, Uses;
+
+  double T0 = 0.0;
+  double TPrev = 0.0;
+  double BestTime = 0.0;
+  sass::Program BestProg;
+  unsigned StepsTaken = 0;
+  unsigned Measurements = 0;
+  std::vector<AppliedAction> Trace;
+  std::unordered_map<std::string, double> MeasureCache;
+  uint64_t MeasureSeed = 1;
+};
+
+} // namespace env
+} // namespace cuasmrl
+
+#endif // CUASMRL_ENV_ASSEMBLYGAME_H

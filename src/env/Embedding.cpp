@@ -1,0 +1,94 @@
+//===- env/Embedding.cpp ---------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/Embedding.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cuasmrl;
+using namespace cuasmrl::env;
+
+namespace {
+/// Control-code scalar fields before the operand slots: 6 wait bits,
+/// read barrier, write barrier, yield, stall, memory-opcode flag.
+constexpr size_t FixedFeatures = 6 + 1 + 1 + 1 + 1 + 1;
+} // namespace
+
+Embedding::Embedding(const sass::Program &Initial)
+    : Table(analysis::OperandTable::build(Initial)),
+      Rows(Initial.instrCount()),
+      Features(FixedFeatures + Table.maxOperands()) {}
+
+void Embedding::embedInstr(const sass::Instruction &I, float *Row) const {
+  const sass::ControlCode &CC = I.ctrl();
+  size_t F = 0;
+  for (int Slot = 0; Slot < sass::ControlCode::NumBarrierSlots; ++Slot)
+    Row[F++] = CC.waitsOn(Slot) ? 1.0f : 0.0f;
+  // Read/write barriers take 0..5, or the dummy -1 when absent (§3.4).
+  Row[F++] = CC.hasReadBarrier() ? static_cast<float>(CC.readBarrier())
+                                 : -1.0f;
+  Row[F++] = CC.hasWriteBarrier() ? static_cast<float>(CC.writeBarrier())
+                                  : -1.0f;
+  Row[F++] = CC.yield() ? 1.0f : 0.0f;
+  Row[F++] = static_cast<float>(CC.stall()) /
+             static_cast<float>(sass::ControlCode::MaxStall);
+  // Opcode: memory vs non-memory (-1 for non-memory, §3.4).
+  Row[F++] = I.isMemory() ? 1.0f : -1.0f;
+
+  // Operands: memory locations become normalized memory-table indices,
+  // registers normalized register-table indices; missing slots pad -1.
+  const double NumMems = std::max<size_t>(1, Table.numMems());
+  const double NumRegs = std::max<size_t>(1, Table.numRegs());
+  size_t Slots = Features - FixedFeatures;
+  for (size_t S = 0; S < Slots; ++S) {
+    float Value = -1.0f;
+    if (S < I.operands().size()) {
+      const sass::Operand &Op = I.operands()[S];
+      switch (Op.kind()) {
+      case sass::Operand::Kind::Mem:
+      case sass::Operand::Kind::ConstMem: {
+        int Idx = Table.memIndex(Op);
+        if (Idx >= 0)
+          Value = static_cast<float>(Idx / NumMems);
+        break;
+      }
+      case sass::Operand::Kind::Reg: {
+        int Idx = Table.regIndex(Op.baseReg());
+        if (Idx >= 0)
+          Value = static_cast<float>(Idx / NumRegs);
+        break;
+      }
+      case sass::Operand::Kind::Imm:
+        Value = std::clamp(
+            static_cast<float>(Op.immValue()) / 1024.0f, -1.0f, 1.0f);
+        break;
+      case sass::Operand::Kind::FloatImm:
+        Value = std::clamp(static_cast<float>(Op.floatValue()), -1.0f,
+                           1.0f);
+        break;
+      case sass::Operand::Kind::Special:
+      case sass::Operand::Kind::Label:
+        break;
+      }
+    }
+    Row[F++] = Value;
+  }
+  assert(F == Features && "row width mismatch");
+}
+
+std::vector<float> Embedding::embed(const sass::Program &Prog) const {
+  std::vector<float> Matrix(Rows * Features, -1.0f);
+  size_t Row = 0;
+  for (size_t I = 0; I < Prog.size(); ++I) {
+    if (!Prog.stmt(I).isInstr())
+      continue;
+    assert(Row < Rows && "instruction count changed mid-game");
+    embedInstr(Prog.stmt(I).instr(), Matrix.data() + Row * Features);
+    ++Row;
+  }
+  return Matrix;
+}

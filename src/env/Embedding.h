@@ -1,0 +1,56 @@
+//===- env/Embedding.h - SASS state embedding (paper Figure 4) --------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Embeds a SASS schedule as the matrix the RL agent consumes (§3.4):
+/// each instruction becomes one row; control-code fields, an is-memory
+/// opcode flag and operand table indices are embedded individually and
+/// concatenated; absent fields and operand padding use dummy -1 values;
+/// rows are concatenated to form the state matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_ENV_EMBEDDING_H
+#define CUASMRL_ENV_EMBEDDING_H
+
+#include "analysis/OperandTable.h"
+#include "sass/Program.h"
+
+#include <vector>
+
+namespace cuasmrl {
+namespace env {
+
+/// Fixed-shape embedder for one kernel's schedules.
+class Embedding {
+public:
+  /// Builds the operand tables and fixes the matrix shape from the
+  /// initial schedule (instruction count and operand arity never change
+  /// during the game — swaps preserve the multiset).
+  explicit Embedding(const sass::Program &Initial);
+
+  /// Rows of the state matrix (= instruction count).
+  size_t rows() const { return Rows; }
+  /// Per-instruction feature count.
+  size_t features() const { return Features; }
+
+  /// Embeds the current schedule (row-major rows() x features()).
+  std::vector<float> embed(const sass::Program &Prog) const;
+
+  const analysis::OperandTable &table() const { return Table; }
+
+private:
+  void embedInstr(const sass::Instruction &I, float *Row) const;
+
+  analysis::OperandTable Table;
+  size_t Rows = 0;
+  size_t Features = 0;
+};
+
+} // namespace env
+} // namespace cuasmrl
+
+#endif // CUASMRL_ENV_EMBEDDING_H

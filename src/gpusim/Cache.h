@@ -1,0 +1,73 @@
+//===- gpusim/Cache.h - Set-associative cache tag array ---------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing-only LRU tag array for the L1 and L2 models. Data is carried
+/// by the functional memory spaces; the cache only answers hit/miss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_CACHE_H
+#define CUASMRL_GPUSIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// LRU set-associative tag array.
+class Cache {
+public:
+  Cache(unsigned TotalBytes, unsigned LineBytes, unsigned Ways)
+      : LineBytes(LineBytes), Ways(Ways),
+        Sets(TotalBytes / LineBytes / Ways ? TotalBytes / LineBytes / Ways
+                                           : 1),
+        Tags(Sets * Ways, EmptyTag), Stamps(Sets * Ways, 0) {}
+
+  /// Looks up (and on miss, fills) the line containing \p Addr.
+  /// \returns true on hit.
+  bool access(uint64_t Addr) {
+    uint64_t Line = Addr / LineBytes;
+    uint64_t Set = Line % Sets;
+    uint64_t *SetTags = &Tags[Set * Ways];
+    uint64_t *SetStamps = &Stamps[Set * Ways];
+    ++Tick;
+    unsigned Victim = 0;
+    for (unsigned W = 0; W < Ways; ++W) {
+      if (SetTags[W] == Line) {
+        SetStamps[W] = Tick;
+        return true;
+      }
+      if (SetStamps[W] < SetStamps[Victim])
+        Victim = W;
+    }
+    SetTags[Victim] = Line;
+    SetStamps[Victim] = Tick;
+    return false;
+  }
+
+  /// Invalidates every line (the paper clears L2 between measurement
+  /// iterations, §3.6).
+  void clear() {
+    Tags.assign(Tags.size(), EmptyTag);
+    Stamps.assign(Stamps.size(), 0);
+  }
+
+private:
+  static constexpr uint64_t EmptyTag = ~0ull;
+  unsigned LineBytes;
+  unsigned Ways;
+  uint64_t Sets;
+  std::vector<uint64_t> Tags;
+  std::vector<uint64_t> Stamps;
+  uint64_t Tick = 0;
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_CACHE_H

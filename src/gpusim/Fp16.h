@@ -1,0 +1,103 @@
+//===- gpusim/Fp16.h - IEEE binary16 conversion helpers -------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software half-precision conversion used by the functional semantics of
+/// HADD2/HMUL2/HFMA2/HMMA. Round-to-nearest-even on the way down; exact
+/// on the way up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_FP16_H
+#define CUASMRL_GPUSIM_FP16_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// Converts an IEEE binary16 bit pattern to float.
+inline float fp16ToFloat(uint16_t H) {
+  uint32_t Sign = (H >> 15) & 1;
+  uint32_t Exp = (H >> 10) & 0x1f;
+  uint32_t Mant = H & 0x3ff;
+  uint32_t Bits;
+  if (Exp == 0) {
+    if (Mant == 0) {
+      Bits = Sign << 31;
+    } else {
+      // Subnormal: normalize.
+      int Shift = 0;
+      while (!(Mant & 0x400)) {
+        Mant <<= 1;
+        ++Shift;
+      }
+      Mant &= 0x3ff;
+      // Subnormal value = M * 2^-24; after Shift normalizing shifts the
+      // binary exponent is -14 - Shift (fp32 bias 127).
+      Bits = (Sign << 31) | ((127 - 14 - Shift) << 23) | (Mant << 13);
+    }
+  } else if (Exp == 0x1f) {
+    Bits = (Sign << 31) | 0x7f800000u | (Mant << 13);
+  } else {
+    Bits = (Sign << 31) | ((Exp - 15 + 127) << 23) | (Mant << 13);
+  }
+  float F;
+  std::memcpy(&F, &Bits, sizeof(F));
+  return F;
+}
+
+/// Converts a float to the nearest IEEE binary16 bit pattern (RNE).
+inline uint16_t floatToFp16(float F) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &F, sizeof(Bits));
+  uint32_t Sign = (Bits >> 16) & 0x8000;
+  int32_t Exp = static_cast<int32_t>((Bits >> 23) & 0xff) - 127 + 15;
+  uint32_t Mant = Bits & 0x7fffff;
+
+  if (((Bits >> 23) & 0xff) == 0xff)
+    return static_cast<uint16_t>(Sign | 0x7c00 | (Mant ? 0x200 : 0));
+  if (Exp >= 0x1f)
+    return static_cast<uint16_t>(Sign | 0x7c00); // Overflow -> inf.
+  if (Exp <= 0) {
+    if (Exp < -10)
+      return static_cast<uint16_t>(Sign); // Underflow -> zero.
+    // Subnormal result.
+    Mant |= 0x800000;
+    uint32_t Shift = static_cast<uint32_t>(14 - Exp);
+    uint32_t Half = Mant >> Shift;
+    uint32_t Rem = Mant & ((1u << Shift) - 1);
+    uint32_t Mid = 1u << (Shift - 1);
+    if (Rem > Mid || (Rem == Mid && (Half & 1)))
+      ++Half;
+    return static_cast<uint16_t>(Sign | Half);
+  }
+  uint32_t Half = (static_cast<uint32_t>(Exp) << 10) | (Mant >> 13);
+  uint32_t Rem = Mant & 0x1fff;
+  if (Rem > 0x1000 || (Rem == 0x1000 && (Half & 1)))
+    ++Half;
+  return static_cast<uint16_t>(Sign | Half);
+}
+
+/// Unpacks the low half of a packed fp16x2 register.
+inline float unpackLo(uint32_t Packed) {
+  return fp16ToFloat(static_cast<uint16_t>(Packed & 0xffff));
+}
+/// Unpacks the high half of a packed fp16x2 register.
+inline float unpackHi(uint32_t Packed) {
+  return fp16ToFloat(static_cast<uint16_t>(Packed >> 16));
+}
+/// Packs two floats into an fp16x2 register.
+inline uint32_t packHalf2(float Lo, float Hi) {
+  return static_cast<uint32_t>(floatToFp16(Lo)) |
+         (static_cast<uint32_t>(floatToFp16(Hi)) << 16);
+}
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_FP16_H

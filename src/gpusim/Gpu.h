@@ -1,0 +1,84 @@
+//===- gpusim/Gpu.h - Simulated GPU facade -----------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The device the rest of the library talks to. `Gpu` owns global
+/// memory and the cache hierarchy state, and runs kernels in one of two
+/// modes:
+///
+///  - `RunMode::Oracle` — architectural reference execution in program
+///    order with immediate commits. Defines "the right answer" for
+///    probabilistic testing (§4.1) and produces no timing.
+///  - `RunMode::Timed` — the cycle-approximate Ampere SM model: four
+///    greedy-then-oldest warp schedulers, control-code stall counts and
+///    scoreboard waits, an LSU with cache/DRAM latencies and bandwidth
+///    backpressure, register-bank conflicts with an operand reuse cache,
+///    and hazard-faithful register reads (a consumer issued too early
+///    reads the *stale* value — this is what makes invalid schedules
+///    measurably wrong rather than merely slow).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_GPU_H
+#define CUASMRL_GPUSIM_GPU_H
+
+#include "gpusim/Cache.h"
+#include "gpusim/GpuSpec.h"
+#include "gpusim/Launch.h"
+#include "gpusim/Memory.h"
+
+#include <memory>
+
+namespace cuasmrl {
+namespace sass {
+class Program;
+}
+namespace gpusim {
+
+/// Execution fidelity mode.
+enum class RunMode {
+  Oracle, ///< Program-order reference semantics (no timing).
+  Timed,  ///< Cycle-approximate timing with hazard-faithful values.
+};
+
+/// Simulated device.
+class Gpu {
+public:
+  explicit Gpu(GpuSpec Spec = GpuSpec());
+
+  const GpuSpec &spec() const { return Spec; }
+  GlobalMemory &globalMemory() { return Global; }
+  const GlobalMemory &globalMemory() const { return Global; }
+
+  /// Invalidates L1 and L2 (between measurement reps, §3.6).
+  void clearCaches();
+
+  /// Runs \p Prog under \p Launch.
+  ///
+  /// \param MaxBlocks when nonzero, simulate only the first \p MaxBlocks
+  ///        blocks and extrapolate timing over the full grid (used by the
+  ///        reward loop where only relative timing matters); when zero,
+  ///        execute every block (used when output buffers must be
+  ///        completely written, e.g. probabilistic testing).
+  RunResult run(const sass::Program &Prog, const KernelLaunch &Launch,
+                RunMode Mode, unsigned MaxBlocks = 0);
+
+  /// Blocks per SM the occupancy rules admit for this launch.
+  unsigned residentBlocks(const KernelLaunch &Launch) const;
+
+private:
+  GpuSpec Spec;
+  GlobalMemory Global;
+  Cache L1;
+  Cache L2;
+
+  friend class TimedMachine;
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_GPU_H

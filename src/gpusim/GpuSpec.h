@@ -1,0 +1,92 @@
+//===- gpusim/GpuSpec.h - Simulated GPU architecture parameters -----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural constants of the simulated Ampere-class GPU. Defaults
+/// approximate an NVIDIA A100-80GB-PCIe (the paper's evaluation target):
+/// 108 SMs at 1.41 GHz, four warp schedulers per SM, a 192 KB combined
+/// L1/shared per SM, a 40 MB L2 and ~1.9 TB/s of DRAM bandwidth.
+///
+/// The timing model is cycle-approximate, not cycle-exact: what matters
+/// for the reproduction is that the mechanisms the paper's RL agent
+/// exploits (issue stalls, scoreboard waits, LDGSTS/math overlap, the
+/// operand reuse cache, warp switching) are present with realistic
+/// relative magnitudes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_GPUSPEC_H
+#define CUASMRL_GPUSIM_GPUSPEC_H
+
+#include <cstdint>
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// Tunable architecture description.
+struct GpuSpec {
+  /// \name Chip layout
+  /// @{
+  unsigned NumSMs = 108;
+  unsigned SchedulersPerSM = 4;
+  unsigned MaxWarpsPerSM = 64;
+  unsigned MaxBlocksPerSM = 32;
+  double ClockGHz = 1.41;
+  /// @}
+
+  /// \name Register file / operand collector
+  /// @{
+  unsigned RegisterBanks = 4;
+  /// Extra issue cycles per same-bank source-operand collision that the
+  /// reuse cache did not absorb.
+  unsigned BankConflictPenalty = 2;
+  /// @}
+
+  /// \name Memory latencies (cycles, load-to-use)
+  /// @{
+  unsigned SharedLatency = 25;
+  unsigned L1Latency = 35;
+  unsigned L2Latency = 220;
+  unsigned DramLatency = 450;
+  unsigned ConstLatency = 8;
+  /// @}
+
+  /// \name Caches
+  /// @{
+  unsigned CacheLineBytes = 128;
+  unsigned L1Bytes = 128 * 1024;
+  unsigned L1Ways = 4;
+  unsigned L2Bytes = 4 * 1024 * 1024; ///< Per-SM effective slice.
+  unsigned L2Ways = 8;
+  /// @}
+
+  /// \name Bandwidth / queues
+  /// @{
+  /// Memory instructions the SM's LSU pipeline accepts per cycle.
+  unsigned LsuIssuesPerCycle = 1;
+  /// DRAM bytes per SM per cycle (A100: ~1.9 TB/s / 108 SMs / 1.41 GHz
+  /// ~= 12.5 B/cycle/SM).
+  double DramBytesPerCycle = 12.5;
+  /// Cost of a BAR.SYNC once all warps arrived.
+  unsigned BarrierLatency = 30;
+  /// Extra cycles consumed by a taken branch.
+  unsigned BranchPenalty = 5;
+  /// @}
+
+  /// Bytes moved per lane by a 32/64/128-bit access times 32 lanes is
+  /// implied; warp-scalar simulation multiplies by this lane count when
+  /// accounting DRAM traffic.
+  unsigned LanesPerWarp = 32;
+
+  /// Per-thread registers below this bound cost no occupancy (simplified
+  /// occupancy model: blocksPerSM limited by shared memory only).
+  unsigned SharedBytesPerSM = 164 * 1024;
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_GPUSPEC_H

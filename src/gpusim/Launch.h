@@ -1,0 +1,78 @@
+//===- gpusim/Launch.h - Kernel launch descriptor and run result ------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Launch parameters (grid, warps per block, dynamic shared memory and
+/// the kernel-parameter blob mapped at `c[0x0][0x160]`) and the result
+/// of one simulated launch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_LAUNCH_H
+#define CUASMRL_GPUSIM_LAUNCH_H
+
+#include "gpusim/PerfCounters.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// How to launch a kernel.
+struct KernelLaunch {
+  unsigned GridX = 1;
+  unsigned GridY = 1;
+  unsigned GridZ = 1;
+  unsigned WarpsPerBlock = 4;
+  uint32_t SharedBytes = 0;
+  /// Raw parameter bytes; parameter i's words appear at
+  /// c[0x0][0x160 + 4*i].
+  std::vector<uint8_t> Params;
+
+  /// Fraction of this launch's global traffic that is *unique* chip-wide.
+  /// Co-scheduled blocks on other SMs share tiles through the chip-wide
+  /// L2 (e.g. an 8x8 GEMM grid re-reads each A-row 8 times); a single-SM
+  /// simulation cannot observe that reuse, so the launch declares it and
+  /// the DRAM bandwidth model charges only the unique share. 1.0 =
+  /// fully streaming (rowwise kernels).
+  double UniqueDramFraction = 1.0;
+
+  unsigned numBlocks() const { return GridX * GridY * GridZ; }
+
+  /// Appends one 32-bit parameter word.
+  void addParam32(uint32_t Value) {
+    const uint8_t *P = reinterpret_cast<const uint8_t *>(&Value);
+    Params.insert(Params.end(), P, P + 4);
+  }
+  /// Appends a 64-bit parameter (e.g. a buffer address).
+  void addParam64(uint64_t Value) {
+    const uint8_t *P = reinterpret_cast<const uint8_t *>(&Value);
+    Params.insert(Params.end(), P, P + 8);
+  }
+  void addParamF32(float Value) {
+    uint32_t Bits;
+    std::memcpy(&Bits, &Value, sizeof(Bits));
+    addParam32(Bits);
+  }
+};
+
+/// Outcome of one simulated launch.
+struct RunResult {
+  bool Valid = true;         ///< False on fault/deadlock/poison.
+  std::string FaultReason;   ///< Human-readable cause when !Valid.
+  uint64_t Cycles = 0;       ///< Kernel duration in SM cycles (extrapolated
+                             ///< over waves).
+  double TimeUs = 0.0;       ///< Cycles / clock.
+  PerfCounters Counters;     ///< Aggregated hardware counters.
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_LAUNCH_H

@@ -1,0 +1,58 @@
+//===- gpusim/Measurement.cpp --------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Measurement.h"
+
+#include "sass/Program.h"
+
+#include <cmath>
+
+using namespace cuasmrl;
+using namespace cuasmrl::gpusim;
+
+Measurement gpusim::measureKernel(Gpu &Device, const sass::Program &Prog,
+                                  const KernelLaunch &Launch,
+                                  const MeasureConfig &Config) {
+  Measurement Out;
+  Rng Noise(Config.Seed);
+
+  // Warmup: primes the caches exactly like the paper's 100 warmup
+  // iterations prime the real GPU's clocks and TLBs.
+  for (unsigned I = 0; I < Config.WarmupIters; ++I) {
+    RunResult R = Device.run(Prog, Launch, RunMode::Timed, Config.MaxBlocks);
+    if (!R.Valid) {
+      Out.Valid = false;
+      Out.FaultReason = R.FaultReason;
+      return Out;
+    }
+  }
+
+  double Sum = 0.0, SumSq = 0.0;
+  uint64_t CycleSum = 0;
+  for (unsigned I = 0; I < Config.RepeatIters; ++I) {
+    if (Config.ClearL2BetweenReps)
+      Device.clearCaches();
+    RunResult R = Device.run(Prog, Launch, RunMode::Timed, Config.MaxBlocks);
+    if (!R.Valid) {
+      Out.Valid = false;
+      Out.FaultReason = R.FaultReason;
+      return Out;
+    }
+    double Jitter = 1.0 + Noise.normal(0.0, Config.NoiseStddev);
+    double TimeUs = R.TimeUs * Jitter;
+    Sum += TimeUs;
+    SumSq += TimeUs * TimeUs;
+    CycleSum += R.Cycles;
+    Out.Counters = R.Counters;
+  }
+
+  unsigned N = Config.RepeatIters;
+  Out.MeanUs = Sum / N;
+  double Var = SumSq / N - Out.MeanUs * Out.MeanUs;
+  Out.StddevUs = Var > 0 ? std::sqrt(Var) : 0.0;
+  Out.Cycles = CycleSum / N;
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- gpusim/Measurement.h - Kernel timing harness --------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's measurement methodology (§3.6): warm the GPU up, repeat
+/// the kernel, clear L2 between iterations, and average CUDA-event
+/// elapsed times; "the standard deviation of two individual measurements
+/// is typically within 1%". The simulator is deterministic, so the
+/// warmup/repeat structure is preserved at reduced counts and the ~1%
+/// run-to-run variation is reintroduced as seeded multiplicative noise —
+/// the RL reward sees the same noisy-oracle statistics the paper's agent
+/// saw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_MEASUREMENT_H
+#define CUASMRL_GPUSIM_MEASUREMENT_H
+
+#include "gpusim/Gpu.h"
+#include "support/Rng.h"
+
+namespace cuasmrl {
+namespace sass {
+class Program;
+}
+namespace gpusim {
+
+/// Measurement configuration.
+struct MeasureConfig {
+  unsigned WarmupIters = 2;   ///< Paper: 100 (simulator is deterministic).
+  unsigned RepeatIters = 3;   ///< Paper: 100.
+  bool ClearL2BetweenReps = true;
+  double NoiseStddev = 0.003; ///< ~0.3% multiplicative timing noise.
+  unsigned MaxBlocks = 0;     ///< 0 = all blocks; reward loops restrict.
+  uint64_t Seed = 1;
+};
+
+/// One measurement outcome.
+struct Measurement {
+  bool Valid = true;
+  std::string FaultReason;
+  double MeanUs = 0.0;
+  double StddevUs = 0.0;
+  uint64_t Cycles = 0;        ///< Mean cycles (noise-free).
+  PerfCounters Counters;      ///< From the last repetition.
+};
+
+/// Times \p Prog on \p Device with the paper's warmup/repeat protocol.
+Measurement measureKernel(Gpu &Device, const sass::Program &Prog,
+                          const KernelLaunch &Launch,
+                          const MeasureConfig &Config = MeasureConfig());
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_MEASUREMENT_H

@@ -1,0 +1,92 @@
+//===- gpusim/PerfCounters.h - Nsight-Compute-like counters ----------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hardware counters maintained by the timed simulator, mirroring the
+/// Nsight Compute metrics the paper's Table 3 reports: executed IPC
+/// (active and elapsed), SM busy %, DRAM throughput, memory busy % and
+/// % of peak bandwidth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_PERFCOUNTERS_H
+#define CUASMRL_GPUSIM_PERFCOUNTERS_H
+
+#include <cstdint>
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// Raw event counts from one simulated launch (one SM's perspective,
+/// scaled over waves).
+struct PerfCounters {
+  uint64_t ElapsedCycles = 0;   ///< Total cycles from launch to drain.
+  uint64_t ActiveCycles = 0;    ///< Cycles with >= 1 resident live warp.
+  uint64_t IssuedInstrs = 0;    ///< Instructions issued (all schedulers).
+  uint64_t IssueSlotCycles = 0; ///< Cycles x schedulers (issue capacity).
+  uint64_t StallWaitCycles = 0; ///< Warp-cycles lost to scoreboard waits.
+  uint64_t StallFixedCycles = 0;///< Warp-cycles lost to stall counts.
+  uint64_t BankConflictCycles = 0; ///< Extra cycles from register banks.
+  uint64_t ReuseHits = 0;       ///< Operand-collector reuse-cache hits.
+  uint64_t ReuseMisses = 0;     ///< Reuse flags invalidated by switches.
+
+  uint64_t L1Hits = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Hits = 0;
+  uint64_t L2Misses = 0;
+  uint64_t SharedAccesses = 0;
+  uint64_t DramBytes = 0;       ///< Bytes transferred to/from DRAM.
+  uint64_t MemBusyCycles = 0;   ///< Cycles the LSU/DRAM path was busy.
+  uint64_t LsuIssues = 0;       ///< Memory instructions entering the LSU.
+
+  /// \name Derived metrics (Table 3 rows)
+  /// @{
+  double ipcActive() const {
+    return ActiveCycles ? static_cast<double>(IssuedInstrs) / ActiveCycles
+                        : 0.0;
+  }
+  double ipcElapsed() const {
+    return ElapsedCycles ? static_cast<double>(IssuedInstrs) / ElapsedCycles
+                         : 0.0;
+  }
+  double smBusyPct() const {
+    return IssueSlotCycles
+               ? 100.0 * static_cast<double>(IssuedInstrs) / IssueSlotCycles
+               : 0.0;
+  }
+  double memBusyPct() const {
+    return ElapsedCycles
+               ? 100.0 * static_cast<double>(MemBusyCycles) / ElapsedCycles
+               : 0.0;
+  }
+  /// @}
+
+  PerfCounters &operator+=(const PerfCounters &Other) {
+    ElapsedCycles += Other.ElapsedCycles;
+    ActiveCycles += Other.ActiveCycles;
+    IssuedInstrs += Other.IssuedInstrs;
+    IssueSlotCycles += Other.IssueSlotCycles;
+    StallWaitCycles += Other.StallWaitCycles;
+    StallFixedCycles += Other.StallFixedCycles;
+    BankConflictCycles += Other.BankConflictCycles;
+    ReuseHits += Other.ReuseHits;
+    ReuseMisses += Other.ReuseMisses;
+    L1Hits += Other.L1Hits;
+    L1Misses += Other.L1Misses;
+    L2Hits += Other.L2Hits;
+    L2Misses += Other.L2Misses;
+    SharedAccesses += Other.SharedAccesses;
+    DramBytes += Other.DramBytes;
+    MemBusyCycles += Other.MemBusyCycles;
+    LsuIssues += Other.LsuIssues;
+    return *this;
+  }
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_PERFCOUNTERS_H

@@ -1,0 +1,91 @@
+//===- kernels/AsmWriter.h - Textual SASS emission helper --------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel generators emit CuAssembler-style text and parse it into a
+/// `sass::Program`, which keeps the generated code human-inspectable and
+/// exercises exactly the same path a disassembled cubin takes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_KERNELS_ASMWRITER_H
+#define CUASMRL_KERNELS_ASMWRITER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace cuasmrl {
+namespace kernels {
+
+/// Accumulates SASS text lines.
+class AsmWriter {
+public:
+  /// Emits a label line.
+  void label(const std::string &Name) { Text += Name + ":\n"; }
+
+  /// Emits one instruction with an explicit control code.
+  ///
+  /// \param WaitMask bitmask of scoreboard slots to wait on.
+  /// \param Read read-barrier slot or -1.
+  /// \param Write write-barrier slot or -1.
+  /// \param Yield scheduler yield hint.
+  /// \param Stall issue stall count.
+  /// \param Body instruction text without the trailing ';'.
+  void ins(uint8_t WaitMask, int Read, int Write, bool Yield,
+           unsigned Stall, const std::string &Body) {
+    char Ctrl[32];
+    char WaitField[7];
+    for (int Slot = 0; Slot < 6; ++Slot)
+      WaitField[Slot] =
+          (WaitMask >> Slot) & 1 ? static_cast<char>('0' + Slot) : '-';
+    WaitField[6] = '\0';
+    std::snprintf(Ctrl, sizeof(Ctrl), "[B%s:R%c:W%c:%c:S%02u]", WaitField,
+                  Read < 0 ? '-' : static_cast<char>('0' + Read),
+                  Write < 0 ? '-' : static_cast<char>('0' + Write),
+                  Yield ? 'Y' : '-', Stall);
+    Text += "  ";
+    Text += Ctrl;
+    Text += ' ';
+    Text += Body;
+    Text += " ;\n";
+  }
+
+  /// Shorthand: no waits/barriers/yield, just a stall count.
+  void ins(unsigned Stall, const std::string &Body) {
+    ins(0, -1, -1, false, Stall, Body);
+  }
+
+  /// Shorthand: wait on some slots with a stall count.
+  void insWait(uint8_t WaitMask, unsigned Stall, const std::string &Body) {
+    ins(WaitMask, -1, -1, false, Stall, Body);
+  }
+
+  const std::string &text() const { return Text; }
+  std::string take() { return std::move(Text); }
+
+private:
+  std::string Text;
+};
+
+/// Register spelling helpers used throughout the generators.
+inline std::string rg(unsigned Index) { return "R" + std::to_string(Index); }
+inline std::string hex(uint64_t Value) {
+  char Buffer[24];
+  std::snprintf(Buffer, sizeof(Buffer), "0x%llx",
+                static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+/// Constant-bank parameter word at byte offset \p Offset from the
+/// parameter base (0x160).
+inline std::string param(unsigned Offset) {
+  return "c[0x0][" + hex(0x160 + Offset) + "]";
+}
+
+} // namespace kernels
+} // namespace cuasmrl
+
+#endif // CUASMRL_KERNELS_ASMWRITER_H

@@ -1,0 +1,324 @@
+//===- kernels/Builder.cpp ------------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Builder.h"
+
+#include "gpusim/Fp16.h"
+#include "kernels/Generators.h"
+#include "sass/Parser.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+/// Fills [Addr, Addr+Bytes) with random data: f32 in [-1, 1), or packed
+/// fp16x2 pairs of the same range when \p Half. Values stay finite so
+/// accumulations never reach inf/NaN and results compare bit-exactly.
+void fillRandomFloats(gpusim::Gpu &Device, uint64_t Addr, uint64_t Bytes,
+                      Rng &DataRng, bool Half) {
+  std::vector<uint8_t> Data(Bytes);
+  for (uint64_t Off = 0; Off + 4 <= Bytes; Off += 4) {
+    uint32_t Word;
+    if (Half) {
+      Word = gpusim::packHalf2(
+          static_cast<float>(DataRng.uniformReal(-1.0, 1.0)),
+          static_cast<float>(DataRng.uniformReal(-1.0, 1.0)));
+    } else {
+      float F = static_cast<float>(DataRng.uniformReal(-1.0, 1.0));
+      std::memcpy(&Word, &F, sizeof(F));
+    }
+    std::memcpy(Data.data() + Off, &Word, sizeof(Word));
+  }
+  Device.globalMemory().write(Addr, Data.data(), Bytes);
+}
+
+sass::Program parseGenerated(const std::string &Text,
+                             const std::string &Name) {
+  Expected<sass::Program> P = sass::Parser::parseProgram(Text, Name);
+  assert(P.hasValue() && "generator emitted unparsable SASS");
+  if (!P) // Release-mode fallback: return an empty (invalid) program.
+    return sass::Program(Name);
+  return P.takeValue();
+}
+
+/// Wires a GenResult into a BuiltKernel with fresh buffers.
+BuiltKernel finishKernel(gpusim::Gpu &Device, const GenResult &Gen,
+                         const std::string &Name,
+                         const std::vector<uint64_t> &InputBytes,
+                         Rng &DataRng, bool HalfInputs) {
+  BuiltKernel K;
+  K.Name = Name;
+  K.HalfInputs = HalfInputs;
+  K.Prog = parseGenerated(Gen.Text, Name);
+  K.Launch.GridX = Gen.GridX;
+  K.Launch.GridY = Gen.GridY;
+  K.Launch.GridZ = Gen.GridZ;
+  K.Launch.WarpsPerBlock = Gen.Warps;
+  K.Launch.SharedBytes = Gen.SharedBytes;
+  for (uint64_t Bytes : InputBytes) {
+    uint64_t Addr = Device.globalMemory().allocate(Bytes);
+    K.Inputs.push_back({Addr, Bytes});
+    fillRandomFloats(Device, Addr, Bytes, DataRng, HalfInputs);
+  }
+  K.OutBytes = Gen.OutBytes;
+  K.OutAddr = Device.globalMemory().allocate(std::max<uint64_t>(
+      K.OutBytes, 4));
+  return K;
+}
+
+} // namespace
+
+void BuiltKernel::randomizeInputs(gpusim::Gpu &Device, Rng &DataRng) const {
+  for (auto [Addr, Bytes] : Inputs)
+    fillRandomFloats(Device, Addr, Bytes, DataRng, HalfInputs);
+  std::vector<uint8_t> Zero(OutBytes, 0);
+  if (OutBytes)
+    Device.globalMemory().write(OutAddr, Zero.data(), Zero.size());
+}
+
+std::vector<uint32_t> BuiltKernel::readOutput(const gpusim::Gpu &Device) const {
+  std::vector<uint32_t> Out(OutBytes / 4);
+  if (!Out.empty())
+    Device.globalMemory().read(OutAddr, Out.data(), OutBytes);
+  return Out;
+}
+
+BuiltKernel kernels::buildKernel(gpusim::Gpu &Device, WorkloadKind Kind,
+                                 const WorkloadShape &Shape,
+                                 const TileConfig &Config,
+                                 ScheduleStyle Style, Rng &DataRng) {
+  assert(configFits(Kind, Shape, Config) && "configuration does not fit");
+  std::string Name = workloadName(Kind) + "_" + Config.str();
+
+  switch (Kind) {
+  case WorkloadKind::FusedFF:
+  case WorkloadKind::MmLeakyRelu:
+  case WorkloadKind::Bmm: {
+    GemmEpilogue Epi = Kind == WorkloadKind::FusedFF ? GemmEpilogue::Silu
+                       : Kind == WorkloadKind::MmLeakyRelu
+                           ? GemmEpilogue::LeakyRelu
+                           : GemmEpilogue::None;
+    GenResult Gen = genGemm(Shape, Config, Style, Epi);
+    uint64_t ABytes = static_cast<uint64_t>(Shape.B) * Shape.M * Shape.K * 2;
+    uint64_t BBytes = static_cast<uint64_t>(Shape.B) * Shape.K * Shape.N * 2;
+    BuiltKernel K = finishKernel(Device, Gen, Name, {ABytes, BBytes},
+                                 DataRng, /*HalfInputs=*/true);
+    // A-rows are shared by GridX blocks, B-columns by GridY blocks
+    // through the chip-wide L2.
+    K.Launch.UniqueDramFraction = std::max(
+        0.0625, 0.5 / Gen.GridX + 0.5 / Gen.GridY);
+    K.Launch.addParam64(K.Inputs[0].first);
+    K.Launch.addParam64(K.Inputs[1].first);
+    K.Launch.addParam64(K.OutAddr);
+    return K;
+  }
+  case WorkloadKind::FlashAttention: {
+    GenResult Gen = genFlashAttention(Shape, Config, Style);
+    uint64_t QkvBytes = static_cast<uint64_t>(Shape.B) * Shape.NHead *
+                        Shape.SeqLen * Shape.DHead * 2;
+    BuiltKernel K = finishKernel(Device, Gen, Name,
+                                 {QkvBytes, QkvBytes, QkvBytes}, DataRng,
+                                 /*HalfInputs=*/true);
+    // Every query tile of a head re-reads the same K/V stream.
+    K.Launch.UniqueDramFraction =
+        std::max(0.0625, 1.0 / Gen.GridX);
+    K.Launch.addParam64(K.Inputs[0].first); // Q
+    K.Launch.addParam64(K.Inputs[1].first); // K
+    K.Launch.addParam64(K.Inputs[2].first); // V
+    K.Launch.addParam64(K.OutAddr);
+    return K;
+  }
+  case WorkloadKind::Softmax:
+  case WorkloadKind::RmsNorm: {
+    GenResult Gen = genRowwise(Kind, Shape, Config, Style);
+    uint64_t XBytes = static_cast<uint64_t>(Shape.Rows) * Shape.Cols * 4;
+    std::vector<uint64_t> Ins = {XBytes};
+    if (Kind == WorkloadKind::RmsNorm)
+      Ins.push_back(static_cast<uint64_t>(Shape.Cols) * 4); // Weights.
+    BuiltKernel K = finishKernel(Device, Gen, Name, Ins, DataRng,
+                                 /*HalfInputs=*/false);
+    K.Launch.addParam64(K.Inputs[0].first);
+    K.Launch.addParam64(K.OutAddr);
+    if (Kind == WorkloadKind::RmsNorm)
+      K.Launch.addParam64(K.Inputs[1].first);
+    return K;
+  }
+  }
+  return BuiltKernel();
+}
+
+namespace {
+
+/// Builds one streaming kernel over a Rows x Cols f32 tensor.
+BuiltKernel buildStream(gpusim::Gpu &Device, StreamOp Op,
+                        const std::string &Name, unsigned Rows,
+                        unsigned Cols, Rng &DataRng,
+                        uint64_t In2Bytes = 0) {
+  GenResult Gen = genStream(Op, Rows, Cols, /*Warps=*/4);
+  uint64_t InBytes = static_cast<uint64_t>(Rows) * Cols * 4;
+  std::vector<uint64_t> Ins = {InBytes};
+  if (In2Bytes)
+    Ins.push_back(In2Bytes);
+  BuiltKernel K = finishKernel(Device, Gen, Name, Ins, DataRng,
+                               /*HalfInputs=*/false);
+  K.Launch.addParam64(K.Inputs[0].first);
+  K.Launch.addParam64(K.OutAddr);
+  if (In2Bytes)
+    K.Launch.addParam64(K.Inputs[1].first);
+  return K;
+}
+
+} // namespace
+
+std::vector<BuiltKernel>
+kernels::buildTorchComposition(gpusim::Gpu &Device, WorkloadKind Kind,
+                               const WorkloadShape &Shape, Rng &DataRng) {
+  std::vector<BuiltKernel> Seq;
+  // cuBLAS-class GEMM configuration (the library's tuned kernels).
+  TileConfig CublasCfg{64, 64, 32, 4, 2};
+
+  switch (Kind) {
+  case WorkloadKind::Bmm:
+    // torch.bmm dispatches straight to cuBLAS.
+    Seq.push_back(buildKernel(Device, WorkloadKind::Bmm, Shape, CublasCfg,
+                              ScheduleStyle::Expert, DataRng));
+    Seq.back().Name = "torch_bmm_cublas";
+    break;
+  case WorkloadKind::MmLeakyRelu: {
+    WorkloadShape G = Shape;
+    Seq.push_back(buildKernel(Device, WorkloadKind::Bmm, G, CublasCfg,
+                              ScheduleStyle::Expert, DataRng));
+    Seq.back().Name = "torch_mm_cublas";
+    Seq.push_back(buildStream(Device, StreamOp::LeakyRelu,
+                              "torch_leaky_relu", Shape.M, Shape.N,
+                              DataRng));
+    break;
+  }
+  case WorkloadKind::FusedFF: {
+    Seq.push_back(buildKernel(Device, WorkloadKind::Bmm, Shape, CublasCfg,
+                              ScheduleStyle::Expert, DataRng));
+    Seq.back().Name = "torch_ff_cublas";
+    Seq.push_back(
+        buildStream(Device, StreamOp::Silu, "torch_silu", Shape.M, Shape.N,
+                    DataRng));
+    break;
+  }
+  case WorkloadKind::FlashAttention: {
+    // Unfused attention: QK^T writes the full Seq x Seq score matrix to
+    // global memory, softmax makes three more passes over it, then PV.
+    WorkloadShape Qk;
+    Qk.B = Shape.B * Shape.NHead;
+    Qk.M = Shape.SeqLen;
+    Qk.N = Shape.SeqLen;
+    Qk.K = Shape.DHead;
+    Seq.push_back(buildKernel(Device, WorkloadKind::Bmm, Qk, CublasCfg,
+                              ScheduleStyle::Expert, DataRng));
+    Seq.back().Name = "torch_qk_cublas";
+    unsigned ScoreRows = Shape.B * Shape.NHead * Shape.SeqLen;
+    Seq.push_back(buildStream(Device, StreamOp::RowMax, "torch_row_max",
+                              ScoreRows, Shape.SeqLen, DataRng));
+    Seq.push_back(buildStream(Device, StreamOp::ExpSum, "torch_exp",
+                              ScoreRows, Shape.SeqLen, DataRng));
+    Seq.push_back(buildStream(Device, StreamOp::ScaleByRow, "torch_div",
+                              ScoreRows, Shape.SeqLen, DataRng,
+                              static_cast<uint64_t>(ScoreRows) * 4 * 4));
+    WorkloadShape Pv;
+    Pv.B = Shape.B * Shape.NHead;
+    Pv.M = Shape.SeqLen;
+    Pv.N = Shape.DHead;
+    Pv.K = Shape.SeqLen;
+    TileConfig PvCfg{64, 32, 32, 4, 2};
+    Seq.push_back(buildKernel(Device, WorkloadKind::Bmm, Pv, PvCfg,
+                              ScheduleStyle::Expert, DataRng));
+    Seq.back().Name = "torch_pv_cublas";
+    break;
+  }
+  case WorkloadKind::Softmax: {
+    // Safe-softmax decomposition: max, exp(+running sum), divide.
+    Seq.push_back(buildStream(Device, StreamOp::RowMax, "torch_row_max",
+                              Shape.Rows, Shape.Cols, DataRng));
+    Seq.push_back(buildStream(Device, StreamOp::ExpSum, "torch_exp",
+                              Shape.Rows, Shape.Cols, DataRng));
+    Seq.push_back(buildStream(Device, StreamOp::ScaleByRow, "torch_div",
+                              Shape.Rows, Shape.Cols, DataRng,
+                              static_cast<uint64_t>(Shape.Rows) * 4 * 4));
+    break;
+  }
+  case WorkloadKind::RmsNorm: {
+    // x*x -> tmp; mean reduce; scale; weight multiply.
+    Seq.push_back(buildStream(Device, StreamOp::MulElems, "torch_square",
+                              Shape.Rows, Shape.Cols, DataRng,
+                              static_cast<uint64_t>(Shape.Rows) *
+                                  Shape.Cols * 4));
+    Seq.push_back(buildStream(Device, StreamOp::SquareSum, "torch_mean",
+                              Shape.Rows, Shape.Cols, DataRng));
+    Seq.push_back(buildStream(Device, StreamOp::ScaleByRow, "torch_scale",
+                              Shape.Rows, Shape.Cols, DataRng,
+                              static_cast<uint64_t>(Shape.Rows) * 4 * 4));
+    Seq.push_back(buildStream(Device, StreamOp::MulElems, "torch_weight",
+                              Shape.Rows, Shape.Cols, DataRng,
+                              static_cast<uint64_t>(Shape.Rows) *
+                                  Shape.Cols * 4));
+    break;
+  }
+  }
+  return Seq;
+}
+
+BuiltKernel kernels::buildCutlassDefault(gpusim::Gpu &Device,
+                                         WorkloadKind Kind,
+                                         const WorkloadShape &Shape,
+                                         Rng &DataRng) {
+  // Cutlass's untuned default: tiny tiles, one warp, no pipelining
+  // (§5.3: without the autotuner, "very limited performance").
+  TileConfig Default{16, 16, 16, 1, 1};
+  GemmEpilogue Epi = Kind == WorkloadKind::FusedFF ? GemmEpilogue::Silu
+                     : Kind == WorkloadKind::MmLeakyRelu
+                         ? GemmEpilogue::LeakyRelu
+                         : GemmEpilogue::None;
+  GenResult Gen = genGemm(Shape, Default, ScheduleStyle::TritonO3, Epi,
+                          /*SimtMath=*/true);
+  uint64_t ABytes = static_cast<uint64_t>(Shape.B) * Shape.M * Shape.K * 2;
+  uint64_t BBytes = static_cast<uint64_t>(Shape.B) * Shape.K * Shape.N * 2;
+  std::string Name = "cutlass_default_" + workloadName(Kind);
+  BuiltKernel K;
+  {
+    Rng &R = DataRng;
+    K = BuiltKernel();
+    GenResult &G = Gen;
+    // Reuse the generic wiring below.
+    (void)R;
+    (void)G;
+  }
+  K.Name = Name;
+  Expected<sass::Program> P = sass::Parser::parseProgram(Gen.Text, Name);
+  assert(P.hasValue() && "cutlass generator emitted unparsable SASS");
+  K.Prog = P.takeValue();
+  K.Launch.GridX = Gen.GridX;
+  K.Launch.GridY = Gen.GridY;
+  K.Launch.GridZ = Gen.GridZ;
+  K.Launch.WarpsPerBlock = Gen.Warps;
+  K.Launch.SharedBytes = Gen.SharedBytes;
+  for (uint64_t Bytes : {ABytes, BBytes}) {
+    uint64_t Addr = Device.globalMemory().allocate(Bytes);
+    K.Inputs.push_back({Addr, Bytes});
+  }
+  K.OutBytes = Gen.OutBytes;
+  K.OutAddr = Device.globalMemory().allocate(std::max<uint64_t>(K.OutBytes, 4));
+  K.HalfInputs = true;
+  K.randomizeInputs(Device, DataRng);
+  K.Launch.UniqueDramFraction =
+      std::max(0.0625, 0.5 / Gen.GridX + 0.5 / Gen.GridY);
+  K.Launch.addParam64(K.Inputs[0].first);
+  K.Launch.addParam64(K.Inputs[1].first);
+  K.Launch.addParam64(K.OutAddr);
+  return K;
+}

@@ -1,0 +1,85 @@
+//===- kernels/Builder.h - Workload kernel construction ----------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds runnable kernels for the evaluated workloads: generates the
+/// SASS (the "ptxas -O3" stand-in, §2 of DESIGN.md), allocates and
+/// randomizes device buffers, and assembles the KernelLaunch. Also
+/// provides the Figure 6 baselines:
+///
+///  - ScheduleStyle::Expert — the hand-scheduled reference
+///    (cuBLAS / FlashAttention-2 class),
+///  - buildTorchComposition — PyTorch-eager style compositions of
+///    unfused kernels (extra global-memory round trips, cuBLAS GEMMs),
+///  - buildCutlassDefault — Cutlass with its untuned default
+///    configuration (§5.3: ~10x below Triton).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_KERNELS_BUILDER_H
+#define CUASMRL_KERNELS_BUILDER_H
+
+#include "gpusim/Gpu.h"
+#include "kernels/Workload.h"
+#include "sass/Program.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace cuasmrl {
+namespace kernels {
+
+/// A generated kernel plus everything needed to run and check it.
+struct BuiltKernel {
+  std::string Name;
+  sass::Program Prog;
+  gpusim::KernelLaunch Launch;
+
+  /// Output buffer (for result comparison / probabilistic testing).
+  uint64_t OutAddr = 0;
+  uint64_t OutBytes = 0;
+  /// Input buffers (re-randomized by probabilistic testing).
+  std::vector<std::pair<uint64_t, uint64_t>> Inputs;
+  /// True when inputs are packed fp16x2 words (the GEMM/attention
+  /// family); false for f32 tensors (rowwise kernels). Randomization
+  /// keeps values finite so results are exactly reproducible.
+  bool HalfInputs = false;
+
+  /// Refills every input buffer with fresh random words and zeroes the
+  /// output.
+  void randomizeInputs(gpusim::Gpu &Device, Rng &DataRng) const;
+
+  /// Reads back the output buffer.
+  std::vector<uint32_t> readOutput(const gpusim::Gpu &Device) const;
+};
+
+/// Builds the fused kernel for \p Kind with the given configuration and
+/// scheduling style. Buffers are allocated on \p Device and randomized
+/// from \p DataRng.
+BuiltKernel buildKernel(gpusim::Gpu &Device, WorkloadKind Kind,
+                        const WorkloadShape &Shape, const TileConfig &Config,
+                        ScheduleStyle Style, Rng &DataRng);
+
+/// PyTorch-eager composition: the same computation as a sequence of
+/// library kernels with global-memory round trips between them.
+std::vector<BuiltKernel> buildTorchComposition(gpusim::Gpu &Device,
+                                               WorkloadKind Kind,
+                                               const WorkloadShape &Shape,
+                                               Rng &DataRng);
+
+/// Cutlass stand-in with the untuned default configuration (GEMM-family
+/// kinds only; other kinds fall back to the default TileConfig).
+BuiltKernel buildCutlassDefault(gpusim::Gpu &Device, WorkloadKind Kind,
+                                const WorkloadShape &Shape, Rng &DataRng);
+
+/// Per-launch overhead in microseconds charged to each kernel of a
+/// composition (kernel-launch latency the fused versions avoid).
+constexpr double LaunchOverheadUs = 4.0;
+
+} // namespace kernels
+} // namespace cuasmrl
+
+#endif // CUASMRL_KERNELS_BUILDER_H

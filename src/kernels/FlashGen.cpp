@@ -1,0 +1,293 @@
+//===- kernels/FlashGen.cpp - Fused attention codegen --------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tiled attention with online softmax (FlashAttention-style): per block
+/// one query tile; the KV loop double-buffers K/V tiles through shared
+/// memory with LDGSTS, computes QK^T with tensor-core HMMAs, maintains
+/// the running row max/normalizer with FMNMX/MUFU.EX2, rescales the
+/// output accumulators, and accumulates PV.
+///
+/// Register map (additions over GemmGen):
+///   R44..R47  Q fragments (loaded once by the prologue)
+///   R60 running max, R61 running normalizer, R62/R63 softmax temps
+///   R64..R67  probability fragments (exp results)
+///   R32..R35  QK^T score accumulators;  R36..R39 output accumulators
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Generators.h"
+
+#include "kernels/AsmWriter.h"
+
+#include <algorithm>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+unsigned nextPow2(unsigned X) {
+  unsigned P = 1;
+  while (P < X)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+GenResult kernels::genFlashAttention(const WorkloadShape &S,
+                                     const TileConfig &C,
+                                     ScheduleStyle Style) {
+  const unsigned HeadBytes = S.SeqLen * S.DHead * 2; // One head's K or V.
+  const unsigned RowBytes = S.DHead * 2;
+  const unsigned KTileBytes = C.BlockN * RowBytes;
+  const unsigned VTileBytes = KTileBytes;
+  const unsigned StageStride = nextPow2(KTileBytes + VTileBytes);
+  const bool Pipelined = C.Stages >= 2;
+  const unsigned NumK = std::max(1u, KTileBytes / C.Warps / 512);
+  const unsigned NumV = std::max(1u, VTileBytes / C.Warps / 512);
+  const unsigned KvIters = std::max(1u, S.SeqLen / C.BlockN);
+
+  GenResult Out;
+  Out.GridX = std::max(1u, S.SeqLen / C.BlockM);
+  Out.GridY = S.NHead;
+  Out.GridZ = S.B;
+  Out.Warps = C.Warps;
+  Out.SharedBytes = std::max(1u, C.Stages) * StageStride;
+
+  AsmWriter W;
+
+  // ---- prologue ----------------------------------------------------------
+  W.ins(0, -1, 0, false, 1, "S2R R0, SR_CTAID.X");
+  W.ins(0, -1, 1, false, 1, "S2R R1, SR_CTAID.Y");
+  W.ins(0, -1, 2, false, 1, "S2R R29, SR_CTAID.Z");
+  W.ins(0, -1, 3, false, 1, "S2R R28, SR_TID.X");
+  W.ins(0x0f, -1, -1, false, 4, "SHF.R.U32 R28, R28, 0x5, RZ");
+
+  W.ins(1, "MOV R2, " + param(8));   // K pointer.
+  W.ins(1, "MOV R3, " + param(12));
+  W.ins(1, "MOV R4, " + param(16));  // V pointer.
+  W.ins(1, "MOV R5, " + param(20));
+  W.ins(1, "MOV R6, " + param(24));  // Out pointer.
+  W.ins(1, "MOV R10, " + param(0));  // Q pointer (temp).
+  W.ins(4, "MOV R11, " + param(4));
+  W.ins(4, "MOV R7, " + param(28));
+
+  // Head offset: (ctaidZ*NHead + ctaidY) * Seq*DHead*2.
+  W.ins(5, "IMAD R20, R29, " + hex(S.NHead) + ", R1");
+  W.ins(5, "IMAD R20, R20, " + hex(HeadBytes) + ", RZ");
+  // K/V += head offset + warp slice of the tile rows.
+  W.ins(5, "IMAD R21, R28, " + hex((C.BlockN / C.Warps) * RowBytes) +
+               ", R20");
+  W.ins(5, "IADD3 R2, P1, R2, R21, RZ");
+  W.ins(2, "IADD3.X R3, R3, RZ, RZ, P1, !PT");
+  W.ins(5, "IADD3 R4, P2, R4, R21, RZ");
+  W.ins(2, "IADD3.X R5, R5, RZ, RZ, P2, !PT");
+
+  // Q fragment address: head + (ctaidX*BM + warp*(BM/W)) * DHead*2.
+  W.ins(5, "IMAD R22, R0, " + hex(C.BlockM * RowBytes) + ", R20");
+  W.ins(5, "IMAD R22, R28, " + hex((C.BlockM / C.Warps) * RowBytes) +
+               ", R22");
+  W.ins(5, "IADD3 R10, P1, R10, R22, RZ");
+  W.ins(2, "IADD3.X R11, R11, RZ, RZ, P1, !PT");
+  W.ins(0, -1, 5, false, 1, "LDG.E.128 R44, desc[UR16][R10.64]");
+
+  // Out += flatBlock*Warps*32 + warp*32.
+  W.ins(5, "IMAD R22, R29, " + hex(S.NHead) + ", R1");
+  W.ins(5, "IMAD R22, R22, " + hex(Out.GridX) + ", R0");
+  W.ins(5, "IMAD R22, R22, " + hex(C.Warps * 32) + ", RZ");
+  W.ins(5, "IMAD R22, R28, 0x20, R22");
+  W.ins(5, "IADD3 R6, P1, R6, R22, RZ");
+  W.ins(2, "IADD3.X R7, R7, RZ, RZ, P1, !PT");
+
+  // Shared bases: K region at 0, V region after it.
+  W.ins(5, "IMAD R16, R28, " + hex(KTileBytes / C.Warps) + ", RZ");
+  W.ins(5, "IMAD R18, R28, " + hex(VTileBytes / C.Warps) + ", " +
+               hex(KTileBytes));
+  W.ins(4, "SHF.R.U32 R23, R28, 0x1, RZ");
+  unsigned ReadBias = Pipelined ? StageStride : 0;
+  W.ins(5, "IMAD R17, R23, " + hex(KTileBytes / C.Warps) + ", " +
+               hex(ReadBias));
+  W.ins(5, "IMAD R19, R23, " + hex(VTileBytes / C.Warps) + ", " +
+               hex(KTileBytes + ReadBias));
+
+  // Online-softmax state: m = -inf, l = 0; zero accumulators.
+  W.ins(1, "MOV R60, 0xff800000");
+  W.ins(1, "MOV R61, 0x0");
+  W.ins(1, "MOV R8, 0x0");
+  W.ins(1, "MOV R9, " + hex(KvIters));
+  W.ins(1, "MOV R26, " + hex(KvIters - 1));
+  for (unsigned Acc = 32; Acc < 40; ++Acc)
+    W.ins(Acc == 39 ? 4 : 1, "MOV " + rg(Acc) + ", 0x0");
+
+  struct Copy {
+    unsigned SharedBase, SharedOff, GlobalBase, GlobalOff;
+  };
+  auto MakeBatch = [&](bool UseTemps) {
+    unsigned KBase = UseTemps ? 12 : 2;
+    unsigned VBase = UseTemps ? 14 : 4;
+    std::vector<Copy> Batch;
+    for (unsigned J = 0; J < NumK; ++J)
+      Batch.push_back({16, J * 0x200, KBase, J * 4 * RowBytes});
+    for (unsigned J = 0; J < NumV; ++J)
+      Batch.push_back({18, J * 0x200, VBase, J * 4 * RowBytes});
+    return Batch;
+  };
+  auto EmitCopy = [&](const Copy &Cp, bool Guarded, bool Yield) {
+    std::string Body;
+    if (Guarded)
+      Body += "@P3 ";
+    Body += "LDGSTS.E.BYPASS.128 [" + rg(Cp.SharedBase);
+    if (Cp.SharedOff)
+      Body += "+" + hex(Cp.SharedOff);
+    Body += "], desc[UR16][" + rg(Cp.GlobalBase) + ".64";
+    if (Cp.GlobalOff)
+      Body += "+" + hex(Cp.GlobalOff);
+    Body += "]";
+    W.ins(0, -1, 0, Yield, 2, Body);
+  };
+
+  if (Pipelined) {
+    for (const Copy &Cp : MakeBatch(false))
+      EmitCopy(Cp, false, false);
+    // Wait for the stage-0 copies (B0) and the Q fragments (B5).
+    W.ins(0x21, -1, -1, false, 1, "BAR.SYNC 0x0");
+  }
+
+  // ---- KV loop ------------------------------------------------------------
+  W.label(".L_LOOP");
+  W.ins(5, "ISETP.GE.AND P0, PT, R8, R9, PT");
+  W.ins(1, "@P0 BRA `(.L_EPILOG)");
+
+  std::vector<Copy> Batch;
+  const Copy *Breaker = nullptr;
+  size_t Next = 0;
+  if (Pipelined) {
+    W.ins(4, "LOP3.LUT R16, R16, " + hex(StageStride) + ", RZ, 0x3c, !PT");
+    W.ins(4, "LOP3.LUT R18, R18, " + hex(StageStride) + ", RZ, 0x3c, !PT");
+    W.ins(4, "LOP3.LUT R17, R17, " + hex(StageStride) + ", RZ, 0x3c, !PT");
+    W.ins(4, "LOP3.LUT R19, R19, " + hex(StageStride) + ", RZ, 0x3c, !PT");
+    W.ins(5, "ISETP.LT.AND P3, PT, R8, R26, PT");
+    W.ins(5, "IMAD.WIDE R12, RZ, RZ, R2");
+    W.ins(5, "IMAD.WIDE R14, RZ, RZ, R4");
+    Batch = MakeBatch(true);
+    if (Style == ScheduleStyle::Expert) {
+      for (const Copy &Cp : Batch)
+        EmitCopy(Cp, true, false);
+      Next = Batch.size();
+      W.ins(1, "@!PT LDS.128 R24, [R19+0x10]");
+    } else {
+      EmitCopy(Batch[0], true, false);
+      ++Next;
+      W.ins(1, "@!PT LDS.128 R24, [R19+0x10]"); // Figure 13 artifact.
+      if (Next < Batch.size() && Batch[Next].SharedBase == 16) {
+        EmitCopy(Batch[Next], true, false);
+        ++Next;
+      }
+      if (Next < Batch.size())
+        Breaker = &Batch[Next]; // First V copy breaks the QK reuse pair.
+    }
+  } else {
+    for (const Copy &Cp : MakeBatch(false))
+      EmitCopy(Cp, false, false);
+    // Waits the copies (B0) and, on the first iteration, the Q
+    // fragments (B5).
+    W.ins(0x21, -1, -1, false, 1, "BAR.SYNC 0x0");
+  }
+
+  // QK^T group: K fragments + HMMAs into the score accumulators.
+  W.ins(0, -1, 3, false, 1, "LDS.128 R52, [R17]");
+  W.ins(0, -1, 4, false, 1, "LDS.128 R56, [R17+0x20]");
+  for (unsigned I = 0; I < 4; ++I) {
+    unsigned A = 44 + I / 2;
+    unsigned B = (I % 2 ? 56 : 52) + I / 2;
+    uint8_t Wait = I == 0 ? 0x18 : 0x00;
+    // The tail HMMA gets a long stall so the FMNMX chain below reads
+    // committed scores (HMMA latency is 7).
+    unsigned Stall = I == 3 ? 5 : 2;
+    W.ins(Wait, -1, -1, false, Stall,
+          "HMMA.16816.F32 " + rg(32 + I) + ", " + rg(A) + ".reuse, " +
+              rg(B) + ", " + rg(32 + I));
+    if (I == 0 && Breaker) {
+      EmitCopy(*Breaker, true, /*Yield=*/true);
+      ++Next;
+    }
+  }
+  // The K pointer may advance now: every K copy has issued.
+  W.ins(5, "IADD3 R2, P1, R2, " + hex(C.BlockN * RowBytes) + ", RZ");
+  W.ins(2, "IADD3.X R3, R3, RZ, RZ, P1, !PT");
+
+  // Online softmax: save old max, fold in new scores, correction factor.
+  W.ins(1, "MOV R63, R60");
+  W.ins(2, "FMNMX R62, R32, R33, !PT");
+  W.ins(5, "FMNMX R59, R34, R35, !PT");
+  W.ins(5, "FMNMX R62, R62, R59, !PT");
+  W.ins(5, "FMNMX R60, R60, R62, !PT");
+  W.ins(5, "FADD R62, R63, -R60");
+  W.ins(0, -1, 5, false, 1, "MUFU.EX2 R62, R62");
+  // Probability fragments: exp(score - m).
+  W.ins(1, "FADD R64, R32, -R60");
+  W.ins(1, "FADD R65, R33, -R60");
+  W.ins(1, "FADD R66, R34, -R60");
+  W.ins(5, "FADD R67, R35, -R60");
+  W.ins(0, -1, 5, false, 1, "MUFU.EX2 R64, R64");
+  W.ins(0, -1, 5, false, 1, "MUFU.EX2 R65, R65");
+  W.ins(0, -1, 5, false, 1, "MUFU.EX2 R66, R66");
+  W.ins(0, -1, 5, false, 1, "MUFU.EX2 R67, R67");
+  // Rescale the output accumulators and the normalizer by the
+  // correction, then fold the new probabilities into l.
+  W.ins(0x20, -1, -1, false, 1, "FMUL R36, R36, R62");
+  W.ins(1, "FMUL R37, R37, R62");
+  W.ins(1, "FMUL R38, R38, R62");
+  W.ins(1, "FMUL R39, R39, R62");
+  W.ins(5, "FMUL R61, R61, R62");
+  W.ins(1, "FADD R62, R64, R65");
+  W.ins(5, "FADD R63, R66, R67");
+  W.ins(5, "FADD R62, R62, R63");
+  W.ins(5, "FADD R61, R61, R62");
+  // Reset the score accumulators for the next tile.
+  for (unsigned I = 0; I < 4; ++I)
+    W.ins(1, "MOV " + rg(32 + I) + ", 0x0");
+
+  // PV group: V fragments + HMMAs into the output accumulators.
+  W.ins(0, -1, 3, false, 1, "LDS.128 R52, [R19]");
+  W.ins(0, -1, 4, false, 1, "LDS.128 R56, [R19+0x20]");
+  for (unsigned I = 0; I < 4; ++I) {
+    unsigned A = 64 + I / 2;
+    unsigned B = (I % 2 ? 56 : 52) + I / 2;
+    uint8_t Wait = I == 0 ? 0x18 : 0x00;
+    W.ins(Wait, -1, -1, false, 2,
+          "HMMA.16816.F32 " + rg(36 + I) + ", " + rg(A) + ".reuse, " +
+              rg(B) + ", " + rg(36 + I));
+  }
+
+  // TritonO3 leaves the remaining V copies here, at the bottom of the
+  // body; Expert issued everything up front.
+  for (; Next < Batch.size(); ++Next)
+    EmitCopy(Batch[Next], true, false);
+  // The V pointer advances only after every V copy has read it.
+  W.ins(5, "IADD3 R4, P2, R4, " + hex(C.BlockN * RowBytes) + ", RZ");
+  W.ins(2, "IADD3.X R5, R5, RZ, RZ, P2, !PT");
+
+  W.ins(4, "IADD3 R8, R8, 0x1, RZ");
+  W.ins(0x01, -1, -1, false, 1, "BAR.SYNC 0x0");
+  W.ins(1, "BRA `(.L_LOOP)");
+
+  // ---- epilogue: scale by 1/l and store the per-warp slice --------------
+  W.label(".L_EPILOG");
+  W.ins(0, -1, 5, false, 1, "MUFU.RCP R62, R61");
+  W.ins(0x20, -1, -1, false, 1, "FMUL R36, R36, R62");
+  W.ins(1, "FMUL R37, R37, R62");
+  W.ins(1, "FMUL R38, R38, R62");
+  W.ins(5, "FMUL R39, R39, R62");
+  W.ins(1, "STG.E.128 [R6.64], R36");
+  W.ins(1, "EXIT");
+
+  Out.Text = W.take();
+  Out.OutBytes = static_cast<uint64_t>(Out.GridX) * Out.GridY * Out.GridZ *
+                 C.Warps * 32;
+  return Out;
+}

@@ -1,0 +1,366 @@
+//===- kernels/GemmGen.cpp - Pipelined GEMM-family codegen --------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Emits the Ampere-style pipelined GEMM the paper's compute-bound
+/// kernels share: LDGSTS double-buffered tiles in shared memory,
+/// BAR.SYNC-separated pipeline stages, LDS fragment loads and HMMA
+/// accumulation with `.reuse` operand-cache hints, and a fused epilogue.
+///
+/// Register map (per warp, warp-scalar):
+///   R0/R1/R29  CTAID.X/Y/Z          R28 warp id
+///   R2:R3      A pointer            R4:R5  B pointer
+///   R6:R7      Out pointer          R8 k-iter, R9 limit, R26 limit-1
+///   R16/R18    shared write bases (A/B; stage-flipped by LOP3 xor)
+///   R17/R19    shared read bases (A/B)
+///   R24        dead-LDS destination (predicated off)
+///   R32..R39   accumulators
+///   R48..R51   A fragments          R52..R59 B fragments
+///   R40..R43   epilogue temps       R20..R23 address temps
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Generators.h"
+
+#include "kernels/AsmWriter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+unsigned nextPow2(unsigned X) {
+  unsigned P = 1;
+  while (P < X)
+    P <<= 1;
+  return P;
+}
+
+/// Derived per-config geometry.
+struct GemmDims {
+  unsigned ATileBytes, BTileBytes, StageStride, SharedBytes;
+  unsigned NumA, NumB;       ///< LDGSTS per warp per iteration (A / B).
+  unsigned Groups, PerGroup; ///< HMMA k-slice groups and HMMAs per group.
+  unsigned RowsPerWarp, KIters;
+};
+
+GemmDims deriveDims(const WorkloadShape &S, const TileConfig &C) {
+  GemmDims D;
+  D.ATileBytes = C.BlockM * C.BlockK * 2;
+  D.BTileBytes = C.BlockK * C.BlockN * 2;
+  D.StageStride = nextPow2(D.ATileBytes + D.BTileBytes);
+  D.SharedBytes = std::max(1u, C.Stages) * D.StageStride;
+  D.NumA = std::max(1u, D.ATileBytes / C.Warps / 512);
+  D.NumB = std::max(1u, D.BTileBytes / C.Warps / 512);
+  D.Groups = std::max(1u, C.BlockK / 16);
+  D.PerGroup = std::clamp((C.BlockM / 16) * (C.BlockN / 8) / C.Warps, 2u, 8u);
+  D.PerGroup &= ~1u; // Keep reuse pairs whole.
+  D.RowsPerWarp = C.BlockM / C.Warps;
+  D.KIters = std::max(1u, S.K / C.BlockK);
+  return D;
+}
+
+/// Emits the prologue: special-register reads, pointer setup, shared
+/// bases, accumulator zeroing and (for 2-stage pipelines) the stage-0
+/// prefetch + barrier.
+void emitGemmProlog(AsmWriter &W, const WorkloadShape &S,
+                    const TileConfig &C, const GemmDims &D, unsigned GridX,
+                    unsigned GridY, bool Batched) {
+  const unsigned KBytesRow = S.K * 2; // A row stride.
+  const unsigned NBytesRow = S.N * 2; // B row stride.
+
+  W.ins(0, -1, 0, false, 1, "S2R R0, SR_CTAID.X");
+  W.ins(0, -1, 1, false, 1, "S2R R1, SR_CTAID.Y");
+  W.ins(0, -1, 2, false, 1, "S2R R29, SR_CTAID.Z");
+  W.ins(0, -1, 3, false, 1, "S2R R28, SR_TID.X");
+  W.ins(0x0f, -1, -1, false, 4, "SHF.R.U32 R28, R28, 0x5, RZ");
+
+  W.ins(1, "MOV R2, " + param(0));
+  W.ins(1, "MOV R3, " + param(4));
+  W.ins(1, "MOV R4, " + param(8));
+  W.ins(1, "MOV R5, " + param(12));
+  W.ins(1, "MOV R6, " + param(16));
+  W.ins(4, "MOV R7, " + param(20));
+
+  // A += (ctaidY*BM + warp*rowsPerWarp) * K*2 [+ ctaidZ*M*K*2].
+  W.ins(5, "IMAD R20, R1, " + hex(C.BlockM * KBytesRow) + ", RZ");
+  W.ins(5, "IMAD R20, R28, " + hex(D.RowsPerWarp * KBytesRow) + ", R20");
+  if (Batched)
+    W.ins(5, "IMAD R20, R29, " + hex(S.M * KBytesRow) + ", R20");
+  W.ins(5, "IADD3 R2, P1, R2, R20, RZ");
+  W.ins(2, "IADD3.X R3, R3, RZ, RZ, P1, !PT");
+
+  // B += ctaidX*BN*2 + warp*(BK/W)*N*2 [+ ctaidZ*K*N*2].
+  W.ins(5, "IMAD R21, R0, " + hex(C.BlockN * 2) + ", RZ");
+  W.ins(5, "IMAD R21, R28, " +
+               hex((C.BlockK / C.Warps) * NBytesRow) + ", R21");
+  if (Batched)
+    W.ins(5, "IMAD R21, R29, " + hex(S.K * NBytesRow) + ", R21");
+  W.ins(5, "IADD3 R4, P2, R4, R21, RZ");
+  W.ins(2, "IADD3.X R5, R5, RZ, RZ, P2, !PT");
+
+  // Out += flatBlock*Warps*32 + warp*32 (per-warp 32B result slice).
+  W.ins(5, "IMAD R22, R1, " + hex(GridX) + ", R0");
+  if (Batched)
+    W.ins(5, "IMAD R22, R29, " + hex(GridX * GridY) + ", R22");
+  W.ins(5, "IMAD R22, R22, " + hex(C.Warps * 32) + ", RZ");
+  W.ins(5, "IMAD R22, R28, 0x20, R22");
+  W.ins(5, "IADD3 R6, P1, R6, R22, RZ");
+  W.ins(2, "IADD3.X R7, R7, RZ, RZ, P1, !PT");
+
+  // Shared write bases: per-warp slices of the stage-0 A/B tiles.
+  W.ins(5, "IMAD R16, R28, " + hex(D.ATileBytes / C.Warps) + ", RZ");
+  W.ins(5, "IMAD R18, R28, " + hex(D.BTileBytes / C.Warps) + ", " +
+               hex(D.ATileBytes));
+  // Shared read bases: warpRow = warp>>1 picks A rows, warpCol = warp&1
+  // picks B columns.
+  W.ins(4, "SHF.R.U32 R23, R28, 0x1, RZ");
+  W.ins(4, "LOP3.LUT R25, R28, 0x1, RZ, 0xc0, !PT");
+  // Read bases start one stage ahead when pipelined: the loop flips
+  // them at the top of the body (so their definitions are in-block and
+  // the fragment loads stay out of the denylist, paper §3.2).
+  unsigned ReadBias = C.Stages >= 2 ? D.StageStride : 0;
+  W.ins(5, "IMAD R17, R23, " + hex(D.ATileBytes / C.Warps) + ", " +
+               hex(ReadBias));
+  W.ins(5, "IMAD R19, R25, " + hex(D.BTileBytes / 2) + ", " +
+               hex(D.ATileBytes + ReadBias));
+
+  // Loop bounds and accumulators.
+  W.ins(1, "MOV R8, 0x0");
+  W.ins(1, "MOV R9, " + hex(D.KIters));
+  W.ins(1, "MOV R26, " + hex(D.KIters - 1));
+  for (unsigned Acc = 0; Acc < D.PerGroup; ++Acc)
+    W.ins(Acc + 1 == D.PerGroup ? 4 : 1,
+          "MOV " + rg(32 + Acc) + ", 0x0");
+}
+
+/// One LDGSTS of a tile slice. \p Guarded adds the @P3 prefetch guard.
+void emitLdgsts(AsmWriter &W, bool Guarded, bool Yield, unsigned SharedBase,
+                unsigned SharedOff, unsigned GlobalBase, unsigned GlobalOff) {
+  std::string Body;
+  if (Guarded)
+    Body += "@P3 ";
+  Body += "LDGSTS.E.BYPASS.128 [" + rg(SharedBase);
+  if (SharedOff)
+    Body += "+" + hex(SharedOff);
+  Body += "], desc[UR16][" + rg(GlobalBase) + ".64";
+  if (GlobalOff)
+    Body += "+" + hex(GlobalOff);
+  Body += "]";
+  W.ins(0, -1, /*Write=*/0, Yield, 2, Body);
+}
+
+/// Emits one HMMA group: three LDS.128 fragment loads followed by
+/// PerGroup HMMAs in `.reuse` pairs. \p Interleave (TritonO3 only)
+/// injects LDGSTS index \p BreakerIdx after the first HMMA.
+struct PendingLdgsts {
+  bool Guarded;
+  unsigned SharedBase, SharedOff, GlobalBase, GlobalOff;
+};
+
+void emitHmmaGroup(AsmWriter &W, const GemmDims &D, unsigned Group,
+                   const PendingLdgsts *Breaker, bool SimtMath) {
+  unsigned FragOffA = Group * 0x40;
+  unsigned FragOffB = Group * 0x80;
+  W.ins(0, -1, 2, false, 1, "LDS.128 R48, [R17+" + hex(FragOffA) + "]");
+  W.ins(0, -1, 3, false, 1, "LDS.128 R52, [R19+" + hex(FragOffB) + "]");
+  W.ins(0, -1, 4, false, 1,
+        "LDS.128 R56, [R19+" + hex(FragOffB + 0x20) + "]");
+
+  for (unsigned I = 0; I < D.PerGroup; ++I) {
+    unsigned A = 48 + I / 2;
+    unsigned B = (I % 2 ? 56 : 52) + I / 2;
+    unsigned Acc = 32 + I;
+    // First HMMA of each group waits for all three fragment loads.
+    uint8_t Wait = I == 0 ? 0x1c : 0x00;
+    if (SimtMath) {
+      // SIMT fallback: one fp32 FMA per scalar element of the fragment
+      // pair -- eight issue slots where a tensor core needs one.
+      for (unsigned F = 0; F < 8; ++F)
+        W.ins(F == 0 ? Wait : 0, -1, -1, false, 5,
+              "FFMA " + rg(Acc) + ", " + rg(A) + ", " + rg(B) + ", " +
+                  rg(Acc));
+      continue;
+    }
+    W.ins(Wait, -1, -1, false, 1,
+          "HMMA.16816.F32 " + rg(Acc) + ", " + rg(A) + ".reuse, " + rg(B) +
+              ", " + rg(Acc));
+    // The ptxas artifact: an asynchronous copy parked inside a reuse
+    // pair, with the yield hint that forces the warp switch (§5.7.1).
+    if (I == 0 && Breaker)
+      emitLdgsts(W, Breaker->Guarded, /*Yield=*/true, Breaker->SharedBase,
+                 Breaker->SharedOff, Breaker->GlobalBase,
+                 Breaker->GlobalOff);
+  }
+}
+
+} // namespace
+
+GenResult kernels::genGemm(const WorkloadShape &S, const TileConfig &C,
+                           ScheduleStyle Style, GemmEpilogue Epilogue,
+                           bool SimtMath) {
+  GemmDims D = deriveDims(S, C);
+  const unsigned KBytesRow = S.K * 2;
+  const unsigned NBytesRow = S.N * 2;
+  const bool Pipelined = C.Stages >= 2;
+
+  GenResult Out;
+  Out.GridX = std::max(1u, S.N / C.BlockN);
+  Out.GridY = std::max(1u, S.M / C.BlockM);
+  Out.GridZ = S.B;
+  Out.Warps = C.Warps;
+  Out.SharedBytes = D.SharedBytes;
+
+  AsmWriter W;
+  emitGemmProlog(W, S, C, D, Out.GridX, Out.GridY, S.B > 1);
+
+  // Collect this iteration's LDGSTS batch. Offsets ascend within each
+  // shared-base group (the §3.5 hardware ordering requirement).
+  auto MakeBatch = [&](bool Guarded, bool UseTemps) {
+    unsigned ABase = UseTemps ? 10 : 2;
+    unsigned BBase = UseTemps ? 12 : 4;
+    std::vector<PendingLdgsts> Batch;
+    for (unsigned J = 0; J < D.NumA; ++J)
+      Batch.push_back({Guarded, 16, J * 0x200, ABase, J * 8 * KBytesRow});
+    for (unsigned J = 0; J < D.NumB; ++J)
+      Batch.push_back({Guarded, 18, J * 0x200, BBase, J * 4 * NBytesRow});
+    return Batch;
+  };
+
+  if (Pipelined) {
+    // Stage-0 prefetch, then wait + barrier before the pipeline starts.
+    for (const PendingLdgsts &L : MakeBatch(false, false))
+      emitLdgsts(W, false, false, L.SharedBase, L.SharedOff, L.GlobalBase,
+                 L.GlobalOff);
+    W.ins(0x01, -1, -1, false, 1, "BAR.SYNC 0x0");
+  }
+
+  W.label(".L_LOOP");
+  W.ins(5, "ISETP.GE.AND P0, PT, R8, R9, PT");
+  W.ins(1, "@P0 BRA `(.L_EPILOG)");
+
+  std::vector<PendingLdgsts> Batch;
+  if (Pipelined) {
+    // Flip the write and read bases to the other stage and guard the
+    // prefetch.
+    W.ins(4, "LOP3.LUT R16, R16, " + hex(D.StageStride) + ", RZ, 0x3c, !PT");
+    W.ins(4, "LOP3.LUT R18, R18, " + hex(D.StageStride) + ", RZ, 0x3c, !PT");
+    W.ins(4, "LOP3.LUT R17, R17, " + hex(D.StageStride) + ", RZ, 0x3c, !PT");
+    W.ins(4, "LOP3.LUT R19, R19, " + hex(D.StageStride) + ", RZ, 0x3c, !PT");
+    W.ins(5, "ISETP.LT.AND P3, PT, R8, R26, PT");
+    // Fresh global-address temps (ptxas interleaves IMAD.WIDE with the
+    // LDGSTS stream, paper Listing 9); keeping the definitions in-block
+    // keeps the copies out of the stall-inference denylist.
+    W.ins(5, "IMAD.WIDE R10, RZ, RZ, R2");
+    W.ins(5, "IMAD.WIDE R12, RZ, RZ, R4");
+    Batch = MakeBatch(true, true);
+  } else {
+    // Single stage: fetch the *current* tile, wait, and sync.
+    Batch = MakeBatch(false, false);
+    for (const PendingLdgsts &L : Batch)
+      emitLdgsts(W, false, false, L.SharedBase, L.SharedOff, L.GlobalBase,
+                 L.GlobalOff);
+    Batch.clear();
+    W.ins(0x01, -1, -1, false, 1, "BAR.SYNC 0x0");
+  }
+
+  // Distribute the pipelined LDGSTS batch through the body.
+  size_t Next = 0;
+  const PendingLdgsts *Breaker = nullptr;
+  if (Pipelined) {
+    if (Style == ScheduleStyle::Expert) {
+      // Expert: every async copy issues up front, before the dead LDS
+      // and the fragment loads — maximal overlap, reuse pairs intact.
+      for (const PendingLdgsts &L : Batch)
+        emitLdgsts(W, L.Guarded, false, L.SharedBase, L.SharedOff,
+                   L.GlobalBase, L.GlobalOff);
+      Next = Batch.size();
+      W.ins(1, "@!PT LDS.128 R24, [R19+0x10]");
+    } else {
+      // TritonO3: first A-copy, then the dead predicated LDS *above*
+      // the second A-copy (the Figure 13 artifact).
+      emitLdgsts(W, true, false, Batch[0].SharedBase, Batch[0].SharedOff,
+                 Batch[0].GlobalBase, Batch[0].GlobalOff);
+      ++Next;
+      W.ins(1, "@!PT LDS.128 R24, [R19+0x10]");
+      if (Next < Batch.size() && Batch[Next].SharedBase == 16) {
+        emitLdgsts(W, true, false, Batch[Next].SharedBase,
+                   Batch[Next].SharedOff, Batch[Next].GlobalBase,
+                   Batch[Next].GlobalOff);
+        ++Next;
+      }
+      // The first B-copy becomes the reuse breaker inside group 0.
+      if (Next < Batch.size())
+        Breaker = &Batch[Next];
+    }
+  }
+
+  // Pointer advances for the next tile (after the A/B copies that read
+  // the old pointers have issued — except the deferred breaker, which
+  // still reads R4: advance B after group 0 instead).
+  W.ins(5, "IADD3 R2, P1, R2, " + hex(C.BlockK * 2) + ", RZ");
+  W.ins(2, "IADD3.X R3, R3, RZ, RZ, P1, !PT");
+
+  for (unsigned G = 0; G < D.Groups; ++G) {
+    emitHmmaGroup(W, D, G, G == 0 ? Breaker : nullptr, SimtMath);
+    if (G == 0 && Breaker)
+      ++Next; // The breaker was emitted inside the group.
+  }
+
+  // TritonO3 leaves the remaining asynchronous copies at the *bottom* of
+  // the body (ptxas spreads LDGSTS through the whole loop, paper
+  // Listing 9); their latency then extends straight into the
+  // end-of-iteration wait. Hoisting them is the agent's main win.
+  for (; Next < Batch.size(); ++Next)
+    emitLdgsts(W, Batch[Next].Guarded, false, Batch[Next].SharedBase,
+               Batch[Next].SharedOff, Batch[Next].GlobalBase,
+               Batch[Next].GlobalOff);
+  // The B-pointer advance must follow every copy that reads R4.
+  W.ins(5, "IADD3 R4, P2, R4, " + hex(C.BlockK * NBytesRow) + ", RZ");
+  W.ins(2, "IADD3.X R5, R5, RZ, RZ, P2, !PT");
+
+  W.ins(4, "IADD3 R8, R8, 0x1, RZ");
+  // Wait for this iteration's own async-copy group, then block barrier
+  // (the cp.async commit/wait + __syncthreads pipeline idiom).
+  W.ins(0x01, -1, -1, false, 1, "BAR.SYNC 0x0");
+  W.ins(1, "BRA `(.L_LOOP)");
+
+  // Epilogue: fused activation + per-warp 32B result slice.
+  W.label(".L_EPILOG");
+  for (unsigned I = 0; I < D.PerGroup; ++I) {
+    unsigned Acc = 32 + I;
+    switch (Epilogue) {
+    case GemmEpilogue::None:
+      break;
+    case GemmEpilogue::LeakyRelu:
+      W.ins(1, "FSETP.GT.AND P2, PT, " + rg(Acc) + ", RZ, PT");
+      W.ins(5, "FMUL R40, " + rg(Acc) + ", 0.01");
+      W.ins(5, "FSEL " + rg(Acc) + ", " + rg(Acc) + ", R40, P2");
+      break;
+    case GemmEpilogue::Silu:
+      // x * sigmoid(x) via exp2: s = 1/(1+2^(-x*log2e)).
+      W.ins(5, "FMUL R40, " + rg(Acc) + ", -1.4427");
+      W.ins(0, -1, 5, false, 1, "MUFU.EX2 R41, R40");
+      W.ins(0x20, -1, -1, false, 5, "FADD R42, R41, 1.0");
+      W.ins(0, -1, 5, false, 1, "MUFU.RCP R43, R42");
+      W.ins(0x20, -1, -1, false, 5,
+            "FMUL " + rg(Acc) + ", " + rg(Acc) + ", R43");
+      break;
+    }
+  }
+  unsigned StoreRegs = std::min(D.PerGroup, 8u);
+  W.ins(1, "STG.E.128 [R6.64], R32");
+  if (StoreRegs > 4)
+    W.ins(1, "STG.E.128 [R6.64+0x10], R36");
+  W.ins(1, "EXIT");
+
+  Out.Text = W.take();
+  Out.OutBytes =
+      static_cast<uint64_t>(Out.GridX) * Out.GridY * Out.GridZ * C.Warps * 32;
+  return Out;
+}

@@ -1,0 +1,86 @@
+//===- kernels/Generators.h - Internal SASS generators (private) -------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private codegen entry points used by Builder.cpp. Each generator
+/// returns CuAssembler-style text plus launch geometry. The TritonO3
+/// style deliberately reproduces the scheduling artifacts the paper
+/// attributes to ptxas -O3 (and that its RL agent removes):
+///
+///  - an LDGSTS with the yield hint parked *between* two HMMAs whose
+///    shared `.reuse` operand it invalidates (§5.7.1 / Figure 9),
+///  - an always-false predicated LDS (@!PT) sitting *above* an LDGSTS
+///    (§5.7.2 / Figure 13),
+///  - loads placed immediately before their consumers in the rowwise
+///    kernels (no software prefetch distance).
+///
+/// The Expert style emits the same instruction multiset optimally
+/// placed — the target the agent should rediscover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_KERNELS_GENERATORS_H
+#define CUASMRL_KERNELS_GENERATORS_H
+
+#include "kernels/Workload.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cuasmrl {
+namespace kernels {
+
+/// Geometry a generator decides for its launch.
+struct GenResult {
+  std::string Text;       ///< SASS text for sass::Parser.
+  unsigned GridX = 1, GridY = 1, GridZ = 1;
+  unsigned Warps = 4;
+  uint32_t SharedBytes = 0;
+  /// Output bytes the kernel writes (per-warp result slices).
+  uint64_t OutBytes = 0;
+};
+
+/// Pipelined tiled GEMM with optional fused epilogue.
+/// Parameters land at c[0x0][0x160]: A ptr, B ptr, Out ptr (8B each).
+enum class GemmEpilogue { None, LeakyRelu, Silu };
+/// \p SimtMath replaces each tensor-core HMMA with a burst of scalar
+/// FFMAs (the SIMT fallback path untuned Cutlass configurations take).
+GenResult genGemm(const WorkloadShape &Shape, const TileConfig &Config,
+                  ScheduleStyle Style, GemmEpilogue Epilogue,
+                  bool SimtMath = false);
+
+/// Fused attention over KV tiles with online softmax.
+/// Params: Q ptr, K ptr, V ptr, Out ptr.
+GenResult genFlashAttention(const WorkloadShape &Shape,
+                            const TileConfig &Config, ScheduleStyle Style);
+
+/// Fused two-pass rowwise kernels (softmax / rmsnorm).
+/// Params: X ptr, Out ptr, W ptr (rmsnorm only).
+GenResult genRowwise(WorkloadKind Kind, const WorkloadShape &Shape,
+                     const TileConfig &Config, ScheduleStyle Style);
+
+/// Streaming single-pass kernels used by the Torch-eager compositions.
+/// Params: In ptr, Out ptr, In2 ptr.
+enum class StreamOp {
+  LeakyRelu,   ///< out[i] = lrelu(in[i])
+  Silu,        ///< out[i] = silu(in[i])
+  SquareSum,   ///< out[row] = sum(in[i]^2)  (one value per row)
+  RowMax,      ///< out[row] = max(in[i])
+  ExpSum,      ///< out[i] = exp2(in[i]); out2[row] = sum
+  ScaleByRow,  ///< out[i] = in[i] * in2[row]
+  MulElems,    ///< out[i] = in[i] * in2[i]
+};
+GenResult genStream(StreamOp Op, unsigned Rows, unsigned Cols,
+                    unsigned Warps);
+
+/// True when \p Config tiles fit \p Shape for \p Kind.
+bool configFits(WorkloadKind Kind, const WorkloadShape &Shape,
+                const TileConfig &Config);
+
+} // namespace kernels
+} // namespace cuasmrl
+
+#endif // CUASMRL_KERNELS_GENERATORS_H

@@ -1,0 +1,425 @@
+//===- kernels/RowwiseGen.cpp - Memory-bound rowwise codegen -------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's memory-bound kernels: fused two-pass softmax and rmsnorm
+/// (one block per row, warps split the columns), plus the single-pass
+/// streaming kernels the Torch-eager compositions chain together.
+///
+/// TritonO3 places each LDG directly before its consumers; the Expert
+/// schedule hoists the second chunk's load to the top of the iteration,
+/// overlapping DRAM latency with the first chunk's math — exactly the
+/// kind of move the RL agent learns with repeated upward swaps.
+///
+/// Register map:
+///   R0 ctaid.x (row), R28 warp id
+///   R2:R3 input pointer (walking), R10:R11 saved input base
+///   R4:R5 second input (weights / row scalars), R6:R7 output pointer
+///   R8 iteration counter, R9 iteration count
+///   R20..R23 chunk A, R24..R27 chunk B
+///   R60 running max / R61 running sum, R58 scale factor
+///   R62..R67 temps, R44..R47 output staging
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Generators.h"
+
+#include "kernels/AsmWriter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+/// Emits CTAID/TID reads and the pointer prologue shared by every
+/// rowwise kernel. Pointers: R2:R3 = In + row*Cols*4 + warp*CPW*4, with
+/// the same offset applied to Out (R6:R7) and In2 (R4:R5, when \p
+/// WantIn2). The untouched input base is saved to R10:R11 for pass 2.
+void emitRowProlog(AsmWriter &W, unsigned Cols, unsigned ColsPerWarp,
+                   bool WantIn2, bool In2PerRow, unsigned Warps) {
+  W.ins(0, -1, 0, false, 1, "S2R R0, SR_CTAID.X");
+  W.ins(0, -1, 3, false, 1, "S2R R28, SR_TID.X");
+  W.ins(0x09, -1, -1, false, 4, "SHF.R.U32 R28, R28, 0x5, RZ");
+
+  W.ins(1, "MOV R2, " + param(0));
+  W.ins(1, "MOV R3, " + param(4));
+  W.ins(1, "MOV R6, " + param(8));
+  W.ins(1, "MOV R7, " + param(12));
+  if (WantIn2) {
+    W.ins(1, "MOV R4, " + param(16));
+    W.ins(4, "MOV R5, " + param(20));
+  }
+
+  // Row/warp offset (bytes): row*Cols*4 + warp*ColsPerWarp*4.
+  W.ins(5, "IMAD R20, R0, " + hex(Cols * 4) + ", RZ");
+  W.ins(5, "IMAD R20, R28, " + hex(ColsPerWarp * 4) + ", R20");
+  W.ins(5, "IADD3 R2, P1, R2, R20, RZ");
+  W.ins(2, "IADD3.X R3, R3, RZ, RZ, P1, !PT");
+  W.ins(5, "IADD3 R6, P2, R6, R20, RZ");
+  W.ins(2, "IADD3.X R7, R7, RZ, RZ, P2, !PT");
+  if (WantIn2) {
+    if (In2PerRow) {
+      // One scalar per (row, warp): offset = (row*Warps + warp)*4.
+      W.ins(5, "IMAD R21, R0, " + hex(Warps * 4) + ", RZ");
+      W.ins(5, "IMAD R21, R28, 0x4, R21");
+    } else {
+      // Per-column weights: warp offset only (shared across rows).
+      W.ins(5, "IMAD R21, R28, " + hex(ColsPerWarp * 4) + ", RZ");
+    }
+    W.ins(5, "IADD3 R4, P1, R4, R21, RZ");
+    W.ins(2, "IADD3.X R5, R5, RZ, RZ, P1, !PT");
+  }
+  // Save the input base for pass 2.
+  W.ins(1, "MOV R10, R2");
+  W.ins(4, "MOV R11, R3");
+}
+
+/// Emits the loop header for `Iters` iterations over R8 and returns the
+/// exit label name.
+void emitLoopHead(AsmWriter &W, const std::string &Label,
+                  const std::string &ExitLabel) {
+  W.label(Label);
+  W.ins(5, "ISETP.GE.AND P0, PT, R8, R9, PT");
+  W.ins(1, "@P0 BRA `(" + ExitLabel + ")");
+}
+
+/// Per-chunk online-softmax statistics (4 elements in Base..Base+3).
+void emitSoftmaxStats(AsmWriter &W, unsigned Base) {
+  W.ins(1, "FMNMX R62, " + rg(Base) + ", " + rg(Base + 1) + ", !PT");
+  W.ins(5, "FMNMX R63, " + rg(Base + 2) + ", " + rg(Base + 3) + ", !PT");
+  W.ins(5, "FMNMX R62, R62, R63, !PT");
+  W.ins(5, "FMNMX R60, R60, R62, !PT");
+  for (unsigned E = 0; E < 4; ++E)
+    W.ins(E == 3 ? 5 : 1, "FADD " + rg(64 + E) + ", " + rg(Base + E) +
+                              ", -R60");
+  for (unsigned E = 0; E < 4; ++E)
+    W.ins(0, -1, 5, false, 1,
+          "MUFU.EX2 " + rg(64 + E) + ", " + rg(64 + E));
+  W.insWait(0x20, 1, "FADD R62, R64, R65");
+  W.ins(5, "FADD R63, R66, R67");
+  W.ins(5, "FADD R62, R62, R63");
+  W.ins(5, "FADD R61, R61, R62");
+}
+
+/// Per-chunk sum-of-squares statistics.
+void emitSquareStats(AsmWriter &W, unsigned Base) {
+  for (unsigned E = 0; E < 4; ++E)
+    W.ins(E == 3 ? 5 : 1, "FMUL " + rg(64 + E) + ", " + rg(Base + E) +
+                              ", " + rg(Base + E));
+  W.ins(1, "FADD R62, R64, R65");
+  W.ins(5, "FADD R63, R66, R67");
+  W.ins(5, "FADD R62, R62, R63");
+  W.ins(5, "FADD R61, R61, R62");
+}
+
+/// Pass-2 normalize+store of one chunk: out = f(x) * R58 [* w].
+void emitNormalizeStore(AsmWriter &W, WorkloadKind Kind, unsigned Base,
+                        bool HasWeights, unsigned WBase,
+                        unsigned OutOffset) {
+  if (Kind == WorkloadKind::Softmax) {
+    for (unsigned E = 0; E < 4; ++E)
+      W.ins(E == 3 ? 5 : 1, "FADD " + rg(44 + E) + ", " + rg(Base + E) +
+                                ", -R60");
+    for (unsigned E = 0; E < 4; ++E)
+      W.ins(0, -1, 5, false, 1,
+            "MUFU.EX2 " + rg(44 + E) + ", " + rg(44 + E));
+    for (unsigned E = 0; E < 4; ++E)
+      W.ins(E == 0 ? 0x20 : 0, -1, -1, false, E == 3 ? 5 : 1,
+            "FMUL " + rg(44 + E) + ", " + rg(44 + E) + ", R58");
+  } else {
+    for (unsigned E = 0; E < 4; ++E)
+      W.ins(E == 3 ? 5 : 1, "FMUL " + rg(44 + E) + ", " + rg(Base + E) +
+                                ", R58");
+    if (HasWeights)
+      for (unsigned E = 0; E < 4; ++E)
+        W.ins(E == 3 ? 5 : 1, "FMUL " + rg(44 + E) + ", " + rg(44 + E) +
+                                  ", " + rg(WBase + E));
+  }
+  W.ins(1, "STG.E.128 [R6.64+" + hex(OutOffset) + "], R44");
+}
+
+} // namespace
+
+GenResult kernels::genRowwise(WorkloadKind Kind, const WorkloadShape &S,
+                              const TileConfig &C, ScheduleStyle Style) {
+  assert((Kind == WorkloadKind::Softmax || Kind == WorkloadKind::RmsNorm) &&
+         "rowwise generator handles softmax/rmsnorm");
+  const bool IsRms = Kind == WorkloadKind::RmsNorm;
+  const unsigned ColsPerWarp = std::max(8u, S.Cols / C.Warps);
+  const unsigned Iters = std::max(1u, ColsPerWarp / 8);
+
+  GenResult Out;
+  Out.GridX = S.Rows;
+  Out.Warps = C.Warps;
+  Out.SharedBytes = 0;
+  Out.OutBytes = static_cast<uint64_t>(S.Rows) * S.Cols * 4;
+
+  AsmWriter W;
+  emitRowProlog(W, S.Cols, ColsPerWarp, IsRms, /*In2PerRow=*/false,
+                C.Warps);
+  W.ins(1, IsRms ? "MOV R61, 0x0" : "MOV R60, 0xff800000");
+  W.ins(1, IsRms ? "MOV R60, 0x0" : "MOV R61, 0x0");
+  W.ins(1, "MOV R8, 0x0");
+  W.ins(4, "MOV R9, " + hex(Iters));
+
+  // ---- pass 1: statistics -------------------------------------------------
+  emitLoopHead(W, ".L_P1", ".L_MID");
+  // Fresh address temp per iteration keeps the loads' address
+  // definitions in-block (out of the denylist) and hoistable.
+  W.ins(5, "IMAD.WIDE R12, RZ, RZ, R2");
+  if (Style == ScheduleStyle::Expert) {
+    // Both chunk loads issue up front: chunk B's DRAM latency overlaps
+    // chunk A's math.
+    W.ins(0, -1, 0, false, 2, "LDG.E.128 R20, [R12.64]");
+    W.ins(0, -1, 1, false, 2, "LDG.E.128 R24, [R12.64+0x10]");
+    W.insWait(0x01, 1, "NOP");
+    if (IsRms)
+      emitSquareStats(W, 20);
+    else
+      emitSoftmaxStats(W, 20);
+    W.insWait(0x02, 1, "NOP");
+    if (IsRms)
+      emitSquareStats(W, 24);
+    else
+      emitSoftmaxStats(W, 24);
+  } else {
+    // TritonO3: each load sits directly above its consumers.
+    W.ins(0, -1, 0, false, 2, "LDG.E.128 R20, [R12.64]");
+    W.insWait(0x01, 1, "NOP");
+    if (IsRms)
+      emitSquareStats(W, 20);
+    else
+      emitSoftmaxStats(W, 20);
+    W.ins(0, -1, 1, false, 2, "LDG.E.128 R24, [R12.64+0x10]");
+    W.insWait(0x02, 1, "NOP");
+    if (IsRms)
+      emitSquareStats(W, 24);
+    else
+      emitSoftmaxStats(W, 24);
+  }
+  W.ins(5, "IADD3 R2, P1, R2, 0x20, RZ");
+  W.ins(2, "IADD3.X R3, R3, RZ, RZ, P1, !PT");
+  W.ins(4, "IADD3 R8, R8, 0x1, RZ");
+  W.ins(1, "BRA `(.L_P1)");
+
+  // ---- between passes: the scale factor ----------------------------------
+  W.label(".L_MID");
+  if (IsRms) {
+    // rsqrt(mean(x^2)) over this warp's slice.
+    char MeanBuf[32];
+    std::snprintf(MeanBuf, sizeof(MeanBuf), "%.9g",
+                  1.0 / static_cast<double>(ColsPerWarp));
+    W.ins(5, std::string("FMUL R61, R61, ") + MeanBuf);
+    W.ins(0, -1, 5, false, 1, "MUFU.RSQ R58, R61");
+  } else {
+    W.ins(0, -1, 5, false, 1, "MUFU.RCP R58, R61");
+  }
+  // Rewind the input pointer and reset the counter.
+  W.ins(1, "MOV R2, R10");
+  W.ins(4, "MOV R3, R11");
+  W.ins(0x20, -1, -1, false, 4, "MOV R8, 0x0");
+
+  // ---- pass 2: normalize + store ------------------------------------------
+  emitLoopHead(W, ".L_P2", ".L_DONE");
+  W.ins(5, "IMAD.WIDE R12, RZ, RZ, R2");
+  if (IsRms)
+    W.ins(5, "IMAD.WIDE R14, RZ, RZ, R4");
+  auto LoadWeights = [&](unsigned Off, int Slot, unsigned Dest) {
+    W.ins(0, -1, Slot, false, 2,
+          "LDG.E.128 " + rg(Dest) + ", [R14.64+" + hex(Off) + "]");
+  };
+  if (Style == ScheduleStyle::Expert) {
+    W.ins(0, -1, 0, false, 2, "LDG.E.128 R20, [R12.64]");
+    W.ins(0, -1, 1, false, 2, "LDG.E.128 R24, [R12.64+0x10]");
+    if (IsRms) {
+      LoadWeights(0, 2, 48);
+      LoadWeights(0x10, 3, 52);
+    }
+    W.insWait(IsRms ? 0x05 : 0x01, 1, "NOP");
+    emitNormalizeStore(W, Kind, 20, IsRms, 48, 0);
+    W.insWait(IsRms ? 0x0a : 0x02, 1, "NOP");
+    emitNormalizeStore(W, Kind, 24, IsRms, 52, 0x10);
+  } else {
+    W.ins(0, -1, 0, false, 2, "LDG.E.128 R20, [R12.64]");
+    if (IsRms)
+      LoadWeights(0, 2, 48);
+    W.insWait(IsRms ? 0x05 : 0x01, 1, "NOP");
+    emitNormalizeStore(W, Kind, 20, IsRms, 48, 0);
+    W.ins(0, -1, 1, false, 2, "LDG.E.128 R24, [R12.64+0x10]");
+    if (IsRms)
+      LoadWeights(0x10, 3, 52);
+    W.insWait(IsRms ? 0x0a : 0x02, 1, "NOP");
+    emitNormalizeStore(W, Kind, 24, IsRms, 52, 0x10);
+  }
+  W.ins(5, "IADD3 R2, P1, R2, 0x20, RZ");
+  W.ins(2, "IADD3.X R3, R3, RZ, RZ, P1, !PT");
+  if (IsRms) {
+    W.ins(5, "IADD3 R4, P2, R4, 0x20, RZ");
+    W.ins(2, "IADD3.X R5, R5, RZ, RZ, P2, !PT");
+  }
+  W.ins(5, "IADD3 R6, P1, R6, 0x20, RZ");
+  W.ins(2, "IADD3.X R7, R7, RZ, RZ, P1, !PT");
+  W.ins(4, "IADD3 R8, R8, 0x1, RZ");
+  W.ins(1, "BRA `(.L_P2)");
+
+  W.label(".L_DONE");
+  W.ins(1, "EXIT");
+
+  Out.Text = W.take();
+  return Out;
+}
+
+GenResult kernels::genStream(StreamOp Op, unsigned Rows, unsigned Cols,
+                             unsigned Warps) {
+  const unsigned ColsPerWarp = std::max(8u, Cols / Warps);
+  const unsigned Iters = std::max(1u, ColsPerWarp / 8);
+  const bool WantIn2 =
+      Op == StreamOp::ScaleByRow || Op == StreamOp::MulElems;
+  const bool RowScalarOut =
+      Op == StreamOp::SquareSum || Op == StreamOp::RowMax;
+
+  GenResult Out;
+  Out.GridX = Rows;
+  Out.Warps = Warps;
+  Out.OutBytes = RowScalarOut
+                     ? static_cast<uint64_t>(Rows) * Warps * 4
+                     : static_cast<uint64_t>(Rows) * Cols * 4;
+
+  AsmWriter W;
+  emitRowProlog(W, Cols, ColsPerWarp, WantIn2,
+                /*In2PerRow=*/Op == StreamOp::ScaleByRow, Warps);
+  W.ins(1, "MOV R60, 0xff800000"); // Running max.
+  W.ins(1, "MOV R61, 0x0");        // Running sum.
+  W.ins(1, "MOV R8, 0x0");
+  W.ins(4, "MOV R9, " + hex(Iters));
+  if (Op == StreamOp::ScaleByRow) {
+    // The row scalar was stored per (row, warp) by the producer kernel.
+    W.ins(0, -1, 5, false, 1, "LDG.E R58, [R4.64]");
+    W.insWait(0x20, 1, "NOP");
+  }
+  if (RowScalarOut) {
+    // Scalar output lands at out + (row*Warps + warp)*4.
+    W.ins(5, "IMAD R21, R0, " + hex(Warps * 4) + ", RZ");
+    W.ins(5, "IMAD R21, R28, 0x4, R21");
+    W.ins(1, "MOV R6, " + param(8));
+    W.ins(4, "MOV R7, " + param(12));
+    W.ins(5, "IADD3 R6, P2, R6, R21, RZ");
+    W.ins(2, "IADD3.X R7, R7, RZ, RZ, P2, !PT");
+  }
+
+  emitLoopHead(W, ".L_LOOP", ".L_DONE");
+  for (unsigned Chunk = 0; Chunk < 2; ++Chunk) {
+    unsigned Base = Chunk ? 24 : 20;
+    unsigned Off = Chunk ? 0x10 : 0x0;
+    int Slot = Chunk ? 1 : 0;
+    W.ins(0, -1, Slot, false, 2,
+          "LDG.E.128 " + rg(Base) + ", [R2.64+" + hex(Off) + "]");
+    if (Op == StreamOp::MulElems)
+      W.ins(0, -1, Slot + 2, false, 2,
+            "LDG.E.128 " + rg(Base + 28) + ", [R4.64+" + hex(Off) + "]");
+    uint8_t Wait = static_cast<uint8_t>(
+        (1u << Slot) | (Op == StreamOp::MulElems ? (4u << Slot) : 0u));
+    W.insWait(Wait, 1, "NOP");
+
+    switch (Op) {
+    case StreamOp::LeakyRelu:
+      for (unsigned E = 0; E < 4; ++E) {
+        W.ins(1, "FSETP.GT.AND P2, PT, " + rg(Base + E) + ", RZ, PT");
+        W.ins(5, "FMUL R40, " + rg(Base + E) + ", 0.01");
+        W.ins(5, "FSEL " + rg(44 + E) + ", " + rg(Base + E) + ", R40, P2");
+      }
+      W.ins(1, "STG.E.128 [R6.64+" + hex(Off) + "], R44");
+      break;
+    case StreamOp::Silu:
+      for (unsigned E = 0; E < 4; ++E) {
+        W.ins(5, "FMUL R40, " + rg(Base + E) + ", -1.4427");
+        W.ins(0, -1, 5, false, 1, "MUFU.EX2 R41, R40");
+        W.ins(0x20, -1, -1, false, 5, "FADD R42, R41, 1.0");
+        W.ins(0, -1, 5, false, 1, "MUFU.RCP R43, R42");
+        W.ins(0x20, -1, -1, false, 5,
+              "FMUL " + rg(44 + E) + ", " + rg(Base + E) + ", R43");
+      }
+      W.ins(1, "STG.E.128 [R6.64+" + hex(Off) + "], R44");
+      break;
+    case StreamOp::SquareSum:
+      emitSquareStats(W, Base);
+      break;
+    case StreamOp::RowMax:
+      W.ins(1, "FMNMX R62, " + rg(Base) + ", " + rg(Base + 1) + ", !PT");
+      W.ins(5, "FMNMX R63, " + rg(Base + 2) + ", " + rg(Base + 3) +
+                   ", !PT");
+      W.ins(5, "FMNMX R62, R62, R63, !PT");
+      W.ins(5, "FMNMX R60, R60, R62, !PT");
+      break;
+    case StreamOp::ExpSum:
+      for (unsigned E = 0; E < 4; ++E)
+        W.ins(0, -1, 5, false, E == 3 ? 5 : 1,
+              "MUFU.EX2 " + rg(44 + E) + ", " + rg(Base + E));
+      W.insWait(0x20, 1, "FADD R62, R44, R45");
+      W.ins(5, "FADD R63, R46, R47");
+      W.ins(5, "FADD R62, R62, R63");
+      W.ins(5, "FADD R61, R61, R62");
+      W.ins(1, "STG.E.128 [R6.64+" + hex(Off) + "], R44");
+      break;
+    case StreamOp::ScaleByRow:
+      for (unsigned E = 0; E < 4; ++E)
+        W.ins(E == 3 ? 5 : 1, "FMUL " + rg(44 + E) + ", " + rg(Base + E) +
+                                  ", R58");
+      W.ins(1, "STG.E.128 [R6.64+" + hex(Off) + "], R44");
+      break;
+    case StreamOp::MulElems:
+      for (unsigned E = 0; E < 4; ++E)
+        W.ins(E == 3 ? 5 : 1, "FMUL " + rg(44 + E) + ", " + rg(Base + E) +
+                                  ", " + rg(Base + 28 + E));
+      W.ins(1, "STG.E.128 [R6.64+" + hex(Off) + "], R44");
+      break;
+    }
+  }
+  W.ins(5, "IADD3 R2, P1, R2, 0x20, RZ");
+  W.ins(2, "IADD3.X R3, R3, RZ, RZ, P1, !PT");
+  if (Op == StreamOp::MulElems) {
+    W.ins(5, "IADD3 R4, P2, R4, 0x20, RZ");
+    W.ins(2, "IADD3.X R5, R5, RZ, RZ, P2, !PT");
+  }
+  if (!RowScalarOut) {
+    W.ins(5, "IADD3 R6, P1, R6, 0x20, RZ");
+    W.ins(2, "IADD3.X R7, R7, RZ, RZ, P1, !PT");
+  }
+  W.ins(4, "IADD3 R8, R8, 0x1, RZ");
+  W.ins(1, "BRA `(.L_LOOP)");
+
+  W.label(".L_DONE");
+  if (Op == StreamOp::SquareSum)
+    W.ins(5, "STG.E [R6.64], R61");
+  else if (Op == StreamOp::RowMax)
+    W.ins(5, "STG.E [R6.64], R60");
+  W.ins(1, "EXIT");
+
+  Out.Text = W.take();
+  return Out;
+}
+
+bool kernels::configFits(WorkloadKind Kind, const WorkloadShape &S,
+                         const TileConfig &C) {
+  switch (Kind) {
+  case WorkloadKind::FusedFF:
+  case WorkloadKind::MmLeakyRelu:
+  case WorkloadKind::Bmm:
+    return C.BlockM <= S.M && C.BlockN <= S.N && C.BlockK <= S.K &&
+           C.Warps <= C.BlockM && C.Warps <= C.BlockK &&
+           S.M % C.BlockM == 0 && S.N % C.BlockN == 0 && S.K % C.BlockK == 0;
+  case WorkloadKind::FlashAttention:
+    return C.BlockM <= S.SeqLen && C.BlockN <= S.SeqLen &&
+           S.SeqLen % C.BlockM == 0 && S.SeqLen % C.BlockN == 0 &&
+           C.Warps <= C.BlockN;
+  case WorkloadKind::Softmax:
+  case WorkloadKind::RmsNorm:
+    return S.Cols % (C.Warps * 8) == 0;
+  }
+  return false;
+}

@@ -1,0 +1,152 @@
+//===- kernels/Workload.cpp -----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Workload.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+std::vector<WorkloadKind> kernels::allWorkloads() {
+  return {WorkloadKind::Bmm,      WorkloadKind::FusedFF,
+          WorkloadKind::FlashAttention, WorkloadKind::MmLeakyRelu,
+          WorkloadKind::Softmax,  WorkloadKind::RmsNorm};
+}
+
+std::string kernels::workloadName(WorkloadKind Kind) {
+  switch (Kind) {
+  case WorkloadKind::FusedFF:
+    return "fused_ff";
+  case WorkloadKind::MmLeakyRelu:
+    return "mmLeakyReLu";
+  case WorkloadKind::Bmm:
+    return "bmm";
+  case WorkloadKind::FlashAttention:
+    return "flash-attention";
+  case WorkloadKind::Softmax:
+    return "softmax";
+  case WorkloadKind::RmsNorm:
+    return "rmsnorm";
+  }
+  return "<unknown>";
+}
+
+bool kernels::isComputeBound(WorkloadKind Kind) {
+  switch (Kind) {
+  case WorkloadKind::FusedFF:
+  case WorkloadKind::MmLeakyRelu:
+  case WorkloadKind::Bmm:
+  case WorkloadKind::FlashAttention:
+    return true;
+  case WorkloadKind::Softmax:
+  case WorkloadKind::RmsNorm:
+    return false;
+  }
+  return false;
+}
+
+WorkloadShape kernels::paperShape(WorkloadKind Kind) {
+  // Table 2.
+  WorkloadShape S;
+  switch (Kind) {
+  case WorkloadKind::FusedFF:
+  case WorkloadKind::MmLeakyRelu:
+    S.B = 1;
+    S.M = 512;
+    S.N = 512;
+    S.K = 2048;
+    break;
+  case WorkloadKind::Bmm:
+    S.B = 4;
+    S.M = 512;
+    S.N = 512;
+    S.K = 2048;
+    break;
+  case WorkloadKind::FlashAttention:
+    S.B = 1;
+    S.NHead = 4;
+    S.SeqLen = 4096;
+    S.DHead = 32;
+    break;
+  case WorkloadKind::Softmax:
+    S.Rows = 512;
+    S.Cols = 4096;
+    break;
+  case WorkloadKind::RmsNorm:
+    // B, n_head, seq_len, d_head = 1, 32, 4096, 64: normalization over
+    // the trailing d_head axis -> 32*4096 rows of 64.
+    S.Rows = 32 * 64; // Scaled-down row count keeps simulation tractable;
+    S.Cols = 256;     // traffic ratios to softmax are preserved.
+    break;
+  }
+  return S;
+}
+
+WorkloadShape kernels::testShape(WorkloadKind Kind) {
+  WorkloadShape S = paperShape(Kind);
+  switch (Kind) {
+  case WorkloadKind::FusedFF:
+  case WorkloadKind::MmLeakyRelu:
+    S.M = 64;
+    S.N = 64;
+    S.K = 128;
+    break;
+  case WorkloadKind::Bmm:
+    S.B = 2;
+    S.M = 64;
+    S.N = 64;
+    S.K = 128;
+    break;
+  case WorkloadKind::FlashAttention:
+    S.NHead = 1;
+    S.SeqLen = 128;
+    S.DHead = 32;
+    break;
+  case WorkloadKind::Softmax:
+    S.Rows = 8;
+    S.Cols = 256;
+    break;
+  case WorkloadKind::RmsNorm:
+    S.Rows = 16;
+    S.Cols = 128;
+    break;
+  }
+  return S;
+}
+
+std::string TileConfig::str() const {
+  return "BM" + std::to_string(BlockM) + "_BN" + std::to_string(BlockN) +
+         "_BK" + std::to_string(BlockK) + "_W" + std::to_string(Warps) +
+         "_S" + std::to_string(Stages);
+}
+
+std::vector<TileConfig> kernels::candidateConfigs(WorkloadKind Kind) {
+  switch (Kind) {
+  case WorkloadKind::FusedFF:
+  case WorkloadKind::MmLeakyRelu:
+  case WorkloadKind::Bmm:
+    return {
+        {64, 64, 32, 4, 2},  {64, 64, 16, 4, 2}, {32, 32, 32, 4, 2},
+        {64, 64, 32, 2, 2},  {64, 64, 32, 4, 1}, {128, 64, 32, 4, 2},
+    };
+  case WorkloadKind::FlashAttention:
+    return {
+        {64, 64, 32, 4, 2},
+        {32, 32, 32, 4, 2},
+        {64, 64, 32, 2, 2},
+        {64, 64, 32, 4, 1},
+    };
+  case WorkloadKind::Softmax:
+  case WorkloadKind::RmsNorm:
+    // Rowwise kernels: BlockN = columns per iteration chunk, Warps vary.
+    return {
+        {1, 16, 1, 4, 1},
+        {1, 8, 1, 4, 1},
+        {1, 16, 1, 2, 1},
+        {1, 32, 1, 4, 1},
+    };
+  }
+  return {TileConfig()};
+}

@@ -1,0 +1,94 @@
+//===- kernels/Workload.h - Evaluated workloads (paper Table 2) --------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six LLM kernels the paper evaluates (Table 2), their input
+/// shapes, and the kernel-configuration grids the hierarchical search
+/// enumerates (§3.1: tile sizes can change throughput by up to 2x and
+/// completely change the emitted SASS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_KERNELS_WORKLOAD_H
+#define CUASMRL_KERNELS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace kernels {
+
+/// The evaluated kernels.
+enum class WorkloadKind {
+  FusedFF,        ///< Fused feed-forward (GEMM + SiLU epilogue).
+  MmLeakyRelu,    ///< Fused GEMM + LeakyReLU epilogue.
+  Bmm,            ///< Batch matrix multiplication.
+  FlashAttention, ///< Fused attention (tiled online softmax).
+  Softmax,        ///< Row-wise softmax (memory bound).
+  RmsNorm,        ///< Root-mean-square layer norm (memory bound).
+};
+
+/// All kinds, in the paper's Figure 6 order.
+std::vector<WorkloadKind> allWorkloads();
+
+/// Short display name ("bmm", "fused_ff", ...).
+std::string workloadName(WorkloadKind Kind);
+
+/// True for the kernels the paper classes as compute-bound.
+bool isComputeBound(WorkloadKind Kind);
+
+/// Input shape. Fields are interpreted per kind:
+///  - GEMM family: B x (M x K) @ (K x N)
+///  - flash-attention: B, NHead, SeqLen, DHead
+///  - softmax/rmsnorm: Rows x Cols
+struct WorkloadShape {
+  unsigned B = 1;
+  unsigned M = 512;
+  unsigned N = 512;
+  unsigned K = 2048;
+  unsigned NHead = 4;
+  unsigned SeqLen = 4096;
+  unsigned DHead = 32;
+  unsigned Rows = 512;
+  unsigned Cols = 4096;
+};
+
+/// The paper's Table 2 configuration for \p Kind.
+WorkloadShape paperShape(WorkloadKind Kind);
+
+/// A reduced shape for unit tests (same structure, ~100x less work).
+WorkloadShape testShape(WorkloadKind Kind);
+
+/// Tunable kernel configuration (the autotuner's search space).
+struct TileConfig {
+  unsigned BlockM = 64;
+  unsigned BlockN = 64;
+  unsigned BlockK = 32;
+  unsigned Warps = 4;
+  unsigned Stages = 2;
+
+  std::string str() const;
+  bool operator==(const TileConfig &O) const {
+    return BlockM == O.BlockM && BlockN == O.BlockN && BlockK == O.BlockK &&
+           Warps == O.Warps && Stages == O.Stages;
+  }
+};
+
+/// The user-provided configuration grid for \p Kind (§3.1).
+std::vector<TileConfig> candidateConfigs(WorkloadKind Kind);
+
+/// Scheduling quality of the generated SASS.
+enum class ScheduleStyle {
+  TritonO3, ///< ptxas -O3-like: good, but with the residual slack the
+            ///< paper's RL agent discovers (§5.7).
+  Expert,   ///< Hand-optimized placement (cuBLAS / FlashAttention-2 /
+            ///< MaxAs-style manual scheduling).
+};
+
+} // namespace kernels
+} // namespace cuasmrl
+
+#endif // CUASMRL_KERNELS_WORKLOAD_H

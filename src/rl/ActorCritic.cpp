@@ -1,0 +1,155 @@
+//===- rl/ActorCritic.cpp -------------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/ActorCritic.h"
+
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+using namespace cuasmrl;
+using namespace cuasmrl::rl;
+
+namespace {
+
+/// Orthogonal initialization (Gram-Schmidt over the smaller dimension)
+/// scaled by \p Gain; the convention from the PPO-details study.
+Tensor orthogonal(std::vector<size_t> Shape, double Gain, Rng &R) {
+  size_t Rows = Shape[0];
+  size_t Cols = 1;
+  for (size_t D = 1; D < Shape.size(); ++D)
+    Cols *= Shape[D];
+
+  std::vector<std::vector<double>> Q(Rows, std::vector<double>(Cols));
+  for (auto &Row : Q)
+    for (double &V : Row)
+      V = R.normal();
+
+  // Gram-Schmidt over rows (transpose logic when Rows > Cols so the
+  // orthogonalized dimension is the smaller one).
+  bool Transpose = Rows > Cols;
+  size_t N = Transpose ? Cols : Rows;
+  size_t M = Transpose ? Rows : Cols;
+  auto At = [&](size_t I, size_t J) -> double & {
+    return Transpose ? Q[J][I] : Q[I][J];
+  };
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t P = 0; P < I; ++P) {
+      double Dot = 0;
+      for (size_t J = 0; J < M; ++J)
+        Dot += At(I, J) * At(P, J);
+      for (size_t J = 0; J < M; ++J)
+        At(I, J) -= Dot * At(P, J);
+    }
+    double Norm = 0;
+    for (size_t J = 0; J < M; ++J)
+      Norm += At(I, J) * At(I, J);
+    Norm = std::sqrt(std::max(Norm, 1e-12));
+    for (size_t J = 0; J < M; ++J)
+      At(I, J) /= Norm;
+  }
+
+  std::vector<float> Data(Rows * Cols);
+  for (size_t I = 0; I < Rows; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      Data[I * Cols + J] = static_cast<float>(Q[I][J] * Gain);
+  return Tensor::fromVector(std::move(Data), std::move(Shape),
+                            /*RequiresGrad=*/true);
+}
+
+} // namespace
+
+ActorCritic::ActorCritic(NetConfig C, Rng &R) : Config(C) {
+  assert(C.Features && C.Length && C.Actions && "geometry must be set");
+  double HiddenGain = std::sqrt(2.0);
+  W1 = orthogonal({C.Channels, C.Features, C.Kernel}, HiddenGain, R);
+  B1 = Tensor::zeros({C.Channels}, true);
+  W2 = orthogonal({C.Channels, C.Channels, C.Kernel}, HiddenGain, R);
+  B2 = Tensor::zeros({C.Channels}, true);
+  Wh = orthogonal({C.Hidden, 2 * C.Channels}, HiddenGain, R);
+  Bh = Tensor::zeros({C.Hidden}, true);
+  Wp = orthogonal({C.Actions, C.Hidden}, 0.01, R);
+  Bp = Tensor::zeros({C.Actions}, true);
+  Wv = orthogonal({1, C.Hidden}, 1.0, R);
+  Bv = Tensor::zeros({1}, true);
+}
+
+ActorCritic::Output
+ActorCritic::forward(const std::vector<float> &Obs,
+                     const std::vector<uint8_t> &Mask) const {
+  size_t F = Config.Features, L = Config.Length;
+  assert(Obs.size() == F * L && "observation shape mismatch");
+  assert(Mask.size() == Config.Actions && "mask shape mismatch");
+
+  // Transpose [L x F] row-major into channel-major [F x L].
+  std::vector<float> ChanMajor(F * L);
+  for (size_t Row = 0; Row < L; ++Row)
+    for (size_t Feat = 0; Feat < F; ++Feat)
+      ChanMajor[Feat * L + Row] = Obs[Row * F + Feat];
+
+  Tensor X = Tensor::fromVector(std::move(ChanMajor), {F, L});
+  X = relu(conv1d(X, W1, B1));
+  X = relu(conv1d(X, W2, B2));
+  Tensor Pooled = concat(meanPool(X), maxPool(X));
+  Tensor H = relu(linear(Wh, Pooled, Bh));
+
+  Output Out;
+  Out.MaskedLogits = maskedFill(linear(Wp, H, Bp), Mask);
+  Out.Value = linear(Wv, H, Bv);
+  return Out;
+}
+
+std::vector<Tensor> ActorCritic::parameters() const {
+  return {W1, B1, W2, B2, Wh, Bh, Wp, Bp, Wv, Bv};
+}
+
+void ActorCritic::save(std::ostream &OS) const {
+  const char Magic[8] = {'C', 'U', 'A', 'S', 'M', 'R', 'L', '1'};
+  OS.write(Magic, sizeof(Magic));
+  std::vector<Tensor> Params = parameters();
+  uint32_t Count = static_cast<uint32_t>(Params.size());
+  OS.write(reinterpret_cast<const char *>(&Count), sizeof(Count));
+  for (const Tensor &P : Params) {
+    uint32_t Dims = static_cast<uint32_t>(P.shape().size());
+    OS.write(reinterpret_cast<const char *>(&Dims), sizeof(Dims));
+    for (size_t D : P.shape()) {
+      uint64_t D64 = D;
+      OS.write(reinterpret_cast<const char *>(&D64), sizeof(D64));
+    }
+    OS.write(reinterpret_cast<const char *>(P.data().data()),
+             static_cast<std::streamsize>(P.size() * sizeof(float)));
+  }
+}
+
+bool ActorCritic::load(std::istream &IS) {
+  char Magic[8];
+  IS.read(Magic, sizeof(Magic));
+  if (!IS || std::string(Magic, 8) != "CUASMRL1")
+    return false;
+  uint32_t Count = 0;
+  IS.read(reinterpret_cast<char *>(&Count), sizeof(Count));
+  std::vector<Tensor> Params = parameters();
+  if (!IS || Count != Params.size())
+    return false;
+  for (Tensor &P : Params) {
+    uint32_t Dims = 0;
+    IS.read(reinterpret_cast<char *>(&Dims), sizeof(Dims));
+    if (!IS || Dims != P.shape().size())
+      return false;
+    for (size_t D : P.shape()) {
+      uint64_t D64 = 0;
+      IS.read(reinterpret_cast<char *>(&D64), sizeof(D64));
+      if (!IS || D64 != D)
+        return false;
+    }
+    IS.read(reinterpret_cast<char *>(P.data().data()),
+            static_cast<std::streamsize>(P.size() * sizeof(float)));
+    if (!IS)
+      return false;
+  }
+  return true;
+}

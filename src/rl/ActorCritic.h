@@ -1,0 +1,81 @@
+//===- rl/ActorCritic.h - CNN encoder + MLP heads (paper §3.5/3.7) -----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The RL agent has a Convolutional Neural Network (CNN) for encoding
+/// the state representation, followed by an MLP layer to output the
+/// probability of each action" (§3.5), trained with an actor-critic
+/// policy-gradient algorithm (§3.7). The embedding matrix enters with
+/// instructions along the convolution length axis and features as
+/// channels; two same-padded conv layers, mean+max pooling, a hidden MLP
+/// and separate policy/value heads. Orthogonal initialization with the
+/// standard gains (hidden sqrt(2), policy 0.01, value 1.0) follows the
+/// PPO implementation-details study the paper takes its hyperparameters
+/// from [11].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_RL_ACTORCRITIC_H
+#define CUASMRL_RL_ACTORCRITIC_H
+
+#include "rl/Tensor.h"
+#include "support/Rng.h"
+
+#include <iosfwd>
+
+namespace cuasmrl {
+namespace rl {
+
+/// Network geometry.
+struct NetConfig {
+  size_t Features = 0; ///< Embedding features per instruction.
+  size_t Length = 0;   ///< Instructions (conv length axis).
+  size_t Actions = 0;  ///< 2 x movable memory instructions.
+  size_t Channels = 16;
+  size_t Hidden = 64;
+  size_t Kernel = 5;
+};
+
+/// Policy + value network.
+class ActorCritic {
+public:
+  ActorCritic(NetConfig Config, Rng &InitRng);
+
+  struct Output {
+    Tensor MaskedLogits; ///< [Actions], invalid entries at -1e9.
+    Tensor Value;        ///< [1].
+  };
+
+  /// Builds the forward graph for one observation (row-major
+  /// [Length x Features] as produced by env::Embedding).
+  Output forward(const std::vector<float> &Obs,
+                 const std::vector<uint8_t> &Mask) const;
+
+  /// All trainable parameters (stable order; used by Adam/checkpoints).
+  std::vector<Tensor> parameters() const;
+
+  const NetConfig &config() const { return Config; }
+
+  /// \name Checkpointing (§3.7: "the agent's weight is checkpointed")
+  /// @{
+  void save(std::ostream &OS) const;
+  /// \returns false on malformed input or geometry mismatch.
+  bool load(std::istream &IS);
+  /// @}
+
+private:
+  NetConfig Config;
+  Tensor W1, B1; ///< conv1: [C, F, K], [C].
+  Tensor W2, B2; ///< conv2: [C, C, K], [C].
+  Tensor Wh, Bh; ///< hidden: [H, 2C], [H].
+  Tensor Wp, Bp; ///< policy head: [A, H], [A].
+  Tensor Wv, Bv; ///< value head: [1, H], [1].
+};
+
+} // namespace rl
+} // namespace cuasmrl
+
+#endif // CUASMRL_RL_ACTORCRITIC_H

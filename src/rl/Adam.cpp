@@ -1,0 +1,59 @@
+//===- rl/Adam.cpp ---------------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Adam.h"
+
+#include <cmath>
+
+using namespace cuasmrl;
+using namespace cuasmrl::rl;
+
+Adam::Adam(std::vector<Tensor> P, double Lr, double Beta1, double Beta2,
+           double Eps)
+    : Params(std::move(P)), Lr(Lr), Beta1(Beta1), Beta2(Beta2), Eps(Eps) {
+  for (const Tensor &Param : Params) {
+    M.emplace_back(Param.size(), 0.0f);
+    V.emplace_back(Param.size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++T;
+  double Bc1 = 1.0 - std::pow(Beta1, T);
+  double Bc2 = 1.0 - std::pow(Beta2, T);
+  for (size_t P = 0; P < Params.size(); ++P) {
+    std::vector<float> &Data = Params[P].data();
+    const std::vector<float> &Grad = Params[P].grad();
+    for (size_t I = 0; I < Data.size(); ++I) {
+      double G = Grad[I];
+      M[P][I] = static_cast<float>(Beta1 * M[P][I] + (1 - Beta1) * G);
+      V[P][I] = static_cast<float>(Beta2 * V[P][I] + (1 - Beta2) * G * G);
+      double MHat = M[P][I] / Bc1;
+      double VHat = V[P][I] / Bc2;
+      Data[I] -= static_cast<float>(Lr * MHat / (std::sqrt(VHat) + Eps));
+    }
+  }
+}
+
+void Adam::zeroGrad() {
+  for (Tensor &Param : Params)
+    Param.zeroGrad();
+}
+
+double rl::clipGradNorm(const std::vector<Tensor> &Params, double MaxNorm) {
+  double SumSq = 0.0;
+  for (const Tensor &P : Params)
+    for (float G : P.grad())
+      SumSq += static_cast<double>(G) * G;
+  double Norm = std::sqrt(SumSq);
+  if (Norm > MaxNorm && Norm > 0.0) {
+    double Scale = MaxNorm / Norm;
+    for (const Tensor &P : Params)
+      for (float &G : const_cast<std::vector<float> &>(P.grad()))
+        G = static_cast<float>(G * Scale);
+  }
+  return Norm;
+}

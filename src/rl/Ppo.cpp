@@ -1,0 +1,284 @@
+//===- rl/Ppo.cpp ----------------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rl/Ppo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace cuasmrl;
+using namespace cuasmrl::rl;
+
+Env::~Env() = default;
+
+namespace {
+
+NetConfig netConfigFor(const std::vector<Env *> &Envs,
+                       const PpoConfig &Config) {
+  assert(!Envs.empty() && "need at least one environment");
+  NetConfig NC;
+  NC.Features = Envs[0]->obsFeatures();
+  NC.Length = Envs[0]->obsRows();
+  NC.Actions = Envs[0]->actionCount();
+  NC.Channels = Config.Channels;
+  NC.Hidden = Config.Hidden;
+  return NC;
+}
+
+} // namespace
+
+PpoTrainer::PpoTrainer(std::vector<Env *> E, PpoConfig C)
+    : Envs(std::move(E)), Config(C), SampleRng(C.Seed),
+      Net(netConfigFor(Envs, C), SampleRng),
+      Optimizer(Net.parameters(), C.Lr) {
+  CurrentObs.resize(Envs.size());
+  RunningReturn.assign(Envs.size(), 0.0);
+  for (size_t I = 0; I < Envs.size(); ++I)
+    CurrentObs[I] = Envs[I]->reset();
+}
+
+unsigned PpoTrainer::sampleAction(const Tensor &MaskedLogits) {
+  // Categorical over the masked softmax.
+  const std::vector<float> &Logits = MaskedLogits.data();
+  float Max = *std::max_element(Logits.begin(), Logits.end());
+  std::vector<double> Probs(Logits.size());
+  double Z = 0.0;
+  for (size_t I = 0; I < Logits.size(); ++I) {
+    Probs[I] = std::exp(static_cast<double>(Logits[I]) - Max);
+    Z += Probs[I];
+  }
+  for (double &P : Probs)
+    P /= Z;
+  return static_cast<unsigned>(SampleRng.categorical(Probs));
+}
+
+UpdateStats PpoTrainer::update() {
+  const size_t NumEnvs = Envs.size();
+  const size_t T = Config.RolloutLen;
+  std::vector<std::vector<Sample>> Roll(NumEnvs,
+                                        std::vector<Sample>(T));
+
+  // ---- rollout ------------------------------------------------------------
+  for (size_t Step = 0; Step < T; ++Step) {
+    for (size_t E = 0; E < NumEnvs; ++E) {
+      Sample &S = Roll[E][Step];
+      S.Obs = CurrentObs[E];
+      S.Mask = Envs[E]->actionMask();
+      bool AnyLegal =
+          std::any_of(S.Mask.begin(), S.Mask.end(),
+                      [](uint8_t M) { return M != 0; });
+      if (!AnyLegal)
+        S.Mask.assign(S.Mask.size(), 1);
+
+      ActorCritic::Output Out = Net.forward(S.Obs, S.Mask);
+      S.Action = sampleAction(Out.MaskedLogits);
+      // Log-prob of the chosen action under the masked softmax.
+      const std::vector<float> &Logits = Out.MaskedLogits.data();
+      float Max = *std::max_element(Logits.begin(), Logits.end());
+      double Z = 0.0;
+      for (float L : Logits)
+        Z += std::exp(static_cast<double>(L) - Max);
+      S.LogProb = static_cast<float>(Logits[S.Action] - Max - std::log(Z));
+      S.Value = Out.Value.item();
+
+      EnvStep Res = Envs[E]->step(S.Action);
+      S.Reward = static_cast<float>(Res.Reward);
+      S.Done = Res.Done;
+      RunningReturn[E] += Res.Reward;
+      if (Res.Done) {
+        EpisodeReturns.push_back(RunningReturn[E]);
+        RunningReturn[E] = 0.0;
+        CurrentObs[E] = Envs[E]->reset();
+      } else {
+        CurrentObs[E] = std::move(Res.Obs);
+      }
+    }
+  }
+  StepsDone += static_cast<unsigned>(T * NumEnvs);
+
+  // ---- GAE ------------------------------------------------------------------
+  std::vector<std::vector<float>> Adv(NumEnvs, std::vector<float>(T));
+  std::vector<std::vector<float>> Ret(NumEnvs, std::vector<float>(T));
+  for (size_t E = 0; E < NumEnvs; ++E) {
+    // Bootstrap with the value of the post-rollout observation.
+    std::vector<uint8_t> Mask = Envs[E]->actionMask();
+    if (std::none_of(Mask.begin(), Mask.end(),
+                     [](uint8_t M) { return M != 0; }))
+      Mask.assign(Mask.size(), 1);
+    float NextValue = Net.forward(CurrentObs[E], Mask).Value.item();
+    float Gae = 0.0f;
+    for (size_t Step = T; Step-- > 0;) {
+      const Sample &S = Roll[E][Step];
+      float VNext = Step + 1 < T ? Roll[E][Step + 1].Value : NextValue;
+      float NonTerminal = S.Done ? 0.0f : 1.0f;
+      float Delta = S.Reward +
+                    static_cast<float>(Config.Gamma) * VNext * NonTerminal -
+                    S.Value;
+      Gae = Delta + static_cast<float>(Config.Gamma * Config.GaeLambda) *
+                        NonTerminal * Gae;
+      Adv[E][Step] = Gae;
+      Ret[E][Step] = Gae + S.Value;
+    }
+  }
+
+  // ---- optimization ----------------------------------------------------------
+  std::vector<std::pair<size_t, size_t>> Index;
+  Index.reserve(NumEnvs * T);
+  for (size_t E = 0; E < NumEnvs; ++E)
+    for (size_t Step = 0; Step < T; ++Step)
+      Index.push_back({E, Step});
+
+  if (Config.AnnealLr) {
+    double Frac = 1.0 - static_cast<double>(StepsDone) /
+                            std::max(1u, Config.TotalSteps);
+    Optimizer.setLr(Config.Lr * std::max(0.05, Frac));
+  }
+
+  double SumPolicyLoss = 0, SumValueLoss = 0, SumEntropy = 0, SumKl = 0,
+         SumClip = 0;
+  size_t BatchCount = 0;
+
+  size_t Batch = Index.size();
+  size_t MbSize = std::max<size_t>(1, Batch / Config.MiniBatches);
+  for (unsigned Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    SampleRng.shuffle(Index);
+    for (size_t Start = 0; Start < Batch; Start += MbSize) {
+      size_t End = std::min(Batch, Start + MbSize);
+      size_t Count = End - Start;
+
+      // Advantage normalization within the minibatch.
+      double Mean = 0, Var = 0;
+      for (size_t I = Start; I < End; ++I)
+        Mean += Adv[Index[I].first][Index[I].second];
+      Mean /= Count;
+      for (size_t I = Start; I < End; ++I) {
+        double D = Adv[Index[I].first][Index[I].second] - Mean;
+        Var += D * D;
+      }
+      double Std = std::sqrt(Var / Count) + 1e-8;
+
+      Tensor Loss = Tensor::scalar(0.0f);
+      double KlAccum = 0, ClipAccum = 0, EntAccum = 0, PlAccum = 0,
+             VlAccum = 0;
+      for (size_t I = Start; I < End; ++I) {
+        const Sample &S = Roll[Index[I].first][Index[I].second];
+        float A = static_cast<float>(
+            Config.NormAdvantage
+                ? (Adv[Index[I].first][Index[I].second] - Mean) / Std
+                : Adv[Index[I].first][Index[I].second]);
+        float R = Ret[Index[I].first][Index[I].second];
+
+        ActorCritic::Output Out = Net.forward(S.Obs, S.Mask);
+        Tensor LogP = logSoftmax(Out.MaskedLogits);
+        Tensor NewLogProb = gather(LogP, S.Action);
+        Tensor Ratio =
+            expT(scalarAdd(NewLogProb, -S.LogProb)); // exp(new - old).
+
+        // Clipped surrogate objective.
+        Tensor Surr1 = scalarMul(Ratio, A);
+        Tensor Surr2 = scalarMul(
+            clampRange(Ratio, 1.0f - static_cast<float>(Config.ClipCoef),
+                       1.0f + static_cast<float>(Config.ClipCoef)),
+            A);
+        Tensor PolicyLoss = neg(minElem(Surr1, Surr2));
+
+        // Value loss, optionally clipped around the old value.
+        Tensor VDiff = scalarAdd(Out.Value, -R);
+        Tensor VLoss = mul(VDiff, VDiff);
+        if (Config.ClipVLoss) {
+          Tensor VClipped =
+              scalarAdd(clampRange(scalarAdd(Out.Value, -S.Value),
+                                   -static_cast<float>(Config.ClipCoef),
+                                   static_cast<float>(Config.ClipCoef)),
+                        S.Value - R);
+          Tensor VLossClipped = mul(VClipped, VClipped);
+          // max(a, b) = -min(-a, -b).
+          VLoss = neg(minElem(neg(VLoss), neg(VLossClipped)));
+        }
+
+        // Entropy of the masked categorical.
+        Tensor Probs = expT(LogP);
+        Tensor Entropy = neg(sumT(mul(Probs, LogP)));
+
+        Tensor SampleLoss =
+            add(PolicyLoss,
+                add(scalarMul(VLoss, static_cast<float>(Config.VfCoef) *
+                                         0.5f),
+                    scalarMul(Entropy,
+                              -static_cast<float>(Config.EntCoef))));
+        Loss = add(Loss, SampleLoss);
+
+        // Diagnostics.
+        double RatioVal = Ratio.item();
+        double LogRatio = NewLogProb.item() - S.LogProb;
+        KlAccum += (RatioVal - 1.0) - LogRatio;
+        ClipAccum += std::fabs(RatioVal - 1.0) > Config.ClipCoef;
+        EntAccum += Entropy.item();
+        PlAccum += PolicyLoss.item();
+        VlAccum += VLoss.item();
+      }
+
+      Loss = scalarMul(Loss, 1.0f / static_cast<float>(Count));
+      Optimizer.zeroGrad();
+      Loss.backward();
+      clipGradNorm(Net.parameters(), Config.MaxGradNorm);
+      Optimizer.step();
+
+      SumPolicyLoss += PlAccum / Count;
+      SumValueLoss += VlAccum / Count;
+      SumEntropy += EntAccum / Count;
+      SumKl += KlAccum / Count;
+      SumClip += ClipAccum / Count;
+      ++BatchCount;
+    }
+  }
+
+  UpdateStats Stats;
+  Stats.StepsDone = StepsDone;
+  Stats.PolicyLoss = SumPolicyLoss / BatchCount;
+  Stats.ValueLoss = SumValueLoss / BatchCount;
+  Stats.Entropy = SumEntropy / BatchCount;
+  Stats.ApproxKl = SumKl / BatchCount;
+  Stats.ClipFraction = SumClip / BatchCount;
+  if (!EpisodeReturns.empty()) {
+    size_t Window = std::min<size_t>(EpisodeReturns.size(), 16);
+    double Sum = 0;
+    for (size_t I = EpisodeReturns.size() - Window;
+         I < EpisodeReturns.size(); ++I)
+      Sum += EpisodeReturns[I];
+    Stats.MeanEpisodicReturn = Sum / Window;
+  }
+  return Stats;
+}
+
+std::vector<UpdateStats> PpoTrainer::train() {
+  std::vector<UpdateStats> Series;
+  while (StepsDone < Config.TotalSteps)
+    Series.push_back(update());
+  return Series;
+}
+
+std::vector<unsigned> PpoTrainer::playGreedy(Env &E, unsigned MaxSteps) {
+  std::vector<unsigned> Actions;
+  std::vector<float> Obs = E.reset();
+  for (unsigned Step = 0; Step < MaxSteps; ++Step) {
+    std::vector<uint8_t> Mask = E.actionMask();
+    if (std::none_of(Mask.begin(), Mask.end(),
+                     [](uint8_t M) { return M != 0; }))
+      break;
+    ActorCritic::Output Out = Net.forward(Obs, Mask);
+    const std::vector<float> &Logits = Out.MaskedLogits.data();
+    unsigned Action = static_cast<unsigned>(std::distance(
+        Logits.begin(), std::max_element(Logits.begin(), Logits.end())));
+    Actions.push_back(Action);
+    EnvStep Res = E.step(Action);
+    if (Res.Done)
+      break;
+    Obs = std::move(Res.Obs);
+  }
+  return Actions;
+}

@@ -1,0 +1,123 @@
+//===- rl/Tensor.h - Minimal reverse-mode autograd tensors -------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact dynamic-graph autograd engine sized for the paper's agent:
+/// 1-D/2-D/3-D float tensors, the op set PPO needs (conv1d, matvec,
+/// activations, masked log-softmax, reductions, elementwise arithmetic)
+/// and reverse-mode differentiation over the recorded tape. Single
+/// sample forward passes; batching is a loop at the trainer level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_RL_TENSOR_H
+#define CUASMRL_RL_TENSOR_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace cuasmrl {
+namespace rl {
+
+/// Graph node: storage, gradient and the backward closure.
+struct TensorNode {
+  std::vector<float> Data;
+  std::vector<float> Grad;
+  std::vector<size_t> Shape;
+  bool RequiresGrad = false;
+  /// Propagates this->Grad into the parents' Grad buffers.
+  std::function<void()> Backward;
+  std::vector<std::shared_ptr<TensorNode>> Parents;
+  /// Traversal bookkeeping for topological sort.
+  int Visited = 0;
+
+  size_t size() const { return Data.size(); }
+};
+
+/// Value-semantics handle over a graph node.
+class Tensor {
+public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorNode> N) : N(std::move(N)) {}
+
+  /// \name Construction
+  /// @{
+  static Tensor zeros(std::vector<size_t> Shape, bool RequiresGrad = false);
+  static Tensor fromVector(std::vector<float> Data,
+                           std::vector<size_t> Shape,
+                           bool RequiresGrad = false);
+  static Tensor scalar(float Value, bool RequiresGrad = false);
+  /// @}
+
+  bool valid() const { return N != nullptr; }
+  const std::vector<size_t> &shape() const { return N->Shape; }
+  size_t size() const { return N->size(); }
+  std::vector<float> &data() { return N->Data; }
+  const std::vector<float> &data() const { return N->Data; }
+  std::vector<float> &grad() { return N->Grad; }
+  const std::vector<float> &grad() const { return N->Grad; }
+  bool requiresGrad() const { return N->RequiresGrad; }
+  float item() const { return N->Data.at(0); }
+
+  std::shared_ptr<TensorNode> node() const { return N; }
+
+  /// Runs reverse-mode differentiation from this (scalar) tensor.
+  void backward();
+
+  /// Zeroes the gradient buffer.
+  void zeroGrad();
+
+private:
+  std::shared_ptr<TensorNode> N;
+};
+
+/// \name Elementwise ops (same-shape operands)
+/// @{
+Tensor add(const Tensor &A, const Tensor &B);
+Tensor sub(const Tensor &A, const Tensor &B);
+Tensor mul(const Tensor &A, const Tensor &B);
+Tensor minElem(const Tensor &A, const Tensor &B);
+Tensor neg(const Tensor &A);
+Tensor expT(const Tensor &A);
+Tensor relu(const Tensor &A);
+Tensor tanhT(const Tensor &A);
+Tensor clampRange(const Tensor &A, float Lo, float Hi);
+Tensor scalarMul(const Tensor &A, float S);
+Tensor scalarAdd(const Tensor &A, float S);
+/// @}
+
+/// \name Reductions / shape ops
+/// @{
+Tensor sumT(const Tensor &A);                 ///< -> scalar
+Tensor meanT(const Tensor &A);                ///< -> scalar
+Tensor concat(const Tensor &A, const Tensor &B); ///< 1-D concat
+Tensor gather(const Tensor &A, size_t Index); ///< 1-D pick -> scalar
+/// @}
+
+/// \name Neural-network ops
+/// @{
+/// y = W x + b with W [Out, In], x [In], b [Out].
+Tensor linear(const Tensor &W, const Tensor &X, const Tensor &B);
+/// Same-padded 1-D convolution: X [Cin, L], W [Cout, Cin, K], B [Cout]
+/// -> [Cout, L]. K must be odd.
+Tensor conv1d(const Tensor &X, const Tensor &W, const Tensor &B);
+/// Mean over the length axis: [C, L] -> [C].
+Tensor meanPool(const Tensor &X);
+/// Max over the length axis: [C, L] -> [C].
+Tensor maxPool(const Tensor &X);
+/// Sets masked-out entries (Mask[i] == 0) to -1e9; gradient flows only
+/// through kept entries. A [A]-shaped op for invalid-action masking.
+Tensor maskedFill(const Tensor &A, const std::vector<uint8_t> &Mask);
+/// Numerically stable log-softmax over a 1-D tensor.
+Tensor logSoftmax(const Tensor &A);
+/// @}
+
+} // namespace rl
+} // namespace cuasmrl
+
+#endif // CUASMRL_RL_TENSOR_H

@@ -1,0 +1,134 @@
+//===- sass/ControlCode.cpp ------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sass/ControlCode.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace cuasmrl;
+using namespace cuasmrl::sass;
+
+std::string ControlCode::str() const {
+  std::string Out = "[B";
+  for (int Slot = 0; Slot < NumBarrierSlots; ++Slot)
+    Out += waitsOn(Slot) ? static_cast<char>('0' + Slot) : '-';
+  Out += ":R";
+  Out += hasReadBarrier() ? static_cast<char>('0' + ReadBarrier) : '-';
+  Out += ":W";
+  Out += hasWriteBarrier() ? static_cast<char>('0' + WriteBarrier) : '-';
+  Out += ':';
+  Out += Yield ? 'Y' : '-';
+  Out += ":S";
+  Out += static_cast<char>('0' + Stall / 10);
+  Out += static_cast<char>('0' + Stall % 10);
+  Out += ']';
+  return Out;
+}
+
+Expected<ControlCode> ControlCode::parse(std::string_view Text) {
+  Text = trim(Text);
+  if (Text.size() < 2 || Text.front() != '[' || Text.back() != ']')
+    return Error("control code must be enclosed in square brackets");
+  Text = Text.substr(1, Text.size() - 2);
+
+  std::vector<std::string> Fields = split(Text, ':');
+  if (Fields.size() != 5)
+    return Error("control code must have 5 colon-separated fields, got " +
+                 std::to_string(Fields.size()));
+
+  ControlCode CC;
+
+  // Field 1: wait mask, "B" followed by one char per slot.
+  std::string_view Wait = Fields[0];
+  if (Wait.empty() || Wait[0] != 'B')
+    return Error("wait-mask field must start with 'B'");
+  Wait.remove_prefix(1);
+  if (Wait.size() != NumBarrierSlots)
+    return Error("wait-mask field must name " +
+                 std::to_string(NumBarrierSlots) + " slots");
+  for (int Slot = 0; Slot < NumBarrierSlots; ++Slot) {
+    char C = Wait[Slot];
+    if (C == '-')
+      continue;
+    if (C != '0' + Slot)
+      return Error("wait-mask slot " + std::to_string(Slot) +
+                   " must be '-' or its own digit");
+    CC.setWait(Slot);
+  }
+
+  // Fields 2 and 3: read / write barrier.
+  auto ParseBarrier = [](std::string_view Field, char Prefix,
+                         int &Out) -> std::optional<Error> {
+    if (Field.empty() || Field[0] != Prefix)
+      return Error(std::string("barrier field must start with '") + Prefix +
+                   "'");
+    Field.remove_prefix(1);
+    if (Field == "-") {
+      Out = ControlCode::NoBarrier;
+      return std::nullopt;
+    }
+    if (Field.size() != 1 || Field[0] < '0' ||
+        Field[0] >= '0' + ControlCode::NumBarrierSlots)
+      return Error("barrier slot out of range");
+    Out = Field[0] - '0';
+    return std::nullopt;
+  };
+
+  int Slot = NoBarrier;
+  if (auto E = ParseBarrier(Fields[1], 'R', Slot))
+    return *E;
+  CC.ReadBarrier = static_cast<int8_t>(Slot);
+  if (auto E = ParseBarrier(Fields[2], 'W', Slot))
+    return *E;
+  CC.WriteBarrier = static_cast<int8_t>(Slot);
+
+  // Field 4: yield flag.
+  if (Fields[3] == "Y")
+    CC.Yield = true;
+  else if (Fields[3] != "-")
+    return Error("yield field must be 'Y' or '-'");
+
+  // Field 5: stall count, "S" + two digits.
+  std::string_view StallField = Fields[4];
+  if (StallField.empty() || StallField[0] != 'S')
+    return Error("stall field must start with 'S'");
+  StallField.remove_prefix(1);
+  std::optional<int64_t> Count = parseInt(StallField);
+  if (!Count || *Count < 0 || *Count > MaxStall)
+    return Error("stall count out of range [0, " + std::to_string(MaxStall) +
+                 "]");
+  CC.Stall = static_cast<uint8_t>(*Count);
+
+  return CC;
+}
+
+uint32_t ControlCode::encode() const {
+  uint32_t Bits = WaitMask;
+  uint32_t Read = hasReadBarrier() ? static_cast<uint32_t>(ReadBarrier) : 7u;
+  uint32_t Write =
+      hasWriteBarrier() ? static_cast<uint32_t>(WriteBarrier) : 7u;
+  Bits |= Read << 6;
+  Bits |= Write << 9;
+  Bits |= static_cast<uint32_t>(Yield) << 12;
+  Bits |= static_cast<uint32_t>(Stall & 0xf) << 13;
+  return Bits;
+}
+
+ControlCode ControlCode::decode(uint32_t Bits) {
+  ControlCode CC;
+  CC.setWaitMask(Bits & 0x3f);
+  uint32_t Read = (Bits >> 6) & 0x7;
+  uint32_t Write = (Bits >> 9) & 0x7;
+  CC.ReadBarrier =
+      Read == 7 ? NoBarrier : static_cast<int8_t>(Read);
+  CC.WriteBarrier =
+      Write == 7 ? NoBarrier : static_cast<int8_t>(Write);
+  CC.Yield = (Bits >> 12) & 1;
+  CC.Stall = static_cast<uint8_t>((Bits >> 13) & 0xf);
+  return CC;
+}

@@ -1,0 +1,114 @@
+//===- sass/ControlCode.h - SASS control code (scoreboard) model ----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-instruction control code that Kepler-and-later GPUs use for
+/// static scheduling, in CuAssembler's textual form (paper §2.3):
+///
+///   [B------:R-:W2:Y:S02] LDG.E R0, [R2.64];
+///
+/// Five colon-separated fields inside the brackets:
+///   1. wait barrier mask — six slots; the instruction stalls until every
+///      named scoreboard slot is clear;
+///   2. read barrier  — slot set when the instruction's *source* operands
+///      have been consumed (protects operands of variable-latency ops);
+///   3. write barrier — slot set until the instruction's *result* is
+///      ready (protects consumers of variable-latency results);
+///   4. yield flag — scheduler load-balancing hint;
+///   5. stall count — cycles to stall before issuing the next
+///      instruction from the same warp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SASS_CONTROLCODE_H
+#define CUASMRL_SASS_CONTROLCODE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cuasmrl {
+namespace sass {
+
+/// Decoded control code attached to every SASS instruction.
+class ControlCode {
+public:
+  /// Number of scoreboard (wait-barrier) slots on Ampere.
+  static constexpr int NumBarrierSlots = 6;
+  /// Maximum encodable stall count (4 bits).
+  static constexpr unsigned MaxStall = 15;
+  /// Sentinel for "no read/write barrier set".
+  static constexpr int NoBarrier = -1;
+
+  ControlCode() = default;
+
+  /// \name Wait barrier mask
+  /// @{
+  bool waitsOn(int Slot) const { return (WaitMask >> Slot) & 1u; }
+  void setWait(int Slot, bool Value = true) {
+    if (Value)
+      WaitMask |= (1u << Slot);
+    else
+      WaitMask &= ~(1u << Slot);
+  }
+  uint8_t waitMask() const { return WaitMask; }
+  void setWaitMask(uint8_t Mask) { WaitMask = Mask & 0x3f; }
+  /// @}
+
+  /// \name Read / write barriers
+  /// @{
+  int readBarrier() const { return ReadBarrier; }
+  void setReadBarrier(int Slot) { ReadBarrier = static_cast<int8_t>(Slot); }
+  bool hasReadBarrier() const { return ReadBarrier != NoBarrier; }
+
+  int writeBarrier() const { return WriteBarrier; }
+  void setWriteBarrier(int Slot) { WriteBarrier = static_cast<int8_t>(Slot); }
+  bool hasWriteBarrier() const { return WriteBarrier != NoBarrier; }
+  /// @}
+
+  bool yield() const { return Yield; }
+  void setYield(bool Value) { Yield = Value; }
+
+  unsigned stall() const { return Stall; }
+  void setStall(unsigned Cycles) { Stall = static_cast<uint8_t>(Cycles); }
+
+  /// True when this instruction sets scoreboard slot \p Slot (as either
+  /// its read or its write barrier).
+  bool setsBarrier(int Slot) const {
+    return ReadBarrier == Slot || WriteBarrier == Slot;
+  }
+
+  /// Renders the bracketed textual form, e.g. "[B--2---:R-:W3:Y:S04]".
+  std::string str() const;
+
+  /// Parses the bracketed textual form.
+  static Expected<ControlCode> parse(std::string_view Text);
+
+  /// Packs into the low 23 bits used by the binary encoder:
+  /// wait(6) | read(3) | write(3) | yield(1) | stall(4).
+  uint32_t encode() const;
+  static ControlCode decode(uint32_t Bits);
+
+  bool operator==(const ControlCode &Other) const {
+    return WaitMask == Other.WaitMask && ReadBarrier == Other.ReadBarrier &&
+           WriteBarrier == Other.WriteBarrier && Yield == Other.Yield &&
+           Stall == Other.Stall;
+  }
+
+private:
+  uint8_t WaitMask = 0;
+  int8_t ReadBarrier = NoBarrier;
+  int8_t WriteBarrier = NoBarrier;
+  bool Yield = false;
+  uint8_t Stall = 0;
+};
+
+} // namespace sass
+} // namespace cuasmrl
+
+#endif // CUASMRL_SASS_CONTROLCODE_H

@@ -1,0 +1,184 @@
+//===- sass/Instruction.cpp ------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sass/Instruction.h"
+
+#include <cassert>
+
+using namespace cuasmrl;
+using namespace cuasmrl::sass;
+
+bool Instruction::hasModifier(std::string_view Mod) const {
+  for (const std::string &M : Modifiers)
+    if (M == Mod)
+      return true;
+  return false;
+}
+
+unsigned Instruction::dataRegCount() const {
+  if (hasModifier("128"))
+    return 4;
+  if (hasModifier("64"))
+    return 2;
+  return 1;
+}
+
+/// Appends \p R and, when \p Count > 1, its consecutive upper registers.
+/// Vector loads/stores address aligned groups R, R+1, ... R+Count-1.
+static void appendRegGroup(std::vector<Register> &Out, Register R,
+                           unsigned Count) {
+  if (R.isZero())
+    return;
+  for (unsigned I = 0; I < Count; ++I)
+    Out.push_back(Register(R.regClass(), R.index() + I));
+}
+
+/// Appends all registers of a source operand with Eq. 2 expansion.
+static void appendOperandUses(std::vector<Register> &Out, const Operand &Op) {
+  for (Register R : Op.expandRegisters())
+    Out.push_back(R);
+}
+
+std::vector<Register> Instruction::regDefs() const {
+  std::vector<Register> Defs;
+  const OpcodeInfo &Info = info();
+  if (Operands.empty())
+    return Defs;
+
+  switch (this->Op) {
+  case Opcode::ISETP:
+  case Opcode::FSETP:
+    // Two leading predicate destinations: ISETP.GE.AND P0, PT, ...
+    for (unsigned I = 0; I < 2 && I < Operands.size(); ++I)
+      if (Operands[I].isReg() && Operands[I].baseReg().isPredicate() &&
+          !Operands[I].baseReg().isZero())
+        Defs.push_back(Operands[I].baseReg());
+    return Defs;
+  case Opcode::PLOP3:
+    // PLOP3.LUT P0, PT, Pa, Pb, Pc, imm, imm.
+    for (unsigned I = 0; I < 2 && I < Operands.size(); ++I)
+      if (Operands[I].isReg() && Operands[I].baseReg().isPredicate() &&
+          !Operands[I].baseReg().isZero())
+        Defs.push_back(Operands[I].baseReg());
+    return Defs;
+  case Opcode::VOTE:
+    if (Operands[0].isReg() && !Operands[0].baseReg().isZero())
+      Defs.push_back(Operands[0].baseReg());
+    return Defs;
+  default:
+    break;
+  }
+
+  if (!Info.WritesRegister)
+    return Defs;
+
+  const Operand &Dest = Operands[0];
+  if (!Dest.isReg())
+    return Defs;
+
+  // Register-pair results: IMAD.WIDE and explicit `.64` destinations.
+  unsigned Count = 1;
+  if (this->Op == Opcode::IMAD && hasModifier("WIDE"))
+    Count = 2;
+  else if (Dest.isWide())
+    Count = 2;
+  else if (Info.IsLoad && Info.Space != MemSpace::GlobalToShared)
+    Count = dataRegCount();
+  appendRegGroup(Defs, Dest.baseReg(), Count);
+
+  // Carry-out predicates on integer adds: IADD3 R6, P0, ..., and the
+  // IMAD.X carry chain. A predicate operand in slot 1 (or slot 2, when
+  // slot 1 is also a predicate) is a definition, not a source.
+  if (this->Op == Opcode::IADD3 || this->Op == Opcode::IMAD) {
+    for (unsigned I = 1; I <= 2 && I < Operands.size(); ++I) {
+      const Operand &MaybeCarry = Operands[I];
+      if (!MaybeCarry.isReg() || !MaybeCarry.baseReg().isPredicate())
+        break;
+      if (!MaybeCarry.baseReg().isZero() && !MaybeCarry.isNot())
+        Defs.push_back(MaybeCarry.baseReg());
+    }
+  }
+  return Defs;
+}
+
+std::vector<Register> Instruction::regUses() const {
+  std::vector<Register> Uses;
+  const OpcodeInfo &Info = info();
+
+  if (Guarded && !Guard.isZero())
+    Uses.push_back(Guard);
+
+  // Identify which leading operands are pure definitions (skipped here).
+  unsigned FirstSource = 0;
+  switch (this->Op) {
+  case Opcode::ISETP:
+  case Opcode::FSETP:
+  case Opcode::PLOP3:
+    FirstSource = 2;
+    break;
+  default:
+    if (Info.WritesRegister && !Operands.empty() && Operands[0].isReg()) {
+      FirstSource = 1;
+      // Skip carry-out predicate defs (IADD3 R6, P0, ...).
+      if (this->Op == Opcode::IADD3 || this->Op == Opcode::IMAD) {
+        while (FirstSource <= 2 && FirstSource < Operands.size() &&
+               Operands[FirstSource].isReg() &&
+               Operands[FirstSource].baseReg().isPredicate() &&
+               !Operands[FirstSource].isNot())
+          ++FirstSource;
+      }
+    }
+    break;
+  }
+
+  for (unsigned I = FirstSource; I < Operands.size(); ++I) {
+    const Operand &Op = Operands[I];
+    // Store-data operands move dataRegCount() registers.
+    bool IsStoreData = Info.IsStore && Op.isReg() &&
+                       Info.Space != MemSpace::GlobalToShared &&
+                       I + 1 == Operands.size() && I > 0;
+    if (IsStoreData) {
+      appendRegGroup(Uses, Op.baseReg(), dataRegCount());
+      if (Op.isWide())
+        Uses.push_back(Op.baseReg().adjacent());
+      continue;
+    }
+    appendOperandUses(Uses, Op);
+  }
+
+  // A load destination is also implicitly read when the instruction is
+  // predicated: lanes where the guard fails keep the old value.
+  return Uses;
+}
+
+const Operand *Instruction::memOperand() const {
+  for (const Operand &Op : Operands)
+    if (Op.isMem())
+      return &Op;
+  return nullptr;
+}
+
+std::string Instruction::str() const {
+  std::string Out;
+  if (Guarded) {
+    Out += '@';
+    if (GuardNeg)
+      Out += '!';
+    Out += Guard.str();
+    Out += ' ';
+  }
+  Out += info().Name;
+  for (const std::string &Mod : Modifiers) {
+    Out += '.';
+    Out += Mod;
+  }
+  for (unsigned I = 0; I < Operands.size(); ++I) {
+    Out += I == 0 ? " " : ", ";
+    Out += Operands[I].str();
+  }
+  Out += " ;";
+  return Out;
+}

@@ -1,0 +1,130 @@
+//===- sass/Instruction.h - SASS instruction model -------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decoded SASS instruction: control code, optional guard predicate,
+/// opcode with modifier list, and operands (paper §2.3). Register def/use
+/// extraction lives here because the conventions (destination-first,
+/// carry-out predicates, `.WIDE` pair results, `.64`/`.128` data widths)
+/// are ISA facts shared by the analyzer, the environment and the
+/// simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SASS_INSTRUCTION_H
+#define CUASMRL_SASS_INSTRUCTION_H
+
+#include "sass/ControlCode.h"
+#include "sass/Opcode.h"
+#include "sass/Operand.h"
+
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace sass {
+
+/// One SASS instruction.
+class Instruction {
+public:
+  Instruction() = default;
+  Instruction(Opcode Op, std::vector<std::string> Modifiers,
+              std::vector<Operand> Operands)
+      : Op(Op), Modifiers(std::move(Modifiers)),
+        Operands(std::move(Operands)) {}
+
+  /// \name Core fields
+  /// @{
+  Opcode opcode() const { return Op; }
+  void setOpcode(Opcode NewOp) { Op = NewOp; }
+
+  const std::vector<std::string> &modifiers() const { return Modifiers; }
+  std::vector<std::string> &modifiers() { return Modifiers; }
+  bool hasModifier(std::string_view Mod) const;
+
+  const std::vector<Operand> &operands() const { return Operands; }
+  std::vector<Operand> &operands() { return Operands; }
+
+  const ControlCode &ctrl() const { return Ctrl; }
+  ControlCode &ctrl() { return Ctrl; }
+  /// @}
+
+  /// \name Guard predicate (@P0 / @!P0 prefix)
+  /// @{
+  bool hasGuard() const { return Guarded; }
+  Register guardReg() const { return Guard; }
+  bool guardNegated() const { return GuardNeg; }
+  void setGuard(Register Pred, bool Negated) {
+    Guarded = true;
+    Guard = Pred;
+    GuardNeg = Negated;
+  }
+  void clearGuard() { Guarded = false; }
+  /// True when the guard statically never passes (@!PT) — the
+  /// instruction issues but has no architectural effect (§5.7.2).
+  bool isAlwaysFalseGuard() const {
+    return Guarded && GuardNeg && Guard.isZero();
+  }
+  /// @}
+
+  /// \name Classification helpers (delegating to OpcodeInfo)
+  /// @{
+  const OpcodeInfo &info() const { return getOpcodeInfo(Op); }
+  bool isMemory() const { return info().Space != MemSpace::None; }
+  bool isLoad() const { return info().IsLoad; }
+  bool isStore() const { return info().IsStore; }
+  bool isControlFlow() const { return info().IsControlFlow; }
+  bool isBarrierOrSync() const { return info().IsBarrierOrSync; }
+  bool isVariableLatency() const { return info().IsVariableLatency; }
+  bool isFixedLatency() const {
+    return !info().IsVariableLatency && !info().IsControlFlow &&
+           !info().IsBarrierOrSync;
+  }
+  /// Eligible for the RL action space (§3.5): memory load/store.
+  bool isReorderableMemory() const { return info().IsReorderable; }
+  /// @}
+
+  /// Latency-class key ("IMAD.WIDE", "IADD3", ...) or nullopt when the
+  /// instruction is not fixed-latency.
+  std::optional<std::string> latencyKey() const {
+    return fixedLatencyKey(Op, Modifiers);
+  }
+
+  /// Number of 32-bit registers moved per data operand, derived from the
+  /// ".32/.64/.128" width modifiers (defaults to 1).
+  unsigned dataRegCount() const;
+
+  /// Registers written by this instruction, `.64`/`.WIDE` pairs expanded.
+  /// Includes carry-out and compare-result predicates. Zero registers
+  /// (RZ/PT) are omitted.
+  std::vector<Register> regDefs() const;
+
+  /// Registers read by this instruction: sources, address bases (with
+  /// Eq. 2 expansion), memory descriptors, store data, carry-in and the
+  /// guard predicate. Zero registers are omitted.
+  std::vector<Register> regUses() const;
+
+  /// The memory-address operand, if any (first Mem-kind operand).
+  const Operand *memOperand() const;
+
+  /// Renders "@!P0 LDG.E.128 R4, [R2.64] ;" (no control code; see
+  /// Printer for full lines).
+  std::string str() const;
+
+private:
+  ControlCode Ctrl;
+  bool Guarded = false;
+  bool GuardNeg = false;
+  Register Guard = Register::pt();
+  Opcode Op = Opcode::NOP;
+  std::vector<std::string> Modifiers;
+  std::vector<Operand> Operands;
+};
+
+} // namespace sass
+} // namespace cuasmrl
+
+#endif // CUASMRL_SASS_INSTRUCTION_H

@@ -1,0 +1,262 @@
+//===- sass/Opcode.cpp -----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sass/Opcode.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace cuasmrl;
+using namespace cuasmrl::sass;
+
+// Columns: Op, Name, Space, IsLoad, IsStore, VarLat, CtrlFlow, Sync,
+//          WritesReg, Reorderable.
+//
+// Reorderability follows §3.5: the agent may pick memory load/store
+// instructions (LDG, LDGSTS, STG and their shared-memory siblings);
+// everything else is repositioned only implicitly, as the other half of a
+// swap.
+static const OpcodeInfo OpcodeTable[] = {
+    {Opcode::LDG, "LDG", MemSpace::Global, true, false, true, false, false,
+     true, true},
+    {Opcode::STG, "STG", MemSpace::Global, false, true, true, false, false,
+     false, true},
+    {Opcode::LDS, "LDS", MemSpace::Shared, true, false, true, false, false,
+     true, true},
+    {Opcode::STS, "STS", MemSpace::Shared, false, true, true, false, false,
+     false, true},
+    {Opcode::LDSM, "LDSM", MemSpace::Shared, true, false, true, false, false,
+     true, true},
+    {Opcode::LDGSTS, "LDGSTS", MemSpace::GlobalToShared, true, true, true,
+     false, false, false, true},
+    {Opcode::LDC, "LDC", MemSpace::Constant, true, false, true, false, false,
+     true, false},
+    {Opcode::ATOM, "ATOM", MemSpace::Global, true, true, true, false, false,
+     true, false},
+    {Opcode::RED, "RED", MemSpace::Global, false, true, true, false, false,
+     false, false},
+
+    {Opcode::IADD3, "IADD3", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::IMAD, "IMAD", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::LEA, "LEA", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::LOP3, "LOP3", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::SHF, "SHF", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::IABS, "IABS", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::IMNMX, "IMNMX", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::SEL, "SEL", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::ISETP, "ISETP", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::POPC, "POPC", MemSpace::None, false, false, false, false, false,
+     true, false},
+
+    {Opcode::FADD, "FADD", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::FMUL, "FMUL", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::FFMA, "FFMA", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::FSETP, "FSETP", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::FSEL, "FSEL", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::FMNMX, "FMNMX", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::MUFU, "MUFU", MemSpace::None, false, false, true, false, false,
+     true, false},
+
+    {Opcode::HADD2, "HADD2", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::HMUL2, "HMUL2", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::HFMA2, "HFMA2", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::HMMA, "HMMA", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::IMMA, "IMMA", MemSpace::None, false, false, false, false, false,
+     true, false},
+
+    {Opcode::I2F, "I2F", MemSpace::None, false, false, true, false, false,
+     true, false},
+    {Opcode::F2I, "F2I", MemSpace::None, false, false, true, false, false,
+     true, false},
+    {Opcode::F2F, "F2F", MemSpace::None, false, false, true, false, false,
+     true, false},
+
+    {Opcode::MOV, "MOV", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::MOV32I, "MOV32I", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::PRMT, "PRMT", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::PLOP3, "PLOP3", MemSpace::None, false, false, false, false,
+     false, true, false},
+    {Opcode::SHFL, "SHFL", MemSpace::None, false, false, true, false, false,
+     true, false},
+    {Opcode::CS2R, "CS2R", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::S2R, "S2R", MemSpace::None, false, false, true, false, false,
+     true, false},
+    {Opcode::VOTE, "VOTE", MemSpace::None, false, false, false, false, false,
+     true, false},
+    {Opcode::NOP, "NOP", MemSpace::None, false, false, false, false, false,
+     false, false},
+
+    {Opcode::BRA, "BRA", MemSpace::None, false, false, false, true, false,
+     false, false},
+    {Opcode::EXIT, "EXIT", MemSpace::None, false, false, false, true, false,
+     false, false},
+    {Opcode::CALL, "CALL", MemSpace::None, false, false, false, true, false,
+     false, false},
+    {Opcode::RET, "RET", MemSpace::None, false, false, false, true, false,
+     false, false},
+
+    {Opcode::BAR, "BAR", MemSpace::None, false, false, true, false, true,
+     false, false},
+    {Opcode::DEPBAR, "DEPBAR", MemSpace::None, false, false, true, false,
+     true, false, false},
+    {Opcode::LDGDEPBAR, "LDGDEPBAR", MemSpace::None, false, false, false,
+     false, true, false, false},
+    {Opcode::BSSY, "BSSY", MemSpace::None, false, false, false, false, true,
+     false, false},
+    {Opcode::BSYNC, "BSYNC", MemSpace::None, false, false, true, false, true,
+     false, false},
+    {Opcode::WARPSYNC, "WARPSYNC", MemSpace::None, false, false, true, false,
+     true, false, false},
+    {Opcode::MEMBAR, "MEMBAR", MemSpace::None, false, false, true, false,
+     true, false, false},
+    {Opcode::ERRBAR, "ERRBAR", MemSpace::None, false, false, false, false,
+     true, false, false},
+    {Opcode::YIELD, "YIELD", MemSpace::None, false, false, false, false,
+     true, false, false},
+};
+
+const OpcodeInfo &sass::getOpcodeInfo(Opcode Op) {
+  for (const OpcodeInfo &Info : OpcodeTable)
+    if (Info.Op == Op)
+      return Info;
+  assert(false && "opcode missing from property table");
+  return OpcodeTable[0];
+}
+
+std::optional<Opcode> sass::parseOpcode(std::string_view Mnemonic) {
+  static const std::unordered_map<std::string_view, Opcode> ByName = [] {
+    std::unordered_map<std::string_view, Opcode> Map;
+    for (const OpcodeInfo &Info : OpcodeTable)
+      Map.emplace(Info.Name, Info.Op);
+    return Map;
+  }();
+  auto It = ByName.find(Mnemonic);
+  if (It == ByName.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<std::string>
+sass::fixedLatencyKey(Opcode Op, const std::vector<std::string> &Modifiers) {
+  const OpcodeInfo &Info = getOpcodeInfo(Op);
+  if (Info.IsVariableLatency || Info.IsControlFlow || Info.IsBarrierOrSync ||
+      Info.Space != MemSpace::None)
+    return std::nullopt;
+
+  auto HasMod = [&](std::string_view Mod) {
+    for (const std::string &M : Modifiers)
+      if (M == Mod)
+        return true;
+    return false;
+  };
+
+  std::string Key(Info.Name);
+  switch (Op) {
+  case Opcode::IMAD:
+    // Latency-relevant IMAD forms the paper distinguishes (Table 1):
+    // IMAD.IADD is a MOV-class add; IMAD.WIDE[.U32] produce 64-bit
+    // results and take an extra cycle.
+    if (HasMod("WIDE")) {
+      Key += ".WIDE";
+      if (HasMod("U32"))
+        Key += ".U32";
+    } else if (HasMod("IADD") || HasMod("MOV")) {
+      Key += ".IADD";
+    }
+    break;
+  case Opcode::IADD3:
+    if (HasMod("X"))
+      Key += ".X";
+    break;
+  default:
+    break;
+  }
+  return Key;
+}
+
+namespace {
+struct LatencyEntry {
+  const char *Key;
+  unsigned Cycles;
+};
+} // namespace
+
+// Ground-truth fixed latencies. Rows marked (T1) are exactly the paper's
+// Table 1 for the A100; the remainder are plausible Ampere values chosen
+// so every fixed-latency opcode the kernel generators emit has a defined
+// hazard distance.
+static const LatencyEntry LatencyTable[] = {
+    {"IADD3", 4},          // (T1)
+    {"IADD3.X", 4},        // (T1)
+    {"IMAD.IADD", 4},      // (T1)
+    {"MOV", 4},            // (T1)
+    {"IABS", 4},           // (T1)
+    {"IMAD", 5},           // (T1)
+    {"FADD", 5},           // (T1)
+    {"HADD2", 5},          // (T1)
+    {"IMNMX", 5},          // (T1)
+    {"SEL", 5},            // (T1)
+    {"LEA", 5},            // (T1)
+    {"IMAD.WIDE", 5},      // (T1)
+    {"IMAD.WIDE.U32", 5},  // (T1)
+    {"LOP3", 4},
+    {"SHF", 4},
+    {"POPC", 4},
+    {"ISETP", 5},
+    {"FSETP", 5},
+    {"FMUL", 5},
+    {"FFMA", 5},
+    {"FSEL", 5},
+    {"FMNMX", 5},
+    {"HMUL2", 5},
+    {"HFMA2", 5},
+    {"HMMA", 7},
+    {"IMMA", 7},
+    {"MOV32I", 4},
+    {"PRMT", 4},
+    {"PLOP3", 5},
+    {"CS2R", 2},
+    {"VOTE", 4},
+    {"NOP", 1},
+};
+
+std::optional<unsigned> sass::groundTruthLatency(std::string_view Key) {
+  for (const LatencyEntry &Entry : LatencyTable)
+    if (Key == Entry.Key)
+      return Entry.Cycles;
+  return std::nullopt;
+}
+
+std::vector<std::string> sass::allLatencyKeys() {
+  std::vector<std::string> Keys;
+  Keys.reserve(std::size(LatencyTable));
+  for (const LatencyEntry &Entry : LatencyTable)
+    Keys.emplace_back(Entry.Key);
+  return Keys;
+}

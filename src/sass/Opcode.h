@@ -1,0 +1,156 @@
+//===- sass/Opcode.h - SASS opcode enumeration and properties -------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcode identities plus the static properties the analysis passes, the
+/// environment and the simulator need: memory class, latency class,
+/// barrier/synchronization role and control-flow role.
+///
+/// Latency note (paper §2.3.1): *fixed-latency* instructions complete a
+/// known number of cycles after issue and are protected purely by the
+/// control code's stall count; *variable-latency* instructions (memory,
+/// transcendental, special-register reads) signal completion through a
+/// scoreboard barrier. The authoritative fixed latencies — what the real
+/// hardware "knows" and the paper recovers by microbenchmarking
+/// (Table 1) — are exposed here via `groundTruthLatency()` and consumed
+/// ONLY by the simulator; the toolchain side (analysis::StallTable) must
+/// re-derive them with the paper's methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SASS_OPCODE_H
+#define CUASMRL_SASS_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cuasmrl {
+namespace sass {
+
+/// All opcodes the toolchain understands (Ampere subset).
+enum class Opcode : uint8_t {
+  // Memory.
+  LDG,     ///< Load from global memory.
+  STG,     ///< Store to global memory.
+  LDS,     ///< Load from shared memory.
+  STS,     ///< Store to shared memory.
+  LDSM,    ///< Load matrix fragment from shared memory.
+  LDGSTS,  ///< Asynchronous global->shared copy (Ampere cp.async).
+  LDC,     ///< Load from constant memory.
+  ATOM,    ///< Global atomic.
+  RED,     ///< Global reduction.
+  // Integer ALU.
+  IADD3,   ///< Three-input integer add.
+  IMAD,    ///< Integer multiply-add (many modifier forms).
+  LEA,     ///< Shift-and-add address calculation.
+  LOP3,    ///< Three-input logic op.
+  SHF,     ///< Funnel shift.
+  IABS,    ///< Integer absolute value.
+  IMNMX,   ///< Integer min/max.
+  SEL,     ///< Select by predicate.
+  ISETP,   ///< Integer compare, sets predicate.
+  POPC,    ///< Population count.
+  // Float ALU.
+  FADD,    ///< FP32 add.
+  FMUL,    ///< FP32 multiply.
+  FFMA,    ///< FP32 fused multiply-add.
+  FSETP,   ///< FP32 compare, sets predicate.
+  FSEL,    ///< FP32 select by predicate.
+  FMNMX,   ///< FP32 min/max.
+  MUFU,    ///< Multi-function unit (rcp, ex2, lg2, ...). Variable latency.
+  // Half / tensor.
+  HADD2,   ///< Packed FP16 add.
+  HMUL2,   ///< Packed FP16 multiply.
+  HFMA2,   ///< Packed FP16 FMA.
+  HMMA,    ///< Tensor-core matrix multiply-accumulate.
+  IMMA,    ///< Tensor-core integer MMA.
+  // Conversions (XU pipe — variable latency on Ampere).
+  I2F,     ///< Int to float.
+  F2I,     ///< Float to int.
+  F2F,     ///< Float width conversion.
+  // Data movement / misc.
+  MOV,     ///< Register move.
+  MOV32I,  ///< Move 32-bit immediate.
+  PRMT,    ///< Byte permute.
+  PLOP3,   ///< Predicate logic op.
+  SHFL,    ///< Warp shuffle. Variable latency.
+  CS2R,    ///< Copy special register to register (fixed latency).
+  S2R,     ///< Read special register (variable latency).
+  VOTE,    ///< Warp vote.
+  NOP,     ///< No operation.
+  // Control flow.
+  BRA,     ///< Branch.
+  EXIT,    ///< Thread exit.
+  CALL,    ///< Call.
+  RET,     ///< Return.
+  // Barriers and synchronization.
+  BAR,       ///< Block-wide barrier (BAR.SYNC).
+  DEPBAR,    ///< Scoreboard partial-wait barrier.
+  LDGDEPBAR, ///< LDGSTS group commit barrier.
+  BSSY,      ///< Convergence barrier set.
+  BSYNC,     ///< Convergence barrier sync.
+  WARPSYNC,  ///< Warp-level sync.
+  MEMBAR,    ///< Memory fence.
+  ERRBAR,    ///< Error barrier.
+  YIELD,     ///< Scheduler yield.
+};
+
+/// Memory space an opcode touches.
+enum class MemSpace : uint8_t {
+  None,
+  Global,
+  Shared,
+  GlobalToShared, ///< LDGSTS: reads global, writes shared, bypasses regs.
+  Constant,
+};
+
+/// Static properties of an opcode.
+struct OpcodeInfo {
+  Opcode Op;
+  const char *Name;
+  MemSpace Space;
+  bool IsLoad;            ///< Reads memory.
+  bool IsStore;           ///< Writes memory.
+  bool IsVariableLatency; ///< Completion signalled via scoreboard barrier.
+  bool IsControlFlow;     ///< Ends a basic block.
+  bool IsBarrierOrSync;   ///< Synchronization; never reordered across.
+  bool WritesRegister;    ///< First operand is a register destination.
+  bool IsReorderable;     ///< Eligible for the RL action space (§3.5).
+};
+
+/// Property lookup; valid for every enumerator.
+const OpcodeInfo &getOpcodeInfo(Opcode Op);
+
+/// Parses a base opcode mnemonic ("LDG", not "LDG.E.128").
+std::optional<Opcode> parseOpcode(std::string_view Mnemonic);
+
+/// True when the opcode reads or writes any memory space.
+inline bool isMemoryOpcode(Opcode Op) {
+  return getOpcodeInfo(Op).Space != MemSpace::None;
+}
+
+/// The key used for fixed-latency lookup: the base mnemonic plus the
+/// modifiers that change the latency class (e.g. "IMAD.WIDE" vs
+/// "IMAD.IADD"). Returns std::nullopt for variable-latency opcodes.
+std::optional<std::string>
+fixedLatencyKey(Opcode Op, const std::vector<std::string> &Modifiers);
+
+/// The hardware's actual fixed latency in cycles for a latency key.
+/// This is the ground truth the simulator enforces and the paper's
+/// Table 1 microbenchmarks recover. Returns std::nullopt for unknown
+/// keys (treat as variable latency).
+std::optional<unsigned> groundTruthLatency(std::string_view LatencyKey);
+
+/// All latency keys with ground-truth values (for microbench sweeps).
+std::vector<std::string> allLatencyKeys();
+
+} // namespace sass
+} // namespace cuasmrl
+
+#endif // CUASMRL_SASS_OPCODE_H

@@ -1,0 +1,123 @@
+//===- sass/Operand.cpp ----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sass/Operand.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace cuasmrl;
+using namespace cuasmrl::sass;
+
+std::vector<Register> Operand::expandRegisters() const {
+  std::vector<Register> Regs;
+  switch (TheKind) {
+  case Kind::Reg:
+  case Kind::Mem:
+    if (!Base.isZero()) {
+      Regs.push_back(Base);
+      if (Wide)
+        Regs.push_back(Base.adjacent());
+    }
+    if (TheKind == Kind::Mem && HasDesc && !Desc.isZero())
+      Regs.push_back(Desc);
+    break;
+  case Kind::Imm:
+  case Kind::FloatImm:
+  case Kind::ConstMem:
+  case Kind::Special:
+  case Kind::Label:
+    break;
+  }
+  return Regs;
+}
+
+static std::string hexString(int64_t Value) {
+  char Buffer[32];
+  if (Value < 0)
+    std::snprintf(Buffer, sizeof(Buffer), "-0x%llx",
+                  static_cast<unsigned long long>(-Value));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "0x%llx",
+                  static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+
+std::string Operand::str() const {
+  std::string Out;
+  switch (TheKind) {
+  case Kind::Reg:
+    if (Not)
+      Out += '!';
+    if (Negated)
+      Out += '-';
+    if (Abs)
+      Out += '|';
+    Out += Base.str();
+    if (Abs)
+      Out += '|';
+    if (Wide)
+      Out += ".64";
+    if (Reuse)
+      Out += ".reuse";
+    return Out;
+  case Kind::Imm:
+    return hexString(ImmValue);
+  case Kind::FloatImm: {
+    char Buffer[48];
+    std::snprintf(Buffer, sizeof(Buffer), "%g", FloatValue);
+    return Buffer;
+  }
+  case Kind::ConstMem:
+    if (Negated)
+      Out += '-';
+    Out += "c[" + hexString(Bank) + "][" + hexString(ImmValue) + "]";
+    return Out;
+  case Kind::Mem:
+    if (HasDesc)
+      Out += "desc[" + Desc.str() + "]";
+    Out += '[';
+    Out += Base.str();
+    if (Wide)
+      Out += ".64";
+    if (ImmValue != 0)
+      Out += "+" + hexString(ImmValue);
+    Out += ']';
+    return Out;
+  case Kind::Special:
+    return Name;
+  case Kind::Label:
+    return "`(" + Name + ")";
+  }
+  return "<invalid-operand>";
+}
+
+bool Operand::operator==(const Operand &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Reg:
+    return Base == Other.Base && Wide == Other.Wide &&
+           Reuse == Other.Reuse && Negated == Other.Negated &&
+           Not == Other.Not && Abs == Other.Abs;
+  case Kind::Imm:
+    return ImmValue == Other.ImmValue;
+  case Kind::FloatImm:
+    return FloatValue == Other.FloatValue;
+  case Kind::ConstMem:
+    return Bank == Other.Bank && ImmValue == Other.ImmValue &&
+           Negated == Other.Negated;
+  case Kind::Mem:
+    return Base == Other.Base && Wide == Other.Wide &&
+           ImmValue == Other.ImmValue && HasDesc == Other.HasDesc &&
+           (!HasDesc || Desc == Other.Desc);
+  case Kind::Special:
+  case Kind::Label:
+    return Name == Other.Name;
+  }
+  return false;
+}

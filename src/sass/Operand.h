@@ -1,0 +1,189 @@
+//===- sass/Operand.h - SASS operand model ---------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operands as they appear in disassembled Ampere SASS:
+///
+///   R12  -R4  |R7|  R8.reuse  R2.64  UR4  P3  !P0  PT
+///   0x1  12  1.5
+///   c[0x0][0x160]
+///   [R2.64]  [R219+0x4000]  desc[UR16][R10.64]  [R4.64+0x20]
+///   SR_CLOCKLO  SR_CTAID.X  SR_TID.X
+///   `(.L_12)   (label reference)
+///
+/// The `.64` suffix marks a 64-bit access through an aligned register
+/// pair; `expandRegisters()` applies the paper's Eq. 2 to materialize the
+/// adjacent register so dependence analysis sees both halves (§3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SASS_OPERAND_H
+#define CUASMRL_SASS_OPERAND_H
+
+#include "sass/Register.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace sass {
+
+/// One instruction operand.
+class Operand {
+public:
+  enum class Kind : uint8_t {
+    Reg,      ///< Register (any class), possibly modified.
+    Imm,      ///< Integer immediate.
+    FloatImm, ///< Floating-point immediate.
+    ConstMem, ///< Constant-bank access c[bank][offset].
+    Mem,      ///< Memory address [Rbase(.64)(+offset)] with optional desc.
+    Special,  ///< Special register (SR_CLOCKLO, SR_CTAID.X, ...).
+    Label,    ///< Branch target label.
+  };
+
+  Operand() = default;
+
+  /// \name Factories
+  /// @{
+  static Operand reg(Register R) {
+    Operand Op;
+    Op.TheKind = Kind::Reg;
+    Op.Base = R;
+    return Op;
+  }
+  static Operand imm(int64_t Value) {
+    Operand Op;
+    Op.TheKind = Kind::Imm;
+    Op.ImmValue = Value;
+    return Op;
+  }
+  static Operand floatImm(double Value) {
+    Operand Op;
+    Op.TheKind = Kind::FloatImm;
+    Op.FloatValue = Value;
+    return Op;
+  }
+  static Operand constMem(unsigned Bank, int64_t Offset) {
+    Operand Op;
+    Op.TheKind = Kind::ConstMem;
+    Op.Bank = Bank;
+    Op.ImmValue = Offset;
+    return Op;
+  }
+  static Operand mem(Register Base, int64_t Offset = 0, bool Wide64 = false) {
+    Operand Op;
+    Op.TheKind = Kind::Mem;
+    Op.Base = Base;
+    Op.ImmValue = Offset;
+    Op.Wide = Wide64;
+    return Op;
+  }
+  static Operand special(std::string Name) {
+    Operand Op;
+    Op.TheKind = Kind::Special;
+    Op.Name = std::move(Name);
+    return Op;
+  }
+  static Operand label(std::string Name) {
+    Operand Op;
+    Op.TheKind = Kind::Label;
+    Op.Name = std::move(Name);
+    return Op;
+  }
+  /// @}
+
+  Kind kind() const { return TheKind; }
+  bool isReg() const { return TheKind == Kind::Reg; }
+  bool isImm() const { return TheKind == Kind::Imm; }
+  bool isFloatImm() const { return TheKind == Kind::FloatImm; }
+  bool isConstMem() const { return TheKind == Kind::ConstMem; }
+  bool isMem() const { return TheKind == Kind::Mem; }
+  bool isSpecial() const { return TheKind == Kind::Special; }
+  bool isLabel() const { return TheKind == Kind::Label; }
+
+  /// Register payload for Reg operands, base register for Mem operands.
+  Register baseReg() const { return Base; }
+  void setBaseReg(Register R) { Base = R; }
+
+  int64_t immValue() const { return ImmValue; }
+  double floatValue() const { return FloatValue; }
+  unsigned constBank() const { return Bank; }
+  int64_t constOffset() const { return ImmValue; }
+  int64_t memOffset() const { return ImmValue; }
+  const std::string &name() const { return Name; }
+
+  /// \name Modifiers
+  /// @{
+  bool isWide() const { return Wide; }
+  Operand &setWide(bool Value = true) {
+    Wide = Value;
+    return *this;
+  }
+  bool hasReuse() const { return Reuse; }
+  Operand &setReuse(bool Value = true) {
+    Reuse = Value;
+    return *this;
+  }
+  bool isNegated() const { return Negated; }
+  Operand &setNegated(bool Value = true) {
+    Negated = Value;
+    return *this;
+  }
+  bool isNot() const { return Not; }
+  Operand &setNot(bool Value = true) {
+    Not = Value;
+    return *this;
+  }
+  bool isAbs() const { return Abs; }
+  Operand &setAbs(bool Value = true) {
+    Abs = Value;
+    return *this;
+  }
+  /// @}
+
+  /// \name Memory descriptor (desc[URx][Ry.64] form)
+  /// @{
+  bool hasDesc() const { return HasDesc; }
+  Register descReg() const { return Desc; }
+  Operand &setDesc(Register UR) {
+    HasDesc = true;
+    Desc = UR;
+    return *this;
+  }
+  /// @}
+
+  /// The registers this operand names, with `.64` pairs expanded through
+  /// the paper's adjacent-register rule (Eq. 2). Includes the descriptor
+  /// uniform register of Mem operands. Zero registers are omitted —
+  /// they carry no dependencies.
+  std::vector<Register> expandRegisters() const;
+
+  /// Renders the SASS spelling.
+  std::string str() const;
+
+  bool operator==(const Operand &Other) const;
+
+private:
+  Kind TheKind = Kind::Imm;
+  Register Base;
+  Register Desc;
+  bool HasDesc = false;
+  bool Wide = false;
+  bool Reuse = false;
+  bool Negated = false;
+  bool Not = false;
+  bool Abs = false;
+  unsigned Bank = 0;
+  int64_t ImmValue = 0;
+  double FloatValue = 0.0;
+  std::string Name;
+};
+
+} // namespace sass
+} // namespace cuasmrl
+
+#endif // CUASMRL_SASS_OPERAND_H

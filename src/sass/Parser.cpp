@@ -1,0 +1,310 @@
+//===- sass/Parser.cpp -------------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sass/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace cuasmrl;
+using namespace cuasmrl::sass;
+
+Expected<Register> Parser::parseRegister(std::string_view Text) {
+  Text = trim(Text);
+  if (Text.empty())
+    return Error("empty register token");
+
+  auto ParseIndexed = [&](std::string_view Body, RegClass Class,
+                          unsigned ZeroIndex,
+                          char ZeroChar) -> Expected<Register> {
+    if (Body.size() == 1 && Body[0] == ZeroChar)
+      return Register(Class, ZeroIndex);
+    std::optional<int64_t> Index = parseInt(Body);
+    if (!Index || *Index < 0 || *Index >= static_cast<int64_t>(ZeroIndex))
+      return Error("register index out of range in '" + std::string(Text) +
+                   "'");
+    return Register(Class, static_cast<unsigned>(*Index));
+  };
+
+  if (startsWith(Text, "UR"))
+    return ParseIndexed(Text.substr(2), RegClass::Uniform, Register::URZIndex,
+                        'Z');
+  if (startsWith(Text, "UP"))
+    return ParseIndexed(Text.substr(2), RegClass::UniformPredicate,
+                        Register::PTIndex, 'T');
+  if (Text[0] == 'R')
+    return ParseIndexed(Text.substr(1), RegClass::General, Register::RZIndex,
+                        'Z');
+  if (Text[0] == 'P')
+    return ParseIndexed(Text.substr(1), RegClass::Predicate,
+                        Register::PTIndex, 'T');
+  return Error("unrecognized register '" + std::string(Text) + "'");
+}
+
+/// Parses "Rxx[.64][.reuse]" with optional leading '!', '-', '|...|'.
+static Expected<Operand> parseRegOperand(std::string_view Text) {
+  Operand Op;
+  bool Not = false, Neg = false, Abs = false;
+  while (!Text.empty()) {
+    if (Text[0] == '!') {
+      Not = true;
+      Text.remove_prefix(1);
+    } else if (Text[0] == '-') {
+      Neg = true;
+      Text.remove_prefix(1);
+    } else if (Text[0] == '|') {
+      if (Text.back() != '|')
+        return Error("unterminated '|' absolute-value modifier");
+      Abs = true;
+      Text = Text.substr(1, Text.size() - 2);
+    } else {
+      break;
+    }
+  }
+
+  bool Wide = false, Reuse = false;
+  std::vector<std::string> Parts = split(Text, '.');
+  if (Parts.empty() || Parts[0].empty())
+    return Error("empty register operand");
+  for (size_t I = 1; I < Parts.size(); ++I) {
+    if (Parts[I] == "64")
+      Wide = true;
+    else if (Parts[I] == "reuse")
+      Reuse = true;
+    else
+      return Error("unknown register suffix '." + Parts[I] + "'");
+  }
+
+  Expected<Register> R = Parser::parseRegister(Parts[0]);
+  if (!R)
+    return R.takeError();
+  Op = Operand::reg(*R);
+  Op.setWide(Wide).setReuse(Reuse).setNegated(Neg).setNot(Not).setAbs(Abs);
+  return Op;
+}
+
+/// Parses the "[Rbase(.64)(+0x...)]" body between brackets, plus an
+/// optional descriptor already handled by the caller.
+static Expected<Operand> parseMemBody(std::string_view Body,
+                                      std::optional<Register> Desc) {
+  Body = trim(Body);
+  // Split on '+' (offset) — a leading '-offset' is also accepted.
+  int64_t Offset = 0;
+  size_t Plus = Body.find('+');
+  if (Plus != std::string_view::npos) {
+    std::optional<int64_t> Parsed = parseInt(Body.substr(Plus + 1));
+    if (!Parsed)
+      return Error("bad memory offset in '[" + std::string(Body) + "]'");
+    Offset = *Parsed;
+    Body = trim(Body.substr(0, Plus));
+  }
+
+  bool Wide = false;
+  std::vector<std::string> Parts = split(Body, '.');
+  for (size_t I = 1; I < Parts.size(); ++I) {
+    if (Parts[I] == "64")
+      Wide = true;
+    else
+      return Error("unknown address suffix '." + Parts[I] + "'");
+  }
+
+  Expected<Register> Base = Parser::parseRegister(Parts.empty() ? "" : Parts[0]);
+  if (!Base)
+    return Base.takeError();
+  Operand Op = Operand::mem(*Base, Offset, Wide);
+  if (Desc)
+    Op.setDesc(*Desc);
+  return Op;
+}
+
+Expected<Operand> Parser::parseOperand(std::string_view Text) {
+  Text = trim(Text);
+  if (Text.empty())
+    return Error("empty operand");
+
+  // Label reference: `(.L_x) or a bare .L_x token.
+  if (Text[0] == '`') {
+    if (Text.size() < 4 || Text[1] != '(' || Text.back() != ')')
+      return Error("malformed label reference '" + std::string(Text) + "'");
+    return Operand::label(std::string(Text.substr(2, Text.size() - 3)));
+  }
+  if (Text[0] == '.')
+    return Operand::label(std::string(Text));
+
+  // Special registers.
+  if (startsWith(Text, "SR_"))
+    return Operand::special(std::string(Text));
+
+  // Descriptor-based global address: desc[URx][Ry.64+off].
+  if (startsWith(Text, "desc[")) {
+    size_t Close = Text.find(']');
+    if (Close == std::string_view::npos)
+      return Error("unterminated descriptor");
+    Expected<Register> Desc = parseRegister(Text.substr(5, Close - 5));
+    if (!Desc)
+      return Desc.takeError();
+    std::string_view Rest = trim(Text.substr(Close + 1));
+    if (Rest.size() < 2 || Rest.front() != '[' || Rest.back() != ']')
+      return Error("descriptor must be followed by a bracketed address");
+    return parseMemBody(Rest.substr(1, Rest.size() - 2), *Desc);
+  }
+
+  // Constant memory: c[bank][offset], optionally negated.
+  bool Neg = false;
+  std::string_view CmText = Text;
+  if (CmText[0] == '-' && CmText.size() > 1 && CmText[1] == 'c') {
+    Neg = true;
+    CmText.remove_prefix(1);
+  }
+  if (startsWith(CmText, "c[")) {
+    size_t Close = CmText.find(']');
+    if (Close == std::string_view::npos)
+      return Error("unterminated constant bank");
+    std::optional<int64_t> Bank = parseInt(CmText.substr(2, Close - 2));
+    std::string_view Rest = trim(CmText.substr(Close + 1));
+    if (!Bank || Rest.size() < 2 || Rest.front() != '[' ||
+        Rest.back() != ']')
+      return Error("malformed constant operand '" + std::string(Text) + "'");
+    std::optional<int64_t> Offset =
+        parseInt(Rest.substr(1, Rest.size() - 2));
+    if (!Offset)
+      return Error("bad constant offset in '" + std::string(Text) + "'");
+    Operand Op = Operand::constMem(static_cast<unsigned>(*Bank), *Offset);
+    Op.setNegated(Neg);
+    return Op;
+  }
+
+  // Plain memory address.
+  if (Text[0] == '[') {
+    if (Text.back() != ']')
+      return Error("unterminated memory operand");
+    return parseMemBody(Text.substr(1, Text.size() - 2), std::nullopt);
+  }
+
+  // Register (with optional modifiers).
+  std::string_view RegProbe = Text;
+  while (!RegProbe.empty() &&
+         (RegProbe[0] == '!' || RegProbe[0] == '-' || RegProbe[0] == '|'))
+    RegProbe.remove_prefix(1);
+  if (!RegProbe.empty() &&
+      (RegProbe[0] == 'R' || RegProbe[0] == 'P' || startsWith(RegProbe, "UR") ||
+       startsWith(RegProbe, "UP"))) {
+    // Distinguish "R12" from symbols: next char must be digit, 'Z', 'T',
+    // or the class prefix continues.
+    return parseRegOperand(Text);
+  }
+
+  // Immediates: hex/decimal integers, else floats.
+  if (std::optional<int64_t> IntVal = parseInt(Text))
+    return Operand::imm(*IntVal);
+  if (std::optional<double> FloatVal = parseDouble(Text))
+    return Operand::floatImm(*FloatVal);
+
+  return Error("unrecognized operand '" + std::string(Text) + "'");
+}
+
+Expected<Instruction> Parser::parseInstruction(std::string_view Line) {
+  Line = trim(Line);
+
+  Instruction Instr;
+
+  // Optional control code.
+  if (!Line.empty() && Line[0] == '[') {
+    size_t Close = Line.find(']');
+    if (Close == std::string_view::npos)
+      return Error("unterminated control code");
+    Expected<ControlCode> CC = ControlCode::parse(Line.substr(0, Close + 1));
+    if (!CC)
+      return CC.takeError();
+    Instr.ctrl() = *CC;
+    Line = trim(Line.substr(Close + 1));
+  }
+
+  // Optional guard predicate.
+  if (!Line.empty() && Line[0] == '@') {
+    size_t End = 1;
+    while (End < Line.size() &&
+           !std::isspace(static_cast<unsigned char>(Line[End])))
+      ++End;
+    std::string_view Guard = Line.substr(1, End - 1);
+    bool Neg = false;
+    if (!Guard.empty() && Guard[0] == '!') {
+      Neg = true;
+      Guard.remove_prefix(1);
+    }
+    Expected<Register> Pred = parseRegister(Guard);
+    if (!Pred)
+      return Pred.takeError();
+    if (!Pred->isPredicate())
+      return Error("guard must be a predicate register");
+    Instr.setGuard(*Pred, Neg);
+    Line = trim(Line.substr(End));
+  }
+
+  // Trailing ';'.
+  if (!Line.empty() && Line.back() == ';')
+    Line = trim(Line.substr(0, Line.size() - 1));
+  if (Line.empty())
+    return Error("missing opcode");
+
+  // Mnemonic token.
+  size_t End = 0;
+  while (End < Line.size() &&
+         !std::isspace(static_cast<unsigned char>(Line[End])))
+    ++End;
+  std::string_view Mnemonic = Line.substr(0, End);
+  std::vector<std::string> Parts = split(Mnemonic, '.');
+  std::optional<Opcode> Op = parseOpcode(Parts[0]);
+  if (!Op)
+    return Error("unknown opcode '" + Parts[0] + "'");
+  Instr.setOpcode(*Op);
+  for (size_t I = 1; I < Parts.size(); ++I)
+    Instr.modifiers().push_back(Parts[I]);
+
+  // Operand list.
+  std::string_view Rest = trim(Line.substr(End));
+  if (!Rest.empty()) {
+    for (const std::string &Token : split(Rest, ',')) {
+      Expected<Operand> Parsed = parseOperand(Token);
+      if (!Parsed)
+        return Parsed.takeError();
+      Instr.operands().push_back(Parsed.takeValue());
+    }
+  }
+  return Instr;
+}
+
+Expected<Program> Parser::parseProgram(std::string_view Text,
+                                       std::string Name) {
+  Program Prog(std::move(Name));
+  unsigned LineNo = 0;
+  for (const std::string &RawLine : split(Text, '\n')) {
+    ++LineNo;
+    std::string_view Line = RawLine;
+    // Strip comments.
+    size_t Comment = Line.find("//");
+    if (Comment != std::string_view::npos)
+      Line = Line.substr(0, Comment);
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+
+    // Label lines end with ':' and contain no spaces or brackets.
+    if (Line.back() == ':' && Line.find(' ') == std::string_view::npos &&
+        Line[0] != '[') {
+      Prog.appendLabel(std::string(Line.substr(0, Line.size() - 1)));
+      continue;
+    }
+
+    Expected<Instruction> Instr = parseInstruction(Line);
+    if (!Instr)
+      return Error(Instr.error().message() + " (while parsing line " +
+                   std::to_string(LineNo) + ": '" + std::string(Line) + "')");
+    Prog.appendInstr(Instr.takeValue());
+  }
+  return Prog;
+}

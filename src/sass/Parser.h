@@ -1,0 +1,53 @@
+//===- sass/Parser.h - SASS text parser -------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses CuAssembler-style kernel sections back into `Program` form
+/// (the disassembler's output format, paper §3.2). Grammar per line:
+///
+///   label:
+///   [B--2---:R-:W3:-:S04] @!P0 LDG.E.128 R4, desc[UR16][R2.64+0x40] ;
+///
+/// Lines may carry `//` comments. The parser is strict: any token it
+/// does not understand is a diagnosed error, because a silently dropped
+/// operand would corrupt dependence analysis and let the game emit
+/// invalid schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SASS_PARSER_H
+#define CUASMRL_SASS_PARSER_H
+
+#include "sass/Program.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace cuasmrl {
+namespace sass {
+
+/// Stateless parsing entry points.
+class Parser {
+public:
+  /// Parses a whole kernel section.
+  static Expected<Program> parseProgram(std::string_view Text,
+                                        std::string Name = "");
+
+  /// Parses one instruction line (control code optional).
+  static Expected<Instruction> parseInstruction(std::string_view Line);
+
+  /// Parses a single operand token.
+  static Expected<Operand> parseOperand(std::string_view Text);
+
+  /// Parses a register spelling ("R12", "RZ", "UR4", "P0", "PT", ...)
+  /// without modifiers.
+  static Expected<Register> parseRegister(std::string_view Text);
+};
+
+} // namespace sass
+} // namespace cuasmrl
+
+#endif // CUASMRL_SASS_PARSER_H

@@ -1,0 +1,47 @@
+//===- sass/Program.cpp -----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sass/Program.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace cuasmrl;
+using namespace cuasmrl::sass;
+
+size_t Program::instrCount() const {
+  size_t Count = 0;
+  for (const Statement &S : Statements)
+    if (S.isInstr())
+      ++Count;
+  return Count;
+}
+
+size_t Program::findLabel(std::string_view LabelName) const {
+  for (size_t I = 0; I < Statements.size(); ++I)
+    if (Statements[I].isLabel() && Statements[I].label() == LabelName)
+      return I;
+  return npos;
+}
+
+std::string Program::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}
+
+void Program::print(std::ostream &OS) const {
+  if (!Name.empty())
+    OS << "// kernel: " << Name << '\n';
+  for (const Statement &S : Statements) {
+    if (S.isLabel()) {
+      OS << S.label() << ":\n";
+      continue;
+    }
+    const Instruction &I = S.instr();
+    OS << "  " << I.ctrl().str() << ' ' << I.str() << '\n';
+  }
+}

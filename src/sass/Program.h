@@ -1,0 +1,130 @@
+//===- sass/Program.h - SASS kernel text model ------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat statement list of one kernel's SASS section: labels
+/// interleaved with instructions, exactly the shape the assembly game
+/// mutates. Positions are statement indices; `swap()` exchanges two
+/// adjacent instruction statements (the only mutation the RL action
+/// space performs, §3.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SASS_PROGRAM_H
+#define CUASMRL_SASS_PROGRAM_H
+
+#include "sass/Instruction.h"
+
+#include <cassert>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace sass {
+
+/// One line of a kernel section: either a label or an instruction.
+class Statement {
+public:
+  static Statement makeLabel(std::string Name) {
+    Statement S;
+    S.IsLabelStmt = true;
+    S.LabelName = std::move(Name);
+    return S;
+  }
+  static Statement makeInstr(Instruction I) {
+    Statement S;
+    S.Instr = std::move(I);
+    return S;
+  }
+
+  bool isLabel() const { return IsLabelStmt; }
+  bool isInstr() const { return !IsLabelStmt; }
+
+  const std::string &label() const {
+    assert(IsLabelStmt && "not a label");
+    return LabelName;
+  }
+  const Instruction &instr() const {
+    assert(!IsLabelStmt && "not an instruction");
+    return Instr;
+  }
+  Instruction &instr() {
+    assert(!IsLabelStmt && "not an instruction");
+    return Instr;
+  }
+
+private:
+  bool IsLabelStmt = false;
+  std::string LabelName;
+  Instruction Instr;
+};
+
+/// A kernel's SASS section.
+class Program {
+public:
+  Program() = default;
+  explicit Program(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// \name Statement access
+  /// @{
+  size_t size() const { return Statements.size(); }
+  bool empty() const { return Statements.empty(); }
+  const Statement &stmt(size_t Index) const { return Statements[Index]; }
+  Statement &stmt(size_t Index) { return Statements[Index]; }
+  const std::vector<Statement> &statements() const { return Statements; }
+
+  void append(Statement S) { Statements.push_back(std::move(S)); }
+  void appendInstr(Instruction I) {
+    Statements.push_back(Statement::makeInstr(std::move(I)));
+  }
+  void appendLabel(std::string L) {
+    Statements.push_back(Statement::makeLabel(std::move(L)));
+  }
+  /// @}
+
+  /// Number of instruction statements.
+  size_t instrCount() const;
+
+  /// Statement indices of every instruction satisfying \p Pred.
+  template <typename PredT>
+  std::vector<size_t> findInstrs(PredT Pred) const {
+    std::vector<size_t> Out;
+    for (size_t I = 0; I < Statements.size(); ++I)
+      if (Statements[I].isInstr() && Pred(Statements[I].instr()))
+        Out.push_back(I);
+    return Out;
+  }
+
+  /// Statement index of the label \p Name, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t findLabel(std::string_view Name) const;
+
+  /// Swaps two statements; both must be instructions (labels are fixed
+  /// anchors the game never moves).
+  void swap(size_t A, size_t B) {
+    assert(A < Statements.size() && B < Statements.size());
+    assert(Statements[A].isInstr() && Statements[B].isInstr() &&
+           "only instructions may be reordered");
+    std::swap(Statements[A], Statements[B]);
+  }
+
+  /// Renders the whole section in CuAssembler-like text.
+  std::string str() const;
+  void print(std::ostream &OS) const;
+
+private:
+  std::string Name;
+  std::vector<Statement> Statements;
+};
+
+} // namespace sass
+} // namespace cuasmrl
+
+#endif // CUASMRL_SASS_PROGRAM_H

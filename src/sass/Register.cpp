@@ -1,0 +1,32 @@
+//===- sass/Register.cpp ---------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sass/Register.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::sass;
+
+std::string Register::str() const {
+  switch (Class) {
+  case RegClass::General:
+    if (Index == RZIndex)
+      return "RZ";
+    return "R" + std::to_string(Index);
+  case RegClass::Uniform:
+    if (Index == URZIndex)
+      return "URZ";
+    return "UR" + std::to_string(Index);
+  case RegClass::Predicate:
+    if (Index == PTIndex)
+      return "PT";
+    return "P" + std::to_string(Index);
+  case RegClass::UniformPredicate:
+    if (Index == PTIndex)
+      return "UPT";
+    return "UP" + std::to_string(Index);
+  }
+  return "<invalid-register>";
+}

@@ -1,0 +1,116 @@
+//===- sass/Register.h - SASS register model ------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers as they appear in Ampere SASS text: 32-bit general purpose
+/// registers (`R0`..`R254`, `RZ`), uniform registers (`UR0`..`UR62`,
+/// `URZ`), predicates (`P0`..`P6`, `PT`) and uniform predicates. The
+/// `.64` suffix handling (adjacent-register expansion, paper Eq. 2) lives
+/// on `Operand`; this header only names architectural registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SASS_REGISTER_H
+#define CUASMRL_SASS_REGISTER_H
+
+#include <cstdint>
+#include <string>
+
+namespace cuasmrl {
+namespace sass {
+
+/// Architectural register files visible in SASS text.
+enum class RegClass : uint8_t {
+  General,          ///< R0..R254, RZ (index 255).
+  Uniform,          ///< UR0..UR62, URZ (index 63).
+  Predicate,        ///< P0..P6, PT (index 7).
+  UniformPredicate, ///< UP0..UP6, UPT (index 7).
+};
+
+/// A single architectural register reference.
+class Register {
+public:
+  /// Index of the general-purpose zero register RZ.
+  static constexpr unsigned RZIndex = 255;
+  /// Index of the uniform zero register URZ.
+  static constexpr unsigned URZIndex = 63;
+  /// Index of the true predicate PT (and UPT).
+  static constexpr unsigned PTIndex = 7;
+
+  Register() = default;
+  Register(RegClass Class, unsigned Index) : Class(Class), Index(Index) {}
+
+  static Register general(unsigned Index) {
+    return Register(RegClass::General, Index);
+  }
+  static Register uniform(unsigned Index) {
+    return Register(RegClass::Uniform, Index);
+  }
+  static Register predicate(unsigned Index) {
+    return Register(RegClass::Predicate, Index);
+  }
+  static Register rz() { return general(RZIndex); }
+  static Register urz() { return uniform(URZIndex); }
+  static Register pt() { return predicate(PTIndex); }
+
+  RegClass regClass() const { return Class; }
+  unsigned index() const { return Index; }
+
+  /// True for RZ / URZ / PT / UPT — reads as zero (or true) and writes
+  /// are discarded, so these never create data dependencies.
+  bool isZero() const {
+    switch (Class) {
+    case RegClass::General:
+      return Index == RZIndex;
+    case RegClass::Uniform:
+      return Index == URZIndex;
+    case RegClass::Predicate:
+    case RegClass::UniformPredicate:
+      return Index == PTIndex;
+    }
+    return false;
+  }
+
+  bool isGeneral() const { return Class == RegClass::General; }
+  bool isUniform() const { return Class == RegClass::Uniform; }
+  bool isPredicate() const {
+    return Class == RegClass::Predicate ||
+           Class == RegClass::UniformPredicate;
+  }
+
+  /// The adjacent register participating in a `.64` access, computed with
+  /// the arithmetic the paper gives in Eq. 2:
+  ///   base = r / 2;  mod = r % 2;  flip = 1 - mod;  adj = base * 2 + flip
+  /// (equivalently r xor 1, verified by a unit test).
+  Register adjacent() const {
+    unsigned Base = Index / 2;
+    unsigned Mod = Index % 2;
+    unsigned Flip = 1 - Mod;
+    return Register(Class, Base * 2 + Flip);
+  }
+
+  /// Renders the SASS spelling, e.g. "R12", "RZ", "UR4", "PT", "!"-less.
+  std::string str() const;
+
+  bool operator==(const Register &Other) const {
+    return Class == Other.Class && Index == Other.Index;
+  }
+  bool operator!=(const Register &Other) const { return !(*this == Other); }
+  bool operator<(const Register &Other) const {
+    if (Class != Other.Class)
+      return Class < Other.Class;
+    return Index < Other.Index;
+  }
+
+private:
+  RegClass Class = RegClass::General;
+  unsigned Index = 0;
+};
+
+} // namespace sass
+} // namespace cuasmrl
+
+#endif // CUASMRL_SASS_REGISTER_H

@@ -1,0 +1,154 @@
+//===- search/Search.cpp -----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Search.h"
+
+#include <algorithm>
+
+using namespace cuasmrl;
+using namespace cuasmrl::search;
+using env::AssemblyGame;
+
+namespace {
+
+/// Picks a uniformly random legal action, or nullopt when all masked.
+std::optional<unsigned> randomLegal(const AssemblyGame &Game, Rng &R) {
+  std::vector<uint8_t> Mask = Game.actionMask();
+  std::vector<unsigned> Legal;
+  for (unsigned A = 0; A < Mask.size(); ++A)
+    if (Mask[A])
+      Legal.push_back(A);
+  if (Legal.empty())
+    return std::nullopt;
+  return Legal[R.uniformInt(Legal.size())];
+}
+
+/// The reverse of an action: flip the up/down bit. After `step(A)` the
+/// moved instruction keeps its movable index, so A^1 undoes A.
+unsigned reverseAction(unsigned Action) { return Action ^ 1u; }
+
+} // namespace
+
+SearchResult search::randomSearch(AssemblyGame &Game, unsigned TotalSteps,
+                                  Rng &R) {
+  SearchResult Res;
+  Res.InitialTimeUs = Game.initialTimeUs();
+  Game.reset();
+  for (unsigned Step = 0; Step < TotalSteps; ++Step) {
+    std::optional<unsigned> Action = randomLegal(Game, R);
+    if (!Action) {
+      Game.reset();
+      continue;
+    }
+    AssemblyGame::StepResult S = Game.step(*Action);
+    ++Res.StepsUsed;
+    Res.BestCurve.push_back(Game.bestTimeUs());
+    if (S.Done)
+      Game.reset();
+  }
+  Res.BestTimeUs = Game.bestTimeUs();
+  return Res;
+}
+
+SearchResult search::greedySearch(AssemblyGame &Game, unsigned TotalSteps,
+                                  Rng &R) {
+  SearchResult Res;
+  Res.InitialTimeUs = Game.initialTimeUs();
+  Game.reset();
+  unsigned Stuck = 0;
+  for (unsigned Step = 0; Step < TotalSteps; ++Step) {
+    std::optional<unsigned> Action = randomLegal(Game, R);
+    if (!Action)
+      break;
+    double Before = Game.currentTimeUs();
+    AssemblyGame::StepResult S = Game.step(*Action);
+    ++Res.StepsUsed;
+    if (!S.Invalid && Game.currentTimeUs() > Before) {
+      // Revert a worsening move (hill climbing).
+      Game.step(reverseAction(*Action));
+      ++Res.StepsUsed;
+      ++Stuck;
+    } else {
+      Stuck = 0;
+    }
+    Res.BestCurve.push_back(Game.bestTimeUs());
+    if (Stuck > 64)
+      break; // Local minimum: no single swap improves.
+  }
+  Res.BestTimeUs = Game.bestTimeUs();
+  return Res;
+}
+
+SearchResult search::evolutionarySearch(AssemblyGame &Game,
+                                        unsigned TotalSteps, Rng &R,
+                                        unsigned Population,
+                                        unsigned EliteCount) {
+  SearchResult Res;
+  Res.InitialTimeUs = Game.initialTimeUs();
+
+  using Genome = std::vector<unsigned>;
+  struct Individual {
+    Genome Actions;
+    double TimeUs;
+  };
+
+  // Replays a genome from the initial schedule; returns the resulting
+  // runtime and truncates the genome at the first illegal action.
+  auto Evaluate = [&](Genome &G) -> double {
+    Game.reset();
+    size_t Applied = 0;
+    for (unsigned Action : G) {
+      std::vector<uint8_t> Mask = Game.actionMask();
+      if (Action >= Mask.size() || !Mask[Action])
+        break;
+      AssemblyGame::StepResult S = Game.step(Action);
+      ++Res.StepsUsed;
+      Res.BestCurve.push_back(Game.bestTimeUs());
+      ++Applied;
+      if (S.Done)
+        break;
+    }
+    G.resize(Applied);
+    return Game.currentTimeUs();
+  };
+
+  std::vector<Individual> Pop;
+  for (unsigned I = 0; I < Population; ++I) {
+    Genome G;
+    for (int Len = R.uniformRange(1, 6); Len > 0; --Len)
+      G.push_back(static_cast<unsigned>(
+          R.uniformInt(std::max(1u, Game.actionCount()))));
+    double T = Evaluate(G);
+    Pop.push_back({std::move(G), T});
+  }
+
+  while (Res.StepsUsed < TotalSteps) {
+    std::sort(Pop.begin(), Pop.end(),
+              [](const Individual &A, const Individual &B) {
+                return A.TimeUs < B.TimeUs;
+              });
+    // Offspring: mutate elites by appending / perturbing actions.
+    for (unsigned I = EliteCount; I < Population; ++I) {
+      Genome Child = Pop[R.uniformInt(EliteCount)].Actions;
+      unsigned Mutations = 1 + static_cast<unsigned>(R.uniformInt(3));
+      for (unsigned M = 0; M < Mutations; ++M) {
+        unsigned A = static_cast<unsigned>(
+            R.uniformInt(std::max(1u, Game.actionCount())));
+        if (!Child.empty() && R.bernoulli(0.3))
+          Child[R.uniformInt(Child.size())] = A;
+        else
+          Child.push_back(A);
+      }
+      double T = Evaluate(Child);
+      Pop[I] = {std::move(Child), T};
+      if (Res.StepsUsed >= TotalSteps)
+        break;
+    }
+  }
+
+  Res.BestTimeUs = Game.bestTimeUs();
+  return Res;
+}

@@ -1,0 +1,60 @@
+//===- search/Search.h - Non-RL schedule search baselines --------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alternative search algorithms the paper discusses (§7): "it is
+/// also possible to apply other search algorithms, such as evolutionary
+/// search, to reschedule instructions. Evolutionary search does not need
+/// training, however it may converge to local minima." All baselines
+/// drive the same AssemblyGame environment the RL agent plays, so the
+/// comparison isolates the search strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SEARCH_SEARCH_H
+#define CUASMRL_SEARCH_SEARCH_H
+
+#include "env/AssemblyGame.h"
+#include "support/Rng.h"
+
+namespace cuasmrl {
+namespace search {
+
+/// Outcome of one search run.
+struct SearchResult {
+  double InitialTimeUs = 0.0;
+  double BestTimeUs = 0.0;
+  unsigned StepsUsed = 0;
+  /// Best-so-far time after every environment step (convergence curve).
+  std::vector<double> BestCurve;
+
+  double speedup() const {
+    return BestTimeUs > 0 ? InitialTimeUs / BestTimeUs : 1.0;
+  }
+};
+
+/// Uniform random legal actions, restarting each episode.
+SearchResult randomSearch(env::AssemblyGame &Game, unsigned TotalSteps,
+                          Rng &R);
+
+/// Stochastic hill climbing: random legal action, revert unless it
+/// improved the runtime. Converges to the nearest local minimum.
+SearchResult greedySearch(env::AssemblyGame &Game, unsigned TotalSteps,
+                          Rng &R);
+
+/// (mu + lambda) evolutionary search over action sequences: individuals
+/// are legal action strings replayed from the initial schedule; mutation
+/// appends/perturbs actions. No training, but prone to local minima
+/// (paper §7).
+SearchResult evolutionarySearch(env::AssemblyGame &Game,
+                                unsigned TotalSteps, Rng &R,
+                                unsigned Population = 8,
+                                unsigned EliteCount = 2);
+
+} // namespace search
+} // namespace cuasmrl
+
+#endif // CUASMRL_SEARCH_SEARCH_H

@@ -1,0 +1,111 @@
+//===- support/Error.h - Lightweight recoverable-error types -------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal `Expected<T>`-style error handling. The library avoids
+/// exceptions; fallible operations return `Expected<T>` carrying either a
+/// value or a human-readable diagnostic string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_ERROR_H
+#define CUASMRL_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cuasmrl {
+
+/// A diagnostic message describing why an operation failed.
+///
+/// Errors are plain value types; they carry a message and optionally the
+/// (line, column) source location for parser diagnostics. Messages follow
+/// the LLVM convention: lowercase first word, no trailing period.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+  Error(std::string Message, unsigned Line, unsigned Column)
+      : Message(std::move(Message)), Line(Line), Column(Column) {}
+
+  const std::string &message() const { return Message; }
+  unsigned line() const { return Line; }
+  unsigned column() const { return Column; }
+
+  /// Renders "line L, column C: message" when a location is attached.
+  std::string str() const {
+    if (Line == 0)
+      return Message;
+    return "line " + std::to_string(Line) + ", column " +
+           std::to_string(Column) + ": " + Message;
+  }
+
+private:
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// Tagged union of a value and an Error.
+///
+/// Callers must check `operator bool` (or `hasValue`) before dereferencing.
+/// Typical usage:
+/// \code
+///   Expected<Program> P = parseProgram(Text);
+///   if (!P)
+///     return P.takeError();
+///   use(*P);
+/// \endcode
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Error E) : Err(std::move(E)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing an errored Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing an errored Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing an errored Expected");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing an errored Expected");
+    return &*Value;
+  }
+
+  /// Moves the contained value out; only valid when hasValue().
+  T takeValue() {
+    assert(Value && "taking value of an errored Expected");
+    return std::move(*Value);
+  }
+
+  const Error &error() const {
+    assert(!Value && "taking error of a valued Expected");
+    return Err;
+  }
+  Error takeError() {
+    assert(!Value && "taking error of a valued Expected");
+    return std::move(Err);
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_ERROR_H

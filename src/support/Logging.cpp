@@ -1,0 +1,39 @@
+//===- support/Logging.cpp ------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Logging.h"
+
+#include <iostream>
+
+using namespace cuasmrl;
+
+Logger &Logger::instance() {
+  static Logger TheLogger;
+  return TheLogger;
+}
+
+void Logger::setSink(std::ostream *Sink) { SinkStream = Sink; }
+
+void Logger::log(LogLevel Level, const std::string &Message) {
+  if (Level < MinLevel)
+    return;
+  static const char *Names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::ostream &OS = SinkStream ? *SinkStream : std::cerr;
+  OS << "[" << Names[static_cast<int>(Level)] << "] " << Message << '\n';
+}
+
+void cuasmrl::logDebug(const std::string &Message) {
+  Logger::instance().log(LogLevel::Debug, Message);
+}
+void cuasmrl::logInfo(const std::string &Message) {
+  Logger::instance().log(LogLevel::Info, Message);
+}
+void cuasmrl::logWarn(const std::string &Message) {
+  Logger::instance().log(LogLevel::Warn, Message);
+}
+void cuasmrl::logError(const std::string &Message) {
+  Logger::instance().log(LogLevel::Err, Message);
+}

@@ -1,0 +1,53 @@
+//===- support/Logging.h - Leveled logging to a stream -------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny leveled logger. The RL trainer logs "training statistics such
+/// as episodic rewards and the loss" (§3.7); the rest of the library logs
+/// at Debug level only. Output is a caller-provided std::ostream so tests
+/// can capture it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_LOGGING_H
+#define CUASMRL_SUPPORT_LOGGING_H
+
+#include <iosfwd>
+#include <string>
+
+namespace cuasmrl {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Err = 3, Off = 4 };
+
+/// Process-wide logger with a pluggable sink.
+class Logger {
+public:
+  /// Returns the singleton logger (defaults: Info level, stderr sink).
+  static Logger &instance();
+
+  void setLevel(LogLevel Level) { MinLevel = Level; }
+  LogLevel level() const { return MinLevel; }
+
+  /// Redirects output; pass nullptr to restore stderr.
+  void setSink(std::ostream *Sink);
+
+  void log(LogLevel Level, const std::string &Message);
+
+private:
+  Logger() = default;
+  LogLevel MinLevel = LogLevel::Info;
+  std::ostream *SinkStream = nullptr;
+};
+
+/// Convenience wrappers.
+void logDebug(const std::string &Message);
+void logInfo(const std::string &Message);
+void logWarn(const std::string &Message);
+void logError(const std::string &Message);
+
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_LOGGING_H

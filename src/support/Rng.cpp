@@ -1,0 +1,110 @@
+//===- support/Rng.cpp ----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace cuasmrl;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::uniformInt(uint64_t Bound) {
+  assert(Bound != 0 && "uniformInt bound must be nonzero");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+int64_t Rng::uniformRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(uniformInt(Span));
+}
+
+double Rng::uniformReal() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double Lo, double Hi) {
+  return Lo + (Hi - Lo) * uniformReal();
+}
+
+double Rng::normal() {
+  if (HasSpareNormal) {
+    HasSpareNormal = false;
+    return SpareNormal;
+  }
+  double U1 = 0.0;
+  do {
+    U1 = uniformReal();
+  } while (U1 <= 1e-300);
+  double U2 = uniformReal();
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  SpareNormal = R * std::sin(Theta);
+  HasSpareNormal = true;
+  return R * std::cos(Theta);
+}
+
+double Rng::normal(double Mean, double Stddev) {
+  return Mean + Stddev * normal();
+}
+
+bool Rng::bernoulli(double P) { return uniformReal() < P; }
+
+size_t Rng::categorical(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "categorical over empty support");
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "negative categorical weight");
+    Total += W;
+  }
+  if (Total <= 0.0)
+    return Weights.size() - 1;
+  double Draw = uniformReal() * Total;
+  double Accum = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Accum += Weights[I];
+    if (Draw < Accum)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next()); }

@@ -1,0 +1,81 @@
+//===- support/Rng.h - Deterministic random number generation ------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded xoshiro256** generator with the sampling helpers the RL stack
+/// and the workload generators need. Every stochastic component in the
+/// library draws from an explicitly threaded Rng so runs are reproducible,
+/// matching the paper's requirement that inference "can be seeded, so it
+/// is deterministic and can be reproduced" (§5.7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_RNG_H
+#define CUASMRL_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cuasmrl {
+
+/// xoshiro256** 1.0 pseudo-random generator (public-domain algorithm by
+/// Blackman & Vigna) seeded via splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit draw.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound); Bound must be nonzero.
+  uint64_t uniformInt(uint64_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t uniformRange(int64_t Lo, int64_t Hi);
+
+  /// Uniform real in [0, 1).
+  double uniformReal();
+
+  /// Uniform real in [Lo, Hi).
+  double uniformReal(double Lo, double Hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double Mean, double Stddev);
+
+  /// Bernoulli draw with probability P of returning true.
+  bool bernoulli(double P);
+
+  /// Samples an index from an (unnormalized, nonnegative) weight vector.
+  /// Returns the last index if weights sum to zero.
+  size_t categorical(const std::vector<double> &Weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &V) {
+    if (V.empty())
+      return;
+    for (size_t I = V.size() - 1; I > 0; --I) {
+      size_t J = uniformInt(I + 1);
+      std::swap(V[I], V[J]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-episode streams).
+  Rng fork();
+
+private:
+  uint64_t State[4];
+  bool HasSpareNormal = false;
+  double SpareNormal = 0.0;
+};
+
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_RNG_H

@@ -1,0 +1,114 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cuasmrl;
+
+std::vector<std::string> cuasmrl::split(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Out.emplace_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Out;
+}
+
+std::vector<std::string> cuasmrl::splitWhitespace(std::string_view Text) {
+  std::vector<std::string> Out;
+  size_t I = 0;
+  while (I < Text.size()) {
+    while (I < Text.size() && std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    size_t Start = I;
+    while (I < Text.size() &&
+           !std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I > Start)
+      Out.emplace_back(Text.substr(Start, I - Start));
+  }
+  return Out;
+}
+
+std::string_view cuasmrl::trim(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::optional<int64_t> cuasmrl::parseInt(std::string_view Text) {
+  Text = trim(Text);
+  if (Text.empty())
+    return std::nullopt;
+  bool Negative = false;
+  if (Text[0] == '-' || Text[0] == '+') {
+    Negative = Text[0] == '-';
+    Text.remove_prefix(1);
+  }
+  int Base = 10;
+  if (startsWith(Text, "0x") || startsWith(Text, "0X")) {
+    Base = 16;
+    Text.remove_prefix(2);
+  }
+  if (Text.empty())
+    return std::nullopt;
+  int64_t Value = 0;
+  auto [Ptr, Ec] =
+      std::from_chars(Text.data(), Text.data() + Text.size(), Value, Base);
+  if (Ec != std::errc() || Ptr != Text.data() + Text.size())
+    return std::nullopt;
+  return Negative ? -Value : Value;
+}
+
+std::optional<double> cuasmrl::parseDouble(std::string_view Text) {
+  Text = trim(Text);
+  if (Text.empty())
+    return std::nullopt;
+  std::string Buffer(Text);
+  char *End = nullptr;
+  double Value = std::strtod(Buffer.c_str(), &End);
+  if (End != Buffer.c_str() + Buffer.size())
+    return std::nullopt;
+  return Value;
+}
+
+std::string cuasmrl::toUpper(std::string_view Text) {
+  std::string Out(Text);
+  for (char &C : Out)
+    C = static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+std::string cuasmrl::join(const std::vector<std::string> &Parts,
+                          std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string cuasmrl::formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}

@@ -1,0 +1,64 @@
+//===- support/StringUtils.h - Small string helpers ----------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String splitting/trimming/parsing helpers shared by the SASS lexer,
+/// the bench harnesses and the deploy cache. Nothing here allocates more
+/// than the obvious return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_STRINGUTILS_H
+#define CUASMRL_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cuasmrl {
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> split(std::string_view Text, char Sep);
+
+/// Splits on any whitespace run, dropping empty fields.
+std::vector<std::string> splitWhitespace(std::string_view Text);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Parses a decimal or (0x-prefixed) hexadecimal integer.
+std::optional<int64_t> parseInt(std::string_view Text);
+
+/// Parses a floating point literal.
+std::optional<double> parseDouble(std::string_view Text);
+
+/// Uppercases ASCII.
+std::string toUpper(std::string_view Text);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Sep);
+
+/// Formats a double with \p Precision digits after the point.
+std::string formatDouble(double Value, int Precision);
+
+/// True if \p Text starts with \p Prefix (std helper for pre-C++20 call
+/// sites kept for readability at call sites handling string_views).
+inline bool startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.substr(0, Prefix.size()) == Prefix;
+}
+
+/// True if \p Text ends with \p Suffix.
+inline bool endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_STRINGUTILS_H

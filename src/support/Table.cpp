@@ -1,0 +1,73 @@
+//===- support/Table.cpp --------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <ostream>
+
+using namespace cuasmrl;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void Table::addRow(const std::string &Label,
+                   const std::vector<double> &Values, int Precision) {
+  std::vector<std::string> Row;
+  Row.reserve(Values.size() + 1);
+  Row.push_back(Label);
+  for (double V : Values)
+    Row.push_back(formatDouble(V, Precision));
+  addRow(std::move(Row));
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      OS << Row[C];
+      if (C + 1 != Row.size())
+        OS << std::string(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  OS << std::string(Total > 2 ? Total - 2 : Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void Table::printCsv(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      if (C != 0)
+        OS << ',';
+      OS << Row[C];
+    }
+    OS << '\n';
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

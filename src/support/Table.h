@@ -1,0 +1,51 @@
+//===- support/Table.h - Aligned table / CSV emission --------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bench harnesses print the same rows the paper's tables and figures
+/// report. `Table` collects rows of strings and renders them either as an
+/// aligned monospace table (for terminals) or CSV (for plotting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_TABLE_H
+#define CUASMRL_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+
+/// A rectangular table of strings with a header row.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; must match the header width.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats doubles with the given precision.
+  void addRow(const std::string &Label, const std::vector<double> &Values,
+              int Precision = 3);
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numColumns() const { return Header.size(); }
+
+  /// Renders with space-aligned columns.
+  void print(std::ostream &OS) const;
+
+  /// Renders as CSV.
+  void printCsv(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_TABLE_H

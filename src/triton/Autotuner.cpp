@@ -1,0 +1,67 @@
+//===- triton/Autotuner.cpp -----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "triton/Autotuner.h"
+
+#include "kernels/Generators.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::triton;
+
+Autotuner::Autotuner(gpusim::MeasureConfig M) : Measure(M) {}
+
+std::string Autotuner::cacheKey(kernels::WorkloadKind Kind,
+                                const kernels::WorkloadShape &S) {
+  return kernels::workloadName(Kind) + "/" + std::to_string(S.B) + "x" +
+         std::to_string(S.M) + "x" + std::to_string(S.N) + "x" +
+         std::to_string(S.K) + "/" + std::to_string(S.NHead) + "x" +
+         std::to_string(S.SeqLen) + "x" + std::to_string(S.DHead) + "/" +
+         std::to_string(S.Rows) + "x" + std::to_string(S.Cols);
+}
+
+const AutotuneResult *
+Autotuner::cached(kernels::WorkloadKind Kind,
+                  const kernels::WorkloadShape &Shape) const {
+  auto It = Cache.find(cacheKey(Kind, Shape));
+  return It == Cache.end() ? nullptr : &It->second;
+}
+
+AutotuneResult Autotuner::tune(gpusim::Gpu &Device,
+                               kernels::WorkloadKind Kind,
+                               const kernels::WorkloadShape &Shape,
+                               Rng &DataRng) {
+  std::string Key = cacheKey(Kind, Shape);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+
+  AutotuneResult Result;
+  Result.BestUs = 1e30;
+  for (const kernels::TileConfig &Config :
+       kernels::candidateConfigs(Kind)) {
+    if (!kernels::configFits(Kind, Shape, Config))
+      continue;
+    kernels::BuiltKernel K = kernels::buildKernel(
+        Device, Kind, Shape, Config, kernels::ScheduleStyle::TritonO3,
+        DataRng);
+    gpusim::MeasureConfig MC = Measure;
+    if (MC.MaxBlocks == 0)
+      MC.MaxBlocks = Device.residentBlocks(K.Launch);
+    gpusim::Measurement M = measureKernel(Device, K.Prog, K.Launch, MC);
+
+    TunedConfig T;
+    T.Config = Config;
+    T.Valid = M.Valid;
+    T.MeanUs = M.MeanUs;
+    Result.Sweep.push_back(T);
+    if (M.Valid && M.MeanUs < Result.BestUs) {
+      Result.BestUs = M.MeanUs;
+      Result.Best = Config;
+    }
+  }
+  Cache.emplace(Key, Result);
+  return Result;
+}

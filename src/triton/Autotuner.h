@@ -1,0 +1,75 @@
+//===- triton/Autotuner.h - Kernel-configuration grid search (§3.1) ----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first level of the hierarchical search: "the autotuner employs a
+/// grid search-like strategy, which enumerates user-provided kernel
+/// configurations, compiles with the kernel configurations, measures the
+/// execution throughput on the target GPU, and greedily selects as well
+/// as caches the optimal set of kernel configurations" (§3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_TRITON_AUTOTUNER_H
+#define CUASMRL_TRITON_AUTOTUNER_H
+
+#include "gpusim/Measurement.h"
+#include "kernels/Builder.h"
+
+#include <map>
+
+namespace cuasmrl {
+namespace triton {
+
+/// One measured configuration.
+struct TunedConfig {
+  kernels::TileConfig Config;
+  double MeanUs = 0.0;
+  bool Valid = false;
+};
+
+/// Result of one autotuning sweep.
+struct AutotuneResult {
+  kernels::TileConfig Best;
+  double BestUs = 0.0;
+  std::vector<TunedConfig> Sweep; ///< Every configuration measured.
+};
+
+/// Grid-search autotuner with a per-(workload, shape) cache.
+class Autotuner {
+public:
+  explicit Autotuner(gpusim::MeasureConfig Measure = defaultMeasure());
+
+  /// Enumerates candidateConfigs(Kind), measures each fitting one on
+  /// \p Device and returns (and caches) the fastest.
+  AutotuneResult tune(gpusim::Gpu &Device, kernels::WorkloadKind Kind,
+                      const kernels::WorkloadShape &Shape, Rng &DataRng);
+
+  /// Cached result, if this (kind, shape) was tuned before.
+  const AutotuneResult *cached(kernels::WorkloadKind Kind,
+                               const kernels::WorkloadShape &Shape) const;
+
+  /// The paper's measurement protocol scaled to the simulator: the real
+  /// system averages 100 repetitions after 100 warm-ups.
+  static gpusim::MeasureConfig defaultMeasure() {
+    gpusim::MeasureConfig M;
+    M.WarmupIters = 2;
+    M.RepeatIters = 3;
+    return M;
+  }
+
+private:
+  static std::string cacheKey(kernels::WorkloadKind Kind,
+                              const kernels::WorkloadShape &Shape);
+
+  gpusim::MeasureConfig Measure;
+  std::map<std::string, AutotuneResult> Cache;
+};
+
+} // namespace triton
+} // namespace cuasmrl
+
+#endif // CUASMRL_TRITON_AUTOTUNER_H

@@ -1,0 +1,62 @@
+//===- triton/DeployCache.cpp -----------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "triton/DeployCache.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace cuasmrl;
+using namespace cuasmrl::triton;
+
+DeployCache::DeployCache(std::string Dir) : Directory(std::move(Dir)) {}
+
+std::string DeployCache::makeKey(const std::string &GpuType,
+                                 const std::string &Workload,
+                                 const std::string &Config) {
+  std::string Key = GpuType + "-" + Workload + "-" + Config;
+  for (char &C : Key)
+    if (C == '/' || C == ' ')
+      C = '_';
+  return Key;
+}
+
+std::string DeployCache::pathFor(const std::string &Key) const {
+  return Directory + "/" + Key + ".cubin";
+}
+
+bool DeployCache::store(const std::string &Key,
+                        const cubin::CubinFile &File) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Directory, Ec);
+  if (Ec)
+    return false;
+  std::ofstream OS(pathFor(Key), std::ios::binary | std::ios::trunc);
+  if (!OS)
+    return false;
+  std::vector<uint8_t> Bytes = File.serialize();
+  OS.write(reinterpret_cast<const char *>(Bytes.data()),
+           static_cast<std::streamsize>(Bytes.size()));
+  return static_cast<bool>(OS);
+}
+
+std::optional<cubin::CubinFile>
+DeployCache::load(const std::string &Key) const {
+  std::ifstream IS(pathFor(Key), std::ios::binary);
+  if (!IS)
+    return std::nullopt;
+  std::vector<uint8_t> Bytes(
+      (std::istreambuf_iterator<char>(IS)),
+      std::istreambuf_iterator<char>());
+  Expected<cubin::CubinFile> File = cubin::CubinFile::deserialize(Bytes);
+  if (!File)
+    return std::nullopt;
+  return File.takeValue();
+}
+
+bool DeployCache::contains(const std::string &Key) const {
+  return std::filesystem::exists(pathFor(Key));
+}

@@ -1,0 +1,57 @@
+//===- triton/DeployCache.h - Offline search / deploy lookup (§4.2) ----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's deployment workflow: "the best optimized cubin found
+/// throughout the assembly game is written to the file system, prefixed
+/// by GPU type, workload type etc., as the key to lookup. At deployment,
+/// the key should be passed in, and it invokes a lookup process instead
+/// of training" (§4.2). There is no runtime overhead — only offline
+/// search time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_TRITON_DEPLOYCACHE_H
+#define CUASMRL_TRITON_DEPLOYCACHE_H
+
+#include "cubin/Cubin.h"
+
+#include <optional>
+#include <string>
+
+namespace cuasmrl {
+namespace triton {
+
+/// Filesystem cache of optimized cubins.
+class DeployCache {
+public:
+  /// \p Directory is created on first store.
+  explicit DeployCache(std::string Directory);
+
+  /// Key convention: "<gpu>/<workload>/<config>" flattened to one file
+  /// name (the paper prefixes GPU and workload type).
+  static std::string makeKey(const std::string &GpuType,
+                             const std::string &Workload,
+                             const std::string &Config);
+
+  /// Writes the optimized cubin under \p Key. \returns false on I/O
+  /// failure.
+  bool store(const std::string &Key, const cubin::CubinFile &File);
+
+  /// Deploy-time lookup: loads and decodes the cached cubin.
+  std::optional<cubin::CubinFile> load(const std::string &Key) const;
+
+  bool contains(const std::string &Key) const;
+
+private:
+  std::string pathFor(const std::string &Key) const;
+  std::string Directory;
+};
+
+} // namespace triton
+} // namespace cuasmrl
+
+#endif // CUASMRL_TRITON_DEPLOYCACHE_H

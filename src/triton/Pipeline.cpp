@@ -1,0 +1,73 @@
+//===- triton/Pipeline.cpp ---------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "triton/Pipeline.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::triton;
+
+CompiledKernel triton::compileKernel(gpusim::Gpu &Device,
+                                     kernels::WorkloadKind Kind,
+                                     const kernels::WorkloadShape &Shape,
+                                     const kernels::TileConfig &Config,
+                                     Rng &DataRng) {
+  CompiledKernel Out;
+  Out.Runtime = kernels::buildKernel(Device, Kind, Shape, Config,
+                                     kernels::ScheduleStyle::TritonO3,
+                                     DataRng);
+  cubin::KernelInfo Info;
+  Info.Name = Out.Runtime.Name;
+  Info.GridX = Out.Runtime.Launch.GridX;
+  Info.GridY = Out.Runtime.Launch.GridY;
+  Info.GridZ = Out.Runtime.Launch.GridZ;
+  Info.WarpsPerBlock = Out.Runtime.Launch.WarpsPerBlock;
+  Info.SharedBytes = Out.Runtime.Launch.SharedBytes;
+  Out.Binary = cubin::assemble(Out.Runtime.Prog, Info);
+  return Out;
+}
+
+Expected<sass::Program> triton::interceptCubin(const CompiledKernel &K) {
+  return cubin::disassemble(K.Binary);
+}
+
+void triton::substituteSchedule(CompiledKernel &K,
+                                const sass::Program &Optimized) {
+  cubin::replaceKernelSection(K.Binary, Optimized);
+  K.Runtime.Prog = Optimized;
+}
+
+bool triton::probabilisticTest(gpusim::Gpu &Device,
+                               const kernels::BuiltKernel &Runtime,
+                               const sass::Program &Original,
+                               const sass::Program &Candidate,
+                               unsigned Rounds, Rng &DataRng) {
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    // One seed per round drives two identical input streams so the
+    // reference and the candidate see the same randomized data.
+    uint64_t RoundSeed = DataRng.next();
+
+    // Reference output: the unmodified -O3 schedule on the oracle.
+    Rng RefStream(RoundSeed);
+    Runtime.randomizeInputs(Device, RefStream);
+    gpusim::RunResult Ref =
+        Device.run(Original, Runtime.Launch, gpusim::RunMode::Oracle);
+    if (!Ref.Valid)
+      return false;
+    std::vector<uint32_t> Expected = Runtime.readOutput(Device);
+
+    // Candidate output: the optimized schedule on the timed
+    // (hazard-faithful) machine, same inputs.
+    Rng CandStream(RoundSeed);
+    Runtime.randomizeInputs(Device, CandStream);
+    gpusim::RunResult Got =
+        Device.run(Candidate, Runtime.Launch, gpusim::RunMode::Timed);
+    if (!Got.Valid)
+      return false;
+    if (Runtime.readOutput(Device) != Expected)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,62 @@
+//===- triton/Pipeline.h - Compile / intercept / verify pipeline -------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §4.1 integration: the pipeline "reuses Triton's compilation
+/// pipeline but extends the autotuner and intercepts the compiled
+/// cubin. It then disassembles the cubin into SASS and extracts the
+/// kernel section ... and substitutes the kernel section with the
+/// optimized cubin". Probabilistic testing (randomized inputs compared
+/// against reference outputs) is the sanity check on optimized kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_TRITON_PIPELINE_H
+#define CUASMRL_TRITON_PIPELINE_H
+
+#include "cubin/Cubin.h"
+#include "kernels/Builder.h"
+
+namespace cuasmrl {
+namespace triton {
+
+/// A compiled kernel: the container plus the device-side buffers.
+struct CompiledKernel {
+  cubin::CubinFile Binary;
+  kernels::BuiltKernel Runtime; ///< Buffers + launch (device state).
+};
+
+/// "Compiles" the workload for one configuration through the Triton
+/// stand-in backend and packages the result as a cubin.
+CompiledKernel compileKernel(gpusim::Gpu &Device,
+                             kernels::WorkloadKind Kind,
+                             const kernels::WorkloadShape &Shape,
+                             const kernels::TileConfig &Config,
+                             Rng &DataRng);
+
+/// Intercepts the binary: disassembles the kernel section back to SASS
+/// (the schedule the RL agent mutates).
+Expected<sass::Program> interceptCubin(const CompiledKernel &Kernel);
+
+/// Substitutes the optimized schedule into the binary, preserving the
+/// other sections, and points the runtime at it.
+void substituteSchedule(CompiledKernel &Kernel,
+                        const sass::Program &Optimized);
+
+/// Probabilistic testing (§4.1): \p Rounds times, randomize the inputs,
+/// run \p Candidate on the timed machine and the *original* schedule on
+/// the architectural oracle, and compare output buffers bit-for-bit.
+/// \returns true when every round matches.
+bool probabilisticTest(gpusim::Gpu &Device,
+                       const kernels::BuiltKernel &Runtime,
+                       const sass::Program &Original,
+                       const sass::Program &Candidate, unsigned Rounds,
+                       Rng &DataRng);
+
+} // namespace triton
+} // namespace cuasmrl
+
+#endif // CUASMRL_TRITON_PIPELINE_H

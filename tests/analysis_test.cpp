@@ -1,0 +1,278 @@
+//===- tests/analysis_test.cpp - static analysis + microbench tests -----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ControlFlow.h"
+#include "analysis/MicroBench.h"
+#include "analysis/OperandTable.h"
+#include "analysis/StallAnalysis.h"
+#include "analysis/StallTable.h"
+#include "sass/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuasmrl;
+using namespace cuasmrl::analysis;
+
+namespace {
+
+sass::Program parseOrDie(const std::string &Text) {
+  Expected<sass::Program> P = sass::Parser::parseProgram(Text, "t");
+  EXPECT_TRUE(P.hasValue()) << (P.hasValue() ? "" : P.error().str());
+  return P.hasValue() ? P.takeValue() : sass::Program();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Regions
+//===----------------------------------------------------------------------===//
+
+TEST(Regions, LabelsSplit) {
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S01] MOV R0, 0x1 ;
+  [B------:R-:W-:-:S01] MOV R1, 0x2 ;
+.L_A:
+  [B------:R-:W-:-:S01] MOV R2, 0x3 ;
+)");
+  RegionInfo R = computeRegions(P, BoundaryKind::Labels);
+  EXPECT_TRUE(R.sameRegion(0, 1));
+  EXPECT_FALSE(R.sameRegion(1, 3));
+  EXPECT_EQ(R.RegionOf[2], RegionInfo::kBoundary);
+  EXPECT_EQ(R.NumRegions, 2);
+}
+
+TEST(Regions, SyncSplitsOnlyReorderRegions) {
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S01] MOV R0, 0x1 ;
+  [B------:R-:W-:-:S01] BAR.SYNC 0x0 ;
+  [B------:R-:W-:-:S01] MOV R1, 0x2 ;
+)");
+  RegionInfo Reorder = computeRegions(P, BoundaryKind::LabelsAndSync);
+  EXPECT_FALSE(Reorder.sameRegion(0, 2));
+  RegionInfo Blocks = computeRegions(P, BoundaryKind::Labels);
+  EXPECT_TRUE(Blocks.sameRegion(0, 2));
+}
+
+TEST(Regions, ControlFlowSplitsBoth) {
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S01] MOV R0, 0x1 ;
+  [B------:R-:W-:-:S01] BRA `(.L_A) ;
+.L_A:
+  [B------:R-:W-:-:S01] MOV R1, 0x2 ;
+)");
+  for (BoundaryKind K : {BoundaryKind::Labels, BoundaryKind::LabelsAndSync}) {
+    RegionInfo R = computeRegions(P, K);
+    EXPECT_FALSE(R.sameRegion(0, 3));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stall table
+//===----------------------------------------------------------------------===//
+
+TEST(StallTableTest, BuiltinMatchesPaperTable1) {
+  StallTable T = StallTable::builtin();
+  EXPECT_EQ(T.lookup("IADD3").value(), 4u);
+  EXPECT_EQ(T.lookup("IMAD.IADD").value(), 4u);
+  EXPECT_EQ(T.lookup("IADD3.X").value(), 4u);
+  EXPECT_EQ(T.lookup("MOV").value(), 4u);
+  EXPECT_EQ(T.lookup("IABS").value(), 4u);
+  EXPECT_EQ(T.lookup("IMAD").value(), 5u);
+  EXPECT_EQ(T.lookup("IMAD.WIDE").value(), 5u);
+  EXPECT_FALSE(T.lookup("FFMA").has_value()); // Not in Table 1.
+}
+
+TEST(StallTableTest, RecordKeepsMinimum) {
+  StallTable T;
+  T.record("X", 7);
+  T.record("X", 5);
+  T.record("X", 9);
+  EXPECT_EQ(T.lookup("X").value(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stall-count inference (§3.2)
+//===----------------------------------------------------------------------===//
+
+TEST(StallInference, TableResolvesKnownProducer) {
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S05] IMAD.WIDE R10, R9, 0x4, R2 ;
+  [B------:R-:W0:-:S01] LDG.E R12, [R10.64] ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  StallAnalysis A = analyzeStallCounts(P, StallTable::builtin());
+  EXPECT_GE(A.ResolvedByTable, 1u);
+  EXPECT_TRUE(A.Denylist.empty());
+}
+
+TEST(StallInference, UnknownProducerInferred) {
+  // FFMA is not in Table 1: its stall count must be inferred from the
+  // observed def-use distance (5 here).
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S04] MOV R6, 0x0 ;
+  [B------:R-:W-:-:S05] FFMA R18, R12, R13, R14 ;
+  [B------:R-:W-:-:S01] STG.E [R6.64], R18 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  StallAnalysis A = analyzeStallCounts(P, StallTable::builtin());
+  EXPECT_GE(A.ResolvedByInference, 1u);
+  EXPECT_EQ(A.Inferred.lookup("FFMA").value(), 5u);
+}
+
+TEST(StallInference, InferenceOverestimatesSafely) {
+  // §3.2's example: the inferred stall can exceed the microbenchmarked
+  // value when the schedule leaves slack; overestimates are safe.
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S06] FFMA R18, R12, R13, R14 ;
+  [B------:R-:W-:-:S04] MOV R6, 0x0 ;
+  [B------:R-:W-:-:S01] STG.E [R6.64], R18 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  StallAnalysis A = analyzeStallCounts(P, StallTable::builtin());
+  // Accumulated distance: 6 (FFMA) + 4 (MOV) = 10 >= true 5.
+  EXPECT_EQ(A.Inferred.lookup("FFMA").value(), 10u);
+}
+
+TEST(StallInference, MinimumOverObservations) {
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S08] FFMA R18, R12, R13, R14 ;
+  [B------:R-:W-:-:S01] STG.E [R6.64], R18 ;
+  [B------:R-:W-:-:S05] FFMA R19, R12, R13, R14 ;
+  [B------:R-:W-:-:S01] STG.E [R6.64+0x4], R19 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  StallAnalysis A = analyzeStallCounts(P, StallTable::builtin());
+  EXPECT_EQ(A.Inferred.lookup("FFMA").value(), 5u);
+}
+
+TEST(StallInference, LabelCrossingDenylists) {
+  // R10's definition lives before the label: the LDG joins the denylist.
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S05] IMAD.WIDE R10, R9, 0x4, R2 ;
+.L_LOOP:
+  [B------:R-:W0:-:S01] LDG.E R12, [R10.64] ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  StallAnalysis A = analyzeStallCounts(P, StallTable::builtin());
+  EXPECT_EQ(A.Denylist.size(), 1u);
+  EXPECT_GE(A.DenylistedDeps, 1u);
+}
+
+TEST(StallInference, BarSyncDoesNotDenylist) {
+  // BAR.SYNC is not a basic-block boundary for the scan (§3.2).
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S05] IMAD.WIDE R10, R9, 0x4, R2 ;
+  [B------:R-:W-:-:S01] BAR.SYNC 0x0 ;
+  [B------:R-:W0:-:S01] LDG.E R12, [R10.64] ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  StallAnalysis A = analyzeStallCounts(P, StallTable::builtin());
+  EXPECT_TRUE(A.Denylist.empty());
+}
+
+TEST(StallInference, VariableLatencyProducerNotCounted) {
+  // A load feeding a store is protected by the scoreboard, not stalls.
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W0:-:S01] LDG.E R12, [R10.64] ;
+  [B0-----:R-:W-:-:S01] STG.E [R14.64], R12 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  StallAnalysis A = analyzeStallCounts(P, StallTable::builtin());
+  EXPECT_EQ(A.ResolvedByTable, 0u);
+  EXPECT_EQ(A.ResolvedByInference, 0u);
+}
+
+TEST(StallInference, ResolvePrefersTable) {
+  StallAnalysis A;
+  A.Inferred.record("MOV", 9);
+  StallTable T = StallTable::builtin();
+  EXPECT_EQ(A.resolve(T, "MOV").value(), 4u);
+  A.Inferred.record("ZZZ", 7);
+  EXPECT_EQ(A.resolve(T, "ZZZ").value(), 7u);
+  EXPECT_FALSE(A.resolve(T, "QQQ").has_value());
+}
+
+TEST(StallInference, Figure7PercentagesSumTo100) {
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S05] IMAD.WIDE R10, R9, 0x4, R2 ;
+  [B------:R-:W0:-:S01] LDG.E R12, [R10.64] ;
+  [B------:R-:W-:-:S05] FFMA R18, R12, R13, R14 ;
+  [B------:R-:W-:-:S01] STG.E [R6.64], R18 ;
+.L_X:
+  [B------:R-:W0:-:S01] LDG.E R20, [R22.64] ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  StallAnalysis A = analyzeStallCounts(P, StallTable::builtin());
+  EXPECT_GT(A.totalDeps(), 0.0);
+  EXPECT_NEAR(A.pctTable() + A.pctInferred() + A.pctDenylisted(), 100.0,
+              1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Operand table
+//===----------------------------------------------------------------------===//
+
+TEST(OperandTableTest, IndicesStableAndComplete) {
+  sass::Program P = parseOrDie(R"(
+  [B------:R-:W-:-:S05] IMAD.WIDE R10, R9, 0x4, R2 ;
+  [B------:R-:W0:-:S01] LDG.E R12, [R10.64] ;
+  [B------:R-:W-:-:S01] STG.E [R10.64+0x8], R12 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)");
+  OperandTable T = OperandTable::build(P);
+  EXPECT_GE(T.numRegs(), 4u);
+  EXPECT_EQ(T.numMems(), 2u); // [R10.64] and [R10.64+0x8] are distinct.
+  EXPECT_EQ(T.maxOperands(), 4u);
+  EXPECT_GE(T.regIndex(sass::Register::general(10)), 0);
+  EXPECT_EQ(T.regIndex(sass::Register::general(99)), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Microbenchmarks (§4.3)
+//===----------------------------------------------------------------------===//
+
+/// The flagship validation: the dependency-based methodology recovers
+/// the paper's Table 1 exactly from the simulated hardware.
+TEST(MicroBench, DependencyRecoversTable1) {
+  const std::pair<const char *, unsigned> Expected[] = {
+      {"IADD3", 4},     {"IMAD.IADD", 4}, {"IADD3.X", 4},
+      {"MOV", 4},       {"IABS", 4},      {"IMAD", 5},
+      {"FADD", 5},      {"HADD2", 5},     {"IMNMX", 5},
+      {"SEL", 5},       {"LEA", 5},       {"IMAD.WIDE", 5},
+      {"IMAD.WIDE.U32", 5},
+  };
+  for (auto [Key, Cycles] : Expected) {
+    std::optional<unsigned> Got = dependencyStallCount(Key);
+    ASSERT_TRUE(Got.has_value()) << Key;
+    EXPECT_EQ(*Got, Cycles) << Key;
+  }
+}
+
+TEST(MicroBench, TableBuilderCoversAllKeys) {
+  std::vector<std::string> Keys = microbenchableKeys();
+  StallTable T = microbenchmarkTable(Keys);
+  EXPECT_EQ(T.size(), Keys.size());
+  for (const auto &[Key, Cycles] : T.entries()) {
+    std::optional<unsigned> Truth = sass::groundTruthLatency(Key);
+    ASSERT_TRUE(Truth.has_value()) << Key;
+    EXPECT_EQ(Cycles, *Truth) << Key;
+  }
+}
+
+TEST(MicroBench, UnknownKeyRejected) {
+  EXPECT_FALSE(dependencyStallCount("FROBNICATE").has_value());
+}
+
+/// §4.3's critique: clock-based measurement underestimates because the
+/// sequence need not have completed at the second clock read.
+TEST(MicroBench, ClockBasedUnderestimates) {
+  std::optional<double> Clock = clockBasedStall("IADD3");
+  ASSERT_TRUE(Clock.has_value());
+  std::optional<unsigned> Dep = dependencyStallCount("IADD3");
+  ASSERT_TRUE(Dep.has_value());
+  EXPECT_LT(*Clock, static_cast<double>(*Dep));
+  EXPECT_GT(*Clock, 0.5);
+}

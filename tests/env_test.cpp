@@ -1,0 +1,345 @@
+//===- tests/env_test.cpp - assembly game environment tests --------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/AssemblyGame.h"
+#include "env/Embedding.h"
+#include "sass/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cuasmrl;
+using namespace cuasmrl::env;
+using kernels::BuiltKernel;
+using kernels::ScheduleStyle;
+using kernels::TileConfig;
+using kernels::WorkloadKind;
+
+namespace {
+
+struct GameFixture {
+  gpusim::Gpu Device;
+  Rng DataRng{7};
+  BuiltKernel Kernel;
+  GameConfig Config;
+
+  explicit GameFixture(WorkloadKind Kind = WorkloadKind::MmLeakyRelu,
+                       unsigned EpisodeLength = 32) {
+    Kernel = kernels::buildKernel(Device, Kind, kernels::testShape(Kind),
+                                  kernels::candidateConfigs(Kind).front(),
+                                  ScheduleStyle::TritonO3, DataRng);
+    Config.EpisodeLength = EpisodeLength;
+    Config.Measure.WarmupIters = 1;
+    Config.Measure.RepeatIters = 1;
+    Config.Measure.NoiseStddev = 0.0;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Embedding (§3.4)
+//===----------------------------------------------------------------------===//
+
+TEST(EmbeddingTest, ShapeMatchesProgram) {
+  GameFixture F;
+  Embedding E(F.Kernel.Prog);
+  EXPECT_EQ(E.rows(), F.Kernel.Prog.instrCount());
+  EXPECT_GE(E.features(), 11u + 1u);
+  std::vector<float> Obs = E.embed(F.Kernel.Prog);
+  EXPECT_EQ(Obs.size(), E.rows() * E.features());
+}
+
+TEST(EmbeddingTest, PaddingIsMinusOne) {
+  Expected<sass::Program> P = sass::Parser::parseProgram(
+      "  [B------:R-:W-:-:S01] MOV R0, 0x1 ;\n"
+      "  [B------:R-:W-:-:S01] FFMA R2, R3, R4, R5 ;\n");
+  ASSERT_TRUE(P.hasValue());
+  Embedding E(*P);
+  std::vector<float> Obs = E.embed(*P);
+  // MOV has 2 operands, FFMA 4: MOV's trailing slots must be -1.
+  size_t Feat = E.features();
+  EXPECT_FLOAT_EQ(Obs[Feat - 1], -1.0f); // MOV row, last operand slot.
+  EXPECT_NE(Obs[2 * Feat - 1], -1.0f);   // FFMA row uses all 4 slots.
+}
+
+TEST(EmbeddingTest, MemoryFlagDistinguishesOpcodes) {
+  Expected<sass::Program> P = sass::Parser::parseProgram(
+      "  [B------:R-:W0:-:S01] LDG.E R0, [R2.64] ;\n"
+      "  [B------:R-:W-:-:S04] IADD3 R4, R4, 0x1, RZ ;\n");
+  ASSERT_TRUE(P.hasValue());
+  Embedding E(*P);
+  std::vector<float> Obs = E.embed(*P);
+  size_t MemFlag = 10; // After 6 wait bits, R, W, yield, stall.
+  EXPECT_FLOAT_EQ(Obs[MemFlag], 1.0f);
+  EXPECT_FLOAT_EQ(Obs[E.features() + MemFlag], -1.0f);
+}
+
+TEST(EmbeddingTest, SwapChangesObservation) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  std::vector<float> Before = Game.reset();
+  std::vector<uint8_t> Mask = Game.actionMask();
+  unsigned Action = 0;
+  while (Action < Mask.size() && !Mask[Action])
+    ++Action;
+  ASSERT_LT(Action, Mask.size());
+  AssemblyGame::StepResult R = Game.step(Action);
+  EXPECT_NE(Before, R.Observation);
+}
+
+//===----------------------------------------------------------------------===//
+// Action space and masking (§3.5)
+//===----------------------------------------------------------------------===//
+
+TEST(GameTest, ActionSpaceCoversMemoryInstructions) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  EXPECT_GT(Game.actionCount(), 0u);
+  EXPECT_EQ(Game.actionCount() % 2, 0u);
+}
+
+TEST(GameTest, MaskHasLegalAndIllegalActions) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  std::vector<uint8_t> Mask = Game.actionMask();
+  unsigned Legal = 0;
+  for (uint8_t M : Mask)
+    Legal += M;
+  EXPECT_GT(Legal, 0u);
+  EXPECT_LT(Legal, Mask.size()); // Some swaps must be forbidden.
+}
+
+/// Property: *any* sequence of masked actions keeps the schedule
+/// semantically equivalent to the original (timed run still matches the
+/// architectural oracle bit-for-bit). This is the §3.5 guarantee.
+TEST(GameTest, RandomMaskedWalksPreserveSemantics) {
+  for (uint64_t Seed : {1ull, 2ull, 3ull}) {
+    GameFixture F;
+    AssemblyGame Game(F.Device, F.Kernel, F.Config);
+    Rng Walk(Seed);
+    Game.reset();
+    for (int Step = 0; Step < 24; ++Step) {
+      std::vector<uint8_t> Mask = Game.actionMask();
+      std::vector<unsigned> LegalActions;
+      for (unsigned A = 0; A < Mask.size(); ++A)
+        if (Mask[A])
+          LegalActions.push_back(A);
+      if (LegalActions.empty())
+        break;
+      unsigned Action =
+          LegalActions[Walk.uniformInt(LegalActions.size())];
+      AssemblyGame::StepResult R = Game.step(Action);
+      ASSERT_FALSE(R.Invalid) << "masked action produced invalid schedule";
+      if (R.Done)
+        break;
+    }
+    // Final check: mutated schedule still matches the oracle.
+    F.Kernel.randomizeInputs(F.Device, F.DataRng);
+    gpusim::RunResult Timed = F.Device.run(Game.current(), F.Kernel.Launch,
+                                           gpusim::RunMode::Timed);
+    ASSERT_TRUE(Timed.Valid) << Timed.FaultReason;
+    std::vector<uint32_t> TimedOut = F.Kernel.readOutput(F.Device);
+    gpusim::RunResult Ref = F.Device.run(Game.current(), F.Kernel.Launch,
+                                         gpusim::RunMode::Oracle);
+    ASSERT_TRUE(Ref.Valid);
+    EXPECT_EQ(TimedOut, F.Kernel.readOutput(F.Device))
+        << "seed " << Seed << ": masked walk corrupted the kernel";
+  }
+}
+
+TEST(GameTest, InstructionCountInvariant) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  size_t Before = Game.current().instrCount();
+  Game.reset();
+  Rng Walk(11);
+  for (int Step = 0; Step < 10; ++Step) {
+    std::vector<uint8_t> Mask = Game.actionMask();
+    std::vector<unsigned> Legal;
+    for (unsigned A = 0; A < Mask.size(); ++A)
+      if (Mask[A])
+        Legal.push_back(A);
+    if (Legal.empty())
+      break;
+    Game.step(Legal[Walk.uniformInt(Legal.size())]);
+  }
+  EXPECT_EQ(Game.current().instrCount(), Before);
+}
+
+TEST(GameTest, UpThenDownReturnsToStart) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  Game.reset();
+  std::string Start = Game.current().str();
+  std::vector<uint8_t> Mask = Game.actionMask();
+  // Find a movable instruction whose 'up' is legal; its 'down'
+  // afterwards restores the schedule (lingering behaviour, §5.7.2).
+  for (unsigned A = 0; A + 1 < Mask.size(); A += 2) {
+    if (!Mask[A])
+      continue;
+    Game.step(A);
+    Game.step(A + 1);
+    EXPECT_EQ(Game.current().str(), Start);
+    return;
+  }
+  GTEST_SKIP() << "no legal up action";
+}
+
+//===----------------------------------------------------------------------===//
+// Reward (§3.6, Eq. 3)
+//===----------------------------------------------------------------------===//
+
+TEST(GameTest, RewardMatchesEquation3) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  Game.reset();
+  double T0 = Game.initialTimeUs();
+  double TBefore = Game.currentTimeUs();
+  std::vector<uint8_t> Mask = Game.actionMask();
+  unsigned Action = 0;
+  while (!Mask[Action])
+    ++Action;
+  AssemblyGame::StepResult R = Game.step(Action);
+  double TAfter = Game.currentTimeUs();
+  EXPECT_NEAR(R.Reward, (TBefore - TAfter) / T0 * 100.0, 1e-9);
+}
+
+TEST(GameTest, BestScheduleTracked) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  Game.reset();
+  Rng Walk(5);
+  for (int Step = 0; Step < 20; ++Step) {
+    std::vector<uint8_t> Mask = Game.actionMask();
+    std::vector<unsigned> Legal;
+    for (unsigned A = 0; A < Mask.size(); ++A)
+      if (Mask[A])
+        Legal.push_back(A);
+    if (Legal.empty())
+      break;
+    Game.step(Legal[Walk.uniformInt(Legal.size())]);
+  }
+  EXPECT_LE(Game.bestTimeUs(), Game.initialTimeUs() * 1.001);
+}
+
+TEST(GameTest, EpisodeEndsAtConfiguredLength) {
+  GameFixture F(WorkloadKind::MmLeakyRelu, /*EpisodeLength=*/4);
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  Game.reset();
+  int Steps = 0;
+  for (;; ++Steps) {
+    std::vector<uint8_t> Mask = Game.actionMask();
+    unsigned Action = 0;
+    while (Action < Mask.size() && !Mask[Action])
+      ++Action;
+    ASSERT_LT(Action, Mask.size());
+    if (Game.step(Action).Done)
+      break;
+  }
+  EXPECT_LT(Steps, 4);
+}
+
+TEST(GameTest, ResetRestoresOriginal) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  std::string Original = Game.current().str();
+  Game.reset();
+  std::vector<uint8_t> Mask = Game.actionMask();
+  unsigned Action = 0;
+  while (!Mask[Action])
+    ++Action;
+  Game.step(Action);
+  EXPECT_NE(Game.current().str(), Original);
+  Game.reset();
+  EXPECT_EQ(Game.current().str(), Original);
+}
+
+TEST(GameTest, TraceRecordsMoves) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  Game.reset();
+  std::vector<uint8_t> Mask = Game.actionMask();
+  unsigned Action = 0;
+  while (!Mask[Action])
+    ++Action;
+  Game.step(Action);
+  ASSERT_EQ(Game.trace().size(), 1u);
+  EXPECT_FALSE(Game.trace()[0].MovedText.empty());
+}
+
+/// §5.7.1 / Figure 9: moving the yield-flagged LDGSTS out of the HMMA
+/// reuse pair must be a legal action and improve the runtime.
+TEST(GameTest, Figure9MoveIsAvailableAndProfitable) {
+  GameFixture F;
+  F.Config.CacheMeasurements = false;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  Game.reset();
+
+  // Locate the breaker: a yield-flagged LDGSTS directly below an HMMA.
+  const sass::Program &P = Game.current();
+  size_t BreakerIdx = sass::Program::npos;
+  for (size_t I = 1; I < P.size(); ++I) {
+    if (!P.stmt(I).isInstr() || !P.stmt(I - 1).isInstr())
+      continue;
+    if (P.stmt(I).instr().opcode() == sass::Opcode::LDGSTS &&
+        P.stmt(I).instr().ctrl().yield() &&
+        P.stmt(I - 1).instr().opcode() == sass::Opcode::HMMA) {
+      BreakerIdx = I;
+      break;
+    }
+  }
+  ASSERT_NE(BreakerIdx, sass::Program::npos)
+      << "TritonO3 schedule must contain the Figure 9 artifact";
+  // Swapping it below the next HMMA must be legal.
+  EXPECT_TRUE(Game.swapLegal(BreakerIdx));
+}
+
+//===----------------------------------------------------------------------===//
+// Masking ablation
+//===----------------------------------------------------------------------===//
+
+TEST(GameTest, UnmaskedWalkEventuallyFails) {
+  GameFixture F;
+  F.Config.UseActionMasking = false;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  Rng Walk(3);
+  bool SawInvalid = false;
+  for (int Episode = 0; Episode < 4 && !SawInvalid; ++Episode) {
+    Game.reset();
+    for (int Step = 0; Step < 32; ++Step) {
+      unsigned Action =
+          static_cast<unsigned>(Walk.uniformInt(Game.actionCount()));
+      AssemblyGame::StepResult R = Game.step(Action);
+      if (R.Invalid) {
+        SawInvalid = true;
+        EXPECT_LT(R.Reward, 0.0);
+        break;
+      }
+      if (R.Done)
+        break;
+    }
+  }
+  EXPECT_TRUE(SawInvalid)
+      << "random unmasked reordering should corrupt the kernel";
+}
+
+TEST(GameTest, MeasurementCacheReducesWork) {
+  GameFixture F;
+  AssemblyGame Game(F.Device, F.Kernel, F.Config);
+  Game.reset();
+  std::vector<uint8_t> Mask = Game.actionMask();
+  unsigned A = 0;
+  while (!Mask[A])
+    ++A;
+  unsigned Before = Game.measurementsTaken();
+  Game.step(A);     // New schedule: measured.
+  Game.step(A ^ 1); // Back to original: cached.
+  unsigned After = Game.measurementsTaken();
+  EXPECT_EQ(After - Before,
+            F.Config.Measure.WarmupIters + F.Config.Measure.RepeatIters);
+}

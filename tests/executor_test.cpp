@@ -1,0 +1,414 @@
+//===- tests/executor_test.cpp - per-opcode functional semantics ---------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table-driven semantic tests of the functional executor: every opcode
+/// family the kernel generators emit is checked against hand-computed
+/// expectations, on both the oracle and the timed machine (whose results
+/// must agree when control codes are conservative).
+///
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Fp16.h"
+#include "gpusim/Gpu.h"
+#include "sass/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+using namespace cuasmrl;
+using namespace cuasmrl::gpusim;
+
+namespace {
+
+/// Runs a single-warp kernel whose body is `Body` (conservative S06
+/// stalls added around it); the result register R15 is stored to the
+/// output word. Checks oracle/timed agreement and returns the value.
+uint32_t runBody(const std::string &Body, uint32_t R4 = 9, uint32_t R5 = 7,
+                 uint32_t R6 = 3) {
+  std::string Text;
+  Text += "  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;\n";
+  Text += "  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R4, " + std::to_string(R4) + " ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R5, " + std::to_string(R5) + " ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R6, " + std::to_string(R6) + " ;\n";
+  Text += Body;
+  Text += "  [B------:R-:W-:-:S01] STG.E [R2.64], R15 ;\n";
+  Text += "  [B------:R-:W-:-:S01] EXIT ;\n";
+
+  Expected<sass::Program> P = sass::Parser::parseProgram(Text, "sem");
+  EXPECT_TRUE(P.hasValue()) << (P.hasValue() ? "" : P.error().str())
+                            << "\n" << Text;
+  if (!P)
+    return 0xdead;
+
+  uint32_t Results[2];
+  for (int Mode = 0; Mode < 2; ++Mode) {
+    Gpu Device;
+    uint64_t Out = Device.globalMemory().allocate(8);
+    KernelLaunch L;
+    L.WarpsPerBlock = 1;
+    L.addParam64(Out);
+    RunResult R = Device.run(*P, L,
+                             Mode ? RunMode::Timed : RunMode::Oracle);
+    EXPECT_TRUE(R.Valid) << R.FaultReason;
+    Results[Mode] = Device.globalMemory().readValue<uint32_t>(Out);
+  }
+  EXPECT_EQ(Results[0], Results[1]) << "oracle/timed divergence";
+  return Results[0];
+}
+
+uint32_t bits(float F) {
+  uint32_t B;
+  std::memcpy(&B, &F, sizeof(B));
+  return B;
+}
+float asFloat(uint32_t B) {
+  float F;
+  std::memcpy(&F, &B, sizeof(F));
+  return F;
+}
+
+/// Body line with conservative stall.
+std::string ins(const std::string &Line) {
+  return "  [B------:R-:W-:-:S08] " + Line + " ;\n";
+}
+/// Variable-latency line setting W5 followed by a waiting consumer.
+std::string insVar(const std::string &Line) {
+  return "  [B------:R-:W5:-:S02] " + Line + " ;\n" +
+         "  [B-----5:R-:W-:-:S08] MOV R15, R15 ;\n";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Integer ALU
+//===----------------------------------------------------------------------===//
+
+TEST(ExecInt, Iadd3ThreeInputs) {
+  EXPECT_EQ(runBody(ins("IADD3 R15, R4, R5, R6")), 19u);
+}
+
+TEST(ExecInt, Iadd3NegatedOperand) {
+  EXPECT_EQ(runBody(ins("IADD3 R15, R4, -R5, RZ")), 2u);
+}
+
+TEST(ExecInt, Iadd3CarryOutSetAndClear) {
+  // 0xffffffff + 9 overflows: carry-out P0 = 1 -> SEL picks R4.
+  std::string Body = ins("MOV R7, 0xffffffff") +
+                     ins("IADD3 R8, P0, R7, R4, RZ") +
+                     ins("SEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body), 9u);
+  // 1 + 9 does not: P0 = 0 -> picks R5.
+  Body = ins("MOV R7, 0x1") + ins("IADD3 R8, P0, R7, R4, RZ") +
+         ins("SEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body), 7u);
+}
+
+TEST(ExecInt, Iadd3CarryInChain) {
+  // 64-bit increment idiom: low overflows, X adds the carry into high.
+  std::string Body = ins("MOV R8, 0xffffffff") + ins("MOV R9, 0x5") +
+                     ins("IADD3 R8, P1, R8, 0x1, RZ") +
+                     ins("IADD3.X R15, R9, RZ, RZ, P1, !PT");
+  EXPECT_EQ(runBody(Body), 6u);
+}
+
+TEST(ExecInt, ImadAndWide) {
+  EXPECT_EQ(runBody(ins("IMAD R15, R4, R5, R6")), 66u);
+  // WIDE: 64-bit product into a pair; low word stored.
+  std::string Body = ins("IMAD.WIDE R14, R4, R5, RZ") +
+                     ins("MOV R15, R14");
+  EXPECT_EQ(runBody(Body), 63u);
+}
+
+TEST(ExecInt, ImadWideSignedHighWord) {
+  // -2 * 7 = -14: the pair's high word is the sign extension, and it
+  // lands in R15 (= R14|1) directly.
+  EXPECT_EQ(runBody(ins("MOV R7, 0xfffffffe") +
+                    ins("IMAD.WIDE R14, R7, R5, RZ")),
+            0xffffffffu);
+}
+
+TEST(ExecInt, ImadWideUnsigned) {
+  // U32: 0xfffffffe * 7 high word = 6 (not sign-extended).
+  EXPECT_EQ(runBody(ins("MOV R7, 0xfffffffe") +
+                    ins("IMAD.WIDE.U32 R14, R7, R5, RZ")),
+            6u);
+}
+
+TEST(ExecInt, LeaShiftAdd) {
+  // (9 << 2) + 7 = 43.
+  EXPECT_EQ(runBody(ins("LEA R15, R4, R5, 0x2")), 43u);
+}
+
+TEST(ExecInt, Lop3CommonLuts) {
+  EXPECT_EQ(runBody(ins("LOP3.LUT R15, R4, R5, RZ, 0xc0, !PT")),
+            9u & 7u); // AND.
+  EXPECT_EQ(runBody(ins("LOP3.LUT R15, R4, R5, RZ, 0xfc, !PT")),
+            9u | 7u); // OR.
+  EXPECT_EQ(runBody(ins("LOP3.LUT R15, R4, R5, RZ, 0x3c, !PT")),
+            9u ^ 7u); // XOR.
+}
+
+TEST(ExecInt, ShfFunnelBothDirections) {
+  // Right: (hi:lo) >> 4 with lo=0x00000090, hi=0x7 -> 0x70000009.
+  std::string Body = ins("MOV R7, 0x90") + ins("MOV R8, 0x7") +
+                     ins("SHF.R R15, R7, 0x4, R8");
+  EXPECT_EQ(runBody(Body), 0x70000009u);
+  // Left (returns high word of the 64-bit shift).
+  Body = ins("MOV R7, 0x90000000") + ins("MOV R8, 0x1") +
+         ins("SHF.L R15, R7, 0x4, R8");
+  EXPECT_EQ(runBody(Body), 0x19u);
+}
+
+TEST(ExecInt, IabsNegative) {
+  EXPECT_EQ(runBody(ins("MOV R7, 0xfffffff7") + ins("IABS R15, R7")), 9u);
+}
+
+TEST(ExecInt, ImnmxSignedVsUnsigned) {
+  // Signed: min(-1, 7) = -1.
+  std::string Body = ins("MOV R7, 0xffffffff") +
+                     ins("IMNMX R15, R7, R5, PT");
+  EXPECT_EQ(runBody(Body), 0xffffffffu);
+  // Unsigned: min(0xffffffff, 7) = 7.
+  Body = ins("MOV R7, 0xffffffff") + ins("IMNMX.U32 R15, R7, R5, PT");
+  EXPECT_EQ(runBody(Body), 7u);
+  // !PT selects max.
+  EXPECT_EQ(runBody(ins("IMNMX R15, R4, R5, !PT")), 9u);
+}
+
+TEST(ExecInt, IsetpComparisonsAndCombine) {
+  // GE true -> SEL picks first.
+  std::string Body = ins("ISETP.GE.AND P0, PT, R4, R5, PT") +
+                     ins("SEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body), 9u);
+  Body = ins("ISETP.LT.AND P0, PT, R4, R5, PT") +
+         ins("SEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body), 7u);
+  // OR-combine with a false comparison but true accumulator.
+  Body = ins("ISETP.LT.OR P0, PT, R4, R5, PT") +
+         ins("SEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body), 9u);
+  // U32 comparison: 0xffffffff > 7 unsigned.
+  Body = ins("MOV R7, 0xffffffff") +
+         ins("ISETP.GT.U32.AND P0, PT, R7, R5, PT") +
+         ins("SEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body), 9u);
+}
+
+TEST(ExecInt, Popc) {
+  EXPECT_EQ(runBody(ins("MOV R7, 0xf0f0") + ins("POPC R15, R7")), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// FP32
+//===----------------------------------------------------------------------===//
+
+TEST(ExecFloat, AddMulFma) {
+  uint32_t A = bits(2.5f), B = bits(1.5f), C = bits(-0.5f);
+  EXPECT_EQ(runBody(ins("FADD R15, R4, R5"), A, B), bits(4.0f));
+  EXPECT_EQ(runBody(ins("FMUL R15, R4, R5"), A, B), bits(3.75f));
+  EXPECT_EQ(runBody(ins("FFMA R15, R4, R5, R6"), A, B, C), bits(3.25f));
+}
+
+TEST(ExecFloat, NegAbsModifiers) {
+  uint32_t A = bits(-2.0f), B = bits(3.0f);
+  EXPECT_EQ(runBody(ins("FADD R15, -R4, R5"), A, B), bits(5.0f));
+  EXPECT_EQ(runBody(ins("FADD R15, |R4|, R5"), A, B), bits(5.0f));
+}
+
+TEST(ExecFloat, MinMaxSelSetp) {
+  uint32_t A = bits(2.0f), B = bits(5.0f);
+  EXPECT_EQ(runBody(ins("FMNMX R15, R4, R5, PT"), A, B), bits(2.0f));
+  EXPECT_EQ(runBody(ins("FMNMX R15, R4, R5, !PT"), A, B), bits(5.0f));
+  std::string Body = ins("FSETP.GT.AND P0, PT, R4, R5, PT") +
+                     ins("FSEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body, A, B), bits(5.0f)); // 2 > 5 false.
+}
+
+TEST(ExecFloat, MufuFunctions) {
+  EXPECT_EQ(runBody(insVar("MUFU.RCP R15, R4"), bits(4.0f)),
+            bits(0.25f));
+  EXPECT_EQ(runBody(insVar("MUFU.EX2 R15, R4"), bits(3.0f)), bits(8.0f));
+  EXPECT_EQ(runBody(insVar("MUFU.LG2 R15, R4"), bits(8.0f)), bits(3.0f));
+  EXPECT_EQ(runBody(insVar("MUFU.SQRT R15, R4"), bits(9.0f)),
+            bits(3.0f));
+  EXPECT_EQ(runBody(insVar("MUFU.RSQ R15, R4"), bits(4.0f)), bits(0.5f));
+}
+
+//===----------------------------------------------------------------------===//
+// Packed FP16 / tensor core
+//===----------------------------------------------------------------------===//
+
+TEST(ExecHalf, PackedAddMulFma) {
+  uint32_t A = packHalf2(1.0f, 2.0f), B = packHalf2(0.5f, -1.0f);
+  uint32_t Sum = runBody(ins("HADD2 R15, R4, R5"), A, B);
+  EXPECT_EQ(unpackLo(Sum), 1.5f);
+  EXPECT_EQ(unpackHi(Sum), 1.0f);
+  uint32_t Prod = runBody(ins("HMUL2 R15, R4, R5"), A, B);
+  EXPECT_EQ(unpackLo(Prod), 0.5f);
+  EXPECT_EQ(unpackHi(Prod), -2.0f);
+  uint32_t C = packHalf2(1.0f, 1.0f);
+  uint32_t Fma = runBody(ins("HFMA2 R15, R4, R5, R6"), A, B, C);
+  EXPECT_EQ(unpackLo(Fma), 1.5f);
+  EXPECT_EQ(unpackHi(Fma), -1.0f);
+}
+
+TEST(ExecHalf, HmmaDot2Accumulate) {
+  // acc(f32) += lo(a)*lo(b) + hi(a)*hi(b).
+  uint32_t A = packHalf2(2.0f, 3.0f), B = packHalf2(4.0f, 5.0f);
+  uint32_t C = bits(1.0f);
+  uint32_t R = runBody(ins("HMMA.16816.F32 R15, R4, R5, R6"), A, B, C);
+  EXPECT_EQ(asFloat(R), 1.0f + 8.0f + 15.0f);
+}
+
+TEST(ExecHalf, ImmaDot4SignedBytes) {
+  // Bytes of A: {1, -2, 3, 4}; of B: {10, 20, 30, 40}; acc 5.
+  uint32_t A = 0x0403fe01u, B = 0x281e140au;
+  uint32_t R = runBody(ins("IMMA R15, R4, R5, R6"), A, B, 5);
+  EXPECT_EQ(static_cast<int32_t>(R), 5 + 10 - 40 + 90 + 160);
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions / moves / misc
+//===----------------------------------------------------------------------===//
+
+TEST(ExecConv, IntFloatRoundTrips) {
+  EXPECT_EQ(runBody(insVar("I2F R15, R4"), 9), bits(9.0f));
+  EXPECT_EQ(runBody(insVar("I2F R15, R4"), 0xfffffff7u), bits(-9.0f));
+  EXPECT_EQ(runBody(insVar("I2F.U32 R15, R4"), 0xfffffff7u),
+            bits(4294967287.0f));
+  EXPECT_EQ(runBody(insVar("F2I R15, R4"), bits(-3.7f)),
+            static_cast<uint32_t>(-3));
+  EXPECT_EQ(runBody(insVar("F2I.U32 R15, R4"), bits(-3.7f)), 0u);
+}
+
+TEST(ExecConv, HalfWidening) {
+  uint32_t Packed = packHalf2(1.5f, 99.0f);
+  EXPECT_EQ(runBody(insVar("F2F R15, R4"), Packed), bits(1.5f));
+}
+
+TEST(ExecMisc, PrmtByteSelect) {
+  // Selector 0x5410: bytes {0,1,4,5} of (R5:R4).
+  uint32_t R = runBody(ins("PRMT R15, R4, 0x5410, R5"), 0x44332211,
+                       0x88776655);
+  EXPECT_EQ(R, 0x66552211u);
+  // MSB-replicate mode (selector nibble 8 | idx).
+  R = runBody(ins("PRMT R15, R4, 0xba98, R5"), 0x44332211, 0x88776655);
+  EXPECT_EQ(R, 0u); // All chosen bytes have MSB clear except... 0x88?
+}
+
+TEST(ExecMisc, Plop3PredicateLogic) {
+  // AND of two true predicates through the 0x80 LUT.
+  std::string Body = ins("ISETP.GE.AND P0, PT, R4, R5, PT") +
+                     ins("ISETP.GE.AND P1, PT, R4, RZ, PT") +
+                     ins("PLOP3.LUT P2, PT, P0, P1, PT, 0x80, 0x0") +
+                     ins("SEL R15, R4, R5, P2");
+  EXPECT_EQ(runBody(Body), 9u);
+}
+
+TEST(ExecMisc, Cs2rClockMonotonic) {
+  std::string Body = ins("CS2R R7, SR_CLOCKLO") +
+                     ins("CS2R R8, SR_CLOCKLO") +
+                     ins("ISETP.GT.U32.AND P0, PT, R8, R7, PT") +
+                     ins("SEL R15, R4, R5, P0");
+  // Timed mode: clock advances; oracle counts instructions — both GT.
+  EXPECT_EQ(runBody(Body), 9u);
+}
+
+TEST(ExecMisc, VoteAllBallot) {
+  std::string Body = ins("VOTE.ALL R15, PT, PT");
+  EXPECT_EQ(runBody(Body), 0xffffffffu);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory / atomics / predication
+//===----------------------------------------------------------------------===//
+
+TEST(ExecMem, SharedRoundTrip64) {
+  std::string Body = ins("MOV R8, 0x11") + ins("MOV R9, 0x22") +
+                     ins("STS.64 [RZ+0x10], R8") +
+                     insVar("LDS R15, [RZ+0x14]");
+  // Needs shared memory: use a custom runner.
+  Expected<sass::Program> P = sass::Parser::parseProgram(
+      "  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;\n"
+      "  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;\n" +
+          Body +
+          "  [B------:R-:W-:-:S01] STG.E [R2.64], R15 ;\n"
+          "  [B------:R-:W-:-:S01] EXIT ;\n",
+      "shared");
+  ASSERT_TRUE(P.hasValue());
+  Gpu Device;
+  uint64_t Out = Device.globalMemory().allocate(4);
+  KernelLaunch L;
+  L.WarpsPerBlock = 1;
+  L.SharedBytes = 64;
+  L.addParam64(Out);
+  RunResult R = Device.run(*P, L, RunMode::Timed);
+  ASSERT_TRUE(R.Valid) << R.FaultReason;
+  EXPECT_EQ(Device.globalMemory().readValue<uint32_t>(Out), 0x22u);
+}
+
+TEST(ExecMem, AtomReturnsOldRedAccumulates) {
+  const char *Text = R"(
+  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;
+  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;
+  [B------:R-:W-:-:S06] MOV R8, 0x5 ;
+  [B------:R-:W0:-:S02] ATOM.ADD R15, [R2.64+0x8], R8 ;
+  [B0-----:R-:W1:-:S02] RED.ADD [R2.64+0x8], R8 ;
+  [B01----:R-:W-:-:S01] STG.E [R2.64], R15 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)";
+  Expected<sass::Program> P = sass::Parser::parseProgram(Text, "atom");
+  ASSERT_TRUE(P.hasValue()) << P.error().str();
+  Gpu Device;
+  uint64_t Buf = Device.globalMemory().allocate(16);
+  Device.globalMemory().writeValue<uint32_t>(Buf + 8, 100);
+  KernelLaunch L;
+  L.WarpsPerBlock = 1;
+  L.addParam64(Buf);
+  RunResult R = Device.run(*P, L, RunMode::Timed);
+  ASSERT_TRUE(R.Valid) << R.FaultReason;
+  EXPECT_EQ(Device.globalMemory().readValue<uint32_t>(Buf), 100u);
+  EXPECT_EQ(Device.globalMemory().readValue<uint32_t>(Buf + 8), 110u);
+}
+
+TEST(ExecPred, GuardSuppressesAndPasses) {
+  std::string Body = ins("MOV R15, 0x1") +
+                     ins("ISETP.GE.AND P0, PT, R4, R5, PT") +
+                     ins("@P0 MOV R15, 0x2") + ins("@!P0 MOV R15, 0x3");
+  EXPECT_EQ(runBody(Body), 2u); // 9 >= 7.
+}
+
+TEST(ExecPred, GuardedBranchFallsThroughWhenFalse) {
+  const char *Text = R"(
+  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;
+  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;
+  [B------:R-:W-:-:S08] ISETP.GT.AND P0, PT, RZ, RZ, PT ;
+  [B------:R-:W-:-:S01] @P0 BRA `(.L_SKIP) ;
+  [B------:R-:W-:-:S08] MOV R15, 0x7 ;
+.L_SKIP:
+  [B------:R-:W-:-:S01] STG.E [R2.64], R15 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)";
+  Expected<sass::Program> P = sass::Parser::parseProgram(Text, "bra");
+  ASSERT_TRUE(P.hasValue());
+  Gpu Device;
+  uint64_t Out = Device.globalMemory().allocate(4);
+  KernelLaunch L;
+  L.WarpsPerBlock = 1;
+  L.addParam64(Out);
+  RunResult R = Device.run(*P, L, RunMode::Timed);
+  ASSERT_TRUE(R.Valid);
+  EXPECT_EQ(Device.globalMemory().readValue<uint32_t>(Out), 7u);
+}
+
+TEST(ExecPred, ShflIdentityAndPredicate) {
+  // SHFL is variable latency: like on real hardware, its result needs a
+  // scoreboard barrier before consumption.
+  EXPECT_EQ(runBody(insVar("SHFL.IDX R15, P0, R4, RZ, RZ")), 9u);
+}

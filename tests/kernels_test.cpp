@@ -1,0 +1,294 @@
+//===- tests/kernels_test.cpp - workload generator tests -----------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Validates the six generated workloads (paper Table 2): the emitted
+/// SASS parses, runs to completion without faults or deadlocks under the
+/// timed machine, produces bit-identical results to the architectural
+/// oracle (i.e. every control code is sufficient), and the Expert
+/// schedule is at least as fast as the TritonO3 schedule — the headroom
+/// the RL agent is supposed to claim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Measurement.h"
+#include "kernels/Builder.h"
+#include "kernels/Generators.h"
+#include "kernels/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+struct StyledRun {
+  bool Valid = false;
+  std::string Fault;
+  uint64_t Cycles = 0;
+  std::vector<uint32_t> Output;
+};
+
+StyledRun runOnce(WorkloadKind Kind, ScheduleStyle Style,
+                  gpusim::RunMode Mode, const TileConfig *CfgOverride =
+                      nullptr) {
+  gpusim::Gpu Device;
+  Rng DataRng(7);
+  TileConfig Cfg = CfgOverride ? *CfgOverride
+                               : candidateConfigs(Kind).front();
+  WorkloadShape Shape = testShape(Kind);
+  BuiltKernel K = buildKernel(Device, Kind, Shape, Cfg, Style, DataRng);
+  gpusim::RunResult R = Device.run(K.Prog, K.Launch, Mode);
+  StyledRun Out;
+  Out.Valid = R.Valid;
+  Out.Fault = R.FaultReason;
+  Out.Cycles = R.Cycles;
+  Out.Output = K.readOutput(Device);
+  return Out;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+} // namespace
+
+TEST_P(WorkloadTest, TritonScheduleRunsValid) {
+  StyledRun R = runOnce(GetParam(), ScheduleStyle::TritonO3,
+                        gpusim::RunMode::Timed);
+  EXPECT_TRUE(R.Valid) << R.Fault;
+  EXPECT_GT(R.Cycles, 0u);
+}
+
+TEST_P(WorkloadTest, ExpertScheduleRunsValid) {
+  StyledRun R = runOnce(GetParam(), ScheduleStyle::Expert,
+                        gpusim::RunMode::Timed);
+  EXPECT_TRUE(R.Valid) << R.Fault;
+}
+
+/// Timed execution must agree bit-for-bit with the oracle: the emitted
+/// control codes leave no hazard unprotected.
+TEST_P(WorkloadTest, TimedMatchesOracle) {
+  for (ScheduleStyle Style :
+       {ScheduleStyle::TritonO3, ScheduleStyle::Expert}) {
+    StyledRun Timed = runOnce(GetParam(), Style, gpusim::RunMode::Timed);
+    StyledRun Ref = runOnce(GetParam(), Style, gpusim::RunMode::Oracle);
+    ASSERT_TRUE(Timed.Valid) << Timed.Fault;
+    ASSERT_TRUE(Ref.Valid) << Ref.Fault;
+    ASSERT_EQ(Timed.Output.size(), Ref.Output.size());
+    size_t Mismatches = 0;
+    for (size_t I = 0; I < Timed.Output.size(); ++I)
+      if (Timed.Output[I] != Ref.Output[I])
+        ++Mismatches;
+    EXPECT_EQ(Mismatches, 0u)
+        << "style " << (Style == ScheduleStyle::Expert ? "expert" : "triton")
+        << ": " << Mismatches << "/" << Timed.Output.size()
+        << " words differ";
+  }
+}
+
+/// Output must actually depend on the inputs (no dead stores).
+TEST_P(WorkloadTest, OutputDependsOnInputs) {
+  gpusim::Gpu Device;
+  Rng DataRng(7);
+  WorkloadKind Kind = GetParam();
+  TileConfig Cfg = candidateConfigs(Kind).front();
+  WorkloadShape Shape = testShape(Kind);
+  BuiltKernel K = buildKernel(Device, Kind, Shape, Cfg,
+                              ScheduleStyle::TritonO3, DataRng);
+  gpusim::RunResult R1 = Device.run(K.Prog, K.Launch, gpusim::RunMode::Oracle);
+  ASSERT_TRUE(R1.Valid) << R1.FaultReason;
+  std::vector<uint32_t> Out1 = K.readOutput(Device);
+
+  Rng Other(99);
+  K.randomizeInputs(Device, Other);
+  gpusim::RunResult R2 = Device.run(K.Prog, K.Launch, gpusim::RunMode::Oracle);
+  ASSERT_TRUE(R2.Valid);
+  std::vector<uint32_t> Out2 = K.readOutput(Device);
+  EXPECT_NE(Out1, Out2);
+}
+
+/// The Expert placement of the same instruction multiset must be faster:
+/// this is the headroom the RL agent mines (paper §5.3: 2%..26%).
+TEST_P(WorkloadTest, ExpertFasterThanTriton) {
+  StyledRun Triton = runOnce(GetParam(), ScheduleStyle::TritonO3,
+                             gpusim::RunMode::Timed);
+  StyledRun Expert = runOnce(GetParam(), ScheduleStyle::Expert,
+                             gpusim::RunMode::Timed);
+  ASSERT_TRUE(Triton.Valid && Expert.Valid);
+  EXPECT_LT(Expert.Cycles, Triton.Cycles)
+      << "expert=" << Expert.Cycles << " triton=" << Triton.Cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadKind> &Info) {
+      std::string Name = workloadName(Info.param);
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Configurations
+//===----------------------------------------------------------------------===//
+
+TEST(Configs, AllCandidatesRunValid) {
+  // Every advertised configuration must produce a working kernel on the
+  // paper shape (the autotuner measures them all).
+  for (WorkloadKind Kind :
+       {WorkloadKind::MmLeakyRelu, WorkloadKind::Softmax}) {
+    WorkloadShape Shape = paperShape(Kind);
+    for (const TileConfig &Cfg : candidateConfigs(Kind)) {
+      if (!configFits(Kind, Shape, Cfg))
+        continue;
+      gpusim::Gpu Device;
+      Rng DataRng(3);
+      BuiltKernel K = buildKernel(Device, Kind, Shape, Cfg,
+                                  ScheduleStyle::TritonO3, DataRng);
+      gpusim::RunResult R =
+          Device.run(K.Prog, K.Launch, gpusim::RunMode::Timed,
+                     /*MaxBlocks=*/Device.residentBlocks(K.Launch));
+      EXPECT_TRUE(R.Valid) << workloadName(Kind) << " " << Cfg.str() << ": "
+                           << R.FaultReason;
+    }
+  }
+}
+
+TEST(Configs, ConfigChoiceMattersForThroughput) {
+  // §3.1: kernel configurations can be worth up to ~2x.
+  WorkloadShape Shape = paperShape(WorkloadKind::MmLeakyRelu);
+  uint64_t Best = ~0ull, Worst = 0;
+  for (const TileConfig &Cfg : candidateConfigs(WorkloadKind::MmLeakyRelu)) {
+    if (!configFits(WorkloadKind::MmLeakyRelu, Shape, Cfg))
+      continue;
+    gpusim::Gpu Device;
+    Rng DataRng(3);
+    BuiltKernel K = buildKernel(Device, WorkloadKind::MmLeakyRelu, Shape,
+                                Cfg, ScheduleStyle::TritonO3, DataRng);
+    gpusim::RunResult R =
+        Device.run(K.Prog, K.Launch, gpusim::RunMode::Timed,
+                   Device.residentBlocks(K.Launch));
+    ASSERT_TRUE(R.Valid) << Cfg.str() << ": " << R.FaultReason;
+    Best = std::min(Best, R.Cycles);
+    Worst = std::max(Worst, R.Cycles);
+  }
+  EXPECT_GT(static_cast<double>(Worst) / Best, 1.3);
+}
+
+TEST(Configs, FitRejectsOversizedTiles) {
+  WorkloadShape Small = testShape(WorkloadKind::MmLeakyRelu); // M=N=64.
+  TileConfig Big{128, 64, 32, 4, 2};
+  EXPECT_FALSE(configFits(WorkloadKind::MmLeakyRelu, Small, Big));
+  TileConfig Fits{64, 64, 32, 4, 2};
+  EXPECT_TRUE(configFits(WorkloadKind::MmLeakyRelu, Small, Fits));
+}
+
+//===----------------------------------------------------------------------===//
+// Baselines
+//===----------------------------------------------------------------------===//
+
+TEST(Baselines, TorchCompositionsRunValid) {
+  for (WorkloadKind Kind : allWorkloads()) {
+    gpusim::Gpu Device;
+    Rng DataRng(5);
+    WorkloadShape Shape = testShape(Kind);
+    std::vector<BuiltKernel> Seq =
+        buildTorchComposition(Device, Kind, Shape, DataRng);
+    ASSERT_FALSE(Seq.empty()) << workloadName(Kind);
+    for (const BuiltKernel &K : Seq) {
+      gpusim::RunResult R =
+          Device.run(K.Prog, K.Launch, gpusim::RunMode::Timed,
+                     Device.residentBlocks(K.Launch));
+      EXPECT_TRUE(R.Valid) << K.Name << ": " << R.FaultReason;
+    }
+  }
+}
+
+TEST(Baselines, TorchUnfusedHasMoreKernels) {
+  gpusim::Gpu Device;
+  Rng DataRng(5);
+  EXPECT_EQ(buildTorchComposition(Device, WorkloadKind::Bmm,
+                                  testShape(WorkloadKind::Bmm), DataRng)
+                .size(),
+            1u);
+  EXPECT_GE(buildTorchComposition(Device, WorkloadKind::Softmax,
+                                  testShape(WorkloadKind::Softmax), DataRng)
+                .size(),
+            3u);
+  EXPECT_GE(buildTorchComposition(Device, WorkloadKind::RmsNorm,
+                                  testShape(WorkloadKind::RmsNorm), DataRng)
+                .size(),
+            4u);
+}
+
+TEST(Baselines, CutlassDefaultMuchSlower) {
+  // §5.3 reports ~10x on hardware; our latency-compressed simulator
+  // shows the same direction at a smaller magnitude (see EXPERIMENTS.md).
+  WorkloadShape Shape = paperShape(WorkloadKind::MmLeakyRelu);
+  gpusim::Gpu D1, D2;
+  Rng R1(3), R2(3);
+  BuiltKernel Triton =
+      buildKernel(D1, WorkloadKind::MmLeakyRelu, Shape,
+                  candidateConfigs(WorkloadKind::MmLeakyRelu).front(),
+                  ScheduleStyle::TritonO3, R1);
+  BuiltKernel Cutlass =
+      buildCutlassDefault(D2, WorkloadKind::MmLeakyRelu, Shape, R2);
+  gpusim::RunResult Rt =
+      D1.run(Triton.Prog, Triton.Launch, gpusim::RunMode::Timed,
+             D1.residentBlocks(Triton.Launch));
+  gpusim::RunResult Rc =
+      D2.run(Cutlass.Prog, Cutlass.Launch, gpusim::RunMode::Timed,
+             D2.residentBlocks(Cutlass.Launch));
+  ASSERT_TRUE(Rt.Valid) << Rt.FaultReason;
+  ASSERT_TRUE(Rc.Valid) << Rc.FaultReason;
+  EXPECT_GT(static_cast<double>(Rc.Cycles) / Rt.Cycles, 1.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural properties of the generated SASS
+//===----------------------------------------------------------------------===//
+
+TEST(Structure, TritonContainsPaperArtifacts) {
+  WorkloadShape Shape = testShape(WorkloadKind::MmLeakyRelu);
+  GenResult Gen =
+      genGemm(Shape, candidateConfigs(WorkloadKind::MmLeakyRelu).front(),
+              ScheduleStyle::TritonO3, GemmEpilogue::LeakyRelu);
+  // Figure 13 artifact: a dead predicated LDS.
+  EXPECT_NE(Gen.Text.find("@!PT LDS"), std::string::npos);
+  // Figure 9 artifact: a yield-flagged LDGSTS (the reuse breaker).
+  EXPECT_NE(Gen.Text.find(":Y:S02] @P3 LDGSTS"), std::string::npos);
+  // Reuse hints on tensor-core operands.
+  EXPECT_NE(Gen.Text.find(".reuse"), std::string::npos);
+}
+
+TEST(Structure, KernelsAreRealisticallySized) {
+  // Paper §2.6: kernels consist of hundreds-to-thousands of SASS lines.
+  WorkloadShape Shape = paperShape(WorkloadKind::MmLeakyRelu);
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  BuiltKernel K = buildKernel(Device, WorkloadKind::MmLeakyRelu, Shape,
+                              candidateConfigs(WorkloadKind::MmLeakyRelu)
+                                  .front(),
+                              ScheduleStyle::TritonO3, DataRng);
+  EXPECT_GT(K.Prog.instrCount(), 80u);
+}
+
+TEST(Structure, RandomizeInputsChangesBuffers) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  BuiltKernel K = buildKernel(Device, WorkloadKind::Softmax,
+                              testShape(WorkloadKind::Softmax),
+                              candidateConfigs(WorkloadKind::Softmax)
+                                  .front(),
+                              ScheduleStyle::TritonO3, DataRng);
+  uint32_t Before = Device.globalMemory().readValue<uint32_t>(
+      K.Inputs[0].first);
+  Rng Other(1234);
+  K.randomizeInputs(Device, Other);
+  uint32_t After = Device.globalMemory().readValue<uint32_t>(
+      K.Inputs[0].first);
+  EXPECT_NE(Before, After);
+}

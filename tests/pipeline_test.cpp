@@ -1,0 +1,283 @@
+//===- tests/pipeline_test.cpp - autotuner/pipeline/search/core tests ----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimizer.h"
+#include "search/Search.h"
+#include "triton/Autotuner.h"
+#include "triton/DeployCache.h"
+#include "triton/Pipeline.h"
+#include "kernels/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+/// Small, fast measurement protocol for tests.
+gpusim::MeasureConfig quickMeasure() {
+  gpusim::MeasureConfig M;
+  M.WarmupIters = 1;
+  M.RepeatIters = 1;
+  M.NoiseStddev = 0.0;
+  return M;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Autotuner (§3.1)
+//===----------------------------------------------------------------------===//
+
+TEST(AutotunerTest, PicksFastestConfig) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::Autotuner Tuner(quickMeasure());
+  WorkloadShape Shape = paperShape(WorkloadKind::MmLeakyRelu);
+  triton::AutotuneResult R =
+      Tuner.tune(Device, WorkloadKind::MmLeakyRelu, Shape, DataRng);
+  ASSERT_FALSE(R.Sweep.empty());
+  for (const triton::TunedConfig &T : R.Sweep)
+    if (T.Valid)
+      EXPECT_LE(R.BestUs, T.MeanUs + 1e-9);
+}
+
+TEST(AutotunerTest, CachesResults) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::Autotuner Tuner(quickMeasure());
+  WorkloadShape Shape = testShape(WorkloadKind::Softmax);
+  EXPECT_EQ(Tuner.cached(WorkloadKind::Softmax, Shape), nullptr);
+  triton::AutotuneResult First =
+      Tuner.tune(Device, WorkloadKind::Softmax, Shape, DataRng);
+  const triton::AutotuneResult *Hit =
+      Tuner.cached(WorkloadKind::Softmax, Shape);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Best.str(), First.Best.str());
+}
+
+TEST(AutotunerTest, SkipsNonFittingConfigs) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::Autotuner Tuner(quickMeasure());
+  // Tiny shape: the BM=128 candidate cannot fit and must be skipped.
+  WorkloadShape Shape = testShape(WorkloadKind::MmLeakyRelu);
+  triton::AutotuneResult R =
+      Tuner.tune(Device, WorkloadKind::MmLeakyRelu, Shape, DataRng);
+  for (const triton::TunedConfig &T : R.Sweep)
+    EXPECT_TRUE(configFits(WorkloadKind::MmLeakyRelu, Shape, T.Config));
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline (§4.1)
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineTest, CompileInterceptRoundTrip) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::MmLeakyRelu,
+      testShape(WorkloadKind::MmLeakyRelu),
+      candidateConfigs(WorkloadKind::MmLeakyRelu).front(), DataRng);
+  Expected<sass::Program> P = triton::interceptCubin(K);
+  ASSERT_TRUE(P.hasValue()) << P.error().str();
+  EXPECT_EQ(P->str(), K.Runtime.Prog.str());
+}
+
+TEST(PipelineTest, SubstituteScheduleUpdatesBinaryAndRuntime) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::Softmax, testShape(WorkloadKind::Softmax),
+      candidateConfigs(WorkloadKind::Softmax).front(), DataRng);
+  sass::Program Optimized = K.Runtime.Prog;
+  // Find two swappable adjacent instructions.
+  env::AssemblyGame Game(Device, K.Runtime, [] {
+    env::GameConfig G;
+    G.Measure.WarmupIters = 1;
+    G.Measure.RepeatIters = 1;
+    return G;
+  }());
+  std::vector<uint8_t> Mask = Game.actionMask();
+  unsigned A = 0;
+  while (A < Mask.size() && !Mask[A])
+    ++A;
+  ASSERT_LT(A, Mask.size());
+  Game.step(A);
+  Optimized = Game.current();
+
+  triton::substituteSchedule(K, Optimized);
+  Expected<sass::Program> Back = triton::interceptCubin(K);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(Back->str(), Optimized.str());
+  EXPECT_EQ(K.Runtime.Prog.str(), Optimized.str());
+}
+
+TEST(PipelineTest, ProbabilisticTestAcceptsValidSchedule) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::RmsNorm, testShape(WorkloadKind::RmsNorm),
+      candidateConfigs(WorkloadKind::RmsNorm).front(), DataRng);
+  EXPECT_TRUE(triton::probabilisticTest(Device, K.Runtime, K.Runtime.Prog,
+                                        K.Runtime.Prog, 2, DataRng));
+}
+
+TEST(PipelineTest, ProbabilisticTestRejectsCorruptSchedule) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::MmLeakyRelu,
+      testShape(WorkloadKind::MmLeakyRelu),
+      candidateConfigs(WorkloadKind::MmLeakyRelu).front(), DataRng);
+  // Violate stall counts deliberately: drop every fixed-latency
+  // instruction to a 1-cycle stall (back-to-back dependent IMAD/IADD3
+  // chains then read stale registers).
+  sass::Program Bad = K.Runtime.Prog;
+  for (size_t I = 0; I < Bad.size(); ++I)
+    if (Bad.stmt(I).isInstr() && Bad.stmt(I).instr().isFixedLatency())
+      Bad.stmt(I).instr().ctrl().setStall(1);
+  EXPECT_FALSE(triton::probabilisticTest(Device, K.Runtime, K.Runtime.Prog,
+                                         Bad, 2, DataRng));
+}
+
+//===----------------------------------------------------------------------===//
+// Deploy cache (§4.2)
+//===----------------------------------------------------------------------===//
+
+TEST(DeployCacheTest, StoreAndLookup) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "cuasmrl_cache_test")
+          .string();
+  std::filesystem::remove_all(Dir);
+  triton::DeployCache Cache(Dir);
+
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::Softmax, testShape(WorkloadKind::Softmax),
+      candidateConfigs(WorkloadKind::Softmax).front(), DataRng);
+
+  std::string Key = triton::DeployCache::makeKey(
+      "A100-SIM", "softmax",
+      candidateConfigs(WorkloadKind::Softmax).front().str());
+  EXPECT_FALSE(Cache.contains(Key));
+  ASSERT_TRUE(Cache.store(Key, K.Binary));
+  EXPECT_TRUE(Cache.contains(Key));
+
+  std::optional<cubin::CubinFile> Loaded = Cache.load(Key);
+  ASSERT_TRUE(Loaded.has_value());
+  Expected<sass::Program> P = cubin::disassemble(*Loaded);
+  ASSERT_TRUE(P.hasValue());
+  EXPECT_EQ(P->str(), K.Runtime.Prog.str());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(DeployCacheTest, MissingKeyReturnsNothing) {
+  triton::DeployCache Cache("/tmp/cuasmrl_cache_missing");
+  EXPECT_FALSE(Cache.load("no-such-key").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Search baselines (§7)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+env::GameConfig searchGameConfig() {
+  env::GameConfig G;
+  G.Measure.WarmupIters = 1;
+  G.Measure.RepeatIters = 1;
+  G.Measure.NoiseStddev = 0.0;
+  G.EpisodeLength = 64;
+  return G;
+}
+
+} // namespace
+
+TEST(SearchTest, GreedyNeverWorsens) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  BuiltKernel K = buildKernel(Device, WorkloadKind::MmLeakyRelu,
+                              testShape(WorkloadKind::MmLeakyRelu),
+                              candidateConfigs(WorkloadKind::MmLeakyRelu)
+                                  .front(),
+                              ScheduleStyle::TritonO3, DataRng);
+  env::AssemblyGame Game(Device, K, searchGameConfig());
+  Rng SR(1);
+  search::SearchResult R = search::greedySearch(Game, 400, SR);
+  EXPECT_LE(R.BestTimeUs, R.InitialTimeUs + 1e-9);
+  EXPECT_GT(R.StepsUsed, 0u);
+}
+
+TEST(SearchTest, RandomTracksBestSchedule) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  BuiltKernel K = buildKernel(Device, WorkloadKind::Softmax,
+                              testShape(WorkloadKind::Softmax),
+                              candidateConfigs(WorkloadKind::Softmax)
+                                  .front(),
+                              ScheduleStyle::TritonO3, DataRng);
+  env::AssemblyGame Game(Device, K, searchGameConfig());
+  Rng SR(2);
+  search::SearchResult R = search::randomSearch(Game, 150, SR);
+  EXPECT_LE(R.BestTimeUs, R.InitialTimeUs + 1e-9);
+  ASSERT_FALSE(R.BestCurve.empty());
+  // Best-so-far curves are monotone non-increasing.
+  for (size_t I = 1; I < R.BestCurve.size(); ++I)
+    EXPECT_LE(R.BestCurve[I], R.BestCurve[I - 1] + 1e-9);
+}
+
+TEST(SearchTest, EvolutionaryImprovesOrMatches) {
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  BuiltKernel K = buildKernel(Device, WorkloadKind::MmLeakyRelu,
+                              testShape(WorkloadKind::MmLeakyRelu),
+                              candidateConfigs(WorkloadKind::MmLeakyRelu)
+                                  .front(),
+                              ScheduleStyle::TritonO3, DataRng);
+  env::AssemblyGame Game(Device, K, searchGameConfig());
+  Rng SR(3);
+  search::SearchResult R = search::evolutionarySearch(Game, 300, SR);
+  EXPECT_LE(R.BestTimeUs, R.InitialTimeUs + 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end optimizer (Figure 2)
+//===----------------------------------------------------------------------===//
+
+TEST(OptimizerTest, EndToEndImprovesOrMatchesAndVerifies) {
+  gpusim::Gpu Device;
+  Rng DataRng(5);
+  core::OptimizeConfig C;
+  C.Ppo.TotalSteps = 256;
+  C.Ppo.RolloutLen = 32;
+  C.Ppo.Lr = 1e-3;
+  C.Ppo.Channels = 8;
+  C.Ppo.Hidden = 32;
+  C.Game.Measure.WarmupIters = 1;
+  C.Game.Measure.RepeatIters = 1;
+  C.Game.Measure.NoiseStddev = 0.001;
+  C.AutotuneMeasure = quickMeasure();
+  C.ProbTestRounds = 1;
+  core::Optimizer Opt(C);
+
+  core::OptimizeResult R =
+      Opt.optimize(Device, WorkloadKind::MmLeakyRelu,
+                   testShape(WorkloadKind::MmLeakyRelu), DataRng);
+  EXPECT_GT(R.TritonUs, 0.0);
+  EXPECT_LE(R.OptimizedUs, R.TritonUs * 1.001);
+  EXPECT_TRUE(R.Verified);
+  EXPECT_FALSE(R.Training.empty());
+  EXPECT_GT(R.KernelExecutions, 0u);
+  // The optimized binary must disassemble to the optimized schedule.
+  Expected<sass::Program> P = triton::interceptCubin(R.Kernel);
+  ASSERT_TRUE(P.hasValue());
+  EXPECT_EQ(P->str(), R.OptimizedProg.str());
+}

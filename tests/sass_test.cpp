@@ -1,0 +1,480 @@
+//===- tests/sass_test.cpp - SASS ISA model unit tests ------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sass/ControlCode.h"
+#include "sass/Instruction.h"
+#include "sass/Opcode.h"
+#include "sass/Parser.h"
+#include "sass/Program.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace cuasmrl;
+using namespace cuasmrl::sass;
+
+namespace {
+
+bool containsReg(const std::vector<Register> &Regs, Register R) {
+  return std::find(Regs.begin(), Regs.end(), R) != Regs.end();
+}
+
+Instruction parse(const std::string &Line) {
+  Expected<Instruction> I = Parser::parseInstruction(Line);
+  EXPECT_TRUE(I.hasValue()) << (I.hasValue() ? "" : I.error().str());
+  return I.hasValue() ? I.takeValue() : Instruction();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Register / Eq. 2
+//===----------------------------------------------------------------------===//
+
+TEST(Register, Spelling) {
+  EXPECT_EQ(Register::general(12).str(), "R12");
+  EXPECT_EQ(Register::rz().str(), "RZ");
+  EXPECT_EQ(Register::uniform(4).str(), "UR4");
+  EXPECT_EQ(Register::urz().str(), "URZ");
+  EXPECT_EQ(Register::predicate(0).str(), "P0");
+  EXPECT_EQ(Register::pt().str(), "PT");
+}
+
+TEST(Register, ZeroRegistersCarryNoDependencies) {
+  EXPECT_TRUE(Register::rz().isZero());
+  EXPECT_TRUE(Register::urz().isZero());
+  EXPECT_TRUE(Register::pt().isZero());
+  EXPECT_FALSE(Register::general(0).isZero());
+}
+
+/// Paper Eq. 2: base = r/2, mod = r%2, flip = 1-mod, adj = base*2+flip.
+TEST(Register, AdjacentMatchesEquation2) {
+  for (unsigned R = 0; R < 64; ++R) {
+    unsigned Base = R / 2, Mod = R % 2, Flip = 1 - Mod;
+    unsigned Expected = Base * 2 + Flip;
+    EXPECT_EQ(Register::general(R).adjacent().index(), Expected);
+    // The closed form is r xor 1.
+    EXPECT_EQ(Expected, R ^ 1u);
+  }
+}
+
+TEST(Register, AdjacentIsInvolution) {
+  for (unsigned R = 0; R < 32; ++R)
+    EXPECT_EQ(Register::general(R).adjacent().adjacent().index(), R);
+}
+
+//===----------------------------------------------------------------------===//
+// Control codes
+//===----------------------------------------------------------------------===//
+
+TEST(ControlCode, ParsePaperExample) {
+  // From paper §2.3: [B------:R-:W2:Y:S02] — with the yield flag set the
+  // fourth field is 'Y'.
+  Expected<ControlCode> CC = ControlCode::parse("[B------:R-:W2:Y:S02]");
+  ASSERT_TRUE(CC.hasValue()) << CC.error().str();
+  EXPECT_EQ(CC->waitMask(), 0);
+  EXPECT_FALSE(CC->hasReadBarrier());
+  EXPECT_EQ(CC->writeBarrier(), 2);
+  EXPECT_TRUE(CC->yield());
+  EXPECT_EQ(CC->stall(), 2u);
+}
+
+TEST(ControlCode, ParseWaitMask) {
+  Expected<ControlCode> CC = ControlCode::parse("[B0-2--5:R1:W-:-:S11]");
+  ASSERT_TRUE(CC.hasValue()) << CC.error().str();
+  EXPECT_TRUE(CC->waitsOn(0));
+  EXPECT_FALSE(CC->waitsOn(1));
+  EXPECT_TRUE(CC->waitsOn(2));
+  EXPECT_TRUE(CC->waitsOn(5));
+  EXPECT_EQ(CC->readBarrier(), 1);
+  EXPECT_EQ(CC->stall(), 11u);
+}
+
+TEST(ControlCode, RoundTripAllFields) {
+  ControlCode CC;
+  CC.setWait(1);
+  CC.setWait(4);
+  CC.setReadBarrier(3);
+  CC.setWriteBarrier(0);
+  CC.setYield(true);
+  CC.setStall(13);
+  Expected<ControlCode> Again = ControlCode::parse(CC.str());
+  ASSERT_TRUE(Again.hasValue());
+  EXPECT_EQ(*Again, CC);
+}
+
+TEST(ControlCode, EncodeDecodeRoundTrip) {
+  for (unsigned Wait = 0; Wait < 64; Wait += 7) {
+    for (int RB : {-1, 0, 3, 5}) {
+      for (int WB : {-1, 2, 5}) {
+        ControlCode CC;
+        CC.setWaitMask(static_cast<uint8_t>(Wait));
+        CC.setReadBarrier(RB);
+        CC.setWriteBarrier(WB);
+        CC.setYield(Wait % 2);
+        CC.setStall(Wait % 16);
+        EXPECT_EQ(ControlCode::decode(CC.encode()), CC);
+      }
+    }
+  }
+}
+
+TEST(ControlCode, RejectsMalformed) {
+  EXPECT_FALSE(ControlCode::parse("B------:R-:W-:-:S01").hasValue());
+  EXPECT_FALSE(ControlCode::parse("[B-----:R-:W-:-:S01]").hasValue());
+  EXPECT_FALSE(ControlCode::parse("[B------:R-:W-:-:S99]").hasValue());
+  EXPECT_FALSE(ControlCode::parse("[B------:R-:W9:-:S01]").hasValue());
+  EXPECT_FALSE(ControlCode::parse("[B------:R-:W-:-]").hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Opcode properties
+//===----------------------------------------------------------------------===//
+
+TEST(Opcode, MemoryClassification) {
+  EXPECT_TRUE(getOpcodeInfo(Opcode::LDG).IsLoad);
+  EXPECT_TRUE(getOpcodeInfo(Opcode::STG).IsStore);
+  EXPECT_EQ(getOpcodeInfo(Opcode::LDGSTS).Space, MemSpace::GlobalToShared);
+  EXPECT_EQ(getOpcodeInfo(Opcode::LDS).Space, MemSpace::Shared);
+  EXPECT_EQ(getOpcodeInfo(Opcode::IADD3).Space, MemSpace::None);
+}
+
+TEST(Opcode, ReorderableSetMatchesPaper) {
+  // §3.5: the agent picks memory load/store instructions such as LDG,
+  // LDGSTS and STG.
+  for (Opcode Op : {Opcode::LDG, Opcode::STG, Opcode::LDS, Opcode::STS,
+                    Opcode::LDGSTS, Opcode::LDSM})
+    EXPECT_TRUE(getOpcodeInfo(Op).IsReorderable);
+  for (Opcode Op : {Opcode::IADD3, Opcode::HMMA, Opcode::BAR, Opcode::BRA,
+                    Opcode::LDC})
+    EXPECT_FALSE(getOpcodeInfo(Op).IsReorderable);
+}
+
+TEST(Opcode, BarrierAndControlFlow) {
+  EXPECT_TRUE(getOpcodeInfo(Opcode::BAR).IsBarrierOrSync);
+  EXPECT_TRUE(getOpcodeInfo(Opcode::LDGDEPBAR).IsBarrierOrSync);
+  EXPECT_TRUE(getOpcodeInfo(Opcode::BRA).IsControlFlow);
+  EXPECT_TRUE(getOpcodeInfo(Opcode::EXIT).IsControlFlow);
+}
+
+TEST(Opcode, ParseByName) {
+  EXPECT_EQ(parseOpcode("LDGSTS").value(), Opcode::LDGSTS);
+  EXPECT_EQ(parseOpcode("IMAD").value(), Opcode::IMAD);
+  EXPECT_FALSE(parseOpcode("FROBNICATE").has_value());
+}
+
+/// Ground-truth latencies must match the paper's Table 1.
+TEST(Opcode, Table1GroundTruth) {
+  EXPECT_EQ(groundTruthLatency("IADD3").value(), 4u);
+  EXPECT_EQ(groundTruthLatency("IADD3.X").value(), 4u);
+  EXPECT_EQ(groundTruthLatency("IMAD.IADD").value(), 4u);
+  EXPECT_EQ(groundTruthLatency("MOV").value(), 4u);
+  EXPECT_EQ(groundTruthLatency("IABS").value(), 4u);
+  EXPECT_EQ(groundTruthLatency("IMAD").value(), 5u);
+  EXPECT_EQ(groundTruthLatency("FADD").value(), 5u);
+  EXPECT_EQ(groundTruthLatency("HADD2").value(), 5u);
+  EXPECT_EQ(groundTruthLatency("IMNMX").value(), 5u);
+  EXPECT_EQ(groundTruthLatency("SEL").value(), 5u);
+  EXPECT_EQ(groundTruthLatency("LEA").value(), 5u);
+  EXPECT_EQ(groundTruthLatency("IMAD.WIDE").value(), 5u);
+  EXPECT_EQ(groundTruthLatency("IMAD.WIDE.U32").value(), 5u);
+}
+
+TEST(Opcode, LatencyKeySelectsModifierForms) {
+  Instruction I = parse("IMAD.WIDE R4, R2, R3, R6 ;");
+  EXPECT_EQ(I.latencyKey().value(), "IMAD.WIDE");
+  I = parse("IMAD.WIDE.U32 R4, R2, R3, R6 ;");
+  EXPECT_EQ(I.latencyKey().value(), "IMAD.WIDE.U32");
+  I = parse("IMAD.IADD R4, R2, 0x1, R6 ;");
+  EXPECT_EQ(I.latencyKey().value(), "IMAD.IADD");
+  I = parse("IADD3.X R4, R2, R3, RZ, P0, !PT ;");
+  EXPECT_EQ(I.latencyKey().value(), "IADD3.X");
+  I = parse("LDG.E R0, [R2.64] ;");
+  EXPECT_FALSE(I.latencyKey().has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Operand parsing
+//===----------------------------------------------------------------------===//
+
+TEST(Operand, ParseBasicRegister) {
+  Expected<Operand> Op = Parser::parseOperand("R12");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->isReg());
+  EXPECT_EQ(Op->baseReg(), Register::general(12));
+}
+
+TEST(Operand, ParseModifiers) {
+  Expected<Operand> Op = Parser::parseOperand("-R4");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->isNegated());
+
+  Op = Parser::parseOperand("|R7|");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->isAbs());
+
+  Op = Parser::parseOperand("!P3");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->isNot());
+  EXPECT_TRUE(Op->baseReg().isPredicate());
+
+  Op = Parser::parseOperand("R8.reuse");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->hasReuse());
+
+  Op = Parser::parseOperand("R2.64");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->isWide());
+}
+
+TEST(Operand, ParseImmediates) {
+  EXPECT_EQ(Parser::parseOperand("0x10")->immValue(), 16);
+  EXPECT_EQ(Parser::parseOperand("-3")->immValue(), -3);
+  EXPECT_DOUBLE_EQ(Parser::parseOperand("1.5")->floatValue(), 1.5);
+}
+
+TEST(Operand, ParseConstMem) {
+  Expected<Operand> Op = Parser::parseOperand("c[0x0][0x160]");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->isConstMem());
+  EXPECT_EQ(Op->constBank(), 0u);
+  EXPECT_EQ(Op->constOffset(), 0x160);
+}
+
+TEST(Operand, ParseMemoryForms) {
+  Expected<Operand> Op = Parser::parseOperand("[R2.64]");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->isMem());
+  EXPECT_TRUE(Op->isWide());
+  EXPECT_EQ(Op->memOffset(), 0);
+
+  Op = Parser::parseOperand("[R219+0x4000]");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_EQ(Op->baseReg(), Register::general(219));
+  EXPECT_EQ(Op->memOffset(), 0x4000);
+
+  Op = Parser::parseOperand("desc[UR16][R10.64]");
+  ASSERT_TRUE(Op.hasValue());
+  EXPECT_TRUE(Op->hasDesc());
+  EXPECT_EQ(Op->descReg(), Register::uniform(16));
+  EXPECT_TRUE(Op->isWide());
+}
+
+TEST(Operand, ParseSpecialAndLabel) {
+  EXPECT_TRUE(Parser::parseOperand("SR_CLOCKLO")->isSpecial());
+  Expected<Operand> L = Parser::parseOperand("`(.L_12)");
+  ASSERT_TRUE(L.hasValue());
+  EXPECT_TRUE(L->isLabel());
+  EXPECT_EQ(L->name(), ".L_12");
+}
+
+TEST(Operand, RejectsGarbage) {
+  EXPECT_FALSE(Parser::parseOperand("R999").hasValue());
+  EXPECT_FALSE(Parser::parseOperand("[R2").hasValue());
+  EXPECT_FALSE(Parser::parseOperand("%%").hasValue());
+  EXPECT_FALSE(Parser::parseOperand("R4.flibber").hasValue());
+}
+
+/// `.64` operands expand to the Eq. 2 adjacent register.
+TEST(Operand, ExpandRegistersWide) {
+  Operand Op = *Parser::parseOperand("[R18.64]");
+  std::vector<Register> Regs = Op.expandRegisters();
+  EXPECT_TRUE(containsReg(Regs, Register::general(18)));
+  EXPECT_TRUE(containsReg(Regs, Register::general(19)));
+}
+
+TEST(Operand, ExpandIncludesDescriptor) {
+  Operand Op = *Parser::parseOperand("desc[UR16][R10.64]");
+  std::vector<Register> Regs = Op.expandRegisters();
+  EXPECT_TRUE(containsReg(Regs, Register::general(10)));
+  EXPECT_TRUE(containsReg(Regs, Register::general(11)));
+  EXPECT_TRUE(containsReg(Regs, Register::uniform(16)));
+}
+
+TEST(Operand, ZeroRegisterExpandsEmpty) {
+  Operand Op = *Parser::parseOperand("RZ");
+  EXPECT_TRUE(Op.expandRegisters().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction parsing, printing and def/use extraction
+//===----------------------------------------------------------------------===//
+
+TEST(Instruction, ParsePaperLdg) {
+  Expected<Instruction> I = Parser::parseInstruction(
+      "[B------:R-:W2:Y:S02] LDG.E R0, [R2.64] ;");
+  ASSERT_TRUE(I.hasValue()) << I.error().str();
+  EXPECT_EQ(I->opcode(), Opcode::LDG);
+  EXPECT_TRUE(I->hasModifier("E"));
+  EXPECT_EQ(I->ctrl().writeBarrier(), 2);
+  ASSERT_EQ(I->operands().size(), 2u);
+}
+
+TEST(Instruction, ParseGuard) {
+  Instruction I = parse("@!P0 BRA `(.L_EXIT) ;");
+  EXPECT_TRUE(I.hasGuard());
+  EXPECT_TRUE(I.guardNegated());
+  EXPECT_EQ(I.guardReg(), Register::predicate(0));
+
+  I = parse("@P2 EXIT ;");
+  EXPECT_TRUE(I.hasGuard());
+  EXPECT_FALSE(I.guardNegated());
+}
+
+TEST(Instruction, AlwaysFalseGuardDetected) {
+  Instruction I = parse("@!PT LDS.128 R24, [R72] ;");
+  EXPECT_TRUE(I.isAlwaysFalseGuard());
+  I = parse("@!P0 LDS.128 R24, [R72] ;");
+  EXPECT_FALSE(I.isAlwaysFalseGuard());
+}
+
+TEST(Instruction, PrintParseRoundTrip) {
+  const char *Lines[] = {
+      "LDG.E.128 R4, desc[UR16][R2.64+0x40] ;",
+      "STG.E [R6.64], R18 ;",
+      "IADD3 R9, R9, 0x1, RZ ;",
+      "IMAD.WIDE R10, R9, 0x4, R2 ;",
+      "ISETP.GE.AND P0, PT, R9, R8, PT ;",
+      "FFMA R18, R12, R13, R14 ;",
+      "LDGSTS.E.BYPASS.128 [R74], desc[UR18][R18.64], P4 ;",
+      "HMMA.16816.F32 R24, R4.reuse, R8, R24 ;",
+      "BAR.SYNC 0x0 ;",
+      "@!PT LDS.128 R24, [R72] ;",
+  };
+  for (const char *Line : Lines) {
+    Instruction I = parse(Line);
+    Instruction J = parse(I.str());
+    EXPECT_EQ(I.str(), J.str()) << "unstable round trip for " << Line;
+  }
+}
+
+TEST(Instruction, DefsSimple) {
+  Instruction I = parse("IADD3 R9, R9, 0x1, RZ ;");
+  std::vector<Register> Defs = I.regDefs();
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0], Register::general(9));
+}
+
+TEST(Instruction, DefsCarryOutPredicate) {
+  Instruction I = parse("IADD3 R6, P0, -R2, R6, RZ ;");
+  std::vector<Register> Defs = I.regDefs();
+  EXPECT_TRUE(containsReg(Defs, Register::general(6)));
+  EXPECT_TRUE(containsReg(Defs, Register::predicate(0)));
+}
+
+TEST(Instruction, DefsWidePair) {
+  Instruction I = parse("IMAD.WIDE R10, R9, 0x4, R2 ;");
+  std::vector<Register> Defs = I.regDefs();
+  EXPECT_TRUE(containsReg(Defs, Register::general(10)));
+  EXPECT_TRUE(containsReg(Defs, Register::general(11)));
+}
+
+TEST(Instruction, DefsVectorLoad) {
+  Instruction I = parse("LDG.E.128 R4, [R2.64] ;");
+  std::vector<Register> Defs = I.regDefs();
+  for (unsigned R = 4; R < 8; ++R)
+    EXPECT_TRUE(containsReg(Defs, Register::general(R)));
+  EXPECT_FALSE(containsReg(Defs, Register::general(8)));
+}
+
+TEST(Instruction, DefsIsetpBothPredicates) {
+  Instruction I = parse("ISETP.GE.AND P0, P1, R9, R8, PT ;");
+  std::vector<Register> Defs = I.regDefs();
+  EXPECT_TRUE(containsReg(Defs, Register::predicate(0)));
+  EXPECT_TRUE(containsReg(Defs, Register::predicate(1)));
+}
+
+TEST(Instruction, StoreHasNoRegDefs) {
+  Instruction I = parse("STG.E [R6.64], R18 ;");
+  EXPECT_TRUE(I.regDefs().empty());
+}
+
+TEST(Instruction, UsesIncludeAddressAndData) {
+  Instruction I = parse("STG.E.64 [R6.64], R18 ;");
+  std::vector<Register> Uses = I.regUses();
+  EXPECT_TRUE(containsReg(Uses, Register::general(6)));
+  EXPECT_TRUE(containsReg(Uses, Register::general(7)));
+  EXPECT_TRUE(containsReg(Uses, Register::general(18)));
+  EXPECT_TRUE(containsReg(Uses, Register::general(19))); // .64 data pair.
+}
+
+TEST(Instruction, UsesIncludeGuard) {
+  Instruction I = parse("@!P3 LDG.E R0, [R2.64] ;");
+  EXPECT_TRUE(containsReg(I.regUses(), Register::predicate(3)));
+}
+
+TEST(Instruction, UsesSkipDest) {
+  Instruction I = parse("FFMA R18, R12, R13, R14 ;");
+  std::vector<Register> Uses = I.regUses();
+  EXPECT_FALSE(containsReg(Uses, Register::general(18)));
+  EXPECT_TRUE(containsReg(Uses, Register::general(12)));
+  EXPECT_TRUE(containsReg(Uses, Register::general(13)));
+  EXPECT_TRUE(containsReg(Uses, Register::general(14)));
+}
+
+TEST(Instruction, UsesLdgstsAllAddressRegs) {
+  Instruction I =
+      parse("LDGSTS.E.BYPASS.128 [R74], desc[UR18][R18.64], P4 ;");
+  std::vector<Register> Uses = I.regUses();
+  EXPECT_TRUE(containsReg(Uses, Register::general(74)));
+  EXPECT_TRUE(containsReg(Uses, Register::general(18)));
+  EXPECT_TRUE(containsReg(Uses, Register::general(19)));
+  EXPECT_TRUE(containsReg(Uses, Register::uniform(18)));
+  EXPECT_TRUE(containsReg(Uses, Register::predicate(4)));
+  EXPECT_TRUE(I.regDefs().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Program parsing
+//===----------------------------------------------------------------------===//
+
+TEST(Program, ParseLabelsAndInstrs) {
+  const char *Text = R"(
+// a tiny loop
+  [B------:R-:W-:-:S04] MOV R0, 0x0 ;
+.L_LOOP:
+  [B------:R-:W-:-:S04] IADD3 R0, R0, 0x1, RZ ;
+  [B------:R-:W-:-:S01] BRA `(.L_LOOP) ;
+  [B------:R-:W-:-:S01] EXIT ;
+)";
+  Expected<Program> P = Parser::parseProgram(Text, "tiny");
+  ASSERT_TRUE(P.hasValue()) << P.error().str();
+  EXPECT_EQ(P->instrCount(), 4u);
+  EXPECT_NE(P->findLabel(".L_LOOP"), Program::npos);
+  EXPECT_EQ(P->findLabel(".L_MISSING"), Program::npos);
+}
+
+TEST(Program, PrintParseRoundTrip) {
+  const char *Text = R"(
+  [B------:R-:W0:-:S01] LDG.E R12, desc[UR4][R10.64] ;
+.L_X:
+  [B0-----:R-:W-:-:S05] FADD R18, R12, R13 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)";
+  Expected<Program> P = Parser::parseProgram(Text, "rt");
+  ASSERT_TRUE(P.hasValue());
+  Expected<Program> Q = Parser::parseProgram(P->str(), "rt");
+  ASSERT_TRUE(Q.hasValue()) << Q.error().str();
+  EXPECT_EQ(P->str(), Q->str());
+}
+
+TEST(Program, SwapInstructions) {
+  Expected<Program> P = Parser::parseProgram(
+      "  [B------:R-:W-:-:S01] MOV R0, 0x1 ;\n"
+      "  [B------:R-:W-:-:S01] MOV R1, 0x2 ;\n");
+  ASSERT_TRUE(P.hasValue());
+  P->swap(0, 1);
+  EXPECT_EQ(P->stmt(0).instr().operands()[0].baseReg(),
+            Register::general(1));
+}
+
+TEST(Program, ParseDiagnosticsCarryLineInfo) {
+  Expected<Program> P =
+      Parser::parseProgram("  [B------:R-:W-:-:S01] WIBBLE R0 ;\n");
+  ASSERT_FALSE(P.hasValue());
+  EXPECT_NE(P.error().message().find("line 1"), std::string::npos);
+}

@@ -1,0 +1,190 @@
+//===- tests/support_test.cpp - support library unit tests -------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace cuasmrl;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Rng, UniformIntInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversSupport) {
+  Rng R(7);
+  std::vector<int> Counts(8, 0);
+  for (int I = 0; I < 8000; ++I)
+    ++Counts[R.uniformInt(8)];
+  for (int C : Counts)
+    EXPECT_GT(C, 700); // ~1000 expected each.
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I) {
+    double X = R.uniformReal();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng R(11);
+  double Sum = 0, SumSq = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.normal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Var, 1.0, 0.05);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng R(5);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t X = R.uniformRange(-3, 3);
+    EXPECT_GE(X, -3);
+    EXPECT_LE(X, 3);
+    SawLo |= X == -3;
+    SawHi |= X == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng R(13);
+  std::vector<double> W = {0.0, 1.0, 3.0};
+  std::vector<int> Counts(3, 0);
+  for (int I = 0; I < 8000; ++I)
+    ++Counts[R.categorical(W)];
+  EXPECT_EQ(Counts[0], 0);
+  EXPECT_GT(Counts[2], Counts[1] * 2);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng R(17);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng A(21);
+  Rng B = A.fork();
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  auto Parts = split("a::b:", ':');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+  EXPECT_EQ(Parts[3], "");
+}
+
+TEST(StringUtils, SplitWhitespaceDropsEmpty) {
+  auto Parts = splitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "foo");
+  EXPECT_EQ(Parts[2], "baz");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(StringUtils, ParseIntDecimalAndHex) {
+  EXPECT_EQ(parseInt("42").value(), 42);
+  EXPECT_EQ(parseInt("-7").value(), -7);
+  EXPECT_EQ(parseInt("0x1f").value(), 31);
+  EXPECT_EQ(parseInt("-0x10").value(), -16);
+  EXPECT_FALSE(parseInt("zebra").has_value());
+  EXPECT_FALSE(parseInt("12x").has_value());
+  EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(StringUtils, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parseDouble("-2e3").value(), -2000.0);
+  EXPECT_FALSE(parseDouble("abc").has_value());
+}
+
+TEST(StringUtils, JoinAndUpper) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(toUpper("ldg.e"), "LDG.E");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("IMAD.WIDE", "IMAD"));
+  EXPECT_FALSE(startsWith("IMAD", "IMAD.WIDE"));
+  EXPECT_TRUE(endsWith("R12.reuse", ".reuse"));
+}
+
+TEST(Table, AlignedOutputHasHeaderAndRows) {
+  Table T({"kernel", "speedup"});
+  T.addRow({"softmax", "1.05"});
+  T.addRow("rmsnorm", {1.10}, 2);
+  std::ostringstream OS;
+  T.print(OS);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("kernel"), std::string::npos);
+  EXPECT_NE(S.find("softmax"), std::string::npos);
+  EXPECT_NE(S.find("1.10"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table T({"a", "b"});
+  T.addRow({"1", "2"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "a,b\n1,2\n");
+}
+
+TEST(ErrorTy, ExpectedValueAndError) {
+  Expected<int> Ok(5);
+  ASSERT_TRUE(Ok.hasValue());
+  EXPECT_EQ(*Ok, 5);
+
+  Expected<int> Bad(Error("bad things", 3, 7));
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_EQ(Bad.error().message(), "bad things");
+  EXPECT_NE(Bad.error().str().find("line 3"), std::string::npos);
+}
