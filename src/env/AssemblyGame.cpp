@@ -80,11 +80,16 @@ AssemblyGame::resolveStall(const sass::Instruction &I) const {
 
 bool AssemblyGame::stallCheckAfterSwap(size_t Upper) const {
   const sass::Instruction &A = Prog.stmt(Upper).instr();
-  const sass::Instruction &B = Prog.stmt(Upper + 1).instr();
 
-  // Check 1 — A moves *down*: the distance from A to its first
-  // consumers shrinks by stall(B). Only fixed-latency producers are
-  // protected by stall counts (variable latency uses the scoreboard).
+  // Check 1 — A moves *down* to Upper+1, so B's stall no longer sits
+  // between A and its consumers (the pre-swap distance shrinks by
+  // stall(B)). Rather than subtracting stall(B), the scan computes the
+  // post-swap distance directly: it seeds with issueStall(A) and walks
+  // from Upper+2, which is exactly the instruction stream below A after
+  // the swap — B contributes nothing, by construction. B itself cannot
+  // be a consumer of A here: swapLegal already rejected any RAW between
+  // the pair. Only fixed-latency producers are protected by stall
+  // counts (variable latency uses the scoreboard).
   std::optional<unsigned> NeedA = resolveStall(A);
   if (A.isFixedLatency() && !Defs[Upper].empty() && NeedA) {
     // Unresolvable producer latencies are left to the schedule's own

@@ -423,7 +423,11 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     // ISETP.<cmp>[.U32].AND Pd, Pq, Ra, Rb, Pc.
     if (Ops.size() < 5)
       break;
-    std::string_view Cmp = I.modifiers().empty() ? "" : I.modifiers()[0];
+    // The view must alias the stored modifier string: a ternary against a
+    // "" literal would materialize a temporary std::string and dangle.
+    std::string_view Cmp;
+    if (!I.modifiers().empty())
+      Cmp = I.modifiers()[0];
     bool R;
     if (I.hasModifier("U32"))
       R = compare<uint32_t>(Cmp, readInt(C, Ops[2]), readInt(C, Ops[3]));
@@ -478,7 +482,10 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
   case Opcode::FSETP: {
     if (Ops.size() < 5)
       break;
-    std::string_view Cmp = I.modifiers().empty() ? "" : I.modifiers()[0];
+    // Same aliasing constraint as ISETP above.
+    std::string_view Cmp;
+    if (!I.modifiers().empty())
+      Cmp = I.modifiers()[0];
     bool R = compare<float>(Cmp, readFloat(C, Ops[2]), readFloat(C, Ops[3]));
     bool Combine = readPred(C, Ops[4]);
     bool Result = I.hasModifier("OR") ? (R || Combine) : (R && Combine);

@@ -46,19 +46,22 @@ struct KernelLaunch {
   unsigned numBlocks() const { return GridX * GridY * GridZ; }
 
   /// Appends one 32-bit parameter word.
-  void addParam32(uint32_t Value) {
-    const uint8_t *P = reinterpret_cast<const uint8_t *>(&Value);
-    Params.insert(Params.end(), P, P + 4);
-  }
+  void addParam32(uint32_t Value) { appendBytes(&Value, sizeof(Value)); }
   /// Appends a 64-bit parameter (e.g. a buffer address).
-  void addParam64(uint64_t Value) {
-    const uint8_t *P = reinterpret_cast<const uint8_t *>(&Value);
-    Params.insert(Params.end(), P, P + 8);
-  }
+  void addParam64(uint64_t Value) { appendBytes(&Value, sizeof(Value)); }
   void addParamF32(float Value) {
     uint32_t Bits;
     std::memcpy(&Bits, &Value, sizeof(Bits));
     addParam32(Bits);
+  }
+
+private:
+  /// resize+memcpy rather than vector::insert of a raw byte range: the
+  /// insert form trips a GCC 12 -O3 -Wstringop-overflow false positive.
+  void appendBytes(const void *Src, size_t N) {
+    size_t At = Params.size();
+    Params.resize(At + N);
+    std::memcpy(Params.data() + At, Src, N);
   }
 };
 

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 using namespace cuasmrl;
 using namespace cuasmrl::env;
@@ -342,4 +343,82 @@ TEST(GameTest, MeasurementCacheReducesWork) {
   unsigned After = Game.measurementsTaken();
   EXPECT_EQ(After - Before,
             F.Config.Measure.WarmupIters + F.Config.Measure.RepeatIters);
+}
+
+//===----------------------------------------------------------------------===//
+// Stall check after swap (Algorithm 1)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a hand-crafted kernel around a fixed-latency producer A
+/// (IMAD, stall `ProducerStall`), the movable LDG directly below it (B,
+/// stall 6), and a consumer of A's result directly below B. Swapping A
+/// and B removes B's 6-cycle stall from the producer-to-consumer path.
+kernels::BuiltKernel craftedStallKernel(gpusim::Gpu &Device,
+                                        unsigned ProducerStall) {
+  char StallDigit = static_cast<char>('0' + ProducerStall);
+  std::string Text;
+  Text += "  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;\n";
+  Text += "  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R4, 0x9 ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R5, 0x7 ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R6, 0x3 ;\n";
+  Text += std::string("  [B------:R-:W-:-:S0") + StallDigit +
+          "] IMAD R8, R4, R5, R6 ;\n";                       // A (index 5)
+  Text += "  [B------:R-:W0:-:S06] LDG.E R10, [R2.64] ;\n";  // B (index 6)
+  Text += "  [B------:R-:W-:-:S04] IADD3 R12, R8, 0x1, RZ ;\n"; // uses R8
+  Text += "  [B0-----:R-:W-:-:S04] IADD3 R13, R10, RZ, RZ ;\n";
+  Text += "  [B------:R-:W-:-:S01] STG.E [R2.64], R12 ;\n";
+  Text += "  [B------:R-:W-:-:S01] EXIT ;\n";
+
+  Expected<sass::Program> P = sass::Parser::parseProgram(Text, "crafted");
+  if (!P.hasValue()) // gtest reports the throw as a (fatal) test failure.
+    throw std::runtime_error("crafted kernel failed to parse: " +
+                             P.error().str());
+
+  kernels::BuiltKernel K;
+  K.Name = "crafted_stall";
+  K.Prog = *P;
+  uint64_t Out = Device.globalMemory().allocate(16);
+  K.OutAddr = Out;
+  K.OutBytes = 8;
+  K.Launch.WarpsPerBlock = 1;
+  K.Launch.addParam64(Out);
+  return K;
+}
+
+GameConfig craftedConfig() {
+  GameConfig Config;
+  // The builtin table makes the required IMAD stall deterministic (5).
+  Config.Table = analysis::StallTable::builtin();
+  Config.Measure.WarmupIters = 1;
+  Config.Measure.RepeatIters = 1;
+  Config.Measure.NoiseStddev = 0.0;
+  return Config;
+}
+
+} // namespace
+
+TEST(GameTest, SwapRejectedWhenOnlyBsStallCoveredTheProducer) {
+  // Pre-swap, the IMAD->IADD3 distance is stall(A) + stall(B) = 2 + 6,
+  // comfortably over IMAD's required 5. Post-swap, A sits directly above
+  // its consumer with only its own stall of 2 — the violation exists
+  // *only* because B's stall contribution left the path, which is
+  // exactly what Check 1 of stallCheckAfterSwap must detect.
+  gpusim::Gpu Device;
+  kernels::BuiltKernel K = craftedStallKernel(Device, /*ProducerStall=*/2);
+  AssemblyGame Game(Device, K, craftedConfig());
+  EXPECT_FALSE(Game.swapLegal(5));
+}
+
+TEST(GameTest, SwapAllowedWhenProducerStallAloneSuffices) {
+  // Identical schedule except A's own stall already covers the required
+  // 5 cycles: removing B's contribution no longer matters, so the same
+  // swap must be legal. Together with the test above this pins the
+  // post-swap distance computation to "exclude B, keep A".
+  gpusim::Gpu Device;
+  kernels::BuiltKernel K = craftedStallKernel(Device, /*ProducerStall=*/5);
+  AssemblyGame Game(Device, K, craftedConfig());
+  EXPECT_TRUE(Game.swapLegal(5));
 }

@@ -200,6 +200,42 @@ TEST(ExecInt, IsetpComparisonsAndCombine) {
   EXPECT_EQ(runBody(Body), 9u);
 }
 
+TEST(ExecInt, IsetpEveryCompareModifier) {
+  // Regression for the dangling-string_view bug: the compare modifier
+  // used to be read through a view into a temporary std::string (freed
+  // stack memory under ASan), so any of these could flip nondeterm-
+  // inistically. Pin all six against hand-computed results, both ways.
+  struct Case {
+    const char *Cmp;
+    uint32_t WhenNineVsSeven; // R4=9, R5=7.
+    uint32_t WhenEqual;       // R4=R5=9.
+  } Cases[] = {
+      {"LT", 7u, 7u}, {"LE", 7u, 9u}, {"GT", 9u, 7u},
+      {"GE", 9u, 9u}, {"EQ", 7u, 9u}, {"NE", 9u, 7u},
+  };
+  for (const Case &C : Cases) {
+    std::string Body =
+        ins(std::string("ISETP.") + C.Cmp + ".AND P0, PT, R4, R5, PT") +
+        ins("SEL R15, R4, R5, P0");
+    EXPECT_EQ(runBody(Body), C.WhenNineVsSeven) << C.Cmp;
+    // Equal operands (R7 vs R7) with distinguishable SEL arms (9 vs 7).
+    std::string Body2 =
+        ins("MOV R7, 0x9") +
+        ins(std::string("ISETP.") + C.Cmp + ".AND P0, PT, R7, R7, PT") +
+        ins("SEL R15, R4, R5, P0");
+    EXPECT_EQ(runBody(Body2), C.WhenEqual) << C.Cmp << " (equal)";
+  }
+}
+
+TEST(ExecInt, IsetpEmptyModifierListComparesFalse) {
+  // A bare ISETP carries no compare modifier at all — exactly the branch
+  // where the old code bound a string_view to a temporary "" string. The
+  // comparison must deterministically evaluate to false (SEL picks R5).
+  std::string Body = ins("ISETP P0, PT, R4, R5, PT") +
+                     ins("SEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body), 7u);
+}
+
 TEST(ExecInt, Popc) {
   EXPECT_EQ(runBody(ins("MOV R7, 0xf0f0") + ins("POPC R15, R7")), 8u);
 }
@@ -228,6 +264,43 @@ TEST(ExecFloat, MinMaxSelSetp) {
   std::string Body = ins("FSETP.GT.AND P0, PT, R4, R5, PT") +
                      ins("FSEL R15, R4, R5, P0");
   EXPECT_EQ(runBody(Body, A, B), bits(5.0f)); // 2 > 5 false.
+}
+
+TEST(ExecFloat, FsetpEveryCompareModifier) {
+  // Mirror of IsetpEveryCompareModifier for the FSETP copy of the
+  // dangling-view bug: pin all six compare modifiers on 2.0 vs 5.0 and
+  // on equal operands.
+  uint32_t A = bits(2.0f), B = bits(5.0f);
+  struct Case {
+    const char *Cmp;
+    uint32_t TwoVsFive; // FSEL picks R4 (2.0) when true, R5 (5.0) when false.
+    uint32_t WhenEqual; // R4 = R5 = 2.0.
+  } Cases[] = {
+      {"LT", bits(2.0f), bits(5.0f)}, {"LE", bits(2.0f), bits(2.0f)},
+      {"GT", bits(5.0f), bits(5.0f)}, {"GE", bits(5.0f), bits(2.0f)},
+      {"EQ", bits(5.0f), bits(2.0f)}, {"NE", bits(2.0f), bits(5.0f)},
+  };
+  for (const Case &C : Cases) {
+    std::string Body =
+        ins(std::string("FSETP.") + C.Cmp + ".AND P0, PT, R4, R5, PT") +
+        ins("FSEL R15, R4, R5, P0");
+    EXPECT_EQ(runBody(Body, A, B), C.TwoVsFive) << C.Cmp;
+    // Equal operands (R7 = 2.0 vs itself), FSEL arms stay 2.0 vs 5.0.
+    std::string Body2 =
+        ins("MOV R7, 0x40000000") +
+        ins(std::string("FSETP.") + C.Cmp + ".AND P0, PT, R7, R7, PT") +
+        ins("FSEL R15, R4, R5, P0");
+    EXPECT_EQ(runBody(Body2, A, B), C.WhenEqual) << C.Cmp << " (equal)";
+  }
+}
+
+TEST(ExecFloat, FsetpEmptyModifierListComparesFalse) {
+  // Bare FSETP: no compare modifier — the dangling-view branch. Must be
+  // deterministically false (FSEL picks R5).
+  uint32_t A = bits(2.0f), B = bits(5.0f);
+  std::string Body = ins("FSETP P0, PT, R4, R5, PT") +
+                     ins("FSEL R15, R4, R5, P0");
+  EXPECT_EQ(runBody(Body, A, B), bits(5.0f));
 }
 
 TEST(ExecFloat, MufuFunctions) {

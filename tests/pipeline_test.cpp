@@ -43,9 +43,11 @@ TEST(AutotunerTest, PicksFastestConfig) {
   triton::AutotuneResult R =
       Tuner.tune(Device, WorkloadKind::MmLeakyRelu, Shape, DataRng);
   ASSERT_FALSE(R.Sweep.empty());
-  for (const triton::TunedConfig &T : R.Sweep)
-    if (T.Valid)
+  for (const triton::TunedConfig &T : R.Sweep) {
+    if (T.Valid) {
       EXPECT_LE(R.BestUs, T.MeanUs + 1e-9);
+    }
+  }
 }
 
 TEST(AutotunerTest, CachesResults) {
