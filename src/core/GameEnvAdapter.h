@@ -17,13 +17,23 @@
 #include "env/AssemblyGame.h"
 #include "rl/Env.h"
 
+#include <cassert>
+#include <memory>
+#include <utility>
+
 namespace cuasmrl {
 namespace core {
 
-/// Thin ownership-free adapter.
+/// Thin adapter; non-owning by default, or owning when handed the game
+/// by unique_ptr (the RolloutRunner env-pool case, where the runner
+/// must keep its games alive).
 class GameEnvAdapter : public rl::Env {
 public:
   explicit GameEnvAdapter(env::AssemblyGame &Game) : Game(Game) {}
+  explicit GameEnvAdapter(std::unique_ptr<env::AssemblyGame> Owned)
+      : OwnedGame((assert(Owned && "owning adapter needs a game"),
+                   std::move(Owned))),
+        Game(*OwnedGame) {}
 
   std::vector<float> reset() override { return Game.reset(); }
 
@@ -44,6 +54,7 @@ public:
   env::AssemblyGame &game() { return Game; }
 
 private:
+  std::unique_ptr<env::AssemblyGame> OwnedGame; ///< Null when non-owning.
   env::AssemblyGame &Game;
 };
 

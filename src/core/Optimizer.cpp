@@ -9,6 +9,7 @@
 #include "core/GameEnvAdapter.h"
 
 #include <memory>
+#include <thread>
 
 using namespace cuasmrl;
 using namespace cuasmrl::core;
@@ -45,33 +46,55 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
                             Rng &DataRng) {
   OptimizeResult Result;
 
-  // Level 2: the assembly game (§3.3). One game per vectorized env; all
-  // share the device and the kernel's buffers.
-  std::vector<std::unique_ptr<env::AssemblyGame>> Games;
-  std::vector<std::unique_ptr<GameEnvAdapter>> Adapters;
-  std::vector<rl::Env *> Envs;
-  for (unsigned E = 0; E < std::max(1u, Config.NumEnvs); ++E) {
-    Games.push_back(
-        std::make_unique<env::AssemblyGame>(Device, Kernel, Config.Game));
-    Adapters.push_back(std::make_unique<GameEnvAdapter>(*Games.back()));
-    Envs.push_back(Adapters.back().get());
+  // Level 2: the assembly game (§3.3). One game per vectorized env.
+  // Every game shares one schedule->latency cache; when rollouts run on
+  // worker threads each game gets a private device copy (the simulator
+  // mutates memory/cache state).
+  const unsigned NumEnvs = std::max(1u, Config.NumEnvs);
+  unsigned Workers = Config.RolloutWorkers;
+  if (Workers == 0)
+    Workers = std::min(
+        NumEnvs, std::max(1u, std::thread::hardware_concurrency()));
+
+  std::shared_ptr<gpusim::MeasurementCache> SharedCache;
+  if (Config.Game.CacheMeasurements)
+    SharedCache =
+        std::make_shared<gpusim::MeasurementCache>(Config.Game.Measure.Seed);
+
+  std::vector<std::unique_ptr<rl::Env>> Envs;
+  std::vector<GameEnvAdapter *> Adapters;
+  for (unsigned E = 0; E < NumEnvs; ++E) {
+    env::GameConfig GC = Config.Game;
+    GC.SharedCache = SharedCache;
+    // Private whenever sibling games exist — not just when threaded:
+    // siblings sharing one device would see each other's cache/memory
+    // state, making measurements depend on the (worker-count-shaped)
+    // interleaving and breaking the stats-identical-for-any-Workers
+    // contract.
+    GC.PrivateDevice = NumEnvs > 1;
+    auto Adapter = std::make_unique<GameEnvAdapter>(
+        std::make_unique<env::AssemblyGame>(Device, Kernel, GC));
+    Adapters.push_back(Adapter.get());
+    Envs.push_back(std::move(Adapter));
   }
 
-  rl::PpoTrainer Trainer(Envs, Config.Ppo);
+  rl::RolloutConfig RC;
+  RC.Workers = Workers;
+  RC.Seed = Config.Ppo.Seed;
+  rl::RolloutRunner Runner(std::move(Envs), RC);
+  rl::PpoTrainer Trainer(Runner, Config.Ppo);
   Result.Training = Trainer.train();
   Result.EpisodeReturns = Trainer.episodicReturns();
 
   // Best schedule across every game (the paper deploys the best cubin
   // found "throughout the assembly game", §4.2).
-  env::AssemblyGame *BestGame = Games.front().get();
-  for (auto &G : Games)
-    if (G->bestTimeUs() < BestGame->bestTimeUs())
-      BestGame = G.get();
+  env::AssemblyGame *BestGame = &Adapters.front()->game();
+  for (GameEnvAdapter *A : Adapters)
+    if (A->game().bestTimeUs() < BestGame->bestTimeUs())
+      BestGame = &A->game();
   Result.TritonUs = BestGame->initialTimeUs();
   Result.OptimizedUs = BestGame->bestTimeUs();
   Result.OptimizedProg = BestGame->best();
-  for (auto &G : Games)
-    Result.KernelExecutions += G->measurementsTaken();
 
   // Deterministic inference replay for the §5.7 move traces.
   GameEnvAdapter Probe(*BestGame);
@@ -81,6 +104,13 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
     Result.OptimizedUs = BestGame->bestTimeUs();
     Result.OptimizedProg = BestGame->best();
   }
+
+  // Measurement-cost accounting (§7) — after the replay so its cache
+  // traffic and simulations are included.
+  for (GameEnvAdapter *A : Adapters)
+    Result.KernelExecutions += A->game().measurementsTaken();
+  if (SharedCache)
+    SharedCache->accumulate(Result.RolloutCounters);
 
   // Probabilistic testing of the winning schedule (§4.1).
   Result.Verified =

@@ -31,8 +31,18 @@ namespace core {
 struct OptimizeConfig {
   rl::PpoConfig Ppo;
   env::GameConfig Game;
-  /// Parallel game instances feeding PPO (vectorized envs).
+  /// Parallel game instances feeding PPO (vectorized envs). All games
+  /// of one run share a MeasurementCache, so sibling episodes never
+  /// re-simulate an already-measured schedule.
   unsigned NumEnvs = 1;
+  /// Worker threads collecting rollouts; 0 = min(NumEnvs, hardware
+  /// concurrency). Training statistics are identical for every value
+  /// (per-env Rng streams + order-invariant cache seeding) — this is a
+  /// wall-clock knob only. This knob — not Ppo.Workers — governs the
+  /// optimizer path: the optimizer hands PpoTrainer an external
+  /// RolloutRunner, and Ppo.Workers only applies when the trainer
+  /// builds its own runner from raw env pointers.
+  unsigned RolloutWorkers = 0;
   /// Probabilistic-testing rounds on the final schedule (§4.1).
   unsigned ProbTestRounds = 3;
   /// Measurement protocol for the autotuner.
@@ -51,6 +61,9 @@ struct OptimizeResult {
   std::vector<env::AppliedAction> Trace; ///< Greedy replay (§5.7).
   bool Verified = false;                 ///< Probabilistic test passed.
   unsigned KernelExecutions = 0;         ///< Measurement cost (§7).
+  /// Shared measurement-cache accounting for the run
+  /// (MeasureCacheHits/Misses; other counters stay zero).
+  gpusim::PerfCounters RolloutCounters;
 
   double speedup() const {
     return OptimizedUs > 0 ? TritonUs / OptimizedUs : 1.0;

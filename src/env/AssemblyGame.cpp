@@ -32,12 +32,20 @@ unsigned issueStall(const sass::Instruction &I) {
 
 AssemblyGame::AssemblyGame(gpusim::Gpu &Dev,
                            const kernels::BuiltKernel &K, GameConfig Cfg)
-    : Device(Dev), Kernel(K), Config(std::move(Cfg)), Original(K.Prog),
+    : OwnedDevice(Cfg.PrivateDevice ? std::make_unique<gpusim::Gpu>(Dev)
+                                    : nullptr),
+      Device(OwnedDevice ? *OwnedDevice : Dev), Kernel(K),
+      Config(std::move(Cfg)), Original(K.Prog),
       Prog(K.Prog), Embed(K.Prog),
       Analysis(analysis::analyzeStallCounts(K.Prog, Config.Table)),
       Regions(analysis::computeRegions(K.Prog,
                                        analysis::BoundaryKind::LabelsAndSync)),
       BestProg(K.Prog) {
+  if (Config.CacheMeasurements) {
+    Cache = Config.SharedCache;
+    if (!Cache)
+      Cache = std::make_shared<gpusim::MeasurementCache>(Config.Measure.Seed);
+  }
   if (Config.Measure.MaxBlocks == 0) {
     // Reward measurements only need *relative* timing: one small block
     // group keeps the inner loop fast even for kernels whose occupancy
@@ -210,17 +218,9 @@ bool AssemblyGame::allMasked() const {
                       [](uint8_t M) { return M != 0; });
 }
 
-double AssemblyGame::measure() {
-  std::string Key;
-  if (Config.CacheMeasurements) {
-    Key = Prog.str();
-    auto It = MeasureCache.find(Key);
-    if (It != MeasureCache.end())
-      return It->second;
-  }
-
+double AssemblyGame::simulateCurrent(uint64_t NoiseSeed) {
   gpusim::MeasureConfig MC = Config.Measure;
-  MC.Seed = MeasureSeed++;
+  MC.Seed = NoiseSeed;
   gpusim::Measurement M = measureKernel(Device, Prog, Kernel.Launch, MC);
   Measurements += MC.WarmupIters + MC.RepeatIters;
   if (!M.Valid)
@@ -240,10 +240,20 @@ double AssemblyGame::measure() {
     if (Timed != Oracle)
       return std::nan("");
   }
-
-  if (Config.CacheMeasurements)
-    MeasureCache.emplace(std::move(Key), M.MeanUs);
   return M.MeanUs;
+}
+
+double AssemblyGame::measure() {
+  gpusim::MeasurementCache::ScheduleKey Key =
+      gpusim::MeasurementCache::keyFor(Prog);
+  if (Cache)
+    return Cache->measureOrCompute(
+        Key, [this](uint64_t NoiseSeed) { return simulateCurrent(NoiseSeed); });
+  // Cacheless (ablation) path: same order-invariant noise seeding (the
+  // Check hash, matching every cached path) so a schedule's measured
+  // latency never depends on visit order or on caching being enabled.
+  return simulateCurrent(
+      gpusim::MeasurementCache::deriveSeed(Config.Measure.Seed, Key.Check));
 }
 
 std::vector<float> AssemblyGame::reset() {

@@ -31,7 +31,7 @@
 #include "gpusim/Measurement.h"
 #include "kernels/Builder.h"
 
-#include <unordered_map>
+#include <memory>
 
 namespace cuasmrl {
 namespace env {
@@ -54,6 +54,17 @@ struct GameConfig {
   /// Memoize measurements by schedule identity (revisited states are
   /// frequent: the paper observes "lingering" agents, §5.7.2).
   bool CacheMeasurements = true;
+  /// Schedule->latency cache shared with sibling games of the same
+  /// kernel (parallel rollouts). Null + CacheMeasurements: the game
+  /// creates a private cache. Cached values are interleaving-invariant
+  /// (the noise seed derives from the schedule key), so sharing never
+  /// perturbs determinism.
+  std::shared_ptr<gpusim::MeasurementCache> SharedCache;
+  /// Run on a private copy of the device taken at construction.
+  /// Required whenever sibling games step concurrently: the simulator
+  /// mutates global memory and cache state, so concurrent games must
+  /// not share one Gpu.
+  bool PrivateDevice = false;
 };
 
 /// One applied (accepted) action, for the §5.7 move-discovery traces.
@@ -66,10 +77,16 @@ struct AppliedAction {
 };
 
 /// The assembly game.
+///
+/// Thread-safety: one AssemblyGame may be driven by one thread at a
+/// time. Sibling games can run concurrently when each has its own
+/// device (GameConfig::PrivateDevice) — the only cross-game state is
+/// the shared MeasurementCache, which is thread-safe.
 class AssemblyGame {
 public:
   /// \p Kernel supplies the -O3 schedule, launch geometry and buffers;
-  /// the game owns a mutable copy of the schedule.
+  /// the game owns a mutable copy of the schedule (and, when
+  /// Config.PrivateDevice is set, a copy of \p Device).
   AssemblyGame(gpusim::Gpu &Device, const kernels::BuiltKernel &Kernel,
                GameConfig Config = GameConfig());
 
@@ -109,6 +126,10 @@ public:
   const std::vector<AppliedAction> &trace() const { return Trace; }
   const analysis::StallAnalysis &stallAnalysis() const { return Analysis; }
   unsigned measurementsTaken() const { return Measurements; }
+  /// The schedule->latency cache in use (null when caching is off).
+  const gpusim::MeasurementCache *measurementCache() const {
+    return Cache.get();
+  }
   /// @}
 
   /// Checks whether swapping statements \p Upper and \p Upper+1 is legal
@@ -117,10 +138,12 @@ public:
 
 private:
   double measure();
+  double simulateCurrent(uint64_t NoiseSeed);
   void rebuildCaches();
   bool stallCheckAfterSwap(size_t Upper) const;
   std::optional<unsigned> resolveStall(const sass::Instruction &I) const;
 
+  std::unique_ptr<gpusim::Gpu> OwnedDevice; ///< Set with PrivateDevice.
   gpusim::Gpu &Device;
   kernels::BuiltKernel Kernel;
   GameConfig Config;
@@ -144,8 +167,7 @@ private:
   unsigned StepsTaken = 0;
   unsigned Measurements = 0;
   std::vector<AppliedAction> Trace;
-  std::unordered_map<std::string, double> MeasureCache;
-  uint64_t MeasureSeed = 1;
+  std::shared_ptr<gpusim::MeasurementCache> Cache;
 };
 
 } // namespace env

@@ -22,6 +22,11 @@
 #include "gpusim/Gpu.h"
 #include "support/Rng.h"
 
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
 namespace cuasmrl {
 namespace sass {
 class Program;
@@ -49,9 +54,103 @@ struct Measurement {
 };
 
 /// Times \p Prog on \p Device with the paper's warmup/repeat protocol.
+///
+/// Thread-safety: mutates \p Device (memory, cache state) — callers
+/// running concurrently must each own their device; concurrent calls
+/// on one Gpu are a data race.
 Measurement measureKernel(Gpu &Device, const sass::Program &Prog,
                           const KernelLaunch &Launch,
                           const MeasureConfig &Config = MeasureConfig());
+
+/// Shared schedule -> latency memoization for the reward loop.
+///
+/// Keyed by a canonical 64-bit hash of the schedule text
+/// (hashSchedule()); one cache is shared by every AssemblyGame playing
+/// the same kernel so concurrent episodes never re-simulate an
+/// already-measured schedule. Invalid schedules are cached as NaN.
+///
+/// Thread-safety contract: every member is safe to call concurrently
+/// from any number of threads. measureOrCompute() additionally gives a
+/// single-simulation guarantee per key — when several threads miss on
+/// the same key simultaneously, exactly one runs \p Simulate while the
+/// others block until its value is published (the waiters count as
+/// hits: they did not simulate). The simulation callback itself runs
+/// *outside* the cache lock, so distinct keys simulate in parallel.
+///
+/// Determinism contract: the noise seed handed to \p Simulate is
+/// derived from (BaseSeed, Key) only — never from arrival order — so a
+/// schedule's cached latency is identical no matter which env measures
+/// it first or how many workers race. This is what makes N-worker
+/// training runs bit-reproducible.
+class MeasurementCache {
+public:
+  /// Canonical schedule identity: \c Primary indexes the cache and
+  /// seeds the noise; \c Check is an independent hash verified on
+  /// every hit, so a 64-bit collision degrades to an uncached
+  /// simulation instead of silently returning another schedule's
+  /// latency.
+  struct ScheduleKey {
+    uint64_t Primary = 0;
+    uint64_t Check = 0;
+  };
+
+  /// \p BaseSeed folds into every per-key noise seed (use the master
+  /// training seed so different runs see different noise).
+  explicit MeasurementCache(uint64_t BaseSeed = 1) : BaseSeed(BaseSeed) {}
+
+  /// Returns the cached latency for \p Key, or runs
+  /// \p Simulate(noiseSeed) to produce, publish and return it. The
+  /// noise seed always derives from (BaseSeed, Key.Check) — a pure
+  /// function of the schedule on every path (slot winner, primary-
+  /// collision fallback, cacheless), so values are order-invariant.
+  /// If \p Simulate throws, the exception propagates and the key is
+  /// left reclaimable (waiters retry; the key is never poisoned).
+  double measureOrCompute(ScheduleKey Key,
+                          const std::function<double(uint64_t)> &Simulate);
+
+  /// Cached value lookup without computing (NaN-valued entries count).
+  /// \returns true and fills \p OutUs when \p Key is published and the
+  /// check hash matches (collisions report not-found, never another
+  /// schedule's value).
+  bool lookup(ScheduleKey Key, double &OutUs) const;
+
+  /// \name Hit/miss accounting
+  /// @{
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t collisions() const; ///< Primary-hash collisions observed.
+  size_t size() const; ///< Published entries.
+  double hitRate() const;
+  /// Folds the hit/miss counters into \p PC (host-side counters).
+  void accumulate(PerfCounters &PC) const;
+  /// @}
+
+  /// Canonical schedule key over the printed program: FNV-1a primary
+  /// plus an independent polynomial check hash.
+  static ScheduleKey keyFor(const sass::Program &Prog);
+
+  /// Primary hash alone (the cache index / noise-seed component).
+  static uint64_t hashSchedule(const sass::Program &Prog);
+
+  /// The order-invariant noise seed for \p Key under \p BaseSeed.
+  static uint64_t deriveSeed(uint64_t BaseSeed, uint64_t Key);
+
+private:
+  struct Entry {
+    double ValueUs = 0.0;
+    uint64_t Check = 0;
+    bool Ready = false;
+    bool Failed = false; ///< Simulation threw; slot is reclaimable.
+  };
+
+  uint64_t BaseSeed;
+  mutable std::mutex Mutex;
+  std::condition_variable Published;
+  std::unordered_map<uint64_t, Entry> Map;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Collisions = 0;
+};
 
 } // namespace gpusim
 } // namespace cuasmrl

@@ -42,6 +42,15 @@ struct PerfCounters {
   uint64_t MemBusyCycles = 0;   ///< Cycles the LSU/DRAM path was busy.
   uint64_t LsuIssues = 0;       ///< Memory instructions entering the LSU.
 
+  /// Host-side measurement-cache accounting (filled by
+  /// MeasurementCache::accumulate, not by the simulator): lookups
+  /// served from the shared cache vs. primary-slot simulations. Rare
+  /// extra simulations (primary-hash collision fallbacks, retries
+  /// after a throwing simulation) are outside these two counters —
+  /// see MeasurementCache::collisions().
+  uint64_t MeasureCacheHits = 0;
+  uint64_t MeasureCacheMisses = 0;
+
   /// \name Derived metrics (Table 3 rows)
   /// @{
   double ipcActive() const {
@@ -82,6 +91,8 @@ struct PerfCounters {
     DramBytes += Other.DramBytes;
     MemBusyCycles += Other.MemBusyCycles;
     LsuIssues += Other.LsuIssues;
+    MeasureCacheHits += Other.MeasureCacheHits;
+    MeasureCacheMisses += Other.MeasureCacheMisses;
     return *this;
   }
 };

@@ -30,6 +30,15 @@ struct EnvStep {
 };
 
 /// Abstract episodic environment with invalid-action masking.
+///
+/// Thread-safety contract: an Env instance is single-threaded — the
+/// rollout engine steps each env from exactly one worker at a time,
+/// never two. Implementations may therefore keep mutable state without
+/// locking, but must not share mutable state *between* instances
+/// unless that state is itself thread-safe (the assembly game shares
+/// only a MeasurementCache, which is). reset()/step()/actionMask() are
+/// called from worker threads; the three shape accessors must be safe
+/// to call at any time.
 class Env {
 public:
   virtual ~Env();

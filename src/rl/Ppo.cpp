@@ -17,120 +17,90 @@ Env::~Env() = default;
 
 namespace {
 
-NetConfig netConfigFor(const std::vector<Env *> &Envs,
-                       const PpoConfig &Config) {
-  assert(!Envs.empty() && "need at least one environment");
+NetConfig netConfigFor(RolloutRunner &Runner, const PpoConfig &Config) {
   NetConfig NC;
-  NC.Features = Envs[0]->obsFeatures();
-  NC.Length = Envs[0]->obsRows();
-  NC.Actions = Envs[0]->actionCount();
+  Env &E = Runner.env(0);
+  NC.Features = E.obsFeatures();
+  NC.Length = E.obsRows();
+  NC.Actions = E.actionCount();
   NC.Channels = Config.Channels;
   NC.Hidden = Config.Hidden;
   return NC;
 }
 
-} // namespace
-
-PpoTrainer::PpoTrainer(std::vector<Env *> E, PpoConfig C)
-    : Envs(std::move(E)), Config(C), SampleRng(C.Seed),
-      Net(netConfigFor(Envs, C), SampleRng),
-      Optimizer(Net.parameters(), C.Lr) {
-  CurrentObs.resize(Envs.size());
-  RunningReturn.assign(Envs.size(), 0.0);
-  for (size_t I = 0; I < Envs.size(); ++I)
-    CurrentObs[I] = Envs[I]->reset();
+std::unique_ptr<RolloutRunner> makeRunner(std::vector<Env *> Envs,
+                                          const PpoConfig &Config) {
+  RolloutConfig RC;
+  RC.Workers = Config.Workers;
+  RC.Seed = Config.Seed;
+  return std::make_unique<RolloutRunner>(std::move(Envs), RC);
 }
 
-unsigned PpoTrainer::sampleAction(const Tensor &MaskedLogits) {
-  // Categorical over the masked softmax.
-  const std::vector<float> &Logits = MaskedLogits.data();
-  float Max = *std::max_element(Logits.begin(), Logits.end());
-  std::vector<double> Probs(Logits.size());
-  double Z = 0.0;
-  for (size_t I = 0; I < Logits.size(); ++I) {
-    Probs[I] = std::exp(static_cast<double>(Logits[I]) - Max);
-    Z += Probs[I];
-  }
-  for (double &P : Probs)
-    P /= Z;
-  return static_cast<unsigned>(SampleRng.categorical(Probs));
+} // namespace
+
+PpoTrainer::PpoTrainer(std::vector<Env *> Envs, PpoConfig C)
+    : OwnedRunner(makeRunner(std::move(Envs), C)), Runner(OwnedRunner.get()),
+      Config(C), SampleRng(C.Seed), Net(netConfigFor(*Runner, C), SampleRng),
+      Optimizer(Net.parameters(), C.Lr) {
+  // RolloutLen == 0 would make train() spin forever on an empty batch.
+  Config.RolloutLen = std::max(1u, Config.RolloutLen);
+}
+
+PpoTrainer::PpoTrainer(RolloutRunner &R, PpoConfig C)
+    : Runner(&R), Config(C), SampleRng(C.Seed),
+      Net(netConfigFor(*Runner, C), SampleRng),
+      Optimizer(Net.parameters(), C.Lr) {
+  Config.RolloutLen = std::max(1u, Config.RolloutLen);
 }
 
 UpdateStats PpoTrainer::update() {
-  const size_t NumEnvs = Envs.size();
-  const size_t T = Config.RolloutLen;
-  std::vector<std::vector<Sample>> Roll(NumEnvs,
-                                        std::vector<Sample>(T));
+  return updateFromBatch(Runner->collect(Net, Config.RolloutLen));
+}
 
-  // ---- rollout ------------------------------------------------------------
-  for (size_t Step = 0; Step < T; ++Step) {
-    for (size_t E = 0; E < NumEnvs; ++E) {
-      Sample &S = Roll[E][Step];
-      S.Obs = CurrentObs[E];
-      S.Mask = Envs[E]->actionMask();
-      bool AnyLegal =
-          std::any_of(S.Mask.begin(), S.Mask.end(),
-                      [](uint8_t M) { return M != 0; });
-      if (!AnyLegal)
-        S.Mask.assign(S.Mask.size(), 1);
+UpdateStats PpoTrainer::updateFromBatch(const TrajectoryBatch &Batch) {
+  const std::vector<Trajectory> &Trajs = Batch.Trajectories;
+  const size_t NumTrajs = Trajs.size();
+  assert(NumTrajs > 0 && "empty trajectory batch");
+  assert(Batch.totalSteps() > 0 && "zero-step trajectory batch");
 
-      ActorCritic::Output Out = Net.forward(S.Obs, S.Mask);
-      S.Action = sampleAction(Out.MaskedLogits);
-      // Log-prob of the chosen action under the masked softmax.
-      const std::vector<float> &Logits = Out.MaskedLogits.data();
-      float Max = *std::max_element(Logits.begin(), Logits.end());
-      double Z = 0.0;
-      for (float L : Logits)
-        Z += std::exp(static_cast<double>(L) - Max);
-      S.LogProb = static_cast<float>(Logits[S.Action] - Max - std::log(Z));
-      S.Value = Out.Value.item();
-
-      EnvStep Res = Envs[E]->step(S.Action);
-      S.Reward = static_cast<float>(Res.Reward);
-      S.Done = Res.Done;
-      RunningReturn[E] += Res.Reward;
-      if (Res.Done) {
-        EpisodeReturns.push_back(RunningReturn[E]);
-        RunningReturn[E] = 0.0;
-        CurrentObs[E] = Envs[E]->reset();
-      } else {
-        CurrentObs[E] = std::move(Res.Obs);
-      }
-    }
-  }
-  StepsDone += static_cast<unsigned>(T * NumEnvs);
+  for (const Trajectory &Traj : Trajs)
+    for (double Return : Traj.CompletedReturns)
+      EpisodeReturns.push_back(Return);
+  StepsDone += static_cast<unsigned>(Batch.totalSteps());
 
   // ---- GAE ------------------------------------------------------------------
-  std::vector<std::vector<float>> Adv(NumEnvs, std::vector<float>(T));
-  std::vector<std::vector<float>> Ret(NumEnvs, std::vector<float>(T));
-  for (size_t E = 0; E < NumEnvs; ++E) {
-    // Bootstrap with the value of the post-rollout observation.
-    std::vector<uint8_t> Mask = Envs[E]->actionMask();
-    if (std::none_of(Mask.begin(), Mask.end(),
-                     [](uint8_t M) { return M != 0; }))
-      Mask.assign(Mask.size(), 1);
-    float NextValue = Net.forward(CurrentObs[E], Mask).Value.item();
+  // Per-trajectory and order-free: each trajectory's advantages depend
+  // only on its own transitions and bootstrap value (batching-invariant
+  // reduction — slot membership in a larger batch changes nothing).
+  std::vector<std::vector<float>> Adv(NumTrajs), Ret(NumTrajs);
+  for (size_t J = 0; J < NumTrajs; ++J) {
+    const Trajectory &Traj = Trajs[J];
+    const size_t T = Traj.Steps.size();
+    Adv[J].resize(T);
+    Ret[J].resize(T);
+    float NextValue =
+        Net.forward(Traj.BootstrapObs, Traj.BootstrapMask).Value.item();
     float Gae = 0.0f;
     for (size_t Step = T; Step-- > 0;) {
-      const Sample &S = Roll[E][Step];
-      float VNext = Step + 1 < T ? Roll[E][Step + 1].Value : NextValue;
+      const Transition &S = Traj.Steps[Step];
+      float VNext = Step + 1 < T ? Traj.Steps[Step + 1].Value : NextValue;
       float NonTerminal = S.Done ? 0.0f : 1.0f;
       float Delta = S.Reward +
                     static_cast<float>(Config.Gamma) * VNext * NonTerminal -
                     S.Value;
       Gae = Delta + static_cast<float>(Config.Gamma * Config.GaeLambda) *
                         NonTerminal * Gae;
-      Adv[E][Step] = Gae;
-      Ret[E][Step] = Gae + S.Value;
+      Adv[J][Step] = Gae;
+      Ret[J][Step] = Gae + S.Value;
     }
   }
 
   // ---- optimization ----------------------------------------------------------
   std::vector<std::pair<size_t, size_t>> Index;
-  Index.reserve(NumEnvs * T);
-  for (size_t E = 0; E < NumEnvs; ++E)
-    for (size_t Step = 0; Step < T; ++Step)
-      Index.push_back({E, Step});
+  Index.reserve(Batch.totalSteps());
+  for (size_t J = 0; J < NumTrajs; ++J)
+    for (size_t Step = 0; Step < Trajs[J].Steps.size(); ++Step)
+      Index.push_back({J, Step});
 
   if (Config.AnnealLr) {
     double Frac = 1.0 - static_cast<double>(StepsDone) /
@@ -142,12 +112,12 @@ UpdateStats PpoTrainer::update() {
          SumClip = 0;
   size_t BatchCount = 0;
 
-  size_t Batch = Index.size();
-  size_t MbSize = std::max<size_t>(1, Batch / Config.MiniBatches);
+  size_t BatchSize = Index.size();
+  size_t MbSize = std::max<size_t>(1, BatchSize / Config.MiniBatches);
   for (unsigned Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
     SampleRng.shuffle(Index);
-    for (size_t Start = 0; Start < Batch; Start += MbSize) {
-      size_t End = std::min(Batch, Start + MbSize);
+    for (size_t Start = 0; Start < BatchSize; Start += MbSize) {
+      size_t End = std::min(BatchSize, Start + MbSize);
       size_t Count = End - Start;
 
       // Advantage normalization within the minibatch.
@@ -165,7 +135,7 @@ UpdateStats PpoTrainer::update() {
       double KlAccum = 0, ClipAccum = 0, EntAccum = 0, PlAccum = 0,
              VlAccum = 0;
       for (size_t I = Start; I < End; ++I) {
-        const Sample &S = Roll[Index[I].first][Index[I].second];
+        const Transition &S = Trajs[Index[I].first].Steps[Index[I].second];
         float A = static_cast<float>(
             Config.NormAdvantage
                 ? (Adv[Index[I].first][Index[I].second] - Mean) / Std

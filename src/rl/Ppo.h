@@ -14,6 +14,11 @@
 /// kernel ("fine-tuning RL's hyperparameters towards a specific case is
 /// very computationally expensive").
 ///
+/// Rollout collection is delegated to a RolloutRunner: the train loop
+/// consumes whole trajectory batches (one fixed-length trajectory per
+/// env slot) instead of stepping a single env inline, so collection
+/// parallelism is an engine property, not an algorithm property.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUASMRL_RL_PPO_H
@@ -22,8 +27,10 @@
 #include "rl/ActorCritic.h"
 #include "rl/Adam.h"
 #include "rl/Env.h"
+#include "rl/RolloutRunner.h"
 #include "support/Rng.h"
 
+#include <memory>
 #include <string>
 
 namespace cuasmrl {
@@ -48,6 +55,15 @@ struct PpoConfig {
   uint64_t Seed = 1;
   size_t Channels = 16; ///< Network width knobs.
   size_t Hidden = 64;
+  /// Rollout worker threads when the trainer builds its own
+  /// RolloutRunner (the env-pointer constructor). Pure wall-clock knob:
+  /// training statistics are bit-identical for every value.
+  /// Precondition for > 1: the envs must be safe to step concurrently
+  /// — for AssemblyGame-backed envs each game needs its own device
+  /// (GameConfig::PrivateDevice); sharing one Gpu across threaded
+  /// games is a data race. core::Optimizer sets this up; hand-built
+  /// pools must too.
+  unsigned Workers = 1;
 };
 
 /// Statistics from one update round (the Figure 8/12 series).
@@ -61,21 +77,48 @@ struct UpdateStats {
   double ClipFraction = 0.0;
 };
 
-/// PPO driver over one or more (vectorized) environments.
+/// PPO driver over a rollout engine.
+///
+/// Thread-safety: a PpoTrainer is driven by one thread; internal
+/// rollout parallelism (Config.Workers / the runner's worker pool)
+/// never escapes a collect call. The network weights are only mutated
+/// inside updateFromBatch(), between collect calls.
 class PpoTrainer {
 public:
+  /// Convenience constructor: wraps \p Envs (non-owning, must outlive
+  /// the trainer) in an internal RolloutRunner with Config.Workers
+  /// workers and per-slot Rng streams seeded from Config.Seed.
   PpoTrainer(std::vector<Env *> Envs, PpoConfig Config);
+
+  /// Trains over an external rollout engine (e.g. one owning
+  /// AssemblyGame envs with a shared MeasurementCache). \p Runner must
+  /// outlive the trainer.
+  PpoTrainer(RolloutRunner &Runner, PpoConfig Config);
 
   /// One rollout + optimization phase.
   UpdateStats update();
+
+  /// The optimization phase alone: GAE over \p Batch, then the
+  /// clipped-surrogate minibatch epochs. GAE is per-trajectory (a
+  /// trajectory's advantages are identical however many siblings and
+  /// workers collected alongside it), and the whole update is
+  /// worker-count invariant for a fixed env count. The minibatch
+  /// shuffle and advantage normalization DO depend on the batch's
+  /// total size, so different env counts legitimately train
+  /// differently.
+  UpdateStats updateFromBatch(const TrajectoryBatch &Batch);
 
   /// Runs update() until TotalSteps; returns the per-update series.
   std::vector<UpdateStats> train();
 
   ActorCritic &net() { return Net; }
   const ActorCritic &net() const { return Net; }
+  RolloutRunner &runner() { return *Runner; }
 
-  /// Episodic returns in completion order (Figure 8 series).
+  /// Episodic returns, slot-major per update (all of slot 0's
+  /// completions, then slot 1's, ...; completion order within a slot).
+  /// This is the deterministic ordering the worker-invariance contract
+  /// requires — the Figure 8 series.
   const std::vector<double> &episodicReturns() const {
     return EpisodeReturns;
   }
@@ -85,26 +128,13 @@ public:
   std::vector<unsigned> playGreedy(Env &E, unsigned MaxSteps);
 
 private:
-  struct Sample {
-    std::vector<float> Obs;
-    std::vector<uint8_t> Mask;
-    unsigned Action = 0;
-    float LogProb = 0.0f;
-    float Value = 0.0f;
-    float Reward = 0.0f;
-    bool Done = false;
-  };
-
-  unsigned sampleAction(const Tensor &MaskedLogits);
-
-  std::vector<Env *> Envs;
+  std::unique_ptr<RolloutRunner> OwnedRunner; ///< Env-pointer ctor only.
+  RolloutRunner *Runner;
   PpoConfig Config;
-  Rng SampleRng;
+  Rng SampleRng; ///< Net init + minibatch shuffling (not action sampling).
   ActorCritic Net;
   Adam Optimizer;
 
-  std::vector<std::vector<float>> CurrentObs; ///< Per env.
-  std::vector<double> RunningReturn;          ///< Per env.
   std::vector<double> EpisodeReturns;
   unsigned StepsDone = 0;
 };

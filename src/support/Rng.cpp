@@ -11,12 +11,19 @@
 
 using namespace cuasmrl;
 
-static uint64_t splitmix64(uint64_t &X) {
-  X += 0x9e3779b97f4a7c15ull;
-  uint64_t Z = X;
+static uint64_t splitmix64Finalize(uint64_t Z) {
   Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
   Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
   return Z ^ (Z >> 31);
+}
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  return splitmix64Finalize(X);
+}
+
+uint64_t cuasmrl::mixSeed(uint64_t Seed, uint64_t Key) {
+  return splitmix64Finalize(Seed ^ (Key + 0x9e3779b97f4a7c15ull));
 }
 
 Rng::Rng(uint64_t Seed) {

@@ -23,6 +23,12 @@
 
 namespace cuasmrl {
 
+/// splitmix64-finalizer mix of two words: derives a well-separated
+/// child seed as a pure function of (Seed, Key) — the primitive behind
+/// every order-invariant seed derivation (per-env sampling streams,
+/// per-schedule measurement noise).
+uint64_t mixSeed(uint64_t Seed, uint64_t Key);
+
 /// xoshiro256** 1.0 pseudo-random generator (public-domain algorithm by
 /// Blackman & Vigna) seeded via splitmix64.
 class Rng {

@@ -1,0 +1,94 @@
+//===- support/ThreadPool.cpp ------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+using namespace cuasmrl;
+using namespace cuasmrl::support;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned Count = Threads ? Threads : 1;
+  Workers.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllIdle.wait(Lock, [this] { return InFlight == 0; });
+    ShuttingDown = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push(std::move(Task));
+    ++InFlight;
+  }
+  HasWork.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      HasWork.wait(Lock,
+                   [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // ShuttingDown and drained.
+      Task = std::move(Queue.front());
+      Queue.pop();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --InFlight;
+    }
+    AllIdle.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  // One shared error slot: the first failure wins, later ones are
+  // dropped (every index still runs so partial results stay coherent).
+  struct ErrorSlot {
+    std::mutex M;
+    std::exception_ptr First;
+  };
+  auto Error = std::make_shared<ErrorSlot>();
+  for (size_t I = 0; I < N; ++I) {
+    submit([&Fn, I, Error] {
+      try {
+        Fn(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(Error->M);
+        if (!Error->First)
+          Error->First = std::current_exception();
+      }
+    });
+  }
+  wait();
+  if (Error->First)
+    std::rethrow_exception(Error->First);
+}

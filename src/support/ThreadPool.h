@@ -1,0 +1,80 @@
+//===- support/ThreadPool.h - Fixed-size worker thread pool ------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool for the parallel rollout engine (and any
+/// future async autotune sweeps). Deliberately minimal: FIFO task queue,
+/// blocking wait-for-drain, and a parallelFor convenience that is the
+/// only surface most callers need.
+///
+/// Thread-safety contract: submit(), wait() and parallelFor() may be
+/// called from any single driver thread (they are mutually
+/// thread-safe, but the pool is designed for one producer). Tasks run
+/// concurrently on the worker threads and must synchronize any shared
+/// state themselves. The destructor drains the queue, then joins every
+/// worker; it must not be invoked from inside a task.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_THREADPOOL_H
+#define CUASMRL_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cuasmrl {
+namespace support {
+
+/// Fixed-size FIFO thread pool.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (clamped to >= 1).
+  explicit ThreadPool(unsigned Threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task for asynchronous execution. \p Task must not
+  /// throw: an exception escaping a directly submitted task leaves the
+  /// worker's thread function and terminates the process. Use
+  /// parallelFor for exception-safe batches — it catches per-index
+  /// failures and rethrows the first one on the caller's thread.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait();
+
+  /// Runs Fn(0) .. Fn(N-1) across the pool and blocks until all are
+  /// done. If any invocation throws, the first exception (in completion
+  /// order) is rethrown here after every index has been attempted.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable HasWork;  ///< Signals workers.
+  std::condition_variable AllIdle;  ///< Signals wait().
+  size_t InFlight = 0;              ///< Queued + currently running.
+  bool ShuttingDown = false;
+};
+
+} // namespace support
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_THREADPOOL_H

@@ -7,10 +7,12 @@
 #include "env/AssemblyGame.h"
 #include "env/Embedding.h"
 #include "sass/Parser.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 using namespace cuasmrl;
@@ -421,4 +423,94 @@ TEST(GameTest, SwapAllowedWhenProducerStallAloneSuffices) {
   kernels::BuiltKernel K = craftedStallKernel(Device, /*ProducerStall=*/5);
   AssemblyGame Game(Device, K, craftedConfig());
   EXPECT_TRUE(Game.swapLegal(5));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared measurement cache across sibling games
+//===----------------------------------------------------------------------===//
+
+TEST(GameTest, SharedCacheSkipsSiblingInitialMeasurement) {
+  GameFixture F;
+  auto Cache = std::make_shared<gpusim::MeasurementCache>(1);
+  F.Config.SharedCache = Cache;
+  AssemblyGame First(F.Device, F.Kernel, F.Config);
+  EXPECT_GT(First.measurementsTaken(), 0u);
+  EXPECT_EQ(Cache->misses(), 1u);
+
+  // The sibling plays the same kernel: its initial schedule is already
+  // cached, so construction simulates nothing.
+  AssemblyGame Second(F.Device, F.Kernel, F.Config);
+  EXPECT_EQ(Second.measurementsTaken(), 0u);
+  EXPECT_EQ(Cache->misses(), 1u);
+  EXPECT_GE(Cache->hits(), 1u);
+  EXPECT_EQ(First.initialTimeUs(), Second.initialTimeUs());
+}
+
+TEST(GameTest, CachedLatencyInvariantToWhichGameMeasuresFirst) {
+  // The noise seed derives from the schedule key, never from arrival
+  // order: a schedule's latency is identical whether a game measured
+  // it via its private cache or inherited it from a sibling.
+  GameFixture F;
+  F.Config.Measure.NoiseStddev = 0.003; // Noise on: the hard case.
+
+  AssemblyGame Private(F.Device, F.Kernel, F.Config); // Own cache.
+  auto Cache = std::make_shared<gpusim::MeasurementCache>(1);
+  F.Config.SharedCache = Cache;
+  AssemblyGame SharedA(F.Device, F.Kernel, F.Config);
+  AssemblyGame SharedB(F.Device, F.Kernel, F.Config);
+
+  Private.reset();
+  SharedA.reset();
+  SharedB.reset();
+  std::vector<uint8_t> Mask = Private.actionMask();
+  unsigned Action = 0;
+  while (!Mask[Action])
+    ++Action;
+  double RPrivate = Private.step(Action).Reward;
+  double RSharedA = SharedA.step(Action).Reward;  // Simulates.
+  double RSharedB = SharedB.step(Action).Reward;  // Pure cache hit.
+  EXPECT_EQ(RPrivate, RSharedA);
+  EXPECT_EQ(RSharedA, RSharedB);
+}
+
+TEST(GameTest, ConcurrentSiblingGamesMatchSerialRewards) {
+  // Two games with private devices and a shared cache, stepped from
+  // two threads, must reproduce the serial single-game reward sequence
+  // exactly (the engine's worker-count determinism at the env level).
+  GameFixture F;
+  auto StepGreedyFirstLegal = [](AssemblyGame &Game, unsigned Steps) {
+    std::vector<double> Rewards;
+    Game.reset();
+    for (unsigned I = 0; I < Steps; ++I) {
+      std::vector<uint8_t> Mask = Game.actionMask();
+      unsigned Action = 0;
+      while (Action < Mask.size() && !Mask[Action])
+        ++Action;
+      if (Action == Mask.size())
+        break;
+      Rewards.push_back(Game.step(Action).Reward);
+    }
+    return Rewards;
+  };
+
+  AssemblyGame Serial(F.Device, F.Kernel, F.Config);
+  std::vector<double> Expected = StepGreedyFirstLegal(Serial, 6);
+
+  auto Cache = std::make_shared<gpusim::MeasurementCache>(1);
+  F.Config.SharedCache = Cache;
+  F.Config.PrivateDevice = true;
+  AssemblyGame GameA(F.Device, F.Kernel, F.Config);
+  AssemblyGame GameB(F.Device, F.Kernel, F.Config);
+
+  std::vector<double> RewardsA, RewardsB;
+  support::ThreadPool Pool(2);
+  Pool.parallelFor(2, [&](size_t I) {
+    if (I == 0)
+      RewardsA = StepGreedyFirstLegal(GameA, 6);
+    else
+      RewardsB = StepGreedyFirstLegal(GameB, 6);
+  });
+
+  EXPECT_EQ(RewardsA, Expected);
+  EXPECT_EQ(RewardsB, Expected);
 }

@@ -17,10 +17,15 @@
 #include "gpusim/Measurement.h"
 #include "sass/Parser.h"
 #include "sass/Program.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <thread>
 
 using namespace cuasmrl;
 using namespace cuasmrl::gpusim;
@@ -495,4 +500,184 @@ TEST(Measure, InvalidScheduleReported) {
   Measurement M = measureKernel(Device, P, L);
   EXPECT_FALSE(M.Valid);
   EXPECT_FALSE(M.FaultReason.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// MeasurementCache (shared, thread-safe schedule->latency memoization)
+//===----------------------------------------------------------------------===//
+
+TEST(MeasurementCacheTest, MissComputesThenHitReturnsCachedValue) {
+  MeasurementCache Cache(7);
+  int Simulations = 0;
+  auto Simulate = [&Simulations](uint64_t) {
+    ++Simulations;
+    return 42.5;
+  };
+  MeasurementCache::ScheduleKey Key{0xabc, 0x111};
+  EXPECT_EQ(Cache.measureOrCompute(Key, Simulate), 42.5);
+  EXPECT_EQ(Cache.measureOrCompute(Key, Simulate), 42.5);
+  EXPECT_EQ(Simulations, 1);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  double Value = 0;
+  EXPECT_TRUE(Cache.lookup(Key, Value));
+  EXPECT_EQ(Value, 42.5);
+  EXPECT_FALSE(Cache.lookup({0xdef, 0x111}, Value));
+  // Collision guard: same primary, different schedule -> not found.
+  EXPECT_FALSE(Cache.lookup({0xabc, 0x222}, Value));
+}
+
+TEST(MeasurementCacheTest, NoiseSeedDependsOnKeyNotOrder) {
+  // Cached values must be interleaving-invariant: the seed handed to
+  // the simulation is a pure function of (base seed, key).
+  uint64_t S1 = MeasurementCache::deriveSeed(1, 100);
+  EXPECT_EQ(S1, MeasurementCache::deriveSeed(1, 100));
+  EXPECT_NE(S1, MeasurementCache::deriveSeed(1, 101));
+  EXPECT_NE(S1, MeasurementCache::deriveSeed(2, 100));
+
+  MeasurementCache A(9), B(9);
+  auto Echo = [](uint64_t Seed) { return static_cast<double>(Seed % 997); };
+  // Different insertion orders, same values per key.
+  double A1 = A.measureOrCompute({11, 1}, Echo),
+         A2 = A.measureOrCompute({22, 2}, Echo);
+  double B2 = B.measureOrCompute({22, 2}, Echo),
+         B1 = B.measureOrCompute({11, 1}, Echo);
+  EXPECT_EQ(A1, B1);
+  EXPECT_EQ(A2, B2);
+}
+
+TEST(MeasurementCacheTest, SingleSimulationPerKeyUnderContention) {
+  MeasurementCache Cache(3);
+  constexpr int Threads = 8;
+  std::atomic<int> Simulations{0};
+  std::vector<double> Results(Threads, 0.0);
+
+  support::ThreadPool Pool(Threads);
+  Pool.parallelFor(Threads, [&](size_t I) {
+    Results[I] = Cache.measureOrCompute({0x5eed, 0xc0de}, [&](uint64_t Seed) {
+      Simulations.fetch_add(1);
+      // Slow simulation: keep the key in flight long enough that the
+      // other threads arrive while it is being computed.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return static_cast<double>(Seed & 0xffff) + 0.25;
+    });
+  });
+
+  EXPECT_EQ(Simulations.load(), 1) << "exactly one thread simulates";
+  for (double R : Results)
+    EXPECT_EQ(R, Results[0]) << "every waiter sees the published value";
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), static_cast<uint64_t>(Threads - 1));
+}
+
+TEST(MeasurementCacheTest, ConcurrentDistinctKeysAllPublished) {
+  MeasurementCache Cache(5);
+  constexpr int Threads = 6;
+  constexpr uint64_t Keys = 40;
+  std::atomic<int> Simulations{0};
+
+  support::ThreadPool Pool(Threads);
+  // Every thread walks every key in a different order.
+  Pool.parallelFor(Threads, [&](size_t T) {
+    for (uint64_t I = 0; I < Keys; ++I) {
+      uint64_t Key = (I * 7919 + T * T) % Keys;
+      double V = Cache.measureOrCompute({Key, ~Key}, [&](uint64_t Seed) {
+        Simulations.fetch_add(1);
+        return static_cast<double>(Seed % 1000);
+      });
+      EXPECT_EQ(V, static_cast<double>(
+                       MeasurementCache::deriveSeed(5, ~Key) % 1000));
+    }
+  });
+
+  EXPECT_EQ(static_cast<uint64_t>(Simulations.load()), Keys)
+      << "each key simulated exactly once across all threads";
+  EXPECT_EQ(Cache.size(), Keys);
+  EXPECT_EQ(Cache.misses(), Keys);
+  EXPECT_EQ(Cache.hits() + Cache.misses(),
+            static_cast<uint64_t>(Threads) * Keys);
+}
+
+TEST(MeasurementCacheTest, AccumulateSurfacesCountersThroughPerfCounters) {
+  MeasurementCache Cache(1);
+  auto One = [](uint64_t) { return 1.0; };
+  Cache.measureOrCompute({1, 1}, One);
+  Cache.measureOrCompute({1, 1}, One);
+  Cache.measureOrCompute({2, 2}, One);
+  PerfCounters PC;
+  Cache.accumulate(PC);
+  EXPECT_EQ(PC.MeasureCacheHits, 1u);
+  EXPECT_EQ(PC.MeasureCacheMisses, 2u);
+  // Counters fold through the existing aggregation operator.
+  PerfCounters Sum;
+  Sum += PC;
+  Sum += PC;
+  EXPECT_EQ(Sum.MeasureCacheHits, 2u);
+  EXPECT_EQ(Sum.MeasureCacheMisses, 4u);
+}
+
+TEST(MeasurementCacheTest, HashScheduleDistinguishesPrograms) {
+  Expected<sass::Program> P1 = sass::Parser::parseProgram(
+      "  [B------:R-:W-:-:S01] MOV R0, 0x1 ;\n"
+      "  [B------:R-:W-:-:S01] MOV R1, 0x2 ;\n");
+  Expected<sass::Program> P2 = sass::Parser::parseProgram(
+      "  [B------:R-:W-:-:S01] MOV R1, 0x2 ;\n"
+      "  [B------:R-:W-:-:S01] MOV R0, 0x1 ;\n");
+  ASSERT_TRUE(P1.hasValue());
+  ASSERT_TRUE(P2.hasValue());
+  EXPECT_EQ(MeasurementCache::hashSchedule(*P1),
+            MeasurementCache::hashSchedule(*P1));
+  EXPECT_NE(MeasurementCache::hashSchedule(*P1),
+            MeasurementCache::hashSchedule(*P2));
+}
+
+TEST(MeasurementCacheTest, PrimaryCollisionFallsBackUncached) {
+  MeasurementCache Cache(1);
+  int Simulations = 0;
+  auto Count = [&Simulations](uint64_t Seed) {
+    ++Simulations;
+    return static_cast<double>(Seed % 97);
+  };
+  // Two distinct schedules colliding on the primary hash: the second
+  // must not inherit the first one's latency.
+  double First = Cache.measureOrCompute({0x77, 0xaaa}, Count);
+  double Second = Cache.measureOrCompute({0x77, 0xbbb}, Count);
+  EXPECT_EQ(Simulations, 2);
+  EXPECT_EQ(Cache.collisions(), 1u);
+  EXPECT_EQ(First, static_cast<double>(
+                       MeasurementCache::deriveSeed(1, 0xaaa) % 97));
+  EXPECT_EQ(Second, static_cast<double>(
+                        MeasurementCache::deriveSeed(1, 0xbbb) % 97));
+  // The collision path is itself order-invariant: repeating the
+  // colliding lookup simulates again with the same seed.
+  EXPECT_EQ(Cache.measureOrCompute({0x77, 0xbbb}, Count), Second);
+  EXPECT_EQ(Cache.collisions(), 2u);
+}
+
+TEST(MeasurementCacheTest, KeyForProducesIndependentHashes) {
+  Expected<sass::Program> P = sass::Parser::parseProgram(
+      "  [B------:R-:W-:-:S01] MOV R0, 0x1 ;\n");
+  ASSERT_TRUE(P.hasValue());
+  MeasurementCache::ScheduleKey K = MeasurementCache::keyFor(*P);
+  EXPECT_EQ(K.Primary, MeasurementCache::hashSchedule(*P));
+  EXPECT_NE(K.Primary, K.Check);
+}
+
+TEST(MeasurementCacheTest, FailedSimulationLeavesKeyReclaimable) {
+  MeasurementCache Cache(1);
+  MeasurementCache::ScheduleKey Key{5, 6};
+  EXPECT_THROW(Cache.measureOrCompute(
+                   Key,
+                   [](uint64_t) -> double {
+                     throw std::runtime_error("transient");
+                   }),
+               std::runtime_error);
+  double Probe = 0;
+  EXPECT_FALSE(Cache.lookup(Key, Probe)) << "failed keys are not published";
+  // A retry recomputes instead of inheriting a poisoned value.
+  EXPECT_EQ(Cache.measureOrCompute(Key, [](uint64_t) { return 3.5; }), 3.5);
+  EXPECT_TRUE(Cache.lookup(Key, Probe));
+  EXPECT_EQ(Probe, 3.5);
 }

@@ -8,11 +8,15 @@
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 using namespace cuasmrl;
 
@@ -187,4 +191,64 @@ TEST(ErrorTy, ExpectedValueAndError) {
   ASSERT_FALSE(Bad.hasValue());
   EXPECT_EQ(Bad.error().message(), "bad things");
   EXPECT_NE(Bad.error().str().find("line 3"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  support::ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Counts(257);
+  for (std::atomic<int> &C : Counts)
+    C = 0;
+  Pool.parallelFor(Counts.size(),
+                   [&](size_t I) { Counts[I].fetch_add(1); });
+  for (const std::atomic<int> &C : Counts)
+    EXPECT_EQ(C.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWaitDrains) {
+  support::ThreadPool Pool(3);
+  std::atomic<int> Done{0};
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&Done] { Done.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Done.load(), 64);
+  // The pool is reusable after a drain.
+  Pool.submit([&Done] { Done.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Done.load(), 65);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  support::ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(16,
+                                [&](size_t I) {
+                                  Ran.fetch_add(1);
+                                  if (I == 7)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // Every index still ran: one failure does not cancel the batch.
+  EXPECT_EQ(Ran.load(), 16);
+}
+
+TEST(ThreadPool, DestructorJoinsOutstandingWork) {
+  std::atomic<int> Done{0};
+  {
+    support::ThreadPool Pool(2);
+    for (int I = 0; I < 32; ++I)
+      Pool.submit([&Done] { Done.fetch_add(1); });
+  } // Destructor must drain, then join.
+  EXPECT_EQ(Done.load(), 32);
+}
+
+TEST(ThreadPool, ZeroThreadRequestClampsToOne) {
+  support::ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  std::atomic<int> Done{0};
+  Pool.parallelFor(5, [&](size_t) { Done.fetch_add(1); });
+  EXPECT_EQ(Done.load(), 5);
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Checks that intra-repo markdown links do not dangle.
+
+Scans every tracked .md file for inline links/images whose target is a
+relative path (external URLs and pure #anchors are skipped) and fails
+if the target does not exist relative to the linking file. Used by the
+CI docs job; run locally from the repo root:
+
+    python3 tools/check_markdown_links.py
+
+Limitations (deliberate, to keep this a simple line scanner): links
+whose [text](target) spans a line wrap and reference-style links
+([text][ref]) are not checked — keep intra-repo links inline and on
+one line.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", ".claude"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if "://" in target or target.startswith(("#", "mailto:")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                if target.startswith("/"):
+                    resolved = os.path.join(root, target.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target)
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    errors.append(f"{rel}:{lineno}: dangling link -> {target}")
+    return errors
+
+
+def main():
+    root = os.getcwd()
+    files = sorted(markdown_files(root))
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} markdown files: "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} dangling)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
