@@ -1,0 +1,247 @@
+//===- bench/bench_env_step.cpp - env-step throughput benchmark --------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Single-env step throughput of the assembly game on the GEMM and
+// attention kernels — the number that bounds rollout collection speed —
+// plus a per-phase breakdown (decode / execute / mask / hash / embed) so
+// the perf trajectory of each hot-path component is tracked across PRs.
+//
+// Emits a machine-readable JSON report (see tools/run_benchmarks.py):
+//
+//   bench_env_step [--json PATH] [--steps N] [--paper]
+//
+// Env overrides: CUASMRL_STEPS (step budget), CUASMRL_FAST=1 (1/8 budget).
+//
+//===----------------------------------------------------------------------===//
+
+#include "env/AssemblyGame.h"
+#include "kernels/Builder.h"
+#include "sass/Parser.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Rates of the individual per-step phases, in operations per second.
+struct PhaseRates {
+  double MaskCached = 0.0;  ///< actionMask() as the env exposes it.
+  double MaskFresh = 0.0;   ///< Full O(program) legality sweep.
+  double HashKey = 0.0;     ///< Schedule key as measure() obtains it.
+  double HashFresh = 0.0;   ///< From-scratch schedule key.
+  double Embed = 0.0;       ///< Full observation rebuild.
+  double Decode = 0.0;      ///< Pre-decoded kernel image build.
+  double SimTimed = 0.0;    ///< One timed simulation (execute phase).
+};
+
+struct KernelReport {
+  std::string Name;
+  unsigned Steps = 0;
+  double Seconds = 0.0;
+  double StepsPerSec = 0.0;
+  double CacheHitRate = 0.0;
+  PhaseRates Phases;
+};
+
+unsigned stepBudget(unsigned Default) {
+  if (const char *Env = std::getenv("CUASMRL_STEPS"))
+    if (unsigned V = static_cast<unsigned>(std::atoi(Env)))
+      Default = V;
+  if (const char *Fast = std::getenv("CUASMRL_FAST"))
+    if (std::strcmp(Fast, "1") == 0)
+      Default = std::max(64u, Default / 8);
+  return Default;
+}
+
+/// Times \p Fn repeatedly for ~\p Budget seconds; returns calls/second.
+template <typename Fn> double rate(double Budget, Fn &&Body) {
+  // One untimed call warms caches and proves the operation works.
+  Body();
+  uint64_t Calls = 0;
+  Clock::time_point Start = Clock::now();
+  double Elapsed = 0.0;
+  do {
+    Body();
+    ++Calls;
+    Elapsed = secondsSince(Start);
+  } while (Elapsed < Budget);
+  return static_cast<double>(Calls) / Elapsed;
+}
+
+KernelReport benchKernel(WorkloadKind Kind, unsigned Steps, bool Paper) {
+  KernelReport Rep;
+  Rep.Name = workloadName(Kind);
+  Rep.Steps = Steps;
+
+  gpusim::Gpu Device;
+  Rng DataRng(7);
+  WorkloadShape Shape = Paper ? paperShape(Kind) : testShape(Kind);
+  BuiltKernel Kernel =
+      buildKernel(Device, Kind, Shape, candidateConfigs(Kind).front(),
+                  ScheduleStyle::TritonO3, DataRng);
+
+  env::GameConfig Config;
+  Config.Measure.WarmupIters = 1;
+  Config.Measure.RepeatIters = 1;
+  Config.Measure.NoiseStddev = 0.001;
+  Config.RecordTrace = false;
+  env::AssemblyGame Game(Device, Kernel, Config);
+
+  // --- end-to-end step throughput (random legal-action walk) ------------
+  Rng Walk(1);
+  Game.reset();
+  std::vector<unsigned> Legal;
+  unsigned Performed = 0; // Actual step() calls (reset-only laps excluded).
+  Clock::time_point Start = Clock::now();
+  for (unsigned Lap = 0; Lap < Steps; ++Lap) {
+    std::vector<uint8_t> Mask = Game.actionMask();
+    Legal.clear();
+    for (unsigned A = 0; A < Mask.size(); ++A)
+      if (Mask[A])
+        Legal.push_back(A);
+    if (Legal.empty()) {
+      Game.reset();
+      continue;
+    }
+    unsigned Action = Legal[Walk.uniformInt(Legal.size())];
+    env::AssemblyGame::StepResult R = Game.step(Action);
+    ++Performed;
+    if (R.Done)
+      Game.reset();
+  }
+  Rep.Seconds = secondsSince(Start);
+  Rep.Steps = Performed;
+  Rep.StepsPerSec = Performed / Rep.Seconds;
+  if (const gpusim::MeasurementCache *Cache = Game.measurementCache())
+    Rep.CacheHitRate = Cache->hitRate();
+
+  // --- per-phase rates ---------------------------------------------------
+  const double Budget = 0.2; // Seconds per phase probe.
+  Rep.Phases.MaskCached = rate(Budget, [&] {
+    std::vector<uint8_t> M = Game.actionMask();
+    (void)M;
+  });
+  Rep.Phases.MaskFresh = rate(Budget, [&] {
+    std::vector<uint8_t> M = Game.actionMaskFresh();
+    (void)M;
+  });
+  Rep.Phases.HashKey = rate(Budget, [&] { (void)Game.scheduleKey(); });
+  Rep.Phases.HashFresh = rate(Budget, [&] {
+    (void)gpusim::MeasurementCache::keyFor(Game.current());
+  });
+  env::Embedding Embed(Kernel.Prog);
+  Rep.Phases.Embed = rate(Budget, [&] {
+    std::vector<float> Obs = Embed.embed(Game.current());
+    (void)Obs;
+  });
+  Rep.Phases.Decode = rate(Budget, [&] {
+    gpusim::DecodedProgram D(Game.current());
+    (void)D;
+  });
+  unsigned Resident = Device.residentBlocks(Kernel.Launch);
+  Rep.Phases.SimTimed = rate(Budget, [&] {
+    gpusim::RunResult R = Device.run(Game.current(), Kernel.Launch,
+                                     gpusim::RunMode::Timed, Resident);
+    (void)R;
+  });
+  return Rep;
+}
+
+void printJson(std::FILE *Out, const std::vector<KernelReport> &Reports,
+               unsigned Steps, bool Paper) {
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"env_step\",\n");
+  std::fprintf(Out, "  \"steps_per_kernel\": %u,\n", Steps);
+  std::fprintf(Out, "  \"shape\": \"%s\",\n", Paper ? "paper" : "test");
+  std::fprintf(Out, "  \"kernels\": [\n");
+  for (size_t I = 0; I < Reports.size(); ++I) {
+    const KernelReport &R = Reports[I];
+    std::fprintf(Out, "    {\n");
+    std::fprintf(Out, "      \"name\": \"%s\",\n", R.Name.c_str());
+    std::fprintf(Out, "      \"steps\": %u,\n", R.Steps);
+    std::fprintf(Out, "      \"seconds\": %.6f,\n", R.Seconds);
+    std::fprintf(Out, "      \"steps_per_sec\": %.2f,\n", R.StepsPerSec);
+    std::fprintf(Out, "      \"measure_cache_hit_rate\": %.4f,\n",
+                 R.CacheHitRate);
+    std::fprintf(Out, "      \"phases_per_sec\": {\n");
+    std::fprintf(Out, "        \"mask_cached\": %.2f,\n",
+                 R.Phases.MaskCached);
+    std::fprintf(Out, "        \"mask_fresh\": %.2f,\n", R.Phases.MaskFresh);
+    std::fprintf(Out, "        \"hash_key\": %.2f,\n", R.Phases.HashKey);
+    std::fprintf(Out, "        \"hash_fresh\": %.2f,\n", R.Phases.HashFresh);
+    std::fprintf(Out, "        \"embed_full\": %.2f,\n", R.Phases.Embed);
+    std::fprintf(Out, "        \"decode_full\": %.2f,\n", R.Phases.Decode);
+    std::fprintf(Out, "        \"sim_timed\": %.2f\n", R.Phases.SimTimed);
+    std::fprintf(Out, "      }\n");
+    std::fprintf(Out, "    }%s\n", I + 1 < Reports.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n");
+  std::fprintf(Out, "}\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Steps = stepBudget(384);
+  bool Paper = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (Arg == "--steps" && I + 1 < argc)
+      Steps = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (Arg == "--paper")
+      Paper = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--steps N] [--paper]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<KernelReport> Reports;
+  for (WorkloadKind Kind :
+       {WorkloadKind::MmLeakyRelu, WorkloadKind::FlashAttention}) {
+    KernelReport R = benchKernel(Kind, Steps, Paper);
+    std::printf("%-16s %6u steps in %7.3f s  ->  %9.1f steps/s  "
+                "(cache hit %.1f%%)\n",
+                R.Name.c_str(), R.Steps, R.Seconds, R.StepsPerSec,
+                100.0 * R.CacheHitRate);
+    std::printf("  phases/s: mask %.0f (fresh %.0f)  hash %.0f (fresh %.0f)"
+                "  embed %.0f  decode %.0f  sim %.0f\n",
+                R.Phases.MaskCached, R.Phases.MaskFresh, R.Phases.HashKey,
+                R.Phases.HashFresh, R.Phases.Embed, R.Phases.Decode,
+                R.Phases.SimTimed);
+    Reports.push_back(std::move(R));
+  }
+
+  printJson(stdout, Reports, Steps, Paper);
+  if (!JsonPath.empty()) {
+    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open %s\n", JsonPath.c_str());
+      return 1;
+    }
+    printJson(Out, Reports, Steps, Paper);
+    std::fclose(Out);
+  }
+  return 0;
+}

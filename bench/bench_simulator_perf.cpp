@@ -44,7 +44,8 @@ Fixture &fixture() {
 
 } // namespace
 
-/// One timed simulation of the fused GEMM kernel (the reward oracle).
+/// One timed simulation of the fused GEMM kernel (the reward oracle),
+/// including the per-call program decode.
 static void BM_TimedSimulation(benchmark::State &State) {
   Fixture &F = fixture();
   unsigned Resident = F.Device.residentBlocks(F.Kernel.Launch);
@@ -55,6 +56,31 @@ static void BM_TimedSimulation(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_TimedSimulation)->Unit(benchmark::kMillisecond);
+
+/// The execute phase alone: timed simulation through a pre-decoded
+/// kernel image (what the env pays per warmup/repeat iteration).
+static void BM_TimedSimulationPredecoded(benchmark::State &State) {
+  Fixture &F = fixture();
+  gpusim::DecodedProgram Decoded(F.Kernel.Prog);
+  unsigned Resident = F.Device.residentBlocks(F.Kernel.Launch);
+  for (auto _ : State) {
+    gpusim::RunResult R =
+        F.Device.run(F.Kernel.Prog, Decoded, F.Kernel.Launch,
+                     gpusim::RunMode::Timed, Resident);
+    benchmark::DoNotOptimize(R.Cycles);
+  }
+}
+BENCHMARK(BM_TimedSimulationPredecoded)->Unit(benchmark::kMillisecond);
+
+/// The decode phase alone: building the pre-decoded kernel image.
+static void BM_DecodeProgram(benchmark::State &State) {
+  Fixture &F = fixture();
+  for (auto _ : State) {
+    gpusim::DecodedProgram D(F.Kernel.Prog);
+    benchmark::DoNotOptimize(D.size());
+  }
+}
+BENCHMARK(BM_DecodeProgram);
 
 /// Architectural-oracle execution (probabilistic-testing reference).
 static void BM_OracleSimulation(benchmark::State &State) {
@@ -90,7 +116,8 @@ static void BM_Embedding(benchmark::State &State) {
 }
 BENCHMARK(BM_Embedding);
 
-/// Action-mask evaluation over the whole action space (§3.5).
+/// Action-mask read as the rollout loop sees it (incrementally
+/// maintained; a call is an O(actions) copy).
 static void BM_ActionMask(benchmark::State &State) {
   Fixture &F = fixture();
   env::GameConfig G;
@@ -103,6 +130,63 @@ static void BM_ActionMask(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ActionMask);
+
+/// The mask phase at full cost: from-scratch legality sweep over every
+/// movable pair (what actionMask() used to do on every call).
+static void BM_ActionMaskFresh(benchmark::State &State) {
+  Fixture &F = fixture();
+  env::GameConfig G;
+  G.Measure.WarmupIters = 1;
+  G.Measure.RepeatIters = 1;
+  env::AssemblyGame Game(F.Device, F.Kernel, G);
+  for (auto _ : State) {
+    std::vector<uint8_t> Mask = Game.actionMaskFresh();
+    benchmark::DoNotOptimize(Mask.data());
+  }
+}
+BENCHMARK(BM_ActionMaskFresh);
+
+/// The hash phase: from-scratch schedule key (per-statement hashing).
+static void BM_ScheduleKeyFresh(benchmark::State &State) {
+  Fixture &F = fixture();
+  for (auto _ : State) {
+    gpusim::MeasurementCache::ScheduleKey Key =
+        gpusim::MeasurementCache::keyFor(F.Kernel.Prog);
+    benchmark::DoNotOptimize(Key.Primary);
+  }
+}
+BENCHMARK(BM_ScheduleKeyFresh);
+
+/// The hash phase as the env pays it: one O(1) swap update of the
+/// maintained schedule key.
+static void BM_ScheduleHashSwap(benchmark::State &State) {
+  Fixture &F = fixture();
+  gpusim::ScheduleHash H(F.Kernel.Prog);
+  // Any adjacent instruction pair works: the update cost is uniform.
+  size_t Upper = 0;
+  while (Upper + 1 < F.Kernel.Prog.size() &&
+         !(F.Kernel.Prog.stmt(Upper).isInstr() &&
+           F.Kernel.Prog.stmt(Upper + 1).isInstr()))
+    ++Upper;
+  for (auto _ : State) {
+    H.swap(Upper);
+    benchmark::DoNotOptimize(H.key().Primary);
+  }
+}
+BENCHMARK(BM_ScheduleHashSwap);
+
+/// The embed phase as the env pays it: one adjacent row swap of the
+/// cached observation matrix.
+static void BM_EmbeddingRowSwap(benchmark::State &State) {
+  Fixture &F = fixture();
+  env::Embedding E(F.Kernel.Prog);
+  std::vector<float> Obs = E.embed(F.Kernel.Prog);
+  for (auto _ : State) {
+    E.swapAdjacentRows(Obs, 0);
+    benchmark::DoNotOptimize(Obs.data());
+  }
+}
+BENCHMARK(BM_EmbeddingRowSwap);
 
 /// Policy-network forward pass (CNN + MLP heads).
 static void BM_NetForward(benchmark::State &State) {

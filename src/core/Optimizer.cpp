@@ -66,6 +66,10 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
   for (unsigned E = 0; E < NumEnvs; ++E) {
     env::GameConfig GC = Config.Game;
     GC.SharedCache = SharedCache;
+    // Training rollouts never read the §5.7 trace (playGreedy resets
+    // the winning game before replaying); skip the per-step string
+    // rendering and re-enable recording just for the replay below.
+    GC.RecordTrace = false;
     // Private whenever sibling games exist — not just when threaded:
     // siblings sharing one device would see each other's cache/memory
     // state, making measurements depend on the (worker-count-shaped)
@@ -97,6 +101,7 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
   Result.OptimizedProg = BestGame->best();
 
   // Deterministic inference replay for the §5.7 move traces.
+  BestGame->setTraceRecording(Config.Game.RecordTrace);
   GameEnvAdapter Probe(*BestGame);
   Trainer.playGreedy(Probe, Config.Game.EpisodeLength);
   Result.Trace = BestGame->trace();

@@ -15,13 +15,28 @@ using namespace cuasmrl::env;
 
 namespace {
 
+/// Sorted-merge interference test: the def/use caches are kept sorted,
+/// so the pair check is O(|A|+|B|) instead of the quadratic
+/// all-pairs scan.
 bool intersects(const std::vector<sass::Register> &A,
                 const std::vector<sass::Register> &B) {
-  for (const sass::Register &RA : A)
-    for (const sass::Register &RB : B)
-      if (RA == RB)
-        return true;
+  if (A.empty() || B.empty())
+    return false;
+  auto IA = A.begin(), IB = B.begin();
+  while (IA != A.end() && IB != B.end()) {
+    if (*IA < *IB)
+      ++IA;
+    else if (*IB < *IA)
+      ++IB;
+    else
+      return true;
+  }
   return false;
+}
+
+bool contains(const std::vector<sass::Register> &Sorted,
+              const sass::Register &R) {
+  return std::binary_search(Sorted.begin(), Sorted.end(), R);
 }
 
 unsigned issueStall(const sass::Instruction &I) {
@@ -40,7 +55,7 @@ AssemblyGame::AssemblyGame(gpusim::Gpu &Dev,
       Analysis(analysis::analyzeStallCounts(K.Prog, Config.Table)),
       Regions(analysis::computeRegions(K.Prog,
                                        analysis::BoundaryKind::LabelsAndSync)),
-      BestProg(K.Prog) {
+      BestProg(K.Prog), TraceEnabled(Config.RecordTrace) {
   if (Config.CacheMeasurements) {
     Cache = Config.SharedCache;
     if (!Cache)
@@ -64,18 +79,27 @@ void AssemblyGame::rebuildCaches() {
   Movable.clear();
   Defs.assign(Prog.size(), {});
   Uses.assign(Prog.size(), {});
+  RowOf.assign(Prog.size(), static_cast<size_t>(-1));
+  size_t Row = 0;
   for (size_t I = 0; I < Prog.size(); ++I) {
     if (!Prog.stmt(I).isInstr())
       continue;
     const sass::Instruction &Instr = Prog.stmt(I).instr();
     Defs[I] = Instr.regDefs();
     Uses[I] = Instr.regUses();
+    std::sort(Defs[I].begin(), Defs[I].end());
+    std::sort(Uses[I].begin(), Uses[I].end());
+    RowOf[I] = Row++;
     // The action space: reorderable memory instructions that survived
     // the denylist (§3.2/§3.5).
     if (Instr.isReorderableMemory() && !Analysis.Denylist.count(I) &&
         Regions.RegionOf[I] != analysis::RegionInfo::kBoundary)
       Movable.push_back(I);
   }
+  Decoded = gpusim::DecodedProgram(Prog);
+  Hash = gpusim::ScheduleHash(Prog);
+  Embed.embedInto(Prog, Obs);
+  rebuildMask();
 }
 
 std::optional<unsigned>
@@ -109,14 +133,12 @@ bool AssemblyGame::stallCheckAfterSwap(size_t Upper) const {
       for (size_t Q = Upper + 2; Q < Prog.size(); ++Q) {
         if (!Regions.sameRegion(Upper, Q))
           break;
-        const std::vector<sass::Register> &QUses = Uses[Q];
-        if (std::find(QUses.begin(), QUses.end(), D) != QUses.end()) {
+        if (contains(Uses[Q], D)) {
           if (Accum < Need)
             return false;
           break;
         }
-        const std::vector<sass::Register> &QDefs = Defs[Q];
-        if (std::find(QDefs.begin(), QDefs.end(), D) != QDefs.end())
+        if (contains(Defs[Q], D))
           break; // Redefined before any use.
         Accum += issueStall(Prog.stmt(Q).instr());
       }
@@ -133,8 +155,7 @@ bool AssemblyGame::stallCheckAfterSwap(size_t Upper) const {
       // Note: A (at Upper) is excluded automatically — it sits below B
       // after the swap; the scan starts at Upper-1.
       Accum += issueStall(Prog.stmt(Q).instr());
-      const std::vector<sass::Register> &QDefs = Defs[Q];
-      if (std::find(QDefs.begin(), QDefs.end(), U) == QDefs.end())
+      if (!contains(Defs[Q], U))
         continue;
       const sass::Instruction &P = Prog.stmt(Q).instr();
       if (P.isFixedLatency()) {
@@ -190,30 +211,81 @@ bool AssemblyGame::swapLegal(size_t Upper) const {
   return stallCheckAfterSwap(Upper);
 }
 
-std::vector<uint8_t> AssemblyGame::actionMask() const {
-  std::vector<uint8_t> Mask(actionCount(), 0);
-  for (size_t M = 0; M < Movable.size(); ++M) {
-    size_t Stmt = Movable[M];
-    if (Config.UseActionMasking) {
-      if (Stmt > 0 && swapLegal(Stmt - 1))
-        Mask[2 * M] = 1; // Up.
-      if (swapLegal(Stmt))
-        Mask[2 * M + 1] = 1; // Down.
-      continue;
-    }
+void AssemblyGame::computeMaskEntry(size_t MovableIdx,
+                                    std::vector<uint8_t> &Out) const {
+  size_t Stmt = Movable[MovableIdx];
+  uint8_t UpLegal = 0, DownLegal = 0;
+  if (Config.UseActionMasking) {
+    UpLegal = Stmt > 0 && swapLegal(Stmt - 1);
+    DownLegal = swapLegal(Stmt);
+  } else {
     // Masking disabled (ablation): only structural feasibility — both
     // neighbors must be instructions. Semantic violations then surface
     // as corrupted outputs at measurement time.
-    if (Stmt > 0 && Prog.stmt(Stmt - 1).isInstr())
-      Mask[2 * M] = 1;
-    if (Stmt + 1 < Prog.size() && Prog.stmt(Stmt + 1).isInstr())
-      Mask[2 * M + 1] = 1;
+    UpLegal = Stmt > 0 && Prog.stmt(Stmt - 1).isInstr();
+    DownLegal = Stmt + 1 < Prog.size() && Prog.stmt(Stmt + 1).isInstr();
   }
-  return Mask;
+  Out[2 * MovableIdx] = UpLegal;
+  Out[2 * MovableIdx + 1] = DownLegal;
+}
+
+void AssemblyGame::rebuildMask() {
+  Mask.assign(actionCount(), 0);
+  for (size_t M = 0; M < Movable.size(); ++M)
+    computeMaskEntry(M, Mask);
+}
+
+void AssemblyGame::updateMaskAfterSwap(size_t Upper) {
+  if (!Config.UseActionMasking) {
+    // The structural mask depends only on the label/instruction position
+    // pattern (swap-invariant) and each movable's own position — only
+    // the two statements that moved can change their entries.
+    for (size_t M = 0; M < Movable.size(); ++M)
+      if (Movable[M] == Upper || Movable[M] == Upper + 1)
+        computeMaskEntry(M, Mask);
+    return;
+  }
+  // Every quantity swapLegal() reads is either pair-local (registers,
+  // control bits, LDGSTS bases of the two statements) or confined to
+  // the pair's reorder region (the Algorithm 1 stall scans, which break
+  // at region boundaries). A swap inside region R therefore cannot
+  // change the legality of any pair outside R: re-evaluate exactly the
+  // movable pairs living in R.
+  int Region = Regions.RegionOf[Upper];
+  for (size_t M = 0; M < Movable.size(); ++M)
+    if (Regions.RegionOf[Movable[M]] == Region)
+      computeMaskEntry(M, Mask);
+}
+
+void AssemblyGame::applySwap(size_t Upper) {
+  Prog.swap(Upper, Upper + 1);
+  std::swap(Defs[Upper], Defs[Upper + 1]);
+  std::swap(Uses[Upper], Uses[Upper + 1]);
+  for (size_t &M : Movable) {
+    if (M == Upper)
+      M = Upper + 1;
+    else if (M == Upper + 1)
+      M = Upper;
+  }
+  Decoded.swap(Upper);
+  Hash.swap(Upper);
+  // Adjacent instruction statements occupy adjacent observation rows
+  // (no label can sit between them), and positions keep their row
+  // numbers — only the contents trade places.
+  Embed.swapAdjacentRows(Obs, RowOf[Upper]);
+  updateMaskAfterSwap(Upper);
+}
+
+std::vector<uint8_t> AssemblyGame::actionMask() const { return Mask; }
+
+std::vector<uint8_t> AssemblyGame::actionMaskFresh() const {
+  std::vector<uint8_t> Fresh(actionCount(), 0);
+  for (size_t M = 0; M < Movable.size(); ++M)
+    computeMaskEntry(M, Fresh);
+  return Fresh;
 }
 
 bool AssemblyGame::allMasked() const {
-  std::vector<uint8_t> Mask = actionMask();
   return std::none_of(Mask.begin(), Mask.end(),
                       [](uint8_t M) { return M != 0; });
 }
@@ -221,7 +293,8 @@ bool AssemblyGame::allMasked() const {
 double AssemblyGame::simulateCurrent(uint64_t NoiseSeed) {
   gpusim::MeasureConfig MC = Config.Measure;
   MC.Seed = NoiseSeed;
-  gpusim::Measurement M = measureKernel(Device, Prog, Kernel.Launch, MC);
+  gpusim::Measurement M =
+      measureKernel(Device, Prog, Decoded, Kernel.Launch, MC);
   Measurements += MC.WarmupIters + MC.RepeatIters;
   if (!M.Valid)
     return std::nan("");
@@ -231,7 +304,7 @@ double AssemblyGame::simulateCurrent(uint64_t NoiseSeed) {
     // against the architectural oracle on the same block subset
     // (probabilistic testing in the reward loop).
     std::vector<uint32_t> Timed = Kernel.readOutput(Device);
-    gpusim::RunResult Ref = Device.run(Prog, Kernel.Launch,
+    gpusim::RunResult Ref = Device.run(Prog, Decoded, Kernel.Launch,
                                        gpusim::RunMode::Oracle,
                                        MC.MaxBlocks);
     if (!Ref.Valid)
@@ -244,8 +317,9 @@ double AssemblyGame::simulateCurrent(uint64_t NoiseSeed) {
 }
 
 double AssemblyGame::measure() {
-  gpusim::MeasurementCache::ScheduleKey Key =
-      gpusim::MeasurementCache::keyFor(Prog);
+  // O(1): the key is maintained across swaps, never recomputed from the
+  // program text.
+  gpusim::MeasurementCache::ScheduleKey Key = Hash.key();
   if (Cache)
     return Cache->measureOrCompute(
         Key, [this](uint64_t NoiseSeed) { return simulateCurrent(NoiseSeed); });
@@ -262,7 +336,7 @@ std::vector<float> AssemblyGame::reset() {
   TPrev = T0;
   StepsTaken = 0;
   Trace.clear();
-  return Embed.embed(Prog);
+  return Obs;
 }
 
 AssemblyGame::StepResult AssemblyGame::step(unsigned Action) {
@@ -277,50 +351,35 @@ AssemblyGame::StepResult AssemblyGame::step(unsigned Action) {
   bool StructurallyPossible =
       (!Up || Stmt > 0) && Upper + 1 < Prog.size() &&
       Prog.stmt(Upper).isInstr() && Prog.stmt(Upper + 1).isInstr();
-  bool Legal = StructurallyPossible && swapLegal(Upper);
 
-  if (!Config.UseActionMasking)
-    Legal = StructurallyPossible;
-  if (Config.UseActionMasking && !Legal) {
+  if (Config.UseActionMasking && !Mask[Action]) {
     // Masked actions carry ~zero probability; a defensive no-op keeps
-    // the environment consistent if one is forced through.
-    Res.Observation = Embed.embed(Prog);
+    // the environment consistent if one is forced through. (The cached
+    // mask entry equals swapLegal() by the incremental-maintenance
+    // invariant, so no legality sweep happens here.)
+    Res.Observation = Obs;
     Res.Done = StepsTaken >= Config.EpisodeLength || allMasked();
     return Res;
   }
   if (!StructurallyPossible) {
-    Res.Observation = Embed.embed(Prog);
+    Res.Observation = Obs;
     Res.Reward = Config.InvalidPenalty;
     Res.Invalid = true;
     Res.Done = true;
     return Res;
   }
 
-  // Apply the swap (the environment transition, Figure 3).
-  Prog.swap(Upper, Upper + 1);
-  std::swap(Defs[Upper], Defs[Upper + 1]);
-  std::swap(Uses[Upper], Uses[Upper + 1]);
-  for (size_t &M : Movable) {
-    if (M == Upper)
-      M = Upper + 1;
-    else if (M == Upper + 1)
-      M = Upper;
-  }
+  // Apply the swap (the environment transition, Figure 3) — O(affected
+  // window) across program, decoded image, hash, observation and mask.
+  applySwap(Upper);
 
   double T = measure();
   if (std::isnan(T)) {
     // Invalid schedule executed (only reachable without masking):
-    // penalize, revert, terminate.
-    Prog.swap(Upper, Upper + 1);
-    std::swap(Defs[Upper], Defs[Upper + 1]);
-    std::swap(Uses[Upper], Uses[Upper + 1]);
-    for (size_t &M : Movable) {
-      if (M == Upper)
-        M = Upper + 1;
-      else if (M == Upper + 1)
-        M = Upper;
-    }
-    Res.Observation = Embed.embed(Prog);
+    // penalize, revert, terminate. applySwap is an involution, so the
+    // same call restores every incremental structure.
+    applySwap(Upper);
+    Res.Observation = Obs;
     Res.Reward = Config.InvalidPenalty;
     Res.Invalid = true;
     Res.Done = true;
@@ -335,15 +394,17 @@ AssemblyGame::StepResult AssemblyGame::step(unsigned Action) {
     BestProg = Prog;
   }
 
-  AppliedAction AA;
-  AA.StmtIndex = Up ? Upper : Upper + 1;
-  AA.Up = Up;
-  AA.Reward = Res.Reward;
-  AA.MovedText = Prog.stmt(Up ? Upper : Upper + 1).instr().str();
-  AA.OtherText = Prog.stmt(Up ? Upper + 1 : Upper).instr().str();
-  Trace.push_back(std::move(AA));
+  if (TraceEnabled) {
+    AppliedAction AA;
+    AA.StmtIndex = Up ? Upper : Upper + 1;
+    AA.Up = Up;
+    AA.Reward = Res.Reward;
+    AA.MovedText = Prog.stmt(Up ? Upper : Upper + 1).instr().str();
+    AA.OtherText = Prog.stmt(Up ? Upper + 1 : Upper).instr().str();
+    Trace.push_back(std::move(AA));
+  }
 
-  Res.Observation = Embed.embed(Prog);
+  Res.Observation = Obs;
   Res.Done = StepsTaken >= Config.EpisodeLength || allMasked();
   return Res;
 }

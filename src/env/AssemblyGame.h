@@ -54,6 +54,11 @@ struct GameConfig {
   /// Memoize measurements by schedule identity (revisited states are
   /// frequent: the paper observes "lingering" agents, §5.7.2).
   bool CacheMeasurements = true;
+  /// Record the §5.7 move-discovery trace (AppliedAction entries with
+  /// rendered instruction text). Rendering costs two string
+  /// constructions per accepted step; rollout loops that never read the
+  /// trace should disable it (see also setTraceRecording()).
+  bool RecordTrace = true;
   /// Schedule->latency cache shared with sibling games of the same
   /// kernel (parallel rollouts). Null + CacheMeasurements: the game
   /// creates a private cache. Cached values are interleaving-invariant
@@ -108,7 +113,20 @@ public:
     return static_cast<unsigned>(2 * Movable.size());
   }
   /// Legality of every action under the current schedule (§3.5).
+  ///
+  /// Returns the *incrementally maintained* mask: after a swap at
+  /// position U only the movable pairs whose region-bounded stall scans
+  /// can overlap the swap window (= the pairs in U's reorder region)
+  /// are re-evaluated, so a step costs O(affected region), not
+  /// O(program), and repeated calls between steps are O(actions) reads.
+  /// Callers must not assume a call recomputes legality from scratch;
+  /// the cached mask is always bit-identical to actionMaskFresh()
+  /// (pinned by differential tests).
   std::vector<uint8_t> actionMask() const;
+  /// From-scratch O(program) legality sweep. Reference implementation
+  /// for differential tests and benchmarks; the environment itself
+  /// never calls it after construction.
+  std::vector<uint8_t> actionMaskFresh() const;
   /// True when every action is masked (episode terminates immediately).
   bool allMasked() const;
 
@@ -132,6 +150,22 @@ public:
   }
   /// @}
 
+  /// \name Incremental-state inspection (tests, benchmarks)
+  /// @{
+  /// The O(1)-per-swap schedule key the reward loop uses; always equal
+  /// to MeasurementCache::keyFor(current()).
+  gpusim::MeasurementCache::ScheduleKey scheduleKey() const {
+    return Hash.key();
+  }
+  /// The swap-maintained pre-decoded kernel image; always equal to a
+  /// full redecode of current().
+  const gpusim::DecodedProgram &decoded() const { return Decoded; }
+  /// @}
+
+  /// Toggles §5.7 trace recording at runtime (overrides
+  /// GameConfig::RecordTrace); train with it off, replay with it on.
+  void setTraceRecording(bool Enabled) { TraceEnabled = Enabled; }
+
   /// Checks whether swapping statements \p Upper and \p Upper+1 is legal
   /// under the §3.5 rules (exposed for tests and search baselines).
   bool swapLegal(size_t Upper) const;
@@ -140,6 +174,12 @@ private:
   double measure();
   double simulateCurrent(uint64_t NoiseSeed);
   void rebuildCaches();
+  void rebuildMask();
+  void computeMaskEntry(size_t MovableIdx, std::vector<uint8_t> &Out) const;
+  void updateMaskAfterSwap(size_t Upper);
+  /// Applies (or, called again, reverts) the swap at \p Upper across
+  /// every incrementally-maintained structure.
+  void applySwap(size_t Upper);
   bool stallCheckAfterSwap(size_t Upper) const;
   std::optional<unsigned> resolveStall(const sass::Instruction &I) const;
 
@@ -157,8 +197,20 @@ private:
   /// Statement indices of movable memory instructions (§3.2 pass),
   /// dynamically updated after every swap.
   std::vector<size_t> Movable;
-  /// Per-statement def/use caches (register lists), swapped along.
+  /// Per-statement def/use caches (sorted register lists, so pair
+  /// interference checks merge in O(|A|+|B|)), swapped along.
   std::vector<std::vector<sass::Register>> Defs, Uses;
+
+  /// \name Incrementally-maintained per-step state
+  /// All four are updated in O(affected window) by applySwap() and are
+  /// always bit-identical to their from-scratch recomputation.
+  /// @{
+  gpusim::DecodedProgram Decoded; ///< Execution-ready kernel image.
+  gpusim::ScheduleHash Hash;      ///< Measurement-cache schedule key.
+  std::vector<uint8_t> Mask;      ///< Cached action mask.
+  std::vector<float> Obs;         ///< Cached observation matrix.
+  std::vector<size_t> RowOf;      ///< Statement index -> observation row.
+  /// @}
 
   double T0 = 0.0;
   double TPrev = 0.0;
@@ -166,6 +218,7 @@ private:
   sass::Program BestProg;
   unsigned StepsTaken = 0;
   unsigned Measurements = 0;
+  bool TraceEnabled = true;
   std::vector<AppliedAction> Trace;
   std::shared_ptr<gpusim::MeasurementCache> Cache;
 };

@@ -81,14 +81,28 @@ void Embedding::embedInstr(const sass::Instruction &I, float *Row) const {
 }
 
 std::vector<float> Embedding::embed(const sass::Program &Prog) const {
-  std::vector<float> Matrix(Rows * Features, -1.0f);
+  std::vector<float> Matrix;
+  embedInto(Prog, Matrix);
+  return Matrix;
+}
+
+void Embedding::embedInto(const sass::Program &Prog,
+                          std::vector<float> &Out) const {
+  Out.assign(Rows * Features, -1.0f);
   size_t Row = 0;
   for (size_t I = 0; I < Prog.size(); ++I) {
     if (!Prog.stmt(I).isInstr())
       continue;
     assert(Row < Rows && "instruction count changed mid-game");
-    embedInstr(Prog.stmt(I).instr(), Matrix.data() + Row * Features);
+    embedInstr(Prog.stmt(I).instr(), Out.data() + Row * Features);
     ++Row;
   }
-  return Matrix;
+}
+
+void Embedding::swapAdjacentRows(std::vector<float> &Matrix,
+                                 size_t Row) const {
+  assert((Row + 2) * Features <= Matrix.size() && "row swap out of range");
+  std::swap_ranges(Matrix.begin() + Row * Features,
+                   Matrix.begin() + (Row + 1) * Features,
+                   Matrix.begin() + (Row + 1) * Features);
 }

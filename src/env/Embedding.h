@@ -40,6 +40,16 @@ public:
   /// Embeds the current schedule (row-major rows() x features()).
   std::vector<float> embed(const sass::Program &Prog) const;
 
+  /// Embeds into an existing buffer (resized to rows() x features()),
+  /// avoiding a fresh allocation per call.
+  void embedInto(const sass::Program &Prog, std::vector<float> &Out) const;
+
+  /// Exchanges rows \p Row and \p Row+1 of \p Matrix in place. A row is
+  /// a pure function of its instruction, so swapping two adjacent
+  /// instruction statements updates the observation exactly — the
+  /// swap-aware O(features) alternative to re-embedding the program.
+  void swapAdjacentRows(std::vector<float> &Matrix, size_t Row) const;
+
   const analysis::OperandTable &table() const { return Table; }
 
 private:

@@ -20,13 +20,20 @@ namespace cuasmrl {
 namespace gpusim {
 
 /// LRU set-associative tag array.
+///
+/// Invalidation is epoch-based: every entry stamps the epoch it was
+/// filled in, and `clear()` just bumps the current epoch — entries from
+/// older epochs read as empty. The reward loop clears L2 between every
+/// measurement repetition (§3.6), so invalidation must be O(1), not a
+/// half-megabyte tag-array refill.
 class Cache {
 public:
   Cache(unsigned TotalBytes, unsigned LineBytes, unsigned Ways)
       : LineBytes(LineBytes), Ways(Ways),
         Sets(TotalBytes / LineBytes / Ways ? TotalBytes / LineBytes / Ways
                                            : 1),
-        Tags(Sets * Ways, EmptyTag), Stamps(Sets * Ways, 0) {}
+        Tags(Sets * Ways, EmptyTag), Stamps(Sets * Ways, 0),
+        Epochs(Sets * Ways, 0) {}
 
   /// Looks up (and on miss, fills) the line containing \p Addr.
   /// \returns true on hit.
@@ -35,27 +42,32 @@ public:
     uint64_t Set = Line % Sets;
     uint64_t *SetTags = &Tags[Set * Ways];
     uint64_t *SetStamps = &Stamps[Set * Ways];
+    uint64_t *SetEpochs = &Epochs[Set * Ways];
     ++Tick;
     unsigned Victim = 0;
+    uint64_t VictimStamp = ~0ull;
     for (unsigned W = 0; W < Ways; ++W) {
-      if (SetTags[W] == Line) {
+      bool Live = SetEpochs[W] == Epoch;
+      if (Live && SetTags[W] == Line) {
         SetStamps[W] = Tick;
         return true;
       }
-      if (SetStamps[W] < SetStamps[Victim])
+      // Stale entries count as empty (stamp 0): preferred victims.
+      uint64_t Stamp = Live ? SetStamps[W] : 0;
+      if (Stamp < VictimStamp) {
+        VictimStamp = Stamp;
         Victim = W;
+      }
     }
     SetTags[Victim] = Line;
     SetStamps[Victim] = Tick;
+    SetEpochs[Victim] = Epoch;
     return false;
   }
 
-  /// Invalidates every line (the paper clears L2 between measurement
-  /// iterations, §3.6).
-  void clear() {
-    Tags.assign(Tags.size(), EmptyTag);
-    Stamps.assign(Stamps.size(), 0);
-  }
+  /// Invalidates every line in O(1) (the paper clears L2 between
+  /// measurement iterations, §3.6).
+  void clear() { ++Epoch; }
 
 private:
   static constexpr uint64_t EmptyTag = ~0ull;
@@ -64,7 +76,9 @@ private:
   uint64_t Sets;
   std::vector<uint64_t> Tags;
   std::vector<uint64_t> Stamps;
+  std::vector<uint64_t> Epochs;
   uint64_t Tick = 0;
+  uint64_t Epoch = 1;
 };
 
 } // namespace gpusim

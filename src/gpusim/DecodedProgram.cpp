@@ -1,0 +1,136 @@
+//===- gpusim/DecodedProgram.cpp ---------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/DecodedProgram.h"
+
+#include "sass/Program.h"
+
+#include <string_view>
+#include <unordered_map>
+
+using namespace cuasmrl;
+using namespace cuasmrl::gpusim;
+
+static CmpKind parseCmp(std::string_view Mod) {
+  if (Mod == "LT")
+    return CmpKind::LT;
+  if (Mod == "LE")
+    return CmpKind::LE;
+  if (Mod == "GT")
+    return CmpKind::GT;
+  if (Mod == "GE")
+    return CmpKind::GE;
+  if (Mod == "EQ")
+    return CmpKind::EQ;
+  if (Mod == "NE")
+    return CmpKind::NE;
+  return CmpKind::None;
+}
+
+DecodedInstr DecodedInstr::decode(const sass::Instruction &I) {
+  DecodedInstr D;
+  const sass::OpcodeInfo &Info = I.info();
+  D.VarLat = Info.IsVariableLatency;
+  D.IsCtrlFlow = Info.IsControlFlow;
+  D.IsBarrierOrSync = Info.IsBarrierOrSync;
+  D.DataRegs = static_cast<uint8_t>(I.dataRegCount());
+
+  if (std::optional<std::string> Key = I.latencyKey())
+    if (std::optional<unsigned> Lat = sass::groundTruthLatency(*Key))
+      D.FixedLat = static_cast<uint16_t>(*Lat);
+
+  const std::vector<std::string> &Mods = I.modifiers();
+  for (const std::string &M : Mods) {
+    if (M == "WIDE")
+      D.Mods |= ModWide;
+    else if (M == "U32")
+      D.Mods |= ModU32;
+    else if (M == "HI")
+      D.Mods |= ModHi;
+    else if (M == "X")
+      D.Mods |= ModX;
+    else if (M == "OR")
+      D.Mods |= ModOr;
+    else if (M == "BYPASS")
+      D.Mods |= ModBypass;
+    else if (M == "L")
+      D.Mods |= ModL;
+    else if (M == "F32")
+      D.Mods |= ModF32;
+    else if (M == "F16")
+      D.Mods |= ModF16;
+  }
+  if (!Mods.empty()) {
+    if (Mods[0] == "F32")
+      D.Mods |= ModFirstF32;
+    D.Cmp = parseCmp(Mods[0]);
+  }
+
+  const std::vector<sass::Operand> &Ops = I.operands();
+  for (size_t Slot = 1; Slot < Ops.size() && Slot < D.SlotReg.size();
+       ++Slot) {
+    const sass::Operand &Op = Ops[Slot];
+    if (!(Op.isReg() || Op.isMem()))
+      continue;
+    sass::Register R = Op.baseReg();
+    if (!R.isGeneral() || R.isZero())
+      continue;
+    D.SlotReg[Slot] = static_cast<int16_t>(R.index());
+    D.HasSlotRegs = true;
+    if (Op.isReg() && Op.hasReuse())
+      D.ReuseMask |= static_cast<uint8_t>(1u << Slot);
+  }
+
+  if (I.opcode() == sass::Opcode::MUFU) {
+    // Same priority order as the original hasModifier() chain.
+    static constexpr struct {
+      std::string_view Name;
+      MufuKind Kind;
+    } MufuTable[] = {
+        {"RCP", MufuKind::Rcp},   {"RSQ", MufuKind::Rsq},
+        {"SQRT", MufuKind::Sqrt}, {"EX2", MufuKind::Ex2},
+        {"LG2", MufuKind::Lg2},   {"SIN", MufuKind::Sin},
+        {"COS", MufuKind::Cos},
+    };
+    for (const auto &Entry : MufuTable) {
+      if (I.hasModifier(Entry.Name)) {
+        D.Mufu = Entry.Kind;
+        break;
+      }
+    }
+  }
+  return D;
+}
+
+DecodedProgram::DecodedProgram(const sass::Program &Prog) {
+  std::unordered_map<std::string_view, size_t> LabelMap;
+  for (size_t I = 0; I < Prog.size(); ++I)
+    if (Prog.stmt(I).isLabel())
+      LabelMap.emplace(Prog.stmt(I).label(), I);
+
+  Records.reserve(Prog.size());
+  for (size_t I = 0; I < Prog.size(); ++I) {
+    const sass::Statement &S = Prog.stmt(I);
+    if (S.isLabel()) {
+      DecodedInstr D;
+      D.IsLabel = true;
+      Records.push_back(D);
+      continue;
+    }
+    DecodedInstr D = DecodedInstr::decode(S.instr());
+    if (S.instr().opcode() == sass::Opcode::BRA) {
+      for (const sass::Operand &Op : S.instr().operands()) {
+        if (!Op.isLabel())
+          continue;
+        auto It = LabelMap.find(Op.name());
+        if (It != LabelMap.end())
+          D.BranchTarget = static_cast<int32_t>(It->second);
+        break;
+      }
+    }
+    Records.push_back(D);
+  }
+}

@@ -1,0 +1,143 @@
+//===- gpusim/DecodedProgram.h - Pre-decoded kernel image --------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, execution-ready image of one kernel's statement list. The
+/// simulator's inner loops issue tens of thousands of instructions per
+/// measurement; resolving latency keys (string construction + table
+/// lookup), scanning modifier strings and chasing branch labels through
+/// a hash map on *every* issue dominated the timed machine's profile.
+/// `DecodedProgram` hoists all of that to decode time: one record per
+/// statement carrying the latency class, modifier-derived semantic
+/// flags, pre-parsed comparison/MUFU selectors and the branch target as
+/// a statement index — so `executeInstr` and the machines in Gpu.cpp
+/// index plain arrays in the hot loop.
+///
+/// Swap-update invariants (what makes the image maintainable in O(1)
+/// between the assembly game's measurements):
+///  - a record is a pure function of its statement's *content*, never of
+///    its position, except `BranchTarget`;
+///  - the game only exchanges adjacent instruction statements, so labels
+///    never move and every `BranchTarget` index stays valid across any
+///    number of `swap()` calls;
+///  - therefore `swap(Upper)` == exchanging the two records, and equals
+///    a full redecode of the swapped program (asserted by differential
+///    tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_DECODEDPROGRAM_H
+#define CUASMRL_GPUSIM_DECODEDPROGRAM_H
+
+#include "sass/Instruction.h"
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cuasmrl {
+namespace sass {
+class Program;
+}
+namespace gpusim {
+
+/// Pre-parsed comparison selector (ISETP/FSETP first modifier).
+enum class CmpKind : uint8_t { None, LT, LE, GT, GE, EQ, NE };
+
+/// Pre-parsed MUFU operation selector.
+enum class MufuKind : uint8_t { None, Rcp, Rsq, Sqrt, Ex2, Lg2, Sin, Cos };
+
+/// One statement's execution-ready record.
+struct DecodedInstr {
+  /// Modifier-derived semantic flags. Set for any opcode carrying the
+  /// modifier; consumers test them only where the opcode gives them
+  /// meaning (mirroring hasModifier() in the original switch).
+  enum : uint16_t {
+    ModWide = 1u << 0,     ///< .WIDE (IMAD 64-bit result).
+    ModU32 = 1u << 1,      ///< .U32 (unsigned compare/convert).
+    ModHi = 1u << 2,       ///< .HI (IMAD high word).
+    ModX = 1u << 3,        ///< .X (carry chain).
+    ModOr = 1u << 4,       ///< .OR (SETP combine function).
+    ModBypass = 1u << 5,   ///< .BYPASS (L1-bypassing load).
+    ModL = 1u << 6,        ///< .L (SHF left funnel shift).
+    ModF32 = 1u << 7,      ///< .F32 (float atomics).
+    ModF16 = 1u << 8,      ///< .F16 (F2F half involvement).
+    ModFirstF32 = 1u << 9, ///< First modifier is "F32" (F2F direction).
+  };
+
+  uint16_t Mods = 0;
+  CmpKind Cmp = CmpKind::None;
+  MufuKind Mufu = MufuKind::None;
+  uint8_t DataRegs = 1;     ///< dataRegCount(): regs per data operand.
+  bool IsLabel = false;
+  bool VarLat = false;      ///< Completion via scoreboard barrier.
+  bool IsCtrlFlow = false;
+  bool IsBarrierOrSync = false;
+  uint16_t FixedLat = 1;    ///< groundTruthLatency(latencyKey()), else 1.
+  /// Statement index of the BRA target label; -1 when the label is not
+  /// in the program (or the record was decoded without one).
+  int32_t BranchTarget = -1;
+
+  /// Register-bank/operand-reuse model inputs: for source operand slots
+  /// 1..7, the general-register index named by a Reg or Mem operand (RZ
+  /// and non-general classes excluded), else -1.
+  std::array<int16_t, 8> SlotReg{-1, -1, -1, -1, -1, -1, -1, -1};
+  /// Bit s set when slot s carries a `.reuse`-flagged general register.
+  uint8_t ReuseMask = 0;
+  /// Any SlotReg entry >= 0 (lets the bank model skip empty scans).
+  bool HasSlotRegs = false;
+
+  bool has(uint16_t Mask) const { return (Mods & Mask) != 0; }
+
+  /// Decodes one instruction's content (everything but BranchTarget,
+  /// which needs the surrounding program).
+  static DecodedInstr decode(const sass::Instruction &I);
+
+  bool operator==(const DecodedInstr &O) const {
+    return Mods == O.Mods && Cmp == O.Cmp && Mufu == O.Mufu &&
+           DataRegs == O.DataRegs && IsLabel == O.IsLabel &&
+           VarLat == O.VarLat && IsCtrlFlow == O.IsCtrlFlow &&
+           IsBarrierOrSync == O.IsBarrierOrSync && FixedLat == O.FixedLat &&
+           BranchTarget == O.BranchTarget && SlotReg == O.SlotReg &&
+           ReuseMask == O.ReuseMask && HasSlotRegs == O.HasSlotRegs;
+  }
+  bool operator!=(const DecodedInstr &O) const { return !(*this == O); }
+};
+
+/// The per-statement record array for one program, positionally aligned
+/// with the program's statement list (labels included, flagged).
+class DecodedProgram {
+public:
+  DecodedProgram() = default;
+  /// Full decode: O(program), including branch-target resolution.
+  explicit DecodedProgram(const sass::Program &Prog);
+
+  size_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+  const DecodedInstr &operator[](size_t Index) const {
+    return Records[Index];
+  }
+
+  /// Mirrors Program::swap(Upper, Upper+1): exchanges the two records.
+  /// O(1); see the header comment for why this equals a full redecode.
+  void swap(size_t Upper) {
+    std::swap(Records[Upper], Records[Upper + 1]);
+  }
+
+  bool operator==(const DecodedProgram &O) const {
+    return Records == O.Records;
+  }
+  bool operator!=(const DecodedProgram &O) const { return !(*this == O); }
+
+private:
+  std::vector<DecodedInstr> Records;
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_DECODEDPROGRAM_H

@@ -34,6 +34,7 @@
 #ifndef CUASMRL_GPUSIM_EXECUTOR_H
 #define CUASMRL_GPUSIM_EXECUTOR_H
 
+#include "gpusim/DecodedProgram.h"
 #include "gpusim/Fp16.h"
 #include "sass/Instruction.h"
 
@@ -48,12 +49,16 @@ namespace gpusim {
 struct ExecResult {
   enum class Kind : uint8_t {
     Normal,       ///< Fall through to the next statement.
-    Branch,       ///< Jump to `Target`.
+    Branch,       ///< Jump to `TargetIdx` / `Target`.
     Exit,         ///< Warp finished.
     BlockBarrier, ///< BAR.SYNC: block until all block warps arrive.
   };
   Kind K = Kind::Normal;
   std::string_view Target; ///< Branch label (points into the operand).
+  /// Branch target as a statement index, pre-resolved by the decoded
+  /// image; -1 when unresolved (unknown label, or the instruction was
+  /// executed through the decode-on-the-fly compatibility overload).
+  int32_t TargetIdx = -1;
   bool Predicated = true;  ///< False when the guard suppressed execution.
 };
 
@@ -231,30 +236,39 @@ inline uint32_t lop3(uint32_t A, uint32_t B, uint32_t CV, uint32_t Lut) {
   return R;
 }
 
-/// Comparison dispatch shared by ISETP/FSETP/IMNMX.
-template <typename T> bool compare(std::string_view Cmp, T A, T B) {
-  if (Cmp == "LT")
+/// Comparison dispatch shared by ISETP/FSETP, on the pre-decoded
+/// selector (CmpKind::None compares false, like an unknown modifier).
+template <typename T> bool compare(CmpKind Cmp, T A, T B) {
+  switch (Cmp) {
+  case CmpKind::LT:
     return A < B;
-  if (Cmp == "LE")
+  case CmpKind::LE:
     return A <= B;
-  if (Cmp == "GT")
+  case CmpKind::GT:
     return A > B;
-  if (Cmp == "GE")
+  case CmpKind::GE:
     return A >= B;
-  if (Cmp == "EQ")
+  case CmpKind::EQ:
     return A == B;
-  if (Cmp == "NE")
+  case CmpKind::NE:
     return A != B;
+  case CmpKind::None:
+    break;
+  }
   return false;
 }
 
 } // namespace detail
 
-/// Executes one instruction against the context. Memory side effects
-/// happen immediately; register writes go through the context (which may
-/// defer their visibility). Returns control-flow guidance.
+/// Executes one instruction against the context, using the instruction's
+/// pre-decoded record \p D for every modifier-derived decision (latency
+/// class, semantic flags, comparison/MUFU selectors, branch target).
+/// Memory side effects happen immediately; register writes go through
+/// the context (which may defer their visibility). Returns control-flow
+/// guidance.
 template <typename Ctx>
-ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
+ExecResult executeInstr(const sass::Instruction &I, const DecodedInstr &D,
+                        Ctx &C) {
   using namespace detail;
   using sass::Opcode;
   using sass::Operand;
@@ -296,14 +310,14 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     for (unsigned J = Src; J < Ops.size(); ++J) {
       if (Ops[J].isReg() && Ops[J].baseReg().isPredicate()) {
         // Trailing carry-in predicate of the .X form.
-        if (I.hasModifier("X"))
+        if (D.has(DecodedInstr::ModX))
           CarryIn = CarryIn || readPred(C, Ops[J]);
         continue;
       }
       if (Count++ < 3)
         Sum += readInt(C, Ops[J]);
     }
-    if (I.hasModifier("X") && CarryIn)
+    if (D.has(DecodedInstr::ModX) && CarryIn)
       Sum += 1;
     writeReg(C, Dest(), static_cast<uint32_t>(Sum));
     if (!CarryOut.isZero())
@@ -311,8 +325,8 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     break;
   }
   case Opcode::IMAD: {
-    bool Wide = I.hasModifier("WIDE");
-    bool Unsigned = I.hasModifier("U32");
+    bool Wide = D.has(DecodedInstr::ModWide);
+    bool Unsigned = D.has(DecodedInstr::ModU32);
     unsigned Src = 1;
     // Skip carry-out predicate slot if present.
     if (Src < Ops.size() && Ops[Src].isReg() &&
@@ -347,7 +361,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
       break;
     }
     uint32_t CV = readInt(C, Ops[Src + 2]);
-    if (I.hasModifier("HI")) {
+    if (D.has(DecodedInstr::ModHi)) {
       uint64_t Prod = static_cast<uint64_t>(A) * B;
       writeReg(C, Dest(), static_cast<uint32_t>(Prod >> 32) + CV);
     } else {
@@ -384,7 +398,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     uint32_t Hi = readInt(C, Ops[3]);
     uint64_t Pair = (static_cast<uint64_t>(Hi) << 32) | A;
     uint32_t R;
-    if (I.hasModifier("L"))
+    if (D.has(DecodedInstr::ModL))
       R = static_cast<uint32_t>((Pair << (S & 31)) >> 32);
     else
       R = static_cast<uint32_t>(Pair >> (S & 31));
@@ -401,7 +415,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     if (Ops.size() < 4)
       break;
     bool Min = readPred(C, Ops[3]);
-    if (I.hasModifier("U32")) {
+    if (D.has(DecodedInstr::ModU32)) {
       uint32_t A = readInt(C, Ops[1]), B = readInt(C, Ops[2]);
       writeReg(C, Dest(), Min ? std::min(A, B) : std::max(A, B));
     } else {
@@ -423,19 +437,15 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     // ISETP.<cmp>[.U32].AND Pd, Pq, Ra, Rb, Pc.
     if (Ops.size() < 5)
       break;
-    // The view must alias the stored modifier string: a ternary against a
-    // "" literal would materialize a temporary std::string and dangle.
-    std::string_view Cmp;
-    if (!I.modifiers().empty())
-      Cmp = I.modifiers()[0];
     bool R;
-    if (I.hasModifier("U32"))
-      R = compare<uint32_t>(Cmp, readInt(C, Ops[2]), readInt(C, Ops[3]));
+    if (D.has(DecodedInstr::ModU32))
+      R = compare<uint32_t>(D.Cmp, readInt(C, Ops[2]), readInt(C, Ops[3]));
     else
-      R = compare<int32_t>(Cmp, static_cast<int32_t>(readInt(C, Ops[2])),
+      R = compare<int32_t>(D.Cmp, static_cast<int32_t>(readInt(C, Ops[2])),
                            static_cast<int32_t>(readInt(C, Ops[3])));
     bool Combine = readPred(C, Ops[4]);
-    bool Result = I.hasModifier("OR") ? (R || Combine) : (R && Combine);
+    bool Result =
+        D.has(DecodedInstr::ModOr) ? (R || Combine) : (R && Combine);
     writeReg(C, Ops[0].baseReg(), Result);
     if (!Ops[1].baseReg().isZero())
       writeReg(C, Ops[1].baseReg(), (!R) && Combine);
@@ -482,13 +492,11 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
   case Opcode::FSETP: {
     if (Ops.size() < 5)
       break;
-    // Same aliasing constraint as ISETP above.
-    std::string_view Cmp;
-    if (!I.modifiers().empty())
-      Cmp = I.modifiers()[0];
-    bool R = compare<float>(Cmp, readFloat(C, Ops[2]), readFloat(C, Ops[3]));
+    bool R =
+        compare<float>(D.Cmp, readFloat(C, Ops[2]), readFloat(C, Ops[3]));
     bool Combine = readPred(C, Ops[4]);
-    bool Result = I.hasModifier("OR") ? (R || Combine) : (R && Combine);
+    bool Result =
+        D.has(DecodedInstr::ModOr) ? (R || Combine) : (R && Combine);
     writeReg(C, Ops[0].baseReg(), Result);
     if (!Ops[1].baseReg().isZero())
       writeReg(C, Ops[1].baseReg(), (!R) && Combine);
@@ -497,20 +505,31 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
   case Opcode::MUFU: {
     float A = readFloat(C, Ops[1]);
     float R = 0.0f;
-    if (I.hasModifier("RCP"))
+    switch (D.Mufu) {
+    case MufuKind::Rcp:
       R = 1.0f / A;
-    else if (I.hasModifier("RSQ"))
+      break;
+    case MufuKind::Rsq:
       R = 1.0f / std::sqrt(A);
-    else if (I.hasModifier("SQRT"))
+      break;
+    case MufuKind::Sqrt:
       R = std::sqrt(A);
-    else if (I.hasModifier("EX2"))
+      break;
+    case MufuKind::Ex2:
       R = std::exp2(A);
-    else if (I.hasModifier("LG2"))
+      break;
+    case MufuKind::Lg2:
       R = std::log2(A);
-    else if (I.hasModifier("SIN"))
+      break;
+    case MufuKind::Sin:
       R = std::sin(A);
-    else if (I.hasModifier("COS"))
+      break;
+    case MufuKind::Cos:
       R = std::cos(A);
+      break;
+    case MufuKind::None:
+      break;
+    }
     writeReg(C, Dest(), asBits(R));
     break;
   }
@@ -561,7 +580,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
   // ----- Conversions -------------------------------------------------------
   case Opcode::I2F: {
     uint32_t A = readInt(C, Ops[1]);
-    float R = I.hasModifier("U32")
+    float R = D.has(DecodedInstr::ModU32)
                   ? static_cast<float>(A)
                   : static_cast<float>(static_cast<int32_t>(A));
     writeReg(C, Dest(), asBits(R));
@@ -569,7 +588,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
   }
   case Opcode::F2I: {
     float A = readFloat(C, Ops[1]);
-    if (I.hasModifier("U32"))
+    if (D.has(DecodedInstr::ModU32))
       writeReg(C, Dest(), static_cast<uint32_t>(A < 0 ? 0.0f : A));
     else
       writeReg(C, Dest(),
@@ -579,8 +598,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
   case Opcode::F2F: {
     // F2F.F32.F16 Rd, Ra: widen low half; F2F.F16.F32: narrow.
     uint32_t A = readInt(C, Ops[1]);
-    if (I.hasModifier("F16") && !I.modifiers().empty() &&
-        I.modifiers()[0] == "F32")
+    if (D.has(DecodedInstr::ModF16) && D.has(DecodedInstr::ModFirstF32))
       writeReg(C, Dest(), packHalf2(asFloat(A), 0.0f));
     else
       writeReg(C, Dest(), asBits(unpackLo(A)));
@@ -660,7 +678,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     if (!Mem)
       break;
     uint64_t Addr = readAddr64(C, *Mem);
-    unsigned N = I.dataRegCount();
+    unsigned N = D.DataRegs;
     unsigned D = Dest().index();
     for (unsigned W = 0; W < N; ++W)
       C.writeR(D + W, C.loadGlobal(Addr + 4ull * W));
@@ -671,7 +689,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     if (!Mem || Ops.size() < 2)
       break;
     uint64_t Addr = readAddr64(C, *Mem);
-    unsigned N = I.dataRegCount();
+    unsigned N = D.DataRegs;
     unsigned S = Ops.back().baseReg().index();
     for (unsigned W = 0; W < N; ++W)
       C.storeGlobal(Addr + 4ull * W, C.readR(S + W));
@@ -683,7 +701,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     if (!Mem)
       break;
     uint32_t Addr = readAddr32(C, *Mem);
-    unsigned N = I.dataRegCount();
+    unsigned N = D.DataRegs;
     unsigned D = Dest().index();
     for (unsigned W = 0; W < N; ++W)
       C.writeR(D + W, C.loadShared(Addr + 4 * W));
@@ -694,7 +712,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     if (!Mem || Ops.size() < 2)
       break;
     uint32_t Addr = readAddr32(C, *Mem);
-    unsigned N = I.dataRegCount();
+    unsigned N = D.DataRegs;
     unsigned S = Ops.back().baseReg().index();
     for (unsigned W = 0; W < N; ++W)
       C.storeShared(Addr + 4 * W, C.readR(S + W));
@@ -710,7 +728,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     if (Ops.size() >= 3 && Ops[2].isReg() &&
         Ops[2].baseReg().isPredicate())
       DoCopy = readPred(C, Ops[2]);
-    unsigned N = I.dataRegCount();
+    unsigned N = D.DataRegs;
     for (unsigned W = 0; W < N; ++W)
       C.storeShared(SAddr + 4 * W,
                     DoCopy ? C.loadGlobal(GAddr + 4ull * W) : 0u);
@@ -732,7 +750,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
     const Operand &Val = Ops.back();
     uint32_t Old = C.loadGlobal(Addr);
     uint32_t New;
-    if (I.hasModifier("F32"))
+    if (D.has(DecodedInstr::ModF32))
       New = asBits(asFloat(Old) + readFloat(C, Val));
     else
       New = Old + readInt(C, Val);
@@ -748,6 +766,7 @@ ExecResult executeInstr(const sass::Instruction &I, Ctx &C) {
       if (Op.isLabel()) {
         Res.K = ExecResult::Kind::Branch;
         Res.Target = Op.name();
+        Res.TargetIdx = D.BranchTarget;
         break;
       }
     break;

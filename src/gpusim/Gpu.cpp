@@ -6,6 +6,7 @@
 
 #include "gpusim/Gpu.h"
 
+#include "gpusim/DecodedProgram.h"
 #include "gpusim/Executor.h"
 #include "sass/Program.h"
 
@@ -14,7 +15,6 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
-#include <queue>
 #include <unordered_map>
 
 using namespace cuasmrl;
@@ -63,6 +63,10 @@ struct PendingWrite {
   uint64_t Ready = 0;
   bool Active = false;
 };
+
+/// Read once at startup — the per-call static-guard check was visible
+/// in the register-read hot path.
+const bool TraceStaleReads = getenv("CUASMRL_TRACE_STALE") != nullptr;
 
 } // namespace
 
@@ -113,12 +117,12 @@ namespace gpusim {
 class TimedMachine {
 public:
   TimedMachine(Gpu &Device, const sass::Program &Prog,
-               const KernelLaunch &Launch)
-      : Device(Device), Spec(Device.Spec), Prog(Prog), Launch(Launch) {
+               const DecodedProgram &Decoded, const KernelLaunch &Launch)
+      : Device(Device), Spec(Device.Spec), Prog(Prog), Decoded(Decoded),
+        Launch(Launch) {
+    assert(Decoded.size() == Prog.size() &&
+           "decoded image out of sync with program");
     Consts.setParams(Launch.Params);
-    for (size_t I = 0; I < Prog.size(); ++I)
-      if (Prog.stmt(I).isLabel())
-        LabelMap[Prog.stmt(I).label()] = I;
   }
 
   /// Runs blocks [FirstCta, FirstCta + NumBlocks) concurrently; returns
@@ -148,6 +152,38 @@ private:
     bool operator>(const Event &O) const { return Cycle > O.Cycle; }
   };
 
+  // --- event min-heap with write-buffer recycling ------------------------
+  // Events fire for every variable-latency instruction; a
+  // std::priority_queue would copy each popped event (and heap-allocate
+  // its Writes vector anew each push). The manual heap moves events in
+  // and out, and drained Writes buffers return to a pool for reuse.
+  static bool eventAfter(const Event &A, const Event &B) {
+    return A.Cycle > B.Cycle;
+  }
+  void pushEvent(Event &&E) {
+    Events.push_back(std::move(E));
+    std::push_heap(Events.begin(), Events.end(), eventAfter);
+  }
+  Event popEvent() {
+    std::pop_heap(Events.begin(), Events.end(), eventAfter);
+    Event E = std::move(Events.back());
+    Events.pop_back();
+    return E;
+  }
+  std::vector<DeferredWrite> takeWriteBuf() {
+    if (WriteBufPool.empty())
+      return {};
+    std::vector<DeferredWrite> Buf = std::move(WriteBufPool.back());
+    WriteBufPool.pop_back();
+    return Buf;
+  }
+  void recycleWriteBuf(std::vector<DeferredWrite> &&Buf) {
+    if (Buf.capacity() == 0)
+      return;
+    Buf.clear();
+    WriteBufPool.push_back(std::move(Buf));
+  }
+
   // --- register access with write-back-time semantics -------------------
   uint32_t readR(WarpSimState &W, unsigned I) {
     PendingWrite &P = W.RPend[I];
@@ -155,8 +191,7 @@ private:
       W.R[I] = P.Value;
       P.Active = false;
     }
-    static const bool TraceStale = getenv("CUASMRL_TRACE_STALE") != nullptr;
-    if (TraceStale && W.InFlightUntil[I] > Now)
+    if (TraceStaleReads && W.InFlightUntil[I] > Now)
       fprintf(stderr, "STALE R%u read at cycle %llu (in flight until %llu) pc=%zu\n",
               I, (unsigned long long)Now,
               (unsigned long long)W.InFlightUntil[I], W.Pc);
@@ -197,12 +232,11 @@ private:
   int pickWarp(Scheduler &S, unsigned SchedIdx);
   void issue(Scheduler &S, unsigned WarpIdx);
   unsigned bankPenalty(Scheduler &S, unsigned WarpIdx,
-                       const sass::Instruction &I);
-  void updateReuse(Scheduler &S, unsigned WarpIdx,
-                   const sass::Instruction &I);
-  uint64_t memCompletion(const sass::Instruction &I, uint64_t GlobalWords,
-                         uint64_t GlobalMinAddr, uint64_t SharedWords,
-                         uint64_t ConstWords);
+                       const DecodedInstr &D);
+  void updateReuse(Scheduler &S, unsigned WarpIdx, const DecodedInstr &D);
+  uint64_t memCompletion(const sass::Instruction &I, const DecodedInstr &D,
+                         uint64_t GlobalWords, uint64_t GlobalMinAddr,
+                         uint64_t SharedWords, uint64_t ConstWords);
   void processEvents();
   void maybeReleaseBarrier(unsigned Block);
   void fault(std::string Reason) {
@@ -213,14 +247,15 @@ private:
   Gpu &Device;
   const GpuSpec &Spec;
   const sass::Program &Prog;
+  const DecodedProgram &Decoded;
   const KernelLaunch &Launch;
   ConstantBank Consts;
-  std::unordered_map<std::string, size_t> LabelMap;
 
   std::vector<WarpSimState> Warps;
   std::vector<SharedMemory> SharedPerBlock;
   std::vector<Scheduler> Schedulers;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Events;
+  std::vector<Event> Events; ///< Min-heap ordered by eventAfter().
+  std::vector<std::vector<DeferredWrite>> WriteBufPool;
 
   uint64_t Now = 0;
   uint64_t Elapsed = 0;
@@ -320,7 +355,7 @@ struct TimedCtx {
 } // namespace cuasmrl
 
 const sass::Instruction *TimedMachine::peekInstr(WarpSimState &W) {
-  while (W.Pc < Prog.size() && Prog.stmt(W.Pc).isLabel()) {
+  while (W.Pc < Prog.size() && Decoded[W.Pc].IsLabel) {
     // Crossing a label ends any LDGSTS group (§3.5).
     W.LdgstsBase = -1;
     ++W.Pc;
@@ -369,22 +404,20 @@ int TimedMachine::pickWarp(Scheduler &S, unsigned SchedIdx) {
 }
 
 unsigned TimedMachine::bankPenalty(Scheduler &S, unsigned WarpIdx,
-                                   const sass::Instruction &I) {
+                                   const DecodedInstr &D) {
+  if (!D.HasSlotRegs)
+    return 0;
   std::array<unsigned, 8> BankCount{};
   bool ReuseUsable = S.ReuseValid && S.ReuseWarp == static_cast<int>(WarpIdx);
-  const std::vector<sass::Operand> &Ops = I.operands();
-  for (size_t Slot = 1; Slot < Ops.size() && Slot < 8; ++Slot) {
-    const sass::Operand &Op = Ops[Slot];
-    if (!(Op.isReg() || Op.isMem()))
+  for (size_t Slot = 1; Slot < D.SlotReg.size(); ++Slot) {
+    int Reg = D.SlotReg[Slot];
+    if (Reg < 0)
       continue;
-    sass::Register R = Op.baseReg();
-    if (!R.isGeneral() || R.isZero())
-      continue;
-    if (ReuseUsable && S.ReuseRegs[Slot] == static_cast<int>(R.index())) {
+    if (ReuseUsable && S.ReuseRegs[Slot] == Reg) {
       ++Counters.ReuseHits;
       continue; // Served from the operand reuse cache: no bank access.
     }
-    ++BankCount[R.index() % Spec.RegisterBanks];
+    ++BankCount[static_cast<unsigned>(Reg) % Spec.RegisterBanks];
   }
   unsigned Penalty = 0;
   for (unsigned Bank = 0; Bank < Spec.RegisterBanks; ++Bank)
@@ -395,22 +428,22 @@ unsigned TimedMachine::bankPenalty(Scheduler &S, unsigned WarpIdx,
 }
 
 void TimedMachine::updateReuse(Scheduler &S, unsigned WarpIdx,
-                               const sass::Instruction &I) {
-  S.ReuseValid = false;
-  S.ReuseRegs.fill(-1);
-  const std::vector<sass::Operand> &Ops = I.operands();
-  for (size_t Slot = 1; Slot < Ops.size() && Slot < 8; ++Slot) {
-    const sass::Operand &Op = Ops[Slot];
-    if (Op.isReg() && Op.hasReuse() && Op.baseReg().isGeneral() &&
-        !Op.baseReg().isZero()) {
-      S.ReuseRegs[Slot] = static_cast<int>(Op.baseReg().index());
-      S.ReuseValid = true;
-    }
+                               const DecodedInstr &D) {
+  S.ReuseValid = D.ReuseMask != 0;
+  if (!S.ReuseValid) {
+    // Stale ReuseRegs entries are unreachable while ReuseValid is off.
+    S.ReuseWarp = -1;
+    return;
   }
-  S.ReuseWarp = S.ReuseValid ? static_cast<int>(WarpIdx) : -1;
+  S.ReuseRegs.fill(-1);
+  for (size_t Slot = 1; Slot < D.SlotReg.size(); ++Slot)
+    if (D.ReuseMask & (1u << Slot))
+      S.ReuseRegs[Slot] = D.SlotReg[Slot];
+  S.ReuseWarp = static_cast<int>(WarpIdx);
 }
 
 uint64_t TimedMachine::memCompletion(const sass::Instruction &I,
+                                     const DecodedInstr &D,
                                      uint64_t GlobalWords,
                                      uint64_t GlobalMinAddr,
                                      uint64_t SharedWords,
@@ -421,7 +454,7 @@ uint64_t TimedMachine::memCompletion(const sass::Instruction &I,
     uint64_t Lines = std::max<uint64_t>(1, Bytes / Spec.CacheLineBytes);
     uint64_t LineBase = GlobalMinAddr & ~static_cast<uint64_t>(
                                             Spec.CacheLineBytes - 1);
-    bool Bypass = I.hasModifier("BYPASS");
+    bool Bypass = D.has(DecodedInstr::ModBypass);
     uint64_t Worst = 0;
     for (uint64_t L = 0; L < Lines; ++L) {
       uint64_t Addr = LineBase + L * Spec.CacheLineBytes;
@@ -492,13 +525,12 @@ void TimedMachine::maybeReleaseBarrier(unsigned Block) {
   E.Warp = -1;
   E.ReleaseSlot = -1;
   E.ReleaseBlock = static_cast<int>(Block);
-  Events.push(std::move(E));
+  pushEvent(std::move(E));
 }
 
 void TimedMachine::processEvents() {
-  while (!Events.empty() && Events.top().Cycle <= Now) {
-    Event E = Events.top();
-    Events.pop();
+  while (!Events.empty() && Events.front().Cycle <= Now) {
+    Event E = popEvent();
     if (E.ReleaseBlock >= 0) {
       for (WarpSimState &W : Warps)
         if (W.Block == static_cast<unsigned>(E.ReleaseBlock))
@@ -526,6 +558,7 @@ void TimedMachine::processEvents() {
         break;
       }
     }
+    recycleWriteBuf(std::move(E.Writes));
   }
 }
 
@@ -538,15 +571,15 @@ void TimedMachine::issue(Scheduler &S, unsigned WarpIdx) {
   if (S.ReuseValid && S.ReuseWarp != static_cast<int>(WarpIdx))
     ++Counters.ReuseMisses; // Warp switch invalidated the reuse cache.
 
-  unsigned Penalty = bankPenalty(S, WarpIdx, I);
+  const DecodedInstr &D = Decoded[W.Pc];
+  unsigned Penalty = bankPenalty(S, WarpIdx, D);
 
-  bool VarLat = I.isVariableLatency();
-  uint64_t FixedLat = 1;
-  if (std::optional<std::string> Key = I.latencyKey())
-    if (std::optional<unsigned> Lat = sass::groundTruthLatency(*Key))
-      FixedLat = *Lat;
+  bool VarLat = D.VarLat;
+  uint64_t FixedLat = D.FixedLat;
 
-  TimedCtx Ctx{*this, W, Now + FixedLat, VarLat, false, {}, 0, ~0ull, 0, 0};
+  TimedCtx Ctx{*this,  W, Now + FixedLat, VarLat, false,
+               VarLat ? takeWriteBuf() : std::vector<DeferredWrite>{},
+               0,      ~0ull,           0,      0};
 
   // LDGSTS groups must issue in ascending-offset order (hardware
   // idiosyncrasy the paper identifies in §3.5); a violation corrupts the
@@ -563,16 +596,16 @@ void TimedMachine::issue(Scheduler &S, unsigned WarpIdx) {
     }
     W.LdgstsBase = Base;
     W.LdgstsOffset = SharedOp.memOffset();
-  } else if (I.isBarrierOrSync() || I.isControlFlow()) {
+  } else if (D.IsBarrierOrSync || D.IsCtrlFlow) {
     W.LdgstsBase = -1;
   }
 
-  ExecResult R = executeInstr(I, Ctx);
+  ExecResult R = executeInstr(I, D, Ctx);
   ++Counters.IssuedInstrs;
 
   // Completion & scoreboard plumbing for variable-latency instructions.
   if (VarLat && R.Predicated) {
-    uint64_t Completion = memCompletion(I, Ctx.GlobalWords,
+    uint64_t Completion = memCompletion(I, D, Ctx.GlobalWords,
                                         Ctx.GlobalMinAddr, Ctx.SharedWords,
                                         Ctx.ConstWords);
     bool NeedEvent = !Ctx.Deferred.empty() || I.ctrl().hasWriteBarrier();
@@ -589,7 +622,9 @@ void TimedMachine::issue(Scheduler &S, unsigned WarpIdx) {
         ++W.Scoreboard[E.ReleaseSlot];
       E.ReleaseBlock = -1;
       E.Writes = std::move(Ctx.Deferred);
-      Events.push(std::move(E));
+      pushEvent(std::move(E));
+    } else {
+      recycleWriteBuf(std::move(Ctx.Deferred));
     }
     if (I.ctrl().hasReadBarrier()) {
       // Sources are consumed once the request leaves the LSU.
@@ -599,9 +634,10 @@ void TimedMachine::issue(Scheduler &S, unsigned WarpIdx) {
       E.ReleaseSlot = I.ctrl().readBarrier();
       ++W.Scoreboard[E.ReleaseSlot];
       E.ReleaseBlock = -1;
-      Events.push(std::move(E));
+      pushEvent(std::move(E));
     }
   } else if (VarLat && !R.Predicated) {
+    recycleWriteBuf(std::move(Ctx.Deferred));
     // Predicated-off memory op: consumes the issue slot only, but its
     // barriers must still fire or waiters would deadlock.
     for (int Slot : {I.ctrl().writeBarrier(), I.ctrl().readBarrier()}) {
@@ -613,7 +649,7 @@ void TimedMachine::issue(Scheduler &S, unsigned WarpIdx) {
       E.ReleaseSlot = Slot;
       ++W.Scoreboard[Slot];
       E.ReleaseBlock = -1;
-      Events.push(std::move(E));
+      pushEvent(std::move(E));
     }
   }
 
@@ -624,14 +660,13 @@ void TimedMachine::issue(Scheduler &S, unsigned WarpIdx) {
     ++W.Pc;
     break;
   case ExecResult::Kind::Branch: {
-    auto It = LabelMap.find(std::string(R.Target));
-    if (It == LabelMap.end()) {
+    if (R.TargetIdx < 0) {
       fault("branch to unknown label '" + std::string(R.Target) + "'");
       W.Done = true;
       --LiveWarps;
       return;
     }
-    W.Pc = It->second;
+    W.Pc = static_cast<size_t>(R.TargetIdx);
     W.LdgstsBase = -1;
     ExtraIssueDelay = Spec.BranchPenalty;
     break;
@@ -654,7 +689,7 @@ void TimedMachine::issue(Scheduler &S, unsigned WarpIdx) {
   // Scheduler stickiness & the yield hint (§2.3: load balancing).
   S.StickyWarp = I.ctrl().yield() ? -1 : static_cast<int>(WarpIdx);
 
-  updateReuse(S, WarpIdx, I);
+  updateReuse(S, WarpIdx, D);
 
   if (R.K == ExecResult::Kind::BlockBarrier)
     maybeReleaseBarrier(W.Block);
@@ -708,7 +743,7 @@ bool TimedMachine::runGroup(unsigned FirstCta, unsigned NumBlocks) {
     if (!AnyIssue) {
       uint64_t Candidate = ~0ull;
       if (!Events.empty())
-        Candidate = Events.top().Cycle;
+        Candidate = Events.front().Cycle;
       for (const WarpSimState &W : Warps)
         if (!W.Done && !W.AtBarrier && W.NextIssue > Now)
           Candidate = std::min(Candidate, W.NextIssue);
@@ -794,14 +829,10 @@ struct OracleCtx {
 /// Runs one block in program order (round-robin across warps, barriers
 /// respected). Returns false on fault/runaway.
 static bool runBlockOracle(Gpu &Device, const sass::Program &Prog,
+                           const DecodedProgram &Decoded,
                            const KernelLaunch &Launch,
                            const ConstantBank &Consts, unsigned CtaLinear,
                            std::string &FaultReason) {
-  std::unordered_map<std::string, size_t> LabelMap;
-  for (size_t I = 0; I < Prog.size(); ++I)
-    if (Prog.stmt(I).isLabel())
-      LabelMap[Prog.stmt(I).label()] = I;
-
   SharedMemory Shared(Launch.SharedBytes);
   std::vector<WarpSimState> Warps(Launch.WarpsPerBlock);
   for (unsigned WI = 0; WI < Launch.WarpsPerBlock; ++WI) {
@@ -824,7 +855,7 @@ static bool runBlockOracle(Gpu &Device, const sass::Program &Prog,
         continue;
       }
       // Step one instruction.
-      while (W.Pc < Prog.size() && Prog.stmt(W.Pc).isLabel())
+      while (W.Pc < Prog.size() && Decoded[W.Pc].IsLabel)
         ++W.Pc;
       if (W.Pc >= Prog.size()) {
         W.Done = true;
@@ -834,7 +865,7 @@ static bool runBlockOracle(Gpu &Device, const sass::Program &Prog,
       const sass::Instruction &I = Prog.stmt(W.Pc).instr();
       OracleCtx Ctx{W,      Shared, Device.globalMemory(), Consts,
                     Launch, 32,     Executed};
-      ExecResult R = executeInstr(I, Ctx);
+      ExecResult R = executeInstr(I, Decoded[W.Pc], Ctx);
       ++Executed;
       Progress = true;
       switch (R.K) {
@@ -842,13 +873,12 @@ static bool runBlockOracle(Gpu &Device, const sass::Program &Prog,
         ++W.Pc;
         break;
       case ExecResult::Kind::Branch: {
-        auto It = LabelMap.find(std::string(R.Target));
-        if (It == LabelMap.end()) {
+        if (R.TargetIdx < 0) {
           FaultReason = "branch to unknown label '" +
                         std::string(R.Target) + "'";
           return false;
         }
-        W.Pc = It->second;
+        W.Pc = static_cast<size_t>(R.TargetIdx);
         break;
       }
       case ExecResult::Kind::Exit:
@@ -895,6 +925,15 @@ static bool runBlockOracle(Gpu &Device, const sass::Program &Prog,
 
 RunResult Gpu::run(const sass::Program &Prog, const KernelLaunch &Launch,
                    RunMode Mode, unsigned MaxBlocks) {
+  DecodedProgram Decoded(Prog);
+  return run(Prog, Decoded, Launch, Mode, MaxBlocks);
+}
+
+RunResult Gpu::run(const sass::Program &Prog, const DecodedProgram &Decoded,
+                   const KernelLaunch &Launch, RunMode Mode,
+                   unsigned MaxBlocks) {
+  assert(Decoded.size() == Prog.size() &&
+         "decoded image out of sync with program");
   RunResult Result;
   unsigned NumBlocks = Launch.numBlocks();
   unsigned ToRun = MaxBlocks ? std::min(MaxBlocks, NumBlocks) : NumBlocks;
@@ -903,7 +942,7 @@ RunResult Gpu::run(const sass::Program &Prog, const KernelLaunch &Launch,
     ConstantBank Consts;
     Consts.setParams(Launch.Params);
     for (unsigned Cta = 0; Cta < ToRun; ++Cta) {
-      if (!runBlockOracle(*this, Prog, Launch, Consts, Cta,
+      if (!runBlockOracle(*this, Prog, Decoded, Launch, Consts, Cta,
                           Result.FaultReason)) {
         Result.Valid = false;
         return Result;
@@ -913,7 +952,7 @@ RunResult Gpu::run(const sass::Program &Prog, const KernelLaunch &Launch,
   }
 
   unsigned Resident = residentBlocks(Launch);
-  TimedMachine Machine(*this, Prog, Launch);
+  TimedMachine Machine(*this, Prog, Decoded, Launch);
   unsigned Groups = 0;
   uint64_t TotalCycles = 0;
   for (unsigned First = 0; First < ToRun; First += Resident) {

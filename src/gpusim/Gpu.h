@@ -38,6 +38,8 @@ class Program;
 }
 namespace gpusim {
 
+class DecodedProgram;
+
 /// Execution fidelity mode.
 enum class RunMode {
   Oracle, ///< Program-order reference semantics (no timing).
@@ -63,8 +65,20 @@ public:
   ///        reward loop where only relative timing matters); when zero,
   ///        execute every block (used when output buffers must be
   ///        completely written, e.g. probabilistic testing).
+  ///
+  /// This overload decodes \p Prog into a fresh kernel image first
+  /// (O(program), once per call). Callers that run the same schedule
+  /// repeatedly — or maintain an image incrementally across swaps, like
+  /// the assembly game — should use the image-supplying overload below.
   RunResult run(const sass::Program &Prog, const KernelLaunch &Launch,
                 RunMode Mode, unsigned MaxBlocks = 0);
+
+  /// As above, but executes through the caller's pre-decoded image.
+  /// \p Decoded must be positionally aligned with \p Prog (same size,
+  /// record \c i decoded from statement \c i) — asserted in debug.
+  RunResult run(const sass::Program &Prog, const DecodedProgram &Decoded,
+                const KernelLaunch &Launch, RunMode Mode,
+                unsigned MaxBlocks = 0);
 
   /// Blocks per SM the occupancy rules admit for this launch.
   unsigned residentBlocks(const KernelLaunch &Launch) const;

@@ -8,6 +8,7 @@
 
 #include "sass/Program.h"
 
+#include <cassert>
 #include <cmath>
 
 using namespace cuasmrl;
@@ -16,13 +17,22 @@ using namespace cuasmrl::gpusim;
 Measurement gpusim::measureKernel(Gpu &Device, const sass::Program &Prog,
                                   const KernelLaunch &Launch,
                                   const MeasureConfig &Config) {
+  DecodedProgram Decoded(Prog);
+  return measureKernel(Device, Prog, Decoded, Launch, Config);
+}
+
+Measurement gpusim::measureKernel(Gpu &Device, const sass::Program &Prog,
+                                  const DecodedProgram &Decoded,
+                                  const KernelLaunch &Launch,
+                                  const MeasureConfig &Config) {
   Measurement Out;
   Rng Noise(Config.Seed);
 
   // Warmup: primes the caches exactly like the paper's 100 warmup
   // iterations prime the real GPU's clocks and TLBs.
   for (unsigned I = 0; I < Config.WarmupIters; ++I) {
-    RunResult R = Device.run(Prog, Launch, RunMode::Timed, Config.MaxBlocks);
+    RunResult R =
+        Device.run(Prog, Decoded, Launch, RunMode::Timed, Config.MaxBlocks);
     if (!R.Valid) {
       Out.Valid = false;
       Out.FaultReason = R.FaultReason;
@@ -35,7 +45,8 @@ Measurement gpusim::measureKernel(Gpu &Device, const sass::Program &Prog,
   for (unsigned I = 0; I < Config.RepeatIters; ++I) {
     if (Config.ClearL2BetweenReps)
       Device.clearCaches();
-    RunResult R = Device.run(Prog, Launch, RunMode::Timed, Config.MaxBlocks);
+    RunResult R =
+        Device.run(Prog, Decoded, Launch, RunMode::Timed, Config.MaxBlocks);
     if (!R.Valid) {
       Out.Valid = false;
       Out.FaultReason = R.FaultReason;
@@ -161,19 +172,7 @@ void MeasurementCache::accumulate(PerfCounters &PC) const {
 
 MeasurementCache::ScheduleKey
 MeasurementCache::keyFor(const sass::Program &Prog) {
-  // Primary: FNV-1a 64-bit over the canonical printed form (the same
-  // identity the per-game memoization used as a string key). Check: an
-  // independent polynomial hash — FNV collisions in same-length texts
-  // are basis-independent, so the guard must use a different scheme.
-  std::string Text = Prog.str();
-  ScheduleKey Key;
-  Key.Primary = 0xcbf29ce484222325ull;
-  Key.Check = 0x2545f4914f6cdd1dull;
-  for (unsigned char C : Text) {
-    Key.Primary = (Key.Primary ^ C) * 0x100000001b3ull;
-    Key.Check = Key.Check * 0x9e3779b97f4a7c15ull + C + 1;
-  }
-  return Key;
+  return ScheduleHash(Prog).key();
 }
 
 uint64_t MeasurementCache::hashSchedule(const sass::Program &Prog) {
@@ -183,4 +182,68 @@ uint64_t MeasurementCache::hashSchedule(const sass::Program &Prog) {
 uint64_t MeasurementCache::deriveSeed(uint64_t BaseSeed, uint64_t Key) {
   // Pure function of (BaseSeed, Key), never of measurement order.
   return mixSeed(BaseSeed, Key);
+}
+
+//===----------------------------------------------------------------------===//
+// ScheduleHash
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixer.
+uint64_t avalanche(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
+} // namespace
+
+uint64_t ScheduleHash::mixPrimary(uint64_t LineHash, uint64_t Pos) {
+  return avalanche(LineHash ^ (0x9e3779b97f4a7c15ull * (Pos + 1)));
+}
+
+uint64_t ScheduleHash::mixCheck(uint64_t LineHash, uint64_t Pos) {
+  // Independent of mixPrimary: different position injection and a
+  // pre-whitened line hash, so a Primary collision does not imply a
+  // Check collision.
+  return avalanche(~LineHash + 0xc2b2ae3d27d4eb4full * (Pos + 1));
+}
+
+ScheduleHash::ScheduleHash(const sass::Program &Prog) {
+  // The kernel name seeds both components (the printed header line of
+  // the old full-text hash), keeping distinct kernels' schedules
+  // distinct even when their bodies coincide.
+  uint64_t N1 = 0xcbf29ce484222325ull;
+  uint64_t N2 = 0x2545f4914f6cdd1dull;
+  for (unsigned char C : Prog.name()) {
+    N1 = (N1 ^ C) * 0x100000001b3ull;
+    N2 = N2 * 0x9e3779b97f4a7c15ull + C + 1;
+  }
+  Primary = avalanche(N1);
+  Check = avalanche(~N2);
+
+  Lines1.reserve(Prog.size());
+  Lines2.reserve(Prog.size());
+  for (size_t I = 0; I < Prog.size(); ++I) {
+    std::pair<uint64_t, uint64_t> H = Prog.stmt(I).contentHashes();
+    Lines1.push_back(H.first);
+    Lines2.push_back(H.second);
+    Primary += mixPrimary(H.first, I);
+    Check += mixCheck(H.second, I);
+  }
+}
+
+void ScheduleHash::swap(size_t Upper) {
+  assert(Upper + 1 < Lines1.size() && "swap out of range");
+  size_t Lower = Upper + 1;
+  Primary -= mixPrimary(Lines1[Upper], Upper) + mixPrimary(Lines1[Lower], Lower);
+  Check -= mixCheck(Lines2[Upper], Upper) + mixCheck(Lines2[Lower], Lower);
+  std::swap(Lines1[Upper], Lines1[Lower]);
+  std::swap(Lines2[Upper], Lines2[Lower]);
+  Primary += mixPrimary(Lines1[Upper], Upper) + mixPrimary(Lines1[Lower], Lower);
+  Check += mixCheck(Lines2[Upper], Upper) + mixCheck(Lines2[Lower], Lower);
 }

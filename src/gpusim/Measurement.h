@@ -19,6 +19,7 @@
 #ifndef CUASMRL_GPUSIM_MEASUREMENT_H
 #define CUASMRL_GPUSIM_MEASUREMENT_H
 
+#include "gpusim/DecodedProgram.h"
 #include "gpusim/Gpu.h"
 #include "support/Rng.h"
 
@@ -26,6 +27,7 @@
 #include <functional>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace cuasmrl {
 namespace sass {
@@ -54,11 +56,20 @@ struct Measurement {
 };
 
 /// Times \p Prog on \p Device with the paper's warmup/repeat protocol.
+/// Decodes the program into a kernel image once, then reuses it across
+/// every warmup/repeat run.
 ///
 /// Thread-safety: mutates \p Device (memory, cache state) — callers
 /// running concurrently must each own their device; concurrent calls
 /// on one Gpu are a data race.
 Measurement measureKernel(Gpu &Device, const sass::Program &Prog,
+                          const KernelLaunch &Launch,
+                          const MeasureConfig &Config = MeasureConfig());
+
+/// As above with a caller-maintained pre-decoded image (the assembly
+/// game updates its image in O(1) per swap instead of redecoding).
+Measurement measureKernel(Gpu &Device, const sass::Program &Prog,
+                          const DecodedProgram &Decoded,
                           const KernelLaunch &Launch,
                           const MeasureConfig &Config = MeasureConfig());
 
@@ -125,8 +136,11 @@ public:
   void accumulate(PerfCounters &PC) const;
   /// @}
 
-  /// Canonical schedule key over the printed program: FNV-1a primary
-  /// plus an independent polynomial check hash.
+  /// Canonical schedule key: per-statement content hashes (FNV-1a
+  /// primary, independent polynomial check — see
+  /// sass::Statement::contentHashes) combined with position mixes.
+  /// Identical to ScheduleHash(Prog).key(), which maintains the same
+  /// key in O(1) per swap.
   static ScheduleKey keyFor(const sass::Program &Prog);
 
   /// Primary hash alone (the cache index / noise-seed component).
@@ -150,6 +164,50 @@ private:
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Collisions = 0;
+};
+
+/// Incrementally-maintained schedule identity.
+///
+/// Caches each statement's content hashes once, and combines them with
+/// per-position mixes into the MeasurementCache key:
+///
+///   Primary = seed(name) + Σ_i mixP(line1_i, i)
+///   Check   = seed(name) + Σ_i mixC(line2_i, i)
+///
+/// Because the per-line hashes are position-independent and the
+/// combination is a sum of independent position-mixed terms, swapping
+/// adjacent statements updates the key in O(1): subtract the two old
+/// terms, exchange the cached line hashes, add the two new terms. The
+/// invariant `ScheduleHash(P).key() == incrementally-maintained key`
+/// after any legal swap sequence is pinned by differential tests.
+///
+/// The Check component stays an independent hash (different per-line
+/// scheme, different mixer), preserving the cache's collision guard and
+/// the order-invariant noise-seed derivation (deriveSeed(Base, Check)
+/// remains a pure function of the schedule).
+class ScheduleHash {
+public:
+  ScheduleHash() = default;
+  /// Full O(program) construction from scratch.
+  explicit ScheduleHash(const sass::Program &Prog);
+
+  /// Statements covered (== program size at construction).
+  size_t size() const { return Lines1.size(); }
+
+  /// Mirrors Program::swap(Upper, Upper+1) in O(1).
+  void swap(size_t Upper);
+
+  /// The current schedule key.
+  MeasurementCache::ScheduleKey key() const { return {Primary, Check}; }
+
+private:
+  static uint64_t mixPrimary(uint64_t LineHash, uint64_t Pos);
+  static uint64_t mixCheck(uint64_t LineHash, uint64_t Pos);
+
+  std::vector<uint64_t> Lines1; ///< Per-statement FNV-1a content hash.
+  std::vector<uint64_t> Lines2; ///< Per-statement polynomial hash.
+  uint64_t Primary = 0;
+  uint64_t Check = 0;
 };
 
 } // namespace gpusim

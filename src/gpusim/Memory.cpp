@@ -28,17 +28,23 @@ void GlobalMemory::reset() {
 }
 
 GlobalMemory::Segment *GlobalMemory::find(uint64_t Addr, uint64_t Bytes) {
-  for (Segment &Seg : Segments)
-    if (Addr >= Seg.Base && Addr + Bytes <= Seg.Base + Seg.Data.size())
-      return &Seg;
-  return nullptr;
+  return const_cast<Segment *>(
+      static_cast<const GlobalMemory *>(this)->find(Addr, Bytes));
 }
 
 const GlobalMemory::Segment *GlobalMemory::find(uint64_t Addr,
                                                 uint64_t Bytes) const {
-  for (const Segment &Seg : Segments)
-    if (Addr >= Seg.Base && Addr + Bytes <= Seg.Base + Seg.Data.size())
-      return &Seg;
+  auto Holds = [&](const Segment &Seg) {
+    return Addr >= Seg.Base && Addr + Bytes <= Seg.Base + Seg.Data.size();
+  };
+  if (LastSeg < Segments.size() && Holds(Segments[LastSeg]))
+    return &Segments[LastSeg];
+  for (size_t I = 0; I < Segments.size(); ++I) {
+    if (Holds(Segments[I])) {
+      LastSeg = I;
+      return &Segments[I];
+    }
+  }
   return nullptr;
 }
 

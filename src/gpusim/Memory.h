@@ -72,6 +72,10 @@ private:
   const Segment *find(uint64_t Addr, uint64_t Bytes) const;
 
   std::vector<Segment> Segments;
+  /// Most-recently-hit segment: device word accesses stream through one
+  /// buffer at a time, so checking it first makes find() O(1) on the
+  /// simulator's load/store path.
+  mutable size_t LastSeg = 0;
   uint64_t NextBase = 0x10000000ull;
   bool Fault = false;
 };

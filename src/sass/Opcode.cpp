@@ -7,6 +7,8 @@
 #include "sass/Opcode.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 
 using namespace cuasmrl;
@@ -141,12 +143,28 @@ static const OpcodeInfo OpcodeTable[] = {
      true, false, false},
 };
 
+// The table must stay in enumerator order for the direct-index lookup
+// below; verified once at startup so a divergence aborts loudly even in
+// Release builds instead of silently mislabeling opcodes.
+static const bool OpcodeTableOrdered = [] {
+  for (size_t I = 0; I < std::size(OpcodeTable); ++I) {
+    if (OpcodeTable[I].Op != static_cast<Opcode>(I)) {
+      fprintf(stderr, "OpcodeTable out of enum order at index %zu (%s)\n", I,
+              OpcodeTable[I].Name);
+      abort();
+    }
+  }
+  return true;
+}();
+
 const OpcodeInfo &sass::getOpcodeInfo(Opcode Op) {
-  for (const OpcodeInfo &Info : OpcodeTable)
-    if (Info.Op == Op)
-      return Info;
-  assert(false && "opcode missing from property table");
-  return OpcodeTable[0];
+  // Property lookup is a direct index — this sits on the simulator's
+  // per-issue path.
+  (void)OpcodeTableOrdered;
+  size_t Index = static_cast<size_t>(Op);
+  assert(Index < std::size(OpcodeTable) &&
+         "opcode outside the property table");
+  return OpcodeTable[Index];
 }
 
 std::optional<Opcode> sass::parseOpcode(std::string_view Mnemonic) {

@@ -12,6 +12,29 @@
 using namespace cuasmrl;
 using namespace cuasmrl::sass;
 
+std::pair<uint64_t, uint64_t> Statement::contentHashes() const {
+  // FNV-1a plus an independent polynomial hash over the canonical line,
+  // mirroring the two schemes the measurement cache's schedule key has
+  // always combined (a shared-basis collision would defeat the check
+  // hash's collision guard).
+  uint64_t H1 = 0xcbf29ce484222325ull;
+  uint64_t H2 = 0x2545f4914f6cdd1dull;
+  auto Feed = [&H1, &H2](const std::string &Text) {
+    for (unsigned char C : Text) {
+      H1 = (H1 ^ C) * 0x100000001b3ull;
+      H2 = H2 * 0x9e3779b97f4a7c15ull + C + 1;
+    }
+  };
+  if (IsLabelStmt) {
+    Feed(LabelName);
+    Feed(":");
+  } else {
+    Feed(Instr.ctrl().str());
+    Feed(Instr.str());
+  }
+  return {H1, H2};
+}
+
 size_t Program::instrCount() const {
   size_t Count = 0;
   for (const Statement &S : Statements)

@@ -21,6 +21,7 @@
 #include <cassert>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cuasmrl {
@@ -48,6 +49,14 @@ public:
     assert(IsLabelStmt && "not a label");
     return LabelName;
   }
+
+  /// Two independent 64-bit hashes of this statement's canonical line
+  /// (control code + instruction text, or the label). A pure function
+  /// of the statement's *content* — never of its position — which is
+  /// what lets schedule hashing maintain a program-wide key in O(1)
+  /// per swap: reordering statements only re-mixes the cached line
+  /// hashes with new position terms.
+  std::pair<uint64_t, uint64_t> contentHashes() const;
   const Instruction &instr() const {
     assert(!IsLabelStmt && "not an instruction");
     return Instr;

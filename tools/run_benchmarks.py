@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Run the step-throughput benchmark and emit a machine-readable report.
+
+Drives `bench_env_step` (and, when built, `bench_simulator_perf`) from a
+CMake build tree and writes `BENCH_step_throughput.json` so the per-PR
+perf trajectory of the env-step hot path can be tracked by CI and
+compared across revisions.
+
+Usage:
+    tools/run_benchmarks.py [--build-dir build] [--out BENCH_step_throughput.json]
+                            [--steps N] [--timeout SECONDS]
+
+Exit status: 0 on success (report written), 1 when a benchmark binary is
+missing or fails, 2 on bad arguments.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_env_step(build_dir, out_path, steps, timeout):
+    exe = os.path.join(build_dir, "bench", "bench_env_step")
+    if not os.path.exists(exe):
+        print(f"error: {exe} not found (build the 'bench_env_step' target)",
+              file=sys.stderr)
+        return None
+    cmd = [exe, "--json", out_path]
+    if steps:
+        cmd += ["--steps", str(steps)]
+    print("+ " + " ".join(cmd))
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        print(f"error: bench_env_step exceeded the {timeout}s guard",
+              file=sys.stderr)
+        return None
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print(f"error: bench_env_step exited with {proc.returncode}",
+              file=sys.stderr)
+        return None
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def run_simulator_perf(build_dir, timeout):
+    """Optional: google-benchmark phase microbenchmarks, if built."""
+    exe = os.path.join(build_dir, "bench", "bench_simulator_perf")
+    if not os.path.exists(exe):
+        return None
+    cmd = [exe, "--benchmark_format=json", "--benchmark_min_time=0.05"]
+    print("+ " + " ".join(cmd))
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        print("warning: bench_simulator_perf exceeded the guard; "
+              "omitting its phases", file=sys.stderr)
+        return None
+    if proc.returncode != 0:
+        print("warning: bench_simulator_perf failed; omitting its phases",
+              file=sys.stderr)
+        return None
+    try:
+        raw = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        print("warning: unparsable bench_simulator_perf output",
+              file=sys.stderr)
+        return None
+    return {
+        b["name"]: {"time_ns": b.get("real_time"),
+                    "unit": b.get("time_unit")}
+        for b in raw.get("benchmarks", [])
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_step_throughput.json")
+    parser.add_argument("--steps", type=int, default=0,
+                        help="step budget per kernel (0 = bench default)")
+    parser.add_argument("--timeout", type=int, default=1200,
+                        help="per-binary wall-clock guard in seconds")
+    args = parser.parse_args()
+
+    report = run_env_step(args.build_dir, args.out, args.steps, args.timeout)
+    if report is None:
+        return 1
+
+    phases = run_simulator_perf(args.build_dir, args.timeout)
+    if phases is not None:
+        report["simulator_phase_benchmarks"] = phases
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for kernel in report.get("kernels", []):
+        print(f"{kernel['name']}: {kernel['steps_per_sec']:.1f} steps/s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
