@@ -16,14 +16,30 @@ using namespace cuasmrl::core;
 
 Optimizer::Optimizer(OptimizeConfig C) : Config(std::move(C)) {}
 
+triton::AutotuneOptions Optimizer::autotuneOptions() const {
+  triton::AutotuneOptions O;
+  O.Measure = Config.AutotuneMeasure;
+  O.Workers = Config.AutotuneWorkers;
+  O.BaseSeed = Config.AutotuneSeed;
+  return O;
+}
+
 OptimizeResult Optimizer::optimize(gpusim::Gpu &Device,
                                    kernels::WorkloadKind Kind,
                                    const kernels::WorkloadShape &Shape,
                                    Rng &DataRng) {
   // Level 1: kernel-configuration search (§3.1). The configurations can
   // be worth up to 2x and completely change the SASS the agent sees.
-  triton::Autotuner Tuner(Config.AutotuneMeasure);
-  triton::AutotuneResult Tuned = Tuner.tune(Device, Kind, Shape, DataRng);
+  triton::Autotuner Tuner(autotuneOptions());
+  triton::AutotuneResult Tuned = Tuner.tune(Device, Kind, Shape);
+  if (!Tuned.Valid) {
+    // No candidate fit the shape (or every measurement faulted): there
+    // is no meaningful configuration to compile, so surface the failure
+    // instead of training on a default-constructed "winner".
+    OptimizeResult Failed;
+    Failed.AutotuneValid = false;
+    return Failed;
+  }
 
   // Compile at the winning configuration and intercept the cubin.
   triton::CompiledKernel Compiled =
@@ -123,4 +139,37 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
                                 Result.OptimizedProg,
                                 Config.ProbTestRounds, DataRng);
   return Result;
+}
+
+std::vector<triton::AutotuneResult>
+Optimizer::autotuneAll(const gpusim::Gpu &Device,
+                       const std::vector<triton::SweepRequest> &Requests,
+                       triton::DeployCache *Deploy,
+                       const std::string &GpuType) {
+  triton::Autotuner Tuner(autotuneOptions());
+  std::vector<triton::AutotuneResult> Results =
+      Tuner.sweepAll(Device, Requests);
+
+  if (Deploy) {
+    for (size_t I = 0; I < Requests.size(); ++I) {
+      const triton::AutotuneResult &R = Results[I];
+      if (!R.Valid)
+        continue; // Nothing meaningful to persist.
+      // Compile the winner on a private device copy with a seed fixed
+      // by (AutotuneSeed, request index) — the Rng only randomizes
+      // buffer contents, so the persisted cubin is byte-identical
+      // regardless — and store it under a key that pins GPU, workload,
+      // shape and config.
+      gpusim::Gpu Local(Device);
+      Rng DataRng(mixSeed(Config.AutotuneSeed, I));
+      triton::CompiledKernel Compiled = triton::compileKernel(
+          Local, Requests[I].Kind, Requests[I].Shape, R.Best, DataRng);
+      std::string Key = triton::DeployCache::makeKey(
+          GpuType,
+          triton::Autotuner::requestKey(Requests[I].Kind, Requests[I].Shape),
+          R.Best.str());
+      Deploy->store(Key, Compiled.Binary);
+    }
+  }
+  return Results;
 }

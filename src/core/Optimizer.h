@@ -21,6 +21,7 @@
 #include "env/AssemblyGame.h"
 #include "rl/Ppo.h"
 #include "triton/Autotuner.h"
+#include "triton/DeployCache.h"
 #include "triton/Pipeline.h"
 
 namespace cuasmrl {
@@ -47,10 +48,20 @@ struct OptimizeConfig {
   unsigned ProbTestRounds = 3;
   /// Measurement protocol for the autotuner.
   gpusim::MeasureConfig AutotuneMeasure = triton::Autotuner::defaultMeasure();
+  /// Worker threads for the autotune sweep (level 1); 1 = serial,
+  /// 0 = hardware concurrency. Sweep results are bit-identical for
+  /// every value — a wall-clock knob only.
+  unsigned AutotuneWorkers = 1;
+  /// Base seed of the sweep's per-candidate data/noise streams.
+  uint64_t AutotuneSeed = 7;
 };
 
 /// Everything one run produces.
 struct OptimizeResult {
+  /// False when the level-1 sweep produced no valid configuration (no
+  /// candidate fits the shape, or every measurement faulted); the run
+  /// stops before compilation and every other field is default.
+  bool AutotuneValid = true;
   kernels::TileConfig BestConfig; ///< Autotuner winner (§3.1).
   double TritonUs = 0.0;          ///< -O3 schedule at the best config.
   double OptimizedUs = 0.0;       ///< Best schedule the agent found.
@@ -86,9 +97,24 @@ public:
                                   const kernels::BuiltKernel &Kernel,
                                   Rng &DataRng);
 
+  /// Level-1-only batch API: tunes every request in one parallel,
+  /// deterministic sweep (Config.AutotuneWorkers / AutotuneSeed) and,
+  /// when \p Deploy is non-null, compiles each valid winner and
+  /// persists its cubin under
+  /// makeKey(GpuType, workloadName, Autotuner::requestKey + config).
+  /// Results are returned in request order; invalid sweeps (see
+  /// AutotuneResult::Valid) are returned but never persisted.
+  std::vector<triton::AutotuneResult>
+  autotuneAll(const gpusim::Gpu &Device,
+              const std::vector<triton::SweepRequest> &Requests,
+              triton::DeployCache *Deploy = nullptr,
+              const std::string &GpuType = "A100-SIM");
+
   const OptimizeConfig &config() const { return Config; }
 
 private:
+  triton::AutotuneOptions autotuneOptions() const;
+
   OptimizeConfig Config;
 };
 

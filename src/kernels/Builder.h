@@ -59,6 +59,14 @@ struct BuiltKernel {
 /// Builds the fused kernel for \p Kind with the given configuration and
 /// scheduling style. Buffers are allocated on \p Device and randomized
 /// from \p DataRng.
+///
+/// Thread-safety (audited for the parallel autotune sweep): the only
+/// state touched is \p Device (buffer allocation + input writes) and
+/// \p DataRng; the generators and the SASS parser keep no mutable
+/// globals. Concurrent calls are safe iff each caller owns its Device
+/// and Rng — two workers sharing either is a data race. The sweep
+/// engine therefore builds every candidate on a private Gpu copy with
+/// a per-candidate Rng stream.
 BuiltKernel buildKernel(gpusim::Gpu &Device, WorkloadKind Kind,
                         const WorkloadShape &Shape, const TileConfig &Config,
                         ScheduleStyle Style, Rng &DataRng);

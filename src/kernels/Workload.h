@@ -78,6 +78,10 @@ struct TileConfig {
 };
 
 /// The user-provided configuration grid for \p Kind (§3.1).
+///
+/// Thread-safety: pure — returns a freshly built vector from compile-
+/// time constants, no shared mutable state; safe to call concurrently
+/// from any number of sweep workers (likewise configFits()).
 std::vector<TileConfig> candidateConfigs(WorkloadKind Kind);
 
 /// Scheduling quality of the generated SASS.

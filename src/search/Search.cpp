@@ -66,7 +66,13 @@ SearchResult search::greedySearch(AssemblyGame &Game, unsigned TotalSteps,
     double Before = Game.currentTimeUs();
     AssemblyGame::StepResult S = Game.step(*Action);
     ++Res.StepsUsed;
-    if (!S.Invalid && Game.currentTimeUs() > Before) {
+    if (S.Invalid) {
+      // The environment already rejected (reverted) the move; it is the
+      // opposite of progress, so it must count toward the stuck
+      // counter. Resetting here let a schedule at a local minimum that
+      // keeps sampling invalid actions spin for the whole step budget.
+      ++Stuck;
+    } else if (Game.currentTimeUs() > Before) {
       // Revert a worsening move (hill climbing).
       Game.step(reverseAction(*Action));
       ++Res.StepsUsed;
@@ -125,7 +131,15 @@ SearchResult search::evolutionarySearch(AssemblyGame &Game,
     Pop.push_back({std::move(G), T});
   }
 
+  // Generations that apply zero environment steps (every offspring
+  // truncates immediately, e.g. all actions masked at reset) leave
+  // StepsUsed frozen — without a bail-out the while loop below spins
+  // forever. One dry generation can also be bad luck with a
+  // restrictive mask, so only a run of them terminates the search.
+  constexpr unsigned MaxDryGenerations = 8;
+  unsigned DryGenerations = 0;
   while (Res.StepsUsed < TotalSteps) {
+    const unsigned StepsBefore = Res.StepsUsed;
     std::sort(Pop.begin(), Pop.end(),
               [](const Individual &A, const Individual &B) {
                 return A.TimeUs < B.TimeUs;
@@ -146,6 +160,13 @@ SearchResult search::evolutionarySearch(AssemblyGame &Game,
       Pop[I] = {std::move(Child), T};
       if (Res.StepsUsed >= TotalSteps)
         break;
+    }
+    if (Res.StepsUsed == StepsBefore) {
+      if (++DryGenerations >= MaxDryGenerations)
+        break; // No offspring applied a single action for a whole
+               // run of generations: the game is effectively stuck.
+    } else {
+      DryGenerations = 0;
     }
   }
 

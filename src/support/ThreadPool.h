@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A fixed-size worker pool for the parallel rollout engine (and any
-/// future async autotune sweeps). Deliberately minimal: FIFO task queue,
+/// A fixed-size worker pool for the parallel rollout engine and the
+/// autotune sweep engine. Deliberately minimal: FIFO task queue,
 /// blocking wait-for-drain, and a parallelFor convenience that is the
 /// only surface most callers need.
 ///

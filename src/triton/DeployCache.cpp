@@ -6,8 +6,11 @@
 
 #include "triton/DeployCache.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+
+#include <unistd.h>
 
 using namespace cuasmrl;
 using namespace cuasmrl::triton;
@@ -34,13 +37,37 @@ bool DeployCache::store(const std::string &Key,
   std::filesystem::create_directories(Directory, Ec);
   if (Ec)
     return false;
-  std::ofstream OS(pathFor(Key), std::ios::binary | std::ios::trunc);
-  if (!OS)
+
+  // Write-then-rename so the final path only ever holds a complete
+  // cubin: a crash (or a concurrent load) can never observe a
+  // truncated file. The temporary name carries the pid plus a
+  // process-wide counter so concurrent sweep workers — in this process
+  // or another one sharing the directory — never interleave writes
+  // into one temporary; last rename wins, and every contender wrote a
+  // complete file.
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::string Path = pathFor(Key);
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return false;
+    std::vector<uint8_t> Bytes = File.serialize();
+    OS.write(reinterpret_cast<const char *>(Bytes.data()),
+             static_cast<std::streamsize>(Bytes.size()));
+    if (!OS) {
+      OS.close();
+      std::filesystem::remove(Tmp, Ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(Tmp, Path, Ec);
+  if (Ec) {
+    std::filesystem::remove(Tmp, Ec);
     return false;
-  std::vector<uint8_t> Bytes = File.serialize();
-  OS.write(reinterpret_cast<const char *>(Bytes.data()),
-           static_cast<std::streamsize>(Bytes.size()));
-  return static_cast<bool>(OS);
+  }
+  return true;
 }
 
 std::optional<cubin::CubinFile>

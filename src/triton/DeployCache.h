@@ -26,6 +26,13 @@ namespace cuasmrl {
 namespace triton {
 
 /// Filesystem cache of optimized cubins.
+///
+/// Thread-safety: store()/load()/contains() may be called concurrently
+/// from any number of threads (and processes sharing the directory).
+/// store() is atomic — it writes a uniquely-named `.tmp` sibling and
+/// renames it into place, so a reader can never observe a truncated
+/// cubin and concurrent stores of one key resolve to one complete
+/// winner (last rename wins).
 class DeployCache {
 public:
   /// \p Directory is created on first store.

@@ -31,6 +31,11 @@ struct CompiledKernel {
 
 /// "Compiles" the workload for one configuration through the Triton
 /// stand-in backend and packages the result as a cubin.
+///
+/// Thread-safety: like buildKernel (which this wraps), the only state
+/// touched is \p Device and \p DataRng — concurrent compiles are safe
+/// iff each caller owns both (the sweep engine hands every worker a
+/// private Gpu copy).
 CompiledKernel compileKernel(gpusim::Gpu &Device,
                              kernels::WorkloadKind Kind,
                              const kernels::WorkloadShape &Shape,

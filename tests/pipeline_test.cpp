@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Optimizer.h"
+#include "sass/Parser.h"
 #include "search/Search.h"
 #include "triton/Autotuner.h"
 #include "triton/DeployCache.h"
@@ -14,6 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
 
 using namespace cuasmrl;
 using namespace cuasmrl::kernels;
@@ -74,6 +78,154 @@ TEST(AutotunerTest, SkipsNonFittingConfigs) {
       Tuner.tune(Device, WorkloadKind::MmLeakyRelu, Shape, DataRng);
   for (const triton::TunedConfig &T : R.Sweep)
     EXPECT_TRUE(configFits(WorkloadKind::MmLeakyRelu, Shape, T.Config));
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel deterministic sweep engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A shape no GEMM candidate configuration can tile (BlockM >= 32 for
+/// every grid entry, but M == 1).
+WorkloadShape impossibleGemmShape() {
+  WorkloadShape S;
+  S.M = 1;
+  return S;
+}
+
+/// Runs one sweep with \p Workers on a fresh Autotuner and returns the
+/// result (quick protocol, fixed base seed).
+triton::AutotuneResult sweepWith(unsigned Workers, uint64_t BaseSeed = 7) {
+  gpusim::Gpu Device;
+  triton::AutotuneOptions O;
+  O.Measure = quickMeasure();
+  O.Measure.NoiseStddev = 0.003; // Noise on: seeding must still pin it.
+  O.Workers = Workers;
+  O.BaseSeed = BaseSeed;
+  triton::Autotuner Tuner(O);
+  return Tuner.tune(Device, WorkloadKind::MmLeakyRelu,
+                    testShape(WorkloadKind::MmLeakyRelu));
+}
+
+/// Bit-exact sweep equality (winner, timing, every candidate).
+void expectSweepIdentical(const triton::AutotuneResult &A,
+                          const triton::AutotuneResult &B) {
+  EXPECT_EQ(A.Valid, B.Valid);
+  EXPECT_TRUE(A.Best == B.Best);
+  EXPECT_EQ(A.BestUs, B.BestUs); // Exact: identical bits, not "close".
+  ASSERT_EQ(A.Sweep.size(), B.Sweep.size());
+  for (size_t I = 0; I < A.Sweep.size(); ++I) {
+    EXPECT_TRUE(A.Sweep[I].Config == B.Sweep[I].Config);
+    EXPECT_EQ(A.Sweep[I].Valid, B.Sweep[I].Valid);
+    EXPECT_EQ(A.Sweep[I].MeanUs, B.Sweep[I].MeanUs);
+  }
+}
+
+} // namespace
+
+TEST(AutotunerSweepTest, DeterministicAcrossWorkerCounts) {
+  triton::AutotuneResult Serial = sweepWith(1);
+  ASSERT_TRUE(Serial.Valid);
+  ASSERT_FALSE(Serial.Sweep.empty());
+  // Mirrors rl_test's RolloutTest worker-count invariance: the sweep is
+  // a pure function of (BaseSeed, request), never of thread scheduling.
+  expectSweepIdentical(Serial, sweepWith(2));
+  expectSweepIdentical(Serial, sweepWith(4));
+}
+
+TEST(AutotunerSweepTest, RepeatedRunsWithSameSeedAreIdentical) {
+  expectSweepIdentical(sweepWith(2), sweepWith(2));
+  // A different base seed must actually reseed the noise streams.
+  triton::AutotuneResult Reseeded = sweepWith(2, /*BaseSeed=*/99);
+  EXPECT_NE(sweepWith(2).BestUs, Reseeded.BestUs);
+}
+
+TEST(AutotunerSweepTest, LegacyRngOverloadIsOrderIndependent) {
+  // The pre-engine API threaded one DataRng through the sweep, so the
+  // cached result depended on every draw the caller made before tune().
+  // Pin the fix: two differently-advanced Rngs produce identical sweeps.
+  gpusim::Gpu DeviceA, DeviceB;
+  Rng FreshRng(3), AdvancedRng(3);
+  for (int I = 0; I < 1000; ++I)
+    (void)AdvancedRng.next();
+  triton::Autotuner TunerA(quickMeasure()), TunerB(quickMeasure());
+  WorkloadShape Shape = testShape(WorkloadKind::Softmax);
+  triton::AutotuneResult A =
+      TunerA.tune(DeviceA, WorkloadKind::Softmax, Shape, FreshRng);
+  triton::AutotuneResult B =
+      TunerB.tune(DeviceB, WorkloadKind::Softmax, Shape, AdvancedRng);
+  expectSweepIdentical(A, B);
+}
+
+TEST(AutotunerSweepTest, InvalidSweepIsFlaggedAndCachedAsInvalid) {
+  gpusim::Gpu Device;
+  triton::Autotuner Tuner(quickMeasure());
+  triton::AutotuneResult R =
+      Tuner.tune(Device, WorkloadKind::MmLeakyRelu, impossibleGemmShape());
+  EXPECT_FALSE(R.Valid);
+  EXPECT_TRUE(R.Sweep.empty());
+  EXPECT_GE(R.BestUs, 1e29); // Sentinel, not a garbage "winner" time.
+  // The cached entry must carry the same failure flag.
+  const triton::AutotuneResult *Hit =
+      Tuner.cached(WorkloadKind::MmLeakyRelu, impossibleGemmShape());
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_FALSE(Hit->Valid);
+}
+
+TEST(AutotunerSweepTest, SweepAllMatchesIndividualTunes) {
+  gpusim::Gpu Device;
+  std::vector<triton::SweepRequest> Requests = {
+      {WorkloadKind::MmLeakyRelu, testShape(WorkloadKind::MmLeakyRelu)},
+      {WorkloadKind::Softmax, testShape(WorkloadKind::Softmax)},
+      {WorkloadKind::FlashAttention, testShape(WorkloadKind::FlashAttention)},
+  };
+  triton::AutotuneOptions O;
+  O.Measure = quickMeasure();
+  O.Workers = 4;
+  triton::Autotuner Batch(O);
+  std::vector<triton::AutotuneResult> All = Batch.sweepAll(Device, Requests);
+  ASSERT_EQ(All.size(), Requests.size());
+  EXPECT_EQ(Batch.sweepsPerformed(), Requests.size());
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    triton::Autotuner Single(O);
+    triton::AutotuneResult Individual =
+        Single.tune(Device, Requests[I].Kind, Requests[I].Shape);
+    expectSweepIdentical(All[I], Individual);
+  }
+}
+
+TEST(AutotunerSweepTest, SweepAllDeduplicatesRepeatedRequests) {
+  gpusim::Gpu Device;
+  triton::SweepRequest R{WorkloadKind::Softmax,
+                         testShape(WorkloadKind::Softmax)};
+  triton::Autotuner Tuner(quickMeasure());
+  std::vector<triton::AutotuneResult> All =
+      Tuner.sweepAll(Device, {R, R, R});
+  ASSERT_EQ(All.size(), 3u);
+  EXPECT_EQ(Tuner.sweepsPerformed(), 1u);
+  expectSweepIdentical(All[0], All[1]);
+  expectSweepIdentical(All[0], All[2]);
+}
+
+TEST(AutotunerSweepTest, ConcurrentTunesShareOneSweep) {
+  // Single-sweep-per-key guarantee (mirrors MeasurementCache): threads
+  // racing on one (kind, shape) run the grid once and all observe the
+  // published result.
+  gpusim::Gpu Device;
+  triton::Autotuner Tuner(quickMeasure());
+  WorkloadShape Shape = testShape(WorkloadKind::MmLeakyRelu);
+  std::vector<triton::AutotuneResult> Results(4);
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T < Results.size(); ++T)
+    Threads.emplace_back([&, T] {
+      Results[T] = Tuner.tune(Device, WorkloadKind::MmLeakyRelu, Shape);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Tuner.sweepsPerformed(), 1u);
+  for (size_t T = 1; T < Results.size(); ++T)
+    expectSweepIdentical(Results[0], Results[T]);
 }
 
 //===----------------------------------------------------------------------===//
@@ -186,6 +338,86 @@ TEST(DeployCacheTest, MissingKeyReturnsNothing) {
   EXPECT_FALSE(Cache.load("no-such-key").has_value());
 }
 
+TEST(DeployCacheTest, LoadRejectsCorruptFile) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "cuasmrl_cache_corrupt")
+          .string();
+  std::filesystem::remove_all(Dir);
+  triton::DeployCache Cache(Dir);
+
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::Softmax, testShape(WorkloadKind::Softmax),
+      candidateConfigs(WorkloadKind::Softmax).front(), DataRng);
+  ASSERT_TRUE(Cache.store("victim", K.Binary));
+
+  // Truncate the stored cubin to half: the exact shape a torn write
+  // would have left before store() became write-then-rename.
+  std::string Path = Dir + "/victim.cubin";
+  std::vector<uint8_t> Bytes = K.Binary.serialize();
+  {
+    std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+    OS.write(reinterpret_cast<const char *>(Bytes.data()),
+             static_cast<std::streamsize>(Bytes.size() / 2));
+  }
+  EXPECT_TRUE(Cache.contains("victim")); // The file exists...
+  EXPECT_FALSE(Cache.load("victim").has_value()); // ...but never half-loads.
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(DeployCacheTest, StoreLeavesOnlyTheFinalFile) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "cuasmrl_cache_atomic")
+          .string();
+  std::filesystem::remove_all(Dir);
+  triton::DeployCache Cache(Dir);
+
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::RmsNorm, testShape(WorkloadKind::RmsNorm),
+      candidateConfigs(WorkloadKind::RmsNorm).front(), DataRng);
+  ASSERT_TRUE(Cache.store("atomic", K.Binary));
+  ASSERT_TRUE(Cache.store("atomic", K.Binary)); // Overwrite in place.
+
+  // The rename must consume the temporary: exactly one file remains.
+  std::vector<std::string> Names;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    Names.push_back(Entry.path().filename().string());
+  ASSERT_EQ(Names.size(), 1u);
+  EXPECT_EQ(Names[0], "atomic.cubin");
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(DeployCacheTest, ConcurrentStoresOfOneKeyStayComplete) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "cuasmrl_cache_race")
+          .string();
+  std::filesystem::remove_all(Dir);
+  triton::DeployCache Cache(Dir);
+
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::Softmax, testShape(WorkloadKind::Softmax),
+      candidateConfigs(WorkloadKind::Softmax).front(), DataRng);
+
+  std::vector<std::thread> Writers;
+  for (int T = 0; T < 4; ++T)
+    Writers.emplace_back([&] {
+      for (int I = 0; I < 8; ++I)
+        EXPECT_TRUE(Cache.store("contended", K.Binary));
+    });
+  for (std::thread &T : Writers)
+    T.join();
+  // Whatever store "won", the visible file is a complete cubin.
+  std::optional<cubin::CubinFile> Loaded = Cache.load("contended");
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_TRUE(cubin::disassemble(*Loaded).hasValue());
+  std::filesystem::remove_all(Dir);
+}
+
 //===----------------------------------------------------------------------===//
 // Search baselines (§7)
 //===----------------------------------------------------------------------===//
@@ -236,6 +468,99 @@ TEST(SearchTest, RandomTracksBestSchedule) {
     EXPECT_LE(R.BestCurve[I], R.BestCurve[I - 1] + 1e-9);
 }
 
+namespace {
+
+/// A hand-crafted kernel whose single reorderable pair is pinned from
+/// both sides: the movable LDG sits between a low-stall IMAD producer
+/// and that producer's consumer, so moving it either way strips the
+/// LDG's 6-cycle stall from the producer-to-consumer path (required
+/// stall: 5 under the builtin table). The trailing STG is fenced by
+/// labels. With masking ON every action is masked at reset; with
+/// masking OFF both structural LDG moves execute an invalid schedule.
+kernels::BuiltKernel craftedPinnedKernel(gpusim::Gpu &Device) {
+  std::string Text;
+  Text += "  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;\n"; // In ptr.
+  Text += "  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;\n";
+  Text += "  [B------:R-:W-:-:S04] MOV R6, c[0x0][0x168] ;\n"; // Out ptr.
+  Text += "  [B------:R-:W-:-:S04] MOV R7, c[0x0][0x16c] ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R4, 0x9 ;\n";
+  Text += "  [B------:R-:W-:-:S06] MOV R5, 0x7 ;\n";
+  Text += "  [B------:R-:W-:-:S02] IMAD R8, R4, R5, RZ ;\n";     // Producer.
+  Text += "  [B------:R-:W0:-:S06] LDG.E R10, [R2.64] ;\n";      // Movable.
+  // The producer's consumer takes no barrier wait: only the LDG's
+  // issue stall separates it from the 5-cycle IMAD latency, so moving
+  // the LDG either way makes this read stale on the timed machine.
+  Text += "  [B------:R-:W-:-:S04] IADD3 R12, R8, 0x1, RZ ;\n";
+  Text += "  [B0-----:R-:W-:-:S04] IADD3 R13, R10, RZ, RZ ;\n";  // Load use.
+  Text += ".L_STORE:\n";
+  Text += "  [B------:R-:W-:-:S01] STG.E [R6.64], R12 ;\n";
+  Text += ".L_END:\n";
+  Text += "  [B------:R-:W-:-:S01] EXIT ;\n";
+
+  Expected<sass::Program> P = sass::Parser::parseProgram(Text, "pinned");
+  if (!P.hasValue())
+    throw std::runtime_error("crafted kernel failed to parse: " +
+                             P.error().str());
+  kernels::BuiltKernel K;
+  K.Name = "crafted_pinned";
+  K.Prog = *P;
+  // Distinct input and output buffers: unmasked mode re-runs the
+  // schedule on the oracle, so the load must not alias the store.
+  uint64_t In = Device.globalMemory().allocate(16);
+  uint64_t Out = Device.globalMemory().allocate(16);
+  K.Inputs.push_back({In, 16});
+  K.OutAddr = Out;
+  K.OutBytes = 8;
+  K.Launch.WarpsPerBlock = 1;
+  K.Launch.addParam64(In);
+  K.Launch.addParam64(Out);
+  return K;
+}
+
+env::GameConfig craftedSearchConfig() {
+  env::GameConfig G;
+  G.Table = analysis::StallTable::builtin(); // Deterministic IMAD stall (5).
+  G.Measure.WarmupIters = 1;
+  G.Measure.RepeatIters = 1;
+  G.Measure.NoiseStddev = 0.0;
+  G.EpisodeLength = 64;
+  return G;
+}
+
+} // namespace
+
+TEST(SearchTest, EvolutionaryBailsOutWhenEveryActionIsMasked) {
+  // Regression: with every genome truncating to zero applied actions,
+  // `while (StepsUsed < TotalSteps)` used to spin forever because no
+  // generation could ever advance StepsUsed.
+  gpusim::Gpu Device;
+  kernels::BuiltKernel K = craftedPinnedKernel(Device);
+  env::AssemblyGame Game(Device, K, craftedSearchConfig());
+  ASSERT_TRUE(Game.allMasked()) << "crafted kernel must start fully masked";
+  Rng SR(11);
+  search::SearchResult R = search::evolutionarySearch(Game, 200, SR);
+  EXPECT_EQ(R.StepsUsed, 0u);
+  EXPECT_EQ(R.BestTimeUs, R.InitialTimeUs);
+}
+
+TEST(SearchTest, GreedyCountsInvalidStepsAsStuck) {
+  // Regression: an Invalid step (the env rejects and reverts the move)
+  // used to reset the stuck counter, so a schedule whose remaining
+  // actions all execute invalid schedules never tripped the local-
+  // minimum termination and burned the whole step budget.
+  gpusim::Gpu Device;
+  kernels::BuiltKernel K = craftedPinnedKernel(Device);
+  env::GameConfig G = craftedSearchConfig();
+  G.UseActionMasking = false; // Structural mask only: invalid moves sample.
+  env::AssemblyGame Game(Device, K, G);
+  Rng SR(5);
+  const unsigned TotalSteps = 2000;
+  search::SearchResult R = search::greedySearch(Game, TotalSteps, SR);
+  // Stuck > 64 must terminate the search after ~65 invalid attempts.
+  EXPECT_LT(R.StepsUsed, 200u);
+  EXPECT_EQ(R.BestTimeUs, R.InitialTimeUs);
+}
+
 TEST(SearchTest, EvolutionaryImprovesOrMatches) {
   gpusim::Gpu Device;
   Rng DataRng(3);
@@ -282,4 +607,63 @@ TEST(OptimizerTest, EndToEndImprovesOrMatchesAndVerifies) {
   Expected<sass::Program> P = triton::interceptCubin(R.Kernel);
   ASSERT_TRUE(P.hasValue());
   EXPECT_EQ(P->str(), R.OptimizedProg.str());
+}
+
+TEST(OptimizerTest, SurfacesAutotuneFailureInsteadOfTrainingOnGarbage) {
+  gpusim::Gpu Device;
+  Rng DataRng(5);
+  core::OptimizeConfig C;
+  C.AutotuneMeasure = quickMeasure();
+  core::Optimizer Opt(C);
+  core::OptimizeResult R = Opt.optimize(Device, WorkloadKind::MmLeakyRelu,
+                                        impossibleGemmShape(), DataRng);
+  EXPECT_FALSE(R.AutotuneValid);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_TRUE(R.Training.empty()); // The run stopped at level 1.
+  EXPECT_EQ(R.TritonUs, 0.0);
+}
+
+TEST(OptimizerTest, AutotuneAllPersistsWinnersThroughDeployCache) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "cuasmrl_sweep_deploy")
+          .string();
+  std::filesystem::remove_all(Dir);
+  triton::DeployCache Deploy(Dir);
+
+  gpusim::Gpu Device;
+  core::OptimizeConfig C;
+  C.AutotuneMeasure = quickMeasure();
+  C.AutotuneWorkers = 2;
+  core::Optimizer Opt(C);
+
+  std::vector<triton::SweepRequest> Requests = {
+      {WorkloadKind::Softmax, testShape(WorkloadKind::Softmax)},
+      {WorkloadKind::MmLeakyRelu, impossibleGemmShape()}, // Never persisted.
+      {WorkloadKind::RmsNorm, testShape(WorkloadKind::RmsNorm)},
+  };
+  std::vector<triton::AutotuneResult> Results =
+      Opt.autotuneAll(Device, Requests, &Deploy);
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_TRUE(Results[0].Valid);
+  EXPECT_FALSE(Results[1].Valid);
+  EXPECT_TRUE(Results[2].Valid);
+
+  unsigned Stored = 0;
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    std::string Key = triton::DeployCache::makeKey(
+        "A100-SIM",
+        triton::Autotuner::requestKey(Requests[I].Kind, Requests[I].Shape),
+        Results[I].Best.str());
+    if (!Results[I].Valid) {
+      EXPECT_FALSE(Deploy.contains(Key));
+      continue;
+    }
+    ASSERT_TRUE(Deploy.contains(Key)) << Key;
+    std::optional<cubin::CubinFile> Loaded = Deploy.load(Key);
+    ASSERT_TRUE(Loaded.has_value());
+    EXPECT_TRUE(cubin::disassemble(*Loaded).hasValue());
+    ++Stored;
+  }
+  EXPECT_EQ(Stored, 2u);
+  std::filesystem::remove_all(Dir);
 }

@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
-"""Run the step-throughput benchmark and emit a machine-readable report.
+"""Run the tracked benchmarks and emit machine-readable reports.
 
 Drives `bench_env_step` (and, when built, `bench_simulator_perf`) from a
-CMake build tree and writes `BENCH_step_throughput.json` so the per-PR
-perf trajectory of the env-step hot path can be tracked by CI and
-compared across revisions.
+CMake build tree and writes `BENCH_step_throughput.json`, plus
+`bench_autotune_sweep` writing `BENCH_autotune_sweep.json`, so the
+per-PR perf trajectory of the env-step hot path and the autotune sweep
+engine can be tracked by CI and compared across revisions.
 
 Usage:
     tools/run_benchmarks.py [--build-dir build] [--out BENCH_step_throughput.json]
+                            [--sweep-out BENCH_autotune_sweep.json]
                             [--steps N] [--timeout SECONDS]
 
-Exit status: 0 on success (report written), 1 when a benchmark binary is
-missing or fails, 2 on bad arguments.
+Exit status: 0 on success (reports written), 1 when a benchmark binary
+is missing or fails, 2 on bad arguments.
 """
 
 import argparse
@@ -79,10 +81,41 @@ def run_simulator_perf(build_dir, timeout):
     }
 
 
+def run_autotune_sweep(build_dir, out_path, timeout):
+    """Serial-vs-parallel sweep-engine comparison (determinism checked
+    by the bench itself; the binary fails on a mismatch). Returns the
+    parsed report, "absent" when the binary is not built (skipped, not
+    an error — mirrors bench_simulator_perf), or None on failure."""
+    exe = os.path.join(build_dir, "bench", "bench_autotune_sweep")
+    if not os.path.exists(exe):
+        print(f"warning: {exe} not found (build the 'bench_autotune_sweep' "
+              "target to track sweep throughput); skipping",
+              file=sys.stderr)
+        return "absent"
+    cmd = [exe, "--json", out_path]
+    print("+ " + " ".join(cmd))
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=timeout)
+    except subprocess.TimeoutExpired:
+        print(f"error: bench_autotune_sweep exceeded the {timeout}s guard",
+              file=sys.stderr)
+        return None
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print(f"error: bench_autotune_sweep exited with {proc.returncode}",
+              file=sys.stderr)
+        return None
+    with open(out_path) as f:
+        return json.load(f)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--out", default="BENCH_step_throughput.json")
+    parser.add_argument("--sweep-out", default="BENCH_autotune_sweep.json")
     parser.add_argument("--steps", type=int, default=0,
                         help="step budget per kernel (0 = bench default)")
     parser.add_argument("--timeout", type=int, default=1200,
@@ -101,9 +134,20 @@ def main():
         json.dump(report, f, indent=2)
         f.write("\n")
 
+    # Step-throughput summary first: it is already on disk and must not
+    # be suppressed by a sweep-bench problem.
     for kernel in report.get("kernels", []):
         print(f"{kernel['name']}: {kernel['steps_per_sec']:.1f} steps/s")
     print(f"wrote {args.out}")
+
+    sweep = run_autotune_sweep(args.build_dir, args.sweep_out, args.timeout)
+    if sweep is None:
+        return 1
+    if sweep != "absent":
+        print(f"autotune sweep: {sweep['speedup']:.2f}x at "
+              f"{sweep['workers']} workers "
+              f"(identical={sweep['identical_results']})")
+        print(f"wrote {args.sweep_out}")
     return 0
 
 
