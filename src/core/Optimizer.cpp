@@ -7,6 +7,7 @@
 #include "core/Optimizer.h"
 
 #include "core/GameEnvAdapter.h"
+#include "support/Logging.h"
 
 #include <memory>
 #include <thread>
@@ -27,7 +28,7 @@ triton::AutotuneOptions Optimizer::autotuneOptions() const {
 OptimizeResult Optimizer::optimize(gpusim::Gpu &Device,
                                    kernels::WorkloadKind Kind,
                                    const kernels::WorkloadShape &Shape,
-                                   Rng &DataRng) {
+                                   Rng &DataRng) const {
   // Level 1: kernel-configuration search (§3.1). The configurations can
   // be worth up to 2x and completely change the SASS the agent sees.
   triton::Autotuner Tuner(autotuneOptions());
@@ -59,7 +60,7 @@ OptimizeResult Optimizer::optimize(gpusim::Gpu &Device,
 OptimizeResult
 Optimizer::optimizeSchedule(gpusim::Gpu &Device,
                             const kernels::BuiltKernel &Kernel,
-                            Rng &DataRng) {
+                            Rng &DataRng) const {
   OptimizeResult Result;
 
   // Level 2: the assembly game (§3.3). One game per vectorized env.
@@ -67,10 +68,8 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
   // worker threads each game gets a private device copy (the simulator
   // mutates memory/cache state).
   const unsigned NumEnvs = std::max(1u, Config.NumEnvs);
-  unsigned Workers = Config.RolloutWorkers;
-  if (Workers == 0)
-    Workers = std::min(
-        NumEnvs, std::max(1u, std::thread::hardware_concurrency()));
+  unsigned Workers =
+      support::ThreadPool::resolveWorkerCount(Config.RolloutWorkers, NumEnvs);
 
   std::shared_ptr<gpusim::MeasurementCache> SharedCache;
   if (Config.Game.CacheMeasurements)
@@ -145,7 +144,8 @@ std::vector<triton::AutotuneResult>
 Optimizer::autotuneAll(const gpusim::Gpu &Device,
                        const std::vector<triton::SweepRequest> &Requests,
                        triton::DeployCache *Deploy,
-                       const std::string &GpuType) {
+                       const std::string &GpuType,
+                       DeployStats *Stats) const {
   triton::Autotuner Tuner(autotuneOptions());
   std::vector<triton::AutotuneResult> Results =
       Tuner.sweepAll(Device, Requests);
@@ -168,7 +168,19 @@ Optimizer::autotuneAll(const gpusim::Gpu &Device,
           GpuType,
           triton::Autotuner::requestKey(Requests[I].Kind, Requests[I].Shape),
           R.Best.str());
-      Deploy->store(Key, Compiled.Binary);
+      if (Stats)
+        ++Stats->Attempted;
+      if (Deploy->store(Key, Compiled.Binary)) {
+        if (Stats)
+          ++Stats->Stored;
+      } else {
+        // A dropped winner means deployment quietly falls back to
+        // training — always say so, and let batch callers count it.
+        logWarn("autotuneAll: failed to persist winner cubin for key '" +
+                Key + "' (unwritable deploy directory?)");
+        if (Stats)
+          ++Stats->Failures;
+      }
     }
   }
   return Results;

@@ -29,6 +29,12 @@ namespace core {
 
 /// Knobs for one optimization run. Users "may add more arguments to
 /// specify the hyperparameters of the RL agents" (§4.1).
+///
+/// When adding a result-relevant field (anything that changes what
+/// optimize() produces, as opposed to how fast), also append it to
+/// configDigest() in serve/OptimizationService.cpp — the serving
+/// layer keys deployed cubins by that digest, and an omitted field
+/// would alias distinct deployments to one key.
 struct OptimizeConfig {
   rl::PpoConfig Ppo;
   env::GameConfig Game;
@@ -81,7 +87,24 @@ struct OptimizeResult {
   }
 };
 
+/// Persistence accounting for a deploy-cache-backed run: how many
+/// winners were attempted, stored, and silently-droppable-no-more
+/// failed (unwritable directory, I/O errors). Callers that hand a
+/// DeployCache to autotuneAll() should surface Failures instead of
+/// assuming every winner landed.
+struct DeployStats {
+  unsigned Attempted = 0;
+  unsigned Stored = 0;
+  unsigned Failures = 0;
+};
+
 /// The optimizer.
+///
+/// Thread-safety: an Optimizer is immutable after construction — every
+/// entry point is const and builds its own transient state — so one
+/// instance may be shared by any number of threads as long as each
+/// call owns its \p Device and \p DataRng (the optimization service
+/// hands every worker a private Gpu copy and a per-job Rng stream).
 class Optimizer {
 public:
   explicit Optimizer(OptimizeConfig Config = OptimizeConfig());
@@ -89,13 +112,13 @@ public:
   /// Runs the full hierarchical optimization for one workload.
   OptimizeResult optimize(gpusim::Gpu &Device, kernels::WorkloadKind Kind,
                           const kernels::WorkloadShape &Shape,
-                          Rng &DataRng);
+                          Rng &DataRng) const;
 
   /// Plays the assembly game on an already-built kernel (the inner
   /// level only; used when the configuration is fixed).
   OptimizeResult optimizeSchedule(gpusim::Gpu &Device,
                                   const kernels::BuiltKernel &Kernel,
-                                  Rng &DataRng);
+                                  Rng &DataRng) const;
 
   /// Level-1-only batch API: tunes every request in one parallel,
   /// deterministic sweep (Config.AutotuneWorkers / AutotuneSeed) and,
@@ -103,12 +126,15 @@ public:
   /// persists its cubin under
   /// makeKey(GpuType, workloadName, Autotuner::requestKey + config).
   /// Results are returned in request order; invalid sweeps (see
-  /// AutotuneResult::Valid) are returned but never persisted.
+  /// AutotuneResult::Valid) are returned but never persisted. Store
+  /// failures are logged, counted in \p Stats (when non-null), and
+  /// never abort the remaining requests.
   std::vector<triton::AutotuneResult>
   autotuneAll(const gpusim::Gpu &Device,
               const std::vector<triton::SweepRequest> &Requests,
               triton::DeployCache *Deploy = nullptr,
-              const std::string &GpuType = "A100-SIM");
+              const std::string &GpuType = "A100-SIM",
+              DeployStats *Stats = nullptr) const;
 
   const OptimizeConfig &config() const { return Config; }
 

@@ -1,0 +1,70 @@
+//===- serve/JobQueue.cpp ----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/JobQueue.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::serve;
+
+JobQueue::JobQueue(size_t B) : Bound(B) {}
+
+bool JobQueue::push(Task T, int Priority) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  NotFull.wait(Lock, [&] {
+    return Closed || Bound == 0 || Heap.size() < Bound;
+  });
+  if (Closed)
+    return false;
+  Heap.push(Entry{Priority, NextSeq++, std::move(T)});
+  NotEmpty.notify_one();
+  return true;
+}
+
+bool JobQueue::tryPush(Task T, int Priority) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Closed || (Bound != 0 && Heap.size() >= Bound))
+    return false;
+  Heap.push(Entry{Priority, NextSeq++, std::move(T)});
+  NotEmpty.notify_one();
+  return true;
+}
+
+std::optional<JobQueue::Task> JobQueue::pop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  NotEmpty.wait(Lock, [&] { return Closed || !Heap.empty(); });
+  if (Heap.empty())
+    return std::nullopt; // Closed and drained.
+  Task T = std::move(Heap.top().Fn);
+  Heap.pop();
+  NotFull.notify_one();
+  return T;
+}
+
+std::vector<JobQueue::Task> JobQueue::close() {
+  std::vector<Task> Remaining;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+    Remaining.reserve(Heap.size());
+    while (!Heap.empty()) {
+      Remaining.push_back(std::move(Heap.top().Fn));
+      Heap.pop();
+    }
+  }
+  NotFull.notify_all();
+  NotEmpty.notify_all();
+  return Remaining;
+}
+
+size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Heap.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Closed;
+}

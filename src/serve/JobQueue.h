@@ -1,0 +1,103 @@
+//===- serve/JobQueue.h - Bounded priority job queue -------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission queue of the optimization service: a bounded,
+/// closable priority queue of tasks. Higher priority pops first;
+/// within one priority the queue is FIFO (a monotonic sequence number
+/// breaks ties), so equal-priority requests are served in admission
+/// order.
+///
+/// Thread-safety contract: every member may be called concurrently
+/// from any number of producer and consumer threads. push() provides
+/// the service's backpressure — it blocks while the queue is at its
+/// bound and fails (returns false) only once the queue is closed.
+/// close() is idempotent; it wakes every blocked producer and
+/// consumer and hands the never-started tasks back to the caller so
+/// their requesters can be failed explicitly (the queue never drops a
+/// task silently).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SERVE_JOBQUEUE_H
+#define CUASMRL_SERVE_JOBQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace cuasmrl {
+namespace serve {
+
+/// Bounded priority queue of service jobs.
+class JobQueue {
+public:
+  /// A queued unit of work. Consumers invoke it with Cancelled =
+  /// false; tasks returned by close() are invoked (by the closer) with
+  /// Cancelled = true so every task's requesters resolve exactly once.
+  using Task = std::function<void(bool Cancelled)>;
+
+  /// \p Bound caps queued (not yet popped) tasks; 0 = unbounded.
+  explicit JobQueue(size_t Bound = 0);
+
+  /// Enqueues \p T, blocking while the queue is full. \returns false
+  /// (without enqueueing) once the queue is closed.
+  bool push(Task T, int Priority);
+
+  /// Non-blocking push. \returns false when the queue is full or
+  /// closed.
+  bool tryPush(Task T, int Priority);
+
+  /// Pops the highest-priority task, blocking while the queue is
+  /// empty. \returns std::nullopt once the queue is closed and
+  /// drained (the consumer's signal to exit).
+  std::optional<Task> pop();
+
+  /// Closes the queue: subsequent pushes fail, blocked producers and
+  /// consumers wake, and every task that was never popped is returned
+  /// in pop order for explicit cancellation. Idempotent (later calls
+  /// return an empty vector).
+  std::vector<Task> close();
+
+  /// Queued (not yet popped) task count.
+  size_t size() const;
+
+  bool closed() const;
+
+private:
+  struct Entry {
+    int Priority;
+    uint64_t Seq;
+    /// mutable so pop()/close() can move the task out from under
+    /// priority_queue::top()'s const reference (the ordering fields
+    /// are never mutated, so heap invariants hold).
+    mutable Task Fn;
+  };
+  struct EntryOrder {
+    bool operator()(const Entry &A, const Entry &B) const {
+      if (A.Priority != B.Priority)
+        return A.Priority < B.Priority; // Max-heap on priority.
+      return A.Seq > B.Seq;             // FIFO within a priority.
+    }
+  };
+
+  mutable std::mutex Mutex;
+  std::condition_variable NotFull;  ///< Signals blocked producers.
+  std::condition_variable NotEmpty; ///< Signals blocked consumers.
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> Heap;
+  size_t Bound;
+  uint64_t NextSeq = 0;
+  bool Closed = false;
+};
+
+} // namespace serve
+} // namespace cuasmrl
+
+#endif // CUASMRL_SERVE_JOBQUEUE_H

@@ -1,0 +1,459 @@
+//===- serve/OptimizationService.cpp -----------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/OptimizationService.h"
+
+#include "support/Logging.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <exception>
+
+using namespace cuasmrl;
+using namespace cuasmrl::serve;
+
+namespace {
+
+/// Completion callbacks run on service-internal threads (or inside
+/// admit() for lookup hits); an escaping exception would leak the
+/// Outstanding count or terminate the process via the ThreadPool
+/// contract, so it is contained and logged instead — the response
+/// itself is already published through the future.
+void invokeGuarded(const std::function<void(const OptimizeResponse &)> &Cb,
+                   const OptimizeResponse &Resp) {
+  try {
+    Cb(Resp);
+  } catch (const std::exception &E) {
+    logWarn(std::string("OptimizationService: completion callback threw: ") +
+            E.what());
+  } catch (...) {
+    logWarn("OptimizationService: completion callback threw");
+  }
+}
+
+double elapsedMs(std::chrono::steady_clock::time_point Since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Since)
+      .count();
+}
+
+/// Exact textual rendering of a double (hexfloat): two configs digest
+/// equal iff the values are bit-comparable, with no decimal rounding.
+void appendField(std::string &Out, double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%a,", V);
+  Out += Buf;
+}
+void appendField(std::string &Out, uint64_t V) {
+  Out += std::to_string(V);
+  Out += ',';
+}
+
+void appendMeasure(std::string &Out, const gpusim::MeasureConfig &M) {
+  appendField(Out, uint64_t(M.WarmupIters));
+  appendField(Out, uint64_t(M.RepeatIters));
+  appendField(Out, uint64_t(M.ClearL2BetweenReps));
+  appendField(Out, M.NoiseStddev);
+  appendField(Out, uint64_t(M.MaxBlocks));
+  appendField(Out, M.Seed);
+}
+
+/// Digest of every result-relevant OptimizeConfig field. Wall-clock
+/// knobs (RolloutWorkers, AutotuneWorkers) are deliberately excluded —
+/// the determinism contract makes them irrelevant to the result —
+/// as are the runtime-wiring fields the service always controls
+/// (SharedCache, PrivateDevice). The stall table IS included (its
+/// entries shape the action mask, hence the result): two requests
+/// with different tables must never share a job or a deployed cubin.
+///
+/// TRIPWIRE: when OptimizeConfig (or its nested Ppo/Game/Measure
+/// structs) grows a result-relevant field, it MUST be appended here —
+/// an omitted field silently aliases distinct deployments to one
+/// cache key (wrong cubin served, no error). OptimizeConfig's doc
+/// comment points back here.
+std::string configDigest(const core::OptimizeConfig &C) {
+  std::string Raw;
+  Raw.reserve(256);
+  for (const auto &[Key, Cycles] : C.Game.Table.entries()) {
+    Raw += Key;
+    Raw += '=';
+    appendField(Raw, uint64_t(Cycles));
+  }
+  appendField(Raw, C.Ppo.Lr);
+  appendField(Raw, C.Ppo.Gamma);
+  appendField(Raw, C.Ppo.GaeLambda);
+  appendField(Raw, C.Ppo.ClipCoef);
+  appendField(Raw, C.Ppo.EntCoef);
+  appendField(Raw, C.Ppo.VfCoef);
+  appendField(Raw, C.Ppo.MaxGradNorm);
+  appendField(Raw, uint64_t(C.Ppo.RolloutLen));
+  appendField(Raw, uint64_t(C.Ppo.MiniBatches));
+  appendField(Raw, uint64_t(C.Ppo.Epochs));
+  appendField(Raw, uint64_t(C.Ppo.TotalSteps));
+  appendField(Raw, uint64_t(C.Ppo.NormAdvantage));
+  appendField(Raw, uint64_t(C.Ppo.ClipVLoss));
+  appendField(Raw, uint64_t(C.Ppo.AnnealLr));
+  appendField(Raw, C.Ppo.Seed);
+  appendField(Raw, uint64_t(C.Ppo.Channels));
+  appendField(Raw, uint64_t(C.Ppo.Hidden));
+  appendField(Raw, uint64_t(C.Game.EpisodeLength));
+  appendMeasure(Raw, C.Game.Measure);
+  appendField(Raw, uint64_t(C.Game.UseActionMasking));
+  appendField(Raw, C.Game.InvalidPenalty);
+  appendField(Raw, uint64_t(C.Game.CacheMeasurements));
+  appendField(Raw, uint64_t(C.Game.RecordTrace));
+  appendField(Raw, uint64_t(C.NumEnvs));
+  appendField(Raw, uint64_t(C.ProbTestRounds));
+  appendMeasure(Raw, C.AutotuneMeasure);
+  appendField(Raw, C.AutotuneSeed);
+  char Hex[24];
+  std::snprintf(Hex, sizeof(Hex), "cfg%016llx",
+                static_cast<unsigned long long>(fnv1a64(Raw)));
+  return Hex;
+}
+
+std::shared_future<ResponsePtr> readyFuture(ResponsePtr Resp) {
+  std::promise<ResponsePtr> P;
+  P.set_value(std::move(Resp));
+  return P.get_future().share();
+}
+
+} // namespace
+
+std::string
+OptimizationService::requestKey(const OptimizeRequest &R,
+                                const core::OptimizeConfig &Defaults) {
+  const core::OptimizeConfig &C = R.Config ? *R.Config : Defaults;
+  return triton::DeployCache::makeKey(
+      R.GpuType, triton::Autotuner::requestKey(R.Kind, R.Shape),
+      configDigest(C));
+}
+
+OptimizationService::OptimizationService(const gpusim::Gpu &Proto,
+                                         ServiceConfig C)
+    : Config(std::move(C)), Prototype(Proto),
+      Workers(support::ThreadPool::resolveWorkerCount(Config.Workers)),
+      Queue(Config.MaxQueued) {
+  if (!Config.DeployDir.empty())
+    Deploy = std::make_unique<triton::DeployCache>(Config.DeployDir);
+  Pool = std::make_unique<support::ThreadPool>(Workers);
+  if (!Config.StartPaused)
+    start();
+}
+
+OptimizationService::~OptimizationService() { shutdown(); }
+
+void OptimizationService::start() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Started || ShutDown)
+    return;
+  Started = true;
+  // The workers are long-running pool tasks: each loops popping jobs
+  // until the queue closes. The pool is sized exactly to them, so
+  // nothing else may be submitted to it.
+  for (unsigned W = 0; W < Workers; ++W)
+    Pool->submit([this] { workerLoop(); });
+}
+
+void OptimizationService::workerLoop() {
+  while (std::optional<JobQueue::Task> Task = Queue.pop())
+    (*Task)(/*Cancelled=*/false);
+}
+
+Ticket OptimizationService::submit(
+    const OptimizeRequest &R,
+    std::function<void(const OptimizeResponse &)> OnComplete) {
+  return admit(R, std::move(OnComplete), /*Blocking=*/true);
+}
+
+Ticket OptimizationService::trySubmit(
+    const OptimizeRequest &R,
+    std::function<void(const OptimizeResponse &)> OnComplete) {
+  return admit(R, std::move(OnComplete), /*Blocking=*/false);
+}
+
+ResponsePtr OptimizationService::resolveLookup(const std::string &Key,
+                                               cubin::CubinFile File,
+                                               double WallMs) {
+  auto Resp = std::make_shared<OptimizeResponse>();
+  Resp->St = OptimizeResponse::Status::LookupHit;
+  Resp->Key = Key;
+  Resp->Binary = std::move(File);
+  Resp->Persisted = true; // It came from the cache, so it is in it.
+  Resp->WallMs = WallMs;
+  return Resp;
+}
+
+Ticket OptimizationService::admit(const OptimizeRequest &R,
+                                  Callback OnComplete, bool Blocking) {
+  const auto Admitted = std::chrono::steady_clock::now();
+  std::string Key = requestKey(R, Config.Defaults);
+  Ticket Tk;
+  Tk.Key = Key;
+
+  // 1. Deploy-cache lookup (§4.2: "it invokes a lookup process instead
+  //    of training"). The load runs before any lock is taken — slow
+  //    filesystem I/O must never stall admissions or job completion —
+  //    and a miss costs one failed open. A corrupt file loads as
+  //    nullopt and falls through to the optimize path instead of
+  //    failing the request.
+  std::optional<cubin::CubinFile> Deployed;
+  if (Deploy)
+    Deployed = Deploy->load(Key);
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (!Accepting) {
+    ++Counters.Rejected;
+    return Tk;
+  }
+
+  if (Deployed) {
+    // The request stays Outstanding until its callback returned, so
+    // drain() and shutdown() never outrun a hit callback either.
+    ++Counters.Submitted;
+    ++Counters.LookupHits;
+    ++Outstanding;
+    Lock.unlock();
+    ResponsePtr Resp =
+        resolveLookup(Key, *std::move(Deployed), elapsedMs(Admitted));
+    if (OnComplete)
+      invokeGuarded(OnComplete, *Resp);
+    {
+      std::lock_guard<std::mutex> StatLock(Mutex);
+      --Outstanding;
+      Quiesced.notify_all();
+    }
+    Tk.How = Admission::LookupHit;
+    Tk.Response = readyFuture(std::move(Resp));
+    return Tk;
+  }
+
+  // 2. Single-flight attach: an identical key is already queued or
+  //    running — share its job instead of re-optimizing (the service-
+  //    level mirror of the Autotuner/MeasurementCache single-run-per-
+  //    key guarantee).
+  auto It = InFlight.find(Key);
+  if (It != InFlight.end()) {
+    JobPtr Job = It->second;
+    if (OnComplete)
+      Job->Callbacks.push_back(std::move(OnComplete));
+    ++Counters.Submitted;
+    ++Counters.Merged;
+    Tk.How = Admission::Attached;
+    Tk.Response = Job->Future;
+    return Tk;
+  }
+
+  // 3. Enqueue a full optimize job.
+  auto Job = std::make_shared<JobState>();
+  Job->Request = R;
+  Job->Key = Key;
+  Job->Admitted = Admitted;
+  Job->Future = Job->Promise.get_future().share();
+  const bool HasOwnCallback = static_cast<bool>(OnComplete);
+  if (HasOwnCallback)
+    Job->Callbacks.push_back(std::move(OnComplete));
+  InFlight.emplace(Key, Job);
+  ++Outstanding;
+  ++Counters.Submitted;
+  ++Counters.Enqueued;
+  ++Counters.QueuedNow;
+  Lock.unlock();
+
+  // The push happens outside the service lock: a blocking push parks
+  // this thread until a worker pops (backpressure), and holding the
+  // lock there would deadlock the workers' finishJob().
+  JobQueue::Task Task = [this, Job](bool Cancelled) {
+    if (Cancelled) {
+      OptimizeResponse Resp;
+      Resp.St = OptimizeResponse::Status::Cancelled;
+      Resp.Key = Job->Key;
+      Resp.Error = "service shut down before the job ran";
+      Resp.WallMs = elapsedMs(Job->Admitted);
+      finishJob(Job, std::move(Resp));
+    } else {
+      runJob(Job);
+    }
+  };
+  bool Pushed = Blocking ? Queue.push(Task, R.Priority)
+                         : Queue.tryPush(Task, R.Priority);
+  if (!Pushed) {
+    // Queue full (trySubmit) or closed by a racing shutdown. The job
+    // was visible for attaching for a moment, so resolve its future
+    // as Cancelled for any attacher — but not for the submitter, who
+    // learns the outcome from the Rejected ticket (a rejected
+    // admission never fires the submitter's own callback).
+    OptimizeResponse Resp;
+    Resp.St = OptimizeResponse::Status::Cancelled;
+    Resp.Error =
+        Blocking ? "service shut down during admission" : "queue full";
+    Resp.Key = Key;
+    Resp.WallMs = elapsedMs(Admitted);
+    std::vector<Callback> Cbs;
+    {
+      std::lock_guard<std::mutex> StatLock(Mutex);
+      InFlight.erase(Key);
+      Cbs = std::move(Job->Callbacks);
+      if (HasOwnCallback) // (OnComplete itself was moved into the job.)
+        Cbs.erase(Cbs.begin()); // Ours went in first, at job creation.
+      --Counters.QueuedNow;
+      --Counters.Submitted;
+      --Counters.Enqueued;
+      ++Counters.Rejected;
+    }
+    publish(Job, std::make_shared<const OptimizeResponse>(std::move(Resp)),
+            std::move(Cbs));
+    Tk.How = Admission::Rejected;
+    Tk.Response = std::shared_future<ResponsePtr>();
+    return Tk;
+  }
+  Tk.How = Admission::Enqueued;
+  Tk.Response = Job->Future;
+  return Tk;
+}
+
+void OptimizationService::runJob(const JobPtr &Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    --Counters.QueuedNow;
+    ++Counters.RunningNow;
+    ++Counters.OptimizeRuns;
+    Job->Running = true;
+  }
+
+  OptimizeResponse Resp;
+  Resp.Key = Job->Key;
+  const core::OptimizeConfig &EffConfig =
+      Job->Request.Config ? *Job->Request.Config : Config.Defaults;
+  const core::Optimizer Opt(EffConfig);
+  try {
+    // The determinism contract: a private pristine device per job and
+    // a data stream derived purely from (service seed, request key) —
+    // the response never depends on which worker ran the job, what ran
+    // before it, or how many workers exist.
+    gpusim::Gpu Local(Prototype);
+    Rng DataRng(mixSeed(Config.Seed, fnv1a64(Job->Key)));
+    core::OptimizeResult Result =
+        Opt.optimize(Local, Job->Request.Kind, Job->Request.Shape, DataRng);
+    Resp.St = OptimizeResponse::Status::Optimized;
+    Resp.Result = std::move(Result);
+    Resp.Binary = Resp.Result.Kernel.Binary;
+    // §4.2 write-back: only a verified winner is deployable. Store
+    // failures are surfaced (Persisted stays false, stats count it) —
+    // never silently dropped.
+    if (Deploy && Resp.Result.AutotuneValid && Resp.Result.Verified) {
+      Resp.Persisted = Deploy->store(Job->Key, Resp.Binary);
+      if (!Resp.Persisted)
+        logWarn("OptimizationService: failed to persist winner for key '" +
+                Job->Key + "'");
+    }
+  } catch (const std::exception &E) {
+    Resp.St = OptimizeResponse::Status::Failed;
+    Resp.Error = E.what();
+  } catch (...) {
+    Resp.St = OptimizeResponse::Status::Failed;
+    Resp.Error = "unknown exception";
+  }
+  Resp.WallMs = elapsedMs(Job->Admitted);
+  finishJob(Job, std::move(Resp));
+}
+
+void OptimizationService::publish(const JobPtr &Job, ResponsePtr Resp,
+                                  std::vector<Callback> Cbs) {
+  // Future first (waiters see the result before callbacks run), then
+  // the callbacks — both outside the lock so neither can deadlock the
+  // service. Only then does the job stop being Outstanding: drain()
+  // and shutdown() must never return while a callback is in flight.
+  Job->Promise.set_value(Resp);
+  for (Callback &Cb : Cbs)
+    invokeGuarded(Cb, *Resp);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    --Outstanding;
+    Quiesced.notify_all();
+  }
+}
+
+void OptimizationService::finishJob(const JobPtr &Job, OptimizeResponse R) {
+  auto Resp = std::make_shared<const OptimizeResponse>(std::move(R));
+  std::vector<Callback> Cbs;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    InFlight.erase(Job->Key);
+    Cbs = std::move(Job->Callbacks);
+    if (Job->Running)
+      --Counters.RunningNow;
+    else
+      --Counters.QueuedNow;
+    Counters.TotalJobWallMs += Resp->WallMs;
+    switch (Resp->St) {
+    case OptimizeResponse::Status::Optimized:
+      ++Counters.Completed;
+      Counters.TrainingUpdates += Resp->Result.Training.size();
+      Counters.Counters += Resp->Result.RolloutCounters;
+      if (Resp->Persisted)
+        ++Counters.PersistStores;
+      else if (Deploy && Resp->Result.AutotuneValid && Resp->Result.Verified)
+        ++Counters.PersistFailures; // Attempted and dropped.
+      break;
+    case OptimizeResponse::Status::Failed:
+      ++Counters.Failed;
+      break;
+    case OptimizeResponse::Status::Cancelled:
+      ++Counters.Cancelled;
+      break;
+    case OptimizeResponse::Status::LookupHit:
+      break; // Hits never reach finishJob.
+    }
+  }
+  publish(Job, std::move(Resp), std::move(Cbs));
+}
+
+void OptimizationService::drain() {
+  start(); // A paused service would never quiesce.
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (ShutDown)
+    return;
+  Accepting = false;
+  Quiesced.wait(Lock,
+                [this] { return InFlight.empty() && Outstanding == 0; });
+  if (!ShutDown) // A shutdown() racing the wait wins: stay closed.
+    Accepting = true;
+}
+
+void OptimizationService::shutdown() {
+  // Serialized: a second concurrent shutdown() (or the destructor
+  // after an explicit one) blocks until the first completes, then
+  // runs through the already-quiesced state as a no-op.
+  std::lock_guard<std::mutex> ShutdownLock(ShutdownMutex);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Accepting = false;
+    ShutDown = true;
+  }
+  // Close the queue: workers wake, drain nothing further, and exit;
+  // never-started jobs come back for explicit cancellation so every
+  // outstanding future resolves.
+  std::vector<JobQueue::Task> Unstarted = Queue.close();
+  for (JobQueue::Task &Task : Unstarted)
+    Task(/*Cancelled=*/true);
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Quiesced.wait(Lock,
+                  [this] { return InFlight.empty() && Outstanding == 0; });
+  }
+  Pool.reset(); // Joins the (now exiting) worker loops.
+}
+
+ServiceStats OptimizationService::stats() const {
+  // The directory enumeration happens before taking the service lock:
+  // a slow filesystem must not stall admissions or job completion.
+  uint64_t Deployed = Deploy ? Deploy->keys().size() : 0;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ServiceStats Snapshot = Counters;
+  Snapshot.DeployedKeys = Deployed;
+  return Snapshot;
+}

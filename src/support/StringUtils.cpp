@@ -112,3 +112,12 @@ std::string cuasmrl::formatDouble(double Value, int Precision) {
   std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
   return Buffer;
 }
+
+uint64_t cuasmrl::fnv1a64(std::string_view Text) {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (char C : Text) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}

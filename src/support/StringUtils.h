@@ -47,6 +47,11 @@ std::string join(const std::vector<std::string> &Parts,
 /// Formats a double with \p Precision digits after the point.
 std::string formatDouble(double Value, int Precision);
 
+/// FNV-1a 64-bit hash of \p Text. The shared primitive behind content
+/// digests (deploy-cache keys, per-request seed derivations): stable
+/// across platforms and runs, unlike std::hash.
+uint64_t fnv1a64(std::string_view Text);
+
 /// True if \p Text starts with \p Prefix (std helper for pre-C++20 call
 /// sites kept for readability at call sites handling string_views).
 inline bool startsWith(std::string_view Text, std::string_view Prefix) {

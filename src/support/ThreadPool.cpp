@@ -6,12 +6,24 @@
 
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
 
 using namespace cuasmrl;
 using namespace cuasmrl::support;
+
+unsigned ThreadPool::resolveWorkerCount(unsigned Requested,
+                                        size_t TaskBound) {
+  unsigned Count =
+      Requested ? Requested
+                : std::max(1u, std::thread::hardware_concurrency());
+  if (TaskBound != 0)
+    Count = static_cast<unsigned>(
+        std::min<size_t>(Count, TaskBound));
+  return std::max(1u, Count);
+}
 
 ThreadPool::ThreadPool(unsigned Threads) {
   unsigned Count = Threads ? Threads : 1;

@@ -47,6 +47,14 @@ public:
 
   unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
 
+  /// Resolves a user-facing worker-count knob: 0 means hardware
+  /// concurrency (at least 1); a nonzero \p TaskBound caps the result
+  /// so callers never spawn more workers than they have tasks. Shared
+  /// by every engine exposing a Workers knob (rollouts, autotune
+  /// sweeps, the optimization service) so "0 = auto" means one thing.
+  static unsigned resolveWorkerCount(unsigned Requested,
+                                     size_t TaskBound = 0);
+
   /// Enqueues \p Task for asynchronous execution. \p Task must not
   /// throw: an exception escaping a directly submitted task leaves the
   /// worker's thread function and terminates the process. Use

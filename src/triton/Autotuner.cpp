@@ -7,6 +7,7 @@
 #include "triton/Autotuner.h"
 
 #include "kernels/Generators.h"
+#include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -19,14 +20,7 @@ namespace {
 
 /// FNV-1a over the request key: folds the (kind, shape) identity into
 /// the per-candidate seed derivation.
-uint64_t hashKey(const std::string &Key) {
-  uint64_t H = 1469598103934665603ull;
-  for (char C : Key) {
-    H ^= static_cast<uint8_t>(C);
-    H *= 1099511628211ull;
-  }
-  return H;
-}
+uint64_t hashKey(const std::string &Key) { return fnv1a64(Key); }
 
 } // namespace
 
@@ -189,13 +183,10 @@ Autotuner::sweepAll(const gpusim::Gpu &Device,
               Device, Requests[K.Req].Kind, Requests[K.Req].Shape,
               K.Config, K.Seed);
         };
-        unsigned Workers =
-            Options.Workers
-                ? Options.Workers
-                : std::max(1u, std::thread::hardware_concurrency());
+        unsigned Workers = support::ThreadPool::resolveWorkerCount(
+            Options.Workers, Tasks.size());
         if (Workers > 1 && Tasks.size() > 1) {
-          support::ThreadPool Pool(static_cast<unsigned>(
-              std::min<size_t>(Workers, Tasks.size())));
+          support::ThreadPool Pool(Workers);
           Pool.parallelFor(Tasks.size(),
                            [&](size_t T) { RunTask(T); });
         } else {

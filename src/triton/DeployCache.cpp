@@ -6,7 +6,11 @@
 
 #include "triton/DeployCache.h"
 
+#include "support/StringUtils.h"
+
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 
@@ -17,14 +21,42 @@ using namespace cuasmrl::triton;
 
 DeployCache::DeployCache(std::string Dir) : Directory(std::move(Dir)) {}
 
+namespace {
+
+/// Maps one key component onto the filesystem-safe alphabet. Lossy on
+/// purpose (readability); injectivity comes from the digest suffix.
+std::string sanitizeComponent(const std::string &Component) {
+  std::string Out = Component;
+  for (char &C : Out) {
+    bool Safe = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    if (!Safe)
+      C = '_';
+  }
+  return Out;
+}
+
+} // namespace
+
 std::string DeployCache::makeKey(const std::string &GpuType,
                                  const std::string &Workload,
                                  const std::string &Config) {
-  std::string Key = GpuType + "-" + Workload + "-" + Config;
-  for (char &C : Key)
-    if (C == '/' || C == ' ')
-      C = '_';
-  return Key;
+  // The sanitized components keep the file name human-readable; the
+  // digest over the raw components — each prefixed by its length so
+  // ("a-b","c") and ("a","b-c") hash differently — makes the mapping
+  // collision-free even where sanitization or the '-' separator is
+  // ambiguous.
+  std::string Raw;
+  for (const std::string *Part : {&GpuType, &Workload, &Config}) {
+    Raw += std::to_string(Part->size());
+    Raw += ':';
+    Raw += *Part;
+  }
+  char Digest[32];
+  std::snprintf(Digest, sizeof(Digest), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(Raw)));
+  return sanitizeComponent(GpuType) + "-" + sanitizeComponent(Workload) +
+         "-" + sanitizeComponent(Config) + "-" + Digest;
 }
 
 std::string DeployCache::pathFor(const std::string &Key) const {
@@ -86,4 +118,21 @@ DeployCache::load(const std::string &Key) const {
 
 bool DeployCache::contains(const std::string &Key) const {
   return std::filesystem::exists(pathFor(Key));
+}
+
+std::vector<std::string> DeployCache::keys() const {
+  std::vector<std::string> Keys;
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Directory, Ec);
+  if (Ec)
+    return Keys;
+  for (const std::filesystem::directory_entry &Entry : It) {
+    std::string Name = Entry.path().filename().string();
+    const std::string Ext = ".cubin";
+    if (Name.size() > Ext.size() &&
+        Name.compare(Name.size() - Ext.size(), Ext.size(), Ext) == 0)
+      Keys.push_back(Name.substr(0, Name.size() - Ext.size()));
+  }
+  std::sort(Keys.begin(), Keys.end());
+  return Keys;
 }

@@ -21,6 +21,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace cuasmrl {
 namespace triton {
@@ -38,8 +39,14 @@ public:
   /// \p Directory is created on first store.
   explicit DeployCache(std::string Directory);
 
-  /// Key convention: "<gpu>/<workload>/<config>" flattened to one file
-  /// name (the paper prefixes GPU and workload type).
+  /// Key convention: "<gpu>-<workload>-<config>" flattened to one file
+  /// name (the paper prefixes GPU and workload type). Each component
+  /// is sanitized to the filesystem-safe alphabet [A-Za-z0-9._-]
+  /// independently, and a digest of the raw, length-delimited
+  /// components is appended — so components containing the separator
+  /// ("a-b","c" vs "a","b-c"), path characters ('/', '\\', ".."), or
+  /// any other hostile bytes can neither collide with a different
+  /// triple nor escape the cache directory.
   static std::string makeKey(const std::string &GpuType,
                              const std::string &Workload,
                              const std::string &Config);
@@ -52,6 +59,11 @@ public:
   std::optional<cubin::CubinFile> load(const std::string &Key) const;
 
   bool contains(const std::string &Key) const;
+
+  /// Every key currently stored, sorted — stats/observability for the
+  /// serving layer (a missing or empty directory yields an empty
+  /// vector). Keys stored concurrently may or may not appear.
+  std::vector<std::string> keys() const;
 
 private:
   std::string pathFor(const std::string &Key) const;

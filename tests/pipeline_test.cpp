@@ -418,6 +418,96 @@ TEST(DeployCacheTest, ConcurrentStoresOfOneKeyStayComplete) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST(DeployCacheTest, MakeKeySeparatorCannotCollide) {
+  // The flattening used to be "<a>-<b>-<c>" with no escaping, so a
+  // component containing the separator shifted the boundaries:
+  // ("a-b","c") and ("a","b-c") collided. The digest over the
+  // length-delimited raw components pins each triple to its own key.
+  EXPECT_NE(triton::DeployCache::makeKey("a-b", "c", "x"),
+            triton::DeployCache::makeKey("a", "b-c", "x"));
+  EXPECT_NE(triton::DeployCache::makeKey("a", "b", ""),
+            triton::DeployCache::makeKey("a", "", "b"));
+  // Sanitization is lossy ('/' and ' ' both map to '_') — the digest
+  // must still separate the raw strings.
+  EXPECT_NE(triton::DeployCache::makeKey("g", "w/x", "c"),
+            triton::DeployCache::makeKey("g", "w x", "c"));
+  // Identical triples agree, of course.
+  EXPECT_EQ(triton::DeployCache::makeKey("g", "w", "c"),
+            triton::DeployCache::makeKey("g", "w", "c"));
+}
+
+TEST(DeployCacheTest, MakeKeySanitizesHostileComponents) {
+  std::string Key = triton::DeployCache::makeKey(
+      "A100/PCIe 80GB", "../../etc/passwd", "bm=64 bn=64*\\\n");
+  // Filesystem-hostile characters never reach the file name...
+  for (char C : {'/', '\\', ' ', '*', '\n'})
+    EXPECT_EQ(Key.find(C), std::string::npos) << "char: " << C;
+  // ...and the dot-dot components are neutralized by the '/'
+  // replacement (no path separator survives to resurrect them).
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "cuasmrl_cache_hostile")
+          .string();
+  std::filesystem::remove_all(Dir);
+  triton::DeployCache Cache(Dir);
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::Softmax, testShape(WorkloadKind::Softmax),
+      candidateConfigs(WorkloadKind::Softmax).front(), DataRng);
+  ASSERT_TRUE(Cache.store(Key, K.Binary));
+  EXPECT_TRUE(Cache.contains(Key));
+  EXPECT_TRUE(Cache.load(Key).has_value());
+  // The store landed inside the cache directory, not up the tree.
+  size_t Entries = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    (void)Entry;
+    ++Entries;
+  }
+  EXPECT_EQ(Entries, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(DeployCacheTest, KeysEnumeratesStoredKeysSorted) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "cuasmrl_cache_keys")
+          .string();
+  std::filesystem::remove_all(Dir);
+  triton::DeployCache Cache(Dir);
+  EXPECT_TRUE(Cache.keys().empty()); // Missing directory: empty, no throw.
+
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::Softmax, testShape(WorkloadKind::Softmax),
+      candidateConfigs(WorkloadKind::Softmax).front(), DataRng);
+  ASSERT_TRUE(Cache.store("beta", K.Binary));
+  ASSERT_TRUE(Cache.store("alpha", K.Binary));
+  EXPECT_EQ(Cache.keys(), (std::vector<std::string>{"alpha", "beta"}));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(DeployCacheTest, StoreFailsCleanlyOnUnwritableDirectory) {
+  // A regular file where the directory should be: create_directories
+  // fails even when running as root (chmod-based fixtures do not).
+  std::string Blocker =
+      (std::filesystem::temp_directory_path() / "cuasmrl_cache_blocker")
+          .string();
+  std::filesystem::remove_all(Blocker);
+  {
+    std::ofstream OS(Blocker);
+    OS << "file, not dir";
+  }
+  triton::DeployCache Cache(Blocker + "/deploy");
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  triton::CompiledKernel K = triton::compileKernel(
+      Device, WorkloadKind::Softmax, testShape(WorkloadKind::Softmax),
+      candidateConfigs(WorkloadKind::Softmax).front(), DataRng);
+  EXPECT_FALSE(Cache.store("key", K.Binary));
+  EXPECT_TRUE(Cache.keys().empty());
+  std::filesystem::remove_all(Blocker);
+}
+
 //===----------------------------------------------------------------------===//
 // Search baselines (§7)
 //===----------------------------------------------------------------------===//
@@ -641,12 +731,16 @@ TEST(OptimizerTest, AutotuneAllPersistsWinnersThroughDeployCache) {
       {WorkloadKind::MmLeakyRelu, impossibleGemmShape()}, // Never persisted.
       {WorkloadKind::RmsNorm, testShape(WorkloadKind::RmsNorm)},
   };
+  core::DeployStats Stats;
   std::vector<triton::AutotuneResult> Results =
-      Opt.autotuneAll(Device, Requests, &Deploy);
+      Opt.autotuneAll(Device, Requests, &Deploy, "A100-SIM", &Stats);
   ASSERT_EQ(Results.size(), 3u);
   EXPECT_TRUE(Results[0].Valid);
   EXPECT_FALSE(Results[1].Valid);
   EXPECT_TRUE(Results[2].Valid);
+  EXPECT_EQ(Stats.Attempted, 2u); // The invalid sweep never persists.
+  EXPECT_EQ(Stats.Stored, 2u);
+  EXPECT_EQ(Stats.Failures, 0u);
 
   unsigned Stored = 0;
   for (size_t I = 0; I < Requests.size(); ++I) {
@@ -666,4 +760,38 @@ TEST(OptimizerTest, AutotuneAllPersistsWinnersThroughDeployCache) {
   }
   EXPECT_EQ(Stored, 2u);
   std::filesystem::remove_all(Dir);
+}
+
+TEST(OptimizerTest, AutotuneAllSurfacesPersistFailures) {
+  // A regular file blocks the deploy directory: every store must fail
+  // and be counted — winners are never dropped silently.
+  std::string Blocker =
+      (std::filesystem::temp_directory_path() / "cuasmrl_sweep_blocker")
+          .string();
+  std::filesystem::remove_all(Blocker);
+  {
+    std::ofstream OS(Blocker);
+    OS << "file, not dir";
+  }
+  triton::DeployCache Deploy(Blocker + "/deploy");
+
+  gpusim::Gpu Device;
+  core::OptimizeConfig C;
+  C.AutotuneMeasure = quickMeasure();
+  core::Optimizer Opt(C);
+
+  std::vector<triton::SweepRequest> Requests = {
+      {WorkloadKind::Softmax, testShape(WorkloadKind::Softmax)},
+      {WorkloadKind::RmsNorm, testShape(WorkloadKind::RmsNorm)},
+  };
+  core::DeployStats Stats;
+  std::vector<triton::AutotuneResult> Results =
+      Opt.autotuneAll(Device, Requests, &Deploy, "A100-SIM", &Stats);
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_TRUE(Results[0].Valid); // The sweep itself still succeeds...
+  EXPECT_TRUE(Results[1].Valid);
+  EXPECT_EQ(Stats.Attempted, 2u); // ...but persistence reports honestly.
+  EXPECT_EQ(Stats.Stored, 0u);
+  EXPECT_EQ(Stats.Failures, 2u);
+  std::filesystem::remove_all(Blocker);
 }

@@ -3,13 +3,16 @@
 
 Drives `bench_env_step` (and, when built, `bench_simulator_perf`) from a
 CMake build tree and writes `BENCH_step_throughput.json`, plus
-`bench_autotune_sweep` writing `BENCH_autotune_sweep.json`, so the
-per-PR perf trajectory of the env-step hot path and the autotune sweep
-engine can be tracked by CI and compared across revisions.
+`bench_autotune_sweep` writing `BENCH_autotune_sweep.json` and
+`bench_serve_throughput` writing `BENCH_serve_throughput.json`, so the
+per-PR perf trajectory of the env-step hot path, the autotune sweep
+engine and the optimization service can be tracked by CI and compared
+across revisions.
 
 Usage:
     tools/run_benchmarks.py [--build-dir build] [--out BENCH_step_throughput.json]
                             [--sweep-out BENCH_autotune_sweep.json]
+                            [--serve-out BENCH_serve_throughput.json]
                             [--steps N] [--timeout SECONDS]
 
 Exit status: 0 on success (reports written), 1 when a benchmark binary
@@ -81,16 +84,16 @@ def run_simulator_perf(build_dir, timeout):
     }
 
 
-def run_autotune_sweep(build_dir, out_path, timeout):
-    """Serial-vs-parallel sweep-engine comparison (determinism checked
-    by the bench itself; the binary fails on a mismatch). Returns the
-    parsed report, "absent" when the binary is not built (skipped, not
-    an error — mirrors bench_simulator_perf), or None on failure."""
-    exe = os.path.join(build_dir, "bench", "bench_autotune_sweep")
+def run_json_bench(name, build_dir, out_path, timeout):
+    """Runs a serial-vs-parallel comparison bench that emits its own
+    JSON report and self-checks bit-identity (the binary fails on a
+    mismatch). Returns the parsed report, "absent" when the binary is
+    not built (skipped, not an error — mirrors bench_simulator_perf),
+    or None on failure."""
+    exe = os.path.join(build_dir, "bench", name)
     if not os.path.exists(exe):
-        print(f"warning: {exe} not found (build the 'bench_autotune_sweep' "
-              "target to track sweep throughput); skipping",
-              file=sys.stderr)
+        print(f"warning: {exe} not found (build the '{name}' target to "
+              "track its throughput); skipping", file=sys.stderr)
         return "absent"
     cmd = [exe, "--json", out_path]
     print("+ " + " ".join(cmd))
@@ -98,13 +101,13 @@ def run_autotune_sweep(build_dir, out_path, timeout):
         proc = subprocess.run(cmd, capture_output=True, text=True,
                               timeout=timeout)
     except subprocess.TimeoutExpired:
-        print(f"error: bench_autotune_sweep exceeded the {timeout}s guard",
+        print(f"error: {name} exceeded the {timeout}s guard",
               file=sys.stderr)
         return None
     sys.stdout.write(proc.stdout)
     sys.stderr.write(proc.stderr)
     if proc.returncode != 0:
-        print(f"error: bench_autotune_sweep exited with {proc.returncode}",
+        print(f"error: {name} exited with {proc.returncode}",
               file=sys.stderr)
         return None
     with open(out_path) as f:
@@ -116,6 +119,7 @@ def main():
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--out", default="BENCH_step_throughput.json")
     parser.add_argument("--sweep-out", default="BENCH_autotune_sweep.json")
+    parser.add_argument("--serve-out", default="BENCH_serve_throughput.json")
     parser.add_argument("--steps", type=int, default=0,
                         help="step budget per kernel (0 = bench default)")
     parser.add_argument("--timeout", type=int, default=1200,
@@ -140,7 +144,8 @@ def main():
         print(f"{kernel['name']}: {kernel['steps_per_sec']:.1f} steps/s")
     print(f"wrote {args.out}")
 
-    sweep = run_autotune_sweep(args.build_dir, args.sweep_out, args.timeout)
+    sweep = run_json_bench("bench_autotune_sweep", args.build_dir,
+                           args.sweep_out, args.timeout)
     if sweep is None:
         return 1
     if sweep != "absent":
@@ -148,6 +153,16 @@ def main():
               f"{sweep['workers']} workers "
               f"(identical={sweep['identical_results']})")
         print(f"wrote {args.sweep_out}")
+
+    serve = run_json_bench("bench_serve_throughput", args.build_dir,
+                           args.serve_out, args.timeout)
+    if serve is None:
+        return 1
+    if serve != "absent":
+        print(f"serve throughput: {serve['speedup']:.2f}x at "
+              f"{serve['workers']} workers on {serve['requests']} requests "
+              f"(identical={serve['identical_results']})")
+        print(f"wrote {args.serve_out}")
     return 0
 
 
