@@ -1,0 +1,254 @@
+//===- bench/bench_batch_sim.cpp - lockstep batch simulation bench -----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput of the lockstep batch entry points against their serial
+/// one-at-a-time equivalents, on the same work:
+///
+///  - `Gpu::runBatch` over N schedule variants vs N private-snapshot
+///    `Gpu::run` calls (the raw simulation core);
+///  - `measureKernelBatch` over N lanes vs N `measureKernel` calls
+///    (the warmup/repeat protocol the reward loop and the sweep engine
+///    pay for).
+///
+/// Both comparisons verify bit-identical results first — batching that
+/// changed any lane's outcome would be a determinism bug, not a
+/// speedup. Batching does not reduce simulated work; the deltas
+/// reported here are pure overhead amortization (write-buffer pool
+/// rotation, decode sharing), so expect modest ratios near 1.
+///
+/// Emits a machine-readable JSON report (see tools/run_benchmarks.py):
+///
+///   bench_batch_sim [--json PATH] [--iters N]
+///
+/// Env overrides: CUASMRL_FAST=1 (1/8 iteration budget).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "gpusim/Measurement.h"
+#include "kernels/Builder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// One benched kernel: the built program plus deterministic adjacent
+/// swap variants of its schedule (the batch lanes).
+struct LaneSet {
+  gpusim::Gpu Device;
+  BuiltKernel K;
+  std::vector<sass::Program> Progs;
+  std::vector<gpusim::DecodedProgram> Images;
+};
+
+std::unique_ptr<LaneSet> buildLanes(WorkloadKind Kind, unsigned Variants) {
+  auto Set = std::make_unique<LaneSet>();
+  Rng DataRng(7);
+  Set->K = buildKernel(Set->Device, Kind, testShape(Kind),
+                       candidateConfigs(Kind).front(),
+                       ScheduleStyle::TritonO3, DataRng);
+
+  std::vector<size_t> Pairs;
+  for (size_t I = 0; I + 1 < Set->K.Prog.size(); ++I)
+    if (Set->K.Prog.stmt(I).isInstr() && Set->K.Prog.stmt(I + 1).isInstr())
+      Pairs.push_back(I);
+
+  sass::Program Work = Set->K.Prog;
+  for (unsigned V = 0; V < Variants; ++V) {
+    if (V)
+      for (unsigned S = 0; S < 3; ++S) {
+        size_t Idx =
+            (1103515245u * (3 * (V - 1) + S) + 12345u * V) % Pairs.size();
+        Work.swap(Pairs[Idx], Pairs[Idx] + 1);
+      }
+    Set->Progs.push_back(Work);
+  }
+  for (const sass::Program &P : Set->Progs)
+    Set->Images.emplace_back(P);
+  return Set;
+}
+
+bool sameRun(const gpusim::RunResult &A, const gpusim::RunResult &B) {
+  return A.Valid == B.Valid && A.Cycles == B.Cycles &&
+         A.Counters.IssuedInstrs == B.Counters.IssuedInstrs &&
+         A.Counters.StallWaitCycles == B.Counters.StallWaitCycles &&
+         A.Counters.DramBytes == B.Counters.DramBytes;
+}
+
+bool sameMeasure(const gpusim::Measurement &A, const gpusim::Measurement &B) {
+  return A.Valid == B.Valid && A.MeanUs == B.MeanUs &&
+         A.StddevUs == B.StddevUs && A.Cycles == B.Cycles;
+}
+
+struct Comparison {
+  double SerialMs = 0.0;
+  double BatchMs = 0.0;
+  bool Identical = true;
+  double ratio() const { return SerialMs / std::max(0.001, BatchMs); }
+};
+
+/// Raw core: runBatch vs N private-snapshot run() calls.
+Comparison compareRunBatch(std::vector<std::unique_ptr<LaneSet>> &Sets,
+                           unsigned Iters) {
+  Comparison Out;
+  for (unsigned It = 0; It < Iters; ++It) {
+    for (std::unique_ptr<LaneSet> &Set : Sets) {
+      std::vector<gpusim::RunResult> Serial(Set->Progs.size());
+      Clock::time_point T0 = Clock::now();
+      for (size_t I = 0; I < Set->Progs.size(); ++I) {
+        gpusim::Gpu Lane(Set->Device);
+        Serial[I] = Lane.run(Set->Progs[I], Set->Images[I], Set->K.Launch,
+                             gpusim::RunMode::Timed, 2);
+      }
+      Out.SerialMs += millisSince(T0);
+
+      std::vector<gpusim::Gpu::BatchCandidate> Cands(Set->Progs.size());
+      for (size_t I = 0; I < Set->Progs.size(); ++I)
+        Cands[I] = {&Set->Progs[I], &Set->Images[I]};
+      T0 = Clock::now();
+      std::vector<gpusim::RunResult> Batch =
+          Set->Device.runBatch(Cands, Set->K.Launch, gpusim::RunMode::Timed,
+                               2);
+      Out.BatchMs += millisSince(T0);
+
+      for (size_t I = 0; I < Serial.size(); ++I)
+        Out.Identical &= sameRun(Serial[I], Batch[I]);
+    }
+  }
+  return Out;
+}
+
+/// Measurement protocol: measureKernelBatch vs N measureKernel calls.
+Comparison compareMeasureBatch(std::vector<std::unique_ptr<LaneSet>> &Sets,
+                               unsigned Iters) {
+  gpusim::MeasureConfig MC;
+  MC.WarmupIters = 2;
+  MC.RepeatIters = 3;
+  MC.MaxBlocks = 2;
+
+  Comparison Out;
+  for (unsigned It = 0; It < Iters; ++It) {
+    for (std::unique_ptr<LaneSet> &Set : Sets) {
+      // Lane devices are rebuilt per side from the same base snapshot,
+      // so both sides measure identical device state.
+      std::vector<gpusim::Gpu> SerialDevs(Set->Progs.size(), Set->Device);
+      std::vector<gpusim::Measurement> Serial(Set->Progs.size());
+      Clock::time_point T0 = Clock::now();
+      for (size_t I = 0; I < Set->Progs.size(); ++I)
+        Serial[I] = measureKernel(SerialDevs[I], Set->Progs[I],
+                                  Set->Images[I], Set->K.Launch, MC);
+      Out.SerialMs += millisSince(T0);
+
+      std::vector<gpusim::Gpu> BatchDevs(Set->Progs.size(), Set->Device);
+      std::vector<gpusim::BatchMeasureLane> Lanes(Set->Progs.size());
+      for (size_t I = 0; I < Set->Progs.size(); ++I)
+        Lanes[I] = {&BatchDevs[I], &Set->Progs[I], &Set->Images[I],
+                    &Set->K.Launch, MC};
+      T0 = Clock::now();
+      std::vector<gpusim::Measurement> Batch =
+          gpusim::measureKernelBatch(Lanes);
+      Out.BatchMs += millisSince(T0);
+
+      for (size_t I = 0; I < Serial.size(); ++I)
+        Out.Identical &= sameMeasure(Serial[I], Batch[I]);
+    }
+  }
+  return Out;
+}
+
+void printJson(std::FILE *Out, size_t Lanes, unsigned Iters,
+               const Comparison &Run, const Comparison &Measure) {
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"batch_sim\",\n");
+  std::fprintf(Out, "  \"lanes\": %zu,\n", Lanes);
+  std::fprintf(Out, "  \"iters\": %u,\n", Iters);
+  std::fprintf(Out, "  \"identical_results\": %s,\n",
+               (Run.Identical && Measure.Identical) ? "true" : "false");
+  std::fprintf(Out, "  \"run_serial_ms\": %.3f,\n", Run.SerialMs);
+  std::fprintf(Out, "  \"run_batch_ms\": %.3f,\n", Run.BatchMs);
+  std::fprintf(Out, "  \"run_batch_ratio\": %.3f,\n", Run.ratio());
+  std::fprintf(Out, "  \"measure_serial_ms\": %.3f,\n", Measure.SerialMs);
+  std::fprintf(Out, "  \"measure_batch_ms\": %.3f,\n", Measure.BatchMs);
+  std::fprintf(Out, "  \"measure_batch_ratio\": %.3f\n", Measure.ratio());
+  std::fprintf(Out, "}\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Iters = 24;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (Arg == "--iters" && I + 1 < argc)
+      Iters = static_cast<unsigned>(std::atoi(argv[++I]));
+    else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--iters N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (bench::fastMode())
+    Iters = std::max(2u, Iters / 8);
+
+  std::vector<std::unique_ptr<LaneSet>> Sets;
+  size_t Lanes = 0;
+  for (WorkloadKind Kind :
+       {WorkloadKind::MmLeakyRelu, WorkloadKind::FlashAttention,
+        WorkloadKind::Softmax}) {
+    Sets.push_back(buildLanes(Kind, /*Variants=*/6));
+    Lanes += Sets.back()->Progs.size();
+  }
+
+  std::printf("bench_batch_sim: %zu lanes x %u iterations\n\n", Lanes,
+              Iters);
+  Comparison Run = compareRunBatch(Sets, Iters);
+  Comparison Measure = compareMeasureBatch(Sets, Iters);
+
+  std::printf("%-24s %12s %12s %8s\n", "entry point", "serial ms",
+              "batch ms", "ratio");
+  std::printf("%-24s %12.1f %12.1f %8.3f\n", "Gpu::runBatch", Run.SerialMs,
+              Run.BatchMs, Run.ratio());
+  std::printf("%-24s %12.1f %12.1f %8.3f\n", "measureKernelBatch",
+              Measure.SerialMs, Measure.BatchMs, Measure.ratio());
+  std::printf("bit-identical results: %s\n",
+              (Run.Identical && Measure.Identical) ? "yes" : "NO (BUG)");
+
+  printJson(stdout, Lanes, Iters, Run, Measure);
+  if (!JsonPath.empty()) {
+    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open %s\n", JsonPath.c_str());
+      return 1;
+    }
+    printJson(Out, Lanes, Iters, Run, Measure);
+    std::fclose(Out);
+  }
+
+  // Identity is the hard requirement; wall-clock ratios are tracked
+  // via the JSON artifact, not gated (batching is overhead
+  // amortization, not a work reduction).
+  bool Pass = Run.Identical && Measure.Identical;
+  std::printf("\n%s: batch results %s serial results\n",
+              Pass ? "PASS" : "FAIL", Pass ? "match" : "DIVERGE from");
+  return Pass ? 0 : 1;
+}

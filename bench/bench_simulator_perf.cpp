@@ -11,6 +11,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "env/AssemblyGame.h"
+#include "gpusim/pipeline/OperandFetch.h"
+#include "gpusim/pipeline/WarpSelect.h"
+#include "gpusim/pipeline/Writeback.h"
 #include "kernels/Builder.h"
 #include "rl/ActorCritic.h"
 #include "sass/Parser.h"
@@ -72,6 +75,28 @@ static void BM_TimedSimulationPredecoded(benchmark::State &State) {
 }
 BENCHMARK(BM_TimedSimulationPredecoded)->Unit(benchmark::kMillisecond);
 
+/// The batch entry point: the same pre-decoded timed simulation, six
+/// schedule lanes advanced in lockstep through Gpu::runBatch. Reported
+/// per lane (items/s = lanes/s), so the row is directly comparable to
+/// BM_TimedSimulationPredecoded — the delta is the batch engine's
+/// overhead amortization, not a work reduction.
+static void BM_TimedSimulationBatch(benchmark::State &State) {
+  Fixture &F = fixture();
+  constexpr size_t NumLanes = 6;
+  gpusim::DecodedProgram Decoded(F.Kernel.Prog);
+  unsigned Resident = F.Device.residentBlocks(F.Kernel.Launch);
+  std::vector<gpusim::Gpu::BatchCandidate> Cands(
+      NumLanes, {&F.Kernel.Prog, &Decoded});
+  for (auto _ : State) {
+    std::vector<gpusim::RunResult> R = F.Device.runBatch(
+        Cands, F.Kernel.Launch, gpusim::RunMode::Timed, Resident);
+    benchmark::DoNotOptimize(R.front().Cycles);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(NumLanes));
+}
+BENCHMARK(BM_TimedSimulationBatch)->Unit(benchmark::kMillisecond);
+
 /// The decode phase alone: building the pre-decoded kernel image.
 static void BM_DecodeProgram(benchmark::State &State) {
   Fixture &F = fixture();
@@ -93,6 +118,72 @@ static void BM_OracleSimulation(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_OracleSimulation)->Unit(benchmark::kMillisecond);
+
+/// \name Stage-boundary rows
+/// Each pipeline stage timed alone at its latch boundary, so a perf
+/// regression inside one stage is attributable from the JSON artifact
+/// without re-profiling the whole machine.
+/// @{
+
+/// Warp select: one sweep of probes over a resident warp set (the
+/// per-scheduler-cycle cost when no warp is eligible).
+static void BM_StageWarpSelectProbe(benchmark::State &State) {
+  Fixture &F = fixture();
+  gpusim::DecodedProgram Decoded(F.Kernel.Prog);
+  std::vector<gpusim::WarpSimState> Warps(8);
+  for (size_t I = 0; I < Warps.size(); ++I) {
+    Warps[I].Pc = 0;
+    Warps[I].NextIssue = 1; // Stall-rejected: probe cost, no issue.
+  }
+  gpusim::PerfCounters C;
+  for (auto _ : State) {
+    uint64_t MinReady = ~0ull;
+    for (gpusim::WarpSimState &W : Warps)
+      benchmark::DoNotOptimize(
+          gpusim::WarpSelect::probe(W, Decoded, 0, C, MinReady));
+    benchmark::DoNotOptimize(MinReady);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Warps.size()));
+}
+BENCHMARK(BM_StageWarpSelectProbe);
+
+/// Operand fetch: the per-run bank-penalty tabulation (amortized away
+/// from the per-issue path by the staged core).
+static void BM_StageOperandPenaltyTable(benchmark::State &State) {
+  Fixture &F = fixture();
+  gpusim::DecodedProgram Decoded(F.Kernel.Prog);
+  std::vector<uint16_t> Table;
+  for (auto _ : State) {
+    gpusim::OperandFetch::buildPenaltyTable(Decoded, 4, 2, Table);
+    benchmark::DoNotOptimize(Table.data());
+  }
+}
+BENCHMARK(BM_StageOperandPenaltyTable);
+
+/// Writeback: event-queue churn with write-buffer recycling (push and
+/// drain one batch of completion events per iteration).
+static void BM_StageEventQueueChurn(benchmark::State &State) {
+  gpusim::EventQueue Q;
+  for (auto _ : State) {
+    for (unsigned I = 0; I < 64; ++I) {
+      std::vector<gpusim::DeferredWrite> Writes = Q.takeWriteBuf();
+      Writes.push_back({gpusim::DeferredWrite::File::R,
+                        static_cast<uint16_t>(I), I});
+      Q.push({/*Cycle=*/(I * 7) % 32, /*Warp=*/static_cast<int>(I % 8),
+              /*ReleaseSlot=*/-1, /*ReleaseBlock=*/-1, std::move(Writes)});
+    }
+    while (!Q.empty()) {
+      gpusim::Event E = Q.pop();
+      benchmark::DoNotOptimize(E.Cycle);
+      Q.recycleWriteBuf(std::move(E.Writes));
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * 64);
+}
+BENCHMARK(BM_StageEventQueueChurn);
+
+/// @}
 
 /// SASS text parsing (disassembler output -> Program).
 static void BM_ParseProgram(benchmark::State &State) {

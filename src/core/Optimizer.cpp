@@ -127,8 +127,12 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
 
   // Measurement-cost accounting (§7) — after the replay so its cache
   // traffic and simulations are included.
-  for (GameEnvAdapter *A : Adapters)
+  for (GameEnvAdapter *A : Adapters) {
     Result.KernelExecutions += A->game().measurementsTaken();
+    // Per-stage simulator counters; summed across games the total is
+    // independent of which sibling ran a shared-cache measurement.
+    Result.RolloutCounters += A->game().simCounters();
+  }
   if (SharedCache)
     SharedCache->accumulate(Result.RolloutCounters);
 

@@ -78,8 +78,10 @@ struct OptimizeResult {
   std::vector<env::AppliedAction> Trace; ///< Greedy replay (§5.7).
   bool Verified = false;                 ///< Probabilistic test passed.
   unsigned KernelExecutions = 0;         ///< Measurement cost (§7).
-  /// Shared measurement-cache accounting for the run
-  /// (MeasureCacheHits/Misses; other counters stay zero).
+  /// Rollout-wide counter aggregate: shared measurement-cache
+  /// accounting (MeasureCacheHits/Misses) plus the per-stage simulator
+  /// counters summed over every game's own measurements (select /
+  /// fetch / execute / writeback families, selectHitRate()).
   gpusim::PerfCounters RolloutCounters;
 
   double speedup() const {

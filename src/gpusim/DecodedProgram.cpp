@@ -8,6 +8,7 @@
 
 #include "sass/Program.h"
 
+#include <atomic>
 #include <string_view>
 #include <unordered_map>
 
@@ -111,26 +112,103 @@ DecodedProgram::DecodedProgram(const sass::Program &Prog) {
     if (Prog.stmt(I).isLabel())
       LabelMap.emplace(Prog.stmt(I).label(), I);
 
-  Records.reserve(Prog.size());
-  for (size_t I = 0; I < Prog.size(); ++I) {
+  size_t N = Prog.size();
+  Records.reserve(N);
+  Flags.reserve(N);
+  Wait.reserve(N);
+  StallCount.reserve(N);
+  Bars.reserve(N);
+  FixedLat.reserve(N);
+  Op.reserve(N);
+  Target.reserve(N);
+  LdgBase.reserve(N);
+  LdgOff.reserve(N);
+
+  for (size_t I = 0; I < N; ++I) {
     const sass::Statement &S = Prog.stmt(I);
     if (S.isLabel()) {
       DecodedInstr D;
       D.IsLabel = true;
       Records.push_back(D);
+      Flags.push_back(FlagLabel);
+      Wait.push_back(0);
+      StallCount.push_back(0);
+      Bars.push_back(0);
+      FixedLat.push_back(1);
+      Op.push_back(sass::Opcode::NOP);
+      Target.push_back(-1);
+      LdgBase.push_back(-1);
+      LdgOff.push_back(0);
       continue;
     }
-    DecodedInstr D = DecodedInstr::decode(S.instr());
-    if (S.instr().opcode() == sass::Opcode::BRA) {
-      for (const sass::Operand &Op : S.instr().operands()) {
-        if (!Op.isLabel())
+    const sass::Instruction &Instr = S.instr();
+    DecodedInstr D = DecodedInstr::decode(Instr);
+    if (Instr.opcode() == sass::Opcode::BRA) {
+      for (const sass::Operand &Opnd : Instr.operands()) {
+        if (!Opnd.isLabel())
           continue;
-        auto It = LabelMap.find(Op.name());
+        auto It = LabelMap.find(Opnd.name());
         if (It != LabelMap.end())
           D.BranchTarget = static_cast<int32_t>(It->second);
         break;
       }
     }
+
+    uint8_t F = 0;
+    if (D.VarLat)
+      F |= FlagVarLat;
+    if (D.IsCtrlFlow)
+      F |= FlagCtrlFlow;
+    if (D.IsBarrierOrSync)
+      F |= FlagBarrierOrSync;
+    if (D.HasSlotRegs)
+      F |= FlagHasSlotRegs;
+    const sass::ControlCode &Ctrl = Instr.ctrl();
+    if (Ctrl.yield())
+      F |= FlagYield;
+
+    int16_t LBase = -1;
+    int64_t LOff = 0;
+    if (Instr.opcode() == sass::Opcode::LDGSTS &&
+        !Instr.operands().empty() && Instr.operands()[0].isMem()) {
+      const sass::Operand &SharedOp = Instr.operands()[0];
+      F |= FlagLdgsts;
+      LBase = SharedOp.baseReg().isZero()
+                  ? static_cast<int16_t>(-2)
+                  : static_cast<int16_t>(SharedOp.baseReg().index());
+      LOff = SharedOp.memOffset();
+    }
+
     Records.push_back(D);
+    Flags.push_back(F);
+    Wait.push_back(Ctrl.waitMask());
+    StallCount.push_back(static_cast<uint8_t>(Ctrl.stall()));
+    Bars.push_back(static_cast<uint8_t>(
+        ((Ctrl.readBarrier() + 1) << 4) | (Ctrl.writeBarrier() + 1)));
+    FixedLat.push_back(D.FixedLat);
+    Op.push_back(Instr.opcode());
+    Target.push_back(D.BranchTarget);
+    LdgBase.push_back(LBase);
+    LdgOff.push_back(LOff);
   }
+}
+
+uint64_t DecodedProgram::nextVersion() {
+  static std::atomic<uint64_t> Counter{0};
+  return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void DecodedProgram::swap(size_t Upper) {
+  Version = nextVersion();
+  size_t A = Upper, B = Upper + 1;
+  std::swap(Records[A], Records[B]);
+  std::swap(Flags[A], Flags[B]);
+  std::swap(Wait[A], Wait[B]);
+  std::swap(StallCount[A], StallCount[B]);
+  std::swap(Bars[A], Bars[B]);
+  std::swap(FixedLat[A], FixedLat[B]);
+  std::swap(Op[A], Op[B]);
+  std::swap(Target[A], Target[B]);
+  std::swap(LdgBase[A], LdgBase[B]);
+  std::swap(LdgOff[A], LdgOff[B]);
 }

@@ -1,4 +1,4 @@
-//===- gpusim/DecodedProgram.h - Pre-decoded kernel image --------------------===//
+//===- gpusim/DecodedProgram.h - Pre-decoded kernel image (SoA) --------------===//
 //
 // Part of the CuAsmRL reproduction. Apache License v2.0.
 //
@@ -8,24 +8,32 @@
 /// A dense, execution-ready image of one kernel's statement list. The
 /// simulator's inner loops issue tens of thousands of instructions per
 /// measurement; resolving latency keys (string construction + table
-/// lookup), scanning modifier strings and chasing branch labels through
-/// a hash map on *every* issue dominated the timed machine's profile.
-/// `DecodedProgram` hoists all of that to decode time: one record per
-/// statement carrying the latency class, modifier-derived semantic
-/// flags, pre-parsed comparison/MUFU selectors and the branch target as
-/// a statement index — so `executeInstr` and the machines in Gpu.cpp
-/// index plain arrays in the hot loop.
+/// lookup), scanning modifier strings, reading control codes through
+/// the heavyweight `sass::Statement` objects and chasing branch labels
+/// through a hash map on *every* issue dominated the timed machine's
+/// profile.
+///
+/// The image is stored as a structure-of-arrays: one parallel plane per
+/// hot field (flags, wait mask, stall/yield, barrier slots, fixed
+/// latency, opcode, branch target, bank slots, LDGSTS predecode), each
+/// indexed by statement. The pipeline's warp-select / operand-fetch /
+/// writeback stages touch *only* these planes — a warp eligibility
+/// probe is two byte loads — while the execute stage reads the
+/// assembled per-statement `DecodedInstr` record (also kept, positioned
+/// identically) for modifier-derived semantics.
 ///
 /// Swap-update invariants (what makes the image maintainable in O(1)
 /// between the assembly game's measurements):
-///  - a record is a pure function of its statement's *content*, never of
-///    its position, except `BranchTarget`;
+///  - every plane entry (and every record field) is a pure function of
+///    its statement's *content* — control code included, which moves
+///    with the instruction on `Program::swap` — never of its position,
+///    except `BranchTarget`;
 ///  - the game only exchanges adjacent instruction statements, so labels
 ///    never move and every `BranchTarget` index stays valid across any
 ///    number of `swap()` calls;
-///  - therefore `swap(Upper)` == exchanging the two records, and equals
-///    a full redecode of the swapped program (asserted by differential
-///    tests).
+///  - therefore `swap(Upper)` == exchanging the two entries of every
+///    plane, and equals a full redecode of the swapped program
+///    (asserted by differential tests).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -108,12 +116,26 @@ struct DecodedInstr {
   bool operator!=(const DecodedInstr &O) const { return !(*this == O); }
 };
 
-/// The per-statement record array for one program, positionally aligned
-/// with the program's statement list (labels included, flagged).
+/// The per-statement image for one program, positionally aligned with
+/// the program's statement list (labels included, flagged). Hot fields
+/// live in parallel SoA planes; the assembled records remain available
+/// through operator[] for the execute stage and differential tests.
 class DecodedProgram {
 public:
+  /// Per-statement classification bits (the `flags()` plane).
+  enum : uint8_t {
+    FlagLabel = 1u << 0,         ///< Statement is a label.
+    FlagVarLat = 1u << 1,        ///< Variable-latency instruction.
+    FlagCtrlFlow = 1u << 2,      ///< Control-flow instruction.
+    FlagBarrierOrSync = 1u << 3, ///< Barrier / sync opcode.
+    FlagHasSlotRegs = 1u << 4,   ///< Any bank-slot register present.
+    FlagLdgsts = 1u << 5,        ///< LDGSTS with a shared-memory operand.
+    FlagYield = 1u << 6,         ///< Control-code yield hint.
+  };
+
   DecodedProgram() = default;
-  /// Full decode: O(program), including branch-target resolution.
+  /// Full decode: O(program), including branch-target resolution and
+  /// the control-code planes.
   explicit DecodedProgram(const sass::Program &Prog);
 
   size_t size() const { return Records.size(); }
@@ -122,19 +144,72 @@ public:
     return Records[Index];
   }
 
-  /// Mirrors Program::swap(Upper, Upper+1): exchanges the two records.
-  /// O(1); see the header comment for why this equals a full redecode.
-  void swap(size_t Upper) {
-    std::swap(Records[Upper], Records[Upper + 1]);
+  /// \name Hot-plane accessors (pipeline stages)
+  /// @{
+  uint8_t flags(size_t I) const { return Flags[I]; }
+  bool isLabel(size_t I) const { return (Flags[I] & FlagLabel) != 0; }
+  bool varLat(size_t I) const { return (Flags[I] & FlagVarLat) != 0; }
+  bool isCtrlFlow(size_t I) const { return (Flags[I] & FlagCtrlFlow) != 0; }
+  bool isBarrierOrSync(size_t I) const {
+    return (Flags[I] & FlagBarrierOrSync) != 0;
   }
+  bool yield(size_t I) const { return (Flags[I] & FlagYield) != 0; }
+  uint8_t waitMask(size_t I) const { return Wait[I]; }
+  unsigned stall(size_t I) const { return StallCount[I]; }
+  /// Scoreboard slot indices; -1 = none.
+  int readBarrier(size_t I) const { return (Bars[I] >> 4) - 1; }
+  int writeBarrier(size_t I) const { return (Bars[I] & 0xf) - 1; }
+  uint16_t fixedLat(size_t I) const { return FixedLat[I]; }
+  sass::Opcode opcode(size_t I) const { return Op[I]; }
+  int32_t branchTarget(size_t I) const { return Target[I]; }
+  /// LDGSTS shared-operand base register (-2 for RZ base, meaningful
+  /// only when FlagLdgsts is set) and byte offset.
+  int ldgstsBase(size_t I) const { return LdgBase[I]; }
+  int64_t ldgstsOffset(size_t I) const { return LdgOff[I]; }
+  /// Bank-model planes (slot 0 is the destination and never scanned).
+  const std::array<int16_t, 8> &slotRegs(size_t I) const {
+    return Records[I].SlotReg;
+  }
+  uint8_t reuseMask(size_t I) const { return Records[I].ReuseMask; }
+  /// @}
+
+  /// Mirrors Program::swap(Upper, Upper+1): exchanges the two entries
+  /// of every plane. O(1); see the header comment for why this equals
+  /// a full redecode.
+  void swap(size_t Upper);
+
+  /// Content-version stamp: every construction and mutation draws a
+  /// fresh value from a process-global counter, while copies share
+  /// their source's stamp — so two images with equal version() are
+  /// guaranteed to hold identical planes. Lets per-run caches derived
+  /// from the image (e.g. the timed machine's operand-penalty table)
+  /// skip rebuilding between runs of an unchanged schedule.
+  uint64_t version() const { return Version; }
 
   bool operator==(const DecodedProgram &O) const {
-    return Records == O.Records;
+    return Records == O.Records && Flags == O.Flags && Wait == O.Wait &&
+           StallCount == O.StallCount && Bars == O.Bars &&
+           FixedLat == O.FixedLat && Op == O.Op && Target == O.Target &&
+           LdgBase == O.LdgBase && LdgOff == O.LdgOff;
   }
   bool operator!=(const DecodedProgram &O) const { return !(*this == O); }
 
 private:
+  static uint64_t nextVersion();
+
+  uint64_t Version = nextVersion();
+  /// Assembled per-statement records (execute stage, tests, equality).
   std::vector<DecodedInstr> Records;
+  /// SoA planes, positionally aligned with Records.
+  std::vector<uint8_t> Flags;
+  std::vector<uint8_t> Wait;
+  std::vector<uint8_t> StallCount;
+  std::vector<uint8_t> Bars; ///< (read+1)<<4 | (write+1).
+  std::vector<uint16_t> FixedLat;
+  std::vector<sass::Opcode> Op;
+  std::vector<int32_t> Target;
+  std::vector<int16_t> LdgBase;
+  std::vector<int64_t> LdgOff;
 };
 
 } // namespace gpusim

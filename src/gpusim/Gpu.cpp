@@ -1,21 +1,27 @@
-//===- gpusim/Gpu.cpp - Timed and oracle execution machines ------------------===//
+//===- gpusim/Gpu.cpp - Simulated GPU facade ---------------------------------===//
 //
 // Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The machines themselves live in gpusim/pipeline/: TimedCore drives
+// the staged timed pipeline, OracleCore the program-order reference.
+// This file is only the device facade: state ownership, occupancy
+// rules, the run()/runBatch() entry points, and the scratch-machine
+// cache.
 //
 //===----------------------------------------------------------------------===//
 
 #include "gpusim/Gpu.h"
 
 #include "gpusim/DecodedProgram.h"
-#include "gpusim/Executor.h"
+#include "gpusim/pipeline/BatchSim.h"
+#include "gpusim/pipeline/OracleCore.h"
+#include "gpusim/pipeline/TimedCore.h"
 #include "sass/Program.h"
 
 #include <algorithm>
-#include <array>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
-#include <unordered_map>
 
 using namespace cuasmrl;
 using namespace cuasmrl::gpusim;
@@ -23,6 +29,39 @@ using namespace cuasmrl::gpusim;
 Gpu::Gpu(GpuSpec S)
     : Spec(S), L1(S.L1Bytes, S.CacheLineBytes, S.L1Ways),
       L2(S.L2Bytes, S.CacheLineBytes, S.L2Ways) {}
+
+Gpu::~Gpu() = default;
+
+Gpu::Gpu(const Gpu &O) : Spec(O.Spec), Global(O.Global), L1(O.L1), L2(O.L2) {}
+
+Gpu &Gpu::operator=(const Gpu &O) {
+  if (this != &O) {
+    Spec = O.Spec;
+    Global = O.Global;
+    L1 = O.L1;
+    L2 = O.L2;
+    Scratch.reset(); // The machine was built against the old state.
+  }
+  return *this;
+}
+
+Gpu::Gpu(Gpu &&O) noexcept
+    : Spec(std::move(O.Spec)), Global(std::move(O.Global)),
+      L1(std::move(O.L1)), L2(std::move(O.L2)) {
+  O.Scratch.reset(); // Machines reference their owning device; don't rebind.
+}
+
+Gpu &Gpu::operator=(Gpu &&O) noexcept {
+  if (this != &O) {
+    Spec = std::move(O.Spec);
+    Global = std::move(O.Global);
+    L1 = std::move(O.L1);
+    L2 = std::move(O.L2);
+    Scratch.reset();
+    O.Scratch.reset();
+  }
+  return *this;
+}
 
 void Gpu::clearCaches() {
   L1.clear();
@@ -43,885 +82,11 @@ unsigned Gpu::residentBlocks(const KernelLaunch &Launch) const {
   return std::max(1u, std::min(Limit, std::max(1u, PerSm)));
 }
 
-//===----------------------------------------------------------------------===//
-// Shared machine scaffolding
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-/// A register write deferred until an instruction completes.
-struct DeferredWrite {
-  enum class File : uint8_t { R, UR, P, UP };
-  File Where;
-  uint16_t Index;
-  uint32_t Value;
-};
-
-/// One pending fixed-latency result (write-back time semantics).
-struct PendingWrite {
-  uint32_t Value = 0;
-  uint64_t Ready = 0;
-  bool Active = false;
-};
-
-/// Read once at startup — the per-call static-guard check was visible
-/// in the register-read hot path.
-const bool TraceStaleReads = getenv("CUASMRL_TRACE_STALE") != nullptr;
-
-} // namespace
-
-namespace cuasmrl {
-namespace gpusim {
-
-/// Per-warp architectural + microarchitectural state.
-struct WarpSimState {
-  // Architectural registers (committed view).
-  std::array<uint32_t, 256> R{};
-  std::array<uint32_t, 64> UR{};
-  std::array<uint8_t, 8> P{};
-  std::array<uint8_t, 8> UP{};
-
-  // In-flight fixed-latency results.
-  std::array<PendingWrite, 256> RPend{};
-  std::array<PendingWrite, 8> PPend{};
-
-  size_t Pc = 0;
-  uint64_t NextIssue = 0;
-  std::array<int, sass::ControlCode::NumBarrierSlots> Scoreboard{};
-  bool Done = false;
-  bool AtBarrier = false;
-  unsigned Block = 0;        ///< Simulated-block index.
-  unsigned WarpInBlock = 0;
-  unsigned CtaLinear = 0;    ///< Global linear block id (for CTAID).
-
-  // LDGSTS in-order group tracking (§3.5 "additional dependencies").
-  int LdgstsBase = -1;
-  int64_t LdgstsOffset = 0;
-
-  // Diagnostic: event-commit time per register (deferred writes).
-  std::array<uint64_t, 256> InFlightUntil{};
-};
-
-} // namespace gpusim
-} // namespace cuasmrl
-
-//===----------------------------------------------------------------------===//
-// Timed machine
-//===----------------------------------------------------------------------===//
-
-namespace cuasmrl {
-namespace gpusim {
-
-/// The cycle-approximate SM model. One instance simulates one SM running
-/// a group of resident blocks to completion.
-class TimedMachine {
-public:
-  TimedMachine(Gpu &Device, const sass::Program &Prog,
-               const DecodedProgram &Decoded, const KernelLaunch &Launch)
-      : Device(Device), Spec(Device.Spec), Prog(Prog), Decoded(Decoded),
-        Launch(Launch) {
-    assert(Decoded.size() == Prog.size() &&
-           "decoded image out of sync with program");
-    Consts.setParams(Launch.Params);
-  }
-
-  /// Runs blocks [FirstCta, FirstCta + NumBlocks) concurrently; returns
-  /// false on fault.
-  bool runGroup(unsigned FirstCta, unsigned NumBlocks);
-
-  uint64_t elapsed() const { return Elapsed; }
-  const PerfCounters &counters() const { return Counters; }
-  const std::string &faultReason() const { return FaultReason; }
-
-private:
-  friend struct TimedCtx;
-
-  struct Scheduler {
-    int StickyWarp = -1;
-    int ReuseWarp = -1;
-    std::array<int, 8> ReuseRegs{}; ///< Reg per operand slot, -1 empty.
-    bool ReuseValid = false;
-  };
-
-  struct Event {
-    uint64_t Cycle;
-    int Warp;           ///< Warp whose state changes (-1: none).
-    int ReleaseSlot;    ///< Scoreboard slot to decrement (-1: none).
-    int ReleaseBlock;   ///< Block barrier to release (-1: none).
-    std::vector<DeferredWrite> Writes;
-    bool operator>(const Event &O) const { return Cycle > O.Cycle; }
-  };
-
-  // --- event min-heap with write-buffer recycling ------------------------
-  // Events fire for every variable-latency instruction; a
-  // std::priority_queue would copy each popped event (and heap-allocate
-  // its Writes vector anew each push). The manual heap moves events in
-  // and out, and drained Writes buffers return to a pool for reuse.
-  static bool eventAfter(const Event &A, const Event &B) {
-    return A.Cycle > B.Cycle;
-  }
-  void pushEvent(Event &&E) {
-    Events.push_back(std::move(E));
-    std::push_heap(Events.begin(), Events.end(), eventAfter);
-  }
-  Event popEvent() {
-    std::pop_heap(Events.begin(), Events.end(), eventAfter);
-    Event E = std::move(Events.back());
-    Events.pop_back();
-    return E;
-  }
-  std::vector<DeferredWrite> takeWriteBuf() {
-    if (WriteBufPool.empty())
-      return {};
-    std::vector<DeferredWrite> Buf = std::move(WriteBufPool.back());
-    WriteBufPool.pop_back();
-    return Buf;
-  }
-  void recycleWriteBuf(std::vector<DeferredWrite> &&Buf) {
-    if (Buf.capacity() == 0)
-      return;
-    Buf.clear();
-    WriteBufPool.push_back(std::move(Buf));
-  }
-
-  // --- register access with write-back-time semantics -------------------
-  uint32_t readR(WarpSimState &W, unsigned I) {
-    PendingWrite &P = W.RPend[I];
-    if (P.Active && P.Ready <= Now) {
-      W.R[I] = P.Value;
-      P.Active = false;
-    }
-    if (TraceStaleReads && W.InFlightUntil[I] > Now)
-      fprintf(stderr, "STALE R%u read at cycle %llu (in flight until %llu) pc=%zu\n",
-              I, (unsigned long long)Now,
-              (unsigned long long)W.InFlightUntil[I], W.Pc);
-    return W.R[I];
-  }
-  void writeR(WarpSimState &W, unsigned I, uint32_t V, uint64_t Ready) {
-    PendingWrite &P = W.RPend[I];
-    if (P.Active) {
-      W.R[I] = P.Value; // Commit the older in-flight result first.
-      P.Active = false;
-    }
-    P.Value = V;
-    P.Ready = Ready;
-    P.Active = true;
-  }
-  bool readP(WarpSimState &W, unsigned I) {
-    PendingWrite &P = W.PPend[I];
-    if (P.Active && P.Ready <= Now) {
-      W.P[I] = P.Value != 0;
-      P.Active = false;
-    }
-    return W.P[I] != 0;
-  }
-  void writeP(WarpSimState &W, unsigned I, bool V, uint64_t Ready) {
-    PendingWrite &P = W.PPend[I];
-    if (P.Active) {
-      W.P[I] = P.Value != 0;
-      P.Active = false;
-    }
-    P.Value = V;
-    P.Ready = Ready;
-    P.Active = true;
-  }
-
-  // --- helpers -----------------------------------------------------------
-  const sass::Instruction *peekInstr(WarpSimState &W);
-  bool waitSatisfied(const WarpSimState &W, const sass::Instruction &I) const;
-  int pickWarp(Scheduler &S, unsigned SchedIdx);
-  void issue(Scheduler &S, unsigned WarpIdx);
-  unsigned bankPenalty(Scheduler &S, unsigned WarpIdx,
-                       const DecodedInstr &D);
-  void updateReuse(Scheduler &S, unsigned WarpIdx, const DecodedInstr &D);
-  uint64_t memCompletion(const sass::Instruction &I, const DecodedInstr &D,
-                         uint64_t GlobalWords, uint64_t GlobalMinAddr,
-                         uint64_t SharedWords, uint64_t ConstWords);
-  void processEvents();
-  void maybeReleaseBarrier(unsigned Block);
-  void fault(std::string Reason) {
-    if (FaultReason.empty())
-      FaultReason = std::move(Reason);
-  }
-
-  Gpu &Device;
-  const GpuSpec &Spec;
-  const sass::Program &Prog;
-  const DecodedProgram &Decoded;
-  const KernelLaunch &Launch;
-  ConstantBank Consts;
-
-  std::vector<WarpSimState> Warps;
-  std::vector<SharedMemory> SharedPerBlock;
-  std::vector<Scheduler> Schedulers;
-  std::vector<Event> Events; ///< Min-heap ordered by eventAfter().
-  std::vector<std::vector<DeferredWrite>> WriteBufPool;
-
-  uint64_t Now = 0;
-  uint64_t Elapsed = 0;
-  uint64_t LsuFree = 0;
-  double DramFree = 0.0;
-  double MemBusyAccum = 0.0;
-  unsigned LiveWarps = 0;
-  PerfCounters Counters;
-  std::string FaultReason;
-};
-
-/// Execution context bridging executeInstr() to the timed machine.
-struct TimedCtx {
-  TimedMachine &M;
-  WarpSimState &W;
-  uint64_t CommitCycle;  ///< Write-back time for fixed-latency results.
-  bool Defer;            ///< Variable latency: collect writes for an event.
-  bool CorruptShared = false; ///< LDGSTS order violation poisons data.
-  std::vector<DeferredWrite> Deferred;
-
-  // Memory-footprint accounting (filled during functional execution).
-  uint64_t GlobalWords = 0;
-  uint64_t GlobalMinAddr = ~0ull;
-  uint64_t SharedWords = 0;
-  uint64_t ConstWords = 0;
-
-  uint32_t readR(unsigned I) { return M.readR(W, I); }
-  void writeR(unsigned I, uint32_t V) {
-    if (Defer)
-      Deferred.push_back({DeferredWrite::File::R,
-                          static_cast<uint16_t>(I), V});
-    else
-      M.writeR(W, I, V, CommitCycle);
-  }
-  uint32_t readUR(unsigned I) { return W.UR[I]; }
-  void writeUR(unsigned I, uint32_t V) {
-    if (Defer)
-      Deferred.push_back({DeferredWrite::File::UR,
-                          static_cast<uint16_t>(I), V});
-    else
-      W.UR[I] = V; // Uniform datapath: treated as immediately visible.
-  }
-  bool readP(unsigned I) { return M.readP(W, I); }
-  void writeP(unsigned I, bool V) {
-    if (Defer)
-      Deferred.push_back({DeferredWrite::File::P,
-                          static_cast<uint16_t>(I), V});
-    else
-      M.writeP(W, I, V, CommitCycle);
-  }
-  bool readUP(unsigned I) { return W.UP[I] != 0; }
-  void writeUP(unsigned I, bool V) { W.UP[I] = V; }
-
-  uint32_t loadShared(uint32_t Addr) {
-    ++SharedWords;
-    return M.SharedPerBlock[W.Block].loadWord(Addr);
-  }
-  void storeShared(uint32_t Addr, uint32_t V) {
-    ++SharedWords;
-    M.SharedPerBlock[W.Block].storeWord(Addr,
-                                        CorruptShared ? V ^ PoisonWord : V);
-  }
-  uint32_t loadGlobal(uint64_t Addr) {
-    ++GlobalWords;
-    GlobalMinAddr = std::min(GlobalMinAddr, Addr);
-    return M.Device.globalMemory().loadWord(Addr);
-  }
-  void storeGlobal(uint64_t Addr, uint32_t V) {
-    ++GlobalWords;
-    GlobalMinAddr = std::min(GlobalMinAddr, Addr);
-    M.Device.globalMemory().storeWord(Addr, V);
-  }
-  uint32_t loadConst(uint32_t Offset) {
-    ++ConstWords;
-    return M.Consts.loadWord(Offset);
-  }
-  uint32_t specialReg(std::string_view Name) {
-    if (Name == "SR_CLOCKLO")
-      return static_cast<uint32_t>(M.Now);
-    if (Name == "SR_CLOCKHI")
-      return static_cast<uint32_t>(M.Now >> 32);
-    if (Name == "SR_TID.X")
-      return W.WarpInBlock * M.Spec.LanesPerWarp;
-    if (Name == "SR_TID.Y" || Name == "SR_TID.Z" || Name == "SR_LANEID")
-      return 0;
-    if (Name == "SR_CTAID.X")
-      return W.CtaLinear % M.Launch.GridX;
-    if (Name == "SR_CTAID.Y")
-      return (W.CtaLinear / M.Launch.GridX) % M.Launch.GridY;
-    if (Name == "SR_CTAID.Z")
-      return W.CtaLinear / (M.Launch.GridX * M.Launch.GridY);
-    return 0;
-  }
-};
-
-} // namespace gpusim
-} // namespace cuasmrl
-
-const sass::Instruction *TimedMachine::peekInstr(WarpSimState &W) {
-  while (W.Pc < Prog.size() && Decoded[W.Pc].IsLabel) {
-    // Crossing a label ends any LDGSTS group (§3.5).
-    W.LdgstsBase = -1;
-    ++W.Pc;
-  }
-  if (W.Pc >= Prog.size())
-    return nullptr;
-  return &Prog.stmt(W.Pc).instr();
+TimedMachine &Gpu::scratchMachine() {
+  if (!Scratch)
+    Scratch = std::make_unique<TimedMachine>(*this);
+  return *Scratch;
 }
-
-bool TimedMachine::waitSatisfied(const WarpSimState &W,
-                                 const sass::Instruction &I) const {
-  uint8_t Mask = I.ctrl().waitMask();
-  if (!Mask)
-    return true;
-  for (int Slot = 0; Slot < sass::ControlCode::NumBarrierSlots; ++Slot)
-    if ((Mask >> Slot) & 1)
-      if (W.Scoreboard[Slot] > 0)
-        return false;
-  return true;
-}
-
-int TimedMachine::pickWarp(Scheduler &S, unsigned SchedIdx) {
-  auto Eligible = [&](int WIdx) -> bool {
-    WarpSimState &W = Warps[WIdx];
-    if (W.Done || W.AtBarrier || W.NextIssue > Now)
-      return false;
-    const sass::Instruction *I = peekInstr(W);
-    if (!I) {
-      return false;
-    }
-    if (!waitSatisfied(W, *I)) {
-      ++Counters.StallWaitCycles;
-      return false;
-    }
-    return true;
-  };
-
-  // Greedy-then-oldest: stick with the last warp while it can issue.
-  if (S.StickyWarp >= 0 && Eligible(S.StickyWarp))
-    return S.StickyWarp;
-  for (unsigned WIdx = SchedIdx; WIdx < Warps.size();
-       WIdx += Spec.SchedulersPerSM)
-    if (Eligible(static_cast<int>(WIdx)))
-      return static_cast<int>(WIdx);
-  return -1;
-}
-
-unsigned TimedMachine::bankPenalty(Scheduler &S, unsigned WarpIdx,
-                                   const DecodedInstr &D) {
-  if (!D.HasSlotRegs)
-    return 0;
-  std::array<unsigned, 8> BankCount{};
-  bool ReuseUsable = S.ReuseValid && S.ReuseWarp == static_cast<int>(WarpIdx);
-  for (size_t Slot = 1; Slot < D.SlotReg.size(); ++Slot) {
-    int Reg = D.SlotReg[Slot];
-    if (Reg < 0)
-      continue;
-    if (ReuseUsable && S.ReuseRegs[Slot] == Reg) {
-      ++Counters.ReuseHits;
-      continue; // Served from the operand reuse cache: no bank access.
-    }
-    ++BankCount[static_cast<unsigned>(Reg) % Spec.RegisterBanks];
-  }
-  unsigned Penalty = 0;
-  for (unsigned Bank = 0; Bank < Spec.RegisterBanks; ++Bank)
-    if (BankCount[Bank] > 1)
-      Penalty += (BankCount[Bank] - 1) * Spec.BankConflictPenalty;
-  Counters.BankConflictCycles += Penalty;
-  return Penalty;
-}
-
-void TimedMachine::updateReuse(Scheduler &S, unsigned WarpIdx,
-                               const DecodedInstr &D) {
-  S.ReuseValid = D.ReuseMask != 0;
-  if (!S.ReuseValid) {
-    // Stale ReuseRegs entries are unreachable while ReuseValid is off.
-    S.ReuseWarp = -1;
-    return;
-  }
-  S.ReuseRegs.fill(-1);
-  for (size_t Slot = 1; Slot < D.SlotReg.size(); ++Slot)
-    if (D.ReuseMask & (1u << Slot))
-      S.ReuseRegs[Slot] = D.SlotReg[Slot];
-  S.ReuseWarp = static_cast<int>(WarpIdx);
-}
-
-uint64_t TimedMachine::memCompletion(const sass::Instruction &I,
-                                     const DecodedInstr &D,
-                                     uint64_t GlobalWords,
-                                     uint64_t GlobalMinAddr,
-                                     uint64_t SharedWords,
-                                     uint64_t ConstWords) {
-  if (GlobalWords) {
-    // Coalesced warp footprint: lane-0 words times the warp width.
-    uint64_t Bytes = GlobalWords * 4ull * Spec.LanesPerWarp;
-    uint64_t Lines = std::max<uint64_t>(1, Bytes / Spec.CacheLineBytes);
-    uint64_t LineBase = GlobalMinAddr & ~static_cast<uint64_t>(
-                                            Spec.CacheLineBytes - 1);
-    bool Bypass = D.has(DecodedInstr::ModBypass);
-    uint64_t Worst = 0;
-    for (uint64_t L = 0; L < Lines; ++L) {
-      uint64_t Addr = LineBase + L * Spec.CacheLineBytes;
-      uint64_t Lat;
-      if (!Bypass && Device.L1.access(Addr)) {
-        ++Counters.L1Hits;
-        Lat = Spec.L1Latency;
-      } else {
-        if (!Bypass)
-          ++Counters.L1Misses;
-        if (Device.L2.access(Addr)) {
-          ++Counters.L2Hits;
-          Lat = Spec.L2Latency;
-        } else {
-          ++Counters.L2Misses;
-          // Only the launch's unique share of the traffic occupies DRAM
-          // bandwidth: the remainder is served by co-resident blocks'
-          // fetches hitting the chip-wide L2 (see KernelLaunch).
-          double UniqueBytes =
-              Spec.CacheLineBytes * Launch.UniqueDramFraction;
-          double Start = std::max<double>(static_cast<double>(Now), DramFree);
-          DramFree = Start + UniqueBytes / Spec.DramBytesPerCycle;
-          Counters.DramBytes += static_cast<uint64_t>(UniqueBytes);
-          MemBusyAccum += UniqueBytes / Spec.DramBytesPerCycle;
-          Lat = Spec.DramLatency +
-                static_cast<uint64_t>(Start - static_cast<double>(Now));
-        }
-      }
-      Worst = std::max(Worst, Lat);
-    }
-    uint64_t LsuStart = std::max(Now, LsuFree);
-    LsuFree = LsuStart + std::max<uint64_t>(1, Lines / 2);
-    MemBusyAccum += static_cast<double>(std::max<uint64_t>(1, Lines / 2));
-    ++Counters.LsuIssues;
-    uint64_t Extra =
-        I.opcode() == sass::Opcode::LDGSTS ? 10 : 0; // Shared-write leg.
-    return LsuStart + Worst + Extra;
-  }
-  if (SharedWords) {
-    ++Counters.SharedAccesses;
-    ++Counters.LsuIssues;
-    uint64_t LsuStart = std::max(Now, LsuFree);
-    LsuFree = LsuStart + 1;
-    MemBusyAccum += 1.0;
-    return LsuStart + Spec.SharedLatency;
-  }
-  if (ConstWords)
-    return Now + Spec.ConstLatency;
-  // Non-memory variable latency (MUFU, S2R, SHFL, conversions).
-  return Now + 20;
-}
-
-void TimedMachine::maybeReleaseBarrier(unsigned Block) {
-  unsigned Waiting = 0, Live = 0;
-  for (WarpSimState &W : Warps) {
-    if (W.Block != Block)
-      continue;
-    if (W.Done)
-      continue;
-    ++Live;
-    if (W.AtBarrier)
-      ++Waiting;
-  }
-  if (Live == 0 || Waiting < Live)
-    return;
-  Event E;
-  E.Cycle = Now + Spec.BarrierLatency;
-  E.Warp = -1;
-  E.ReleaseSlot = -1;
-  E.ReleaseBlock = static_cast<int>(Block);
-  pushEvent(std::move(E));
-}
-
-void TimedMachine::processEvents() {
-  while (!Events.empty() && Events.front().Cycle <= Now) {
-    Event E = popEvent();
-    if (E.ReleaseBlock >= 0) {
-      for (WarpSimState &W : Warps)
-        if (W.Block == static_cast<unsigned>(E.ReleaseBlock))
-          W.AtBarrier = false;
-      continue;
-    }
-    WarpSimState &W = Warps[E.Warp];
-    if (E.ReleaseSlot >= 0) {
-      assert(W.Scoreboard[E.ReleaseSlot] > 0 && "scoreboard underflow");
-      --W.Scoreboard[E.ReleaseSlot];
-    }
-    for (const DeferredWrite &DW : E.Writes) {
-      switch (DW.Where) {
-      case DeferredWrite::File::R:
-        writeR(W, DW.Index, DW.Value, E.Cycle);
-        break;
-      case DeferredWrite::File::UR:
-        W.UR[DW.Index] = DW.Value;
-        break;
-      case DeferredWrite::File::P:
-        writeP(W, DW.Index, DW.Value != 0, E.Cycle);
-        break;
-      case DeferredWrite::File::UP:
-        W.UP[DW.Index] = DW.Value != 0;
-        break;
-      }
-    }
-    recycleWriteBuf(std::move(E.Writes));
-  }
-}
-
-void TimedMachine::issue(Scheduler &S, unsigned WarpIdx) {
-  WarpSimState &W = Warps[WarpIdx];
-  const sass::Instruction *IPtr = peekInstr(W);
-  assert(IPtr && "issue on drained warp");
-  const sass::Instruction &I = *IPtr;
-
-  if (S.ReuseValid && S.ReuseWarp != static_cast<int>(WarpIdx))
-    ++Counters.ReuseMisses; // Warp switch invalidated the reuse cache.
-
-  const DecodedInstr &D = Decoded[W.Pc];
-  unsigned Penalty = bankPenalty(S, WarpIdx, D);
-
-  bool VarLat = D.VarLat;
-  uint64_t FixedLat = D.FixedLat;
-
-  TimedCtx Ctx{*this,  W, Now + FixedLat, VarLat, false,
-               VarLat ? takeWriteBuf() : std::vector<DeferredWrite>{},
-               0,      ~0ull,           0,      0};
-
-  // LDGSTS groups must issue in ascending-offset order (hardware
-  // idiosyncrasy the paper identifies in §3.5); a violation corrupts the
-  // transferred data.
-  if (I.opcode() == sass::Opcode::LDGSTS && !I.operands().empty() &&
-      I.operands()[0].isMem()) {
-    const sass::Operand &SharedOp = I.operands()[0];
-    int Base = SharedOp.baseReg().isZero()
-                   ? -2
-                   : static_cast<int>(SharedOp.baseReg().index());
-    if (W.LdgstsBase == Base && SharedOp.memOffset() < W.LdgstsOffset) {
-      Ctx.CorruptShared = true;
-      fault("LDGSTS group issued out of order");
-    }
-    W.LdgstsBase = Base;
-    W.LdgstsOffset = SharedOp.memOffset();
-  } else if (D.IsBarrierOrSync || D.IsCtrlFlow) {
-    W.LdgstsBase = -1;
-  }
-
-  ExecResult R = executeInstr(I, D, Ctx);
-  ++Counters.IssuedInstrs;
-
-  // Completion & scoreboard plumbing for variable-latency instructions.
-  if (VarLat && R.Predicated) {
-    uint64_t Completion = memCompletion(I, D, Ctx.GlobalWords,
-                                        Ctx.GlobalMinAddr, Ctx.SharedWords,
-                                        Ctx.ConstWords);
-    bool NeedEvent = !Ctx.Deferred.empty() || I.ctrl().hasWriteBarrier();
-    if (NeedEvent) {
-      for (const DeferredWrite &DW : Ctx.Deferred)
-        if (DW.Where == DeferredWrite::File::R)
-          W.InFlightUntil[DW.Index] = Completion;
-      Event E;
-      E.Cycle = Completion;
-      E.Warp = static_cast<int>(WarpIdx);
-      E.ReleaseSlot = I.ctrl().hasWriteBarrier() ? I.ctrl().writeBarrier()
-                                                 : -1;
-      if (E.ReleaseSlot >= 0)
-        ++W.Scoreboard[E.ReleaseSlot];
-      E.ReleaseBlock = -1;
-      E.Writes = std::move(Ctx.Deferred);
-      pushEvent(std::move(E));
-    } else {
-      recycleWriteBuf(std::move(Ctx.Deferred));
-    }
-    if (I.ctrl().hasReadBarrier()) {
-      // Sources are consumed once the request leaves the LSU.
-      Event E;
-      E.Cycle = Now + std::min<uint64_t>(Completion - Now, 15);
-      E.Warp = static_cast<int>(WarpIdx);
-      E.ReleaseSlot = I.ctrl().readBarrier();
-      ++W.Scoreboard[E.ReleaseSlot];
-      E.ReleaseBlock = -1;
-      pushEvent(std::move(E));
-    }
-  } else if (VarLat && !R.Predicated) {
-    recycleWriteBuf(std::move(Ctx.Deferred));
-    // Predicated-off memory op: consumes the issue slot only, but its
-    // barriers must still fire or waiters would deadlock.
-    for (int Slot : {I.ctrl().writeBarrier(), I.ctrl().readBarrier()}) {
-      if (Slot < 0)
-        continue;
-      Event E;
-      E.Cycle = Now + 2;
-      E.Warp = static_cast<int>(WarpIdx);
-      E.ReleaseSlot = Slot;
-      ++W.Scoreboard[Slot];
-      E.ReleaseBlock = -1;
-      pushEvent(std::move(E));
-    }
-  }
-
-  // Control flow.
-  uint64_t ExtraIssueDelay = 0;
-  switch (R.K) {
-  case ExecResult::Kind::Normal:
-    ++W.Pc;
-    break;
-  case ExecResult::Kind::Branch: {
-    if (R.TargetIdx < 0) {
-      fault("branch to unknown label '" + std::string(R.Target) + "'");
-      W.Done = true;
-      --LiveWarps;
-      return;
-    }
-    W.Pc = static_cast<size_t>(R.TargetIdx);
-    W.LdgstsBase = -1;
-    ExtraIssueDelay = Spec.BranchPenalty;
-    break;
-  }
-  case ExecResult::Kind::Exit:
-    W.Done = true;
-    --LiveWarps;
-    break;
-  case ExecResult::Kind::BlockBarrier:
-    ++W.Pc;
-    W.AtBarrier = true;
-    W.LdgstsBase = -1;
-    break;
-  }
-
-  unsigned Stall = std::max<unsigned>(1, I.ctrl().stall());
-  Counters.StallFixedCycles += Stall - 1;
-  W.NextIssue = Now + Stall + Penalty + ExtraIssueDelay;
-
-  // Scheduler stickiness & the yield hint (§2.3: load balancing).
-  S.StickyWarp = I.ctrl().yield() ? -1 : static_cast<int>(WarpIdx);
-
-  updateReuse(S, WarpIdx, D);
-
-  if (R.K == ExecResult::Kind::BlockBarrier)
-    maybeReleaseBarrier(W.Block);
-}
-
-bool TimedMachine::runGroup(unsigned FirstCta, unsigned NumBlocks) {
-  // Reset per-group machine state (caches and DRAM persist on the Gpu).
-  Warps.clear();
-  SharedPerBlock.clear();
-  Schedulers.assign(Spec.SchedulersPerSM, Scheduler());
-  Now = 0;
-  LsuFree = 0;
-  DramFree = 0.0;
-  LiveWarps = NumBlocks * Launch.WarpsPerBlock;
-
-  for (unsigned B = 0; B < NumBlocks; ++B) {
-    SharedPerBlock.emplace_back(Launch.SharedBytes);
-    for (unsigned WI = 0; WI < Launch.WarpsPerBlock; ++WI) {
-      WarpSimState W;
-      W.Block = B;
-      W.WarpInBlock = WI;
-      W.CtaLinear = FirstCta + B;
-      Warps.push_back(std::move(W));
-    }
-  }
-
-  const uint64_t CycleLimit = 200'000'000;
-  uint64_t IssueCycles = 0;
-
-  while (LiveWarps > 0) {
-    processEvents();
-
-    bool AnyIssue = false;
-    for (unsigned SI = 0; SI < Schedulers.size(); ++SI) {
-      int WIdx = pickWarp(Schedulers[SI], SI);
-      if (WIdx < 0)
-        continue;
-      issue(Schedulers[SI], static_cast<unsigned>(WIdx));
-      AnyIssue = true;
-    }
-    if (AnyIssue)
-      ++IssueCycles;
-
-    if (!FaultReason.empty() &&
-        FaultReason.find("deadlock") != std::string::npos)
-      break;
-
-    // Advance time: step by one on activity; otherwise skip to the next
-    // event or warp-ready time.
-    uint64_t Next = Now + 1;
-    if (!AnyIssue) {
-      uint64_t Candidate = ~0ull;
-      if (!Events.empty())
-        Candidate = Events.front().Cycle;
-      for (const WarpSimState &W : Warps)
-        if (!W.Done && !W.AtBarrier && W.NextIssue > Now)
-          Candidate = std::min(Candidate, W.NextIssue);
-      if (Candidate == ~0ull) {
-        if (LiveWarps > 0)
-          fault("deadlock: live warps with no pending events");
-        break;
-      }
-      Next = std::max(Next, Candidate);
-    }
-    Now = Next;
-    if (Now > CycleLimit) {
-      fault("cycle limit exceeded (runaway or livelocked schedule)");
-      break;
-    }
-  }
-
-  Elapsed = Now;
-  Counters.ElapsedCycles += Now;
-  Counters.ActiveCycles += IssueCycles;
-  Counters.IssueSlotCycles += Now * Spec.SchedulersPerSM;
-  Counters.MemBusyCycles +=
-      std::min<uint64_t>(Now, static_cast<uint64_t>(MemBusyAccum));
-  MemBusyAccum = 0.0;
-
-  for (SharedMemory &S : SharedPerBlock)
-    if (S.faulted())
-      fault("shared-memory access out of bounds");
-  if (Device.globalMemory().faulted()) {
-    fault("global-memory access outside any allocation");
-    Device.globalMemory().clearFault();
-  }
-  return FaultReason.empty();
-}
-
-//===----------------------------------------------------------------------===//
-// Oracle machine
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-/// Immediate-commit context for the architectural reference execution.
-struct OracleCtx {
-  WarpSimState &W;
-  SharedMemory &Shared;
-  GlobalMemory &Global;
-  const ConstantBank &Consts;
-  const KernelLaunch &Launch;
-  unsigned Lanes;
-  uint64_t InstrCount = 0;
-
-  uint32_t readR(unsigned I) { return W.R[I]; }
-  void writeR(unsigned I, uint32_t V) { W.R[I] = V; }
-  uint32_t readUR(unsigned I) { return W.UR[I]; }
-  void writeUR(unsigned I, uint32_t V) { W.UR[I] = V; }
-  bool readP(unsigned I) { return W.P[I] != 0; }
-  void writeP(unsigned I, bool V) { W.P[I] = V; }
-  bool readUP(unsigned I) { return W.UP[I] != 0; }
-  void writeUP(unsigned I, bool V) { W.UP[I] = V; }
-
-  uint32_t loadShared(uint32_t Addr) { return Shared.loadWord(Addr); }
-  void storeShared(uint32_t Addr, uint32_t V) { Shared.storeWord(Addr, V); }
-  uint32_t loadGlobal(uint64_t Addr) { return Global.loadWord(Addr); }
-  void storeGlobal(uint64_t Addr, uint32_t V) { Global.storeWord(Addr, V); }
-  uint32_t loadConst(uint32_t Offset) { return Consts.loadWord(Offset); }
-  uint32_t specialReg(std::string_view Name) {
-    if (Name == "SR_CLOCKLO")
-      return static_cast<uint32_t>(InstrCount);
-    if (Name == "SR_TID.X")
-      return W.WarpInBlock * Lanes;
-    if (Name == "SR_CTAID.X")
-      return W.CtaLinear % Launch.GridX;
-    if (Name == "SR_CTAID.Y")
-      return (W.CtaLinear / Launch.GridX) % Launch.GridY;
-    if (Name == "SR_CTAID.Z")
-      return W.CtaLinear / (Launch.GridX * Launch.GridY);
-    return 0;
-  }
-};
-
-} // namespace
-
-/// Runs one block in program order (round-robin across warps, barriers
-/// respected). Returns false on fault/runaway.
-static bool runBlockOracle(Gpu &Device, const sass::Program &Prog,
-                           const DecodedProgram &Decoded,
-                           const KernelLaunch &Launch,
-                           const ConstantBank &Consts, unsigned CtaLinear,
-                           std::string &FaultReason) {
-  SharedMemory Shared(Launch.SharedBytes);
-  std::vector<WarpSimState> Warps(Launch.WarpsPerBlock);
-  for (unsigned WI = 0; WI < Launch.WarpsPerBlock; ++WI) {
-    Warps[WI].WarpInBlock = WI;
-    Warps[WI].CtaLinear = CtaLinear;
-  }
-
-  unsigned Live = Launch.WarpsPerBlock;
-  uint64_t Budget = 100'000'000;
-  uint64_t Executed = 0;
-
-  while (Live > 0) {
-    bool Progress = false;
-    unsigned AtBarrier = 0;
-    for (WarpSimState &W : Warps) {
-      if (W.Done)
-        continue;
-      if (W.AtBarrier) {
-        ++AtBarrier;
-        continue;
-      }
-      // Step one instruction.
-      while (W.Pc < Prog.size() && Decoded[W.Pc].IsLabel)
-        ++W.Pc;
-      if (W.Pc >= Prog.size()) {
-        W.Done = true;
-        --Live;
-        continue;
-      }
-      const sass::Instruction &I = Prog.stmt(W.Pc).instr();
-      OracleCtx Ctx{W,      Shared, Device.globalMemory(), Consts,
-                    Launch, 32,     Executed};
-      ExecResult R = executeInstr(I, Decoded[W.Pc], Ctx);
-      ++Executed;
-      Progress = true;
-      switch (R.K) {
-      case ExecResult::Kind::Normal:
-        ++W.Pc;
-        break;
-      case ExecResult::Kind::Branch: {
-        if (R.TargetIdx < 0) {
-          FaultReason = "branch to unknown label '" +
-                        std::string(R.Target) + "'";
-          return false;
-        }
-        W.Pc = static_cast<size_t>(R.TargetIdx);
-        break;
-      }
-      case ExecResult::Kind::Exit:
-        W.Done = true;
-        --Live;
-        break;
-      case ExecResult::Kind::BlockBarrier:
-        ++W.Pc;
-        W.AtBarrier = true;
-        ++AtBarrier;
-        break;
-      }
-      if (Executed > Budget) {
-        FaultReason = "oracle instruction budget exceeded";
-        return false;
-      }
-    }
-    if (Live > 0 && AtBarrier == Live) {
-      for (WarpSimState &W : Warps)
-        W.AtBarrier = false;
-      Progress = true;
-    }
-    if (!Progress && Live > 0) {
-      FaultReason = "oracle made no progress (barrier mismatch?)";
-      return false;
-    }
-  }
-
-  if (Shared.faulted()) {
-    FaultReason = "shared-memory access out of bounds";
-    return false;
-  }
-  if (Device.globalMemory().faulted()) {
-    FaultReason = "global-memory access outside any allocation";
-    Device.globalMemory().clearFault();
-    return false;
-  }
-  return true;
-}
-
-//===----------------------------------------------------------------------===//
-// Gpu::run
-//===----------------------------------------------------------------------===//
 
 RunResult Gpu::run(const sass::Program &Prog, const KernelLaunch &Launch,
                    RunMode Mode, unsigned MaxBlocks) {
@@ -934,11 +99,11 @@ RunResult Gpu::run(const sass::Program &Prog, const DecodedProgram &Decoded,
                    unsigned MaxBlocks) {
   assert(Decoded.size() == Prog.size() &&
          "decoded image out of sync with program");
-  RunResult Result;
   unsigned NumBlocks = Launch.numBlocks();
   unsigned ToRun = MaxBlocks ? std::min(MaxBlocks, NumBlocks) : NumBlocks;
 
   if (Mode == RunMode::Oracle) {
+    RunResult Result;
     ConstantBank Consts;
     Consts.setParams(Launch.Params);
     for (unsigned Cta = 0; Cta < ToRun; ++Cta) {
@@ -951,33 +116,108 @@ RunResult Gpu::run(const sass::Program &Prog, const DecodedProgram &Decoded,
     return Result;
   }
 
-  unsigned Resident = residentBlocks(Launch);
-  TimedMachine Machine(*this, Prog, Decoded, Launch);
-  unsigned Groups = 0;
-  uint64_t TotalCycles = 0;
-  for (unsigned First = 0; First < ToRun; First += Resident) {
-    unsigned Count = std::min(Resident, ToRun - First);
-    bool Ok = Machine.runGroup(First, Count);
-    TotalCycles += Machine.elapsed();
-    ++Groups;
-    if (!Ok) {
-      Result.Valid = false;
-      Result.FaultReason = Machine.faultReason();
-      break;
+  TimedMachine &Machine = scratchMachine();
+  Machine.beginRun(Prog, Decoded, Launch);
+  TimedRunPlan Plan(*this, Launch, MaxBlocks);
+  while (!Plan.done())
+    Plan.stepGroup(Machine);
+  return Plan.finish(Spec, Machine);
+}
+
+std::vector<RunResult> Gpu::runBatch(const std::vector<BatchCandidate> &Cands,
+                                     const KernelLaunch &Launch, RunMode Mode,
+                                     unsigned MaxBlocks) {
+  // Lane devices are private snapshots of this device; *this stays
+  // untouched, mirroring the measureCandidate copy-then-run protocol.
+  std::vector<Gpu> LaneDevs;
+  LaneDevs.reserve(Cands.size());
+  for (size_t I = 0; I < Cands.size(); ++I)
+    LaneDevs.emplace_back(*this);
+
+  std::vector<BatchLane> Lanes(Cands.size());
+  for (size_t I = 0; I < Cands.size(); ++I)
+    Lanes[I] = BatchLane{&LaneDevs[I], Cands[I].Prog, Cands[I].Decoded,
+                         &Launch, MaxBlocks};
+  return runLanes(Lanes, Mode);
+}
+
+std::vector<RunResult> Gpu::runLanes(const std::vector<BatchLane> &Lanes,
+                                     RunMode Mode) {
+  std::vector<RunResult> Results(Lanes.size());
+
+  // Decode lanes that came without an image (mirrors the program-only
+  // run() overload).
+  std::vector<DecodedProgram> OwnedImages;
+  OwnedImages.reserve(Lanes.size()); // Pointer stability for Images.
+  std::vector<const DecodedProgram *> Images(Lanes.size());
+  for (size_t I = 0; I < Lanes.size(); ++I) {
+    assert(Lanes[I].Device && Lanes[I].Prog && Lanes[I].Launch &&
+           "incomplete batch lane");
+    Images[I] = Lanes[I].Decoded ? Lanes[I].Decoded
+                                 : &OwnedImages.emplace_back(*Lanes[I].Prog);
+    assert(Images[I]->size() == Lanes[I].Prog->size() &&
+           "decoded image out of sync with program");
+  }
+
+  if (Mode == RunMode::Oracle) {
+    // No timing state to interleave: each lane is the oracle loop of
+    // run(), verbatim.
+    for (size_t I = 0; I < Lanes.size(); ++I) {
+      const BatchLane &L = Lanes[I];
+      unsigned NumBlocks = L.Launch->numBlocks();
+      unsigned ToRun =
+          L.MaxBlocks ? std::min(L.MaxBlocks, NumBlocks) : NumBlocks;
+      ConstantBank Consts;
+      Consts.setParams(L.Launch->Params);
+      for (unsigned Cta = 0; Cta < ToRun; ++Cta) {
+        if (!runBlockOracle(*L.Device, *L.Prog, *Images[I], *L.Launch,
+                            Consts, Cta, Results[I].FaultReason)) {
+          Results[I].Valid = false;
+          break;
+        }
+      }
+    }
+    return Results;
+  }
+
+  // Timed lanes advance in lockstep: one resident-block group per lane
+  // per turn. Each lane runs on its own device and scratch machine, so
+  // the interleaving cannot affect any lane's result (see BatchSim.h).
+  std::vector<TimedRunPlan> Plans;
+  Plans.reserve(Lanes.size());
+  for (size_t I = 0; I < Lanes.size(); ++I) {
+    const BatchLane &L = Lanes[I];
+    L.Device->scratchMachine().beginRun(*L.Prog, *Images[I], *L.Launch);
+    Plans.emplace_back(*L.Device, *L.Launch, L.MaxBlocks);
+  }
+
+  // One write-buffer pool rotates through the lanes so allocations made
+  // by any lane's events serve the others too (capacity only — never
+  // values — hence behaviorally neutral).
+  std::vector<std::vector<DeferredWrite>> Pool;
+  bool AnyActive = true;
+  while (AnyActive) {
+    AnyActive = false;
+    for (size_t I = 0; I < Lanes.size(); ++I) {
+      if (Plans[I].done())
+        continue;
+      TimedMachine &M = Lanes[I].Device->scratchMachine();
+      M.adoptWriteBufPool(std::move(Pool));
+      Plans[I].stepGroup(M);
+      Pool = M.releaseWriteBufPool();
+      AnyActive = true;
     }
   }
-  Result.Counters = Machine.counters();
 
-  // Extrapolate one SM's group timing over the full grid.
-  double WavesReal =
-      static_cast<double>(NumBlocks) /
-      (static_cast<double>(Resident) * static_cast<double>(Spec.NumSMs));
-  if (WavesReal < 1.0)
-    WavesReal = 1.0;
-  double MeanGroup =
-      Groups ? static_cast<double>(TotalCycles) / Groups : 0.0;
-  Result.Cycles = static_cast<uint64_t>(MeanGroup * WavesReal);
-  Result.TimeUs = static_cast<double>(Result.Cycles) /
-                  (Spec.ClockGHz * 1000.0);
-  return Result;
+  // Park the rotated pool on the first lane's machine instead of
+  // dropping it: repeated batch calls (measurement reps) then reuse the
+  // buffers the way repeated run() calls always have. Capacity only —
+  // behaviorally neutral.
+  if (!Lanes.empty())
+    Lanes.front().Device->scratchMachine().adoptWriteBufPool(std::move(Pool));
+
+  for (size_t I = 0; I < Lanes.size(); ++I)
+    Results[I] = Plans[I].finish(Lanes[I].Device->spec(),
+                                 Lanes[I].Device->scratchMachine());
+  return Results;
 }

@@ -20,6 +20,18 @@
 ///    reads the *stale* value — this is what makes invalid schedules
 ///    measurably wrong rather than merely slow).
 ///
+/// The timed machine itself lives in `gpusim/pipeline/` as explicit
+/// stages (see docs/SIMULATOR.md). The facade keeps one machine as
+/// scratch and rebinds it per run, so back-to-back runs on the same
+/// device — an RL episode, a measurement's warmup+reps — pay no per-run
+/// allocation churn. The scratch is an implementation cache, never
+/// copied with the device and dropped on copy/move.
+///
+/// `runBatch` advances N candidate schedules of one kernel in lockstep,
+/// each lane on a private snapshot of this device — bit-identical per
+/// lane to N separate copy-and-run sequences (the batch determinism
+/// contract, docs/SIMULATOR.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUASMRL_GPUSIM_GPU_H
@@ -31,6 +43,7 @@
 #include "gpusim/Memory.h"
 
 #include <memory>
+#include <vector>
 
 namespace cuasmrl {
 namespace sass {
@@ -39,6 +52,7 @@ class Program;
 namespace gpusim {
 
 class DecodedProgram;
+class TimedMachine;
 
 /// Execution fidelity mode.
 enum class RunMode {
@@ -50,6 +64,15 @@ enum class RunMode {
 class Gpu {
 public:
   explicit Gpu(GpuSpec Spec = GpuSpec());
+  ~Gpu();
+
+  /// Copying a device snapshots its architectural state (memory, cache
+  /// hierarchy) but never the scratch machine — a copy behaves exactly
+  /// like a copy of the pre-staged device.
+  Gpu(const Gpu &O);
+  Gpu &operator=(const Gpu &O);
+  Gpu(Gpu &&O) noexcept;
+  Gpu &operator=(Gpu &&O) noexcept;
 
   const GpuSpec &spec() const { return Spec; }
   GlobalMemory &globalMemory() { return Global; }
@@ -80,14 +103,54 @@ public:
                 const KernelLaunch &Launch, RunMode Mode,
                 unsigned MaxBlocks = 0);
 
+  /// One candidate schedule for runBatch(). The decoded image is
+  /// optional (decoded on the fly when null, like the two-argument
+  /// run() overload).
+  struct BatchCandidate {
+    const sass::Program *Prog = nullptr;
+    const DecodedProgram *Decoded = nullptr;
+  };
+
+  /// Runs every candidate under \p Launch, lane \c i starting from a
+  /// private snapshot of this device. Lanes advance in lockstep (one
+  /// resident-block group per lane per turn, sharing one write-buffer
+  /// pool); each lane's RunResult is bit-identical to
+  /// `Gpu Lane(*this); Lane.run(*C.Prog, ..., Mode, MaxBlocks)`.
+  /// This device itself is not mutated.
+  std::vector<RunResult> runBatch(const std::vector<BatchCandidate> &Cands,
+                                  const KernelLaunch &Launch, RunMode Mode,
+                                  unsigned MaxBlocks = 0);
+
+  /// One lane of runLanes(): a caller-owned device plus what to run on
+  /// it. For candidates with heterogeneous launches/limits (autotune
+  /// sweeps), where each lane keeps its device across further use
+  /// (output readback, measurement reps).
+  struct BatchLane {
+    Gpu *Device = nullptr;
+    const sass::Program *Prog = nullptr;
+    const DecodedProgram *Decoded = nullptr; ///< Optional pre-decoded image.
+    const KernelLaunch *Launch = nullptr;
+    unsigned MaxBlocks = 0;
+  };
+
+  /// Advances all lanes in lockstep; lane \c i's result is
+  /// bit-identical to `Lanes[i].Device->run(...)` with the lane's
+  /// arguments. Lane devices must be distinct objects.
+  static std::vector<RunResult> runLanes(const std::vector<BatchLane> &Lanes,
+                                         RunMode Mode);
+
   /// Blocks per SM the occupancy rules admit for this launch.
   unsigned residentBlocks(const KernelLaunch &Launch) const;
 
 private:
+  /// The lazily built, per-run rebindable scratch machine.
+  TimedMachine &scratchMachine();
+
   GpuSpec Spec;
   GlobalMemory Global;
   Cache L1;
   Cache L2;
+  std::unique_ptr<TimedMachine> Scratch;
 
   friend class TimedMachine;
 };

@@ -42,6 +42,26 @@ struct PerfCounters {
   uint64_t MemBusyCycles = 0;   ///< Cycles the LSU/DRAM path was busy.
   uint64_t LsuIssues = 0;       ///< Memory instructions entering the LSU.
 
+  /// \name Per-stage pipeline counters
+  /// One counter family per pipeline stage (warp select, fetch,
+  /// operand fetch, execute dispatch, writeback/event-commit), so the
+  /// stall structure of a schedule is observable per stage, not just
+  /// in aggregate. Stage attribution of the pre-existing counters:
+  /// StallWaitCycles is a select-stage reject reason, BankConflictCycles
+  /// and ReuseHits/ReuseMisses belong to operand fetch, and the
+  /// L1/L2/DRAM/LSU family belongs to the writeback stage's memory pipe.
+  /// @{
+  uint64_t SelectProbes = 0;     ///< Warp eligibility probes issued.
+  uint64_t SelectIneligible = 0; ///< Probes rejected (any reason).
+  uint64_t SelectIdleCycles = 0; ///< Scheduler-slots with no eligible warp.
+  uint64_t FetchLabelSkips = 0;  ///< Label statements skipped advancing Pc.
+  uint64_t ExecFixedLatOps = 0;  ///< Fixed-latency instructions dispatched.
+  uint64_t ExecVarLatOps = 0;    ///< Variable-latency instructions dispatched.
+  uint64_t WbEventsFired = 0;    ///< Completion events committed.
+  uint64_t WbWritesCommitted = 0;///< Deferred register writes committed.
+  uint64_t WbBarrierReleases = 0;///< Block-barrier release events fired.
+  /// @}
+
   /// Host-side measurement-cache accounting (filled by
   /// MeasurementCache::accumulate, not by the simulator): lookups
   /// served from the shared cache vs. primary-slot simulations. Rare
@@ -71,6 +91,12 @@ struct PerfCounters {
                ? 100.0 * static_cast<double>(MemBusyCycles) / ElapsedCycles
                : 0.0;
   }
+  /// Fraction of warp-select probes that found an issuable warp.
+  double selectHitRate() const {
+    return SelectProbes ? static_cast<double>(SelectProbes - SelectIneligible)
+                              / SelectProbes
+                        : 0.0;
+  }
   /// @}
 
   PerfCounters &operator+=(const PerfCounters &Other) {
@@ -91,6 +117,15 @@ struct PerfCounters {
     DramBytes += Other.DramBytes;
     MemBusyCycles += Other.MemBusyCycles;
     LsuIssues += Other.LsuIssues;
+    SelectProbes += Other.SelectProbes;
+    SelectIneligible += Other.SelectIneligible;
+    SelectIdleCycles += Other.SelectIdleCycles;
+    FetchLabelSkips += Other.FetchLabelSkips;
+    ExecFixedLatOps += Other.ExecFixedLatOps;
+    ExecVarLatOps += Other.ExecVarLatOps;
+    WbEventsFired += Other.WbEventsFired;
+    WbWritesCommitted += Other.WbWritesCommitted;
+    WbBarrierReleases += Other.WbBarrierReleases;
     MeasureCacheHits += Other.MeasureCacheHits;
     MeasureCacheMisses += Other.MeasureCacheMisses;
     return *this;

@@ -1,0 +1,93 @@
+//===- gpusim/pipeline/BatchSim.h - Lockstep batch simulation ----------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The group/wave schedule of a timed run, factored into an
+/// incrementally-steppable plan so N lanes can interleave.
+///
+/// `Gpu::run` drives a plan to completion in one loop; `Gpu::runLanes`
+/// round-robins one group per lane per turn ("lockstep"). Because a
+/// lane's groups run on its own device and machine, and a plan's
+/// arithmetic depends only on its own lane, interleaving order cannot
+/// change any lane's result — this single shared implementation is what
+/// *guarantees* the batch determinism contract (lane `i` bit-identical
+/// to a solo run) instead of merely testing for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_PIPELINE_BATCHSIM_H
+#define CUASMRL_GPUSIM_PIPELINE_BATCHSIM_H
+
+#include "gpusim/Gpu.h"
+#include "gpusim/pipeline/TimedCore.h"
+
+#include <algorithm>
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// The resident-group schedule of one timed run, advanced one group at
+/// a time. Owns the wave arithmetic of Gpu::run: groups of
+/// residentBlocks() blocks, mean group time extrapolated over the full
+/// grid.
+class TimedRunPlan {
+public:
+  TimedRunPlan(const Gpu &Device, const KernelLaunch &Launch,
+               unsigned MaxBlocks) {
+    NumBlocks = Launch.numBlocks();
+    ToRun = MaxBlocks ? std::min(MaxBlocks, NumBlocks) : NumBlocks;
+    Resident = Device.residentBlocks(Launch);
+  }
+
+  bool done() const { return Failed || First >= ToRun; }
+
+  /// Runs the next resident-block group on \p M (which must be bound to
+  /// this plan's kernel via beginRun).
+  void stepGroup(TimedMachine &M) {
+    unsigned Count = std::min(Resident, ToRun - First);
+    bool Ok = M.runGroup(First, Count);
+    TotalCycles += M.elapsed();
+    ++Groups;
+    First += Resident;
+    if (!Ok)
+      Failed = true;
+  }
+
+  /// Extrapolates one SM's group timing over the full grid.
+  RunResult finish(const GpuSpec &Spec, const TimedMachine &M) const {
+    RunResult Result;
+    if (Failed) {
+      Result.Valid = false;
+      Result.FaultReason = M.faultReason();
+    }
+    Result.Counters = M.counters();
+    double WavesReal =
+        static_cast<double>(NumBlocks) /
+        (static_cast<double>(Resident) * static_cast<double>(Spec.NumSMs));
+    if (WavesReal < 1.0)
+      WavesReal = 1.0;
+    double MeanGroup =
+        Groups ? static_cast<double>(TotalCycles) / Groups : 0.0;
+    Result.Cycles = static_cast<uint64_t>(MeanGroup * WavesReal);
+    Result.TimeUs = static_cast<double>(Result.Cycles) /
+                    (Spec.ClockGHz * 1000.0);
+    return Result;
+  }
+
+private:
+  unsigned NumBlocks = 0;
+  unsigned ToRun = 0;
+  unsigned Resident = 1;
+  unsigned First = 0;
+  unsigned Groups = 0;
+  uint64_t TotalCycles = 0;
+  bool Failed = false;
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_PIPELINE_BATCHSIM_H

@@ -1,0 +1,21 @@
+//===- gpusim/pipeline/Fetch.cpp ---------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/pipeline/Fetch.h"
+
+#include "sass/Program.h"
+
+#include <cassert>
+
+using namespace cuasmrl;
+using namespace cuasmrl::gpusim;
+
+FetchLatch gpusim::fetchStage(const sass::Program &Prog,
+                              const WarpSimState &W) {
+  assert(W.Pc < Prog.size() && Prog.stmt(W.Pc).isInstr() &&
+         "fetch on a warp the select stage did not qualify");
+  return FetchLatch{W.Pc, &Prog.stmt(W.Pc).instr()};
+}

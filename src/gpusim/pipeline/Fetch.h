@@ -1,0 +1,42 @@
+//===- gpusim/pipeline/Fetch.h - Fetch / decode-lookup stage -----------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 2 of the timed pipeline: turn the select latch's warp into the
+/// instruction it will issue. The *scheduling* view of that instruction
+/// (flags, latency, control planes) is already resolved — it lives in
+/// the decoded image's SoA planes, indexed by the warp's Pc — so this
+/// stage's job is only to materialize the *operand* view: the
+/// `sass::Instruction` behind the statement, which the execute stage
+/// needs for register numbers and immediates.
+///
+/// The label skip that advances Pc to an instruction happens during the
+/// warp-select probe (it is part of eligibility); by the time a warp
+/// reaches fetch its Pc is guaranteed to sit on an instruction
+/// statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_PIPELINE_FETCH_H
+#define CUASMRL_GPUSIM_PIPELINE_FETCH_H
+
+#include "gpusim/pipeline/Latches.h"
+#include "gpusim/pipeline/SimState.h"
+
+namespace cuasmrl {
+namespace sass {
+class Program;
+}
+namespace gpusim {
+
+/// Materializes the fetch latch for \p W (whose Pc the select stage
+/// already advanced to an instruction statement).
+FetchLatch fetchStage(const sass::Program &Prog, const WarpSimState &W);
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_PIPELINE_FETCH_H

@@ -1,0 +1,80 @@
+//===- gpusim/pipeline/Latches.h - Per-cycle stage latches -------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The latch structs handed between the timed machine's pipeline
+/// stages each scheduler-cycle:
+///
+///   warp select ──SelectLatch──▶ fetch ──FetchLatch──▶ operand fetch
+///     ──OperandLatch──▶ execute dispatch ──ExecLatch──▶ writeback
+///
+/// A latch is the *complete* contract between adjacent stages: a stage
+/// reads only its input latch (plus the shared warp/decode state) and
+/// writes only its output latch, which is what makes each stage
+/// testable in isolation. The latches are plain values recreated every
+/// cycle — "per-cycle" in the hardware sense, not persistent state.
+///
+/// `Scheduler` is the only cross-cycle scheduler-private state: the
+/// greedy-then-oldest sticky warp (select stage) and the operand reuse
+/// cache (operand-fetch stage) both belong to one scheduler and persist
+/// between its issue slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_PIPELINE_LATCHES_H
+#define CUASMRL_GPUSIM_PIPELINE_LATCHES_H
+
+#include "gpusim/Executor.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cuasmrl {
+namespace sass {
+class Instruction;
+}
+namespace gpusim {
+
+/// Cross-cycle per-scheduler state: sticky-warp selection and the
+/// operand reuse cache (§2.3 load balancing, §3.4 reuse flags).
+struct Scheduler {
+  int StickyWarp = -1;
+  int ReuseWarp = -1;
+  std::array<int, 8> ReuseRegs{}; ///< Reg per operand slot, -1 empty.
+  bool ReuseValid = false;
+};
+
+/// Select → fetch: which warp won this scheduler's issue slot.
+struct SelectLatch {
+  int Warp = -1; ///< Warp index; -1 when no warp was eligible.
+};
+
+/// Fetch → operand fetch / execute: the instruction behind the warp's
+/// (label-skipped) Pc, materialized from the program statement list.
+struct FetchLatch {
+  size_t Pc = 0;
+  const sass::Instruction *Instr = nullptr;
+};
+
+/// Operand fetch → execute: bank-conflict issue penalty in cycles
+/// (reuse-cache hits excluded from bank accounting).
+struct OperandLatch {
+  unsigned BankPenalty = 0;
+};
+
+/// Execute → writeback: control-flow guidance plus the latency class
+/// the writeback stage turns into events.
+struct ExecLatch {
+  ExecResult R;
+  bool VarLat = false;
+  uint64_t FixedLat = 1;
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_PIPELINE_LATCHES_H

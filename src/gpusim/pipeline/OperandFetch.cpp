@@ -1,0 +1,97 @@
+//===- gpusim/pipeline/OperandFetch.cpp --------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/pipeline/OperandFetch.h"
+
+#include <array>
+
+using namespace cuasmrl;
+using namespace cuasmrl::gpusim;
+
+OperandLatch OperandFetch::run(Scheduler &S, unsigned WarpIdx,
+                               const DecodedInstr &D, unsigned RegisterBanks,
+                               unsigned BankConflictPenalty,
+                               PerfCounters &C) {
+  if (S.ReuseValid && S.ReuseWarp != static_cast<int>(WarpIdx))
+    ++C.ReuseMisses; // Warp switch invalidated the reuse cache.
+
+  if (!D.HasSlotRegs)
+    return OperandLatch{0};
+  if (!S.ReuseValid || S.ReuseWarp != static_cast<int>(WarpIdx)) {
+    unsigned Penalty = noReusePenalty(D, RegisterBanks, BankConflictPenalty);
+    C.BankConflictCycles += Penalty;
+    return OperandLatch{Penalty};
+  }
+  return runSlow(S, WarpIdx, D, RegisterBanks, BankConflictPenalty, C);
+}
+
+OperandLatch OperandFetch::runSlow(Scheduler &S, unsigned WarpIdx,
+                                   const DecodedInstr &D,
+                                   unsigned RegisterBanks,
+                                   unsigned BankConflictPenalty,
+                                   PerfCounters &C) {
+  std::array<unsigned, 8> BankCount{};
+  bool ReuseUsable = S.ReuseValid && S.ReuseWarp == static_cast<int>(WarpIdx);
+  for (size_t Slot = 1; Slot < D.SlotReg.size(); ++Slot) {
+    int Reg = D.SlotReg[Slot];
+    if (Reg < 0)
+      continue;
+    if (ReuseUsable && S.ReuseRegs[Slot] == Reg) {
+      ++C.ReuseHits;
+      continue; // Served from the operand reuse cache: no bank access.
+    }
+    ++BankCount[static_cast<unsigned>(Reg) % RegisterBanks];
+  }
+  unsigned Penalty = 0;
+  for (unsigned Bank = 0; Bank < RegisterBanks; ++Bank)
+    if (BankCount[Bank] > 1)
+      Penalty += (BankCount[Bank] - 1) * BankConflictPenalty;
+  C.BankConflictCycles += Penalty;
+  return OperandLatch{Penalty};
+}
+
+unsigned OperandFetch::noReusePenalty(const DecodedInstr &D,
+                                      unsigned RegisterBanks,
+                                      unsigned BankConflictPenalty) {
+  std::array<unsigned, 8> BankCount{};
+  for (size_t Slot = 1; Slot < D.SlotReg.size(); ++Slot) {
+    int Reg = D.SlotReg[Slot];
+    if (Reg < 0)
+      continue;
+    ++BankCount[static_cast<unsigned>(Reg) % RegisterBanks];
+  }
+  unsigned Penalty = 0;
+  for (unsigned Bank = 0; Bank < RegisterBanks; ++Bank)
+    if (BankCount[Bank] > 1)
+      Penalty += (BankCount[Bank] - 1) * BankConflictPenalty;
+  return Penalty;
+}
+
+void OperandFetch::buildPenaltyTable(const DecodedProgram &D,
+                                     unsigned RegisterBanks,
+                                     unsigned BankConflictPenalty,
+                                     std::vector<uint16_t> &Table) {
+  Table.assign(D.size(), 0);
+  for (size_t I = 0; I < D.size(); ++I)
+    if (D[I].HasSlotRegs)
+      Table[I] = static_cast<uint16_t>(
+          noReusePenalty(D[I], RegisterBanks, BankConflictPenalty));
+}
+
+void OperandFetch::updateReuse(Scheduler &S, unsigned WarpIdx,
+                               const DecodedInstr &D) {
+  S.ReuseValid = D.ReuseMask != 0;
+  if (!S.ReuseValid) {
+    // Stale ReuseRegs entries are unreachable while ReuseValid is off.
+    S.ReuseWarp = -1;
+    return;
+  }
+  S.ReuseRegs.fill(-1);
+  for (size_t Slot = 1; Slot < D.SlotReg.size(); ++Slot)
+    if (D.ReuseMask & (1u << Slot))
+      S.ReuseRegs[Slot] = D.SlotReg[Slot];
+  S.ReuseWarp = static_cast<int>(WarpIdx);
+}

@@ -1,0 +1,96 @@
+//===- gpusim/pipeline/OperandFetch.h - Operand-fetch stage ------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 3 of the timed pipeline: the register-bank / operand-reuse
+/// model (§3.4). Source operands read from the same bank in the same
+/// cycle serialize; operands flagged `.reuse` are served from the
+/// operand collector's reuse cache and skip the bank entirely — but the
+/// cache belongs to one scheduler and survives only while that
+/// scheduler keeps issuing the same warp.
+///
+/// The stage is a pure function of the scheduler's reuse state and the
+/// instruction's pre-decoded bank slots (`DecodedInstr::SlotReg`), so
+/// it is testable on hand-built records without a machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_PIPELINE_OPERANDFETCH_H
+#define CUASMRL_GPUSIM_PIPELINE_OPERANDFETCH_H
+
+#include "gpusim/DecodedProgram.h"
+#include "gpusim/PerfCounters.h"
+#include "gpusim/pipeline/Latches.h"
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// The operand-fetch stage.
+struct OperandFetch {
+  /// Computes the operand latch for issuing \p D on \p WarpIdx: the
+  /// extra issue-slot cycles lost to register-bank conflicts, with
+  /// reuse-cache hits (counted into \p C) excluded from bank
+  /// accounting. Also counts the reuse-cache invalidation when the
+  /// scheduler switched warps under live reuse flags.
+  static OperandLatch run(Scheduler &S, unsigned WarpIdx,
+                          const DecodedInstr &D, unsigned RegisterBanks,
+                          unsigned BankConflictPenalty, PerfCounters &C);
+
+  /// The penalty of \p D with the reuse cache out of play — a pure
+  /// function of the instruction's bank slots, so it can be tabulated
+  /// once per run. Equals what run() computes when `ReuseUsable` is
+  /// false.
+  static unsigned noReusePenalty(const DecodedInstr &D,
+                                 unsigned RegisterBanks,
+                                 unsigned BankConflictPenalty);
+
+  /// Tabulates noReusePenalty() for every statement of \p D into
+  /// \p Table (indexed by statement; 0 for labels). O(program) — run
+  /// once per beginRun, it turns the per-issue bank scan into a table
+  /// load whenever the scheduler's reuse cache is cold or aimed at
+  /// another warp.
+  static void buildPenaltyTable(const DecodedProgram &D,
+                                unsigned RegisterBanks,
+                                unsigned BankConflictPenalty,
+                                std::vector<uint16_t> &Table);
+
+  /// As run(), but served from \p NoReusePenalty (the table entry for
+  /// this statement) on the no-reuse fast path. Bit-identical counter
+  /// effects to run().
+  static OperandLatch runTabulated(Scheduler &S, unsigned WarpIdx,
+                                   const DecodedInstr &D,
+                                   uint16_t NoReusePenalty,
+                                   unsigned RegisterBanks,
+                                   unsigned BankConflictPenalty,
+                                   PerfCounters &C) {
+    if (S.ReuseValid && S.ReuseWarp != static_cast<int>(WarpIdx))
+      ++C.ReuseMisses; // Warp switch invalidated the reuse cache.
+    if (!D.HasSlotRegs)
+      return OperandLatch{0};
+    if (!S.ReuseValid || S.ReuseWarp != static_cast<int>(WarpIdx)) {
+      C.BankConflictCycles += NoReusePenalty;
+      return OperandLatch{NoReusePenalty};
+    }
+    return runSlow(S, WarpIdx, D, RegisterBanks, BankConflictPenalty, C);
+  }
+
+  /// Latches \p D's `.reuse`-flagged source registers into the
+  /// scheduler's reuse cache for the next issue (or invalidates it when
+  /// the instruction carries no reuse flags).
+  static void updateReuse(Scheduler &S, unsigned WarpIdx,
+                          const DecodedInstr &D);
+
+private:
+  /// The bank scan with a live reuse cache (reuse-hit exclusion).
+  static OperandLatch runSlow(Scheduler &S, unsigned WarpIdx,
+                              const DecodedInstr &D, unsigned RegisterBanks,
+                              unsigned BankConflictPenalty, PerfCounters &C);
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_PIPELINE_OPERANDFETCH_H

@@ -1,0 +1,44 @@
+//===- gpusim/pipeline/OracleCore.h - Architectural reference machine --------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program-order reference execution (§4.1): round-robin across a
+/// block's warps with immediate register commits and barriers released
+/// when every live warp waits. Defines "the right answer" for
+/// probabilistic testing; produces no timing. Shares the execute stage
+/// (`executeOracle`) with the timed machine — the only per-machine code
+/// is this driver loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_PIPELINE_ORACLECORE_H
+#define CUASMRL_GPUSIM_PIPELINE_ORACLECORE_H
+
+#include <string>
+
+namespace cuasmrl {
+namespace sass {
+class Program;
+}
+namespace gpusim {
+
+class Gpu;
+class DecodedProgram;
+class ConstantBank;
+struct KernelLaunch;
+
+/// Runs one block in program order (round-robin across warps, barriers
+/// respected). Returns false on fault/runaway, with the reason in
+/// \p FaultReason.
+bool runBlockOracle(Gpu &Device, const sass::Program &Prog,
+                    const DecodedProgram &Decoded,
+                    const KernelLaunch &Launch, const ConstantBank &Consts,
+                    unsigned CtaLinear, std::string &FaultReason);
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_PIPELINE_ORACLECORE_H

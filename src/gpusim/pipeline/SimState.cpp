@@ -1,0 +1,17 @@
+//===- gpusim/pipeline/SimState.cpp ------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/pipeline/SimState.h"
+
+#include <cstdlib>
+
+namespace cuasmrl {
+namespace gpusim {
+
+const bool TraceStaleReads = getenv("CUASMRL_TRACE_STALE") != nullptr;
+
+} // namespace gpusim
+} // namespace cuasmrl

@@ -1,0 +1,157 @@
+//===- gpusim/pipeline/SimState.h - Per-warp simulator state -----------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The state the pipeline stages operate on: one `WarpSimState` per
+/// resident warp, holding the committed register files, the in-flight
+/// fixed-latency results (write-back-time semantics), and the
+/// scheduling fields the warp-select stage probes every cycle.
+///
+/// Layout note: the scheduling fields live at the head of the struct.
+/// Warp select probes every resident warp every scheduler-cycle, and
+/// the register files push the struct past 3KB — with the hot fields
+/// first, a probe touches one cache line per warp instead of striding
+/// through the register arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_PIPELINE_SIMSTATE_H
+#define CUASMRL_GPUSIM_PIPELINE_SIMSTATE_H
+
+#include "sass/ControlCode.h"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// A register write deferred until an instruction completes.
+struct DeferredWrite {
+  enum class File : uint8_t { R, UR, P, UP };
+  File Where;
+  uint16_t Index;
+  uint32_t Value;
+};
+
+/// One pending fixed-latency result (write-back time semantics).
+struct PendingWrite {
+  uint32_t Value = 0;
+  uint64_t Ready = 0;
+  bool Active = false;
+};
+
+/// Read once at startup — the per-call static-guard check was visible
+/// in the register-read hot path.
+extern const bool TraceStaleReads;
+
+/// Per-warp architectural + microarchitectural state.
+struct WarpSimState {
+  // --- hot scheduling fields (read by every warp-select probe) ----------
+  size_t Pc = 0;
+  uint64_t NextIssue = 0;
+  std::array<int, sass::ControlCode::NumBarrierSlots> Scoreboard{};
+  /// Bit per scoreboard slot, set iff Scoreboard[slot] > 0. Mirrors the
+  /// counters so the per-probe wait check is one AND against the
+  /// instruction's wait mask instead of a loop over the slots. Update
+  /// through scoreboardAcquire()/scoreboardRelease() only.
+  uint8_t ScoreboardBusy = 0;
+  bool Done = false;
+  bool AtBarrier = false;
+  unsigned Block = 0;        ///< Simulated-block index.
+  unsigned WarpInBlock = 0;
+  unsigned CtaLinear = 0;    ///< Global linear block id (for CTAID).
+
+  // LDGSTS in-order group tracking (§3.5 "additional dependencies").
+  int LdgstsBase = -1;
+  int64_t LdgstsOffset = 0;
+
+  // --- architectural registers (committed view) --------------------------
+  std::array<uint32_t, 256> R{};
+  std::array<uint32_t, 64> UR{};
+  std::array<uint8_t, 8> P{};
+  std::array<uint8_t, 8> UP{};
+
+  // In-flight fixed-latency results.
+  std::array<PendingWrite, 256> RPend{};
+  std::array<PendingWrite, 8> PPend{};
+
+  // Diagnostic: event-commit time per register (deferred writes).
+  std::array<uint64_t, 256> InFlightUntil{};
+};
+
+/// Increments a scoreboard slot, keeping the busy bitmask in sync.
+inline void scoreboardAcquire(WarpSimState &W, int Slot) {
+  ++W.Scoreboard[Slot];
+  W.ScoreboardBusy |= static_cast<uint8_t>(1u << Slot);
+}
+
+/// Decrements a scoreboard slot, keeping the busy bitmask in sync.
+inline void scoreboardRelease(WarpSimState &W, int Slot) {
+  if (--W.Scoreboard[Slot] == 0)
+    W.ScoreboardBusy &= static_cast<uint8_t>(~(1u << Slot));
+}
+
+/// \name Register access with write-back-time semantics
+/// A result becomes architecturally visible only once its Ready cycle
+/// has passed; a consumer issued too early reads the *stale* committed
+/// value. This is what makes schedules that violate stall counts or
+/// scoreboard waits observably wrong rather than merely slow.
+/// @{
+
+inline uint32_t readRegR(WarpSimState &W, unsigned I, uint64_t Now) {
+  PendingWrite &P = W.RPend[I];
+  if (P.Active && P.Ready <= Now) {
+    W.R[I] = P.Value;
+    P.Active = false;
+  }
+  if (TraceStaleReads && W.InFlightUntil[I] > Now)
+    fprintf(stderr, "STALE R%u read at cycle %llu (in flight until %llu) pc=%zu\n",
+            I, (unsigned long long)Now,
+            (unsigned long long)W.InFlightUntil[I], W.Pc);
+  return W.R[I];
+}
+
+inline void writeRegR(WarpSimState &W, unsigned I, uint32_t V,
+                      uint64_t Ready) {
+  PendingWrite &P = W.RPend[I];
+  if (P.Active) {
+    W.R[I] = P.Value; // Commit the older in-flight result first.
+    P.Active = false;
+  }
+  P.Value = V;
+  P.Ready = Ready;
+  P.Active = true;
+}
+
+inline bool readPredP(WarpSimState &W, unsigned I, uint64_t Now) {
+  PendingWrite &P = W.PPend[I];
+  if (P.Active && P.Ready <= Now) {
+    W.P[I] = P.Value != 0;
+    P.Active = false;
+  }
+  return W.P[I] != 0;
+}
+
+inline void writePredP(WarpSimState &W, unsigned I, bool V, uint64_t Ready) {
+  PendingWrite &P = W.PPend[I];
+  if (P.Active) {
+    W.P[I] = P.Value != 0;
+    P.Active = false;
+  }
+  P.Value = V;
+  P.Ready = Ready;
+  P.Active = true;
+}
+
+/// @}
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_PIPELINE_SIMSTATE_H

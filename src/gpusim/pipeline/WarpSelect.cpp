@@ -1,0 +1,14 @@
+//===- gpusim/pipeline/WarpSelect.cpp ----------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The warp-select stage is header-inline (see WarpSelect.h): probes run
+// for every resident warp on every scheduler-cycle, so the definitions
+// live in the header where the issue loop's TU can inline them. This TU
+// only anchors the stage for the build graph.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/pipeline/WarpSelect.h"

@@ -1,0 +1,118 @@
+//===- gpusim/pipeline/WarpSelect.h - Warp-select stage ----------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 1 of the timed pipeline: pick the warp that wins a
+/// scheduler's issue slot this cycle (greedy-then-oldest with a sticky
+/// warp, §2.3). A probe consults only the decoded image's SoA planes —
+/// two byte loads for the common case — never the heavyweight
+/// `sass::Statement` objects.
+///
+/// Probe side effects (bit-identity contract with the pre-staged
+/// machine — keep them):
+///  - the fetch-group advance happens during the probe: labels under
+///    the warp's Pc are skipped *persistently*, and each label crossed
+///    ends any LDGSTS group (§3.5), even for warps probed but not
+///    picked this cycle;
+///  - `PerfCounters::StallWaitCycles` counts once per *probe* of a
+///    scoreboard-stalled warp, so a warp probed by its scheduler on N
+///    idle cycles contributes N — probe order and count are part of
+///    the counter surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_GPUSIM_PIPELINE_WARPSELECT_H
+#define CUASMRL_GPUSIM_PIPELINE_WARPSELECT_H
+
+#include "gpusim/DecodedProgram.h"
+#include "gpusim/PerfCounters.h"
+#include "gpusim/pipeline/Latches.h"
+#include "gpusim/pipeline/SimState.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cuasmrl {
+namespace gpusim {
+
+/// The warp-select stage. Stateless — cross-cycle scheduler state
+/// (sticky warp) lives in `Scheduler`, per-warp state in
+/// `WarpSimState` — so it is directly testable on hand-built state.
+///
+/// The stage is header-inline: the probe runs for every resident warp
+/// on every scheduler-cycle, and keeping it visible to the issue
+/// loop's TU (cross-stage inlining) is worth more than a separate
+/// object file.
+struct WarpSelect {
+  /// Probes one warp's eligibility at cycle \p Now: not done, not at a
+  /// barrier, past its stall countdown, an instruction left to run,
+  /// and every scoreboard slot in its wait mask drained. Mutates \p W
+  /// (label skip, LDGSTS group reset) exactly as fetch would — see the
+  /// file comment.
+  ///
+  /// \p MinReady accumulates `min(W.NextIssue)` over live, unbarriered
+  /// warps rejected for `NextIssue > Now` — on a fully idle cycle
+  /// (every scheduler probed every warp and none issued) this equals
+  /// the warp-ready candidate the time-skip used to rescan for, so the
+  /// main loop gets it for free.
+  static bool probe(WarpSimState &W, const DecodedProgram &D, uint64_t Now,
+                    PerfCounters &C, uint64_t &MinReady) {
+    ++C.SelectProbes;
+    if (W.Done || W.AtBarrier || W.NextIssue > Now) {
+      if (!W.Done && !W.AtBarrier)
+        MinReady = std::min(MinReady, W.NextIssue);
+      ++C.SelectIneligible;
+      return false;
+    }
+    // Fetch-group advance: skip labels persistently; crossing a label
+    // ends any LDGSTS group (§3.5).
+    size_t Pc = W.Pc;
+    const size_t N = D.size();
+    while (Pc < N && D.isLabel(Pc)) {
+      W.LdgstsBase = -1;
+      ++Pc;
+      ++C.FetchLabelSkips;
+    }
+    W.Pc = Pc;
+    if (Pc >= N) {
+      ++C.SelectIneligible;
+      return false;
+    }
+    // One AND against the busy bitmask replaces the per-slot scan; the
+    // StallWaitCycles surface (once per probe of a wait-stalled warp)
+    // is unchanged.
+    if (D.waitMask(Pc) & W.ScoreboardBusy) {
+      ++C.StallWaitCycles;
+      ++C.SelectIneligible;
+      return false;
+    }
+    return true;
+  }
+
+  /// Greedy-then-oldest selection for the scheduler owning warps
+  /// {SchedIdx, SchedIdx + Stride, ...}: stick with the last issued
+  /// warp while it can issue, else scan ownership order. Returns the
+  /// select latch (-1 when no warp is eligible).
+  static SelectLatch pick(Scheduler &S, std::vector<WarpSimState> &Warps,
+                          unsigned SchedIdx, unsigned Stride,
+                          const DecodedProgram &D, uint64_t Now,
+                          PerfCounters &C, uint64_t &MinReady) {
+    // Greedy-then-oldest: stick with the last warp while it can issue.
+    if (S.StickyWarp >= 0 &&
+        probe(Warps[S.StickyWarp], D, Now, C, MinReady))
+      return SelectLatch{S.StickyWarp};
+    for (unsigned WIdx = SchedIdx; WIdx < Warps.size(); WIdx += Stride)
+      if (probe(Warps[WIdx], D, Now, C, MinReady))
+        return SelectLatch{static_cast<int>(WIdx)};
+    ++C.SelectIdleCycles;
+    return SelectLatch{-1};
+  }
+};
+
+} // namespace gpusim
+} // namespace cuasmrl
+
+#endif // CUASMRL_GPUSIM_PIPELINE_WARPSELECT_H

@@ -14,6 +14,7 @@ using namespace cuasmrl;
 using namespace cuasmrl::rl;
 
 Env::~Env() = default;
+LockstepEnv::~LockstepEnv() = default;
 
 namespace {
 

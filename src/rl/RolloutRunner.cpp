@@ -64,36 +64,44 @@ RolloutRunner::RolloutRunner(std::vector<std::unique_ptr<Env>> E,
   Owned = std::move(E);
 }
 
+void RolloutRunner::preStep(const ActorCritic &Net, size_t Slot,
+                            Transition &T) {
+  T.Obs = CurrentObs[Slot];
+  T.Mask = Envs[Slot]->actionMask();
+  bool AnyLegal = std::any_of(T.Mask.begin(), T.Mask.end(),
+                              [](uint8_t M) { return M != 0; });
+  if (!AnyLegal)
+    T.Mask.assign(T.Mask.size(), 1);
+
+  ActorCritic::Output Fwd = Net.forward(T.Obs, T.Mask);
+  T.Action =
+      sampleCategorical(Fwd.MaskedLogits.data(), SlotRngs[Slot], T.LogProb);
+  T.Value = Fwd.Value.item();
+}
+
+void RolloutRunner::postStep(size_t Slot, EnvStep Res, Transition &T,
+                             Trajectory &Out) {
+  T.Reward = static_cast<float>(Res.Reward);
+  T.Done = Res.Done;
+  RunningReturn[Slot] += Res.Reward;
+  if (Res.Done) {
+    Out.CompletedReturns.push_back(RunningReturn[Slot]);
+    RunningReturn[Slot] = 0.0;
+    CurrentObs[Slot] = Envs[Slot]->reset();
+  } else {
+    CurrentObs[Slot] = std::move(Res.Obs);
+  }
+}
+
 void RolloutRunner::collectSlot(const ActorCritic &Net, unsigned Steps,
                                 size_t Slot, Trajectory &Out) {
   Env &E = *Envs[Slot];
-  Rng &R = SlotRngs[Slot];
   Out.Steps.resize(Steps);
 
   for (unsigned Step = 0; Step < Steps; ++Step) {
     Transition &T = Out.Steps[Step];
-    T.Obs = CurrentObs[Slot];
-    T.Mask = E.actionMask();
-    bool AnyLegal = std::any_of(T.Mask.begin(), T.Mask.end(),
-                                [](uint8_t M) { return M != 0; });
-    if (!AnyLegal)
-      T.Mask.assign(T.Mask.size(), 1);
-
-    ActorCritic::Output Fwd = Net.forward(T.Obs, T.Mask);
-    T.Action = sampleCategorical(Fwd.MaskedLogits.data(), R, T.LogProb);
-    T.Value = Fwd.Value.item();
-
-    EnvStep Res = E.step(T.Action);
-    T.Reward = static_cast<float>(Res.Reward);
-    T.Done = Res.Done;
-    RunningReturn[Slot] += Res.Reward;
-    if (Res.Done) {
-      Out.CompletedReturns.push_back(RunningReturn[Slot]);
-      RunningReturn[Slot] = 0.0;
-      CurrentObs[Slot] = E.reset();
-    } else {
-      CurrentObs[Slot] = std::move(Res.Obs);
-    }
+    preStep(Net, Slot, T);
+    postStep(Slot, E.step(T.Action), T, Out);
   }
 
   Out.BootstrapObs = CurrentObs[Slot];
@@ -101,6 +109,43 @@ void RolloutRunner::collectSlot(const ActorCritic &Net, unsigned Steps,
   if (std::none_of(Out.BootstrapMask.begin(), Out.BootstrapMask.end(),
                    [](uint8_t M) { return M != 0; }))
     Out.BootstrapMask.assign(Out.BootstrapMask.size(), 1);
+}
+
+void RolloutRunner::collectLockstep(const ActorCritic &Net, unsigned Steps,
+                                    TrajectoryBatch &Batch) {
+  const size_t N = Envs.size();
+  for (Trajectory &T : Batch.Trajectories)
+    T.Steps.resize(Steps);
+
+  std::vector<LockstepEnv *> Pending(N);
+  for (size_t Slot = 0; Slot < N; ++Slot)
+    Pending[Slot] = Envs[Slot]->lockstep();
+
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    // Phase 1 (slot order): action selection + the cheap half of the
+    // transition. Per-slot op order matches collectSlot exactly.
+    for (size_t Slot = 0; Slot < N; ++Slot) {
+      Transition &T = Batch.Trajectories[Slot].Steps[Step];
+      preStep(Net, Slot, T);
+      Pending[Slot]->beginStep(T.Action);
+    }
+    // Phase 2: one cross-env measurement round.
+    Pending.front()->measureBatch(Pending);
+    // Phase 3 (slot order): finish transitions and episode bookkeeping.
+    for (size_t Slot = 0; Slot < N; ++Slot) {
+      Trajectory &Out = Batch.Trajectories[Slot];
+      postStep(Slot, Pending[Slot]->finishStep(), Out.Steps[Step], Out);
+    }
+  }
+
+  for (size_t Slot = 0; Slot < N; ++Slot) {
+    Trajectory &Out = Batch.Trajectories[Slot];
+    Out.BootstrapObs = CurrentObs[Slot];
+    Out.BootstrapMask = Envs[Slot]->actionMask();
+    if (std::none_of(Out.BootstrapMask.begin(), Out.BootstrapMask.end(),
+                     [](uint8_t M) { return M != 0; }))
+      Out.BootstrapMask.assign(Out.BootstrapMask.size(), 1);
+  }
 }
 
 TrajectoryBatch RolloutRunner::collect(const ActorCritic &Net,
@@ -111,9 +156,17 @@ TrajectoryBatch RolloutRunner::collect(const ActorCritic &Net,
     Pool->parallelFor(Envs.size(), [&](size_t Slot) {
       collectSlot(Net, Steps, Slot, Batch.Trajectories[Slot]);
     });
-  } else {
-    for (size_t Slot = 0; Slot < Envs.size(); ++Slot)
-      collectSlot(Net, Steps, Slot, Batch.Trajectories[Slot]);
+    return Batch;
   }
+  bool AllLockstep =
+      Envs.size() > 1 &&
+      std::all_of(Envs.begin(), Envs.end(),
+                  [](Env *E) { return E->lockstep() != nullptr; });
+  if (AllLockstep) {
+    collectLockstep(Net, Steps, Batch);
+    return Batch;
+  }
+  for (size_t Slot = 0; Slot < Envs.size(); ++Slot)
+    collectSlot(Net, Steps, Slot, Batch.Trajectories[Slot]);
   return Batch;
 }

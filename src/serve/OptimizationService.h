@@ -131,7 +131,9 @@ struct ServiceStats {
   uint64_t PersistStores = 0;   ///< Winners persisted to the cache.
   uint64_t PersistFailures = 0; ///< DeployCache::store() failures.
   double TotalJobWallMs = 0.0;  ///< Summed per-job wall time.
-  /// Rollout measurement-cache accounting summed over all jobs.
+  /// Rollout counter aggregate summed over all jobs: measurement-cache
+  /// accounting plus the per-stage simulator counters (warp select /
+  /// fetch / execute / writeback) of every reward measurement.
   gpusim::PerfCounters Counters;
   /// Keys currently deployed (DeployCache enumeration; 0 without one).
   uint64_t DeployedKeys = 0;

@@ -4,15 +4,17 @@
 Drives `bench_env_step` (and, when built, `bench_simulator_perf`) from a
 CMake build tree and writes `BENCH_step_throughput.json`, plus
 `bench_autotune_sweep` writing `BENCH_autotune_sweep.json` and
-`bench_serve_throughput` writing `BENCH_serve_throughput.json`, so the
-per-PR perf trajectory of the env-step hot path, the autotune sweep
-engine and the optimization service can be tracked by CI and compared
-across revisions.
+`bench_serve_throughput` writing `BENCH_serve_throughput.json` and
+`bench_batch_sim` writing `BENCH_batch_sim.json`, so the per-PR perf
+trajectory of the env-step hot path, the autotune sweep engine, the
+optimization service and the lockstep batch-simulation entry points can
+be tracked by CI and compared across revisions.
 
 Usage:
     tools/run_benchmarks.py [--build-dir build] [--out BENCH_step_throughput.json]
                             [--sweep-out BENCH_autotune_sweep.json]
                             [--serve-out BENCH_serve_throughput.json]
+                            [--batch-out BENCH_batch_sim.json]
                             [--steps N] [--timeout SECONDS]
 
 Exit status: 0 on success (reports written), 1 when a benchmark binary
@@ -120,6 +122,7 @@ def main():
     parser.add_argument("--out", default="BENCH_step_throughput.json")
     parser.add_argument("--sweep-out", default="BENCH_autotune_sweep.json")
     parser.add_argument("--serve-out", default="BENCH_serve_throughput.json")
+    parser.add_argument("--batch-out", default="BENCH_batch_sim.json")
     parser.add_argument("--steps", type=int, default=0,
                         help="step budget per kernel (0 = bench default)")
     parser.add_argument("--timeout", type=int, default=1200,
@@ -163,6 +166,17 @@ def main():
               f"{serve['workers']} workers on {serve['requests']} requests "
               f"(identical={serve['identical_results']})")
         print(f"wrote {args.serve_out}")
+
+    batch = run_json_bench("bench_batch_sim", args.build_dir,
+                           args.batch_out, args.timeout)
+    if batch is None:
+        return 1
+    if batch != "absent":
+        print(f"batch sim: run {batch['run_batch_ratio']:.3f}x / "
+              f"measure {batch['measure_batch_ratio']:.3f}x over "
+              f"{batch['lanes']} lanes "
+              f"(identical={batch['identical_results']})")
+        print(f"wrote {args.batch_out}")
     return 0
 
 
