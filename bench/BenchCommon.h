@@ -19,10 +19,14 @@
 #include "core/Optimizer.h"
 #include "env/AssemblyGame.h"
 #include "rl/Ppo.h"
+#include "stats/BenchReport.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <thread>
 
 namespace cuasmrl {
 namespace bench {
@@ -30,6 +34,42 @@ namespace bench {
 inline bool fastMode() {
   const char *Fast = std::getenv("CUASMRL_FAST");
   return Fast && std::string(Fast) == "1";
+}
+
+/// Run provenance for this process: git sha from CUASMRL_GIT_SHA (set
+/// by tools/run_benchmarks.py) or GITHUB_SHA, build type baked in by
+/// the bench CMakeLists, current UTC time, host threads, smoke flag.
+inline stats::RunMeta reportMeta() {
+  stats::RunMeta M;
+  if (const char *Sha = std::getenv("CUASMRL_GIT_SHA"))
+    M.GitSha = Sha;
+  else if (const char *Sha = std::getenv("GITHUB_SHA"))
+    M.GitSha = Sha;
+#ifdef CUASMRL_BUILD_TYPE
+  if (CUASMRL_BUILD_TYPE[0] != '\0')
+    M.Build = CUASMRL_BUILD_TYPE;
+#endif
+  M.Timestamp = stats::isoTimestampUtcNow();
+  M.HardwareThreads = std::thread::hardware_concurrency();
+  M.FastMode = fastMode();
+  return M;
+}
+
+/// Prints \p Rep to stdout and, when \p Path is non-empty, writes it
+/// there too. Returns false (after complaining on stderr) on IO error.
+inline bool emitReport(const stats::BenchReport &Rep,
+                       const std::string &Path) {
+  std::string Text = Rep.serialize();
+  std::fputs(Text.c_str(), stdout);
+  if (Path.empty())
+    return true;
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+    return false;
+  }
+  Out << Text;
+  return Out.good();
 }
 
 inline unsigned stepsBudget(unsigned Default) {

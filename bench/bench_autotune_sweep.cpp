@@ -85,37 +85,38 @@ bool identicalResults(const std::vector<triton::AutotuneResult> &A,
   return true;
 }
 
-void printJson(std::FILE *Out, const std::vector<triton::SweepRequest> &Reqs,
-               const Outcome &Serial, const Outcome &Parallel,
-               unsigned Workers, bool Identical, bool Paper) {
-  std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"bench\": \"autotune_sweep\",\n");
-  std::fprintf(Out, "  \"shape\": \"%s\",\n", Paper ? "paper" : "test");
-  std::fprintf(Out, "  \"workers\": %u,\n", Workers);
-  std::fprintf(Out, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(Out, "  \"identical_results\": %s,\n",
-               Identical ? "true" : "false");
-  std::fprintf(Out, "  \"serial_ms\": %.3f,\n", Serial.Millis);
-  std::fprintf(Out, "  \"parallel_ms\": %.3f,\n", Parallel.Millis);
-  std::fprintf(Out, "  \"speedup\": %.3f,\n",
-               Serial.Millis / std::max(0.001, Parallel.Millis));
-  std::fprintf(Out, "  \"serial_candidates_per_sec\": %.2f,\n",
-               Serial.CandidatesPerSec);
-  std::fprintf(Out, "  \"parallel_candidates_per_sec\": %.2f,\n",
-               Parallel.CandidatesPerSec);
-  std::fprintf(Out, "  \"workloads\": [\n");
+stats::BenchReport buildReport(const std::vector<triton::SweepRequest> &Reqs,
+                               const Outcome &Serial, const Outcome &Parallel,
+                               unsigned Workers, bool Identical, bool Paper) {
+  stats::BenchReport Rep("autotune_sweep", bench::reportMeta());
+  Rep.addMetric("serial_ms", Serial.Millis, "ms", /*HigherIsBetter=*/false);
+  Rep.addMetric("parallel_ms", Parallel.Millis, "ms",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("speedup", Serial.Millis / std::max(0.001, Parallel.Millis),
+                "x");
+  Rep.addMetric("serial_candidates_per_sec", Serial.CandidatesPerSec,
+                "candidates/s");
+  Rep.addMetric("parallel_candidates_per_sec", Parallel.CandidatesPerSec,
+                "candidates/s");
+
+  stats::JsonValue Workloads = stats::JsonValue::array();
   for (size_t I = 0; I < Reqs.size(); ++I) {
     const triton::AutotuneResult &R = Parallel.Results[I];
-    std::fprintf(Out, "    {\"name\": \"%s\", \"candidates\": %zu, "
-                 "\"winner\": \"%s\", \"best_us\": %.4f}%s\n",
-                 workloadName(Reqs[I].Kind).c_str(), R.Sweep.size(),
-                 R.Valid ? R.Best.str().c_str() : "invalid",
-                 R.Valid ? R.BestUs : 0.0,
-                 I + 1 < Reqs.size() ? "," : "");
+    stats::JsonValue W = stats::JsonValue::object();
+    W.set("name", stats::JsonValue(workloadName(Reqs[I].Kind)));
+    W.set("candidates", stats::JsonValue(static_cast<uint64_t>(
+                            R.Sweep.size())));
+    W.set("winner", stats::JsonValue(R.Valid ? R.Best.str() : "invalid"));
+    W.set("best_us", stats::JsonValue(R.Valid ? R.BestUs : 0.0));
+    Workloads.push(std::move(W));
   }
-  std::fprintf(Out, "  ]\n");
-  std::fprintf(Out, "}\n");
+  stats::JsonValue Extra = stats::JsonValue::object();
+  Extra.set("shape", stats::JsonValue(Paper ? "paper" : "test"));
+  Extra.set("workers", stats::JsonValue(Workers));
+  Extra.set("identical_results", stats::JsonValue(Identical));
+  Extra.set("workloads", std::move(Workloads));
+  Rep.setExtra(std::move(Extra));
+  return Rep;
 }
 
 } // namespace
@@ -177,16 +178,10 @@ int main(int argc, char **argv) {
   std::printf("\nsweep speedup: %.2fx\n", Speedup);
   std::printf("bit-identical results: %s\n", Identical ? "yes" : "NO (BUG)");
 
-  printJson(stdout, Requests, Serial, Parallel, Workers, Identical, Paper);
-  if (!JsonPath.empty()) {
-    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cannot open %s\n", JsonPath.c_str());
-      return 1;
-    }
-    printJson(Out, Requests, Serial, Parallel, Workers, Identical, Paper);
-    std::fclose(Out);
-  }
+  stats::BenchReport Report =
+      buildReport(Requests, Serial, Parallel, Workers, Identical, Paper);
+  if (!bench::emitReport(Report, JsonPath))
+    return 1;
 
   // Determinism is enforced everywhere; the throughput target only
   // where the hardware can physically provide it.

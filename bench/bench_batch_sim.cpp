@@ -102,6 +102,7 @@ struct Comparison {
   double SerialMs = 0.0;
   double BatchMs = 0.0;
   bool Identical = true;
+  gpusim::PerfCounters Counters; ///< Summed over the batch-side runs.
   double ratio() const { return SerialMs / std::max(0.001, BatchMs); }
 };
 
@@ -129,8 +130,10 @@ Comparison compareRunBatch(std::vector<std::unique_ptr<LaneSet>> &Sets,
                                2);
       Out.BatchMs += millisSince(T0);
 
-      for (size_t I = 0; I < Serial.size(); ++I)
+      for (size_t I = 0; I < Serial.size(); ++I) {
         Out.Identical &= sameRun(Serial[I], Batch[I]);
+        Out.Counters += Batch[I].Counters;
+      }
     }
   }
   return Out;
@@ -167,28 +170,39 @@ Comparison compareMeasureBatch(std::vector<std::unique_ptr<LaneSet>> &Sets,
           gpusim::measureKernelBatch(Lanes);
       Out.BatchMs += millisSince(T0);
 
-      for (size_t I = 0; I < Serial.size(); ++I)
+      for (size_t I = 0; I < Serial.size(); ++I) {
         Out.Identical &= sameMeasure(Serial[I], Batch[I]);
+        Out.Counters += Batch[I].Counters;
+      }
     }
   }
   return Out;
 }
 
-void printJson(std::FILE *Out, size_t Lanes, unsigned Iters,
-               const Comparison &Run, const Comparison &Measure) {
-  std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"bench\": \"batch_sim\",\n");
-  std::fprintf(Out, "  \"lanes\": %zu,\n", Lanes);
-  std::fprintf(Out, "  \"iters\": %u,\n", Iters);
-  std::fprintf(Out, "  \"identical_results\": %s,\n",
-               (Run.Identical && Measure.Identical) ? "true" : "false");
-  std::fprintf(Out, "  \"run_serial_ms\": %.3f,\n", Run.SerialMs);
-  std::fprintf(Out, "  \"run_batch_ms\": %.3f,\n", Run.BatchMs);
-  std::fprintf(Out, "  \"run_batch_ratio\": %.3f,\n", Run.ratio());
-  std::fprintf(Out, "  \"measure_serial_ms\": %.3f,\n", Measure.SerialMs);
-  std::fprintf(Out, "  \"measure_batch_ms\": %.3f,\n", Measure.BatchMs);
-  std::fprintf(Out, "  \"measure_batch_ratio\": %.3f\n", Measure.ratio());
-  std::fprintf(Out, "}\n");
+stats::BenchReport buildReport(size_t Lanes, unsigned Iters,
+                               const Comparison &Run,
+                               const Comparison &Measure) {
+  stats::BenchReport Rep("batch_sim", bench::reportMeta());
+  Rep.addMetric("run_serial_ms", Run.SerialMs, "ms",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("run_batch_ms", Run.BatchMs, "ms", /*HigherIsBetter=*/false);
+  Rep.addMetric("run_batch_ratio", Run.ratio(), "x");
+  Rep.addMetric("measure_serial_ms", Measure.SerialMs, "ms",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("measure_batch_ms", Measure.BatchMs, "ms",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("measure_batch_ratio", Measure.ratio(), "x");
+  gpusim::PerfCounters Total = Run.Counters;
+  Total += Measure.Counters;
+  Rep.setSimCounters(Total);
+
+  stats::JsonValue Extra = stats::JsonValue::object();
+  Extra.set("lanes", stats::JsonValue(static_cast<uint64_t>(Lanes)));
+  Extra.set("iters", stats::JsonValue(Iters));
+  Extra.set("identical_results",
+            stats::JsonValue(Run.Identical && Measure.Identical));
+  Rep.setExtra(std::move(Extra));
+  return Rep;
 }
 
 } // namespace
@@ -233,16 +247,9 @@ int main(int argc, char **argv) {
   std::printf("bit-identical results: %s\n",
               (Run.Identical && Measure.Identical) ? "yes" : "NO (BUG)");
 
-  printJson(stdout, Lanes, Iters, Run, Measure);
-  if (!JsonPath.empty()) {
-    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cannot open %s\n", JsonPath.c_str());
-      return 1;
-    }
-    printJson(Out, Lanes, Iters, Run, Measure);
-    std::fclose(Out);
-  }
+  stats::BenchReport Report = buildReport(Lanes, Iters, Run, Measure);
+  if (!bench::emitReport(Report, JsonPath))
+    return 1;
 
   // Identity is the hard requirement; wall-clock ratios are tracked
   // via the JSON artifact, not gated (batching is overhead

@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "env/AssemblyGame.h"
 #include "kernels/Builder.h"
 #include "sass/Parser.h"
@@ -57,6 +58,7 @@ struct KernelReport {
   double StepsPerSec = 0.0;
   double CacheHitRate = 0.0;
   PhaseRates Phases;
+  gpusim::PerfCounters Counters; ///< From one timed simulation.
 };
 
 unsigned stepBudget(unsigned Default) {
@@ -158,41 +160,44 @@ KernelReport benchKernel(WorkloadKind Kind, unsigned Steps, bool Paper) {
   Rep.Phases.SimTimed = rate(Budget, [&] {
     gpusim::RunResult R = Device.run(Game.current(), Kernel.Launch,
                                      gpusim::RunMode::Timed, Resident);
-    (void)R;
+    Rep.Counters = R.Counters;
   });
   return Rep;
 }
 
-void printJson(std::FILE *Out, const std::vector<KernelReport> &Reports,
-               unsigned Steps, bool Paper) {
-  std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"bench\": \"env_step\",\n");
-  std::fprintf(Out, "  \"steps_per_kernel\": %u,\n", Steps);
-  std::fprintf(Out, "  \"shape\": \"%s\",\n", Paper ? "paper" : "test");
-  std::fprintf(Out, "  \"kernels\": [\n");
-  for (size_t I = 0; I < Reports.size(); ++I) {
-    const KernelReport &R = Reports[I];
-    std::fprintf(Out, "    {\n");
-    std::fprintf(Out, "      \"name\": \"%s\",\n", R.Name.c_str());
-    std::fprintf(Out, "      \"steps\": %u,\n", R.Steps);
-    std::fprintf(Out, "      \"seconds\": %.6f,\n", R.Seconds);
-    std::fprintf(Out, "      \"steps_per_sec\": %.2f,\n", R.StepsPerSec);
-    std::fprintf(Out, "      \"measure_cache_hit_rate\": %.4f,\n",
-                 R.CacheHitRate);
-    std::fprintf(Out, "      \"phases_per_sec\": {\n");
-    std::fprintf(Out, "        \"mask_cached\": %.2f,\n",
-                 R.Phases.MaskCached);
-    std::fprintf(Out, "        \"mask_fresh\": %.2f,\n", R.Phases.MaskFresh);
-    std::fprintf(Out, "        \"hash_key\": %.2f,\n", R.Phases.HashKey);
-    std::fprintf(Out, "        \"hash_fresh\": %.2f,\n", R.Phases.HashFresh);
-    std::fprintf(Out, "        \"embed_full\": %.2f,\n", R.Phases.Embed);
-    std::fprintf(Out, "        \"decode_full\": %.2f,\n", R.Phases.Decode);
-    std::fprintf(Out, "        \"sim_timed\": %.2f\n", R.Phases.SimTimed);
-    std::fprintf(Out, "      }\n");
-    std::fprintf(Out, "    }%s\n", I + 1 < Reports.size() ? "," : "");
+stats::BenchReport buildReport(const std::vector<KernelReport> &Reports,
+                               unsigned Steps, bool Paper) {
+  stats::BenchReport Rep("env_step", bench::reportMeta());
+  gpusim::PerfCounters Total;
+  stats::JsonValue Kernels = stats::JsonValue::array();
+  for (const KernelReport &R : Reports) {
+    Rep.addMetric(R.Name + ".steps_per_sec", R.StepsPerSec, "steps/s");
+    Rep.addMetric(R.Name + ".measure_cache_hit_rate", R.CacheHitRate,
+                  "fraction");
+    Rep.addMetric(R.Name + ".phase.mask_cached", R.Phases.MaskCached,
+                  "ops/s");
+    Rep.addMetric(R.Name + ".phase.mask_fresh", R.Phases.MaskFresh, "ops/s");
+    Rep.addMetric(R.Name + ".phase.hash_key", R.Phases.HashKey, "ops/s");
+    Rep.addMetric(R.Name + ".phase.hash_fresh", R.Phases.HashFresh, "ops/s");
+    Rep.addMetric(R.Name + ".phase.embed_full", R.Phases.Embed, "ops/s");
+    Rep.addMetric(R.Name + ".phase.decode_full", R.Phases.Decode, "ops/s");
+    Rep.addMetric(R.Name + ".phase.sim_timed", R.Phases.SimTimed, "ops/s");
+    Total += R.Counters;
+
+    stats::JsonValue K = stats::JsonValue::object();
+    K.set("name", stats::JsonValue(R.Name));
+    K.set("steps", stats::JsonValue(R.Steps));
+    K.set("seconds", stats::JsonValue(R.Seconds));
+    Kernels.push(std::move(K));
   }
-  std::fprintf(Out, "  ]\n");
-  std::fprintf(Out, "}\n");
+  Rep.setSimCounters(Total);
+
+  stats::JsonValue Extra = stats::JsonValue::object();
+  Extra.set("steps_per_kernel", stats::JsonValue(Steps));
+  Extra.set("shape", stats::JsonValue(Paper ? "paper" : "test"));
+  Extra.set("kernels", std::move(Kernels));
+  Rep.setExtra(std::move(Extra));
+  return Rep;
 }
 
 } // namespace
@@ -233,15 +238,6 @@ int main(int argc, char **argv) {
     Reports.push_back(std::move(R));
   }
 
-  printJson(stdout, Reports, Steps, Paper);
-  if (!JsonPath.empty()) {
-    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cannot open %s\n", JsonPath.c_str());
-      return 1;
-    }
-    printJson(Out, Reports, Steps, Paper);
-    std::fclose(Out);
-  }
-  return 0;
+  stats::BenchReport Report = buildReport(Reports, Steps, Paper);
+  return bench::emitReport(Report, JsonPath) ? 0 : 1;
 }

@@ -28,10 +28,12 @@
 
 #include "BenchCommon.h"
 #include "serve/OptimizationService.h"
+#include "stats/SnapshotLogger.h"
 
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -102,7 +104,8 @@ struct Outcome {
 };
 
 Outcome runStream(const gpusim::Gpu &Device, unsigned Workers,
-                  const std::string &DeployDir) {
+                  const std::string &DeployDir,
+                  const std::string &SnapshotPath = std::string()) {
   std::filesystem::remove_all(DeployDir);
 
   ServiceConfig Base;
@@ -129,6 +132,21 @@ Outcome runStream(const gpusim::Gpu &Device, unsigned Workers,
   OptimizationService Service(Device, SC);
   std::vector<OptimizeRequest> Stream = mixedStream();
 
+  // Live trajectory of the running service (stats sampled while the
+  // workers churn), appended as JSONL when a path was requested.
+  std::unique_ptr<stats::StatsSnapshotLogger> Logger;
+  if (!SnapshotPath.empty()) {
+    stats::StatsSnapshotLogger::Config LC;
+    LC.Interval = std::chrono::milliseconds(25);
+    LC.Path = SnapshotPath;
+    Logger = std::make_unique<stats::StatsSnapshotLogger>(
+        [&Service] { return stats::serviceStatsToJson(Service.stats()); },
+        LC);
+    if (!Logger->start())
+      std::fprintf(stderr, "warning: cannot open snapshot log %s\n",
+                   SnapshotPath.c_str());
+  }
+
   auto Start = std::chrono::steady_clock::now();
   Outcome Out;
   std::vector<Ticket> Tickets;
@@ -137,6 +155,8 @@ Outcome runStream(const gpusim::Gpu &Device, unsigned Workers,
   Service.start();
   Service.drain();
   auto End = std::chrono::steady_clock::now();
+  if (Logger)
+    Logger->stop();
 
   Out.Millis = std::chrono::duration<double, std::milli>(End - Start).count();
   Out.RequestsPerSec = 1000.0 * Stream.size() / std::max(0.001, Out.Millis);
@@ -170,51 +190,54 @@ bool identicalOutcomes(const Outcome &A, const Outcome &B) {
   return true;
 }
 
-void printJson(std::FILE *Out, const Outcome &Serial, const Outcome &Parallel,
-               unsigned Workers, bool Identical) {
-  std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"bench\": \"serve_throughput\",\n");
-  std::fprintf(Out, "  \"workers\": %u,\n", Workers);
-  std::fprintf(Out, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(Out, "  \"requests\": %zu,\n", Serial.Responses.size());
-  std::fprintf(Out, "  \"identical_results\": %s,\n",
-               Identical ? "true" : "false");
-  std::fprintf(Out, "  \"serial_ms\": %.3f,\n", Serial.Millis);
-  std::fprintf(Out, "  \"parallel_ms\": %.3f,\n", Parallel.Millis);
-  std::fprintf(Out, "  \"speedup\": %.3f,\n",
-               Serial.Millis / std::max(0.001, Parallel.Millis));
-  std::fprintf(Out, "  \"serial_requests_per_sec\": %.2f,\n",
-               Serial.RequestsPerSec);
-  std::fprintf(Out, "  \"parallel_requests_per_sec\": %.2f,\n",
-               Parallel.RequestsPerSec);
-  std::fprintf(Out,
-               "  \"stream\": {\"lookup_hits\": %llu, \"merged\": %llu, "
-               "\"optimize_runs\": %llu, \"persisted\": %llu}\n",
-               static_cast<unsigned long long>(Parallel.Stats.LookupHits),
-               static_cast<unsigned long long>(Parallel.Stats.Merged),
-               static_cast<unsigned long long>(Parallel.Stats.OptimizeRuns),
-               static_cast<unsigned long long>(Parallel.Stats.PersistStores));
-  std::fprintf(Out, "}\n");
+stats::BenchReport buildReport(const Outcome &Serial, const Outcome &Parallel,
+                               unsigned Workers, bool Identical) {
+  stats::BenchReport Rep("serve_throughput", bench::reportMeta());
+  Rep.addMetric("serial_ms", Serial.Millis, "ms", /*HigherIsBetter=*/false);
+  Rep.addMetric("parallel_ms", Parallel.Millis, "ms",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("speedup", Serial.Millis / std::max(0.001, Parallel.Millis),
+                "x");
+  Rep.addMetric("serial_requests_per_sec", Serial.RequestsPerSec,
+                "requests/s");
+  Rep.addMetric("parallel_requests_per_sec", Parallel.RequestsPerSec,
+                "requests/s");
+  Rep.setServiceStats(Parallel.Stats);
+
+  stats::JsonValue Extra = stats::JsonValue::object();
+  Extra.set("workers", stats::JsonValue(Workers));
+  Extra.set("requests", stats::JsonValue(static_cast<uint64_t>(
+                            Serial.Responses.size())));
+  Extra.set("identical_results", stats::JsonValue(Identical));
+  Rep.setExtra(std::move(Extra));
+  return Rep;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::string JsonPath;
+  std::string SnapshotPath;
   unsigned Workers = 4;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--json" && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (Arg == "--snapshot-log" && I + 1 < argc)
+      SnapshotPath = argv[++I];
     else if (Arg == "--workers" && I + 1 < argc)
       Workers = static_cast<unsigned>(std::atoi(argv[++I]));
     else {
-      std::fprintf(stderr, "usage: %s [--json PATH] [--workers N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--snapshot-log PATH] "
+                   "[--workers N]\n",
                    argv[0]);
       return 2;
     }
   }
+  // Start each snapshot log from scratch (the logger appends).
+  if (!SnapshotPath.empty())
+    std::filesystem::remove(SnapshotPath);
 
   gpusim::Gpu Device;
   std::string DirBase =
@@ -226,7 +249,8 @@ int main(int argc, char **argv) {
               mixedStream().size(), std::thread::hardware_concurrency());
 
   Outcome Serial = runStream(Device, /*Workers=*/1, DirBase + "_serial");
-  Outcome Parallel = runStream(Device, Workers, DirBase + "_parallel");
+  Outcome Parallel =
+      runStream(Device, Workers, DirBase + "_parallel", SnapshotPath);
   bool Identical = identicalOutcomes(Serial, Parallel);
   double Speedup = Serial.Millis / std::max(0.001, Parallel.Millis);
 
@@ -243,16 +267,10 @@ int main(int argc, char **argv) {
   std::printf("request speedup: %.2fx\n", Speedup);
   std::printf("bit-identical responses: %s\n", Identical ? "yes" : "NO (BUG)");
 
-  printJson(stdout, Serial, Parallel, Workers, Identical);
-  if (!JsonPath.empty()) {
-    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cannot open %s\n", JsonPath.c_str());
-      return 1;
-    }
-    printJson(Out, Serial, Parallel, Workers, Identical);
-    std::fclose(Out);
-  }
+  stats::BenchReport Report = buildReport(Serial, Parallel, Workers,
+                                          Identical);
+  if (!bench::emitReport(Report, JsonPath))
+    return 1;
 
   // Determinism is enforced everywhere; the throughput target only
   // where the hardware can physically provide it.

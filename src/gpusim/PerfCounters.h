@@ -99,38 +99,62 @@ struct PerfCounters {
   }
   /// @}
 
-  PerfCounters &operator+=(const PerfCounters &Other) {
-    ElapsedCycles += Other.ElapsedCycles;
-    ActiveCycles += Other.ActiveCycles;
-    IssuedInstrs += Other.IssuedInstrs;
-    IssueSlotCycles += Other.IssueSlotCycles;
-    StallWaitCycles += Other.StallWaitCycles;
-    StallFixedCycles += Other.StallFixedCycles;
-    BankConflictCycles += Other.BankConflictCycles;
-    ReuseHits += Other.ReuseHits;
-    ReuseMisses += Other.ReuseMisses;
-    L1Hits += Other.L1Hits;
-    L1Misses += Other.L1Misses;
-    L2Hits += Other.L2Hits;
-    L2Misses += Other.L2Misses;
-    SharedAccesses += Other.SharedAccesses;
-    DramBytes += Other.DramBytes;
-    MemBusyCycles += Other.MemBusyCycles;
-    LsuIssues += Other.LsuIssues;
-    SelectProbes += Other.SelectProbes;
-    SelectIneligible += Other.SelectIneligible;
-    SelectIdleCycles += Other.SelectIdleCycles;
-    FetchLabelSkips += Other.FetchLabelSkips;
-    ExecFixedLatOps += Other.ExecFixedLatOps;
-    ExecVarLatOps += Other.ExecVarLatOps;
-    WbEventsFired += Other.WbEventsFired;
-    WbWritesCommitted += Other.WbWritesCommitted;
-    WbBarrierReleases += Other.WbBarrierReleases;
-    MeasureCacheHits += Other.MeasureCacheHits;
-    MeasureCacheMisses += Other.MeasureCacheMisses;
-    return *this;
-  }
+  PerfCounters &operator+=(const PerfCounters &Other);
 };
+
+/// Enumerates every counter field of \p A and \p B pairwise as
+/// (name, fieldOfA, fieldOfB). The single authoritative field list:
+/// the aggregation operator below and the stats serializer
+/// (stats::countersToJson / countersFromJson) both walk it, so a
+/// counter added here is automatically aggregated, serialized and
+/// parsed — forgetting one of the three is impossible.
+template <typename CA, typename CB, typename Fn>
+void visitCounterFields(CA &A, CB &B, Fn &&F) {
+  F("ElapsedCycles", A.ElapsedCycles, B.ElapsedCycles);
+  F("ActiveCycles", A.ActiveCycles, B.ActiveCycles);
+  F("IssuedInstrs", A.IssuedInstrs, B.IssuedInstrs);
+  F("IssueSlotCycles", A.IssueSlotCycles, B.IssueSlotCycles);
+  F("StallWaitCycles", A.StallWaitCycles, B.StallWaitCycles);
+  F("StallFixedCycles", A.StallFixedCycles, B.StallFixedCycles);
+  F("BankConflictCycles", A.BankConflictCycles, B.BankConflictCycles);
+  F("ReuseHits", A.ReuseHits, B.ReuseHits);
+  F("ReuseMisses", A.ReuseMisses, B.ReuseMisses);
+  F("L1Hits", A.L1Hits, B.L1Hits);
+  F("L1Misses", A.L1Misses, B.L1Misses);
+  F("L2Hits", A.L2Hits, B.L2Hits);
+  F("L2Misses", A.L2Misses, B.L2Misses);
+  F("SharedAccesses", A.SharedAccesses, B.SharedAccesses);
+  F("DramBytes", A.DramBytes, B.DramBytes);
+  F("MemBusyCycles", A.MemBusyCycles, B.MemBusyCycles);
+  F("LsuIssues", A.LsuIssues, B.LsuIssues);
+  F("SelectProbes", A.SelectProbes, B.SelectProbes);
+  F("SelectIneligible", A.SelectIneligible, B.SelectIneligible);
+  F("SelectIdleCycles", A.SelectIdleCycles, B.SelectIdleCycles);
+  F("FetchLabelSkips", A.FetchLabelSkips, B.FetchLabelSkips);
+  F("ExecFixedLatOps", A.ExecFixedLatOps, B.ExecFixedLatOps);
+  F("ExecVarLatOps", A.ExecVarLatOps, B.ExecVarLatOps);
+  F("WbEventsFired", A.WbEventsFired, B.WbEventsFired);
+  F("WbWritesCommitted", A.WbWritesCommitted, B.WbWritesCommitted);
+  F("WbBarrierReleases", A.WbBarrierReleases, B.WbBarrierReleases);
+  F("MeasureCacheHits", A.MeasureCacheHits, B.MeasureCacheHits);
+  F("MeasureCacheMisses", A.MeasureCacheMisses, B.MeasureCacheMisses);
+}
+
+/// Enumerates every counter of \p C as (name, reference).
+template <typename C, typename Fn> void visitCounters(C &Counters, Fn &&F) {
+  visitCounterFields(Counters, Counters,
+                     [&](const char *Name, auto &Value, auto &) {
+                       F(Name, Value);
+                     });
+}
+
+inline PerfCounters &PerfCounters::operator+=(const PerfCounters &Other) {
+  visitCounterFields(*this, Other,
+                     [](const char *, uint64_t &Mine, const uint64_t &Theirs) {
+                       Mine += Theirs;
+                     });
+  return *this;
+}
 
 } // namespace gpusim
 } // namespace cuasmrl

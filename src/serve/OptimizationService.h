@@ -139,6 +139,32 @@ struct ServiceStats {
   uint64_t DeployedKeys = 0;
 };
 
+/// Enumerates every scalar ServiceStats field as (name, reference) —
+/// uint64 counters plus the double wall-time accumulator; the nested
+/// PerfCounters aggregate is deliberately excluded (walk it with
+/// gpusim::visitCounters). The stats subsystem's serializer and
+/// parser both use this list, so a field added here round-trips
+/// automatically.
+template <typename S, typename Fn> void visitServiceCounters(S &Stats,
+                                                             Fn &&F) {
+  F("Submitted", Stats.Submitted);
+  F("Rejected", Stats.Rejected);
+  F("LookupHits", Stats.LookupHits);
+  F("Merged", Stats.Merged);
+  F("Enqueued", Stats.Enqueued);
+  F("QueuedNow", Stats.QueuedNow);
+  F("RunningNow", Stats.RunningNow);
+  F("Completed", Stats.Completed);
+  F("Failed", Stats.Failed);
+  F("Cancelled", Stats.Cancelled);
+  F("OptimizeRuns", Stats.OptimizeRuns);
+  F("TrainingUpdates", Stats.TrainingUpdates);
+  F("PersistStores", Stats.PersistStores);
+  F("PersistFailures", Stats.PersistFailures);
+  F("TotalJobWallMs", Stats.TotalJobWallMs);
+  F("DeployedKeys", Stats.DeployedKeys);
+}
+
 /// Service configuration.
 struct ServiceConfig {
   /// Optimizer workers; 0 = hardware concurrency. A wall-clock knob

@@ -1,0 +1,192 @@
+//===- stats/BenchReport.cpp - Versioned per-run benchmark record ---------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/BenchReport.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace cuasmrl {
+namespace stats {
+
+std::string isoTimestampUtcNow() {
+  std::time_t Now = std::time(nullptr);
+  std::tm Utc;
+  gmtime_r(&Now, &Utc);
+  char Buf[80];
+  std::snprintf(Buf, sizeof(Buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                Utc.tm_year + 1900, Utc.tm_mon + 1, Utc.tm_mday, Utc.tm_hour,
+                Utc.tm_min, Utc.tm_sec);
+  return Buf;
+}
+
+JsonValue countersToJson(const gpusim::PerfCounters &Counters) {
+  JsonValue Obj = JsonValue::object();
+  gpusim::visitCounters(Counters,
+                        [&](const char *Name, const uint64_t &Value) {
+                          Obj.set(Name, JsonValue(Value));
+                        });
+  return Obj;
+}
+
+gpusim::PerfCounters countersFromJson(const JsonValue &Obj) {
+  gpusim::PerfCounters Counters;
+  if (!Obj.isObject())
+    return Counters;
+  gpusim::visitCounters(Counters, [&](const char *Name, uint64_t &Value) {
+    if (const JsonValue *V = Obj.find(Name); V && V->isNumber())
+      Value = static_cast<uint64_t>(V->number());
+  });
+  return Counters;
+}
+
+JsonValue serviceStatsToJson(const serve::ServiceStats &Stats) {
+  JsonValue Obj = JsonValue::object();
+  serve::visitServiceCounters(Stats,
+                              [&](const char *Name, const auto &Value) {
+                                Obj.set(Name, JsonValue(Value));
+                              });
+  Obj.set("Counters", countersToJson(Stats.Counters));
+  return Obj;
+}
+
+serve::ServiceStats serviceStatsFromJson(const JsonValue &Obj) {
+  serve::ServiceStats Stats;
+  if (!Obj.isObject())
+    return Stats;
+  serve::visitServiceCounters(Stats, [&](const char *Name, auto &Value) {
+    if (const JsonValue *V = Obj.find(Name); V && V->isNumber())
+      Value = static_cast<std::decay_t<decltype(Value)>>(V->number());
+  });
+  if (const JsonValue *C = Obj.find("Counters"))
+    Stats.Counters = countersFromJson(*C);
+  return Stats;
+}
+
+void BenchReport::addMetric(std::string Name, double Value, std::string Unit,
+                            bool HigherIsBetter) {
+  for (Metric &M : Metrics)
+    if (M.Name == Name) {
+      M = {std::move(Name), Value, std::move(Unit), HigherIsBetter};
+      return;
+    }
+  Metrics.push_back({std::move(Name), Value, std::move(Unit),
+                     HigherIsBetter});
+}
+
+const Metric *BenchReport::findMetric(std::string_view Name) const {
+  for (const Metric &M : Metrics)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+JsonValue BenchReport::toJson() const {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema_version", JsonValue(kSchemaVersion));
+  Doc.set("bench", JsonValue(Bench));
+
+  JsonValue MetaObj = JsonValue::object();
+  MetaObj.set("git_sha", JsonValue(Meta.GitSha));
+  MetaObj.set("build", JsonValue(Meta.Build));
+  MetaObj.set("timestamp", JsonValue(Meta.Timestamp));
+  MetaObj.set("hardware_threads", JsonValue(Meta.HardwareThreads));
+  MetaObj.set("fast_mode", JsonValue(Meta.FastMode));
+  Doc.set("meta", std::move(MetaObj));
+
+  JsonValue MetricsObj = JsonValue::object();
+  for (const Metric &M : Metrics) {
+    JsonValue Entry = JsonValue::object();
+    Entry.set("value", JsonValue(M.Value));
+    Entry.set("unit", JsonValue(M.Unit));
+    Entry.set("higher_is_better", JsonValue(M.HigherIsBetter));
+    MetricsObj.set(M.Name, std::move(Entry));
+  }
+  Doc.set("metrics", std::move(MetricsObj));
+
+  if (SimCounters)
+    Doc.set("sim_counters", countersToJson(*SimCounters));
+  if (Service)
+    Doc.set("service_stats", serviceStatsToJson(*Service));
+  if (Extra)
+    Doc.set("extra", *Extra);
+  return Doc;
+}
+
+std::string BenchReport::serialize() const { return toJson().dump(2) + "\n"; }
+
+Expected<BenchReport> BenchReport::fromJson(const JsonValue &Doc) {
+  if (!Doc.isObject())
+    return Expected<BenchReport>(Error("report is not a JSON object"));
+
+  const JsonValue *Version = Doc.find("schema_version");
+  if (!Version || !Version->isNumber())
+    return Expected<BenchReport>(
+        Error("report has no numeric schema_version"));
+  if (static_cast<int64_t>(Version->number()) != kSchemaVersion)
+    return Expected<BenchReport>(Error(
+        "unsupported schema_version " +
+        std::to_string(static_cast<int64_t>(Version->number())) +
+        " (this build reads version " + std::to_string(kSchemaVersion) +
+        ")"));
+
+  BenchReport Rep;
+  if (const JsonValue *B = Doc.find("bench"); B && B->isString())
+    Rep.Bench = B->str();
+
+  if (const JsonValue *M = Doc.find("meta"); M && M->isObject()) {
+    if (const JsonValue *V = M->find("git_sha"); V && V->isString())
+      Rep.Meta.GitSha = V->str();
+    if (const JsonValue *V = M->find("build"); V && V->isString())
+      Rep.Meta.Build = V->str();
+    if (const JsonValue *V = M->find("timestamp"); V && V->isString())
+      Rep.Meta.Timestamp = V->str();
+    if (const JsonValue *V = M->find("hardware_threads"); V && V->isNumber())
+      Rep.Meta.HardwareThreads = static_cast<unsigned>(V->number());
+    if (const JsonValue *V = M->find("fast_mode"); V && V->isBool())
+      Rep.Meta.FastMode = V->boolean();
+  }
+
+  const JsonValue *MetricsObj = Doc.find("metrics");
+  if (!MetricsObj || !MetricsObj->isObject())
+    return Expected<BenchReport>(Error("report has no metrics object"));
+  for (const JsonValue::Member &M : MetricsObj->members()) {
+    if (!M.second.isObject())
+      return Expected<BenchReport>(
+          Error("metric '" + M.first + "' is not an object"));
+    const JsonValue *Value = M.second.find("value");
+    if (!Value || !Value->isNumber())
+      return Expected<BenchReport>(
+          Error("metric '" + M.first + "' has no numeric value"));
+    Metric Out;
+    Out.Name = M.first;
+    Out.Value = Value->number();
+    if (const JsonValue *U = M.second.find("unit"); U && U->isString())
+      Out.Unit = U->str();
+    if (const JsonValue *H = M.second.find("higher_is_better");
+        H && H->isBool())
+      Out.HigherIsBetter = H->boolean();
+    Rep.Metrics.push_back(std::move(Out));
+  }
+
+  if (const JsonValue *C = Doc.find("sim_counters"); C && C->isObject())
+    Rep.SimCounters = countersFromJson(*C);
+  if (const JsonValue *S = Doc.find("service_stats"); S && S->isObject())
+    Rep.Service = serviceStatsFromJson(*S);
+  if (const JsonValue *E = Doc.find("extra"); E && E->isObject())
+    Rep.Extra = *E;
+  return Expected<BenchReport>(std::move(Rep));
+}
+
+Expected<BenchReport> BenchReport::parse(std::string_view Text) {
+  Expected<JsonValue> Doc = JsonValue::parse(Text);
+  if (!Doc)
+    return Expected<BenchReport>(Doc.takeError());
+  return fromJson(*Doc);
+}
+
+} // namespace stats
+} // namespace cuasmrl

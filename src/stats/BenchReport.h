@@ -1,0 +1,136 @@
+//===- stats/BenchReport.h - Versioned per-run benchmark record -----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured record every tracked benchmark emits (the
+/// BENCH_*.json artifacts CI uploads), and the only format
+/// tools/bench_compare.py consumes. One report carries:
+///
+///  - run metadata (git sha, build type, UTC timestamp, hardware
+///    threads, smoke-mode flag) so a number is never separated from
+///    the revision and build that produced it;
+///  - named metric series — (name, value, unit, direction) — the
+///    surface the perf-trajectory regression gate diffs across runs;
+///  - optional simulator phase breakdowns (a gpusim::PerfCounters
+///    capture) and optional serve::ServiceStats counters;
+///  - a free-form "extra" object for bench-specific detail, which
+///    consumers must tolerate and may ignore.
+///
+/// The format is versioned: serialize() stamps kSchemaVersion and
+/// parse() rejects any other version outright, while *unknown fields
+/// are tolerated everywhere* — version bumps are for incompatible
+/// re-interpretations, not for additions (see docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_STATS_BENCHREPORT_H
+#define CUASMRL_STATS_BENCHREPORT_H
+
+#include "gpusim/PerfCounters.h"
+#include "serve/OptimizationService.h"
+#include "stats/Json.h"
+#include "support/Error.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cuasmrl {
+namespace stats {
+
+/// One tracked number with its comparison semantics. Direction travels
+/// with the metric so the compare tool never guesses whether a drop in
+/// "serial_ms" is a regression (it is not).
+struct Metric {
+  std::string Name;
+  double Value = 0.0;
+  std::string Unit;
+  bool HigherIsBetter = true;
+};
+
+/// Provenance of one benchmark run.
+struct RunMeta {
+  std::string GitSha = "unknown";
+  std::string Build = "unknown"; ///< CMake build type.
+  std::string Timestamp;         ///< ISO-8601 UTC; empty = not stamped.
+  unsigned HardwareThreads = 0;
+  bool FastMode = false; ///< CUASMRL_FAST smoke run.
+};
+
+/// Current UTC wall time as "YYYY-MM-DDTHH:MM:SSZ".
+std::string isoTimestampUtcNow();
+
+/// PerfCounters <-> JSON object, field set defined by
+/// gpusim::visitCounterFields. Parsing tolerates unknown members and
+/// defaults missing ones to zero.
+JsonValue countersToJson(const gpusim::PerfCounters &Counters);
+gpusim::PerfCounters countersFromJson(const JsonValue &Obj);
+
+/// ServiceStats <-> JSON object (scalar fields via
+/// serve::visitServiceCounters plus the nested "Counters" aggregate).
+JsonValue serviceStatsToJson(const serve::ServiceStats &Stats);
+serve::ServiceStats serviceStatsFromJson(const JsonValue &Obj);
+
+/// The versioned benchmark record.
+class BenchReport {
+public:
+  static constexpr int64_t kSchemaVersion = 1;
+
+  BenchReport() = default;
+  BenchReport(std::string BenchName, RunMeta Meta)
+      : Bench(std::move(BenchName)), Meta(std::move(Meta)) {}
+
+  const std::string &bench() const { return Bench; }
+  const RunMeta &meta() const { return Meta; }
+
+  /// Appends (or overwrites, by name) one tracked metric.
+  void addMetric(std::string Name, double Value, std::string Unit,
+                 bool HigherIsBetter = true);
+  const std::vector<Metric> &metrics() const { return Metrics; }
+  const Metric *findMetric(std::string_view Name) const;
+
+  void setSimCounters(const gpusim::PerfCounters &Counters) {
+    SimCounters = Counters;
+  }
+  const std::optional<gpusim::PerfCounters> &simCounters() const {
+    return SimCounters;
+  }
+
+  void setServiceStats(const serve::ServiceStats &Stats) {
+    Service = Stats;
+  }
+  const std::optional<serve::ServiceStats> &serviceStats() const {
+    return Service;
+  }
+
+  /// Bench-specific detail (must be an object); consumers tolerate
+  /// and may ignore it.
+  void setExtra(JsonValue ExtraObject) { Extra = std::move(ExtraObject); }
+  const std::optional<JsonValue> &extra() const { return Extra; }
+
+  JsonValue toJson() const;
+  /// Pretty-printed document plus trailing newline (the on-disk form).
+  std::string serialize() const;
+
+  /// Rejects a schema_version other than kSchemaVersion (or a missing
+  /// one); tolerates unknown fields at every level.
+  static Expected<BenchReport> fromJson(const JsonValue &Doc);
+  static Expected<BenchReport> parse(std::string_view Text);
+
+private:
+  std::string Bench;
+  RunMeta Meta;
+  std::vector<Metric> Metrics;
+  std::optional<gpusim::PerfCounters> SimCounters;
+  std::optional<serve::ServiceStats> Service;
+  std::optional<JsonValue> Extra;
+};
+
+} // namespace stats
+} // namespace cuasmrl
+
+#endif // CUASMRL_STATS_BENCHREPORT_H

@@ -1,0 +1,414 @@
+//===- stats/Json.cpp - Minimal JSON value model --------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cuasmrl {
+namespace stats {
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  for (const Member &M : Obj)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+JsonValue &JsonValue::set(std::string Key, JsonValue Value) {
+  for (Member &M : Obj)
+    if (M.first == Key) {
+      M.second = std::move(Value);
+      return M.second;
+    }
+  Obj.emplace_back(std::move(Key), std::move(Value));
+  return Obj.back().second;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void escapeString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void printNumber(std::string &Out, double V, bool IntLike) {
+  if (!std::isfinite(V)) {
+    Out += "null"; // JSON has no NaN/Infinity.
+    return;
+  }
+  char Buf[40];
+  if (IntLike && V == std::floor(V) && std::fabs(V) < 9.007199254740992e15) {
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    Out += Buf;
+    return;
+  }
+  // Shortest representation that parses back exactly: try 15
+  // significant digits, fall back to 17 (always lossless for double).
+  std::snprintf(Buf, sizeof(Buf), "%.15g", V);
+  if (std::strtod(Buf, nullptr) != V)
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+} // namespace
+
+void JsonValue::dumpTo(std::string &Out, unsigned Indent,
+                       unsigned Depth) const {
+  auto Newline = [&](unsigned Levels) {
+    if (Indent == 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * Levels, ' ');
+  };
+
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += Flag ? "true" : "false";
+    break;
+  case Kind::Number:
+    printNumber(Out, Num, IntLike);
+    break;
+  case Kind::String:
+    escapeString(Out, Str);
+    break;
+  case Kind::Array:
+    if (Arr.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I < Arr.size(); ++I) {
+      if (I)
+        Out += Indent ? "," : ", ";
+      Newline(Depth + 1);
+      Arr[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += ']';
+    break;
+  case Kind::Object:
+    if (Obj.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    for (size_t I = 0; I < Obj.size(); ++I) {
+      if (I)
+        Out += Indent ? "," : ", ";
+      Newline(Depth + 1);
+      escapeString(Out, Obj[I].first);
+      Out += ": ";
+      Obj[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += '}';
+    break;
+  }
+}
+
+std::string JsonValue::dump(unsigned Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Errors carry the byte
+/// offset (the documents here are machine-written single reports, so
+/// offset beats maintaining line/column state).
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Expected<JsonValue> run() {
+    Expected<JsonValue> V = parseValue();
+    if (!V)
+      return V;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing content after JSON document");
+    return V;
+  }
+
+private:
+  Error makeError(const std::string &Message) const {
+    return Error(Message + " at offset " + std::to_string(Pos));
+  }
+  Expected<JsonValue> fail(const std::string &Message) const {
+    return Expected<JsonValue>(makeError(Message));
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) == Word) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<JsonValue> parseValue() {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      Expected<std::string> S = parseString();
+      if (!S)
+        return Expected<JsonValue>(S.takeError());
+      return Expected<JsonValue>(JsonValue(S.takeValue()));
+    }
+    if (consumeWord("true"))
+      return Expected<JsonValue>(JsonValue(true));
+    if (consumeWord("false"))
+      return Expected<JsonValue>(JsonValue(false));
+    if (consumeWord("null"))
+      return Expected<JsonValue>(JsonValue());
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber();
+    return fail(std::string("unexpected character '") + C + "'");
+  }
+
+  Expected<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    bool IntLike = true;
+    if (consume('-')) {
+    }
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+    if (consume('.')) {
+      IntLike = false;
+      while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                      Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IntLike = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                      Text[Pos])))
+        ++Pos;
+    }
+    std::string Token(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size() || Token.empty() ||
+        Token == "-")
+      return fail("malformed number '" + Token + "'");
+    JsonValue Out(V);
+    if (IntLike)
+      Out = JsonValue(static_cast<int64_t>(V));
+    // Integer literals beyond int64 precision still parse; keep the
+    // exact double in that case.
+    if (IntLike && static_cast<double>(static_cast<int64_t>(V)) != V)
+      Out = JsonValue(V);
+    return Expected<JsonValue>(std::move(Out));
+  }
+
+  Expected<std::string> parseString() {
+    if (!consume('"'))
+      return Expected<std::string>(makeError("expected '\"'"));
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Expected<std::string>(std::move(Out));
+      if (static_cast<unsigned char>(C) < 0x20)
+        return Expected<std::string>(
+            makeError("unescaped control character in string"));
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return Expected<std::string>(makeError("truncated \\u escape"));
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return Expected<std::string>(
+                makeError("bad hex digit in \\u escape"));
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // produced by this repo's writers; a lone surrogate encodes
+        // as-is).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return Expected<std::string>(
+            makeError(std::string("bad escape '\\") + E + "'"));
+      }
+    }
+    return Expected<std::string>(makeError("unterminated string"));
+  }
+
+  Expected<JsonValue> parseArray() {
+    consume('[');
+    JsonValue Out = JsonValue::array();
+    skipWs();
+    if (consume(']'))
+      return Expected<JsonValue>(std::move(Out));
+    while (true) {
+      Expected<JsonValue> V = parseValue();
+      if (!V)
+        return V;
+      Out.push(V.takeValue());
+      skipWs();
+      if (consume(']'))
+        return Expected<JsonValue>(std::move(Out));
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<JsonValue> parseObject() {
+    consume('{');
+    JsonValue Out = JsonValue::object();
+    skipWs();
+    if (consume('}'))
+      return Expected<JsonValue>(std::move(Out));
+    while (true) {
+      skipWs();
+      Expected<std::string> Key = parseString();
+      if (!Key)
+        return Expected<JsonValue>(Key.takeError());
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      Expected<JsonValue> V = parseValue();
+      if (!V)
+        return V;
+      Out.set(Key.takeValue(), V.takeValue());
+      skipWs();
+      if (consume('}'))
+        return Expected<JsonValue>(std::move(Out));
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<JsonValue> JsonValue::parse(std::string_view Text) {
+  return Parser(Text).run();
+}
+
+} // namespace stats
+} // namespace cuasmrl

@@ -1,0 +1,127 @@
+//===- stats/Json.h - Minimal JSON value model ----------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON document model: a tagged value type
+/// with insertion-ordered objects, a recursive-descent parser and a
+/// deterministic serializer. This is the wire format of the stats
+/// subsystem — BenchReport files, snapshot-log lines — so the design
+/// goals are stability (identical input produces byte-identical
+/// output; key order is insertion order, never hash order) and
+/// fidelity (integer-valued numbers round-trip without a decimal
+/// point, so counter values compare exactly across a
+/// serialize/parse cycle).
+///
+/// Not a general-purpose JSON library: no comments, no NaN/Infinity
+/// extensions (non-finite doubles serialize as null), and numbers are
+/// stored as double (64-bit counters above 2^53 would lose precision —
+/// far beyond any simulated-cycle count this repo produces).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_STATS_JSON_H
+#define CUASMRL_STATS_JSON_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cuasmrl {
+namespace stats {
+
+/// One JSON value (null / bool / number / string / array / object).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+  JsonValue(bool Value) : K(Kind::Bool), Flag(Value) {}
+  JsonValue(double Value) : K(Kind::Number), Num(Value) {}
+  JsonValue(int Value)
+      : K(Kind::Number), Num(static_cast<double>(Value)), IntLike(true) {}
+  JsonValue(unsigned Value)
+      : K(Kind::Number), Num(static_cast<double>(Value)), IntLike(true) {}
+  JsonValue(int64_t Value)
+      : K(Kind::Number), Num(static_cast<double>(Value)), IntLike(true) {}
+  JsonValue(uint64_t Value)
+      : K(Kind::Number), Num(static_cast<double>(Value)), IntLike(true) {}
+  JsonValue(std::string Value) : K(Kind::String), Str(std::move(Value)) {}
+  JsonValue(const char *Value) : K(Kind::String), Str(Value) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return Flag; }
+  double number() const { return Num; }
+  /// True when the number was written/parsed as an integer literal
+  /// (drives decimal-point-free serialization of counters).
+  bool intLike() const { return IntLike; }
+  const std::string &str() const { return Str; }
+
+  /// \name Array access
+  /// @{
+  size_t size() const {
+    return K == Kind::Array ? Arr.size() : Obj.size();
+  }
+  const JsonValue &at(size_t I) const { return Arr[I]; }
+  void push(JsonValue Value) { Arr.push_back(std::move(Value)); }
+  const std::vector<JsonValue> &items() const { return Arr; }
+  /// @}
+
+  /// \name Object access (insertion-ordered)
+  /// @{
+  const JsonValue *find(std::string_view Key) const;
+  /// Appends, or replaces an existing member of the same key in place.
+  JsonValue &set(std::string Key, JsonValue Value);
+  const std::vector<Member> &members() const { return Obj; }
+  /// @}
+
+  /// Serializes deterministically. \p Indent 0 emits one compact line
+  /// (snapshot-log lines); a positive indent pretty-prints with that
+  /// many spaces per level (report files). A trailing newline is never
+  /// emitted — callers append one per document/line.
+  std::string dump(unsigned Indent = 0) const;
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Expected<JsonValue> parse(std::string_view Text);
+
+private:
+  void dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K = Kind::Null;
+  bool Flag = false;
+  double Num = 0.0;
+  bool IntLike = false;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<Member> Obj;
+};
+
+} // namespace stats
+} // namespace cuasmrl
+
+#endif // CUASMRL_STATS_JSON_H

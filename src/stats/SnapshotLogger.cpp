@@ -1,0 +1,125 @@
+//===- stats/SnapshotLogger.cpp - Periodic live-stats JSONL logger --------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/SnapshotLogger.h"
+
+#include <utility>
+
+namespace cuasmrl {
+namespace stats {
+
+StatsSnapshotLogger::StatsSnapshotLogger(Provider Provider, Config Config)
+    : Sample(std::move(Provider)), Cfg(std::move(Config)),
+      StartTime(std::chrono::steady_clock::now()) {}
+
+StatsSnapshotLogger::~StatsSnapshotLogger() { stop(); }
+
+void StatsSnapshotLogger::setSink(std::ostream *NewSink) {
+  std::lock_guard<std::mutex> IoLock(IoMu);
+  Sink = NewSink;
+}
+
+bool StatsSnapshotLogger::start() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Running)
+    return false;
+  {
+    std::lock_guard<std::mutex> IoLock(IoMu);
+    if (!Sink && !File.is_open()) {
+      File.open(Cfg.Path, std::ios::app);
+      if (!File.is_open())
+        return false;
+    }
+  }
+  StartTime = std::chrono::steady_clock::now();
+  ShouldStop = false;
+  Running = true;
+  ++Gen;
+  // A racing stop() may still be joining the previous worker; its
+  // thread object was moved out, so this assignment is safe, and the
+  // generation bump above guarantees the old loop exits.
+  Worker = std::thread([this, MyGen = Gen] { threadMain(MyGen); });
+  return true;
+}
+
+void StatsSnapshotLogger::stop() {
+  std::thread ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Running)
+      return;
+    Running = false;
+    ShouldStop = true;
+    ToJoin = std::move(Worker);
+  }
+  Cv.notify_all();
+  if (ToJoin.joinable())
+    ToJoin.join();
+  std::lock_guard<std::mutex> IoLock(IoMu);
+  if (File.is_open()) {
+    File.flush();
+    File.close();
+  } else if (Sink) {
+    Sink->flush();
+  }
+}
+
+bool StatsSnapshotLogger::running() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Running;
+}
+
+void StatsSnapshotLogger::logNow() { writeSnapshot(); }
+
+uint64_t StatsSnapshotLogger::snapshotsWritten() const {
+  std::lock_guard<std::mutex> IoLock(IoMu);
+  return Written;
+}
+
+void StatsSnapshotLogger::threadMain(uint64_t MyGen) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  auto Expired = [&] { return ShouldStop || Gen != MyGen; };
+  while (!Expired()) {
+    if (Cv.wait_for(Lock, Cfg.Interval, Expired))
+      break;
+    Lock.unlock();
+    writeSnapshot();
+    Lock.lock();
+  }
+  Lock.unlock();
+  // Terminal snapshot: the log always ends with the final state even
+  // when stop() arrives mid-interval.
+  writeSnapshot();
+}
+
+void StatsSnapshotLogger::writeSnapshot() {
+  // Sample outside the writer lock; the provider may itself take locks
+  // (e.g. the service stats mutex).
+  JsonValue Stats = Sample ? Sample() : JsonValue::object();
+  std::chrono::steady_clock::time_point T0;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    T0 = StartTime;
+  }
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+
+  std::lock_guard<std::mutex> IoLock(IoMu);
+  std::ostream *Out = Sink ? Sink : static_cast<std::ostream *>(&File);
+  if (Out == &File && !File.is_open())
+    return;
+  JsonValue Line = JsonValue::object();
+  Line.set("seq", JsonValue(Seq++));
+  Line.set("elapsed_ms", JsonValue(static_cast<int64_t>(ElapsedMs)));
+  Line.set("stats", std::move(Stats));
+  (*Out) << Line.dump(0) << '\n';
+  Out->flush();
+  ++Written;
+}
+
+} // namespace stats
+} // namespace cuasmrl

@@ -1,0 +1,118 @@
+//===- stats/SnapshotLogger.h - Periodic live-stats JSONL logger ----------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Background logger that samples a stats provider on a fixed interval
+/// and appends one compact JSON line per sample to a file (or an
+/// injected stream). The intended provider snapshots a running
+/// serve::OptimizationService — ServiceStats counters plus the
+/// aggregated gpusim::PerfCounters — so a long optimization run leaves
+/// a live trajectory behind, not just a final total.
+///
+/// Line format (one JSON document per line, no pretty-printing):
+///
+///   {"seq": 0, "elapsed_ms": 12, "stats": { ...provider object... }}
+///
+/// "seq" is strictly increasing in file order; "elapsed_ms" is wall
+/// time since start(). The provider runs outside the writer lock, so a
+/// slow provider (e.g. one taking the service's stats mutex) never
+/// blocks an explicit logNow() for longer than one file append.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_STATS_SNAPSHOTLOGGER_H
+#define CUASMRL_STATS_SNAPSHOTLOGGER_H
+
+#include "stats/Json.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+namespace cuasmrl {
+namespace stats {
+
+/// Periodically samples a JsonValue provider onto a JSONL sink from a
+/// background thread. start()/stop() are idempotent and the object is
+/// safe to destroy while running (the destructor stops the thread).
+class StatsSnapshotLogger {
+public:
+  /// Produces one snapshot object. Called concurrently with the rest
+  /// of the program but never concurrently with itself.
+  using Provider = std::function<JsonValue()>;
+
+  struct Config {
+    /// Sampling period. The first periodic sample lands one interval
+    /// after start(); call logNow() for an immediate one.
+    std::chrono::milliseconds Interval{1000};
+    /// Destination file, opened for append on start(). Ignored when a
+    /// sink stream was injected via setSink().
+    std::string Path;
+  };
+
+  StatsSnapshotLogger(Provider Provider, Config Config);
+  ~StatsSnapshotLogger();
+
+  StatsSnapshotLogger(const StatsSnapshotLogger &) = delete;
+  StatsSnapshotLogger &operator=(const StatsSnapshotLogger &) = delete;
+
+  /// Redirects output to \p Sink instead of Config::Path (test hook;
+  /// pass nullptr to restore file output). Only valid while stopped.
+  void setSink(std::ostream *Sink);
+
+  /// Starts the sampling thread. Returns false (and does nothing) if
+  /// already running or if the output file cannot be opened.
+  bool start();
+
+  /// Stops the sampling thread and flushes the sink. Writes one final
+  /// snapshot before shutting down so the log always ends with the
+  /// terminal state. No-op if not running.
+  void stop();
+
+  bool running() const;
+
+  /// Samples and appends one snapshot immediately, independent of the
+  /// periodic schedule. Safe from any thread while running.
+  void logNow();
+
+  /// Number of snapshot lines written since construction.
+  uint64_t snapshotsWritten() const;
+
+private:
+  void threadMain(uint64_t MyGen);
+  void writeSnapshot();
+
+  Provider Sample;
+  Config Cfg;
+
+  mutable std::mutex Mu; ///< Guards thread/running state + Cv.
+  std::condition_variable Cv;
+  bool ShouldStop = false;
+  bool Running = false;
+  /// Bumped by every start(); a worker exits when the generation moves
+  /// past its own, so a start() racing a not-yet-joined stop() cannot
+  /// resurrect the old worker's loop.
+  uint64_t Gen = 0;
+  std::thread Worker;
+
+  mutable std::mutex IoMu; ///< Guards the sink, Seq and Written.
+  std::ofstream File;
+  std::ostream *Sink = nullptr; ///< Injected stream; null = use File.
+  uint64_t Seq = 0;
+  uint64_t Written = 0;
+  std::chrono::steady_clock::time_point StartTime;
+};
+
+} // namespace stats
+} // namespace cuasmrl
+
+#endif // CUASMRL_STATS_SNAPSHOTLOGGER_H

@@ -419,23 +419,11 @@ void expectSameRunResult(const RunResult &A, const RunResult &B,
   EXPECT_EQ(A.FaultReason, B.FaultReason);
   EXPECT_EQ(A.Cycles, B.Cycles);
   EXPECT_EQ(A.TimeUs, B.TimeUs);
-  EXPECT_EQ(A.Counters.IssuedInstrs, B.Counters.IssuedInstrs);
-  EXPECT_EQ(A.Counters.StallWaitCycles, B.Counters.StallWaitCycles);
-  EXPECT_EQ(A.Counters.StallFixedCycles, B.Counters.StallFixedCycles);
-  EXPECT_EQ(A.Counters.BankConflictCycles, B.Counters.BankConflictCycles);
-  EXPECT_EQ(A.Counters.ReuseHits, B.Counters.ReuseHits);
-  EXPECT_EQ(A.Counters.L1Misses, B.Counters.L1Misses);
-  EXPECT_EQ(A.Counters.L2Misses, B.Counters.L2Misses);
-  EXPECT_EQ(A.Counters.DramBytes, B.Counters.DramBytes);
-  EXPECT_EQ(A.Counters.SelectProbes, B.Counters.SelectProbes);
-  EXPECT_EQ(A.Counters.SelectIneligible, B.Counters.SelectIneligible);
-  EXPECT_EQ(A.Counters.SelectIdleCycles, B.Counters.SelectIdleCycles);
-  EXPECT_EQ(A.Counters.FetchLabelSkips, B.Counters.FetchLabelSkips);
-  EXPECT_EQ(A.Counters.ExecFixedLatOps, B.Counters.ExecFixedLatOps);
-  EXPECT_EQ(A.Counters.ExecVarLatOps, B.Counters.ExecVarLatOps);
-  EXPECT_EQ(A.Counters.WbEventsFired, B.Counters.WbEventsFired);
-  EXPECT_EQ(A.Counters.WbWritesCommitted, B.Counters.WbWritesCommitted);
-  EXPECT_EQ(A.Counters.WbBarrierReleases, B.Counters.WbBarrierReleases);
+  // Every counter field, via the authoritative list — a counter added
+  // to PerfCounters is automatically part of the bit-identity contract.
+  visitCounterFields(A.Counters, B.Counters,
+                     [](const char *Name, const uint64_t &X,
+                        const uint64_t &Y) { EXPECT_EQ(X, Y) << Name; });
 }
 
 TEST(BatchSimTest, RunBatchMatchesSingleLaneRuns) {
@@ -476,6 +464,70 @@ TEST(BatchSimTest, RunBatchMatchesSingleLaneRuns) {
                           std::to_string(I) +
                           (Mode == RunMode::Timed ? " timed" : " oracle");
         expectSameRunResult(Batch[I], Single, Tag.c_str());
+      }
+    }
+  }
+}
+
+TEST(BatchSimTest, RandomizedDifferentialSweep) {
+  // Differential sweep: for every workload and batch sizes {1, 2, 7,
+  // 16}, lockstep runBatch over randomized schedule variants must be
+  // bit-identical — full counter set included — to N independent
+  // private-snapshot Gpu runs of the same variants, in both run modes.
+  // Variants are seeded random adjacent-swap walks, so lanes include
+  // legal reorderings and hazard-violating schedules alike.
+  const unsigned BatchSizes[] = {1, 2, 7, 16};
+  for (kernels::WorkloadKind Kind : kernels::allWorkloads()) {
+    Gpu Device;
+    kernels::BuiltKernel K = buildTestKernel(Device, Kind);
+    // Random swaps may legally produce hazard-violating schedules (the
+    // sweep wants those), but reordering control flow can unbound the
+    // loop structure and run a lane to the 200M-cycle runaway limit —
+    // seconds of wall time that test nothing new. Swap only pairs
+    // where neither side ends a basic block.
+    std::vector<size_t> Pairs;
+    for (size_t I : instrPairs(K.Prog))
+      if (!K.Prog.stmt(I).instr().isControlFlow() &&
+          !K.Prog.stmt(I + 1).instr().isControlFlow())
+        Pairs.push_back(I);
+    ASSERT_FALSE(Pairs.empty());
+    Rng SwapRng(0xD1FFu ^ static_cast<uint64_t>(Kind));
+
+    for (unsigned BatchSize : BatchSizes) {
+      std::vector<sass::Program> Progs;
+      std::vector<DecodedProgram> Images;
+      Progs.reserve(BatchSize);
+      Images.reserve(BatchSize);
+      for (unsigned L = 0; L < BatchSize; ++L) {
+        sass::Program P = K.Prog;
+        unsigned Swaps = static_cast<unsigned>(SwapRng.uniformInt(7));
+        for (unsigned S = 0; S < Swaps; ++S) {
+          size_t Idx = SwapRng.uniformInt(Pairs.size());
+          P.swap(Pairs[Idx], Pairs[Idx] + 1);
+        }
+        Progs.push_back(std::move(P));
+      }
+      for (const sass::Program &P : Progs)
+        Images.emplace_back(P);
+
+      for (RunMode Mode : {RunMode::Timed, RunMode::Oracle}) {
+        std::vector<Gpu::BatchCandidate> Cands(Progs.size());
+        for (size_t I = 0; I < Progs.size(); ++I)
+          Cands[I] = Gpu::BatchCandidate{&Progs[I], &Images[I]};
+        std::vector<RunResult> Batch =
+            Device.runBatch(Cands, K.Launch, Mode, 2);
+        ASSERT_EQ(Batch.size(), Progs.size());
+
+        for (size_t I = 0; I < Progs.size(); ++I) {
+          Gpu Ref(Device);
+          RunResult Single =
+              Ref.run(Progs[I], Images[I], K.Launch, Mode, 2);
+          std::string Tag =
+              kernels::workloadName(Kind) + " batch " +
+              std::to_string(BatchSize) + " lane " + std::to_string(I) +
+              (Mode == RunMode::Timed ? " timed" : " oracle");
+          expectSameRunResult(Batch[I], Single, Tag.c_str());
+        }
       }
     }
   }
@@ -557,6 +609,159 @@ TEST(BatchMeasureTest, BatchMatchesSerialMeasurements) {
   EXPECT_TRUE(Batch[0].Valid);
   EXPECT_TRUE(Batch[1].Valid);
   EXPECT_TRUE(Batch[3].Valid);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle-vs-timed divergence (hazard-faithful stale reads)
+//===----------------------------------------------------------------------===//
+
+// A load whose consumer drops the scoreboard wait: the oracle (program
+// order) always sees the loaded 0x77, while the timed machine reads
+// the stale register — silently, with Valid = true. These cases pin
+// that divergence surface, the very signal the RL reward depends on
+// to penalize wait-dropping schedules via the probabilistic test.
+const char *StaleReadText = R"(
+  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;
+  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;
+  [B------:R-:W0:-:S01] LDG.E R10, [R2.64] ;
+  [B------:R-:W-:-:S04] MOV R11, R10 ;
+  [B------:R-:W-:-:S01] STG.E [R2.64+0x4], R11 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)";
+
+// The repaired schedule: identical but for the B0 wait on the consumer.
+const char *WaitedReadText = R"(
+  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;
+  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;
+  [B------:R-:W0:-:S01] LDG.E R10, [R2.64] ;
+  [B0-----:R-:W-:-:S04] MOV R11, R10 ;
+  [B------:R-:W-:-:S01] STG.E [R2.64+0x4], R11 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)";
+
+struct StaleReadSetup {
+  Gpu Device;
+  KernelLaunch Launch;
+  uint64_t Buf = 0;
+
+  StaleReadSetup() {
+    Buf = Device.globalMemory().allocate(8);
+    Device.globalMemory().writeValue<uint32_t>(Buf, 0x77);
+    Launch.WarpsPerBlock = 1;
+    Launch.addParam64(Buf);
+  }
+  uint32_t stored() const {
+    return Device.globalMemory().readValue<uint32_t>(Buf + 4);
+  }
+};
+
+TEST(OracleTimedDivergenceTest, MissingWaitStaleOnlyInTimed) {
+  sass::Program P = parseOrDie(StaleReadText, "stale");
+  for (RunMode Mode : {RunMode::Timed, RunMode::Oracle}) {
+    StaleReadSetup S;
+    RunResult R = S.Device.run(P, S.Launch, Mode);
+    SCOPED_TRACE(Mode == RunMode::Timed ? "timed" : "oracle");
+    // The hazard is silent: no fault, no Valid=false — only wrong data.
+    ASSERT_TRUE(R.Valid) << R.FaultReason;
+    if (Mode == RunMode::Oracle)
+      EXPECT_EQ(S.stored(), 0x77u);
+    else
+      EXPECT_NE(S.stored(), 0x77u);
+  }
+}
+
+TEST(OracleTimedDivergenceTest, WaitedScheduleAgreesInBothModes) {
+  sass::Program P = parseOrDie(WaitedReadText, "waited");
+  for (RunMode Mode : {RunMode::Timed, RunMode::Oracle}) {
+    StaleReadSetup S;
+    RunResult R = S.Device.run(P, S.Launch, Mode);
+    SCOPED_TRACE(Mode == RunMode::Timed ? "timed" : "oracle");
+    ASSERT_TRUE(R.Valid) << R.FaultReason;
+    EXPECT_EQ(S.stored(), 0x77u);
+  }
+}
+
+TEST(OracleTimedDivergenceTest, StaleValueFlipsControlFlow) {
+  // The stale read feeds a compare-and-branch: the fresh 0x77 clears
+  // the 0x50 bar and takes the skip, the stale register does not, so
+  // the hazard changes the executed path — timed IssuedInstrs must
+  // differ between the waited and unwaited schedules by exactly the
+  // two filler instructions the branch skips.
+  auto BranchText = [](bool Wait) {
+    std::string Consumer = Wait ? "  [B0-----:R-:W-:-:S04] MOV R11, R10 ;\n"
+                                : "  [B------:R-:W-:-:S04] MOV R11, R10 ;\n";
+    return std::string(R"(
+  [B------:R-:W-:-:S04] MOV R2, c[0x0][0x160] ;
+  [B------:R-:W-:-:S04] MOV R3, c[0x0][0x164] ;
+  [B------:R-:W0:-:S01] LDG.E R10, [R2.64] ;
+)") + Consumer +
+           R"(  [B------:R-:W-:-:S04] MOV R12, 0x50 ;
+  [B------:R-:W-:-:S05] ISETP.GE.AND P0, PT, R11, R12, PT ;
+  [B------:R-:W-:-:S01] @P0 BRA `(.L_SKIP) ;
+  [B------:R-:W-:-:S04] MOV R13, 0x1 ;
+  [B------:R-:W-:-:S04] MOV R14, 0x2 ;
+.L_SKIP:
+  [B------:R-:W-:-:S01] STG.E [R2.64+0x4], R11 ;
+  [B------:R-:W-:-:S01] EXIT ;
+)";
+  };
+
+  uint64_t Issued[2] = {0, 0};
+  for (bool Wait : {true, false}) {
+    sass::Program P = parseOrDie(BranchText(Wait).c_str(), "branch");
+    StaleReadSetup S;
+    RunResult R = S.Device.run(P, S.Launch, RunMode::Timed);
+    ASSERT_TRUE(R.Valid) << R.FaultReason;
+    Issued[Wait ? 0 : 1] = R.Counters.IssuedInstrs;
+    if (Wait)
+      EXPECT_EQ(S.stored(), 0x77u); // Fresh value survives the skip.
+    else
+      EXPECT_NE(S.stored(), 0x77u);
+  }
+  // Unwaited: compare sees the stale register, branch falls through,
+  // two extra instructions issue (per thread of the warp, but the
+  // counter is per-warp-issue so the delta is exactly 2).
+  EXPECT_EQ(Issued[1], Issued[0] + 2);
+
+  // The oracle never takes the stale path: both schedules agree there.
+  for (bool Wait : {true, false}) {
+    sass::Program P = parseOrDie(BranchText(Wait).c_str(), "branch");
+    StaleReadSetup S;
+    RunResult R = S.Device.run(P, S.Launch, RunMode::Oracle);
+    ASSERT_TRUE(R.Valid) << R.FaultReason;
+    EXPECT_EQ(S.stored(), 0x77u);
+  }
+}
+
+TEST(OracleTimedDivergenceTest, DivergencePreservedThroughBatchLanes) {
+  // The stale-read divergence must survive the lockstep batch path
+  // unchanged: every runBatch lane of the hazardous schedule must be
+  // bit-identical to its serial private-snapshot run in both modes —
+  // batching must neither mask nor invent the hazard.
+  sass::Program Stale = parseOrDie(StaleReadText, "stale");
+  sass::Program Waited = parseOrDie(WaitedReadText, "waited");
+  std::vector<sass::Program> Progs = {Stale, Waited, Stale};
+  std::vector<DecodedProgram> Images;
+  for (const sass::Program &P : Progs)
+    Images.emplace_back(P);
+
+  StaleReadSetup S;
+  for (RunMode Mode : {RunMode::Timed, RunMode::Oracle}) {
+    std::vector<Gpu::BatchCandidate> Cands(Progs.size());
+    for (size_t I = 0; I < Progs.size(); ++I)
+      Cands[I] = Gpu::BatchCandidate{&Progs[I], &Images[I]};
+    std::vector<RunResult> Batch =
+        S.Device.runBatch(Cands, S.Launch, Mode, 1);
+    ASSERT_EQ(Batch.size(), Progs.size());
+    for (size_t I = 0; I < Progs.size(); ++I) {
+      Gpu Ref(S.Device);
+      RunResult Single = Ref.run(Progs[I], Images[I], S.Launch, Mode, 1);
+      std::string Tag = std::string("lane ") + std::to_string(I) +
+                        (Mode == RunMode::Timed ? " timed" : " oracle");
+      expectSameRunResult(Batch[I], Single, Tag.c_str());
+      ASSERT_TRUE(Batch[I].Valid);
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

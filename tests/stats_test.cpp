@@ -1,0 +1,493 @@
+//===- tests/stats_test.cpp - stats subsystem unit tests ------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability contract: BenchReport documents round-trip
+/// byte-stably through the JSON layer, tolerate unknown fields (the
+/// forward-compatibility rule) while rejecting foreign schema
+/// versions, counter captures are bit-exact through the visitor-driven
+/// serializers, and the StatsSnapshotLogger survives concurrent
+/// start/log/stop traffic (the test the TSan CI job leans on).
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/OptimizationService.h"
+#include "stats/BenchReport.h"
+#include "stats/Json.h"
+#include "stats/SnapshotLogger.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+using namespace cuasmrl;
+using namespace cuasmrl::stats;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JSON layer
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, RoundTripIsByteStable) {
+  const char *Text = "{\"b\": 1, \"a\": [true, null, \"x\\n\"], "
+                     "\"n\": -2.5, \"big\": 123456789012345}";
+  Expected<JsonValue> First = JsonValue::parse(Text);
+  ASSERT_TRUE(First.hasValue()) << First.error().str();
+  std::string Once = First->dump(2);
+  Expected<JsonValue> Second = JsonValue::parse(Once);
+  ASSERT_TRUE(Second.hasValue()) << Second.error().str();
+  EXPECT_EQ(Once, Second->dump(2));
+  // Key order is insertion order, not sorted: "b" stays first.
+  ASSERT_GE(Second->members().size(), 1u);
+  EXPECT_EQ(Second->members()[0].first, "b");
+}
+
+TEST(JsonTest, IntegerCountersKeepExactValues) {
+  // Counters must compare exactly after a serialize/parse cycle — no
+  // decimal point, no exponent drift.
+  JsonValue Doc = JsonValue::object();
+  Doc.set("counter", JsonValue(static_cast<uint64_t>(987654321098ull)));
+  std::string Line = Doc.dump(0);
+  EXPECT_EQ(Line, "{\"counter\": 987654321098}");
+  Expected<JsonValue> Back = JsonValue::parse(Line);
+  ASSERT_TRUE(Back.hasValue());
+  const JsonValue *C = Back->find("counter");
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->intLike());
+  EXPECT_EQ(static_cast<uint64_t>(C->number()), 987654321098ull);
+}
+
+TEST(JsonTest, MalformedInputIsRejected) {
+  for (const char *Bad : {"{", "{\"a\":}", "[1,]", "tru", "\"unterminated",
+                          "{\"a\":1} trailing"}) {
+    Expected<JsonValue> R = JsonValue::parse(Bad);
+    EXPECT_FALSE(R.hasValue()) << "accepted: " << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BenchReport schema
+//===----------------------------------------------------------------------===//
+
+/// Distinct nonzero value per counter field so a swapped or dropped
+/// field cannot cancel out in the round-trip comparison.
+gpusim::PerfCounters distinctCounters(uint64_t Base) {
+  gpusim::PerfCounters C;
+  uint64_t Next = Base;
+  gpusim::visitCounters(C, [&](const char *, uint64_t &V) { V = Next++; });
+  return C;
+}
+
+serve::ServiceStats distinctStats() {
+  serve::ServiceStats S;
+  double Next = 100.0;
+  serve::visitServiceCounters(S, [&](const char *, auto &V) {
+    V = static_cast<std::decay_t<decltype(V)>>(Next);
+    Next += 1.0;
+  });
+  S.TotalJobWallMs = 12.625; // Exactly representable double.
+  S.Counters = distinctCounters(1000);
+  return S;
+}
+
+RunMeta testMeta() {
+  RunMeta M;
+  M.GitSha = "deadbeef";
+  M.Build = "Release";
+  M.Timestamp = "2026-08-08T00:00:00Z";
+  M.HardwareThreads = 8;
+  M.FastMode = true;
+  return M;
+}
+
+BenchReport fullReport() {
+  BenchReport Rep("unit_test_bench", testMeta());
+  Rep.addMetric("throughput", 1234.5, "ops/s");
+  Rep.addMetric("latency", 10.25, "ms", /*HigherIsBetter=*/false);
+  Rep.setSimCounters(distinctCounters(1));
+  Rep.setServiceStats(distinctStats());
+  JsonValue Extra = JsonValue::object();
+  Extra.set("note", JsonValue("free-form"));
+  Rep.setExtra(std::move(Extra));
+  return Rep;
+}
+
+void expectSameCounters(const gpusim::PerfCounters &A,
+                        const gpusim::PerfCounters &B) {
+  gpusim::visitCounterFields(
+      const_cast<gpusim::PerfCounters &>(A),
+      const_cast<gpusim::PerfCounters &>(B),
+      [](const char *Name, const uint64_t &X, const uint64_t &Y) {
+        EXPECT_EQ(X, Y) << Name;
+      });
+}
+
+TEST(BenchReportTest, SerializeParseRoundTrip) {
+  BenchReport Rep = fullReport();
+  std::string Text = Rep.serialize();
+  Expected<BenchReport> Back = BenchReport::parse(Text);
+  ASSERT_TRUE(Back.hasValue()) << Back.error().str();
+
+  EXPECT_EQ(Back->bench(), "unit_test_bench");
+  EXPECT_EQ(Back->meta().GitSha, "deadbeef");
+  EXPECT_EQ(Back->meta().Build, "Release");
+  EXPECT_EQ(Back->meta().Timestamp, "2026-08-08T00:00:00Z");
+  EXPECT_EQ(Back->meta().HardwareThreads, 8u);
+  EXPECT_TRUE(Back->meta().FastMode);
+
+  ASSERT_EQ(Back->metrics().size(), 2u);
+  const Metric *T = Back->findMetric("throughput");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Value, 1234.5);
+  EXPECT_EQ(T->Unit, "ops/s");
+  EXPECT_TRUE(T->HigherIsBetter);
+  const Metric *L = Back->findMetric("latency");
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Value, 10.25);
+  EXPECT_FALSE(L->HigherIsBetter);
+
+  ASSERT_TRUE(Back->simCounters().has_value());
+  expectSameCounters(*Back->simCounters(), distinctCounters(1));
+
+  ASSERT_TRUE(Back->serviceStats().has_value());
+  serve::ServiceStats Want = distinctStats();
+  serve::visitServiceCounters(
+      *Back->serviceStats(), [&](const char *Name, const auto &V) {
+        serve::visitServiceCounters(Want, [&](const char *N2, const auto &W) {
+          if (std::string(Name) == N2) {
+            EXPECT_EQ(static_cast<double>(V), static_cast<double>(W)) << Name;
+          }
+        });
+      });
+  expectSameCounters(Back->serviceStats()->Counters, Want.Counters);
+
+  ASSERT_TRUE(Back->extra().has_value());
+  const JsonValue *Note = Back->extra()->find("note");
+  ASSERT_NE(Note, nullptr);
+  EXPECT_EQ(Note->str(), "free-form");
+
+  // The full cycle is byte-stable: re-serializing the parsed report
+  // reproduces the original document exactly.
+  EXPECT_EQ(Back->serialize(), Text);
+}
+
+TEST(BenchReportTest, SerializeIsDeterministic) {
+  // Two structurally identical reports produce identical bytes —
+  // the property bench_compare.py and artifact diffing rely on.
+  EXPECT_EQ(fullReport().serialize(), fullReport().serialize());
+}
+
+TEST(BenchReportTest, UnknownFieldsAreTolerated) {
+  BenchReport Rep = fullReport();
+  JsonValue Doc = Rep.toJson();
+  // Additions at every level must not break an older parser.
+  Doc.set("future_top_level", JsonValue("ignored"));
+  JsonValue *MetaObj = const_cast<JsonValue *>(Doc.find("meta"));
+  ASSERT_NE(MetaObj, nullptr);
+  MetaObj->set("future_meta_field", JsonValue(42));
+  JsonValue *Metrics = const_cast<JsonValue *>(Doc.find("metrics"));
+  ASSERT_NE(Metrics, nullptr);
+  JsonValue *First = const_cast<JsonValue *>(Metrics->find("throughput"));
+  ASSERT_NE(First, nullptr);
+  First->set("future_metric_field", JsonValue(true));
+  JsonValue *Sim = const_cast<JsonValue *>(Doc.find("sim_counters"));
+  ASSERT_NE(Sim, nullptr);
+  Sim->set("FutureCounter", JsonValue(static_cast<uint64_t>(7)));
+
+  Expected<BenchReport> Back = BenchReport::fromJson(Doc);
+  ASSERT_TRUE(Back.hasValue()) << Back.error().str();
+  EXPECT_EQ(Back->bench(), "unit_test_bench");
+  ASSERT_NE(Back->findMetric("throughput"), nullptr);
+  EXPECT_EQ(Back->findMetric("throughput")->Value, 1234.5);
+  expectSameCounters(*Back->simCounters(), distinctCounters(1));
+}
+
+TEST(BenchReportTest, WrongSchemaVersionIsRejected) {
+  JsonValue Doc = fullReport().toJson();
+  Doc.set("schema_version",
+          JsonValue(static_cast<int64_t>(BenchReport::kSchemaVersion + 1)));
+  Expected<BenchReport> Bumped = BenchReport::fromJson(Doc);
+  EXPECT_FALSE(Bumped.hasValue());
+
+  // A missing version is just as foreign as a wrong one.
+  JsonValue Full = fullReport().toJson();
+  JsonValue NoVersion = JsonValue::object();
+  for (const auto &M : Full.members())
+    if (M.first != "schema_version")
+      NoVersion.set(M.first, M.second);
+  EXPECT_FALSE(BenchReport::fromJson(NoVersion).hasValue());
+
+  Expected<BenchReport> Garbage = BenchReport::parse("{not json");
+  EXPECT_FALSE(Garbage.hasValue());
+}
+
+TEST(BenchReportTest, AddMetricOverwritesByName) {
+  BenchReport Rep("b", RunMeta());
+  Rep.addMetric("m", 1.0, "x");
+  Rep.addMetric("m", 2.0, "ms", /*HigherIsBetter=*/false);
+  ASSERT_EQ(Rep.metrics().size(), 1u);
+  EXPECT_EQ(Rep.metrics()[0].Value, 2.0);
+  EXPECT_EQ(Rep.metrics()[0].Unit, "ms");
+  EXPECT_FALSE(Rep.metrics()[0].HigherIsBetter);
+}
+
+TEST(BenchReportTest, CounterCaptureIsVisitorComplete) {
+  // Every field visitCounters enumerates survives the JSON cycle; a
+  // field added to PerfCounters (and the visitor) round-trips with no
+  // serializer change, by construction.
+  gpusim::PerfCounters C = distinctCounters(17);
+  gpusim::PerfCounters Back = countersFromJson(countersToJson(C));
+  expectSameCounters(Back, C);
+
+  serve::ServiceStats S = distinctStats();
+  serve::ServiceStats SBack = serviceStatsFromJson(serviceStatsToJson(S));
+  EXPECT_EQ(SBack.TotalJobWallMs, S.TotalJobWallMs);
+  EXPECT_EQ(SBack.Submitted, S.Submitted);
+  EXPECT_EQ(SBack.DeployedKeys, S.DeployedKeys);
+  expectSameCounters(SBack.Counters, S.Counters);
+}
+
+//===----------------------------------------------------------------------===//
+// StatsSnapshotLogger
+//===----------------------------------------------------------------------===//
+
+JsonValue tickingProvider(std::atomic<uint64_t> &Ticks) {
+  JsonValue V = JsonValue::object();
+  V.set("tick", JsonValue(Ticks.fetch_add(1) + 1));
+  return V;
+}
+
+/// Parses every line of a JSONL capture, asserting each is a valid
+/// snapshot document, and returns the "seq" values in file order.
+std::vector<uint64_t> parseSnapshotSeqs(const std::string &Capture) {
+  std::vector<uint64_t> Seqs;
+  std::istringstream In(Capture);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    Expected<JsonValue> Doc = JsonValue::parse(Line);
+    EXPECT_TRUE(Doc.hasValue()) << Line;
+    if (!Doc.hasValue())
+      continue;
+    const JsonValue *Seq = Doc->find("seq");
+    const JsonValue *Elapsed = Doc->find("elapsed_ms");
+    const JsonValue *Stats = Doc->find("stats");
+    EXPECT_NE(Seq, nullptr) << Line;
+    EXPECT_NE(Elapsed, nullptr) << Line;
+    EXPECT_NE(Stats, nullptr) << Line;
+    if (Stats) {
+      EXPECT_TRUE(Stats->isObject());
+    }
+    if (Seq)
+      Seqs.push_back(static_cast<uint64_t>(Seq->number()));
+  }
+  return Seqs;
+}
+
+TEST(SnapshotLoggerTest, StopWritesTerminalSnapshot) {
+  std::atomic<uint64_t> Ticks{0};
+  StatsSnapshotLogger::Config C;
+  C.Interval = std::chrono::hours(1); // Never fires periodically.
+  StatsSnapshotLogger Logger([&] { return tickingProvider(Ticks); }, C);
+  std::ostringstream Out;
+  Logger.setSink(&Out);
+
+  ASSERT_TRUE(Logger.start());
+  EXPECT_TRUE(Logger.running());
+  Logger.stop();
+  EXPECT_FALSE(Logger.running());
+
+  // Even with no periodic sample, the log ends with the final state.
+  std::vector<uint64_t> Seqs = parseSnapshotSeqs(Out.str());
+  ASSERT_EQ(Seqs.size(), 1u);
+  EXPECT_EQ(Seqs[0], 0u);
+  EXPECT_EQ(Logger.snapshotsWritten(), 1u);
+}
+
+TEST(SnapshotLoggerTest, PeriodicSamplesHaveMonotonicSeq) {
+  std::atomic<uint64_t> Ticks{0};
+  StatsSnapshotLogger::Config C;
+  C.Interval = std::chrono::milliseconds(5);
+  StatsSnapshotLogger Logger([&] { return tickingProvider(Ticks); }, C);
+  std::ostringstream Out;
+  Logger.setSink(&Out);
+
+  ASSERT_TRUE(Logger.start());
+  // Generous wait: even a heavily loaded runner lands a few periods.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  Logger.stop();
+
+  std::vector<uint64_t> Seqs = parseSnapshotSeqs(Out.str());
+  ASSERT_GE(Seqs.size(), 2u); // At least one periodic + the terminal.
+  for (size_t I = 0; I < Seqs.size(); ++I)
+    EXPECT_EQ(Seqs[I], I); // Strictly increasing from zero, no gaps.
+  EXPECT_EQ(Logger.snapshotsWritten(), Seqs.size());
+}
+
+TEST(SnapshotLoggerTest, LogNowIsIndependentOfSchedule) {
+  std::atomic<uint64_t> Ticks{0};
+  StatsSnapshotLogger::Config C;
+  C.Interval = std::chrono::hours(1);
+  StatsSnapshotLogger Logger([&] { return tickingProvider(Ticks); }, C);
+  std::ostringstream Out;
+  Logger.setSink(&Out);
+
+  ASSERT_TRUE(Logger.start());
+  Logger.logNow();
+  Logger.logNow();
+  Logger.logNow();
+  Logger.stop(); // +1 terminal snapshot.
+  EXPECT_EQ(parseSnapshotSeqs(Out.str()).size(), 4u);
+}
+
+TEST(SnapshotLoggerTest, StartAndStopAreIdempotent) {
+  std::atomic<uint64_t> Ticks{0};
+  StatsSnapshotLogger::Config C;
+  C.Interval = std::chrono::hours(1);
+  StatsSnapshotLogger Logger([&] { return tickingProvider(Ticks); }, C);
+  std::ostringstream Out;
+  Logger.setSink(&Out);
+
+  ASSERT_TRUE(Logger.start());
+  EXPECT_FALSE(Logger.start()); // Second start is refused, not fatal.
+  Logger.stop();
+  Logger.stop(); // Second stop is a no-op.
+  EXPECT_EQ(Logger.snapshotsWritten(), 1u);
+
+  // The logger is restartable after a full stop.
+  ASSERT_TRUE(Logger.start());
+  Logger.stop();
+  EXPECT_EQ(Logger.snapshotsWritten(), 2u);
+}
+
+// The TSan target: hammer one logger from several threads mixing
+// start / stop / logNow / running / snapshotsWritten while the
+// periodic worker also runs. Correctness bar: no data race, no crash,
+// and the captured stream is still valid line-delimited JSON with
+// unique seq values.
+TEST(SnapshotLoggerTest, ConcurrentStartLogStopIsSafe) {
+  std::atomic<uint64_t> Ticks{0};
+  StatsSnapshotLogger::Config C;
+  C.Interval = std::chrono::milliseconds(1);
+  StatsSnapshotLogger Logger([&] { return tickingProvider(Ticks); }, C);
+  std::ostringstream Out;
+  Logger.setSink(&Out);
+
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Rounds = 25;
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      while (!Go.load())
+        std::this_thread::yield();
+      for (unsigned R = 0; R < Rounds; ++R) {
+        switch ((T + R) % 4) {
+        case 0:
+          Logger.start();
+          break;
+        case 1:
+          if (Logger.running())
+            Logger.logNow();
+          break;
+        case 2:
+          Logger.stop();
+          break;
+        case 3:
+          (void)Logger.snapshotsWritten();
+          break;
+        }
+      }
+    });
+  }
+  Go.store(true);
+  for (std::thread &T : Pool)
+    T.join();
+  Logger.stop();
+  EXPECT_FALSE(Logger.running());
+
+  std::vector<uint64_t> Seqs = parseSnapshotSeqs(Out.str());
+  EXPECT_EQ(Seqs.size(), Logger.snapshotsWritten());
+  for (size_t I = 0; I < Seqs.size(); ++I)
+    EXPECT_EQ(Seqs[I], I);
+}
+
+//===----------------------------------------------------------------------===//
+// Live service integration
+//===----------------------------------------------------------------------===//
+
+core::OptimizeConfig tinyConfig() {
+  core::OptimizeConfig C;
+  C.Ppo.TotalSteps = 32;
+  C.Ppo.RolloutLen = 16;
+  C.Ppo.MiniBatches = 2;
+  C.Ppo.Epochs = 2;
+  C.Ppo.Channels = 4;
+  C.Ppo.Hidden = 16;
+  C.Game.EpisodeLength = 8;
+  C.Game.Measure.WarmupIters = 1;
+  C.Game.Measure.RepeatIters = 1;
+  C.Game.Measure.NoiseStddev = 0.001;
+  C.AutotuneMeasure.WarmupIters = 1;
+  C.AutotuneMeasure.RepeatIters = 1;
+  C.AutotuneMeasure.NoiseStddev = 0.0;
+  C.ProbTestRounds = 1;
+  return C;
+}
+
+TEST(SnapshotLoggerTest, CapturesLiveServiceTrajectory) {
+  gpusim::Gpu Device;
+  serve::ServiceConfig SC;
+  SC.Workers = 2;
+  SC.Seed = 11;
+  SC.Defaults = tinyConfig();
+  serve::OptimizationService Service(Device, SC);
+
+  StatsSnapshotLogger::Config C;
+  C.Interval = std::chrono::milliseconds(2);
+  StatsSnapshotLogger Logger(
+      [&Service] { return serviceStatsToJson(Service.stats()); }, C);
+  std::ostringstream Out;
+  Logger.setSink(&Out);
+  ASSERT_TRUE(Logger.start());
+
+  serve::OptimizeRequest R;
+  R.Kind = kernels::WorkloadKind::Softmax;
+  R.Shape = kernels::testShape(kernels::WorkloadKind::Softmax);
+  Service.submit(R);
+  Service.drain();
+  Logger.stop();
+  Service.shutdown();
+
+  // The terminal snapshot is the drained service: the real counters
+  // parse back through the schema and show the completed job.
+  std::istringstream In(Out.str());
+  std::string Line, Last;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      Last = Line;
+  ASSERT_FALSE(Last.empty());
+  Expected<JsonValue> Doc = JsonValue::parse(Last);
+  ASSERT_TRUE(Doc.hasValue()) << Last;
+  const JsonValue *Stats = Doc->find("stats");
+  ASSERT_NE(Stats, nullptr);
+  serve::ServiceStats Final = serviceStatsFromJson(*Stats);
+  EXPECT_EQ(Final.Submitted, 1u);
+  EXPECT_EQ(Final.Completed, 1u);
+  EXPECT_EQ(Final.QueuedNow, 0u);
+  EXPECT_EQ(Final.RunningNow, 0u);
+  EXPECT_GT(Final.Counters.ElapsedCycles, 0u);
+}
+
+} // namespace

@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Diff two BenchReport files and gate on perf regressions.
+
+Compares every metric the two reports share, direction-aware: for a
+higher-is-better metric the ratio is new/old, for a lower-is-better
+metric it is old/new, so a ratio of 1.0 always means "unchanged" and
+ratios below the threshold always mean "got worse". A run passes when
+every gated metric's ratio is >= the threshold.
+
+Usage:
+    tools/bench_compare.py OLD.json NEW.json [--threshold 0.9]
+                           [--thresholds FILE] [--json-out PATH]
+                           [--baseline-lenient] [--self-test]
+
+  --threshold R         global pass bar (default 0.9 = tolerate a 10%
+                        regression; CI uses a looser bar for noisy
+                        shared runners)
+  --thresholds FILE     JSON object mapping metric-name patterns
+                        (fnmatch globs) to per-metric thresholds;
+                        first matching pattern wins, falling back to
+                        the global threshold. A threshold of 0 skips
+                        the metric.
+  --json-out PATH       machine-readable verdict document
+  --baseline-lenient    downgrade baseline problems (unreadable /
+                        wrong-schema OLD, metrics missing from NEW) to
+                        warnings — for bootstrapping a gate against
+                        artifacts that predate the current schema
+  --self-test           run the built-in scenario checks and exit
+
+Exit status: 0 = pass, 1 = regression detected, 2 = error (unreadable
+or invalid input, baseline metric missing from NEW).
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA_VERSION = 1
+
+
+def load_report(path):
+    """Returns (report, None) or (None, error-string)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, f"cannot read {path}: {e}"
+    if not isinstance(doc, dict):
+        return None, f"{path}: not a JSON object"
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        return None, (f"{path}: schema_version "
+                      f"{doc.get('schema_version')!r} "
+                      f"(expected {SCHEMA_VERSION})")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return None, f"{path}: missing metrics object"
+    for name, entry in metrics.items():
+        if not isinstance(entry, dict) or \
+                not isinstance(entry.get("value"), (int, float)):
+            return None, f"{path}: metric {name!r} has no numeric value"
+    return doc, None
+
+
+def threshold_for(name, global_threshold, per_metric):
+    for pattern, value in per_metric:
+        if fnmatch.fnmatchcase(name, pattern):
+            return value
+    return global_threshold
+
+
+def compare_reports(old, new, global_threshold, per_metric, lenient):
+    """Returns (rows, missing, verdict). rows: one dict per shared
+    metric; missing: baseline metrics absent from NEW; verdict: 'pass'
+    or 'regression'."""
+    rows = []
+    old_metrics = old["metrics"]
+    new_metrics = new["metrics"]
+    missing = [n for n in old_metrics if n not in new_metrics]
+
+    verdict = "pass"
+    for name, entry in new_metrics.items():
+        if name not in old_metrics:
+            rows.append({"metric": name, "new": entry["value"],
+                         "status": "new"})
+            continue
+        old_value = old_metrics[name]["value"]
+        new_value = entry["value"]
+        higher_is_better = entry.get("higher_is_better", True)
+        bar = threshold_for(name, global_threshold, per_metric)
+        if higher_is_better:
+            numerator, denominator = new_value, old_value
+        else:
+            numerator, denominator = old_value, new_value
+        if denominator == 0:
+            ratio = 1.0 if numerator == 0 else float("inf")
+        else:
+            ratio = numerator / denominator
+        if bar <= 0:
+            status = "skipped"
+        elif ratio >= bar:
+            status = "ok"
+        else:
+            status = "REGRESSION"
+            verdict = "regression"
+        rows.append({"metric": name, "old": old_value, "new": new_value,
+                     "unit": entry.get("unit", ""), "ratio": ratio,
+                     "threshold": bar, "status": status})
+    if missing and not lenient:
+        verdict = "error"
+    return rows, missing, verdict
+
+
+def print_table(rows, missing, old, new):
+    print(f"baseline: {old['meta'].get('git_sha', '?')} "
+          f"({old['meta'].get('timestamp', '?')})")
+    print(f"current:  {new['meta'].get('git_sha', '?')} "
+          f"({new['meta'].get('timestamp', '?')})")
+    width = max([len(r["metric"]) for r in rows] + [6])
+    print(f"{'metric':<{width}} {'old':>14} {'new':>14} {'ratio':>8} "
+          f"{'bar':>6}  status")
+    for r in rows:
+        if r["status"] == "new":
+            print(f"{r['metric']:<{width}} {'-':>14} {r['new']:>14.4g} "
+                  f"{'-':>8} {'-':>6}  new metric")
+            continue
+        print(f"{r['metric']:<{width}} {r['old']:>14.4g} "
+              f"{r['new']:>14.4g} {r['ratio']:>8.3f} "
+              f"{r['threshold']:>6.2f}  {r['status']}")
+    for name in missing:
+        print(f"{name:<{width}} missing from new report")
+
+
+def run_compare(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.9)
+    parser.add_argument("--thresholds")
+    parser.add_argument("--json-out")
+    parser.add_argument("--baseline-lenient", action="store_true")
+    args = parser.parse_args(argv)
+
+    per_metric = []
+    if args.thresholds:
+        try:
+            with open(args.thresholds) as f:
+                config = json.load(f)
+            per_metric = list(config.items())
+        except (OSError, json.JSONDecodeError, AttributeError) as e:
+            print(f"error: bad thresholds file: {e}", file=sys.stderr)
+            return 2
+
+    new, err = load_report(args.new)
+    if err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    old, err = load_report(args.old)
+    if err:
+        if args.baseline_lenient:
+            print(f"warning: {err}; baseline not comparable, passing "
+                  "(lenient mode)", file=sys.stderr)
+            if args.json_out:
+                with open(args.json_out, "w") as f:
+                    json.dump({"verdict": "pass",
+                               "note": "baseline not comparable"}, f,
+                              indent=2)
+                    f.write("\n")
+            return 0
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    rows, missing, verdict = compare_reports(
+        old, new, args.threshold, per_metric, args.baseline_lenient)
+    print_table(rows, missing, old, new)
+
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump({"verdict": verdict, "threshold": args.threshold,
+                       "metrics": rows, "missing_metrics": missing}, f,
+                      indent=2)
+            f.write("\n")
+
+    if verdict == "error":
+        print("error: baseline metrics missing from new report: "
+              + ", ".join(missing), file=sys.stderr)
+        return 2
+    if verdict == "regression":
+        worst = min((r for r in rows if r["status"] == "REGRESSION"),
+                    key=lambda r: r["ratio"])
+        print(f"\nFAIL: {worst['metric']} regressed to "
+              f"{worst['ratio']:.3f}x (threshold "
+              f"{worst['threshold']:.2f})")
+        return 1
+    print("\nPASS: no metric below threshold")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: the scenarios CI's docs job runs on every change.
+# ---------------------------------------------------------------------------
+
+def _report(metrics):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "selftest",
+        "meta": {"git_sha": "t", "timestamp": "t"},
+        "metrics": {
+            name: {"value": value, "unit": unit,
+                   "higher_is_better": higher}
+            for name, (value, unit, higher) in metrics.items()
+        },
+    }
+
+
+def self_test():
+    failures = []
+
+    def scenario(name, old_doc, new_doc, extra_args, expected_rc):
+        with tempfile.TemporaryDirectory() as d:
+            old_path = os.path.join(d, "old.json")
+            new_path = os.path.join(d, "new.json")
+            for path, doc in ((old_path, old_doc), (new_path, new_doc)):
+                with open(path, "w") as f:
+                    if isinstance(doc, str):
+                        f.write(doc)
+                    else:
+                        json.dump(doc, f)
+            rc = run_compare([old_path, new_path, *extra_args])
+            marker = "ok" if rc == expected_rc else "FAIL"
+            print(f"[{marker}] {name}: rc={rc} expected={expected_rc}")
+            if rc != expected_rc:
+                failures.append(name)
+
+    base = _report({"throughput": (1000.0, "ops/s", True),
+                    "latency": (10.0, "ms", False)})
+
+    # A 15% throughput drop must fail a 0.9 threshold.
+    regressed = _report({"throughput": (850.0, "ops/s", True),
+                         "latency": (10.0, "ms", False)})
+    scenario("regression detected", base, regressed,
+             ["--threshold", "0.9"], 1)
+
+    # Latency is lower-is-better: rising 10 -> 12 ms must also fail.
+    slower = _report({"throughput": (1000.0, "ops/s", True),
+                      "latency": (12.0, "ms", False)})
+    scenario("lower-is-better regression detected", base, slower,
+             ["--threshold", "0.9"], 1)
+
+    # Improvements and within-threshold noise pass.
+    improved = _report({"throughput": (1300.0, "ops/s", True),
+                        "latency": (9.0, "ms", False)})
+    scenario("improvement passes", base, improved,
+             ["--threshold", "0.9"], 0)
+    noisy = _report({"throughput": (950.0, "ops/s", True),
+                     "latency": (10.4, "ms", False)})
+    scenario("within-threshold noise passes", base, noisy,
+             ["--threshold", "0.9"], 0)
+
+    # A tracked metric silently vanishing is an error...
+    shrunk = _report({"throughput": (1000.0, "ops/s", True)})
+    scenario("missing metric is an error", base, shrunk,
+             ["--threshold", "0.9"], 2)
+    # ...unless lenient mode is bootstrapping the gate.
+    scenario("missing metric tolerated when lenient", base, shrunk,
+             ["--threshold", "0.9", "--baseline-lenient"], 0)
+
+    # Malformed and wrong-schema inputs are errors.
+    scenario("malformed old JSON is an error", "{not json", base,
+             ["--threshold", "0.9"], 2)
+    scenario("malformed new JSON is an error", base, "{not json",
+             ["--threshold", "0.9"], 2)
+    wrong_schema = dict(_report({"throughput": (1.0, "ops/s", True)}),
+                        schema_version=99)
+    scenario("wrong schema version is an error", wrong_schema, base,
+             ["--threshold", "0.9"], 2)
+    scenario("wrong-schema baseline passes when lenient", wrong_schema,
+             base, ["--threshold", "0.9", "--baseline-lenient"], 0)
+
+    # New metrics (absent from the baseline) never gate.
+    grown = _report({"throughput": (1000.0, "ops/s", True),
+                     "latency": (10.0, "ms", False),
+                     "extra_metric": (5.0, "x", True)})
+    scenario("new metric passes", base, grown, ["--threshold", "0.9"], 0)
+
+    # Per-metric thresholds: exempt one metric, gate the rest.
+    with tempfile.TemporaryDirectory() as d:
+        config_path = os.path.join(d, "thresholds.json")
+        with open(config_path, "w") as f:
+            json.dump({"throughput": 0}, f)
+        old_path = os.path.join(d, "old.json")
+        new_path = os.path.join(d, "new.json")
+        with open(old_path, "w") as f:
+            json.dump(base, f)
+        with open(new_path, "w") as f:
+            json.dump(regressed, f)
+        rc = run_compare([old_path, new_path, "--threshold", "0.9",
+                          "--thresholds", config_path])
+        marker = "ok" if rc == 0 else "FAIL"
+        print(f"[{marker}] per-metric threshold skip: rc={rc} expected=0")
+        if rc != 0:
+            failures.append("per-metric threshold skip")
+
+    if failures:
+        print(f"\nSELF-TEST FAIL: {len(failures)} scenario(s): "
+              + ", ".join(failures))
+        return 1
+    print("\nSELF-TEST PASS")
+    return 0
+
+
+def main():
+    argv = sys.argv[1:]
+    if "--self-test" in argv:
+        return self_test()
+    return run_compare(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,24 +1,32 @@
 #!/usr/bin/env python3
-"""Run the tracked benchmarks and emit machine-readable reports.
+"""Run the tracked benchmarks and emit structured BenchReport files.
 
 Drives `bench_env_step` (and, when built, `bench_simulator_perf`) from a
 CMake build tree and writes `BENCH_step_throughput.json`, plus
-`bench_autotune_sweep` writing `BENCH_autotune_sweep.json` and
-`bench_serve_throughput` writing `BENCH_serve_throughput.json` and
-`bench_batch_sim` writing `BENCH_batch_sim.json`, so the per-PR perf
-trajectory of the env-step hot path, the autotune sweep engine, the
-optimization service and the lockstep batch-simulation entry points can
-be tracked by CI and compared across revisions.
+`bench_autotune_sweep` writing `BENCH_autotune_sweep.json`,
+`bench_serve_throughput` writing `BENCH_serve_throughput.json` (and a
+live `BENCH_serve_snapshots.jsonl` trajectory) and `bench_batch_sim`
+writing `BENCH_batch_sim.json`, so the per-PR perf trajectory of the
+env-step hot path, the autotune sweep engine, the optimization service
+and the lockstep batch-simulation entry points can be tracked by CI and
+compared across revisions with tools/bench_compare.py.
+
+Every report is a versioned BenchReport document (see
+docs/OBSERVABILITY.md): schema_version, run metadata (git sha / build /
+timestamp), a flat metrics object with units and comparison direction,
+and optional simulator/service counter captures. This script validates
+the shape of each report after the binary writes it.
 
 Usage:
     tools/run_benchmarks.py [--build-dir build] [--out BENCH_step_throughput.json]
                             [--sweep-out BENCH_autotune_sweep.json]
                             [--serve-out BENCH_serve_throughput.json]
+                            [--serve-snapshots BENCH_serve_snapshots.jsonl]
                             [--batch-out BENCH_batch_sim.json]
                             [--steps N] [--timeout SECONDS]
 
 Exit status: 0 on success (reports written), 1 when a benchmark binary
-is missing or fails, 2 on bad arguments.
+is missing, fails, or emits an invalid report, 2 on bad arguments.
 """
 
 import argparse
@@ -27,32 +35,92 @@ import os
 import subprocess
 import sys
 
+SCHEMA_VERSION = 1
 
-def run_env_step(build_dir, out_path, steps, timeout):
-    exe = os.path.join(build_dir, "bench", "bench_env_step")
+
+def resolve_git_sha():
+    """Benchmark binaries stamp meta.git_sha from CUASMRL_GIT_SHA (or
+    GITHUB_SHA); fill it in from the working tree when absent."""
+    if os.environ.get("CUASMRL_GIT_SHA") or os.environ.get("GITHUB_SHA"):
+        return
+    try:
+        sha = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True,
+                             timeout=10).stdout.strip()
+    except (subprocess.SubprocessError, OSError):
+        sha = ""
+    if sha:
+        os.environ["CUASMRL_GIT_SHA"] = sha
+
+
+def validate_report(report, path):
+    """Structural check of one BenchReport document. Returns an error
+    string, or None when the report is valid."""
+    if not isinstance(report, dict):
+        return f"{path}: report is not a JSON object"
+    if report.get("schema_version") != SCHEMA_VERSION:
+        return (f"{path}: schema_version {report.get('schema_version')!r} "
+                f"(expected {SCHEMA_VERSION})")
+    if not isinstance(report.get("bench"), str) or not report["bench"]:
+        return f"{path}: missing bench name"
+    meta = report.get("meta")
+    if not isinstance(meta, dict) or "git_sha" not in meta:
+        return f"{path}: missing meta.git_sha"
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        return f"{path}: missing or empty metrics object"
+    for name, entry in metrics.items():
+        if not isinstance(entry, dict) or \
+                not isinstance(entry.get("value"), (int, float)):
+            return f"{path}: metric {name!r} has no numeric value"
+    return None
+
+
+def load_report(path):
+    """Parses and validates the BenchReport a binary just wrote."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read report {path}: {e}", file=sys.stderr)
+        return None
+    err = validate_report(report, path)
+    if err:
+        print(f"error: invalid BenchReport: {err}", file=sys.stderr)
+        return None
+    return report
+
+
+def run_bench(name, build_dir, out_path, timeout, extra_args=(),
+              optional=False):
+    """Runs one report-emitting bench binary and returns its validated
+    report; "absent" when an optional binary is not built; None on
+    failure."""
+    exe = os.path.join(build_dir, "bench", name)
     if not os.path.exists(exe):
-        print(f"error: {exe} not found (build the 'bench_env_step' target)",
+        if optional:
+            print(f"warning: {exe} not found (build the '{name}' target to "
+                  "track its throughput); skipping", file=sys.stderr)
+            return "absent"
+        print(f"error: {exe} not found (build the '{name}' target)",
               file=sys.stderr)
         return None
-    cmd = [exe, "--json", out_path]
-    if steps:
-        cmd += ["--steps", str(steps)]
+    cmd = [exe, "--json", out_path, *extra_args]
     print("+ " + " ".join(cmd))
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True,
                               timeout=timeout)
     except subprocess.TimeoutExpired:
-        print(f"error: bench_env_step exceeded the {timeout}s guard",
+        print(f"error: {name} exceeded the {timeout}s guard",
               file=sys.stderr)
         return None
     sys.stdout.write(proc.stdout)
     sys.stderr.write(proc.stderr)
     if proc.returncode != 0:
-        print(f"error: bench_env_step exited with {proc.returncode}",
+        print(f"error: {name} exited with {proc.returncode}",
               file=sys.stderr)
         return None
-    with open(out_path) as f:
-        return json.load(f)
+    return load_report(out_path)
 
 
 def run_simulator_perf(build_dir, timeout):
@@ -86,34 +154,8 @@ def run_simulator_perf(build_dir, timeout):
     }
 
 
-def run_json_bench(name, build_dir, out_path, timeout):
-    """Runs a serial-vs-parallel comparison bench that emits its own
-    JSON report and self-checks bit-identity (the binary fails on a
-    mismatch). Returns the parsed report, "absent" when the binary is
-    not built (skipped, not an error — mirrors bench_simulator_perf),
-    or None on failure."""
-    exe = os.path.join(build_dir, "bench", name)
-    if not os.path.exists(exe):
-        print(f"warning: {exe} not found (build the '{name}' target to "
-              "track its throughput); skipping", file=sys.stderr)
-        return "absent"
-    cmd = [exe, "--json", out_path]
-    print("+ " + " ".join(cmd))
-    try:
-        proc = subprocess.run(cmd, capture_output=True, text=True,
-                              timeout=timeout)
-    except subprocess.TimeoutExpired:
-        print(f"error: {name} exceeded the {timeout}s guard",
-              file=sys.stderr)
-        return None
-    sys.stdout.write(proc.stdout)
-    sys.stderr.write(proc.stderr)
-    if proc.returncode != 0:
-        print(f"error: {name} exited with {proc.returncode}",
-              file=sys.stderr)
-        return None
-    with open(out_path) as f:
-        return json.load(f)
+def metric(report, name):
+    return report["metrics"][name]["value"]
 
 
 def main():
@@ -122,6 +164,10 @@ def main():
     parser.add_argument("--out", default="BENCH_step_throughput.json")
     parser.add_argument("--sweep-out", default="BENCH_autotune_sweep.json")
     parser.add_argument("--serve-out", default="BENCH_serve_throughput.json")
+    parser.add_argument("--serve-snapshots",
+                        default="BENCH_serve_snapshots.jsonl",
+                        help="live ServiceStats JSONL from the parallel "
+                        "phase ('' disables)")
     parser.add_argument("--batch-out", default="BENCH_batch_sim.json")
     parser.add_argument("--steps", type=int, default=0,
                         help="step budget per kernel (0 = bench default)")
@@ -129,53 +175,67 @@ def main():
                         help="per-binary wall-clock guard in seconds")
     args = parser.parse_args()
 
-    report = run_env_step(args.build_dir, args.out, args.steps, args.timeout)
-    if report is None:
+    resolve_git_sha()
+
+    step_args = ["--steps", str(args.steps)] if args.steps else []
+    report = run_bench("bench_env_step", args.build_dir, args.out,
+                       args.timeout, step_args)
+    if report in (None, "absent"):
         return 1
 
+    # Phase microbenchmarks ride along inside the env-step report's
+    # free-form extra object (consumers must tolerate extra content).
     phases = run_simulator_perf(args.build_dir, args.timeout)
     if phases is not None:
-        report["simulator_phase_benchmarks"] = phases
-
-    with open(args.out, "w") as f:
-        json.dump(report, f, indent=2)
-        f.write("\n")
+        report.setdefault("extra", {})["simulator_phase_benchmarks"] = phases
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
 
     # Step-throughput summary first: it is already on disk and must not
     # be suppressed by a sweep-bench problem.
-    for kernel in report.get("kernels", []):
-        print(f"{kernel['name']}: {kernel['steps_per_sec']:.1f} steps/s")
+    for name, entry in report["metrics"].items():
+        if name.endswith(".steps_per_sec"):
+            kernel = name[:-len(".steps_per_sec")]
+            print(f"{kernel}: {entry['value']:.1f} steps/s")
     print(f"wrote {args.out}")
 
-    sweep = run_json_bench("bench_autotune_sweep", args.build_dir,
-                           args.sweep_out, args.timeout)
+    sweep = run_bench("bench_autotune_sweep", args.build_dir,
+                      args.sweep_out, args.timeout, optional=True)
     if sweep is None:
         return 1
     if sweep != "absent":
-        print(f"autotune sweep: {sweep['speedup']:.2f}x at "
-              f"{sweep['workers']} workers "
-              f"(identical={sweep['identical_results']})")
+        print(f"autotune sweep: {metric(sweep, 'speedup'):.2f}x "
+              f"(identical={sweep['extra']['identical_results']})")
         print(f"wrote {args.sweep_out}")
 
-    serve = run_json_bench("bench_serve_throughput", args.build_dir,
-                           args.serve_out, args.timeout)
+    serve_args = []
+    if args.serve_snapshots:
+        serve_args = ["--snapshot-log", args.serve_snapshots]
+    serve = run_bench("bench_serve_throughput", args.build_dir,
+                      args.serve_out, args.timeout, serve_args,
+                      optional=True)
     if serve is None:
         return 1
     if serve != "absent":
-        print(f"serve throughput: {serve['speedup']:.2f}x at "
-              f"{serve['workers']} workers on {serve['requests']} requests "
-              f"(identical={serve['identical_results']})")
+        print(f"serve throughput: {metric(serve, 'speedup'):.2f}x on "
+              f"{serve['extra']['requests']} requests "
+              f"(identical={serve['extra']['identical_results']})")
         print(f"wrote {args.serve_out}")
+        if args.serve_snapshots and os.path.exists(args.serve_snapshots):
+            with open(args.serve_snapshots) as f:
+                lines = sum(1 for _ in f)
+            print(f"wrote {args.serve_snapshots} ({lines} snapshots)")
 
-    batch = run_json_bench("bench_batch_sim", args.build_dir,
-                           args.batch_out, args.timeout)
+    batch = run_bench("bench_batch_sim", args.build_dir, args.batch_out,
+                      args.timeout, optional=True)
     if batch is None:
         return 1
     if batch != "absent":
-        print(f"batch sim: run {batch['run_batch_ratio']:.3f}x / "
-              f"measure {batch['measure_batch_ratio']:.3f}x over "
-              f"{batch['lanes']} lanes "
-              f"(identical={batch['identical_results']})")
+        print(f"batch sim: run {metric(batch, 'run_batch_ratio'):.3f}x / "
+              f"measure {metric(batch, 'measure_batch_ratio'):.3f}x over "
+              f"{batch['extra']['lanes']} lanes "
+              f"(identical={batch['extra']['identical_results']})")
         print(f"wrote {args.batch_out}")
     return 0
 
