@@ -20,6 +20,15 @@
 /// host exposes >= 4 hardware threads and the run is not in
 /// CUASMRL_FAST smoke mode.
 ///
+/// A third run replays a *faulty* mixed stream over a fake clock and a
+/// seeded fault injector — a store failure retried to success, a
+/// transient job error, a thrown job, a slow job pushed past its
+/// deadline, and a near-miss shape served degraded — and emits the
+/// timeout / degraded / error / retry counters as faulty_count_*
+/// metrics. Those counts are schedule-determined, so the perf gate
+/// (tools/bench_compare.py) holds them to an exact match rather than a
+/// ratio threshold.
+///
 /// Emits a machine-readable JSON report (see tools/run_benchmarks.py):
 ///
 ///   bench_serve_throughput [--json PATH] [--workers N]
@@ -29,6 +38,8 @@
 #include "BenchCommon.h"
 #include "serve/OptimizationService.h"
 #include "stats/SnapshotLogger.h"
+#include "support/Clock.h"
+#include "support/FaultInjector.h"
 
 #include <chrono>
 #include <cstdio>
@@ -170,6 +181,87 @@ Outcome runStream(const gpusim::Gpu &Device, unsigned Workers,
   return Out;
 }
 
+/// The hardened-path scenario: a known fault schedule over a fake
+/// clock (injected slowness and backoff sleeps cost no wall time), so
+/// every counter below is determined by the schedule, not the host.
+struct FaultyOutcome {
+  double Millis = 0.0;
+  uint64_t Timeouts = 0, Degraded = 0, Errors = 0;
+  uint64_t JobRetries = 0, StoreRetries = 0;
+  bool AsExpected = false;
+};
+
+FaultyOutcome runFaultyStream(const gpusim::Gpu &Device, unsigned Workers,
+                              const std::string &DeployDir) {
+  std::filesystem::remove_all(DeployDir);
+  support::FakeClock Clock;
+  support::FaultInjector Faults(kSeed);
+
+  ServiceConfig SC;
+  SC.Seed = kSeed;
+  SC.DeployDir = DeployDir;
+  SC.Defaults = jobConfig();
+  SC.Workers = Workers;
+  SC.ClockSrc = &Clock;
+  SC.Faults = &Faults;
+  SC.Retry.BaseDelay = std::chrono::milliseconds(1);
+  OptimizationService Service(Device, SC);
+  auto Key = [&](const OptimizeRequest &R) {
+    return OptimizationService::requestKey(R, SC.Defaults);
+  };
+
+  // Deploy the shape the near-miss request will degrade onto.
+  OptimizeRequest Seed = request(WorkloadKind::Softmax, 1);
+  Service.submit(Seed);
+  Service.drain();
+
+  OptimizeRequest NearR = request(WorkloadKind::Softmax, 2);
+  OptimizeRequest StoreR = request(WorkloadKind::RmsNorm, 1);
+  StoreR.AllowDegraded = false;
+  OptimizeRequest TransR = request(WorkloadKind::RmsNorm, 2);
+  TransR.AllowDegraded = false;
+  OptimizeRequest ThrowR = request(WorkloadKind::MmLeakyRelu);
+  ThrowR.AllowDegraded = false;
+  OptimizeRequest SlowR = request(WorkloadKind::FusedFF);
+  SlowR.AllowDegraded = false;
+  SlowR.Timeout = std::chrono::milliseconds(50);
+
+  Faults.plan("cache-store-fail:" + Key(StoreR), {1, 1});
+  Faults.plan("job-transient:" + Key(TransR), {1, 0});
+  Faults.plan("job-throw:" + Key(ThrowR), {1});
+  Faults.planDelay("job-slow:" + Key(SlowR), {100});
+
+  auto Start = std::chrono::steady_clock::now();
+  Ticket TN = Service.submit(NearR);
+  Ticket TS = Service.submit(StoreR);
+  Ticket TR = Service.submit(TransR);
+  Ticket TT = Service.submit(ThrowR);
+  Ticket TL = Service.submit(SlowR);
+  Service.drain();
+  auto End = std::chrono::steady_clock::now();
+
+  FaultyOutcome Out;
+  Out.Millis = std::chrono::duration<double, std::milli>(End - Start).count();
+  ServiceStats S = Service.stats();
+  Out.Timeouts = S.DeadlineExceeded;
+  Out.Degraded = S.DegradedHits;
+  Out.Errors = S.Failed;
+  Out.JobRetries = S.JobRetries;
+  Out.StoreRetries = S.StoreRetries;
+  Out.AsExpected =
+      TN.Response.get()->St == OptimizeResponse::Status::Degraded &&
+      TS.Response.get()->St == OptimizeResponse::Status::Optimized &&
+      TS.Response.get()->Persisted &&
+      TR.Response.get()->St == OptimizeResponse::Status::Optimized &&
+      TT.Response.get()->St == OptimizeResponse::Status::Failed &&
+      TL.Response.get()->St == OptimizeResponse::Status::DeadlineExceeded &&
+      Out.Timeouts == 1 && Out.Degraded == 1 && Out.Errors == 1 &&
+      Out.JobRetries == 1 && Out.StoreRetries == 2;
+  Service.shutdown();
+  std::filesystem::remove_all(DeployDir);
+  return Out;
+}
+
 bool identicalOutcomes(const Outcome &A, const Outcome &B) {
   if (A.Responses.size() != B.Responses.size())
     return false;
@@ -191,7 +283,8 @@ bool identicalOutcomes(const Outcome &A, const Outcome &B) {
 }
 
 stats::BenchReport buildReport(const Outcome &Serial, const Outcome &Parallel,
-                               unsigned Workers, bool Identical) {
+                               const FaultyOutcome &Faulty, unsigned Workers,
+                               bool Identical) {
   stats::BenchReport Rep("serve_throughput", bench::reportMeta());
   Rep.addMetric("serial_ms", Serial.Millis, "ms", /*HigherIsBetter=*/false);
   Rep.addMetric("parallel_ms", Parallel.Millis, "ms",
@@ -204,11 +297,24 @@ stats::BenchReport buildReport(const Outcome &Serial, const Outcome &Parallel,
                 "requests/s");
   Rep.setServiceStats(Parallel.Stats);
 
+  // The faulty-stream run: wall time gates as a ratio like any other
+  // latency; the counters are schedule-exact, matching the
+  // faulty_count_* built-in in tools/bench_compare.py.
+  Rep.addMetric("faulty_ms", Faulty.Millis, "ms", /*HigherIsBetter=*/false);
+  Rep.addMetric("faulty_count_timeouts", double(Faulty.Timeouts), "count");
+  Rep.addMetric("faulty_count_degraded", double(Faulty.Degraded), "count");
+  Rep.addMetric("faulty_count_errors", double(Faulty.Errors), "count");
+  Rep.addMetric("faulty_count_job_retries", double(Faulty.JobRetries),
+                "count");
+  Rep.addMetric("faulty_count_store_retries", double(Faulty.StoreRetries),
+                "count");
+
   stats::JsonValue Extra = stats::JsonValue::object();
   Extra.set("workers", stats::JsonValue(Workers));
   Extra.set("requests", stats::JsonValue(static_cast<uint64_t>(
                             Serial.Responses.size())));
   Extra.set("identical_results", stats::JsonValue(Identical));
+  Extra.set("faulty_as_expected", stats::JsonValue(Faulty.AsExpected));
   Rep.setExtra(std::move(Extra));
   return Rep;
 }
@@ -253,6 +359,7 @@ int main(int argc, char **argv) {
       runStream(Device, Workers, DirBase + "_parallel", SnapshotPath);
   bool Identical = identicalOutcomes(Serial, Parallel);
   double Speedup = Serial.Millis / std::max(0.001, Parallel.Millis);
+  FaultyOutcome Faulty = runFaultyStream(Device, Workers, DirBase + "_faulty");
 
   std::printf("%-28s %10s %16s\n", "service", "wall ms", "requests/s");
   std::printf("%-28s %10.1f %16.1f\n", "serial (1 worker)", Serial.Millis,
@@ -266,8 +373,18 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Parallel.Stats.OptimizeRuns));
   std::printf("request speedup: %.2fx\n", Speedup);
   std::printf("bit-identical responses: %s\n", Identical ? "yes" : "NO (BUG)");
+  std::printf("\nfaulty stream (%.1f ms): %llu timeout, %llu degraded, "
+              "%llu error, %llu job retries, %llu store retries — %s\n",
+              Faulty.Millis,
+              static_cast<unsigned long long>(Faulty.Timeouts),
+              static_cast<unsigned long long>(Faulty.Degraded),
+              static_cast<unsigned long long>(Faulty.Errors),
+              static_cast<unsigned long long>(Faulty.JobRetries),
+              static_cast<unsigned long long>(Faulty.StoreRetries),
+              Faulty.AsExpected ? "matches the schedule"
+                                : "DOES NOT MATCH (BUG)");
 
-  stats::BenchReport Report = buildReport(Serial, Parallel, Workers,
+  stats::BenchReport Report = buildReport(Serial, Parallel, Faulty, Workers,
                                           Identical);
   if (!bench::emitReport(Report, JsonPath))
     return 1;
@@ -276,7 +393,8 @@ int main(int argc, char **argv) {
   // where the hardware can physically provide it.
   bool EnforceSpeedup =
       std::thread::hardware_concurrency() >= 4 && !bench::fastMode();
-  bool Pass = Identical && (!EnforceSpeedup || Speedup >= 2.0);
+  bool Pass = Identical && Faulty.AsExpected &&
+              (!EnforceSpeedup || Speedup >= 2.0);
   std::printf("\n%s: %.2fx %s 2x target at %u workers%s\n",
               Pass ? "PASS" : "FAIL", Speedup,
               Speedup >= 2.0 ? ">=" : "<", Workers,

@@ -87,6 +87,8 @@ const char *admissionName(Admission How) {
     return "attached";
   case Admission::Enqueued:
     return "enqueued";
+  case Admission::NearMiss:
+    return "near-miss";
   case Admission::Rejected:
     return "rejected";
   }
@@ -173,8 +175,14 @@ int main(int argc, char **argv) {
       case OptimizeResponse::Status::LookupHit:
         Status = "deployed cubin";
         break;
+      case OptimizeResponse::Status::Degraded:
+        Status = "degraded (served " + R->DegradedFrom + ")";
+        break;
       case OptimizeResponse::Status::Cancelled:
         Status = "cancelled";
+        break;
+      case OptimizeResponse::Status::DeadlineExceeded:
+        Status = "deadline-exceeded";
         break;
       case OptimizeResponse::Status::Failed:
         Status = "FAILED: " + R->Error;

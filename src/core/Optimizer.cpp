@@ -28,10 +28,14 @@ triton::AutotuneOptions Optimizer::autotuneOptions() const {
 OptimizeResult Optimizer::optimize(gpusim::Gpu &Device,
                                    kernels::WorkloadKind Kind,
                                    const kernels::WorkloadShape &Shape,
-                                   Rng &DataRng) const {
+                                   Rng &DataRng,
+                                   const support::CancelToken *Cancel)
+    const {
   // Level 1: kernel-configuration search (§3.1). The configurations can
   // be worth up to 2x and completely change the SASS the agent sees.
-  triton::Autotuner Tuner(autotuneOptions());
+  triton::AutotuneOptions TunerOpts = autotuneOptions();
+  TunerOpts.Cancel = Cancel;
+  triton::Autotuner Tuner(TunerOpts);
   triton::AutotuneResult Tuned = Tuner.tune(Device, Kind, Shape);
   if (!Tuned.Valid) {
     // No candidate fit the shape (or every measurement faulted): there
@@ -42,12 +46,17 @@ OptimizeResult Optimizer::optimize(gpusim::Gpu &Device,
     return Failed;
   }
 
+  // Between-stage checkpoint: don't start compiling a cubin nobody
+  // will wait for.
+  if (Cancel)
+    Cancel->checkpoint();
+
   // Compile at the winning configuration and intercept the cubin.
   triton::CompiledKernel Compiled =
       triton::compileKernel(Device, Kind, Shape, Tuned.Best, DataRng);
 
   OptimizeResult Result = optimizeSchedule(Device, Compiled.Runtime,
-                                           DataRng);
+                                           DataRng, Cancel);
   Result.BestConfig = Tuned.Best;
 
   // Substitute the optimized kernel section back into the binary.
@@ -60,7 +69,8 @@ OptimizeResult Optimizer::optimize(gpusim::Gpu &Device,
 OptimizeResult
 Optimizer::optimizeSchedule(gpusim::Gpu &Device,
                             const kernels::BuiltKernel &Kernel,
-                            Rng &DataRng) const {
+                            Rng &DataRng,
+                            const support::CancelToken *Cancel) const {
   OptimizeResult Result;
 
   // Level 2: the assembly game (§3.3). One game per vectorized env.
@@ -100,8 +110,10 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
   rl::RolloutConfig RC;
   RC.Workers = Workers;
   RC.Seed = Config.Ppo.Seed;
+  RC.Cancel = Cancel;
   rl::RolloutRunner Runner(std::move(Envs), RC);
   rl::PpoTrainer Trainer(Runner, Config.Ppo);
+  Trainer.setCancel(Cancel);
   Result.Training = Trainer.train();
   Result.EpisodeReturns = Trainer.episodicReturns();
 
@@ -135,6 +147,10 @@ Optimizer::optimizeSchedule(gpusim::Gpu &Device,
   }
   if (SharedCache)
     SharedCache->accumulate(Result.RolloutCounters);
+
+  // Between-stage checkpoint before the verification rounds.
+  if (Cancel)
+    Cancel->checkpoint();
 
   // Probabilistic testing of the winning schedule (§4.1).
   Result.Verified =

@@ -111,16 +111,25 @@ class Optimizer {
 public:
   explicit Optimizer(OptimizeConfig Config = OptimizeConfig());
 
-  /// Runs the full hierarchical optimization for one workload.
+  /// Runs the full hierarchical optimization for one workload. When
+  /// \p Cancel is non-null, the run polls it at cooperative
+  /// checkpoints — per autotune candidate, per rollout slot, per PPO
+  /// epoch, between stages — and a tripped token unwinds with
+  /// support::CancelledError (partial results are discarded; the
+  /// autotuner's single-flight keys are reclaimed, never poisoned).
   OptimizeResult optimize(gpusim::Gpu &Device, kernels::WorkloadKind Kind,
                           const kernels::WorkloadShape &Shape,
-                          Rng &DataRng) const;
+                          Rng &DataRng,
+                          const support::CancelToken *Cancel = nullptr)
+      const;
 
   /// Plays the assembly game on an already-built kernel (the inner
   /// level only; used when the configuration is fixed).
   OptimizeResult optimizeSchedule(gpusim::Gpu &Device,
                                   const kernels::BuiltKernel &Kernel,
-                                  Rng &DataRng) const;
+                                  Rng &DataRng,
+                                  const support::CancelToken *Cancel =
+                                      nullptr) const;
 
   /// Level-1-only batch API: tunes every request in one parallel,
   /// deterministic sweep (Config.AutotuneWorkers / AutotuneSeed) and,

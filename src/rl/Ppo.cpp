@@ -116,6 +116,10 @@ UpdateStats PpoTrainer::updateFromBatch(const TrajectoryBatch &Batch) {
   size_t BatchSize = Index.size();
   size_t MbSize = std::max<size_t>(1, BatchSize / Config.MiniBatches);
   for (unsigned Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    // Per-epoch cancellation checkpoint (the serving layer's deadline
+    // granularity inside an optimization phase).
+    if (Cancel)
+      Cancel->checkpoint();
     SampleRng.shuffle(Index);
     for (size_t Start = 0; Start < BatchSize; Start += MbSize) {
       size_t End = std::min(BatchSize, Start + MbSize);
@@ -228,8 +232,11 @@ UpdateStats PpoTrainer::updateFromBatch(const TrajectoryBatch &Batch) {
 
 std::vector<UpdateStats> PpoTrainer::train() {
   std::vector<UpdateStats> Series;
-  while (StepsDone < Config.TotalSteps)
+  while (StepsDone < Config.TotalSteps) {
+    if (Cancel)
+      Cancel->checkpoint();
     Series.push_back(update());
+  }
   return Series;
 }
 
@@ -237,6 +244,8 @@ std::vector<unsigned> PpoTrainer::playGreedy(Env &E, unsigned MaxSteps) {
   std::vector<unsigned> Actions;
   std::vector<float> Obs = E.reset();
   for (unsigned Step = 0; Step < MaxSteps; ++Step) {
+    if (Cancel)
+      Cancel->checkpoint();
     std::vector<uint8_t> Mask = E.actionMask();
     if (std::none_of(Mask.begin(), Mask.end(),
                      [](uint8_t M) { return M != 0; }))

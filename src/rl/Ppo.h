@@ -111,6 +111,15 @@ public:
   /// Runs update() until TotalSteps; returns the per-update series.
   std::vector<UpdateStats> train();
 
+  /// Arms cooperative cancellation (not owned; null disarms): the
+  /// trainer checkpoints before every update and once per optimization
+  /// epoch, and playGreedy() checkpoints per step. A tripped token
+  /// unwinds with support::CancelledError. Rollout-internal
+  /// checkpoints come from RolloutConfig::Cancel — set it on the
+  /// runner too (core::Optimizer does) for per-slot granularity
+  /// inside a collect. Call before train() from the driving thread.
+  void setCancel(const support::CancelToken *Token) { Cancel = Token; }
+
   ActorCritic &net() { return Net; }
   const ActorCritic &net() const { return Net; }
   RolloutRunner &runner() { return *Runner; }
@@ -137,6 +146,7 @@ private:
 
   std::vector<double> EpisodeReturns;
   unsigned StepsDone = 0;
+  const support::CancelToken *Cancel = nullptr; ///< Not owned.
 };
 
 } // namespace rl

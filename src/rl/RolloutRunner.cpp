@@ -95,6 +95,10 @@ void RolloutRunner::postStep(size_t Slot, EnvStep Res, Transition &T,
 
 void RolloutRunner::collectSlot(const ActorCritic &Net, unsigned Steps,
                                 size_t Slot, Trajectory &Out) {
+  // Per-slot cancellation checkpoint (the serving layer's deadline
+  // granularity inside a rollout).
+  if (Config.Cancel)
+    Config.Cancel->checkpoint();
   Env &E = *Envs[Slot];
   Out.Steps.resize(Steps);
 
@@ -122,6 +126,10 @@ void RolloutRunner::collectLockstep(const ActorCritic &Net, unsigned Steps,
     Pending[Slot] = Envs[Slot]->lockstep();
 
   for (unsigned Step = 0; Step < Steps; ++Step) {
+    // Per-round checkpoint: at least as fine as the slot-major path's
+    // per-slot check.
+    if (Config.Cancel)
+      Config.Cancel->checkpoint();
     // Phase 1 (slot order): action selection + the cheap half of the
     // transition. Per-slot op order matches collectSlot exactly.
     for (size_t Slot = 0; Slot < N; ++Slot) {

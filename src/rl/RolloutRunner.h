@@ -34,6 +34,7 @@
 
 #include "rl/ActorCritic.h"
 #include "rl/Env.h"
+#include "support/Cancellation.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 
@@ -92,6 +93,12 @@ struct RolloutConfig {
   /// Master seed; slot i samples actions from a stream derived from
   /// (Seed, i), independent of every other slot.
   uint64_t Seed = 1;
+  /// Cooperative cancellation (not owned; may be null). Checked once
+  /// per rollout slot (and per lockstep round); a tripped token
+  /// unwinds collect() with CancelledError — parallelFor rethrows it
+  /// on the driver thread, and sibling slots each trip their own
+  /// checkpoint, so the pool drains promptly.
+  const support::CancelToken *Cancel = nullptr;
 };
 
 /// Parallel trajectory collector over a fixed env pool.

@@ -1,0 +1,152 @@
+//===- serve/DeployIndex.cpp ----------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/DeployIndex.h"
+
+#include "support/StringUtils.h"
+#include "triton/DeployCache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+using namespace cuasmrl;
+using namespace cuasmrl::serve;
+
+namespace {
+
+/// Walks every WorkloadShape field in one fixed order so the encoder,
+/// parser, and distance all agree on the field list.
+template <typename Shape, typename Fn>
+void visitShapeFields(Shape &S, Fn &&F) {
+  F(S.B);
+  F(S.M);
+  F(S.N);
+  F(S.K);
+  F(S.NHead);
+  F(S.SeqLen);
+  F(S.DHead);
+  F(S.Rows);
+  F(S.Cols);
+}
+
+} // namespace
+
+std::string serve::encodeDeployMeta(const DeployedEntry &Entry) {
+  std::string Out = "cuasmrl-deploy-meta v1\n";
+  Out += "gpu=" + Entry.GpuType + "\n";
+  Out += "kind=" + kernels::workloadName(Entry.Kind) + "\n";
+  Out += "shape=";
+  bool First = true;
+  visitShapeFields(Entry.Shape, [&](const unsigned &V) {
+    if (!First)
+      Out += ',';
+    Out += std::to_string(V);
+    First = false;
+  });
+  Out += "\n";
+  return Out;
+}
+
+std::optional<DeployedEntry>
+serve::parseDeployMeta(const std::string &Text, std::string Key) {
+  DeployedEntry Entry;
+  Entry.Key = std::move(Key);
+  bool SawVersion = false, SawKind = false, SawShape = false;
+  for (const std::string &Line : split(Text, '\n')) {
+    if (Line == "cuasmrl-deploy-meta v1") {
+      SawVersion = true;
+    } else if (startsWith(Line, "gpu=")) {
+      Entry.GpuType = Line.substr(4);
+    } else if (startsWith(Line, "kind=")) {
+      std::string Name = Line.substr(5);
+      for (kernels::WorkloadKind K : kernels::allWorkloads()) {
+        if (kernels::workloadName(K) == Name) {
+          Entry.Kind = K;
+          SawKind = true;
+          break;
+        }
+      }
+    } else if (startsWith(Line, "shape=")) {
+      std::vector<std::string> Parts = split(Line.substr(6), ',');
+      size_t I = 0;
+      bool Ok = true;
+      visitShapeFields(Entry.Shape, [&](unsigned &V) {
+        if (I >= Parts.size()) {
+          Ok = false;
+          return;
+        }
+        V = static_cast<unsigned>(std::strtoul(Parts[I++].c_str(),
+                                               nullptr, 10));
+      });
+      SawShape = Ok && I == Parts.size();
+    }
+    // Unknown lines are tolerated (additions never need a v2).
+  }
+  if (!SawVersion || !SawKind || !SawShape)
+    return std::nullopt;
+  return Entry;
+}
+
+double DeployIndex::shapeDistance(const kernels::WorkloadShape &A,
+                                  const kernels::WorkloadShape &B) {
+  double Sum = 0.0;
+  const kernels::WorkloadShape &CA = A;
+  const kernels::WorkloadShape &CB = B;
+  // Paired walk: collect A's fields, then consume them against B's.
+  std::vector<unsigned> FieldsA;
+  visitShapeFields(CA, [&](const unsigned &V) { FieldsA.push_back(V); });
+  size_t I = 0;
+  visitShapeFields(CB, [&](const unsigned &V) {
+    double LogRatio = std::log(static_cast<double>(std::max(1u, V))) -
+                      std::log(static_cast<double>(
+                          std::max(1u, FieldsA[I++])));
+    Sum += LogRatio * LogRatio;
+  });
+  return Sum;
+}
+
+void DeployIndex::add(DeployedEntry Entry) {
+  for (DeployedEntry &E : Entries) {
+    if (E.Key == Entry.Key) {
+      E = std::move(Entry);
+      return;
+    }
+  }
+  Entries.push_back(std::move(Entry));
+}
+
+void DeployIndex::loadFrom(const triton::DeployCache &Cache) {
+  for (const std::string &Key : Cache.keys()) {
+    std::optional<std::string> Meta = Cache.loadMeta(Key);
+    if (!Meta)
+      continue; // No sidecar: never a near-miss source.
+    if (std::optional<DeployedEntry> Entry = parseDeployMeta(*Meta, Key))
+      add(std::move(*Entry));
+  }
+}
+
+const DeployedEntry *
+DeployIndex::nearest(const std::string &GpuType,
+                     kernels::WorkloadKind Kind,
+                     const kernels::WorkloadShape &Shape,
+                     const std::string &ExcludeKey) const {
+  const DeployedEntry *Best = nullptr;
+  double BestDist = 0.0;
+  for (const DeployedEntry &E : Entries) {
+    if (E.GpuType != GpuType || E.Kind != Kind || E.Key == ExcludeKey)
+      continue;
+    double Dist = shapeDistance(Shape, E.Shape);
+    // Deterministic: distance first, lexicographic key as tie-break,
+    // so the served near-miss never depends on insertion order.
+    if (!Best || Dist < BestDist ||
+        (Dist == BestDist && E.Key < Best->Key)) {
+      Best = &E;
+      BestDist = Dist;
+    }
+  }
+  return Best;
+}

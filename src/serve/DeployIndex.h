@@ -1,0 +1,93 @@
+//===- serve/DeployIndex.h - Near-miss lookup over deployed shapes --------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graceful-degradation index: an in-memory map of what the
+/// DeployCache holds, keyed (GpuType, workload kind) with the request
+/// shape attached, so a cache miss can be served immediately from the
+/// nearest deployed shape of the same kind (Status::Degraded) while
+/// the exact-shape job trains in the background — the ROADMAP's
+/// shape-interpolating lookup.
+///
+/// Shape metadata travels as a `.meta` sidecar next to each cubin
+/// (DeployCache::storeMeta), so a fresh service instance rebuilds the
+/// index from the directory alone; entries without a sidecar (e.g.
+/// produced by Optimizer::autotuneAll) simply never serve as near-miss
+/// sources.
+///
+/// Distance is the sum of squared log-ratios over every shape field —
+/// scale-relative, so (Rows 64 -> 96) is nearer than (Rows 64 -> 1024)
+/// regardless of absolute magnitude — with a deterministic key
+/// tie-break so nearest() never depends on insertion order.
+///
+/// Thread-safety: none; the owner locks (the service guards its index
+/// with its own mutex).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SERVE_DEPLOYINDEX_H
+#define CUASMRL_SERVE_DEPLOYINDEX_H
+
+#include "kernels/Workload.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace triton {
+class DeployCache;
+} // namespace triton
+namespace serve {
+
+/// One deployed cubin the index can serve as a near-miss source.
+struct DeployedEntry {
+  std::string GpuType;
+  kernels::WorkloadKind Kind = kernels::WorkloadKind::Softmax;
+  kernels::WorkloadShape Shape;
+  std::string Key;
+};
+
+/// Sidecar text for one entry (versioned line format).
+std::string encodeDeployMeta(const DeployedEntry &Entry);
+
+/// Parses sidecar text produced by encodeDeployMeta; \p Key is the
+/// cache key the sidecar sits next to. nullopt on malformed input.
+std::optional<DeployedEntry> parseDeployMeta(const std::string &Text,
+                                             std::string Key);
+
+/// The (GpuType, kind) -> deployed shapes index.
+class DeployIndex {
+public:
+  /// Inserts \p Entry, replacing any entry with the same Key.
+  void add(DeployedEntry Entry);
+
+  /// Rebuilds from \p Cache: every key with a parseable meta sidecar.
+  void loadFrom(const triton::DeployCache &Cache);
+
+  /// The nearest deployed shape with matching (GpuType, Kind),
+  /// excluding \p ExcludeKey (the exact key that just missed — it may
+  /// appear in the index while its file write races). Null when no
+  /// candidate exists.
+  const DeployedEntry *nearest(const std::string &GpuType,
+                               kernels::WorkloadKind Kind,
+                               const kernels::WorkloadShape &Shape,
+                               const std::string &ExcludeKey) const;
+
+  size_t size() const { return Entries.size(); }
+
+  /// Log-space distance between two shapes (see the file comment).
+  static double shapeDistance(const kernels::WorkloadShape &A,
+                              const kernels::WorkloadShape &B);
+
+private:
+  std::vector<DeployedEntry> Entries;
+};
+
+} // namespace serve
+} // namespace cuasmrl
+
+#endif // CUASMRL_SERVE_DEPLOYINDEX_H

@@ -34,10 +34,8 @@ void invokeGuarded(const std::function<void(const OptimizeResponse &)> &Cb,
   }
 }
 
-double elapsedMs(std::chrono::steady_clock::time_point Since) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - Since)
-      .count();
+double elapsedMs(const support::Clock &C, support::Clock::TimePoint Since) {
+  return std::chrono::duration<double, std::milli>(C.now() - Since).count();
 }
 
 /// Exact textual rendering of a double (hexfloat): two configs digest
@@ -136,9 +134,16 @@ OptimizationService::OptimizationService(const gpusim::Gpu &Proto,
                                          ServiceConfig C)
     : Config(std::move(C)), Prototype(Proto),
       Workers(support::ThreadPool::resolveWorkerCount(Config.Workers)),
-      Queue(Config.MaxQueued) {
-  if (!Config.DeployDir.empty())
+      Clk(Config.ClockSrc ? Config.ClockSrc : &support::Clock::real()),
+      Queue(JobQueue::Options{Config.MaxQueued, Clk, Config.AgingInterval,
+                              Config.AgingStep}) {
+  if (!Config.DeployDir.empty()) {
     Deploy = std::make_unique<triton::DeployCache>(Config.DeployDir);
+    Deploy->setFaultInjector(Config.Faults);
+    // Seed the near-miss index from whatever the directory already
+    // deploys (meta sidecars); no lock needed before construction ends.
+    Index.loadFrom(*Deploy);
+  }
   Pool = std::make_unique<support::ThreadPool>(Workers);
   if (!Config.StartPaused)
     start();
@@ -159,8 +164,20 @@ void OptimizationService::start() {
 }
 
 void OptimizationService::workerLoop() {
-  while (std::optional<JobQueue::Task> Task = Queue.pop())
-    (*Task)(/*Cancelled=*/false);
+  while (std::optional<JobQueue::Popped> P = Queue.pop()) {
+    // Defense in depth: the task lambda already contains every
+    // exception (runJob's try spans the whole job body), but a throw
+    // escaping here would kill the process via the ThreadPool contract
+    // — so the worker loop itself never lets one through.
+    try {
+      P->Fn(P->Fate);
+    } catch (const std::exception &E) {
+      logWarn(std::string("OptimizationService: job task escaped: ") +
+              E.what());
+    } catch (...) {
+      logWarn("OptimizationService: job task escaped");
+    }
+  }
 }
 
 Ticket OptimizationService::submit(
@@ -187,22 +204,81 @@ ResponsePtr OptimizationService::resolveLookup(const std::string &Key,
   return Resp;
 }
 
+std::optional<cubin::CubinFile>
+OptimizationService::loadWithRetry(const std::string &Key) {
+  if (!Deploy)
+    return std::nullopt;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    if (std::optional<cubin::CubinFile> File = Deploy->load(Key))
+      return File;
+    if (!Deploy->contains(Key))
+      return std::nullopt; // Genuine miss: nothing to retry.
+    // Present but unloadable: a corrupt read (or the injector's
+    // cache-load-corrupt site). Back off and re-read.
+    if (Attempt >= Config.Retry.MaxAttempts) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.RetryExhausted;
+      return std::nullopt; // Give up on the lookup: re-optimize.
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.LoadRetries;
+    }
+    Clk->sleepFor(support::backoffDelay(Config.Retry, Attempt, Config.Seed,
+                                        fnv1a64(Key)));
+  }
+}
+
+void OptimizationService::resolveUnrun(const JobPtr &Job,
+                                       OptimizeResponse::Status St,
+                                       const std::string &Error) {
+  OptimizeResponse Resp;
+  Resp.St = St;
+  Resp.Key = Job->Key;
+  Resp.Error = Error;
+  Resp.WallMs = elapsedMs(*Clk, Job->Admitted);
+  finishJob(Job, std::move(Resp));
+}
+
 Ticket OptimizationService::admit(const OptimizeRequest &R,
                                   Callback OnComplete, bool Blocking) {
-  const auto Admitted = std::chrono::steady_clock::now();
+  const support::Clock::TimePoint Admitted = Clk->now();
   std::string Key = requestKey(R, Config.Defaults);
   Ticket Tk;
   Tk.Key = Key;
 
+  // Effective deadline: the request's own timeout, else the service
+  // default, else none. (A negative timeout yields a deadline already
+  // in the past; the queue sheds it on the first pop.)
+  std::optional<support::Clock::TimePoint> Deadline;
+  const std::chrono::milliseconds Timeout =
+      R.Timeout.count() != 0 ? R.Timeout : Config.DefaultTimeout;
+  if (Timeout.count() != 0)
+    Deadline = Admitted + Timeout;
+
   // 1. Deploy-cache lookup (§4.2: "it invokes a lookup process instead
   //    of training"). The load runs before any lock is taken — slow
   //    filesystem I/O must never stall admissions or job completion —
-  //    and a miss costs one failed open. A corrupt file loads as
-  //    nullopt and falls through to the optimize path instead of
-  //    failing the request.
-  std::optional<cubin::CubinFile> Deployed;
-  if (Deploy)
-    Deployed = Deploy->load(Key);
+  //    and a miss costs one failed open. An unloadable-but-present key
+  //    (corrupt read) is retried under the service policy, then falls
+  //    through to the optimize path instead of failing the request.
+  std::optional<cubin::CubinFile> Deployed = loadWithRetry(Key);
+
+  // Near-miss preload: on a miss, find and load the nearest deployed
+  // sibling before taking the lock (same no-I/O-under-lock rule).
+  std::optional<std::pair<std::string, cubin::CubinFile>> Near;
+  if (!Deployed && Deploy && Config.EnableNearMiss && R.AllowDegraded) {
+    std::string NearKey;
+    {
+      std::lock_guard<std::mutex> IdxLock(IndexMutex);
+      if (const DeployedEntry *E =
+              Index.nearest(R.GpuType, R.Kind, R.Shape, Key))
+        NearKey = E->Key;
+    }
+    if (!NearKey.empty())
+      if (std::optional<cubin::CubinFile> File = Deploy->load(NearKey))
+        Near.emplace(std::move(NearKey), *std::move(File));
+  }
 
   std::unique_lock<std::mutex> Lock(Mutex);
   if (!Accepting) {
@@ -218,7 +294,7 @@ Ticket OptimizationService::admit(const OptimizeRequest &R,
     ++Outstanding;
     Lock.unlock();
     ResponsePtr Resp =
-        resolveLookup(Key, *std::move(Deployed), elapsedMs(Admitted));
+        resolveLookup(Key, *std::move(Deployed), elapsedMs(*Clk, Admitted));
     if (OnComplete)
       invokeGuarded(OnComplete, *Resp);
     {
@@ -234,7 +310,8 @@ Ticket OptimizationService::admit(const OptimizeRequest &R,
   // 2. Single-flight attach: an identical key is already queued or
   //    running — share its job instead of re-optimizing (the service-
   //    level mirror of the Autotuner/MeasurementCache single-run-per-
-  //    key guarantee).
+  //    key guarantee). Attaching beats degrading: the exact answer is
+  //    already on its way.
   auto It = InFlight.find(Key);
   if (It != InFlight.end()) {
     JobPtr Job = It->second;
@@ -247,39 +324,103 @@ Ticket OptimizationService::admit(const OptimizeRequest &R,
     return Tk;
   }
 
-  // 3. Enqueue a full optimize job.
+  // 3./4. A new job either way. A near-miss serves the nearest
+  // deployed sibling to the submitter right now and runs the exact-
+  // shape job in the background; otherwise the submitter waits on the
+  // job itself.
   auto Job = std::make_shared<JobState>();
   Job->Request = R;
   Job->Key = Key;
   Job->Admitted = Admitted;
+  Job->Background = Near.has_value();
+  if (!Job->Background) {
+    // A background upgrade carries no deadline: its submitter already
+    // holds the degraded answer, so the upgrade should land no matter
+    // how long it takes.
+    Job->Deadline = Deadline;
+    if (Deadline)
+      Job->Cancel.setDeadline(*Clk, *Deadline);
+  }
   Job->Future = Job->Promise.get_future().share();
-  const bool HasOwnCallback = static_cast<bool>(OnComplete);
+  const bool HasOwnCallback =
+      static_cast<bool>(OnComplete) && !Job->Background;
   if (HasOwnCallback)
-    Job->Callbacks.push_back(std::move(OnComplete));
+    Job->Callbacks.push_back(OnComplete);
   InFlight.emplace(Key, Job);
   ++Outstanding;
   ++Counters.Submitted;
   ++Counters.Enqueued;
   ++Counters.QueuedNow;
+  if (Job->Background) {
+    ++Counters.DegradedHits;
+    ++Outstanding; // Once more, for the degraded answer's window below.
+  }
   Lock.unlock();
 
   // The push happens outside the service lock: a blocking push parks
   // this thread until a worker pops (backpressure), and holding the
   // lock there would deadlock the workers' finishJob().
-  JobQueue::Task Task = [this, Job](bool Cancelled) {
-    if (Cancelled) {
-      OptimizeResponse Resp;
-      Resp.St = OptimizeResponse::Status::Cancelled;
-      Resp.Key = Job->Key;
-      Resp.Error = "service shut down before the job ran";
-      Resp.WallMs = elapsedMs(Job->Admitted);
-      finishJob(Job, std::move(Resp));
-    } else {
+  JobQueue::Task Task = [this, Job](TaskFate Fate) {
+    switch (Fate) {
+    case TaskFate::Run:
       runJob(Job);
+      break;
+    case TaskFate::Cancelled:
+      resolveUnrun(Job, OptimizeResponse::Status::Cancelled,
+                   "service shut down before the job ran");
+      break;
+    case TaskFate::Expired:
+      resolveUnrun(Job, OptimizeResponse::Status::DeadlineExceeded,
+                   "deadline expired before the job started");
+      break;
     }
   };
-  bool Pushed = Blocking ? Queue.push(Task, R.Priority)
-                         : Queue.tryPush(Task, R.Priority);
+  bool Pushed = Blocking ? Queue.push(Task, R.Priority, Job->Deadline)
+                         : Queue.tryPush(Task, R.Priority, Job->Deadline);
+
+  if (Job->Background) {
+    if (!Pushed) {
+      // Queue full or racing shutdown: the degraded answer still
+      // serves (that is the whole point of degradation under
+      // pressure); only the background upgrade is abandoned. Resolve
+      // its future as Cancelled for any attacher that slipped in.
+      OptimizeResponse Bg;
+      Bg.St = OptimizeResponse::Status::Cancelled;
+      Bg.Key = Key;
+      Bg.Error =
+          Blocking ? "service shut down during admission" : "queue full";
+      Bg.WallMs = elapsedMs(*Clk, Admitted);
+      std::vector<Callback> Cbs;
+      {
+        std::lock_guard<std::mutex> StatLock(Mutex);
+        InFlight.erase(Key);
+        Cbs = std::move(Job->Callbacks);
+        --Counters.QueuedNow;
+        --Counters.Enqueued;
+      }
+      publish(Job, std::make_shared<const OptimizeResponse>(std::move(Bg)),
+              std::move(Cbs));
+    }
+    auto Resp = std::make_shared<OptimizeResponse>();
+    Resp->St = OptimizeResponse::Status::Degraded;
+    Resp->Key = Key;
+    Resp->Binary = std::move(Near->second);
+    Resp->DegradedFrom = std::move(Near->first);
+    Resp->Persisted = false; // The exact key is not deployed (yet).
+    Resp->WallMs = elapsedMs(*Clk, Admitted);
+    ResponsePtr Shared = std::move(Resp);
+    if (OnComplete)
+      invokeGuarded(OnComplete, *Shared);
+    {
+      std::lock_guard<std::mutex> StatLock(Mutex);
+      --Outstanding;
+      Quiesced.notify_all();
+    }
+    Tk.How = Admission::NearMiss;
+    Tk.Response = readyFuture(std::move(Shared));
+    return Tk;
+  }
+
   if (!Pushed) {
     // Queue full (trySubmit) or closed by a racing shutdown. The job
     // was visible for attaching for a moment, so resolve its future
@@ -291,14 +432,14 @@ Ticket OptimizationService::admit(const OptimizeRequest &R,
     Resp.Error =
         Blocking ? "service shut down during admission" : "queue full";
     Resp.Key = Key;
-    Resp.WallMs = elapsedMs(Admitted);
+    Resp.WallMs = elapsedMs(*Clk, Admitted);
     std::vector<Callback> Cbs;
     {
       std::lock_guard<std::mutex> StatLock(Mutex);
       InFlight.erase(Key);
       Cbs = std::move(Job->Callbacks);
-      if (HasOwnCallback) // (OnComplete itself was moved into the job.)
-        Cbs.erase(Cbs.begin()); // Ours went in first, at job creation.
+      if (HasOwnCallback) // (A copy of OnComplete went in first.)
+        Cbs.erase(Cbs.begin());
       --Counters.QueuedNow;
       --Counters.Submitted;
       --Counters.Enqueued;
@@ -324,40 +465,120 @@ void OptimizationService::runJob(const JobPtr &Job) {
     Job->Running = true;
   }
 
+  const std::string &Key = Job->Key;
+  support::FaultInjector *Faults = Config.Faults;
   OptimizeResponse Resp;
-  Resp.Key = Job->Key;
-  const core::OptimizeConfig &EffConfig =
-      Job->Request.Config ? *Job->Request.Config : Config.Defaults;
-  const core::Optimizer Opt(EffConfig);
-  try {
-    // The determinism contract: a private pristine device per job and
-    // a data stream derived purely from (service seed, request key) —
-    // the response never depends on which worker ran the job, what ran
-    // before it, or how many workers exist.
-    gpusim::Gpu Local(Prototype);
-    Rng DataRng(mixSeed(Config.Seed, fnv1a64(Job->Key)));
-    core::OptimizeResult Result =
-        Opt.optimize(Local, Job->Request.Kind, Job->Request.Shape, DataRng);
-    Resp.St = OptimizeResponse::Status::Optimized;
-    Resp.Result = std::move(Result);
-    Resp.Binary = Resp.Result.Kernel.Binary;
-    // §4.2 write-back: only a verified winner is deployable. Store
-    // failures are surfaced (Persisted stays false, stats count it) —
-    // never silently dropped.
-    if (Deploy && Resp.Result.AutotuneValid && Resp.Result.Verified) {
-      Resp.Persisted = Deploy->store(Job->Key, Resp.Binary);
-      if (!Resp.Persisted)
-        logWarn("OptimizationService: failed to persist winner for key '" +
-                Job->Key + "'");
+  Resp.Key = Key;
+  // The whole job body — optimizer construction included — runs under
+  // the try: anything a job throws becomes a Failed response on that
+  // key only, never a dead worker (the ThreadPool submit() contract)
+  // and never a stuck single-flight entry.
+  for (unsigned Attempt = 1;; ++Attempt) {
+    try {
+      if (Faults) {
+        // Injected slowness first: a planned delay models a job that
+        // outlives its deadline — which the checkpoint right after
+        // then trips, at any worker count, because the job's own
+        // sleep is what moves the (fake) clock past its deadline.
+        if (uint64_t Delay = Faults->delayMs("job-slow:" + Key))
+          Clk->sleepFor(std::chrono::milliseconds(Delay));
+      }
+      Job->Cancel.checkpoint();
+      if (Faults) {
+        if (Faults->shouldFail("job-transient:" + Key))
+          throw support::TransientError("injected transient job fault");
+        if (Faults->shouldFail("job-throw:" + Key))
+          throw std::runtime_error("injected job fault");
+      }
+
+      // The determinism contract: a private pristine device per job
+      // and a data stream derived purely from (service seed, request
+      // key) — the response never depends on which worker ran the
+      // job, what ran before it, or how many workers exist.
+      const core::OptimizeConfig &EffConfig =
+          Job->Request.Config ? *Job->Request.Config : Config.Defaults;
+      const core::Optimizer Opt(EffConfig);
+      gpusim::Gpu Local(Prototype);
+      Rng DataRng(mixSeed(Config.Seed, fnv1a64(Key)));
+      core::OptimizeResult Result =
+          Opt.optimize(Local, Job->Request.Kind, Job->Request.Shape,
+                       DataRng, &Job->Cancel);
+      Resp.St = OptimizeResponse::Status::Optimized;
+      Resp.Result = std::move(Result);
+      Resp.Binary = Resp.Result.Kernel.Binary;
+      break;
+    } catch (const support::CancelledError &) {
+      Resp.St = OptimizeResponse::Status::DeadlineExceeded;
+      Resp.Error = "deadline exceeded (cancelled at a checkpoint)";
+      break;
+    } catch (const support::TransientError &E) {
+      if (Attempt >= Config.Retry.MaxAttempts) {
+        {
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Counters.RetryExhausted;
+        }
+        Resp.St = OptimizeResponse::Status::Failed;
+        Resp.Error =
+            std::string("transient failure, retries exhausted: ") + E.what();
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.JobRetries;
+      }
+      Clk->sleepFor(support::backoffDelay(Config.Retry, Attempt,
+                                          Config.Seed, fnv1a64(Key)));
+    } catch (const std::exception &E) {
+      Resp.St = OptimizeResponse::Status::Failed;
+      Resp.Error = E.what();
+      break;
+    } catch (...) {
+      Resp.St = OptimizeResponse::Status::Failed;
+      Resp.Error = "unknown exception";
+      break;
     }
-  } catch (const std::exception &E) {
-    Resp.St = OptimizeResponse::Status::Failed;
-    Resp.Error = E.what();
-  } catch (...) {
-    Resp.St = OptimizeResponse::Status::Failed;
-    Resp.Error = "unknown exception";
   }
-  Resp.WallMs = elapsedMs(Job->Admitted);
+
+  // §4.2 write-back: only a verified winner is deployable. Store
+  // failures retry under the service policy; a final failure is
+  // surfaced (Persisted stays false, stats count it) — never silently
+  // dropped.
+  if (Resp.St == OptimizeResponse::Status::Optimized && Deploy &&
+      Resp.Result.AutotuneValid && Resp.Result.Verified) {
+    for (unsigned Attempt = 1;; ++Attempt) {
+      if (Deploy->store(Key, Resp.Binary)) {
+        Resp.Persisted = true;
+        break;
+      }
+      if (Attempt >= Config.Retry.MaxAttempts) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.RetryExhausted;
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.StoreRetries;
+      }
+      Clk->sleepFor(support::backoffDelay(Config.Retry, Attempt,
+                                          Config.Seed, fnv1a64(Key)));
+    }
+    if (Resp.Persisted) {
+      // Publish the shape sidecar so this key can serve future
+      // near-miss lookups (and survive a service restart).
+      DeployedEntry Entry;
+      Entry.GpuType = Job->Request.GpuType;
+      Entry.Kind = Job->Request.Kind;
+      Entry.Shape = Job->Request.Shape;
+      Entry.Key = Key;
+      Deploy->storeMeta(Key, encodeDeployMeta(Entry));
+      std::lock_guard<std::mutex> IdxLock(IndexMutex);
+      Index.add(std::move(Entry));
+    } else {
+      logWarn("OptimizationService: failed to persist winner for key '" +
+              Key + "'");
+    }
+  }
+  Resp.WallMs = elapsedMs(*Clk, Job->Admitted);
   finishJob(Job, std::move(Resp));
 }
 
@@ -394,10 +615,14 @@ void OptimizationService::finishJob(const JobPtr &Job, OptimizeResponse R) {
       ++Counters.Completed;
       Counters.TrainingUpdates += Resp->Result.Training.size();
       Counters.Counters += Resp->Result.RolloutCounters;
-      if (Resp->Persisted)
+      if (Resp->Persisted) {
         ++Counters.PersistStores;
-      else if (Deploy && Resp->Result.AutotuneValid && Resp->Result.Verified)
+        if (Job->Background)
+          ++Counters.NearMissUpgrades; // The degraded key is now exact.
+      } else if (Deploy && Resp->Result.AutotuneValid &&
+                 Resp->Result.Verified) {
         ++Counters.PersistFailures; // Attempted and dropped.
+      }
       break;
     case OptimizeResponse::Status::Failed:
       ++Counters.Failed;
@@ -405,8 +630,19 @@ void OptimizationService::finishJob(const JobPtr &Job, OptimizeResponse R) {
     case OptimizeResponse::Status::Cancelled:
       ++Counters.Cancelled;
       break;
+    case OptimizeResponse::Status::DeadlineExceeded:
+      ++Counters.DeadlineExceeded;
+      // Job->Running distinguishes shed-in-queue from cancelled-at-a-
+      // checkpoint; their SUM is worker-count invariant (which side of
+      // the split a given expiry lands on depends on pop timing).
+      if (Job->Running)
+        ++Counters.ExpiredMidJob;
+      else
+        ++Counters.ExpiredInQueue;
+      break;
     case OptimizeResponse::Status::LookupHit:
-      break; // Hits never reach finishJob.
+    case OptimizeResponse::Status::Degraded:
+      break; // Immediate admissions never reach finishJob.
     }
   }
   publish(Job, std::move(Resp), std::move(Cbs));
@@ -439,7 +675,7 @@ void OptimizationService::shutdown() {
   // outstanding future resolves.
   std::vector<JobQueue::Task> Unstarted = Queue.close();
   for (JobQueue::Task &Task : Unstarted)
-    Task(/*Cancelled=*/true);
+    Task(TaskFate::Cancelled);
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     Quiesced.wait(Lock,
@@ -452,8 +688,10 @@ ServiceStats OptimizationService::stats() const {
   // The directory enumeration happens before taking the service lock:
   // a slow filesystem must not stall admissions or job completion.
   uint64_t Deployed = Deploy ? Deploy->keys().size() : 0;
+  uint64_t Fired = Config.Faults ? Config.Faults->totalFired() : 0;
   std::lock_guard<std::mutex> Lock(Mutex);
   ServiceStats Snapshot = Counters;
   Snapshot.DeployedKeys = Deployed;
+  Snapshot.FaultsInjected = Fired;
   return Snapshot;
 }

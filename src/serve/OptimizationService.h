@@ -16,10 +16,26 @@
 ///      request joins that job (single-flight; mirrors the
 ///      single-sweep-per-key guarantee of MeasurementCache and
 ///      Autotuner) and shares its response.
-///   3. Enqueue: a full hierarchical Optimizer::optimize() job enters
+///   3. Near miss (optional): the key misses but another shape of the
+///      same (GpuType, kind) is deployed → the nearest one is served
+///      immediately as Status::Degraded while the exact-shape job runs
+///      in the background and upgrades the cache.
+///   4. Enqueue: a full hierarchical Optimizer::optimize() job enters
 ///      the bounded priority queue; a worker drives it and the
 ///      verified winner is persisted back through the DeployCache so
 ///      every later request for the key is a lookup.
+///
+/// Failure handling (the hardening contract): each request may carry a
+/// deadline — expired-in-queue entries are shed without running,
+/// mid-job expiry trips a CancelToken the Optimizer polls at
+/// cooperative checkpoints (per autotune candidate, per rollout slot,
+/// per PPO epoch), both resolving as Status::DeadlineExceeded.
+/// Transient cache-store/load failures and TransientError jobs are
+/// retried under ServiceConfig::Retry with seeded-jittered exponential
+/// backoff. A job that throws resolves that key's response (submitter
+/// AND attached waiters) as Status::Failed — never a dead worker,
+/// never a stuck single-flight key. Every such event lands in a
+/// ServiceStats counter.
 ///
 /// Determinism contract: a request's response payload is a pure
 /// function of (prototype device, ServiceConfig::Seed, request key).
@@ -45,7 +61,12 @@
 #define CUASMRL_SERVE_OPTIMIZATIONSERVICE_H
 
 #include "core/Optimizer.h"
+#include "serve/DeployIndex.h"
 #include "serve/JobQueue.h"
+#include "support/Cancellation.h"
+#include "support/Clock.h"
+#include "support/FaultInjector.h"
+#include "support/Retry.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -72,6 +93,15 @@ struct OptimizeRequest {
   /// Higher pops first; FIFO within one priority. An attaching
   /// duplicate inherits the original job's priority.
   int Priority = 0;
+  /// Per-request deadline measured from admission; 0 = none (then
+  /// ServiceConfig::DefaultTimeout applies). A request whose deadline
+  /// passes resolves as Status::DeadlineExceeded: shed from the queue
+  /// if it never started, cancelled at the next cooperative checkpoint
+  /// if mid-job.
+  std::chrono::milliseconds Timeout{0};
+  /// Opt-out of near-miss degradation for this request: when false, a
+  /// cache miss always waits for the exact-shape job.
+  bool AllowDegraded = true;
 };
 
 /// Everything a resolved request carries.
@@ -79,18 +109,26 @@ struct OptimizeResponse {
   enum class Status {
     Optimized, ///< A full optimize job ran; Result is populated.
     LookupHit, ///< Served from the DeployCache; zero training.
+    Degraded,  ///< Cache miss served from the nearest deployed shape
+               ///< (same GpuType and kind) while the exact-shape job
+               ///< upgrades the cache in the background.
     Cancelled, ///< Shut down (or queue closed) before the job ran.
-    Failed,    ///< The job threw; see Error.
+    DeadlineExceeded, ///< Deadline passed: shed in queue or cancelled
+                      ///< at a cooperative checkpoint mid-job.
+    Failed,    ///< The job threw (or exhausted its retries); see Error.
   };
   Status St = Status::Failed;
   std::string Key; ///< The deploy-cache key the request resolved to.
   /// The winner binary: the deployed cubin on a lookup hit, the
-  /// optimized (substituted) binary after a successful job.
+  /// optimized (substituted) binary after a successful job — or, on a
+  /// Degraded response, the nearest deployed cubin (see DegradedFrom).
   cubin::CubinFile Binary;
   /// Full optimize() output (Status::Optimized only).
   core::OptimizeResult Result;
   /// True when this job's verified winner reached the DeployCache.
   bool Persisted = false;
+  /// Status::Degraded only: the deploy-cache key actually served.
+  std::string DegradedFrom;
   std::string Error;
   double WallMs = 0.0; ///< Admission-to-resolution wall time.
 };
@@ -102,6 +140,8 @@ enum class Admission {
   LookupHit, ///< Resolved immediately from the DeployCache.
   Attached,  ///< Joined an in-flight job for the same key.
   Enqueued,  ///< A new optimize job entered the queue.
+  NearMiss,  ///< Served degraded from the nearest deployed shape; the
+             ///< exact-shape job was enqueued in the background.
   Rejected,  ///< Queue full (trySubmit) or service no longer accepting.
 };
 
@@ -130,6 +170,19 @@ struct ServiceStats {
   uint64_t TrainingUpdates = 0; ///< PPO updates across all jobs.
   uint64_t PersistStores = 0;   ///< Winners persisted to the cache.
   uint64_t PersistFailures = 0; ///< DeployCache::store() failures.
+  uint64_t DeadlineExceeded = 0; ///< Requests resolved past deadline.
+  uint64_t ExpiredInQueue = 0;   ///< ...of which shed before starting.
+  uint64_t ExpiredMidJob = 0;    ///< ...of which cancelled mid-job.
+  uint64_t DegradedHits = 0;     ///< Near-miss responses served.
+  uint64_t NearMissUpgrades = 0; ///< Background jobs that upgraded a
+                                 ///< degraded key to an exact deploy.
+  uint64_t JobRetries = 0;       ///< Transient job errors retried.
+  uint64_t StoreRetries = 0;     ///< DeployCache::store retries.
+  uint64_t LoadRetries = 0;      ///< DeployCache::load retries.
+  uint64_t RetryExhausted = 0;   ///< Retry loops that ran out of
+                                 ///< attempts (job, store, or load).
+  uint64_t FaultsInjected = 0;   ///< FaultInjector faults fired (0
+                                 ///< without an injector).
   double TotalJobWallMs = 0.0;  ///< Summed per-job wall time.
   /// Rollout counter aggregate summed over all jobs: measurement-cache
   /// accounting plus the per-stage simulator counters (warp select /
@@ -161,6 +214,16 @@ template <typename S, typename Fn> void visitServiceCounters(S &Stats,
   F("TrainingUpdates", Stats.TrainingUpdates);
   F("PersistStores", Stats.PersistStores);
   F("PersistFailures", Stats.PersistFailures);
+  F("DeadlineExceeded", Stats.DeadlineExceeded);
+  F("ExpiredInQueue", Stats.ExpiredInQueue);
+  F("ExpiredMidJob", Stats.ExpiredMidJob);
+  F("DegradedHits", Stats.DegradedHits);
+  F("NearMissUpgrades", Stats.NearMissUpgrades);
+  F("JobRetries", Stats.JobRetries);
+  F("StoreRetries", Stats.StoreRetries);
+  F("LoadRetries", Stats.LoadRetries);
+  F("RetryExhausted", Stats.RetryExhausted);
+  F("FaultsInjected", Stats.FaultsInjected);
   F("TotalJobWallMs", Stats.TotalJobWallMs);
   F("DeployedKeys", Stats.DeployedKeys);
 }
@@ -184,6 +247,26 @@ struct ServiceConfig {
   /// with deterministic priority ordering (and the hook the tests and
   /// benches use to fix the admission pattern before any job runs).
   bool StartPaused = false;
+  /// Time source for deadlines, backoff sleeps, and wall-time stats;
+  /// null = support::Clock::real(). Tests inject a FakeClock so
+  /// deadline and retry behavior is instant and bit-deterministic.
+  support::Clock *ClockSrc = nullptr;
+  /// Deterministic fault injector wired behind the service and its
+  /// DeployCache; null disables every site. Not owned; must outlive
+  /// the service.
+  support::FaultInjector *Faults = nullptr;
+  /// Backoff policy shared by the store/load/transient-job retry loops.
+  support::RetryPolicy Retry;
+  /// Deadline applied to requests whose Timeout is 0; 0 = none.
+  std::chrono::milliseconds DefaultTimeout{0};
+  /// Master switch for near-miss degradation (per-request opt-out via
+  /// OptimizeRequest::AllowDegraded).
+  bool EnableNearMiss = true;
+  /// Queue-aging knobs (see JobQueue::Options): every AgingInterval of
+  /// wait raises a queued job's effective priority by AgingStep, so
+  /// low-priority work cannot starve behind a hot key. 0 disables.
+  std::chrono::milliseconds AgingInterval{0};
+  int AgingStep = 1;
 };
 
 /// The optimization server.
@@ -245,7 +328,17 @@ private:
   struct JobState {
     OptimizeRequest Request;
     std::string Key;
-    std::chrono::steady_clock::time_point Admitted;
+    support::Clock::TimePoint Admitted;
+    /// Absolute deadline (from Timeout or DefaultTimeout); nullopt =
+    /// none. Mirrored into Cancel and the queue entry.
+    std::optional<support::Clock::TimePoint> Deadline;
+    /// Cooperative cancellation handle threaded through the Optimizer;
+    /// armed (deadline set) before the job is shared with the queue.
+    support::CancelToken Cancel;
+    /// True for the exact-shape job behind a near-miss response: its
+    /// submitter was already answered (Status::Degraded), so it owns
+    /// no submitter callback — but later attachers may add theirs.
+    bool Background = false;
     std::promise<ResponsePtr> Promise;
     std::shared_future<ResponsePtr> Future;
     std::vector<Callback> Callbacks;
@@ -257,6 +350,15 @@ private:
                bool Blocking);
   void workerLoop();
   void runJob(const JobPtr &Job);
+  /// Resolves \p Job without running it (queue shed / shutdown):
+  /// builds a response of \p St and routes it through finishJob.
+  void resolveUnrun(const JobPtr &Job, OptimizeResponse::Status St,
+                    const std::string &Error);
+  /// Exact-key load with corrupt-retry: backs off and re-reads while
+  /// load() fails but the key is present (deserialize failure — the
+  /// injector's cache-load-corrupt site). nullopt = genuine miss or
+  /// retries exhausted.
+  std::optional<cubin::CubinFile> loadWithRetry(const std::string &Key);
   /// Publishes \p R as \p Job's response: fulfills the future, fires
   /// the callbacks, erases the in-flight entry, updates counters.
   void finishJob(const JobPtr &Job, OptimizeResponse R);
@@ -274,9 +376,16 @@ private:
   gpusim::Gpu Prototype; ///< Pristine device every job copies.
   std::unique_ptr<triton::DeployCache> Deploy; ///< Null when disabled.
   unsigned Workers;
+  support::Clock *Clk; ///< Declared before Queue: its Options use it.
 
   JobQueue Queue;
   std::unique_ptr<support::ThreadPool> Pool;
+
+  /// Near-miss index over the DeployCache's meta sidecars; guarded by
+  /// its own mutex so degraded lookups never contend with the main
+  /// admission lock.
+  mutable std::mutex IndexMutex;
+  DeployIndex Index;
 
   mutable std::mutex Mutex;
   std::mutex ShutdownMutex; ///< Serializes concurrent shutdown() calls.

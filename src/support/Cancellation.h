@@ -1,0 +1,104 @@
+//===- support/Cancellation.h - Cooperative cancellation ------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation for long-running optimize jobs. A
+/// CancelToken carries an explicit cancel flag plus an optional
+/// deadline against a support::Clock; workers poll it at cheap,
+/// well-defined checkpoints — per PPO epoch, per autotune candidate,
+/// per rollout slot — and a tripped checkpoint() unwinds with
+/// CancelledError. The throw travels intact through
+/// ThreadPool::parallelFor (which rethrows the first task exception on
+/// the caller thread), so a deadline set at the service layer frees
+/// its worker at the next checkpoint wherever the job happens to be.
+///
+/// The library otherwise avoids exceptions for recoverable errors
+/// (support/Error.h); cancellation is the deliberate exception to the
+/// rule because it must unwind through deep, layered call stacks that
+/// have no error channel of their own — and the service already wraps
+/// every job body in a catch.
+///
+/// Thread-safety: cancel()/cancelled()/checkpoint() may race freely.
+/// setDeadline() must happen-before any concurrent reader (the service
+/// sets it during admission, before the job is published to a worker).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_CANCELLATION_H
+#define CUASMRL_SUPPORT_CANCELLATION_H
+
+#include "support/Clock.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace cuasmrl {
+namespace support {
+
+/// Thrown by CancelToken::checkpoint() when the token tripped. The
+/// serving layer maps it to Status::DeadlineExceeded.
+class CancelledError : public std::runtime_error {
+public:
+  explicit CancelledError(const std::string &What = "operation cancelled")
+      : std::runtime_error(What) {}
+};
+
+/// A retryable failure: callers that throw this signal "try again with
+/// backoff" rather than "permanently failed". The service's job-retry
+/// loop (and the fault injector's job-transient site) speak it.
+class TransientError : public std::runtime_error {
+public:
+  explicit TransientError(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// Manual-cancel flag + optional clock deadline.
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  /// Arms the deadline. Not thread-safe against concurrent readers —
+  /// call before sharing the token (see the file comment).
+  void setDeadline(const Clock &C, Clock::TimePoint At) {
+    ClockSrc = &C;
+    Deadline = At;
+    HasDeadline = true;
+  }
+
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    if (Flag.load(std::memory_order_relaxed))
+      return true;
+    return HasDeadline && ClockSrc->now() >= Deadline;
+  }
+
+  /// A cooperative checkpoint: counts the poll, throws CancelledError
+  /// once the token tripped. The count is observability — tests bound
+  /// cancellation latency in checkpoints, not wall time.
+  void checkpoint() const {
+    Checks.fetch_add(1, std::memory_order_relaxed);
+    if (cancelled())
+      throw CancelledError();
+  }
+
+  /// checkpoint() calls so far (including the one that threw).
+  uint64_t checkpointsPassed() const {
+    return Checks.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<bool> Flag{false};
+  const Clock *ClockSrc = nullptr;
+  Clock::TimePoint Deadline{};
+  bool HasDeadline = false;
+  mutable std::atomic<uint64_t> Checks{0};
+};
+
+} // namespace support
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_CANCELLATION_H

@@ -1,0 +1,29 @@
+//===- support/Clock.cpp --------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Clock.h"
+
+#include <thread>
+
+using namespace cuasmrl;
+using namespace cuasmrl::support;
+
+namespace {
+
+class RealClock : public Clock {
+public:
+  TimePoint now() const override {
+    return std::chrono::steady_clock::now();
+  }
+  void sleepFor(Duration D) override { std::this_thread::sleep_for(D); }
+};
+
+} // namespace
+
+Clock &Clock::real() {
+  static RealClock Instance;
+  return Instance;
+}

@@ -1,0 +1,80 @@
+//===- support/Clock.h - Virtualized monotonic time -----------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The time source the serving layer reads: a tiny virtual clock over
+/// std::chrono::steady_clock so deadlines, priority aging, backoff
+/// sleeps, and injected slowness are all testable without wall-clock
+/// waits. Production code uses Clock::real(); tests inject a FakeClock
+/// whose time only moves when the test (or a sleeping worker) advances
+/// it — which makes every deadline and backoff sequence deterministic
+/// and instant.
+///
+/// Thread-safety: all members of both implementations may be called
+/// concurrently from any number of threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_CLOCK_H
+#define CUASMRL_SUPPORT_CLOCK_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cuasmrl {
+namespace support {
+
+/// Abstract monotonic time source.
+class Clock {
+public:
+  using Duration = std::chrono::milliseconds;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+
+  /// Current monotonic time.
+  virtual TimePoint now() const = 0;
+
+  /// Blocks (or pretends to) for \p D. A fake clock advances its own
+  /// time instead of sleeping, so code paths that "wait" — backoff,
+  /// injected job slowness — run instantly under test.
+  virtual void sleepFor(Duration D) = 0;
+
+  /// The process-wide real clock (steady_clock + this_thread::sleep_for).
+  static Clock &real();
+};
+
+/// Deterministic test clock: starts at an arbitrary fixed epoch and
+/// moves only via advance() or sleepFor().
+class FakeClock : public Clock {
+public:
+  FakeClock() = default;
+
+  TimePoint now() const override {
+    return Epoch + std::chrono::nanoseconds(OffsetNs.load());
+  }
+
+  /// sleepFor() advances the shared fake time and returns immediately.
+  /// Every reader — other workers included — observes the jump, which
+  /// is exactly what lets one "slow" job push a sibling past its
+  /// deadline in a test without any real waiting.
+  void sleepFor(Duration D) override { advance(D); }
+
+  void advance(Duration D) {
+    OffsetNs.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(D).count());
+  }
+
+private:
+  static constexpr TimePoint Epoch{std::chrono::seconds(1'000'000)};
+  std::atomic<int64_t> OffsetNs{0};
+};
+
+} // namespace support
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_CLOCK_H

@@ -1,0 +1,99 @@
+//===- support/FaultInjector.cpp ------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+using namespace cuasmrl;
+using namespace cuasmrl::support;
+
+void FaultInjector::plan(const std::string &Site,
+                         std::vector<uint8_t> Schedule) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  SiteState &S = Sites[Site];
+  S.Schedule = std::move(Schedule);
+}
+
+void FaultInjector::setRate(const std::string &SitePrefix,
+                            double Probability) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Prefix, Rate] : Rates) {
+    if (Prefix == SitePrefix) {
+      Rate = Probability;
+      return;
+    }
+  }
+  Rates.emplace_back(SitePrefix, Probability);
+}
+
+void FaultInjector::planDelay(const std::string &Site,
+                              std::vector<uint64_t> DelaysMs) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  SiteState &S = Sites[Site];
+  S.Delays = std::move(DelaysMs);
+  S.NextDelay = 0;
+}
+
+bool FaultInjector::shouldFail(const std::string &Site) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  SiteState &S = Sites[Site];
+  uint64_t Check = S.Checks++;
+  bool Fail = false;
+  if (Check < S.Schedule.size()) {
+    Fail = S.Schedule[Check] != 0;
+  } else {
+    for (const auto &[Prefix, Rate] : Rates) {
+      if (Site.compare(0, Prefix.size(), Prefix) != 0)
+        continue;
+      // One fresh stream per (seed, site, check): the outcome never
+      // depends on which other sites were checked in between.
+      Rng Draw(mixSeed(mixSeed(Seed, fnv1a64(Site)), Check));
+      Fail = Draw.uniformReal() < Rate;
+      break;
+    }
+  }
+  if (Fail)
+    ++S.Fired;
+  return Fail;
+}
+
+uint64_t FaultInjector::delayMs(const std::string &Site) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sites.find(Site);
+  if (It == Sites.end() || It->second.NextDelay >= It->second.Delays.size())
+    return 0;
+  return It->second.Delays[It->second.NextDelay++];
+}
+
+uint64_t FaultInjector::checks(const std::string &Site) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sites.find(Site);
+  return It == Sites.end() ? 0 : It->second.Checks;
+}
+
+uint64_t FaultInjector::fired(const std::string &Site) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sites.find(Site);
+  return It == Sites.end() ? 0 : It->second.Fired;
+}
+
+uint64_t FaultInjector::totalFired() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Total = 0;
+  for (const auto &[Site, S] : Sites)
+    Total += S.Fired;
+  return Total;
+}
+
+uint64_t FaultInjector::totalChecks() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Total = 0;
+  for (const auto &[Site, S] : Sites)
+    Total += S.Checks;
+  return Total;
+}

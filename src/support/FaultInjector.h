@@ -1,0 +1,95 @@
+//===- support/FaultInjector.h - Deterministic site-keyed fault plans -----===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the serving stack. Production
+/// code asks shouldFail(site) / delayMs(site) at named sites — the
+/// convention is "<kind>:<qualifier>", e.g. "cache-store-fail:<key>",
+/// "cache-load-corrupt:<key>", "job-throw:<key>", "job-slow:<key>",
+/// "job-transient:<key>" — and tests (or the faulty bench scenario)
+/// drive exact failure sequences against those sites:
+///
+///  - plan(site, {1,1,0})   : the site's first two checks fail, the
+///                            third succeeds, later checks succeed;
+///  - setRate(prefix, p)    : every site matching the prefix fails
+///                            pseudo-randomly at rate p, pure in
+///                            (Seed, site, per-site check index);
+///  - planDelay(site, {ms}) : successive delayMs() calls pop the list.
+///
+/// Keying sites by request key makes a schedule worker-count
+/// invariant: however many workers race, the job for key K performs
+/// the same checks against "job-throw:K" in the same per-key order, so
+/// the observed fault sequence — and every counter derived from it —
+/// is identical for 1, 2, or 4 workers.
+///
+/// Thread-safety: every member may be called concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SUPPORT_FAULTINJECTOR_H
+#define CUASMRL_SUPPORT_FAULTINJECTOR_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace support {
+
+/// Seeded, site-keyed fault plan store.
+class FaultInjector {
+public:
+  explicit FaultInjector(uint64_t Seed = 0) : Seed(Seed) {}
+
+  /// Exact per-check outcomes for one site; checks beyond the schedule
+  /// succeed. Replaces any previous plan for the site.
+  void plan(const std::string &Site, std::vector<uint8_t> Schedule);
+
+  /// Probabilistic failure for every site whose name starts with
+  /// \p SitePrefix (exact plans win over rates). Deterministic: the
+  /// outcome of a site's Nth check is pure in (Seed, site, N).
+  void setRate(const std::string &SitePrefix, double Probability);
+
+  /// Successive delayMs(Site) calls pop this list; 0 once exhausted.
+  void planDelay(const std::string &Site, std::vector<uint64_t> DelaysMs);
+
+  /// One fault decision at \p Site (counts the check; counts the
+  /// firing when it returns true).
+  bool shouldFail(const std::string &Site);
+
+  /// Next planned delay for \p Site in milliseconds (0 = none).
+  uint64_t delayMs(const std::string &Site);
+
+  /// Per-site observability.
+  uint64_t checks(const std::string &Site) const;
+  uint64_t fired(const std::string &Site) const;
+
+  /// Faults fired across all sites (delays excluded) — the service
+  /// snapshots this into ServiceStats::FaultsInjected.
+  uint64_t totalFired() const;
+  uint64_t totalChecks() const;
+
+private:
+  struct SiteState {
+    std::vector<uint8_t> Schedule; ///< Exact plan; empty = none.
+    std::vector<uint64_t> Delays;  ///< Pending delays, pop-front order.
+    uint64_t Checks = 0;
+    uint64_t Fired = 0;
+    size_t NextDelay = 0;
+  };
+
+  uint64_t Seed;
+  mutable std::mutex Mutex;
+  std::map<std::string, SiteState> Sites;
+  std::vector<std::pair<std::string, double>> Rates;
+};
+
+} // namespace support
+} // namespace cuasmrl
+
+#endif // CUASMRL_SUPPORT_FAULTINJECTOR_H

@@ -176,6 +176,11 @@ Autotuner::sweepAll(const gpusim::Gpu &Device,
 
         auto RunTask = [&](size_t T) {
           const Task &K = Tasks[T];
+          // Per-candidate cancellation checkpoint: a shed/timed-out
+          // job abandons the sweep here (the catch below reclaims the
+          // claimed keys; parallelFor rethrows on the caller thread).
+          if (Options.Cancel)
+            Options.Cancel->checkpoint();
           // Distinct slots per task: no synchronization needed, and
           // slot order (candidate enumeration order) fixes the result
           // layout independent of completion order.
@@ -209,6 +214,9 @@ Autotuner::sweepAll(const gpusim::Gpu &Device,
           std::vector<CandidateLane> Lanes;
           Lanes.reserve(Tasks.size());
           for (const Task &K : Tasks) {
+            // Per-candidate checkpoint, mirroring RunTask.
+            if (Options.Cancel)
+              Options.Cancel->checkpoint();
             Lanes.emplace_back(Device, Options.Measure);
             CandidateLane &L = Lanes.back();
             Rng CandRng(K.Seed);

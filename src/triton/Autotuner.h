@@ -34,6 +34,7 @@
 
 #include "gpusim/Measurement.h"
 #include "kernels/Builder.h"
+#include "support/Cancellation.h"
 
 #include <condition_variable>
 #include <map>
@@ -77,6 +78,11 @@ struct AutotuneOptions {
   /// Root of every per-candidate data/noise stream. Two sweeps with the
   /// same BaseSeed produce bit-identical results.
   uint64_t BaseSeed = 7;
+  /// Cooperative cancellation (not owned; may be null). Checked once
+  /// per candidate — a tripped token unwinds the sweep with
+  /// CancelledError, and the single-flight cache reclaims the claimed
+  /// keys (never poisons them) exactly as for any other sweep failure.
+  const support::CancelToken *Cancel = nullptr;
 };
 
 /// Grid-search autotuner with a per-(workload, shape) result cache.

@@ -6,6 +6,7 @@
 
 #include "triton/DeployCache.h"
 
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -19,9 +20,46 @@
 using namespace cuasmrl;
 using namespace cuasmrl::triton;
 
-DeployCache::DeployCache(std::string Dir) : Directory(std::move(Dir)) {}
+DeployCache::DeployCache(std::string Dir) : Directory(std::move(Dir)) {
+  // A crash between a store()'s write and its rename leaves a
+  // `.tmp.<pid>.<n>` sibling behind; nothing ever reads one, so clear
+  // them out before this instance starts producing its own.
+  sweepOrphanTmps();
+}
 
 namespace {
+
+/// Atomic write: a uniquely-named `.tmp` sibling renamed into place,
+/// so \p Path only ever holds complete contents. The temporary name
+/// carries the pid plus a process-wide counter so concurrent writers —
+/// in this process or another one sharing the directory — never
+/// interleave writes into one temporary; last rename wins, and every
+/// contender wrote a complete file.
+bool atomicWrite(const std::string &Path, const uint8_t *Data,
+                 size_t Size) {
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::error_code Ec;
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return false;
+    OS.write(reinterpret_cast<const char *>(Data),
+             static_cast<std::streamsize>(Size));
+    if (!OS) {
+      OS.close();
+      std::filesystem::remove(Tmp, Ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(Tmp, Path, Ec);
+  if (Ec) {
+    std::filesystem::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
 
 /// Maps one key component onto the filesystem-safe alphabet. Lossy on
 /// purpose (readability); injectivity comes from the digest suffix.
@@ -63,49 +101,34 @@ std::string DeployCache::pathFor(const std::string &Key) const {
   return Directory + "/" + Key + ".cubin";
 }
 
+std::string DeployCache::metaPathFor(const std::string &Key) const {
+  return Directory + "/" + Key + ".meta";
+}
+
 bool DeployCache::store(const std::string &Key,
                         const cubin::CubinFile &File) {
+  // Injected failures fire before any filesystem effect: a "transient
+  // I/O error" leaves no partial state behind, exactly like a real
+  // failed open.
+  if (Faults && Faults->shouldFail("cache-store-fail:" + Key))
+    return false;
   std::error_code Ec;
   std::filesystem::create_directories(Directory, Ec);
   if (Ec)
     return false;
-
-  // Write-then-rename so the final path only ever holds a complete
-  // cubin: a crash (or a concurrent load) can never observe a
-  // truncated file. The temporary name carries the pid plus a
-  // process-wide counter so concurrent sweep workers — in this process
-  // or another one sharing the directory — never interleave writes
-  // into one temporary; last rename wins, and every contender wrote a
-  // complete file.
-  static std::atomic<uint64_t> TmpCounter{0};
-  std::string Path = pathFor(Key);
-  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
-                    std::to_string(TmpCounter.fetch_add(1));
-  {
-    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OS)
-      return false;
-    std::vector<uint8_t> Bytes = File.serialize();
-    OS.write(reinterpret_cast<const char *>(Bytes.data()),
-             static_cast<std::streamsize>(Bytes.size()));
-    if (!OS) {
-      OS.close();
-      std::filesystem::remove(Tmp, Ec);
-      return false;
-    }
-  }
-  std::filesystem::rename(Tmp, Path, Ec);
-  if (Ec) {
-    std::filesystem::remove(Tmp, Ec);
-    return false;
-  }
-  return true;
+  std::vector<uint8_t> Bytes = File.serialize();
+  return atomicWrite(pathFor(Key), Bytes.data(), Bytes.size());
 }
 
 std::optional<cubin::CubinFile>
 DeployCache::load(const std::string &Key) const {
   std::ifstream IS(pathFor(Key), std::ios::binary);
   if (!IS)
+    return std::nullopt;
+  // An injected corruption behaves like a deserialize failure: the
+  // file exists (contains() is true) but decodes to nothing — the
+  // distinction the service's load-retry path keys on.
+  if (Faults && Faults->shouldFail("cache-load-corrupt:" + Key))
     return std::nullopt;
   std::vector<uint8_t> Bytes(
       (std::istreambuf_iterator<char>(IS)),
@@ -114,6 +137,46 @@ DeployCache::load(const std::string &Key) const {
   if (!File)
     return std::nullopt;
   return File.takeValue();
+}
+
+bool DeployCache::storeMeta(const std::string &Key,
+                            const std::string &Text) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Directory, Ec);
+  if (Ec)
+    return false;
+  return atomicWrite(metaPathFor(Key),
+                     reinterpret_cast<const uint8_t *>(Text.data()),
+                     Text.size());
+}
+
+std::optional<std::string>
+DeployCache::loadMeta(const std::string &Key) const {
+  std::ifstream IS(metaPathFor(Key), std::ios::binary);
+  if (!IS)
+    return std::nullopt;
+  return std::string((std::istreambuf_iterator<char>(IS)),
+                     std::istreambuf_iterator<char>());
+}
+
+unsigned DeployCache::sweepOrphanTmps() {
+  unsigned Removed = 0;
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Directory, Ec);
+  if (Ec)
+    return 0; // Directory does not exist yet: nothing to sweep.
+  for (const std::filesystem::directory_entry &Entry : It) {
+    if (!Entry.is_regular_file(Ec))
+      continue;
+    std::string Name = Entry.path().filename().string();
+    // Only files our own write protocol names: "<final>.tmp.<pid>.<n>".
+    if (Name.find(".tmp.") == std::string::npos)
+      continue;
+    std::filesystem::remove(Entry.path(), Ec);
+    if (!Ec)
+      ++Removed;
+  }
+  return Removed;
 }
 
 bool DeployCache::contains(const std::string &Key) const {

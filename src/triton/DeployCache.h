@@ -24,6 +24,9 @@
 #include <vector>
 
 namespace cuasmrl {
+namespace support {
+class FaultInjector;
+} // namespace support
 namespace triton {
 
 /// Filesystem cache of optimized cubins.
@@ -36,8 +39,23 @@ namespace triton {
 /// winner (last rename wins).
 class DeployCache {
 public:
-  /// \p Directory is created on first store.
+  /// \p Directory is created on first store. Construction sweeps
+  /// orphaned `*.tmp.*` siblings a crashed store() may have left
+  /// behind (crash between write and rename) — the atomic-rename
+  /// protocol guarantees they are never a reader's source of truth,
+  /// so deleting them is always safe.
   explicit DeployCache(std::string Directory);
+
+  /// Wires deterministic fault injection behind store()/load(); null
+  /// disables. Sites: "cache-store-fail:<key>" makes store() return
+  /// false before touching the filesystem; "cache-load-corrupt:<key>"
+  /// makes load() return nullopt as if the stored bytes failed to
+  /// deserialize. Not thread-safe against concurrent store/load —
+  /// wire it up before sharing the cache (the service does so at
+  /// construction).
+  void setFaultInjector(support::FaultInjector *Injector) {
+    Faults = Injector;
+  }
 
   /// Key convention: "<gpu>-<workload>-<config>" flattened to one file
   /// name (the paper prefixes GPU and workload type). Each component
@@ -65,9 +83,25 @@ public:
   /// vector). Keys stored concurrently may or may not appear.
   std::vector<std::string> keys() const;
 
+  /// Atomic (write-then-rename) sidecar of free-form metadata text
+  /// next to \p Key's cubin — the serving layer records the request
+  /// shape here so a later service instance can rebuild its near-miss
+  /// index from the directory alone. \returns false on I/O failure.
+  bool storeMeta(const std::string &Key, const std::string &Text);
+
+  /// The sidecar text, or nullopt when absent/unreadable.
+  std::optional<std::string> loadMeta(const std::string &Key) const;
+
+  /// Deletes leftover `*.tmp.*` siblings (see the constructor) and
+  /// returns how many were removed. Idempotent; also called from the
+  /// constructor.
+  unsigned sweepOrphanTmps();
+
 private:
   std::string pathFor(const std::string &Key) const;
+  std::string metaPathFor(const std::string &Key) const;
   std::string Directory;
+  support::FaultInjector *Faults = nullptr; ///< Not owned; may be null.
 };
 
 } // namespace triton

@@ -33,10 +33,10 @@ using namespace cuasmrl::serve;
 
 namespace {
 
-/// A task that appends \p Id to \p Order when run (not cancelled).
+/// A task that appends \p Id to \p Order when run (not cancelled/shed).
 JobQueue::Task recorder(std::vector<int> &Order, int Id) {
-  return [&Order, Id](bool Cancelled) {
-    if (!Cancelled)
+  return [&Order, Id](TaskFate Fate) {
+    if (Fate == TaskFate::Run)
       Order.push_back(Id);
   };
 }
@@ -52,9 +52,10 @@ TEST(JobQueueTest, PopsByPriorityThenFifo) {
   ASSERT_TRUE(Q.push(recorder(Order, 3), /*Priority=*/1));
   EXPECT_EQ(Q.size(), 4u);
   for (int I = 0; I < 4; ++I) {
-    std::optional<JobQueue::Task> T = Q.pop();
+    std::optional<JobQueue::Popped> T = Q.pop();
     ASSERT_TRUE(T.has_value());
-    (*T)(false);
+    EXPECT_EQ(T->Fate, TaskFate::Run);
+    T->Fn(T->Fate);
   }
   // Priority 5 first (FIFO within: 1 before 2), then 1, then 0.
   EXPECT_EQ(Order, (std::vector<int>{1, 2, 3, 0}));
@@ -75,16 +76,16 @@ TEST(JobQueueTest, BlockingPushWaitsForSpace) {
   ASSERT_TRUE(Q.push(recorder(Order, 0), 0));
   std::atomic<bool> Pushed{false};
   std::thread Producer([&] {
-    EXPECT_TRUE(Q.push([&Pushed](bool) { Pushed = true; }, 0));
+    EXPECT_TRUE(Q.push([&Pushed](TaskFate) { Pushed = true; }, 0));
   });
   // The consumer frees the slot; both tasks must come through.
-  std::optional<JobQueue::Task> A = Q.pop();
+  std::optional<JobQueue::Popped> A = Q.pop();
   ASSERT_TRUE(A.has_value());
-  std::optional<JobQueue::Task> B = Q.pop();
+  std::optional<JobQueue::Popped> B = Q.pop();
   ASSERT_TRUE(B.has_value());
   Producer.join();
-  (*A)(false);
-  (*B)(false);
+  A->Fn(A->Fate);
+  B->Fn(B->Fate);
   EXPECT_TRUE(Pushed.load());
 }
 
@@ -103,7 +104,7 @@ TEST(JobQueueTest, CloseReturnsUnstartedTasksAndWakesEveryone) {
   ASSERT_GE(Remaining.size(), 2u);
   std::atomic<int> Cancelled{0};
   for (JobQueue::Task &T : Remaining) {
-    T(true);
+    T(TaskFate::Cancelled);
     ++Cancelled;
   }
   EXPECT_TRUE(Order.empty());

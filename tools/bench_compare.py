@@ -19,7 +19,12 @@ Usage:
                         (fnmatch globs) to per-metric thresholds;
                         first matching pattern wins, falling back to
                         the global threshold. A threshold of 0 skips
-                        the metric.
+                        the metric; the string "exact" requires the
+                        values to be identical (for schedule-determined
+                        counters, where any drift is a bug, not noise).
+                        Built-in default: fault-injection counters
+                        (faulty_count_*) gate exactly unless the file
+                        overrides them.
   --json-out PATH       machine-readable verdict document
   --baseline-lenient    downgrade baseline problems (unreadable /
                         wrong-schema OLD, metrics missing from NEW) to
@@ -39,6 +44,11 @@ import sys
 import tempfile
 
 SCHEMA_VERSION = 1
+
+# Patterns appended after any --thresholds file entries (first match
+# wins, so a file can override these). Deterministic fault-injection
+# counters are schedule-exact: a ratio bar would let drift through.
+DEFAULT_PER_METRIC = [("faulty_count_*", "exact")]
 
 
 def load_report(path):
@@ -98,6 +108,15 @@ def compare_reports(old, new, global_threshold, per_metric, lenient):
             ratio = 1.0 if numerator == 0 else float("inf")
         else:
             ratio = numerator / denominator
+        if bar == "exact":
+            status = "ok" if new_value == old_value else "REGRESSION"
+            if status == "REGRESSION":
+                verdict = "regression"
+            rows.append({"metric": name, "old": old_value,
+                         "new": new_value,
+                         "unit": entry.get("unit", ""), "ratio": ratio,
+                         "threshold": bar, "status": status})
+            continue
         if bar <= 0:
             status = "skipped"
         elif ratio >= bar:
@@ -126,9 +145,12 @@ def print_table(rows, missing, old, new):
             print(f"{r['metric']:<{width}} {'-':>14} {r['new']:>14.4g} "
                   f"{'-':>8} {'-':>6}  new metric")
             continue
+        bar = (f"{r['threshold']:>6.2f}"
+               if isinstance(r["threshold"], (int, float))
+               else f"{r['threshold']:>6}")
         print(f"{r['metric']:<{width}} {r['old']:>14.4g} "
               f"{r['new']:>14.4g} {r['ratio']:>8.3f} "
-              f"{r['threshold']:>6.2f}  {r['status']}")
+              f"{bar}  {r['status']}")
     for name in missing:
         print(f"{name:<{width}} missing from new report")
 
@@ -152,6 +174,7 @@ def run_compare(argv):
         except (OSError, json.JSONDecodeError, AttributeError) as e:
             print(f"error: bad thresholds file: {e}", file=sys.stderr)
             return 2
+    per_metric += DEFAULT_PER_METRIC
 
     new, err = load_report(args.new)
     if err:
@@ -190,9 +213,11 @@ def run_compare(argv):
     if verdict == "regression":
         worst = min((r for r in rows if r["status"] == "REGRESSION"),
                     key=lambda r: r["ratio"])
+        bar = (f"{worst['threshold']:.2f}"
+               if isinstance(worst["threshold"], (int, float))
+               else str(worst["threshold"]))
         print(f"\nFAIL: {worst['metric']} regressed to "
-              f"{worst['ratio']:.3f}x (threshold "
-              f"{worst['threshold']:.2f})")
+              f"{worst['ratio']:.3f}x (threshold {bar})")
         return 1
     print("\nPASS: no metric below threshold")
     return 0
@@ -284,6 +309,37 @@ def self_test():
                      "latency": (10.0, "ms", False),
                      "extra_metric": (5.0, "x", True)})
     scenario("new metric passes", base, grown, ["--threshold", "0.9"], 0)
+
+    # Exact-gated counters: the built-in faulty_count_* default holds
+    # schedule-determined values to equality — a one-count drift fails
+    # even though the ratio is well inside any noise threshold.
+    fault_base = _report({"faulty_count_timeouts": (1.0, "count", True),
+                          "faulty_ms": (50.0, "ms", False)})
+    scenario("exact counter match passes", fault_base, fault_base,
+             ["--threshold", "0.9"], 0)
+    fault_drift = _report({"faulty_count_timeouts": (2.0, "count", True),
+                           "faulty_ms": (50.0, "ms", False)})
+    scenario("exact counter drift fails", fault_base, fault_drift,
+             ["--threshold", "0.9"], 1)
+    # "exact" also works as an explicit value in a thresholds file.
+    with tempfile.TemporaryDirectory() as d:
+        config_path = os.path.join(d, "thresholds.json")
+        with open(config_path, "w") as f:
+            json.dump({"latency": "exact"}, f)
+        old_path = os.path.join(d, "old.json")
+        new_path = os.path.join(d, "new.json")
+        with open(old_path, "w") as f:
+            json.dump(base, f)
+        with open(new_path, "w") as f:
+            json.dump(_report({"throughput": (1000.0, "ops/s", True),
+                               "latency": (10.1, "ms", False)}), f)
+        rc = run_compare([old_path, new_path, "--threshold", "0.9",
+                          "--thresholds", config_path])
+        marker = "ok" if rc == 1 else "FAIL"
+        print(f"[{marker}] explicit exact threshold gates: rc={rc} "
+              "expected=1")
+        if rc != 1:
+            failures.append("explicit exact threshold gates")
 
     # Per-metric thresholds: exempt one metric, gate the rest.
     with tempfile.TemporaryDirectory() as d:
