@@ -1,0 +1,232 @@
+//===- bench/bench_warm_start.cpp - warm-start vs from-scratch training -----===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the generalist-policy payoff: how many PPO updates a
+/// warm-started agent needs to match the from-scratch winner. A donor
+/// policy is trained on a near shape of the same kernel (conditioned
+/// embedding, shared operand-slot width — exactly what
+/// serve::PolicyStore hands a cache-miss job), then the target shape
+/// is trained twice from the same seed: cold (orthogonal init) and
+/// warm (ActorCritic::loadCompatible from the donor checkpoint). Both
+/// best-time trajectories are reported update by update; the headline
+/// metrics are the number of updates each run needs to first reach the
+/// cold run's final best time.
+///
+/// Outside CUASMRL_FAST smoke mode the bench FAILS (exit 1) when the
+/// warm run needs more updates than the cold run or no tensors
+/// transferred — the generalist warm start must never be worse than a
+/// fresh init on this paired-seed protocol.
+///
+/// Emits a machine-readable JSON report (see tools/run_benchmarks.py):
+///
+///   bench_warm_start [--json PATH] [--steps N]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "analysis/OperandTable.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+using namespace cuasmrl;
+using namespace cuasmrl::bench;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+/// Paired seed for the cold and warm target runs; the donor trains on
+/// its own stream so its policy is independent of the comparison.
+constexpr uint64_t kDonorSeed = 7;
+constexpr uint64_t kTargetSeed = 9;
+
+env::GameConfig conditionedGameConfig(WorkloadKind Kind,
+                                      const WorkloadShape &Shape,
+                                      size_t OperandSlots) {
+  env::GameConfig G = trainingGameConfig();
+  env::WorkloadContext Ctx;
+  Ctx.Kind = Kind;
+  Ctx.Shape = Shape;
+  Ctx.OperandSlots = OperandSlots;
+  G.Context = Ctx;
+  return G;
+}
+
+/// One training run: per-update best-time trajectory plus the final
+/// converged numbers.
+struct Trajectory {
+  std::vector<double> BestUsPerUpdate;
+  double TritonUs = 0.0;
+  double BestUs = 0.0;
+  size_t TransferredTensors = 0;
+};
+
+Trajectory runTraining(gpusim::Gpu &Device, const BuiltKernel &Kernel,
+                       WorkloadKind Kind, const WorkloadShape &Shape,
+                       size_t OperandSlots, unsigned TotalSteps,
+                       uint64_t Seed, const std::string *WarmBlob) {
+  env::AssemblyGame Game(Device, Kernel,
+                         conditionedGameConfig(Kind, Shape, OperandSlots));
+  core::GameEnvAdapter Env(Game);
+  rl::PpoConfig PC = benchPpoConfig(TotalSteps, Seed);
+  rl::PpoTrainer Trainer({&Env}, PC);
+  Trajectory Out;
+  if (WarmBlob)
+    Out.TransferredTensors = Trainer.warmStartFrom(*WarmBlob);
+  unsigned Updates = std::max(1u, TotalSteps / PC.RolloutLen);
+  Out.BestUsPerUpdate.reserve(Updates);
+  for (unsigned U = 0; U < Updates; ++U) {
+    Trainer.update();
+    Out.BestUsPerUpdate.push_back(Game.bestTimeUs());
+  }
+  Out.TritonUs = Game.initialTimeUs();
+  Out.BestUs = Game.bestTimeUs();
+  return Out;
+}
+
+/// First update (1-based) whose best time is at or below \p Target;
+/// Trajectory-length + 1 when never reached.
+unsigned updatesToReach(const std::vector<double> &Traj, double Target) {
+  const double Eps = Target * 1e-9;
+  for (size_t I = 0; I < Traj.size(); ++I)
+    if (Traj[I] <= Target + Eps)
+      return static_cast<unsigned>(I) + 1;
+  return static_cast<unsigned>(Traj.size()) + 1;
+}
+
+std::string serializeNet(const rl::ActorCritic &Net) {
+  std::ostringstream OS;
+  Net.save(OS);
+  return OS.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Steps = 0;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (Arg == "--steps" && I + 1 < argc)
+      Steps = static_cast<unsigned>(std::atoi(argv[++I]));
+    else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--steps N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!Steps)
+    Steps = stepsBudget(2048);
+
+  std::cout << "== Warm start: generalist policy transfer vs from-scratch "
+               "training ==\n("
+            << Steps << " steps per run, softmax donor/target shapes)\n\n";
+
+  gpusim::Gpu Device;
+  Rng DataRng(3);
+  WorkloadKind Kind = WorkloadKind::Softmax;
+  WorkloadShape TargetShape = testShape(Kind);
+  WorkloadShape DonorShape = TargetShape;
+  DonorShape.Rows *= 2; // The "nearest stored shape" a PolicyStore finds.
+
+  BuiltKernel Donor = buildKernel(Device, Kind, DonorShape,
+                                  candidateConfigs(Kind).front(),
+                                  ScheduleStyle::TritonO3, DataRng);
+  BuiltKernel Target = buildKernel(Device, Kind, TargetShape,
+                                   candidateConfigs(Kind).front(),
+                                   ScheduleStyle::TritonO3, DataRng);
+  // Shared slot width across both shapes — the mixed-pool contract the
+  // serving path uses, and what makes the donor checkpoint geometry-
+  // compatible with the target net.
+  size_t OperandSlots = std::max(
+      analysis::OperandTable::build(Donor.Prog).maxOperands(),
+      analysis::OperandTable::build(Target.Prog).maxOperands());
+
+  // Donor policy: trained on the near shape, serialized exactly like
+  // core::OptimizeResult::PolicyBlob / serve::PolicyStore contents.
+  std::string DonorBlob;
+  {
+    env::AssemblyGame Game(Device, Donor,
+                           conditionedGameConfig(Kind, DonorShape,
+                                                 OperandSlots));
+    core::GameEnvAdapter Env(Game);
+    rl::PpoTrainer Trainer({&Env}, benchPpoConfig(Steps, kDonorSeed));
+    Trainer.train();
+    DonorBlob = serializeNet(Trainer.net());
+  }
+
+  Trajectory Cold = runTraining(Device, Target, Kind, TargetShape,
+                                OperandSlots, Steps, kTargetSeed, nullptr);
+  Trajectory Warm = runTraining(Device, Target, Kind, TargetShape,
+                                OperandSlots, Steps, kTargetSeed, &DonorBlob);
+
+  double TargetUs = Cold.BestUs;
+  unsigned ColdUpdates = updatesToReach(Cold.BestUsPerUpdate, TargetUs);
+  unsigned WarmUpdates = updatesToReach(Warm.BestUsPerUpdate, TargetUs);
+  bool WarmReached = WarmUpdates <= Warm.BestUsPerUpdate.size();
+
+  Table Out({"update", "cold best us", "warm best us"});
+  size_t N = Cold.BestUsPerUpdate.size();
+  for (size_t I = 0; I < N; I += std::max<size_t>(1, N / 16))
+    Out.addRow({std::to_string(I + 1),
+                formatDouble(Cold.BestUsPerUpdate[I], 3),
+                formatDouble(Warm.BestUsPerUpdate[I], 3)});
+  Out.print(std::cout);
+
+  std::cout << "\ntriton baseline:     " << formatDouble(Cold.TritonUs, 3)
+            << " us\ncold final best:     " << formatDouble(Cold.BestUs, 3)
+            << " us (winner after " << ColdUpdates
+            << " updates)\nwarm final best:     "
+            << formatDouble(Warm.BestUs, 3) << " us\nwarm reaches winner: "
+            << (WarmReached ? "update " + std::to_string(WarmUpdates)
+                            : std::string("never"))
+            << "\ntensors transferred: " << Warm.TransferredTensors << "\n";
+
+  stats::BenchReport Rep("warm_start", reportMeta());
+  Rep.addMetric("cold_updates_to_winner", double(ColdUpdates), "updates",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("warm_updates_to_winner", double(WarmUpdates), "updates",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("update_savings",
+                double(ColdUpdates) / std::max(1.0, double(WarmUpdates)),
+                "x");
+  Rep.addMetric("cold_best_us", Cold.BestUs, "us", /*HigherIsBetter=*/false);
+  Rep.addMetric("warm_best_us", Warm.BestUs, "us", /*HigherIsBetter=*/false);
+  Rep.addMetric("warm_start_tensors", double(Warm.TransferredTensors),
+                "count");
+
+  auto TrajJson = [](const std::vector<double> &Traj) {
+    stats::JsonValue Arr = stats::JsonValue::array();
+    for (double V : Traj)
+      Arr.push(stats::JsonValue(V));
+    return Arr;
+  };
+  stats::JsonValue Extra = stats::JsonValue::object();
+  Extra.set("steps", stats::JsonValue(static_cast<uint64_t>(Steps)));
+  Extra.set("triton_us", stats::JsonValue(Cold.TritonUs));
+  Extra.set("warm_reached_winner", stats::JsonValue(WarmReached));
+  Extra.set("cold_trajectory_us", TrajJson(Cold.BestUsPerUpdate));
+  Extra.set("warm_trajectory_us", TrajJson(Warm.BestUsPerUpdate));
+  Rep.setExtra(std::move(Extra));
+
+  if (!emitReport(Rep, JsonPath))
+    return 1;
+
+  // In smoke mode the budget is too small for the trajectories to be
+  // meaningful, so the gate is advisory only.
+  bool Pass = Warm.TransferredTensors > 0 && WarmUpdates <= ColdUpdates;
+  std::cout << "\n"
+            << (Pass ? "PASS" : (fastMode() ? "WARN (fast mode)" : "FAIL"))
+            << ": warm start reached the cold winner in " << WarmUpdates
+            << " vs " << ColdUpdates << " updates ("
+            << Warm.TransferredTensors << " tensors transferred)\n";
+  return (Pass || fastMode()) ? 0 : 1;
+}

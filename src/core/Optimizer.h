@@ -60,6 +60,14 @@ struct OptimizeConfig {
   unsigned AutotuneWorkers = 1;
   /// Base seed of the sweep's per-candidate data/noise streams.
   uint64_t AutotuneSeed = 7;
+  /// Condition the observation embedding on the workload identity
+  /// (kernel-kind one-hot, log-scaled shape dims, GPU type) — the
+  /// generalist-policy observation format. Result-relevant: the agent
+  /// trains on different observations, so this field is part of
+  /// configDigest() in serve/OptimizationService.cpp. optimizeMany()
+  /// always conditions (a shared policy needs the workload identity in
+  /// the observation) regardless of this flag.
+  bool ConditionEmbedding = false;
 };
 
 /// Everything one run produces.
@@ -83,6 +91,12 @@ struct OptimizeResult {
   /// counters summed over every game's own measurements (select /
   /// fetch / execute / writeback families, selectHitRate()).
   gpusim::PerfCounters RolloutCounters;
+  /// The trained policy, serialized (rl::ActorCritic::save) — the
+  /// warm-start source for later near-shape runs (serve::PolicyStore).
+  std::string PolicyBlob;
+  /// Tensors transferred from the warm-start checkpoint this run was
+  /// given (rl::ActorCritic::loadCompatible); 0 = cold start.
+  size_t WarmStartTensors = 0;
 
   double speedup() const {
     return OptimizedUs > 0 ? TritonUs / OptimizedUs : 1.0;
@@ -98,6 +112,32 @@ struct DeployStats {
   unsigned Attempted = 0;
   unsigned Stored = 0;
   unsigned Failures = 0;
+};
+
+/// One workload in an optimizeMany() batch.
+struct WorkloadRequest {
+  kernels::WorkloadKind Kind = kernels::WorkloadKind::Softmax;
+  kernels::WorkloadShape Shape;
+};
+
+/// What a shared cross-kernel run produces: per-request results (in
+/// request order — each carries the shared PolicyBlob and its own
+/// schedule, verification and accounting) plus the joint training
+/// series.
+struct MultiOptimizeResult {
+  std::vector<OptimizeResult> Results;
+  /// Joint PPO series over every curriculum phase, concatenated in
+  /// phase order (per-request Training stays empty — the policy is
+  /// shared, so there is no per-workload series to report).
+  std::vector<rl::UpdateStats> Training;
+  std::vector<double> EpisodeReturns;
+  /// The generalist policy (identical to every result's PolicyBlob).
+  std::string PolicyBlob;
+  /// Curriculum order: request indices sorted by compiled program size
+  /// ascending (phase p trains on the first p+1 entries' env pools).
+  std::vector<size_t> Curriculum;
+  /// Tensors transferred from the warm-start checkpoint; 0 = cold.
+  size_t WarmStartTensors = 0;
 };
 
 /// The optimizer.
@@ -117,19 +157,57 @@ public:
   /// epoch, between stages — and a tripped token unwinds with
   /// support::CancelledError (partial results are discarded; the
   /// autotuner's single-flight keys are reclaimed, never poisoned).
+  ///
+  /// \p WarmStartPolicy, when non-null and non-empty, is a serialized
+  /// policy (OptimizeResult::PolicyBlob) to initialize training from;
+  /// every geometry-compatible tensor transfers, the rest keep their
+  /// fresh init (see OptimizeResult::WarmStartTensors). \p GpuType
+  /// only labels the conditioning block when
+  /// OptimizeConfig::ConditionEmbedding is set.
   OptimizeResult optimize(gpusim::Gpu &Device, kernels::WorkloadKind Kind,
                           const kernels::WorkloadShape &Shape,
                           Rng &DataRng,
-                          const support::CancelToken *Cancel = nullptr)
-      const;
+                          const support::CancelToken *Cancel = nullptr,
+                          const std::string *WarmStartPolicy = nullptr,
+                          const std::string &GpuType = "A100-SIM") const;
 
   /// Plays the assembly game on an already-built kernel (the inner
-  /// level only; used when the configuration is fixed).
+  /// level only; used when the configuration is fixed). \p Context,
+  /// when non-null, overrides GameConfig::Context for every game
+  /// (optimize() builds it from the workload identity when
+  /// ConditionEmbedding is set).
   OptimizeResult optimizeSchedule(gpusim::Gpu &Device,
                                   const kernels::BuiltKernel &Kernel,
                                   Rng &DataRng,
                                   const support::CancelToken *Cancel =
+                                      nullptr,
+                                  const std::string *WarmStartPolicy =
+                                      nullptr,
+                                  const env::WorkloadContext *Context =
                                       nullptr) const;
+
+  /// Shared cross-kernel training (the generalist policy): autotunes
+  /// and compiles every request, then trains ONE conditioned policy
+  /// over the union of their env pools with a size curriculum — phases
+  /// ordered by compiled program size ascending, phase p training on
+  /// the cumulative pool of the p+1 smallest workloads, with the PPO
+  /// step budget (Ppo.TotalSteps) split evenly across phases and LR
+  /// annealing spanning the whole run. Every game embeds with the
+  /// conditioned observation format (workload one-hot + log-scaled
+  /// shape + \p GpuType) padded to the pool-wide operand-slot maximum,
+  /// so one net serves all. Greedy replay, best-schedule selection and
+  /// probabilistic testing then run per workload exactly as in
+  /// optimize(). Requests whose autotune sweep is invalid are excluded
+  /// from training and returned with AutotuneValid = false.
+  ///
+  /// Determinism matches optimize(): results are bit-identical for any
+  /// RolloutWorkers value.
+  MultiOptimizeResult
+  optimizeMany(gpusim::Gpu &Device,
+               const std::vector<WorkloadRequest> &Requests, Rng &DataRng,
+               const support::CancelToken *Cancel = nullptr,
+               const std::string *WarmStartPolicy = nullptr,
+               const std::string &GpuType = "A100-SIM") const;
 
   /// Level-1-only batch API: tunes every request in one parallel,
   /// deterministic sweep (Config.AutotuneWorkers / AutotuneSeed) and,

@@ -50,8 +50,9 @@ AssemblyGame::AssemblyGame(gpusim::Gpu &Dev,
     : OwnedDevice(Cfg.PrivateDevice ? std::make_unique<gpusim::Gpu>(Dev)
                                     : nullptr),
       Device(OwnedDevice ? *OwnedDevice : Dev), Kernel(K),
-      Config(std::move(Cfg)), Original(K.Prog),
-      Prog(K.Prog), Embed(K.Prog),
+      Config(std::move(Cfg)), Original(K.Prog), Prog(K.Prog),
+      Embed(Config.Context ? Embedding(K.Prog, *Config.Context)
+                           : Embedding(K.Prog)),
       Analysis(analysis::analyzeStallCounts(K.Prog, Config.Table)),
       Regions(analysis::computeRegions(K.Prog,
                                        analysis::BoundaryKind::LabelsAndSync)),

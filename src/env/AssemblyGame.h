@@ -32,6 +32,7 @@
 #include "kernels/Builder.h"
 
 #include <memory>
+#include <optional>
 
 namespace cuasmrl {
 namespace env {
@@ -70,6 +71,14 @@ struct GameConfig {
   /// mutates global memory and cache state, so concurrent games must
   /// not share one Gpu.
   bool PrivateDevice = false;
+  /// Workload conditioning for the generalist policy: when set, the
+  /// observation rows carry the context block (and shared operand-slot
+  /// padding) of a conditioned env::Embedding, so one network can be
+  /// trained across kernels and shapes. Runtime wiring the optimizer
+  /// controls per workload (like SharedCache/PrivateDevice): the
+  /// conditioning values derive from the request itself, so this field
+  /// does not participate in the serving layer's config digest.
+  std::optional<WorkloadContext> Context;
 };
 
 /// One applied (accepted) action, for the §5.7 move-discovery traces.

@@ -6,8 +6,11 @@
 
 #include "env/Embedding.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace cuasmrl;
 using namespace cuasmrl::env;
@@ -16,12 +19,57 @@ namespace {
 /// Control-code scalar fields before the operand slots: 6 wait bits,
 /// read barrier, write barrier, yield, stall, memory-opcode flag.
 constexpr size_t FixedFeatures = 6 + 1 + 1 + 1 + 1 + 1;
+
+/// Shape fields embedded into the context block, in the DeployIndex
+/// sidecar order.
+constexpr size_t NumShapeFields = 9;
+
+/// Log-scale a shape dimension into roughly [0, 1): dimensions are
+/// scale-relative (Rows 64 vs 96 matters as a ratio, not a difference),
+/// and 2^32 caps every realistic extent.
+float logScaled(unsigned V) {
+  return static_cast<float>(std::log2(1.0 + static_cast<double>(V)) / 32.0);
+}
+
+std::vector<float> buildContextBlock(const WorkloadContext &Ctx) {
+  const std::vector<kernels::WorkloadKind> Kinds = kernels::allWorkloads();
+  std::vector<float> Block;
+  Block.reserve(Kinds.size() + NumShapeFields + 1);
+  // Kernel-kind one-hot (allWorkloads() order, which is fixed).
+  for (kernels::WorkloadKind K : Kinds)
+    Block.push_back(K == Ctx.Kind ? 1.0f : 0.0f);
+  // Log-scaled shape dimensions (same field order as the deploy-meta
+  // sidecars).
+  const kernels::WorkloadShape &S = Ctx.Shape;
+  for (unsigned V : {S.B, S.M, S.N, S.K, S.NHead, S.SeqLen, S.DHead,
+                     S.Rows, S.Cols})
+    Block.push_back(logScaled(V));
+  // GpuType as one hashed scalar in [0, 1): distinct device types map
+  // to distinct (with overwhelming probability) conditioning values.
+  Block.push_back(static_cast<float>(
+      static_cast<double>(fnv1a64(Ctx.GpuType) >> 40) /
+      static_cast<double>(uint64_t(1) << 24)));
+  return Block;
+}
+
 } // namespace
+
+size_t Embedding::contextFeatures() {
+  return kernels::allWorkloads().size() + NumShapeFields + 1;
+}
 
 Embedding::Embedding(const sass::Program &Initial)
     : Table(analysis::OperandTable::build(Initial)),
+      Rows(Initial.instrCount()), OperandSlotCount(Table.maxOperands()),
+      Features(FixedFeatures + OperandSlotCount) {}
+
+Embedding::Embedding(const sass::Program &Initial,
+                     const WorkloadContext &Ctx)
+    : Table(analysis::OperandTable::build(Initial)),
       Rows(Initial.instrCount()),
-      Features(FixedFeatures + Table.maxOperands()) {}
+      OperandSlotCount(std::max(Table.maxOperands(), Ctx.OperandSlots)),
+      Features(FixedFeatures + OperandSlotCount + contextFeatures()),
+      CtxBlock(buildContextBlock(Ctx)) {}
 
 void Embedding::embedInstr(const sass::Instruction &I, float *Row) const {
   const sass::ControlCode &CC = I.ctrl();
@@ -40,11 +88,11 @@ void Embedding::embedInstr(const sass::Instruction &I, float *Row) const {
   Row[F++] = I.isMemory() ? 1.0f : -1.0f;
 
   // Operands: memory locations become normalized memory-table indices,
-  // registers normalized register-table indices; missing slots pad -1.
+  // registers normalized register-table indices; missing slots pad -1
+  // (including any shared-width padding beyond this kernel's arity).
   const double NumMems = std::max<size_t>(1, Table.numMems());
   const double NumRegs = std::max<size_t>(1, Table.numRegs());
-  size_t Slots = Features - FixedFeatures;
-  for (size_t S = 0; S < Slots; ++S) {
+  for (size_t S = 0; S < OperandSlotCount; ++S) {
     float Value = -1.0f;
     if (S < I.operands().size()) {
       const sass::Operand &Op = I.operands()[S];
@@ -77,6 +125,11 @@ void Embedding::embedInstr(const sass::Instruction &I, float *Row) const {
     }
     Row[F++] = Value;
   }
+
+  // Workload-conditioning suffix (constant across rows; empty for the
+  // legacy unconditioned path).
+  for (float C : CtxBlock)
+    Row[F++] = C;
   assert(F == Features && "row width mismatch");
 }
 

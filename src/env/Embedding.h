@@ -11,18 +11,44 @@
 /// concatenated; absent fields and operand padding use dummy -1 values;
 /// rows are concatenated to form the state matrix.
 ///
+/// For the generalist (cross-kernel) policy the embedding can be
+/// *conditioned* on the workload: a fixed-width context block — kernel
+/// kind one-hot, log-scaled shape dimensions, a GpuType feature — is
+/// appended to every row, and the operand-slot block can be padded to a
+/// shared width so kernels with different operand arities produce the
+/// same feature count. The per-row instruction features are unchanged:
+/// a conditioned embedding's leading columns are bit-identical to the
+/// legacy unconditioned path (pinned by differential tests).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUASMRL_ENV_EMBEDDING_H
 #define CUASMRL_ENV_EMBEDDING_H
 
 #include "analysis/OperandTable.h"
+#include "kernels/Workload.h"
 #include "sass/Program.h"
 
 #include <vector>
 
 namespace cuasmrl {
 namespace env {
+
+/// Workload conditioning for the generalist policy: identifies which
+/// (kernel, shape, GPU) a schedule belongs to, so one shared network
+/// can tell mixed-kernel observations apart.
+struct WorkloadContext {
+  kernels::WorkloadKind Kind = kernels::WorkloadKind::Softmax;
+  kernels::WorkloadShape Shape;
+  /// The paper keys deployments by GPU type first (§4.2); embedded as
+  /// one hashed scalar so policies never alias across device types.
+  std::string GpuType = "A100-SIM";
+  /// Shared operand-slot width: the operand block is padded with dummy
+  /// -1 columns up to this many slots, so every kernel in a mixed
+  /// training pool shares one feature count. 0 (or fewer slots than
+  /// the program's own max arity) keeps the natural width.
+  size_t OperandSlots = 0;
+};
 
 /// Fixed-shape embedder for one kernel's schedules.
 class Embedding {
@@ -31,6 +57,21 @@ public:
   /// initial schedule (instruction count and operand arity never change
   /// during the game — swaps preserve the multiset).
   explicit Embedding(const sass::Program &Initial);
+
+  /// Conditioned embedder: like the legacy constructor, plus \p Ctx's
+  /// context block appended to every row (and the operand slots padded
+  /// to Ctx.OperandSlots). With OperandSlots at the natural width, the
+  /// first features() - contextFeatures() columns of every row are
+  /// bit-identical to the unconditioned embedding of the same program.
+  Embedding(const sass::Program &Initial, const WorkloadContext &Ctx);
+
+  /// Context-block width appended per row: one slot per workload kind
+  /// (one-hot), one per shape field (log-scaled), one for the GpuType.
+  static size_t contextFeatures();
+
+  /// The context block a conditioned embedder appends to every row
+  /// (exposed for differential tests); empty for the legacy path.
+  const std::vector<float> &contextBlock() const { return CtxBlock; }
 
   /// Rows of the state matrix (= instruction count).
   size_t rows() const { return Rows; }
@@ -45,9 +86,10 @@ public:
   void embedInto(const sass::Program &Prog, std::vector<float> &Out) const;
 
   /// Exchanges rows \p Row and \p Row+1 of \p Matrix in place. A row is
-  /// a pure function of its instruction, so swapping two adjacent
-  /// instruction statements updates the observation exactly — the
-  /// swap-aware O(features) alternative to re-embedding the program.
+  /// a pure function of its instruction (the context block is constant
+  /// across rows), so swapping two adjacent instruction statements
+  /// updates the observation exactly — the swap-aware O(features)
+  /// alternative to re-embedding the program.
   void swapAdjacentRows(std::vector<float> &Matrix, size_t Row) const;
 
   const analysis::OperandTable &table() const { return Table; }
@@ -57,7 +99,10 @@ private:
 
   analysis::OperandTable Table;
   size_t Rows = 0;
+  size_t OperandSlotCount = 0; ///< Operand block width (>= natural).
   size_t Features = 0;
+  /// Precomputed per-row conditioning suffix; empty when unconditioned.
+  std::vector<float> CtxBlock;
 };
 
 } // namespace env

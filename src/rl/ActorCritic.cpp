@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cmath>
 #include <istream>
+#include <optional>
 #include <ostream>
 
 using namespace cuasmrl;
@@ -81,8 +82,14 @@ ActorCritic::ActorCritic(NetConfig C, Rng &R) : Config(C) {
 ActorCritic::Output
 ActorCritic::forward(const std::vector<float> &Obs,
                      const std::vector<uint8_t> &Mask) const {
-  size_t F = Config.Features, L = Config.Length;
-  assert(Obs.size() == F * L && "observation shape mismatch");
+  // The row count comes from the observation itself: the conv stack
+  // and mean/max pooling are length-free, so one network consumes
+  // observations from differently sized kernels (Config.Length is only
+  // the pool maximum, for documentation and sizing).
+  size_t F = Config.Features;
+  assert(F > 0 && !Obs.empty() && Obs.size() % F == 0 &&
+         "observation shape mismatch");
+  size_t L = Obs.size() / F;
   assert(Mask.size() == Config.Actions && "mask shape mismatch");
 
   // Transpose [L x F] row-major into channel-major [F x L].
@@ -125,31 +132,94 @@ void ActorCritic::save(std::ostream &OS) const {
   }
 }
 
-bool ActorCritic::load(std::istream &IS) {
+namespace {
+
+/// One checkpoint tensor parsed into temporary storage.
+struct ParsedTensor {
+  std::vector<size_t> Shape;
+  std::vector<float> Data;
+};
+
+/// Parses a full checkpoint stream into temporaries — no live tensor
+/// is touched, which is what makes load() transactional. nullopt on
+/// any malformed input (bad magic, truncated stream, absurd sizes).
+std::optional<std::vector<ParsedTensor>> parseCheckpoint(std::istream &IS) {
+  // Sanity bounds: a real checkpoint holds 10 tensors of at most a few
+  // million floats; anything beyond these limits is corruption, and
+  // bounding here keeps a hostile stream from requesting huge buffers.
+  constexpr uint32_t MaxTensors = 256;
+  constexpr uint32_t MaxDims = 8;
+  constexpr uint64_t MaxElems = uint64_t(1) << 28;
+
   char Magic[8];
   IS.read(Magic, sizeof(Magic));
   if (!IS || std::string(Magic, 8) != "CUASMRL1")
-    return false;
+    return std::nullopt;
   uint32_t Count = 0;
   IS.read(reinterpret_cast<char *>(&Count), sizeof(Count));
-  std::vector<Tensor> Params = parameters();
-  if (!IS || Count != Params.size())
-    return false;
-  for (Tensor &P : Params) {
+  if (!IS || Count == 0 || Count > MaxTensors)
+    return std::nullopt;
+
+  std::vector<ParsedTensor> Tensors(Count);
+  for (ParsedTensor &T : Tensors) {
     uint32_t Dims = 0;
     IS.read(reinterpret_cast<char *>(&Dims), sizeof(Dims));
-    if (!IS || Dims != P.shape().size())
-      return false;
-    for (size_t D : P.shape()) {
+    if (!IS || Dims == 0 || Dims > MaxDims)
+      return std::nullopt;
+    uint64_t Elems = 1;
+    for (uint32_t D = 0; D < Dims; ++D) {
       uint64_t D64 = 0;
       IS.read(reinterpret_cast<char *>(&D64), sizeof(D64));
-      if (!IS || D64 != D)
-        return false;
+      if (!IS || D64 == 0 || D64 > MaxElems)
+        return std::nullopt;
+      Elems *= D64;
+      if (Elems > MaxElems)
+        return std::nullopt;
+      T.Shape.push_back(static_cast<size_t>(D64));
     }
-    IS.read(reinterpret_cast<char *>(P.data().data()),
-            static_cast<std::streamsize>(P.size() * sizeof(float)));
+    T.Data.resize(static_cast<size_t>(Elems));
+    IS.read(reinterpret_cast<char *>(T.Data.data()),
+            static_cast<std::streamsize>(Elems * sizeof(float)));
     if (!IS)
-      return false;
+      return std::nullopt;
   }
+  return Tensors;
+}
+
+} // namespace
+
+bool ActorCritic::load(std::istream &IS) {
+  std::optional<std::vector<ParsedTensor>> Parsed = parseCheckpoint(IS);
+  std::vector<Tensor> Params = parameters();
+  if (!Parsed || Parsed->size() != Params.size())
+    return false;
+  // Validate every shape before touching any live tensor: the swap
+  // below happens only when the whole checkpoint matches.
+  for (size_t I = 0; I < Params.size(); ++I)
+    if ((*Parsed)[I].Shape != Params[I].shape())
+      return false;
+  for (size_t I = 0; I < Params.size(); ++I)
+    Params[I].data() = std::move((*Parsed)[I].Data);
   return true;
+}
+
+size_t ActorCritic::loadCompatible(std::istream &IS) {
+  std::optional<std::vector<ParsedTensor>> Parsed = parseCheckpoint(IS);
+  if (!Parsed)
+    return 0;
+  std::vector<Tensor> Params = parameters();
+  size_t Matched = 0;
+  // Position + shape matching: the parameter order is fixed (W1, B1,
+  // W2, B2, Wh, Bh, Wp, Bp, Wv, Bv), so tensor I of the checkpoint
+  // corresponds to tensor I of this net; a shape mismatch (e.g. the
+  // policy head of a different action count, or conv1 at a different
+  // feature width) skips that tensor and keeps its current init.
+  const size_t N = std::min(Parsed->size(), Params.size());
+  for (size_t I = 0; I < N; ++I) {
+    if ((*Parsed)[I].Shape != Params[I].shape())
+      continue;
+    Params[I].data() = std::move((*Parsed)[I].Data);
+    ++Matched;
+  }
+  return Matched;
 }

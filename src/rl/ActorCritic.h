@@ -29,11 +29,15 @@
 namespace cuasmrl {
 namespace rl {
 
-/// Network geometry.
+/// Network geometry. Features is fixed per network; Length and Actions
+/// are *maxima* over the envs the net trains on — the conv stack plus
+/// mean/max pooling handles any row count, and shorter action spaces
+/// are padded with always-masked entries (see RolloutRunner), so one
+/// net serves a mixed-kernel pool.
 struct NetConfig {
   size_t Features = 0; ///< Embedding features per instruction.
-  size_t Length = 0;   ///< Instructions (conv length axis).
-  size_t Actions = 0;  ///< 2 x movable memory instructions.
+  size_t Length = 0;   ///< Max instructions (conv length axis).
+  size_t Actions = 0;  ///< Max 2 x movable memory instructions.
   size_t Channels = 16;
   size_t Hidden = 64;
   size_t Kernel = 5;
@@ -50,7 +54,10 @@ public:
   };
 
   /// Builds the forward graph for one observation (row-major
-  /// [Length x Features] as produced by env::Embedding).
+  /// [rows x Features] as produced by env::Embedding; the row count is
+  /// derived from the observation, so observations from differently
+  /// sized kernels flow through one network). \p Mask must span
+  /// Config.Actions entries (shorter action spaces padded with zeros).
   Output forward(const std::vector<float> &Obs,
                  const std::vector<uint8_t> &Mask) const;
 
@@ -62,8 +69,20 @@ public:
   /// \name Checkpointing (§3.7: "the agent's weight is checkpointed")
   /// @{
   void save(std::ostream &OS) const;
-  /// \returns false on malformed input or geometry mismatch.
+  /// Transactional: the stream is parsed and validated into temporary
+  /// storage first and the live weights are only replaced when every
+  /// tensor matched, so a malformed or geometry-mismatched stream can
+  /// never leave the net partially mutated. \returns false on
+  /// malformed input or geometry mismatch (net unchanged).
   bool load(std::istream &IS);
+  /// Warm start from a possibly differently-shaped checkpoint: copies
+  /// every tensor whose position and shape match this net (the conv
+  /// and hidden layers transfer whenever Features/Channels/Hidden
+  /// agree; the policy/value heads additionally need matching action
+  /// counts) and leaves the rest at their current values. \returns the
+  /// number of tensors copied — 0 for a malformed stream (net
+  /// unchanged, like load()).
+  size_t loadCompatible(std::istream &IS);
   /// @}
 
 private:

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <sstream>
 
 using namespace cuasmrl;
 using namespace cuasmrl::rl;
@@ -19,11 +20,21 @@ LockstepEnv::~LockstepEnv() = default;
 namespace {
 
 NetConfig netConfigFor(RolloutRunner &Runner, const PpoConfig &Config) {
+  // Geometry over the WHOLE pool, not env 0: a mixed-kernel pool needs
+  // the max row count and max action count (smaller envs pad their
+  // masks; the forward pass derives rows per observation). The feature
+  // width is the one dimension that must agree — it is baked into the
+  // conv weights (conditioned embeddings share it via the operand-slot
+  // padding target).
   NetConfig NC;
-  Env &E = Runner.env(0);
-  NC.Features = E.obsFeatures();
-  NC.Length = E.obsRows();
-  NC.Actions = E.actionCount();
+  NC.Features = Runner.env(0).obsFeatures();
+  for (size_t I = 0; I < Runner.numEnvs(); ++I) {
+    Env &E = Runner.env(I);
+    assert(E.obsFeatures() == NC.Features &&
+           "mixed-kernel pools must share one embedding feature width");
+    NC.Length = std::max(NC.Length, E.obsRows());
+    NC.Actions = std::max<size_t>(NC.Actions, E.actionCount());
+  }
   NC.Channels = Config.Channels;
   NC.Hidden = Config.Hidden;
   return NC;
@@ -240,6 +251,27 @@ std::vector<UpdateStats> PpoTrainer::train() {
   return Series;
 }
 
+std::vector<UpdateStats> PpoTrainer::trainOn(RolloutRunner &R,
+                                             unsigned Steps) {
+  std::vector<UpdateStats> Series;
+  const unsigned Target = StepsDone + std::max(1u, Steps);
+  while (StepsDone < Target) {
+    if (Cancel)
+      Cancel->checkpoint();
+    Series.push_back(updateFromBatch(R.collect(Net, Config.RolloutLen)));
+  }
+  return Series;
+}
+
+size_t PpoTrainer::warmStartFrom(std::istream &IS) {
+  return Net.loadCompatible(IS);
+}
+
+size_t PpoTrainer::warmStartFrom(const std::string &Blob) {
+  std::istringstream IS(Blob);
+  return Net.loadCompatible(IS);
+}
+
 std::vector<unsigned> PpoTrainer::playGreedy(Env &E, unsigned MaxSteps) {
   std::vector<unsigned> Actions;
   std::vector<float> Obs = E.reset();
@@ -250,6 +282,9 @@ std::vector<unsigned> PpoTrainer::playGreedy(Env &E, unsigned MaxSteps) {
     if (std::none_of(Mask.begin(), Mask.end(),
                      [](uint8_t M) { return M != 0; }))
       break;
+    // Pad up to the net's action count (mixed-kernel nets): padded
+    // logits sit at the mask fill value, below every legal action.
+    RolloutRunner::padMaskToNet(Mask, Net.config().Actions);
     ActorCritic::Output Out = Net.forward(Obs, Mask);
     const std::vector<float> &Logits = Out.MaskedLogits.data();
     unsigned Action = static_cast<unsigned>(std::distance(

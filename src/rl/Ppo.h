@@ -111,6 +111,22 @@ public:
   /// Runs update() until TotalSteps; returns the per-update series.
   std::vector<UpdateStats> train();
 
+  /// Curriculum phase: collects and trains over \p R (instead of the
+  /// trainer's own runner) for \p Steps env steps, continuing the
+  /// trainer's global step count (so LR annealing spans phases). \p R
+  /// must fit this net: same feature width, row and action counts no
+  /// larger than the net's (core::Optimizer::optimizeMany constructs
+  /// the net from the full workload pool before phasing).
+  std::vector<UpdateStats> trainOn(RolloutRunner &R, unsigned Steps);
+
+  /// Warm start: overwrite every geometry-compatible tensor from a
+  /// serialized checkpoint (ActorCritic::loadCompatible) before
+  /// training. \returns the number of tensors transferred (0 =
+  /// malformed blob, net untouched). Call before the first update;
+  /// the Adam state is unaffected (it references the live tensors).
+  size_t warmStartFrom(std::istream &IS);
+  size_t warmStartFrom(const std::string &Blob);
+
   /// Arms cooperative cancellation (not owned; null disarms): the
   /// trainer checkpoints before every update and once per optimization
   /// epoch, and playGreedy() checkpoints per step. A tripped token

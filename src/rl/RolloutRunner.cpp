@@ -64,14 +64,24 @@ RolloutRunner::RolloutRunner(std::vector<std::unique_ptr<Env>> E,
   Owned = std::move(E);
 }
 
+void RolloutRunner::padMaskToNet(std::vector<uint8_t> &Mask,
+                                 size_t NetActions) {
+  assert(Mask.size() <= NetActions && "env action space exceeds the net");
+  bool AnyLegal = std::any_of(Mask.begin(), Mask.end(),
+                              [](uint8_t M) { return M != 0; });
+  // All-masked fallback: uniform over the env's REAL actions only —
+  // the padding below stays zero, so the sample can't leave the env's
+  // action space even in the fallback.
+  if (!AnyLegal)
+    Mask.assign(Mask.size(), 1);
+  Mask.resize(NetActions, 0);
+}
+
 void RolloutRunner::preStep(const ActorCritic &Net, size_t Slot,
                             Transition &T) {
   T.Obs = CurrentObs[Slot];
   T.Mask = Envs[Slot]->actionMask();
-  bool AnyLegal = std::any_of(T.Mask.begin(), T.Mask.end(),
-                              [](uint8_t M) { return M != 0; });
-  if (!AnyLegal)
-    T.Mask.assign(T.Mask.size(), 1);
+  padMaskToNet(T.Mask, Net.config().Actions);
 
   ActorCritic::Output Fwd = Net.forward(T.Obs, T.Mask);
   T.Action =
@@ -110,9 +120,7 @@ void RolloutRunner::collectSlot(const ActorCritic &Net, unsigned Steps,
 
   Out.BootstrapObs = CurrentObs[Slot];
   Out.BootstrapMask = E.actionMask();
-  if (std::none_of(Out.BootstrapMask.begin(), Out.BootstrapMask.end(),
-                   [](uint8_t M) { return M != 0; }))
-    Out.BootstrapMask.assign(Out.BootstrapMask.size(), 1);
+  padMaskToNet(Out.BootstrapMask, Net.config().Actions);
 }
 
 void RolloutRunner::collectLockstep(const ActorCritic &Net, unsigned Steps,
@@ -150,9 +158,7 @@ void RolloutRunner::collectLockstep(const ActorCritic &Net, unsigned Steps,
     Trajectory &Out = Batch.Trajectories[Slot];
     Out.BootstrapObs = CurrentObs[Slot];
     Out.BootstrapMask = Envs[Slot]->actionMask();
-    if (std::none_of(Out.BootstrapMask.begin(), Out.BootstrapMask.end(),
-                     [](uint8_t M) { return M != 0; }))
-      Out.BootstrapMask.assign(Out.BootstrapMask.size(), 1);
+    padMaskToNet(Out.BootstrapMask, Net.config().Actions);
   }
 }
 

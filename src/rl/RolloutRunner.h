@@ -13,6 +13,13 @@
 /// and only read during a collect() call, and each slot steps its own
 /// environment with its own action-sampling Rng stream.
 ///
+/// The pool may mix environments of different kernels and shapes
+/// (the generalist policy): every env must share the net's feature
+/// width, while row counts vary freely (the net derives them per
+/// observation) and smaller action spaces are zero-padded up to the
+/// net's action count (padMaskToNet), so padded actions are never
+/// sampled.
+///
 /// Thread-safety / determinism contract:
 ///  - collect() must be called from one driver thread at a time.
 ///  - Environments are never shared between slots; each env must be
@@ -113,6 +120,15 @@ public:
   size_t numEnvs() const { return Envs.size(); }
   Env &env(size_t I) { return *Envs[I]; }
   const RolloutConfig &config() const { return Config; }
+
+  /// Normalizes an env's action mask for a net with \p NetActions
+  /// outputs (the mixed-kernel pool contract): an all-zero mask first
+  /// becomes all-ones over the env's own actions (the uniform
+  /// fallback), then the mask is zero-padded up to NetActions — padded
+  /// entries stay masked in every case, so an action beyond the env's
+  /// action space can never be sampled. A mask already NetActions wide
+  /// passes through bit-identically to the historical behavior.
+  static void padMaskToNet(std::vector<uint8_t> &Mask, size_t NetActions);
 
   /// Collects one \p Steps-long trajectory per env slot under the
   /// frozen policy \p Net. Slot state (current observation, running

@@ -107,6 +107,12 @@ std::string configDigest(const core::OptimizeConfig &C) {
   appendField(Raw, uint64_t(C.ProbTestRounds));
   appendMeasure(Raw, C.AutotuneMeasure);
   appendField(Raw, C.AutotuneSeed);
+  // The conditioned (generalist) observation format trains a different
+  // agent on the same workload, hence a different deployed cubin.
+  // (GameConfig::Context itself stays excluded: it is runtime wiring
+  // the optimizer derives from the request's own kind/shape/GpuType,
+  // all of which already key the deployment.)
+  appendField(Raw, uint64_t(C.ConditionEmbedding));
   char Hex[24];
   std::snprintf(Hex, sizeof(Hex), "cfg%016llx",
                 static_cast<unsigned long long>(fnv1a64(Raw)));
@@ -144,6 +150,8 @@ OptimizationService::OptimizationService(const gpusim::Gpu &Proto,
     // deploys (meta sidecars); no lock needed before construction ends.
     Index.loadFrom(*Deploy);
   }
+  if (!Config.PolicyDir.empty())
+    Policies = std::make_unique<PolicyStore>(Config.PolicyDir);
   Pool = std::make_unique<support::ThreadPool>(Workers);
   if (!Config.StartPaused)
     start();
@@ -494,18 +502,39 @@ void OptimizationService::runJob(const JobPtr &Job) {
       // The determinism contract: a private pristine device per job
       // and a data stream derived purely from (service seed, request
       // key) — the response never depends on which worker ran the
-      // job, what ran before it, or how many workers exist.
+      // job, what ran before it, or how many workers exist. Warm
+      // starts add the policy-store contents at job start to that
+      // function (see ServiceConfig::PolicyDir).
       const core::OptimizeConfig &EffConfig =
           Job->Request.Config ? *Job->Request.Config : Config.Defaults;
       const core::Optimizer Opt(EffConfig);
       gpusim::Gpu Local(Prototype);
       Rng DataRng(mixSeed(Config.Seed, fnv1a64(Key)));
-      core::OptimizeResult Result =
-          Opt.optimize(Local, Job->Request.Kind, Job->Request.Shape,
-                       DataRng, &Job->Cancel);
+
+      // Warm start: the stored policy for this exact key (e.g. the
+      // cubin store failed last time, or the key was trained under
+      // PersistPolicies on another instance), else the nearest trained
+      // shape of the same (GpuType, kind).
+      std::optional<std::string> WarmBlob;
+      std::string WarmKey;
+      if (Policies) {
+        if ((WarmBlob = Policies->load(Key)))
+          WarmKey = Key;
+        else
+          WarmBlob = Policies->nearest(Job->Request.GpuType,
+                                       Job->Request.Kind,
+                                       Job->Request.Shape, Key, &WarmKey);
+      }
+
+      core::OptimizeResult Result = Opt.optimize(
+          Local, Job->Request.Kind, Job->Request.Shape, DataRng,
+          &Job->Cancel, WarmBlob ? &*WarmBlob : nullptr,
+          Job->Request.GpuType);
       Resp.St = OptimizeResponse::Status::Optimized;
       Resp.Result = std::move(Result);
       Resp.Binary = Resp.Result.Kernel.Binary;
+      if (Resp.Result.WarmStartTensors > 0)
+        Resp.WarmStartedFrom = std::move(WarmKey);
       break;
     } catch (const support::CancelledError &) {
       Resp.St = OptimizeResponse::Status::DeadlineExceeded;
@@ -578,6 +607,37 @@ void OptimizationService::runJob(const JobPtr &Job) {
               Key + "'");
     }
   }
+
+  // Policy write-back: every successfully trained policy is a future
+  // warm-start source — even when the schedule failed verification
+  // (the policy's quality is independent of one schedule's
+  // probabilistic test).
+  if (Resp.St == OptimizeResponse::Status::Optimized && Policies &&
+      Config.PersistPolicies && Resp.Result.AutotuneValid &&
+      !Resp.Result.PolicyBlob.empty()) {
+    DeployedEntry Entry;
+    Entry.GpuType = Job->Request.GpuType;
+    Entry.Kind = Job->Request.Kind;
+    Entry.Shape = Job->Request.Shape;
+    Entry.Key = Key;
+    const bool Stored = Policies->store(Key, Resp.Result.PolicyBlob, Entry);
+    if (!Stored)
+      logWarn("OptimizationService: failed to persist policy for key '" +
+              Key + "'");
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stored)
+      ++Counters.PolicyStores;
+    else
+      ++Counters.PolicyStoreFailures;
+  }
+
+  if (Resp.St == OptimizeResponse::Status::Optimized &&
+      Resp.Result.WarmStartTensors > 0) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.WarmStarts;
+    Counters.WarmStartTensors += Resp.Result.WarmStartTensors;
+  }
+
   Resp.WallMs = elapsedMs(*Clk, Job->Admitted);
   finishJob(Job, std::move(Resp));
 }

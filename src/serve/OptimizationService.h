@@ -63,6 +63,7 @@
 #include "core/Optimizer.h"
 #include "serve/DeployIndex.h"
 #include "serve/JobQueue.h"
+#include "serve/PolicyStore.h"
 #include "support/Cancellation.h"
 #include "support/Clock.h"
 #include "support/FaultInjector.h"
@@ -129,6 +130,10 @@ struct OptimizeResponse {
   bool Persisted = false;
   /// Status::Degraded only: the deploy-cache key actually served.
   std::string DegradedFrom;
+  /// Status::Optimized only: the policy-store key training warm-
+  /// started from (empty = cold start; Result.WarmStartTensors counts
+  /// the transferred tensors).
+  std::string WarmStartedFrom;
   std::string Error;
   double WallMs = 0.0; ///< Admission-to-resolution wall time.
 };
@@ -176,6 +181,11 @@ struct ServiceStats {
   uint64_t DegradedHits = 0;     ///< Near-miss responses served.
   uint64_t NearMissUpgrades = 0; ///< Background jobs that upgraded a
                                  ///< degraded key to an exact deploy.
+  uint64_t WarmStarts = 0;       ///< Jobs that transferred >= 1 tensor
+                                 ///< from a stored policy.
+  uint64_t WarmStartTensors = 0; ///< ...tensors transferred in total.
+  uint64_t PolicyStores = 0;     ///< Trained policies persisted.
+  uint64_t PolicyStoreFailures = 0; ///< PolicyStore::store() failures.
   uint64_t JobRetries = 0;       ///< Transient job errors retried.
   uint64_t StoreRetries = 0;     ///< DeployCache::store retries.
   uint64_t LoadRetries = 0;      ///< DeployCache::load retries.
@@ -219,6 +229,10 @@ template <typename S, typename Fn> void visitServiceCounters(S &Stats,
   F("ExpiredMidJob", Stats.ExpiredMidJob);
   F("DegradedHits", Stats.DegradedHits);
   F("NearMissUpgrades", Stats.NearMissUpgrades);
+  F("WarmStarts", Stats.WarmStarts);
+  F("WarmStartTensors", Stats.WarmStartTensors);
+  F("PolicyStores", Stats.PolicyStores);
+  F("PolicyStoreFailures", Stats.PolicyStoreFailures);
   F("JobRetries", Stats.JobRetries);
   F("StoreRetries", Stats.StoreRetries);
   F("LoadRetries", Stats.LoadRetries);
@@ -262,6 +276,23 @@ struct ServiceConfig {
   /// Master switch for near-miss degradation (per-request opt-out via
   /// OptimizeRequest::AllowDegraded).
   bool EnableNearMiss = true;
+  /// Policy-checkpoint directory; empty disables warm starts entirely.
+  /// When set, a cache-miss job initializes training from the stored
+  /// policy nearest its shape (same GpuType and kind; its own key's
+  /// policy wins when present) instead of a fresh orthogonal init.
+  ///
+  /// Determinism caveat: warm starts make a job's response a pure
+  /// function of (prototype device, Seed, request key, POLICY-STORE
+  /// CONTENTS AT JOB START). With a fixed store (PersistPolicies =
+  /// false, or no two jobs of the same kind in flight) responses stay
+  /// bit-identical for any worker count; with concurrent same-kind
+  /// jobs persisting policies, completion order feeds later jobs
+  /// different (better-trained) starting points by design.
+  std::string PolicyDir;
+  /// Persist each successful job's trained policy back to PolicyDir
+  /// so later near-shape jobs warm-start from it. Turn off to serve
+  /// from a fixed pre-trained shelf (bit-deterministic responses).
+  bool PersistPolicies = true;
   /// Queue-aging knobs (see JobQueue::Options): every AgingInterval of
   /// wait raises a queued job's effective priority by AgingStep, so
   /// low-priority work cannot starve behind a hot key. 0 disables.
@@ -375,6 +406,7 @@ private:
   ServiceConfig Config;
   gpusim::Gpu Prototype; ///< Pristine device every job copies.
   std::unique_ptr<triton::DeployCache> Deploy; ///< Null when disabled.
+  std::unique_ptr<PolicyStore> Policies;       ///< Null when disabled.
   unsigned Workers;
   support::Clock *Clk; ///< Declared before Queue: its Options use it.
 

@@ -1,0 +1,92 @@
+//===- serve/PolicyStore.h - Persisted policies for warm-started serving ---===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generalist-policy checkpoint shelf: a directory of serialized
+/// trained policies (core::OptimizeResult::PolicyBlob), each with a
+/// `.meta` sidecar carrying the workload identity it was trained on —
+/// the same versioned line format the DeployCache's cubin sidecars use
+/// — so a cache-miss job can warm-start from the nearest already-
+/// trained shape of the same (GpuType, kind) instead of a fresh
+/// orthogonal init.
+///
+/// Layout mirrors triton::DeployCache: `<key>.policy` next to
+/// `<key>.policy.meta`, both written with the atomic
+/// write-sibling-then-rename protocol (support::atomicWriteFile), so a
+/// reader never observes a torn checkpoint and a crashed writer leaves
+/// only a sweepable `.tmp.` orphan. Nearest-shape lookup reuses
+/// DeployIndex (the log-space shapeDistance with its deterministic key
+/// tie-break).
+///
+/// Thread-safety: every public member may be called concurrently; the
+/// in-memory index has its own lock and file I/O happens outside it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_SERVE_POLICYSTORE_H
+#define CUASMRL_SERVE_POLICYSTORE_H
+
+#include "serve/DeployIndex.h"
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cuasmrl {
+namespace serve {
+
+/// A directory of (policy blob, workload identity) checkpoints with
+/// nearest-shape lookup.
+class PolicyStore {
+public:
+  /// Binds the store to \p Directory (created lazily on first store),
+  /// sweeps crash orphans, and rebuilds the nearest-shape index from
+  /// the `.policy.meta` sidecars already present — a fresh service
+  /// instance warm-starts from everything its predecessor trained.
+  explicit PolicyStore(std::string Directory);
+
+  /// Persists \p PolicyBlob and its identity sidecar under \p Key
+  /// (atomic rename, last writer wins) and indexes it for nearest().
+  /// False when either write failed (the entry is then not indexed —
+  /// nearest() never offers a policy that is not actually on disk).
+  bool store(const std::string &Key, const std::string &PolicyBlob,
+             const DeployedEntry &Meta);
+
+  /// The blob stored under \p Key; nullopt on a miss or unreadable
+  /// file. (Blob integrity is the loader's problem:
+  /// rl::ActorCritic::loadCompatible rejects malformed checkpoints
+  /// without touching the net.)
+  std::optional<std::string> load(const std::string &Key) const;
+
+  /// The stored policy nearest to \p Shape with matching (GpuType,
+  /// Kind), excluding \p ExcludeKey (the job's own key). \p FromKey,
+  /// when non-null, receives the winning key. nullopt when no
+  /// candidate exists or its file vanished.
+  std::optional<std::string> nearest(const std::string &GpuType,
+                                     kernels::WorkloadKind Kind,
+                                     const kernels::WorkloadShape &Shape,
+                                     const std::string &ExcludeKey,
+                                     std::string *FromKey = nullptr) const;
+
+  size_t size() const;
+
+  /// Sorted keys with a parseable identity sidecar.
+  std::vector<std::string> keys() const;
+
+private:
+  std::string pathFor(const std::string &Key) const;
+  std::string metaPathFor(const std::string &Key) const;
+
+  std::string Directory;
+  mutable std::mutex IndexMutex;
+  DeployIndex Index;
+};
+
+} // namespace serve
+} // namespace cuasmrl
+
+#endif // CUASMRL_SERVE_POLICYSTORE_H

@@ -1,0 +1,66 @@
+//===- support/AtomicFile.cpp ------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+using namespace cuasmrl;
+
+bool support::atomicWriteFile(const std::string &Path, const void *Data,
+                              size_t Size) {
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::error_code Ec;
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return false;
+    OS.write(static_cast<const char *>(Data),
+             static_cast<std::streamsize>(Size));
+    if (!OS) {
+      OS.close();
+      std::filesystem::remove(Tmp, Ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(Tmp, Path, Ec);
+  if (Ec) {
+    std::filesystem::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+bool support::atomicWriteFile(const std::string &Path,
+                              const std::string &Bytes) {
+  return atomicWriteFile(Path, Bytes.data(), Bytes.size());
+}
+
+unsigned support::sweepOrphanTmpFiles(const std::string &Dir) {
+  unsigned Removed = 0;
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Dir, Ec);
+  if (Ec)
+    return 0; // Directory does not exist yet: nothing to sweep.
+  for (const std::filesystem::directory_entry &Entry : It) {
+    if (!Entry.is_regular_file(Ec))
+      continue;
+    std::string Name = Entry.path().filename().string();
+    // Only files the write protocol names: "<final>.tmp.<pid>.<n>".
+    if (Name.find(".tmp.") == std::string::npos)
+      continue;
+    std::filesystem::remove(Entry.path(), Ec);
+    if (!Ec)
+      ++Removed;
+  }
+  return Removed;
+}

@@ -6,16 +6,14 @@
 
 #include "triton/DeployCache.h"
 
+#include "support/AtomicFile.h"
 #include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-
-#include <unistd.h>
 
 using namespace cuasmrl;
 using namespace cuasmrl::triton;
@@ -28,38 +26,6 @@ DeployCache::DeployCache(std::string Dir) : Directory(std::move(Dir)) {
 }
 
 namespace {
-
-/// Atomic write: a uniquely-named `.tmp` sibling renamed into place,
-/// so \p Path only ever holds complete contents. The temporary name
-/// carries the pid plus a process-wide counter so concurrent writers —
-/// in this process or another one sharing the directory — never
-/// interleave writes into one temporary; last rename wins, and every
-/// contender wrote a complete file.
-bool atomicWrite(const std::string &Path, const uint8_t *Data,
-                 size_t Size) {
-  static std::atomic<uint64_t> TmpCounter{0};
-  std::error_code Ec;
-  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
-                    std::to_string(TmpCounter.fetch_add(1));
-  {
-    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OS)
-      return false;
-    OS.write(reinterpret_cast<const char *>(Data),
-             static_cast<std::streamsize>(Size));
-    if (!OS) {
-      OS.close();
-      std::filesystem::remove(Tmp, Ec);
-      return false;
-    }
-  }
-  std::filesystem::rename(Tmp, Path, Ec);
-  if (Ec) {
-    std::filesystem::remove(Tmp, Ec);
-    return false;
-  }
-  return true;
-}
 
 /// Maps one key component onto the filesystem-safe alphabet. Lossy on
 /// purpose (readability); injectivity comes from the digest suffix.
@@ -117,7 +83,7 @@ bool DeployCache::store(const std::string &Key,
   if (Ec)
     return false;
   std::vector<uint8_t> Bytes = File.serialize();
-  return atomicWrite(pathFor(Key), Bytes.data(), Bytes.size());
+  return support::atomicWriteFile(pathFor(Key), Bytes.data(), Bytes.size());
 }
 
 std::optional<cubin::CubinFile>
@@ -145,9 +111,7 @@ bool DeployCache::storeMeta(const std::string &Key,
   std::filesystem::create_directories(Directory, Ec);
   if (Ec)
     return false;
-  return atomicWrite(metaPathFor(Key),
-                     reinterpret_cast<const uint8_t *>(Text.data()),
-                     Text.size());
+  return support::atomicWriteFile(metaPathFor(Key), Text);
 }
 
 std::optional<std::string>
@@ -160,23 +124,7 @@ DeployCache::loadMeta(const std::string &Key) const {
 }
 
 unsigned DeployCache::sweepOrphanTmps() {
-  unsigned Removed = 0;
-  std::error_code Ec;
-  std::filesystem::directory_iterator It(Directory, Ec);
-  if (Ec)
-    return 0; // Directory does not exist yet: nothing to sweep.
-  for (const std::filesystem::directory_entry &Entry : It) {
-    if (!Entry.is_regular_file(Ec))
-      continue;
-    std::string Name = Entry.path().filename().string();
-    // Only files our own write protocol names: "<final>.tmp.<pid>.<n>".
-    if (Name.find(".tmp.") == std::string::npos)
-      continue;
-    std::filesystem::remove(Entry.path(), Ec);
-    if (!Ec)
-      ++Removed;
-  }
-  return Removed;
+  return support::sweepOrphanTmpFiles(Directory);
 }
 
 bool DeployCache::contains(const std::string &Key) const {

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/AtomicFile.h"
 #include "support/Error.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
@@ -14,6 +15,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -251,4 +254,68 @@ TEST(ThreadPool, ZeroThreadRequestClampsToOne) {
   std::atomic<int> Done{0};
   Pool.parallelFor(5, [&](size_t) { Done.fetch_add(1); });
   EXPECT_EQ(Done.load(), 5);
+}
+
+//===----------------------------------------------------------------------===//
+// AtomicFile: write-sibling-then-rename persistence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string freshTmpDir(const std::string &Name) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / Name).string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+TEST(AtomicFile, WritesAndOverwritesAtomically) {
+  std::string Dir = freshTmpDir("cuasmrl_atomicfile_test");
+  std::string Path = Dir + "/blob.bin";
+  ASSERT_TRUE(support::atomicWriteFile(Path, std::string("first")));
+  EXPECT_EQ(slurp(Path), "first");
+  // Last writer wins; no .tmp. sibling survives a completed write.
+  ASSERT_TRUE(support::atomicWriteFile(Path, std::string("second")));
+  EXPECT_EQ(slurp(Path), "second");
+  unsigned NonTmp = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    EXPECT_EQ(E.path().filename().string().find(".tmp."),
+              std::string::npos);
+    ++NonTmp;
+  }
+  EXPECT_EQ(NonTmp, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(AtomicFile, FailsCleanlyOnMissingDirectory) {
+  std::string Dir = freshTmpDir("cuasmrl_atomicfile_missing_test");
+  std::filesystem::remove_all(Dir);
+  // Nonexistent parent: the write must fail without creating anything.
+  EXPECT_FALSE(support::atomicWriteFile(Dir + "/x.bin", std::string("v")));
+  EXPECT_FALSE(std::filesystem::exists(Dir));
+}
+
+TEST(AtomicFile, SweepRemovesOnlyTmpOrphans) {
+  std::string Dir = freshTmpDir("cuasmrl_atomicfile_sweep_test");
+  ASSERT_TRUE(support::atomicWriteFile(Dir + "/keep.bin",
+                                       std::string("keep")));
+  { std::ofstream(Dir + "/keep.bin.tmp.123.4") << "torn"; }
+  { std::ofstream(Dir + "/other.tmp.9.9") << "torn"; }
+  EXPECT_EQ(support::sweepOrphanTmpFiles(Dir), 2u);
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/keep.bin"));
+  EXPECT_EQ(slurp(Dir + "/keep.bin"), "keep");
+  EXPECT_EQ(support::sweepOrphanTmpFiles(Dir), 0u); // Idempotent.
+  // A directory that never existed sweeps as zero, not an error.
+  EXPECT_EQ(support::sweepOrphanTmpFiles(Dir + "/nope"), 0u);
+  std::filesystem::remove_all(Dir);
 }

@@ -48,7 +48,11 @@ SCHEMA_VERSION = 1
 # Patterns appended after any --thresholds file entries (first match
 # wins, so a file can override these). Deterministic fault-injection
 # counters are schedule-exact: a ratio bar would let drift through.
-DEFAULT_PER_METRIC = [("faulty_count_*", "exact")]
+# The warm-start tensor-transfer count is determined by the net
+# geometry alone, so any drift there is an architecture change worth
+# flagging, not measurement noise.
+DEFAULT_PER_METRIC = [("faulty_count_*", "exact"),
+                      ("warm_start_tensors", "exact")]
 
 
 def load_report(path):

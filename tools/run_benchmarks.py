@@ -5,11 +5,13 @@ Drives `bench_env_step` (and, when built, `bench_simulator_perf`) from a
 CMake build tree and writes `BENCH_step_throughput.json`, plus
 `bench_autotune_sweep` writing `BENCH_autotune_sweep.json`,
 `bench_serve_throughput` writing `BENCH_serve_throughput.json` (and a
-live `BENCH_serve_snapshots.jsonl` trajectory) and `bench_batch_sim`
-writing `BENCH_batch_sim.json`, so the per-PR perf trajectory of the
-env-step hot path, the autotune sweep engine, the optimization service
-and the lockstep batch-simulation entry points can be tracked by CI and
-compared across revisions with tools/bench_compare.py.
+live `BENCH_serve_snapshots.jsonl` trajectory), `bench_batch_sim`
+writing `BENCH_batch_sim.json` and `bench_warm_start` writing
+`BENCH_warm_start.json`, so the per-PR perf trajectory of the env-step
+hot path, the autotune sweep engine, the optimization service, the
+lockstep batch-simulation entry points and the generalist-policy
+warm-start payoff can be tracked by CI and compared across revisions
+with tools/bench_compare.py.
 
 Every report is a versioned BenchReport document (see
 docs/OBSERVABILITY.md): schema_version, run metadata (git sha / build /
@@ -23,6 +25,7 @@ Usage:
                             [--serve-out BENCH_serve_throughput.json]
                             [--serve-snapshots BENCH_serve_snapshots.jsonl]
                             [--batch-out BENCH_batch_sim.json]
+                            [--warm-out BENCH_warm_start.json]
                             [--steps N] [--timeout SECONDS]
 
 Exit status: 0 on success (reports written), 1 when a benchmark binary
@@ -169,6 +172,7 @@ def main():
                         help="live ServiceStats JSONL from the parallel "
                         "phase ('' disables)")
     parser.add_argument("--batch-out", default="BENCH_batch_sim.json")
+    parser.add_argument("--warm-out", default="BENCH_warm_start.json")
     parser.add_argument("--steps", type=int, default=0,
                         help="step budget per kernel (0 = bench default)")
     parser.add_argument("--timeout", type=int, default=1200,
@@ -237,6 +241,18 @@ def main():
               f"{batch['extra']['lanes']} lanes "
               f"(identical={batch['extra']['identical_results']})")
         print(f"wrote {args.batch_out}")
+
+    warm = run_bench("bench_warm_start", args.build_dir, args.warm_out,
+                     args.timeout, step_args, optional=True)
+    if warm is None:
+        return 1
+    if warm != "absent":
+        print(f"warm start: winner in "
+              f"{metric(warm, 'warm_updates_to_winner'):.0f} vs "
+              f"{metric(warm, 'cold_updates_to_winner'):.0f} updates "
+              f"({metric(warm, 'warm_start_tensors'):.0f} tensors "
+              f"transferred)")
+        print(f"wrote {args.warm_out}")
     return 0
 
 
