@@ -1,0 +1,310 @@
+//===- bench/bench_net_roundtrip.cpp - RPC front-door overhead ---------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What the network front door costs on the §4.2 online-lookup path.
+/// One deploy cache is seeded with a handful of keys (untimed), then
+/// the same warm request stream is driven three ways:
+///
+///   - in-process: OptimizationService::submit + future wait — the
+///     floor every RPC number is compared against;
+///   - net sequential: one net::Client call() per request over
+///     loopback TCP — per-request round-trip latency;
+///   - net pipelined: all requests framed onto the connection before
+///     any response is read — the throughput shape serve_client uses.
+///
+/// The determinism contract must hold across the wire: every network
+/// response is required to be bit-identical (status, key, cubin bytes,
+/// result scalars — everything but wall time) to the in-process
+/// response for the same request, and the report carries that check as
+/// extra.identical_results. DecodeErrors and QuotaRejections are
+/// emitted as exact-match net_count_* metrics: a clean loopback run
+/// produces exactly zero of each, so any nonzero value is a framing
+/// regression, not noise.
+///
+/// Emits a machine-readable JSON report (see tools/run_benchmarks.py):
+///
+///   bench_net_roundtrip [--json PATH] [--requests N] [--workers N]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "net/Client.h"
+#include "net/Server.h"
+#include "serve/OptimizationService.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+using namespace cuasmrl::serve;
+
+namespace {
+
+constexpr uint64_t kSeed = 17;
+
+core::OptimizeConfig jobConfig() {
+  core::OptimizeConfig C;
+  C.Ppo.TotalSteps = bench::fastMode() ? 32 : 64;
+  C.Ppo.RolloutLen = 16;
+  C.Ppo.MiniBatches = 2;
+  C.Ppo.Epochs = 2;
+  C.Ppo.Channels = 4;
+  C.Ppo.Hidden = 16;
+  C.Game.EpisodeLength = 8;
+  C.Game.Measure.WarmupIters = 1;
+  C.Game.Measure.RepeatIters = 1;
+  C.AutotuneMeasure.WarmupIters = 1;
+  C.AutotuneMeasure.RepeatIters = 2;
+  C.ProbTestRounds = 1;
+  return C;
+}
+
+OptimizeRequest request(WorkloadKind Kind, unsigned ScaleRows) {
+  OptimizeRequest R;
+  R.Kind = Kind;
+  R.Shape = testShape(Kind);
+  R.Shape.Rows *= ScaleRows;
+  return R;
+}
+
+/// The warm key set; the timed streams cycle through these so every
+/// request resolves as a deploy-cache lookup hit.
+std::vector<OptimizeRequest> warmKeys() {
+  return {request(WorkloadKind::Softmax, 1), request(WorkloadKind::Softmax, 2),
+          request(WorkloadKind::RmsNorm, 1), request(WorkloadKind::RmsNorm, 2)};
+}
+
+ServiceConfig serviceConfig(const std::string &DeployDir, unsigned Workers) {
+  ServiceConfig SC;
+  SC.Seed = kSeed;
+  SC.DeployDir = DeployDir;
+  SC.Defaults = jobConfig();
+  SC.Workers = Workers;
+  return SC;
+}
+
+/// Everything but WallMs, which measures wall clock and is exempt from
+/// the bit-identity contract.
+bool wireIdentical(const net::WireResponse &A, const net::WireResponse &B) {
+  return A.St == B.St && A.Key == B.Key && A.HasBinary == B.HasBinary &&
+         A.Binary.serialize() == B.Binary.serialize() &&
+         A.Persisted == B.Persisted && A.DegradedFrom == B.DegradedFrom &&
+         A.WarmStartedFrom == B.WarmStartedFrom && A.Error == B.Error &&
+         A.AutotuneValid == B.AutotuneValid && A.Verified == B.Verified &&
+         A.TritonUs == B.TritonUs && A.OptimizedUs == B.OptimizedUs &&
+         A.TrainingUpdates == B.TrainingUpdates &&
+         A.WarmStartTensors == B.WarmStartTensors;
+}
+
+double elapsedMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Requests = bench::fastMode() ? 16 : 64;
+  unsigned Workers = 2;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (Arg == "--requests" && I + 1 < argc)
+      Requests = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (Arg == "--workers" && I + 1 < argc)
+      Workers = static_cast<unsigned>(std::atoi(argv[++I]));
+    else {
+      std::fprintf(stderr, "usage: %s [--json PATH] [--requests N] "
+                           "[--workers N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  gpusim::Gpu Device;
+  std::string DeployDir =
+      (std::filesystem::temp_directory_path() / "cuasmrl_bench_net").string();
+  std::filesystem::remove_all(DeployDir);
+
+  std::vector<OptimizeRequest> Keys = warmKeys();
+  std::vector<OptimizeRequest> Stream;
+  for (unsigned I = 0; I < Requests; ++I)
+    Stream.push_back(Keys[I % Keys.size()]);
+
+  std::printf("bench_net_roundtrip: %u warm requests over %zu keys\n\n",
+              Requests, Keys.size());
+
+  {
+    // Seed phase (untimed): populate the deploy cache once.
+    OptimizationService Seeder(Device, serviceConfig(DeployDir, Workers));
+    for (const OptimizeRequest &R : Keys)
+      Seeder.submit(R);
+    Seeder.drain();
+    Seeder.shutdown();
+  }
+
+  // Baseline: the same stream submitted in-process against the warm
+  // cache. Responses are kept in wire-summary form for the identity
+  // check below.
+  std::vector<net::WireResponse> InProc;
+  double InProcMs = 0.0;
+  {
+    OptimizationService Service(Device, serviceConfig(DeployDir, Workers));
+    auto Start = std::chrono::steady_clock::now();
+    for (const OptimizeRequest &R : Stream) {
+      Ticket T = Service.submit(R);
+      InProc.push_back(net::summarizeResponse(*T.Response.get()));
+    }
+    InProcMs = elapsedMs(Start);
+    Service.shutdown();
+  }
+
+  // The network runs share one server over a fresh service on the same
+  // warm cache.
+  OptimizationService Service(Device, serviceConfig(DeployDir, Workers));
+  net::ServerConfig NC;
+  NC.Port = 0; // Ephemeral.
+  net::Server Server(Service, NC);
+  Expected<uint16_t> Bound = Server.start();
+  if (!Bound) {
+    std::fprintf(stderr, "bench_net_roundtrip: %s\n",
+                 Bound.error().message().c_str());
+    return 1;
+  }
+  net::ClientConfig CC;
+  CC.Port = *Bound;
+
+  // Net sequential: one call per request, full round trip each time.
+  std::vector<net::WireResponse> Sequential;
+  double SequentialMs = 0.0;
+  {
+    net::Client Client(CC);
+    auto Start = std::chrono::steady_clock::now();
+    for (const OptimizeRequest &R : Stream) {
+      Expected<net::WireResponse> Resp = Client.call(R);
+      if (!Resp) {
+        std::fprintf(stderr, "bench_net_roundtrip: call: %s\n",
+                     Resp.error().message().c_str());
+        return 1;
+      }
+      Sequential.push_back(std::move(*Resp));
+    }
+    SequentialMs = elapsedMs(Start);
+  }
+
+  // Net pipelined: the whole stream framed before any response is
+  // read; responses matched back by request id.
+  std::vector<net::WireResponse> Pipelined(Stream.size());
+  double PipelinedMs = 0.0;
+  {
+    net::Client Client(CC);
+    auto Start = std::chrono::steady_clock::now();
+    std::map<uint64_t, size_t> IdToIndex;
+    for (size_t I = 0; I < Stream.size(); ++I) {
+      Expected<uint64_t> Id = Client.send(Stream[I]);
+      if (!Id) {
+        std::fprintf(stderr, "bench_net_roundtrip: send: %s\n",
+                     Id.error().message().c_str());
+        return 1;
+      }
+      IdToIndex[*Id] = I;
+    }
+    for (size_t I = 0; I < Stream.size(); ++I) {
+      Expected<std::pair<uint64_t, net::WireResponse>> Next =
+          Client.receive();
+      if (!Next) {
+        std::fprintf(stderr, "bench_net_roundtrip: receive: %s\n",
+                     Next.error().message().c_str());
+        return 1;
+      }
+      Pipelined[IdToIndex.at(Next->first)] = std::move(Next->second);
+    }
+    PipelinedMs = elapsedMs(Start);
+  }
+
+  net::NetStats NS = Server.stats();
+  ServiceStats SS = Service.stats();
+  Server.stop();
+  Service.shutdown();
+  std::filesystem::remove_all(DeployDir);
+
+  bool Identical = true;
+  for (size_t I = 0; I < Stream.size(); ++I)
+    if (!wireIdentical(InProc[I], Sequential[I]) ||
+        !wireIdentical(InProc[I], Pipelined[I]))
+      Identical = false;
+
+  const double N = std::max(1u, Requests);
+  double InProcUs = 1000.0 * InProcMs / N;
+  double SequentialUs = 1000.0 * SequentialMs / N;
+  double PipelinedUs = 1000.0 * PipelinedMs / N;
+
+  std::printf("%-24s %10s %14s %14s\n", "path", "wall ms", "us/request",
+              "requests/s");
+  std::printf("%-24s %10.2f %14.1f %14.1f\n", "in-process", InProcMs,
+              InProcUs, 1000.0 * N / std::max(0.001, InProcMs));
+  std::printf("%-24s %10.2f %14.1f %14.1f\n", "net sequential",
+              SequentialMs, SequentialUs,
+              1000.0 * N / std::max(0.001, SequentialMs));
+  std::printf("%-24s %10.2f %14.1f %14.1f\n", "net pipelined", PipelinedMs,
+              PipelinedUs, 1000.0 * N / std::max(0.001, PipelinedMs));
+  std::printf("\nround-trip overhead: %.1f us/request sequential, "
+              "%.1f us/request pipelined\n",
+              SequentialUs - InProcUs, PipelinedUs - InProcUs);
+  std::printf("bit-identical to in-process: %s\n",
+              Identical ? "yes" : "NO (BUG)");
+
+  stats::BenchReport Rep("net_roundtrip", bench::reportMeta());
+  Rep.addMetric("inproc_ms", InProcMs, "ms", /*HigherIsBetter=*/false);
+  Rep.addMetric("net_sequential_ms", SequentialMs, "ms",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("net_pipelined_ms", PipelinedMs, "ms",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("inproc_us_per_request", InProcUs, "us",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("net_sequential_us_per_request", SequentialUs, "us",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("net_pipelined_us_per_request", PipelinedUs, "us",
+                /*HigherIsBetter=*/false);
+  Rep.addMetric("net_pipelined_requests_per_sec",
+                1000.0 * N / std::max(0.001, PipelinedMs), "requests/s");
+  // Framing health: exactly zero on a clean loopback run, gated as an
+  // exact match by tools/bench_compare.py.
+  Rep.addMetric("net_count_decode_errors", double(NS.DecodeErrors), "count");
+  Rep.addMetric("net_count_quota_rejections", double(NS.QuotaRejections),
+                "count");
+  Rep.setNetStats(NS);
+  Rep.setServiceStats(SS);
+
+  stats::JsonValue Extra = stats::JsonValue::object();
+  Extra.set("requests", stats::JsonValue(uint64_t(Requests)));
+  Extra.set("warm_keys", stats::JsonValue(uint64_t(Keys.size())));
+  Extra.set("workers", stats::JsonValue(Workers));
+  Extra.set("identical_results", stats::JsonValue(Identical));
+  Rep.setExtra(std::move(Extra));
+  if (!bench::emitReport(Rep, JsonPath))
+    return 1;
+
+  // The net service saw the sequential and pipelined streams; every
+  // one of those requests must have been a warm lookup hit.
+  bool Pass = Identical && NS.DecodeErrors == 0 && NS.QuotaRejections == 0 &&
+              SS.LookupHits == uint64_t(2) * Requests;
+  std::printf("\n%s: %llu lookup hits over the two network streams, "
+              "%llu decode errors\n",
+              Pass ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(SS.LookupHits),
+              static_cast<unsigned long long>(NS.DecodeErrors));
+  return Pass ? 0 : 1;
+}

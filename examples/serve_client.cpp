@@ -1,0 +1,273 @@
+//===- examples/serve_client.cpp - batch RPC client ------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The client half of examples/serve_daemon: reads a batch of optimize
+// requests from a file (or uses a built-in demo batch), pipelines them
+// onto one connection, and prints how each resolved plus the round-trip
+// timing.
+//
+//   $ build/examples/serve_client --port 7447 [--host ADDR]
+//       [--unix PATH] [--file requests.txt] [--repeat N] [--timeout-ms N]
+//
+// Request file format — one request per line, '#' starts a comment:
+//
+//   <workload> [rows=N] [cols=N] [b=N] [m=N] [n=N] [k=N] [nhead=N]
+//              [seqlen=N] [dhead=N] [gpu=NAME] [priority=N]
+//              [timeout-ms=N] [no-degrade]
+//
+// where <workload> is one of: fused_ff, mmLeakyReLu, bmm,
+// flash-attention, softmax, rmsnorm. Unspecified shape fields keep the
+// kind's test-shape defaults.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace cuasmrl;
+using namespace cuasmrl::kernels;
+
+namespace {
+
+std::optional<WorkloadKind> kindByName(const std::string &Name) {
+  for (WorkloadKind Kind : allWorkloads())
+    if (workloadName(Kind) == Name)
+      return Kind;
+  return std::nullopt;
+}
+
+/// Parses one request line; empty optional = parse error (reported).
+std::optional<serve::OptimizeRequest> parseLine(const std::string &Line,
+                                                unsigned LineNo) {
+  std::vector<std::string> Tokens = splitWhitespace(Line);
+  if (Tokens.empty())
+    return std::nullopt;
+  std::optional<WorkloadKind> Kind = kindByName(Tokens[0]);
+  if (!Kind) {
+    std::cerr << "line " << LineNo << ": unknown workload '" << Tokens[0]
+              << "'\n";
+    return std::nullopt;
+  }
+  serve::OptimizeRequest R;
+  R.Kind = *Kind;
+  R.Shape = testShape(*Kind);
+  for (size_t I = 1; I < Tokens.size(); ++I) {
+    const std::string &T = Tokens[I];
+    if (T == "no-degrade") {
+      R.AllowDegraded = false;
+      continue;
+    }
+    size_t Eq = T.find('=');
+    if (Eq == std::string::npos) {
+      std::cerr << "line " << LineNo << ": bad token '" << T << "'\n";
+      return std::nullopt;
+    }
+    std::string Key = T.substr(0, Eq);
+    std::string Val = T.substr(Eq + 1);
+    if (Key == "gpu") {
+      R.GpuType = Val;
+      continue;
+    }
+    std::optional<int64_t> N = parseInt(Val);
+    if (!N) {
+      std::cerr << "line " << LineNo << ": bad number in '" << T << "'\n";
+      return std::nullopt;
+    }
+    unsigned U = static_cast<unsigned>(*N);
+    if (Key == "rows")
+      R.Shape.Rows = U;
+    else if (Key == "cols")
+      R.Shape.Cols = U;
+    else if (Key == "b")
+      R.Shape.B = U;
+    else if (Key == "m")
+      R.Shape.M = U;
+    else if (Key == "n")
+      R.Shape.N = U;
+    else if (Key == "k")
+      R.Shape.K = U;
+    else if (Key == "nhead")
+      R.Shape.NHead = U;
+    else if (Key == "seqlen")
+      R.Shape.SeqLen = U;
+    else if (Key == "dhead")
+      R.Shape.DHead = U;
+    else if (Key == "priority")
+      R.Priority = static_cast<int>(*N);
+    else if (Key == "timeout-ms")
+      R.Timeout = std::chrono::milliseconds(*N);
+    else {
+      std::cerr << "line " << LineNo << ": unknown field '" << Key
+                << "'\n";
+      return std::nullopt;
+    }
+  }
+  return R;
+}
+
+/// The built-in demo batch: the two memory-bound kernels at two shapes
+/// each, with a duplicate to demonstrate single-flight on the server.
+std::vector<serve::OptimizeRequest> demoBatch() {
+  std::vector<serve::OptimizeRequest> Batch;
+  for (unsigned Rows : {64u, 128u}) {
+    serve::OptimizeRequest R;
+    R.Kind = WorkloadKind::Softmax;
+    R.Shape = testShape(WorkloadKind::Softmax);
+    R.Shape.Rows = Rows;
+    Batch.push_back(R);
+  }
+  serve::OptimizeRequest R;
+  R.Kind = WorkloadKind::RmsNorm;
+  R.Shape = testShape(WorkloadKind::RmsNorm);
+  Batch.push_back(R);
+  Batch.push_back(Batch.front()); // Dup: attaches server-side.
+  return Batch;
+}
+
+int usage(const char *Prog) {
+  std::cerr << "usage: " << Prog
+            << " [--host ADDR] [--port N] [--unix PATH]"
+               " [--file requests.txt] [--repeat N] [--timeout-ms N]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 7447;
+  std::string UnixPath;
+  std::string File;
+  unsigned Repeat = 1;
+  long TimeoutMs = 120000;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    const char *V = nullptr;
+    if (Arg == "--host" && (V = Next()))
+      Host = V;
+    else if (Arg == "--port" && (V = Next()))
+      Port = static_cast<uint16_t>(std::atoi(V));
+    else if (Arg == "--unix" && (V = Next()))
+      UnixPath = V;
+    else if (Arg == "--file" && (V = Next()))
+      File = V;
+    else if (Arg == "--repeat" && (V = Next()))
+      Repeat = static_cast<unsigned>(std::atoi(V));
+    else if (Arg == "--timeout-ms" && (V = Next()))
+      TimeoutMs = std::atol(V);
+    else
+      return usage(argv[0]);
+  }
+
+  std::vector<serve::OptimizeRequest> Batch;
+  if (File.empty()) {
+    Batch = demoBatch();
+    std::cout << "(no --file: using the built-in demo batch)\n";
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      std::cerr << "serve_client: cannot read '" << File << "'\n";
+      return 1;
+    }
+    std::string Line;
+    unsigned LineNo = 0;
+    bool Bad = false;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      std::string_view Stripped = trim(Line);
+      if (Stripped.empty() || Stripped[0] == '#')
+        continue;
+      std::optional<serve::OptimizeRequest> R =
+          parseLine(std::string(Stripped), LineNo);
+      if (R)
+        Batch.push_back(std::move(*R));
+      else
+        Bad = true;
+    }
+    if (Bad)
+      return 1;
+  }
+  if (Batch.empty()) {
+    std::cerr << "serve_client: no requests to send\n";
+    return 1;
+  }
+
+  net::ClientConfig CC;
+  CC.Host = Host;
+  CC.Port = Port;
+  CC.UnixPath = UnixPath;
+  CC.IoTimeout = std::chrono::milliseconds(TimeoutMs);
+  net::Client Client(CC);
+  if (Expected<bool> Ok = Client.connect(); !Ok) {
+    std::cerr << "serve_client: " << Ok.error().message() << "\n";
+    return 1;
+  }
+
+  // Pipeline the whole batch, then collect responses as they complete
+  // (the wire's request id matches them back to their request).
+  const auto Start = std::chrono::steady_clock::now();
+  std::map<uint64_t, size_t> IdToIndex;
+  for (unsigned Round = 0; Round < Repeat; ++Round)
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Expected<uint64_t> Id = Client.send(Batch[I]);
+      if (!Id) {
+        std::cerr << "serve_client: send: " << Id.error().message()
+                  << "\n";
+        return 1;
+      }
+      IdToIndex[*Id] = I;
+    }
+
+  std::map<uint64_t, net::WireResponse> Responses;
+  while (Responses.size() < IdToIndex.size()) {
+    Expected<std::pair<uint64_t, net::WireResponse>> Next =
+        Client.receive();
+    if (!Next) {
+      std::cerr << "serve_client: receive: " << Next.error().message()
+                << "\n";
+      return 1;
+    }
+    Responses.emplace(Next->first, std::move(Next->second));
+  }
+  const double TotalMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - Start)
+                             .count();
+
+  Table Out({"#", "workload", "key", "status", "persisted", "wall-ms"});
+  unsigned Failures = 0;
+  for (const auto &[Id, R] : Responses) {
+    if (R.St != net::WireStatus::Optimized &&
+        R.St != net::WireStatus::LookupHit &&
+        R.St != net::WireStatus::Degraded)
+      ++Failures;
+    Out.addRow({std::to_string(Id),
+                workloadName(Batch[IdToIndex.at(Id)].Kind),
+                R.Key.empty() ? "-" : R.Key,
+                R.Error.empty() ? net::statusName(R.St)
+                                : std::string(net::statusName(R.St)) +
+                                      ": " + R.Error,
+                R.Persisted ? "yes" : "no", formatDouble(R.WallMs, 1)});
+  }
+  Out.print(std::cout);
+  std::cout << Responses.size() << " responses in "
+            << formatDouble(TotalMs, 1) << " ms ("
+            << formatDouble(TotalMs / Responses.size(), 2)
+            << " ms/request pipelined); " << Failures << " failed\n";
+  return Failures == 0 ? 0 : 1;
+}

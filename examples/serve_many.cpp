@@ -187,6 +187,9 @@ int main(int argc, char **argv) {
       case OptimizeResponse::Status::Failed:
         Status = "FAILED: " + R->Error;
         break;
+      case OptimizeResponse::Status::Rejected:
+        Status = "rejected: " + R->Error;
+        break;
       }
       Out.addRow({workloadName(Stream[I].Kind),
                   triton::Autotuner::requestKey(Stream[I].Kind,

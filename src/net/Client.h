@@ -1,0 +1,104 @@
+//===- net/Client.h - Blocking RPC client ---------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The blocking counterpart of net::Server: connects over TCP or a
+/// unix-domain socket with a connect timeout, frames OptimizeRequests
+/// onto the wire, and reads response frames back under an I/O timeout.
+/// Two usage shapes:
+///
+///   - call(): one request, wait for its response — reconnecting
+///     under the support::Retry policy when the send fails (the
+///     server restarted, the connection dropped). Safe to retry
+///     because the service is idempotent per request key
+///     (single-flight + deploy-cache lookup).
+///   - send() + receive(): pipelining — many requests in flight on
+///     one connection, responses arriving in completion order and
+///     matched back by the wire's request id.
+///
+/// Not thread-safe: one Client per thread (the server multiplexes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_NET_CLIENT_H
+#define CUASMRL_NET_CLIENT_H
+
+#include "net/Wire.h"
+#include "support/Clock.h"
+#include "support/Error.h"
+#include "support/Retry.h"
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace cuasmrl {
+namespace net {
+
+struct ClientConfig {
+  /// TCP target (used when UnixPath is empty).
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  /// Unix-domain target; non-empty wins over TCP.
+  std::string UnixPath;
+  std::chrono::milliseconds ConnectTimeout{2000};
+  /// Per-send/per-receive socket timeout. Generous by default: a cold
+  /// request legitimately waits for a whole optimize job.
+  std::chrono::milliseconds IoTimeout{120000};
+  /// Reconnect policy for connect() and call()'s send path.
+  support::RetryPolicy Retry;
+  /// Jitter seed for the reconnect backoff.
+  uint64_t Seed = 1;
+  /// Time source for backoff sleeps; null = Clock::real().
+  support::Clock *ClockSrc = nullptr;
+};
+
+class Client {
+public:
+  explicit Client(ClientConfig Config);
+  ~Client(); ///< Closes the connection.
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects, retrying failed attempts under the Retry policy.
+  Expected<bool> connect();
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// One request, one response (reconnect-retries on send failure).
+  Expected<WireResponse> call(const serve::OptimizeRequest &R);
+
+  /// Pipelining: frames \p R and returns its request id immediately.
+  /// Connects first when needed (with retries).
+  Expected<uint64_t> send(const serve::OptimizeRequest &R);
+
+  /// The next response frame off the wire as (request id, response) —
+  /// completion order, not send order.
+  Expected<std::pair<uint64_t, WireResponse>> receive();
+
+private:
+  Expected<bool> connectOnce();
+  Expected<bool> ensureConnected();
+  bool sendAll(const uint8_t *Data, size_t Size);
+  /// False on EOF/error/timeout (ErrWhy explains).
+  bool recvAll(uint8_t *Data, size_t Size, std::string &ErrWhy);
+
+  ClientConfig Config;
+  support::Clock *Clk;
+  int Fd = -1;
+  uint64_t NextId = 1;
+  /// Responses read while waiting for a different id (call() after
+  /// pipelined send()s).
+  std::map<uint64_t, WireResponse> Stashed;
+};
+
+} // namespace net
+} // namespace cuasmrl
+
+#endif // CUASMRL_NET_CLIENT_H

@@ -1,0 +1,61 @@
+//===- net/NetStats.h - Network front-door counters -----------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregate counters of one net::Server, split out of Server.h so the
+/// stats subsystem (BenchReport, SnapshotLogger) can serialize them
+/// without pulling socket headers into every consumer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_NET_NETSTATS_H
+#define CUASMRL_NET_NETSTATS_H
+
+#include <cstdint>
+
+namespace cuasmrl {
+namespace net {
+
+/// One consistent snapshot of a server's counters.
+struct NetStats {
+  uint64_t ConnectionsAccepted = 0;
+  uint64_t ConnectionsClosed = 0;
+  uint64_t ActiveConnections = 0; ///< Accepted minus closed (live gauge).
+  uint64_t FramesReceived = 0;    ///< Complete frames decoded.
+  uint64_t FramesSent = 0;
+  uint64_t BytesReceived = 0;
+  uint64_t BytesSent = 0;
+  uint64_t DecodeErrors = 0;     ///< Corrupt headers (connection dropped)
+                                 ///< plus undecodable request payloads
+                                 ///< (answered InvalidRequest).
+  uint64_t QuotaRejections = 0;  ///< Per-connection in-flight cap hits.
+  uint64_t RateLimited = 0;      ///< Token-bucket rejections.
+  uint64_t RequestsSubmitted = 0; ///< Frames admitted into the service.
+  uint64_t ResponsesSent = 0;
+};
+
+/// Enumerates every NetStats field as (name, reference) — the same
+/// visitor pattern as serve::visitServiceCounters, so the stats
+/// serializer and parser round-trip new fields automatically.
+template <typename S, typename Fn> void visitNetCounters(S &Stats, Fn &&F) {
+  F("ConnectionsAccepted", Stats.ConnectionsAccepted);
+  F("ConnectionsClosed", Stats.ConnectionsClosed);
+  F("ActiveConnections", Stats.ActiveConnections);
+  F("FramesReceived", Stats.FramesReceived);
+  F("FramesSent", Stats.FramesSent);
+  F("BytesReceived", Stats.BytesReceived);
+  F("BytesSent", Stats.BytesSent);
+  F("DecodeErrors", Stats.DecodeErrors);
+  F("QuotaRejections", Stats.QuotaRejections);
+  F("RateLimited", Stats.RateLimited);
+  F("RequestsSubmitted", Stats.RequestsSubmitted);
+  F("ResponsesSent", Stats.ResponsesSent);
+}
+
+} // namespace net
+} // namespace cuasmrl
+
+#endif // CUASMRL_NET_NETSTATS_H

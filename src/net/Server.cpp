@@ -1,0 +1,490 @@
+//===- net/Server.cpp -----------------------------------------------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include "support/Logging.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cuasmrl;
+using namespace cuasmrl::net;
+
+namespace {
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+/// Counters + wake pipe. Completion callbacks capture this block by
+/// shared_ptr: a job resolving after stop() (or after its connection
+/// died) still has live counters and a live pipe to write into — the
+/// pipe keeps its reader open here precisely so a late wake() can
+/// never SIGPIPE.
+struct Server::Shared {
+  std::atomic<uint64_t> ConnectionsAccepted{0};
+  std::atomic<uint64_t> ConnectionsClosed{0};
+  std::atomic<uint64_t> FramesReceived{0};
+  std::atomic<uint64_t> FramesSent{0};
+  std::atomic<uint64_t> BytesReceived{0};
+  std::atomic<uint64_t> BytesSent{0};
+  std::atomic<uint64_t> DecodeErrors{0};
+  std::atomic<uint64_t> QuotaRejections{0};
+  std::atomic<uint64_t> RateLimited{0};
+  std::atomic<uint64_t> RequestsSubmitted{0};
+  std::atomic<uint64_t> ResponsesSent{0};
+
+  int WakeRead = -1;
+  int WakeWrite = -1;
+
+  ~Shared() {
+    if (WakeRead >= 0)
+      ::close(WakeRead);
+    if (WakeWrite >= 0)
+      ::close(WakeWrite);
+  }
+
+  void wake() const {
+    const uint8_t One = 1;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+    [[maybe_unused]] ssize_t N = ::write(WakeWrite, &One, 1);
+  }
+};
+
+/// One client connection. ReadBuf and the token bucket are IO-thread-
+/// only; Outbox/InFlight/Closed are shared with completion callbacks
+/// under M.
+struct Server::Connection {
+  int Fd = -1;
+  std::vector<uint8_t> ReadBuf;
+  double Tokens = 0.0;
+  support::Clock::TimePoint LastRefill;
+
+  std::mutex M;
+  std::deque<std::vector<uint8_t>> Outbox;
+  size_t FrontOffset = 0; ///< Bytes of Outbox.front() already written.
+  unsigned InFlight = 0;
+  bool Closed = false;
+};
+
+Server::Server(serve::OptimizationService &Service, ServerConfig Config)
+    : Service(Service), Config(std::move(Config)),
+      Clk(this->Config.ClockSrc ? this->Config.ClockSrc
+                                : &support::Clock::real()),
+      Sh(std::make_shared<Shared>()) {}
+
+Server::~Server() { stop(); }
+
+Expected<uint16_t> Server::start() {
+  if (Started)
+    return BoundPort;
+  int Pipe[2];
+  if (::pipe2(Pipe, O_CLOEXEC | O_NONBLOCK) != 0)
+    return Error(std::string("pipe2: ") + std::strerror(errno));
+  Sh->WakeRead = Pipe[0];
+  Sh->WakeWrite = Pipe[1];
+
+  if (Config.EnableTcp) {
+    TcpFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (TcpFd < 0)
+      return Error(std::string("socket: ") + std::strerror(errno));
+    int One = 1;
+    ::setsockopt(TcpFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Config.Port);
+    if (::inet_pton(AF_INET, Config.Host.c_str(), &Addr.sin_addr) != 1)
+      return Error("bad listen address '" + Config.Host + "'");
+    if (::bind(TcpFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0)
+      return Error(std::string("bind: ") + std::strerror(errno));
+    if (::listen(TcpFd, 128) != 0)
+      return Error(std::string("listen: ") + std::strerror(errno));
+    if (!setNonBlocking(TcpFd))
+      return Error("cannot make the TCP listener non-blocking");
+    sockaddr_in Bound;
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(TcpFd, reinterpret_cast<sockaddr *>(&Bound), &Len) !=
+        0)
+      return Error(std::string("getsockname: ") + std::strerror(errno));
+    BoundPort = ntohs(Bound.sin_port);
+  }
+
+  if (!Config.UnixPath.empty()) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Config.UnixPath.size() >= sizeof(Addr.sun_path))
+      return Error("unix socket path too long");
+    std::strncpy(Addr.sun_path, Config.UnixPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ::unlink(Config.UnixPath.c_str()); // Daemon restart: replace it.
+    UnixFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (UnixFd < 0)
+      return Error(std::string("socket(unix): ") + std::strerror(errno));
+    if (::bind(UnixFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0)
+      return Error(std::string("bind(unix): ") + std::strerror(errno));
+    if (::listen(UnixFd, 128) != 0)
+      return Error(std::string("listen(unix): ") + std::strerror(errno));
+    if (!setNonBlocking(UnixFd))
+      return Error("cannot make the unix listener non-blocking");
+  }
+
+  Started = true;
+  IoThread = std::thread([this] { ioLoop(); });
+  return BoundPort;
+}
+
+void Server::stop() {
+  if (!Started)
+    return;
+  Stopping.store(true);
+  Sh->wake();
+  if (IoThread.joinable())
+    IoThread.join();
+  if (TcpFd >= 0) {
+    ::close(TcpFd);
+    TcpFd = -1;
+  }
+  if (UnixFd >= 0) {
+    ::close(UnixFd);
+    UnixFd = -1;
+    ::unlink(Config.UnixPath.c_str());
+  }
+  Started = false;
+}
+
+uint16_t Server::port() const { return BoundPort; }
+
+NetStats Server::stats() const {
+  NetStats S;
+  S.ConnectionsAccepted = Sh->ConnectionsAccepted.load();
+  S.ConnectionsClosed = Sh->ConnectionsClosed.load();
+  S.ActiveConnections = S.ConnectionsAccepted - S.ConnectionsClosed;
+  S.FramesReceived = Sh->FramesReceived.load();
+  S.FramesSent = Sh->FramesSent.load();
+  S.BytesReceived = Sh->BytesReceived.load();
+  S.BytesSent = Sh->BytesSent.load();
+  S.DecodeErrors = Sh->DecodeErrors.load();
+  S.QuotaRejections = Sh->QuotaRejections.load();
+  S.RateLimited = Sh->RateLimited.load();
+  S.RequestsSubmitted = Sh->RequestsSubmitted.load();
+  S.ResponsesSent = Sh->ResponsesSent.load();
+  return S;
+}
+
+void Server::acceptPending(int ListenFd) {
+  while (true) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return; // EAGAIN (or a racing error): nothing more to accept.
+    if (ListenFd == TcpFd) {
+      // Small response frames must not sit behind Nagle waiting for
+      // the delayed ACK of the previous one (no-op on unix sockets).
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    }
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    Conn->Tokens = Config.RateBurst;
+    Conn->LastRefill = Clk->now();
+    Connections.push_back(std::move(Conn));
+    Sh->ConnectionsAccepted.fetch_add(1);
+  }
+}
+
+void Server::sendResponse(const std::shared_ptr<Shared> &Sh,
+                          const std::shared_ptr<Connection> &Conn,
+                          const WireResponse &R, uint64_t RequestId) {
+  std::vector<uint8_t> Frame = encodeResponseFrame(R, RequestId);
+  {
+    std::lock_guard<std::mutex> Lock(Conn->M);
+    if (Conn->Closed)
+      return; // The client is gone; drop the frame.
+    Conn->Outbox.push_back(std::move(Frame));
+  }
+  Sh->ResponsesSent.fetch_add(1);
+  Sh->wake();
+}
+
+bool Server::processFrame(const std::shared_ptr<Connection> &Conn,
+                          const FrameHeader &H, const uint8_t *Payload) {
+  if (H.Type != FrameType::Request) {
+    // A well-framed but nonsensical frame (a client streaming
+    // responses at a server): answer and stay open.
+    Sh->DecodeErrors.fetch_add(1);
+    WireResponse W;
+    W.St = WireStatus::InvalidRequest;
+    W.Error = "expected a request frame";
+    sendResponse(Sh, Conn, W, H.RequestId);
+    return true;
+  }
+
+  Expected<serve::OptimizeRequest> Req =
+      decodeRequestPayload(Payload, H.PayloadLen);
+  if (!Req) {
+    Sh->DecodeErrors.fetch_add(1);
+    WireResponse W;
+    W.St = WireStatus::InvalidRequest;
+    W.Error = Req.error().message();
+    sendResponse(Sh, Conn, W, H.RequestId);
+    return true;
+  }
+
+  // Admission control before the service sees the frame. Token bucket
+  // first: it meters request *arrival*, in-flight cap meters
+  // concurrency.
+  if (Config.RatePerSec > 0.0) {
+    const support::Clock::TimePoint Now = Clk->now();
+    const double Elapsed =
+        std::chrono::duration<double>(Now - Conn->LastRefill).count();
+    Conn->LastRefill = Now;
+    Conn->Tokens = std::min(Config.RateBurst,
+                            Conn->Tokens + Elapsed * Config.RatePerSec);
+    if (Conn->Tokens < 1.0) {
+      Sh->RateLimited.fetch_add(1);
+      WireResponse W;
+      W.St = WireStatus::ResourceExhausted;
+      W.Error = "rate limit exceeded";
+      sendResponse(Sh, Conn, W, H.RequestId);
+      return true;
+    }
+    Conn->Tokens -= 1.0;
+  }
+  bool OverQuota = false;
+  {
+    std::lock_guard<std::mutex> Lock(Conn->M);
+    if (Conn->InFlight >= Config.MaxInFlightPerConn)
+      OverQuota = true;
+    else
+      ++Conn->InFlight;
+  }
+  if (OverQuota) {
+    Sh->QuotaRejections.fetch_add(1);
+    WireResponse W;
+    W.St = WireStatus::ResourceExhausted;
+    W.Error = "too many in-flight requests on this connection";
+    sendResponse(Sh, Conn, W, H.RequestId);
+    return true;
+  }
+
+  // trySubmit keeps the IO thread non-blocking: a full service queue
+  // surfaces as a Rejected ticket, mapped below. The callback may run
+  // synchronously (lookup hits / degraded answers) on this thread or
+  // later on a worker; either way it parks the frame and wakes us.
+  std::weak_ptr<Connection> Weak = Conn;
+  std::shared_ptr<Shared> ShLocal = Sh;
+  const uint64_t Id = H.RequestId;
+  serve::Ticket Tk = Service.trySubmit(
+      *Req, [ShLocal, Weak, Id](const serve::OptimizeResponse &R) {
+        std::shared_ptr<Connection> C = Weak.lock();
+        if (!C)
+          return; // Connection (or server) died while the job ran.
+        {
+          std::lock_guard<std::mutex> Lock(C->M);
+          if (C->InFlight > 0)
+            --C->InFlight;
+        }
+        sendResponse(ShLocal, C, summarizeResponse(R), Id);
+      });
+
+  if (Tk.How == serve::Admission::Rejected) {
+    // The rejection is the outcome: no callback will fire, so give
+    // the slot back and answer from the ticket's ready future —
+    // ResourceExhausted for backpressure, Rejected for a draining or
+    // shut-down service.
+    {
+      std::lock_guard<std::mutex> Lock(Conn->M);
+      if (Conn->InFlight > 0)
+        --Conn->InFlight;
+    }
+    serve::ResponsePtr Resp = Tk.Response.get();
+    WireResponse W;
+    W.St = Service.accepting() ? WireStatus::ResourceExhausted
+                               : WireStatus::Rejected;
+    W.Key = Tk.Key;
+    W.Error = Resp ? Resp->Error : "request rejected";
+    sendResponse(Sh, Conn, W, Id);
+    return true;
+  }
+  Sh->RequestsSubmitted.fetch_add(1);
+  return true;
+}
+
+bool Server::serviceReadable(const std::shared_ptr<Connection> &Conn) {
+  uint8_t Buf[65536];
+  while (true) {
+    ssize_t N = ::recv(Conn->Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      Sh->BytesReceived.fetch_add(static_cast<uint64_t>(N));
+      Conn->ReadBuf.insert(Conn->ReadBuf.end(), Buf, Buf + N);
+      if (N < static_cast<ssize_t>(sizeof(Buf)))
+        break; // Short read: the socket is drained.
+      continue;
+    }
+    if (N == 0)
+      return false; // Orderly EOF.
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    return false; // Hard error.
+  }
+
+  // Extract every complete frame. A header that does not decode means
+  // the byte stream lost framing — there is no way to resynchronize a
+  // length-prefixed stream, so the connection must drop (the slot is
+  // reclaimed; the server stays up).
+  size_t Consumed = 0;
+  while (Conn->ReadBuf.size() - Consumed >= kHeaderSize) {
+    const uint8_t *Base = Conn->ReadBuf.data() + Consumed;
+    Expected<FrameHeader> H = decodeHeader(
+        Base, Conn->ReadBuf.size() - Consumed, Config.MaxFrameBytes);
+    if (!H) {
+      Sh->DecodeErrors.fetch_add(1);
+      logWarn("net::Server: dropping connection: " + H.error().message());
+      return false;
+    }
+    if (Conn->ReadBuf.size() - Consumed < kHeaderSize + H->PayloadLen)
+      break; // Incomplete payload: wait for more bytes.
+    Sh->FramesReceived.fetch_add(1);
+    if (!processFrame(Conn, *H, Base + kHeaderSize))
+      return false;
+    Consumed += kHeaderSize + H->PayloadLen;
+  }
+  if (Consumed > 0)
+    Conn->ReadBuf.erase(Conn->ReadBuf.begin(),
+                        Conn->ReadBuf.begin() +
+                            static_cast<ptrdiff_t>(Consumed));
+  return true;
+}
+
+bool Server::flushWrites(const std::shared_ptr<Connection> &Conn) {
+  std::lock_guard<std::mutex> Lock(Conn->M);
+  while (!Conn->Outbox.empty()) {
+    const std::vector<uint8_t> &Front = Conn->Outbox.front();
+    ssize_t N = ::send(Conn->Fd, Front.data() + Conn->FrontOffset,
+                       Front.size() - Conn->FrontOffset, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return true; // Socket full: POLLOUT will resume us.
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sh->BytesSent.fetch_add(static_cast<uint64_t>(N));
+    Conn->FrontOffset += static_cast<size_t>(N);
+    if (Conn->FrontOffset == Front.size()) {
+      Conn->Outbox.pop_front();
+      Conn->FrontOffset = 0;
+      Sh->FramesSent.fetch_add(1);
+    }
+  }
+  return true;
+}
+
+void Server::closeConnection(const std::shared_ptr<Connection> &Conn) {
+  {
+    std::lock_guard<std::mutex> Lock(Conn->M);
+    if (Conn->Closed)
+      return;
+    Conn->Closed = true;
+  }
+  ::close(Conn->Fd);
+  Sh->ConnectionsClosed.fetch_add(1);
+}
+
+void Server::ioLoop() {
+  while (!Stopping.load()) {
+    std::vector<pollfd> Fds;
+    Fds.push_back({Sh->WakeRead, POLLIN, 0});
+    if (TcpFd >= 0)
+      Fds.push_back({TcpFd, POLLIN, 0});
+    if (UnixFd >= 0)
+      Fds.push_back({UnixFd, POLLIN, 0});
+    const size_t FirstConn = Fds.size();
+    for (const std::shared_ptr<Connection> &Conn : Connections) {
+      short Events = POLLIN;
+      {
+        std::lock_guard<std::mutex> Lock(Conn->M);
+        if (!Conn->Outbox.empty())
+          Events |= POLLOUT;
+      }
+      Fds.push_back({Conn->Fd, Events, 0});
+    }
+
+    // The wake pipe covers every event the poll itself cannot see
+    // (new outbox frames, stop()); the timeout is only a backstop.
+    int Ready = ::poll(Fds.data(), Fds.size(), 500);
+    if (Stopping.load())
+      break;
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      logWarn(std::string("net::Server: poll: ") + std::strerror(errno));
+      break;
+    }
+
+    if (Fds[0].revents & POLLIN) {
+      uint8_t Drain[256];
+      while (::read(Sh->WakeRead, Drain, sizeof(Drain)) > 0) {
+      }
+    }
+    size_t Idx = 1;
+    if (TcpFd >= 0) {
+      if (Fds[Idx].revents & POLLIN)
+        acceptPending(TcpFd);
+      ++Idx;
+    }
+    if (UnixFd >= 0) {
+      if (Fds[Idx].revents & POLLIN)
+        acceptPending(UnixFd);
+      ++Idx;
+    }
+
+    std::vector<std::shared_ptr<Connection>> Dead;
+    for (size_t I = FirstConn; I < Fds.size(); ++I) {
+      const std::shared_ptr<Connection> &Conn = Connections[I - FirstConn];
+      bool Alive = true;
+      if (Fds[I].revents & (POLLERR | POLLHUP | POLLNVAL))
+        Alive = (Fds[I].revents & POLLIN) != 0; // Drain final bytes first.
+      if (Alive && (Fds[I].revents & POLLIN))
+        Alive = serviceReadable(Conn);
+      if (Alive)
+        Alive = flushWrites(Conn); // New replies may be ready right away.
+      if (!Alive)
+        Dead.push_back(Conn);
+    }
+    for (const std::shared_ptr<Connection> &Conn : Dead) {
+      closeConnection(Conn);
+      Connections.erase(
+          std::remove(Connections.begin(), Connections.end(), Conn),
+          Connections.end());
+    }
+  }
+  for (const std::shared_ptr<Connection> &Conn : Connections)
+    closeConnection(Conn);
+  Connections.clear();
+}

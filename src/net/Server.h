@@ -1,0 +1,143 @@
+//===- net/Server.h - RPC front door over OptimizationService -------------===//
+//
+// Part of the CuAsmRL reproduction. Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network front door: accepts TCP and unix-domain connections on
+/// a single poll() IO thread, decodes net/Wire request frames, admits
+/// them into a serve::OptimizationService, and streams response frames
+/// back as jobs resolve. Design rules:
+///
+///   - The IO thread never blocks on the service: admission uses
+///     trySubmit(), so a full queue answers ResourceExhausted instead
+///     of parking the event loop.
+///   - Per-client admission control happens before the service sees a
+///     frame: a max-in-flight-per-connection cap and a token-bucket
+///     rate limit both answer WireStatus::ResourceExhausted.
+///   - Request deadlines ride the wire (OptimizeRequest::Timeout) and
+///     are enforced by the service's existing deadline machinery.
+///   - Malformed traffic is never fatal: an undecodable payload gets
+///     an InvalidRequest response on the same connection; a corrupt
+///     frame header (bad magic/version/oversized length) makes the
+///     byte stream unframeable, so that connection is dropped — the
+///     server itself never crashes or leaks the slot.
+///   - Completion callbacks run on service worker threads; they park
+///     encoded frames in the connection's outbox and wake the IO
+///     thread through a self-pipe. A callback outliving the connection
+///     (or the server) drops its frame harmlessly via weak_ptr.
+///
+/// See docs/SERVING.md for the wire format and quota semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUASMRL_NET_SERVER_H
+#define CUASMRL_NET_SERVER_H
+
+#include "net/NetStats.h"
+#include "net/Wire.h"
+#include "serve/OptimizationService.h"
+#include "support/Clock.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cuasmrl {
+namespace net {
+
+struct ServerConfig {
+  /// TCP listener; Port 0 binds an ephemeral port (read it back from
+  /// port() — the loopback-test idiom). EnableTcp false skips the TCP
+  /// listener entirely (unix-domain only).
+  bool EnableTcp = true;
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  /// Unix-domain listener path; empty = none. An existing socket file
+  /// is replaced (the daemon-restart idiom).
+  std::string UnixPath;
+  /// Per-connection cap on requests admitted but not yet answered;
+  /// the excess gets WireStatus::ResourceExhausted.
+  unsigned MaxInFlightPerConn = 64;
+  /// Token-bucket rate limit per connection; 0 disables. The bucket
+  /// holds RateBurst tokens and refills at RatePerSec; each admitted
+  /// frame spends one.
+  double RatePerSec = 0.0;
+  double RateBurst = 16.0;
+  /// Frame payload cap handed to the header decoder.
+  uint32_t MaxFrameBytes = kMaxPayload;
+  /// Time source for the token bucket; null = Clock::real(). Tests
+  /// inject a FakeClock to step bucket refills deterministically.
+  support::Clock *ClockSrc = nullptr;
+};
+
+class Server {
+public:
+  /// \p Service must outlive the server.
+  Server(serve::OptimizationService &Service, ServerConfig Config);
+  ~Server(); ///< Equivalent to stop().
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the listeners and starts the IO thread. \returns the bound
+  /// TCP port (0 when TCP is disabled), or why binding failed.
+  Expected<uint16_t> start();
+
+  /// Stops the IO thread and closes every connection. In-flight jobs
+  /// keep running in the service; their completion callbacks drop
+  /// their frames (the connections are gone). Idempotent.
+  void stop();
+
+  /// The bound TCP port (valid after a successful start()).
+  uint16_t port() const;
+
+  NetStats stats() const;
+
+private:
+  struct Connection;
+  struct Shared;
+
+  void ioLoop();
+  void acceptPending(int ListenFd);
+  /// Drains readable bytes and processes every complete frame;
+  /// \returns false when the connection must close (EOF, error, or an
+  /// unframeable byte stream).
+  bool serviceReadable(const std::shared_ptr<Connection> &Conn);
+  bool processFrame(const std::shared_ptr<Connection> &Conn,
+                    const FrameHeader &H, const uint8_t *Payload);
+  /// Encodes \p R and parks it in the connection's outbox.
+  static void sendResponse(const std::shared_ptr<Shared> &Sh,
+                           const std::shared_ptr<Connection> &Conn,
+                           const WireResponse &R, uint64_t RequestId);
+  /// Flushes the outbox as far as the socket accepts; \returns false
+  /// on a fatal write error.
+  bool flushWrites(const std::shared_ptr<Connection> &Conn);
+  void closeConnection(const std::shared_ptr<Connection> &Conn);
+
+  serve::OptimizationService &Service;
+  ServerConfig Config;
+  support::Clock *Clk;
+  /// Counter block + wake pipe, shared with completion callbacks so a
+  /// late callback after stop() writes into a still-live block instead
+  /// of a dangling server.
+  std::shared_ptr<Shared> Sh;
+  std::vector<std::shared_ptr<Connection>> Connections; ///< IO thread only.
+  int TcpFd = -1;
+  int UnixFd = -1;
+  uint16_t BoundPort = 0;
+  std::thread IoThread;
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+};
+
+} // namespace net
+} // namespace cuasmrl
+
+#endif // CUASMRL_NET_SERVER_H

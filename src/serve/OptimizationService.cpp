@@ -6,9 +6,11 @@
 
 #include "serve/OptimizationService.h"
 
+#include "support/FileLock.h"
 #include "support/Logging.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 
@@ -125,6 +127,21 @@ std::shared_future<ResponsePtr> readyFuture(ResponsePtr Resp) {
   return P.get_future().share();
 }
 
+/// Every rejection resolves the ticket's future with a ready
+/// Status::Rejected response instead of leaving it invalid — a caller
+/// that waits on any ticket's future gets a clean outcome, never a
+/// block-forever (or UB) on a defaulted shared_future.
+std::shared_future<ResponsePtr> rejectedFuture(std::string Key,
+                                               std::string Why,
+                                               double WallMs) {
+  auto Resp = std::make_shared<OptimizeResponse>();
+  Resp->St = OptimizeResponse::Status::Rejected;
+  Resp->Key = std::move(Key);
+  Resp->Error = std::move(Why);
+  Resp->WallMs = WallMs;
+  return readyFuture(std::move(Resp));
+}
+
 } // namespace
 
 std::string
@@ -152,6 +169,10 @@ OptimizationService::OptimizationService(const gpusim::Gpu &Proto,
   }
   if (!Config.PolicyDir.empty())
     Policies = std::make_unique<PolicyStore>(Config.PolicyDir);
+  if (claimsActive()) {
+    ClaimToken = support::FileLock::makeToken();
+    Heartbeat = std::thread([this] { heartbeatLoop(); });
+  }
   Pool = std::make_unique<support::ThreadPool>(Workers);
   if (!Config.StartPaused)
     start();
@@ -291,6 +312,9 @@ Ticket OptimizationService::admit(const OptimizeRequest &R,
   std::unique_lock<std::mutex> Lock(Mutex);
   if (!Accepting) {
     ++Counters.Rejected;
+    Lock.unlock();
+    Tk.Response = rejectedFuture(Key, "service is draining or shut down",
+                                 elapsedMs(*Clk, Admitted));
     return Tk;
   }
 
@@ -456,7 +480,9 @@ Ticket OptimizationService::admit(const OptimizeRequest &R,
     publish(Job, std::make_shared<const OptimizeResponse>(std::move(Resp)),
             std::move(Cbs));
     Tk.How = Admission::Rejected;
-    Tk.Response = std::shared_future<ResponsePtr>();
+    Tk.Response = rejectedFuture(
+        Key, Blocking ? "service shut down during admission" : "queue full",
+        elapsedMs(*Clk, Admitted));
     return Tk;
   }
   Tk.How = Admission::Enqueued;
@@ -469,7 +495,6 @@ void OptimizationService::runJob(const JobPtr &Job) {
     std::lock_guard<std::mutex> Lock(Mutex);
     --Counters.QueuedNow;
     ++Counters.RunningNow;
-    ++Counters.OptimizeRuns;
     Job->Running = true;
   }
 
@@ -477,14 +502,32 @@ void OptimizationService::runJob(const JobPtr &Job) {
   support::FaultInjector *Faults = Config.Faults;
   OptimizeResponse Resp;
   Resp.Key = Key;
+  // Claim bookkeeping spans the retry loop: a transient retry re-runs
+  // the try body but must neither re-claim a key it already holds nor
+  // re-count the optimize run.
+  bool Claimed = false;
+  bool RunCounted = false;
   // The whole job body — optimizer construction included — runs under
   // the try: anything a job throws becomes a Failed response on that
   // key only, never a dead worker (the ThreadPool submit() contract)
   // and never a stuck single-flight entry.
   for (unsigned Attempt = 1;; ++Attempt) {
     try {
+      // Cross-process single-flight first: claim the key, or adopt
+      // the winner another process deployed while we waited on its
+      // claim — an adopted job is a lookup, not an optimize run.
+      if (claimsActive() && !Claimed) {
+        if (!acquireClaimOrAdopt(Job, Resp))
+          break; // Resp is a LookupHit on the other process's cubin.
+        Claimed = true;
+      }
+      if (!RunCounted) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.OptimizeRuns;
+        RunCounted = true;
+      }
       if (Faults) {
-        // Injected slowness first: a planned delay models a job that
+        // Injected slowness next: a planned delay models a job that
         // outlives its deadline — which the checkpoint right after
         // then trips, at any worker count, because the job's own
         // sleep is what moves the (fake) clock past its deadline.
@@ -638,8 +681,90 @@ void OptimizationService::runJob(const JobPtr &Job) {
     Counters.WarmStartTensors += Resp.Result.WarmStartTensors;
   }
 
+  // The claim releases only after the persist attempt: a waiter that
+  // sees it clear must find either the deployed cubin (adopt) or no
+  // claim at all (re-claim and optimize itself).
+  if (Claimed)
+    releaseClaim(claimPathFor(Key));
+
   Resp.WallMs = elapsedMs(*Clk, Job->Admitted);
   finishJob(Job, std::move(Resp));
+}
+
+std::string
+OptimizationService::claimPathFor(const std::string &Key) const {
+  return Config.DeployDir + "/.claims/" + Key + ".lock";
+}
+
+bool OptimizationService::acquireClaimOrAdopt(const JobPtr &Job,
+                                              OptimizeResponse &Resp) {
+  const std::string Path = claimPathFor(Job->Key);
+  bool WaitCounted = false;
+  while (true) {
+    // The winner may have deployed the key between this job's
+    // admission-time lookup and now (or while we polled its claim):
+    // adopt its cubin instead of re-optimizing.
+    if (Deploy->contains(Job->Key)) {
+      if (std::optional<cubin::CubinFile> File = loadWithRetry(Job->Key)) {
+        Resp.St = OptimizeResponse::Status::LookupHit;
+        Resp.Binary = *std::move(File);
+        Resp.Persisted = true;
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.ClaimHits;
+        return false;
+      }
+    }
+    if (support::FileLock::tryClaim(Path, ClaimToken)) {
+      std::lock_guard<std::mutex> Lock(ClaimMutex);
+      HeldClaims.push_back(Path);
+      return true;
+    }
+    // Somebody else owns the claim. Break it when its heartbeat went
+    // stale (crashed owner), otherwise wait our turn.
+    if (support::FileLock::breakStale(Path, Config.ClaimStaleAfter)) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.ClaimBreaks;
+      continue;
+    }
+    if (!WaitCounted) {
+      WaitCounted = true;
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.ClaimWaits;
+    }
+    // Deadline expiry while parked on another process's claim surfaces
+    // here as CancelledError — runJob's catch turns it into a
+    // DeadlineExceeded response exactly like a mid-job expiry.
+    Job->Cancel.checkpoint();
+    Clk->sleepFor(Config.ClaimPollInterval);
+  }
+}
+
+void OptimizationService::releaseClaim(const std::string &Path) {
+  {
+    std::lock_guard<std::mutex> Lock(ClaimMutex);
+    HeldClaims.erase(std::remove(HeldClaims.begin(), HeldClaims.end(), Path),
+                     HeldClaims.end());
+  }
+  support::FileLock::release(Path, ClaimToken);
+}
+
+void OptimizationService::heartbeatLoop() {
+  std::chrono::milliseconds Interval = Config.ClaimHeartbeat.count() > 0
+                                           ? Config.ClaimHeartbeat
+                                           : Config.ClaimStaleAfter / 4;
+  if (Interval.count() <= 0)
+    Interval = std::chrono::milliseconds(1);
+  std::unique_lock<std::mutex> Lock(ClaimMutex);
+  while (!StopHeartbeat) {
+    ClaimCv.wait_for(Lock, Interval, [this] { return StopHeartbeat; });
+    if (StopHeartbeat)
+      return;
+    std::vector<std::string> Held = HeldClaims;
+    Lock.unlock();
+    for (const std::string &Path : Held)
+      support::FileLock::refresh(Path, ClaimToken);
+    Lock.lock();
+  }
 }
 
 void OptimizationService::publish(const JobPtr &Job, ResponsePtr Resp,
@@ -701,8 +826,13 @@ void OptimizationService::finishJob(const JobPtr &Job, OptimizeResponse R) {
         ++Counters.ExpiredInQueue;
       break;
     case OptimizeResponse::Status::LookupHit:
+      // Reached only via cross-process claim adoption (accounted in
+      // ClaimHits); front-door hits resolve inside admit().
+      break;
     case OptimizeResponse::Status::Degraded:
       break; // Immediate admissions never reach finishJob.
+    case OptimizeResponse::Status::Rejected:
+      break; // Rejections resolve inside admit(); never a job.
     }
   }
   publish(Job, std::move(Resp), std::move(Cbs));
@@ -742,6 +872,20 @@ void OptimizationService::shutdown() {
                   [this] { return InFlight.empty() && Outstanding == 0; });
   }
   Pool.reset(); // Joins the (now exiting) worker loops.
+  if (Heartbeat.joinable()) {
+    // After the pool joined no job holds a claim; stop the heartbeat.
+    {
+      std::lock_guard<std::mutex> Lock(ClaimMutex);
+      StopHeartbeat = true;
+    }
+    ClaimCv.notify_all();
+    Heartbeat.join();
+  }
+}
+
+bool OptimizationService::accepting() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Accepting;
 }
 
 ServiceStats OptimizationService::stats() const {

@@ -71,9 +71,11 @@
 #include "support/ThreadPool.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 
 namespace cuasmrl {
@@ -117,6 +119,10 @@ struct OptimizeResponse {
     DeadlineExceeded, ///< Deadline passed: shed in queue or cancelled
                       ///< at a cooperative checkpoint mid-job.
     Failed,    ///< The job threw (or exhausted its retries); see Error.
+    Rejected,  ///< Never admitted: the service was draining/shut down,
+               ///< or the queue was full (trySubmit); see Error. The
+               ///< ticket's future is already resolved with this
+               ///< response, so a caller that .get()s it never blocks.
   };
   Status St = Status::Failed;
   std::string Key; ///< The deploy-cache key the request resolved to.
@@ -154,7 +160,10 @@ enum class Admission {
 struct Ticket {
   Admission How = Admission::Rejected;
   std::string Key;
-  /// Resolves when the request does; invalid when How == Rejected.
+  /// Resolves when the request does. A Rejected ticket's future is
+  /// already resolved with a Status::Rejected response whose Error
+  /// says why (draining vs. queue full) — waiting on it returns
+  /// immediately instead of blocking forever.
   std::shared_future<ResponsePtr> Response;
   bool valid() const { return How != Admission::Rejected; }
 };
@@ -186,6 +195,11 @@ struct ServiceStats {
   uint64_t WarmStartTensors = 0; ///< ...tensors transferred in total.
   uint64_t PolicyStores = 0;     ///< Trained policies persisted.
   uint64_t PolicyStoreFailures = 0; ///< PolicyStore::store() failures.
+  uint64_t ClaimWaits = 0;  ///< Jobs that found another process's
+                            ///< claim on their key and waited.
+  uint64_t ClaimHits = 0;   ///< ...of which were then served from the
+                            ///< cubin that process deployed.
+  uint64_t ClaimBreaks = 0; ///< Stale (abandoned) claims broken.
   uint64_t JobRetries = 0;       ///< Transient job errors retried.
   uint64_t StoreRetries = 0;     ///< DeployCache::store retries.
   uint64_t LoadRetries = 0;      ///< DeployCache::load retries.
@@ -233,6 +247,9 @@ template <typename S, typename Fn> void visitServiceCounters(S &Stats,
   F("WarmStartTensors", Stats.WarmStartTensors);
   F("PolicyStores", Stats.PolicyStores);
   F("PolicyStoreFailures", Stats.PolicyStoreFailures);
+  F("ClaimWaits", Stats.ClaimWaits);
+  F("ClaimHits", Stats.ClaimHits);
+  F("ClaimBreaks", Stats.ClaimBreaks);
   F("JobRetries", Stats.JobRetries);
   F("StoreRetries", Stats.StoreRetries);
   F("LoadRetries", Stats.LoadRetries);
@@ -298,6 +315,24 @@ struct ServiceConfig {
   /// low-priority work cannot starve behind a hot key. 0 disables.
   std::chrono::milliseconds AgingInterval{0};
   int AgingStep = 1;
+  /// Cross-process single-flight over a shared DeployDir: before
+  /// running a cache-miss job, the worker claims
+  /// `<DeployDir>/.claims/<key>.lock` (support::FileLock). Losing the
+  /// race means another process is already optimizing the key; the
+  /// worker waits for that claim to clear and serves the winner's
+  /// deployed cubin instead of duplicating the job. Requires a
+  /// DeployDir; off by default (in-process single-flight needs no
+  /// files). Claim heartbeats are wall-clock file mtimes, so staleness
+  /// runs on real time even under a FakeClock (see FileLock.h).
+  bool CrossProcessClaims = false;
+  /// A claim whose heartbeat is older than this is presumed abandoned
+  /// (crashed owner) and broken by the next waiter.
+  std::chrono::milliseconds ClaimStaleAfter{10000};
+  /// Waiter poll cadence while another process holds a claim.
+  std::chrono::milliseconds ClaimPollInterval{20};
+  /// Heartbeat cadence for claims this service holds; 0 derives
+  /// ClaimStaleAfter / 4.
+  std::chrono::milliseconds ClaimHeartbeat{0};
 };
 
 /// The optimization server.
@@ -343,6 +378,12 @@ public:
 
   /// One consistent counter snapshot.
   ServiceStats stats() const;
+
+  /// Whether admissions are currently accepted (false while draining
+  /// or after shutdown). Advisory — a submit can still race a drain —
+  /// but lets front doors (net::Server) distinguish "service closing"
+  /// from "queue full" when mapping a Rejected ticket to a status.
+  bool accepting() const;
 
   /// The deploy-cache key \p R resolves to under \p Defaults — pure;
   /// exposed so offline producers (e.g. Optimizer::autotuneAll-style
@@ -403,6 +444,21 @@ private:
   ResponsePtr resolveLookup(const std::string &Key, cubin::CubinFile File,
                             double WallMs);
 
+  /// Cross-process claims (ServiceConfig::CrossProcessClaims).
+  bool claimsActive() const {
+    return Config.CrossProcessClaims && Deploy != nullptr;
+  }
+  std::string claimPathFor(const std::string &Key) const;
+  /// Claims \p Job's key for this process, or adopts the winner: when
+  /// another process holds the claim, polls until either the key
+  /// appears in the DeployCache (\p Resp becomes a LookupHit; returns
+  /// false) or the claim clears (re-tries the claim; stale claims are
+  /// broken). \returns true once this process owns the claim. Runs
+  /// inside runJob's try: deadline expiry surfaces as CancelledError.
+  bool acquireClaimOrAdopt(const JobPtr &Job, OptimizeResponse &Resp);
+  void releaseClaim(const std::string &Path);
+  void heartbeatLoop();
+
   ServiceConfig Config;
   gpusim::Gpu Prototype; ///< Pristine device every job copies.
   std::unique_ptr<triton::DeployCache> Deploy; ///< Null when disabled.
@@ -433,6 +489,16 @@ private:
   bool Started = false;
   bool ShutDown = false;
   ServiceStats Counters; ///< Guarded by Mutex (QueuedNow/RunningNow live).
+
+  /// Cross-process claim state. Held claims are refreshed (mtime
+  /// heartbeat) by a dedicated thread on real wall time — file mtimes
+  /// are wall-clock, so heartbeats must not route through a FakeClock.
+  std::string ClaimToken;
+  std::mutex ClaimMutex;
+  std::condition_variable ClaimCv;
+  std::vector<std::string> HeldClaims; ///< Guarded by ClaimMutex.
+  bool StopHeartbeat = false;          ///< Guarded by ClaimMutex.
+  std::thread Heartbeat;
 };
 
 } // namespace serve

@@ -66,6 +66,25 @@ serve::ServiceStats serviceStatsFromJson(const JsonValue &Obj) {
   return Stats;
 }
 
+JsonValue netStatsToJson(const net::NetStats &Stats) {
+  JsonValue Obj = JsonValue::object();
+  net::visitNetCounters(Stats, [&](const char *Name, const auto &Value) {
+    Obj.set(Name, JsonValue(Value));
+  });
+  return Obj;
+}
+
+net::NetStats netStatsFromJson(const JsonValue &Obj) {
+  net::NetStats Stats;
+  if (!Obj.isObject())
+    return Stats;
+  net::visitNetCounters(Stats, [&](const char *Name, auto &Value) {
+    if (const JsonValue *V = Obj.find(Name); V && V->isNumber())
+      Value = static_cast<std::decay_t<decltype(Value)>>(V->number());
+  });
+  return Stats;
+}
+
 void BenchReport::addMetric(std::string Name, double Value, std::string Unit,
                             bool HigherIsBetter) {
   for (Metric &M : Metrics)
@@ -111,6 +130,8 @@ JsonValue BenchReport::toJson() const {
     Doc.set("sim_counters", countersToJson(*SimCounters));
   if (Service)
     Doc.set("service_stats", serviceStatsToJson(*Service));
+  if (Net)
+    Doc.set("net_stats", netStatsToJson(*Net));
   if (Extra)
     Doc.set("extra", *Extra);
   return Doc;
@@ -176,6 +197,8 @@ Expected<BenchReport> BenchReport::fromJson(const JsonValue &Doc) {
     Rep.SimCounters = countersFromJson(*C);
   if (const JsonValue *S = Doc.find("service_stats"); S && S->isObject())
     Rep.Service = serviceStatsFromJson(*S);
+  if (const JsonValue *N = Doc.find("net_stats"); N && N->isObject())
+    Rep.Net = netStatsFromJson(*N);
   if (const JsonValue *E = Doc.find("extra"); E && E->isObject())
     Rep.Extra = *E;
   return Expected<BenchReport>(std::move(Rep));

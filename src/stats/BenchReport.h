@@ -30,6 +30,7 @@
 #define CUASMRL_STATS_BENCHREPORT_H
 
 #include "gpusim/PerfCounters.h"
+#include "net/NetStats.h"
 #include "serve/OptimizationService.h"
 #include "stats/Json.h"
 #include "support/Error.h"
@@ -75,6 +76,10 @@ gpusim::PerfCounters countersFromJson(const JsonValue &Obj);
 JsonValue serviceStatsToJson(const serve::ServiceStats &Stats);
 serve::ServiceStats serviceStatsFromJson(const JsonValue &Obj);
 
+/// NetStats <-> JSON object (fields via net::visitNetCounters).
+JsonValue netStatsToJson(const net::NetStats &Stats);
+net::NetStats netStatsFromJson(const JsonValue &Obj);
+
 /// The versioned benchmark record.
 class BenchReport {
 public:
@@ -107,6 +112,9 @@ public:
     return Service;
   }
 
+  void setNetStats(const net::NetStats &Stats) { Net = Stats; }
+  const std::optional<net::NetStats> &netStats() const { return Net; }
+
   /// Bench-specific detail (must be an object); consumers tolerate
   /// and may ignore it.
   void setExtra(JsonValue ExtraObject) { Extra = std::move(ExtraObject); }
@@ -127,6 +135,7 @@ private:
   std::vector<Metric> Metrics;
   std::optional<gpusim::PerfCounters> SimCounters;
   std::optional<serve::ServiceStats> Service;
+  std::optional<net::NetStats> Net;
   std::optional<JsonValue> Extra;
 };
 

@@ -14,6 +14,7 @@
 
 #include "serve/JobQueue.h"
 #include "serve/OptimizationService.h"
+#include "support/Clock.h"
 
 #include <gtest/gtest.h>
 
@@ -528,4 +529,80 @@ TEST(ServeTest, DrainQuiescesAndKeepsAccepting) {
   EXPECT_NE(T.How, Admission::Rejected);
   ASSERT_TRUE(T.valid());
   T.Response.wait();
+}
+
+TEST(ServeTest, AgingPromotesStarvedLowPriorityJobs) {
+  // Starvation regression: an old low-priority job accrues effective
+  // priority while queued (AgingInterval/AgingStep), so it eventually
+  // outranks younger high-priority work instead of waiting forever.
+  gpusim::Gpu Device;
+  support::FakeClock Clock;
+  ServiceConfig SC = tinyService(/*Workers=*/1);
+  SC.StartPaused = true; // Admission fixed before the worker starts.
+  SC.ClockSrc = &Clock;
+  SC.AgingInterval = std::chrono::milliseconds(10);
+  SC.AgingStep = 1;
+  OptimizationService Service(Device, SC);
+
+  std::mutex OrderMutex;
+  std::vector<int> Completed;
+  auto Submit = [&](unsigned Rows, int Priority) {
+    OptimizeRequest R = request(WorkloadKind::Softmax, Priority);
+    R.Shape.Rows = Rows;
+    return Service.submit(R, [&, Priority](const OptimizeResponse &) {
+      std::lock_guard<std::mutex> Lock(OrderMutex);
+      Completed.push_back(Priority);
+    });
+  };
+  // The low-priority job arrives first, then waits 100ms of fake time
+  // (10 aging intervals -> effective priority 10) while two priority-5
+  // jobs pile in behind it. Without aging it would run dead last.
+  std::vector<Ticket> Tickets;
+  Tickets.push_back(Submit(64, 0));
+  Clock.advance(std::chrono::milliseconds(100));
+  Tickets.push_back(Submit(96, 5));
+  Tickets.push_back(Submit(128, 5));
+  for (const Ticket &T : Tickets)
+    ASSERT_EQ(T.How, Admission::Enqueued);
+
+  Service.start();
+  Service.drain();
+  ASSERT_EQ(Completed.size(), 3u);
+  EXPECT_EQ(Completed[0], 0); // Aged past both priority-5 jobs.
+}
+
+TEST(ServeTest, RejectedTicketsCarryReadyResponses) {
+  // A rejected submission must resolve, not block: its future is
+  // already ready with Status::Rejected and a reason, so generic
+  // "submit then .get()" callers never hang on an unlucky admission.
+  gpusim::Gpu Device;
+  ServiceConfig SC = tinyService(/*Workers=*/1);
+  SC.StartPaused = true;
+  SC.MaxQueued = 1;
+  OptimizationService Service(Device, SC);
+
+  Ticket A = Service.trySubmit(request(WorkloadKind::Softmax));
+  ASSERT_EQ(A.How, Admission::Enqueued);
+  OptimizeRequest Other = request(WorkloadKind::RmsNorm);
+  Ticket Full = Service.trySubmit(Other);
+  EXPECT_EQ(Full.How, Admission::Rejected);
+  EXPECT_FALSE(Full.valid()); // Still "not admitted"...
+  ASSERT_TRUE(Full.Response.valid()); // ...but the future resolves.
+  ASSERT_EQ(Full.Response.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ResponsePtr R = Full.Response.get();
+  EXPECT_EQ(R->St, OptimizeResponse::Status::Rejected);
+  EXPECT_NE(R->Error.find("queue full"), std::string::npos);
+
+  Service.shutdown();
+  // Post-shutdown submissions reject with a clean drain status too.
+  Ticket Late = Service.submit(request(WorkloadKind::Softmax));
+  EXPECT_EQ(Late.How, Admission::Rejected);
+  ASSERT_TRUE(Late.Response.valid());
+  ASSERT_EQ(Late.Response.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  ResponsePtr L = Late.Response.get();
+  EXPECT_EQ(L->St, OptimizeResponse::Status::Rejected);
+  EXPECT_NE(L->Error.find("draining or shut down"), std::string::npos);
+  EXPECT_FALSE(Service.accepting());
 }

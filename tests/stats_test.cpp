@@ -255,6 +255,41 @@ TEST(BenchReportTest, CounterCaptureIsVisitorComplete) {
   EXPECT_EQ(SBack.Submitted, S.Submitted);
   EXPECT_EQ(SBack.DeployedKeys, S.DeployedKeys);
   expectSameCounters(SBack.Counters, S.Counters);
+
+  // NetStats rides the same visitor machinery.
+  net::NetStats N;
+  uint64_t Seed = 101;
+  net::visitNetCounters(N, [&](const char *, uint64_t &V) { V = Seed++; });
+  net::NetStats NBack = netStatsFromJson(netStatsToJson(N));
+  net::visitNetCounters(
+      NBack, [&, I = uint64_t(101)](const char *Name, uint64_t &V) mutable {
+        EXPECT_EQ(V, I++) << Name;
+      });
+}
+
+TEST(BenchReportTest, NetStatsSectionRoundTrips) {
+  BenchReport Rep("net_bench", testMeta());
+  Rep.addMetric("rtt", 0.5, "ms", /*HigherIsBetter=*/false);
+  net::NetStats N;
+  N.ConnectionsAccepted = 3;
+  N.FramesReceived = 64;
+  N.DecodeErrors = 2;
+  N.ResponsesSent = 64;
+  Rep.setNetStats(N);
+
+  Expected<BenchReport> Back = BenchReport::parse(Rep.serialize());
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.error().message();
+  ASSERT_TRUE(Back->netStats().has_value());
+  EXPECT_EQ(Back->netStats()->ConnectionsAccepted, 3u);
+  EXPECT_EQ(Back->netStats()->FramesReceived, 64u);
+  EXPECT_EQ(Back->netStats()->DecodeErrors, 2u);
+  EXPECT_EQ(Back->netStats()->ResponsesSent, 64u);
+  // A report without the section parses to nullopt, not zeroes.
+  BenchReport Bare("bare", testMeta());
+  Bare.addMetric("m", 1.0, "x");
+  Expected<BenchReport> BareBack = BenchReport::parse(Bare.serialize());
+  ASSERT_TRUE(static_cast<bool>(BareBack));
+  EXPECT_FALSE(BareBack->netStats().has_value());
 }
 
 //===----------------------------------------------------------------------===//

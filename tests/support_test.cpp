@@ -6,6 +6,7 @@
 
 #include "support/AtomicFile.h"
 #include "support/Error.h"
+#include "support/FileLock.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -317,5 +318,104 @@ TEST(AtomicFile, SweepRemovesOnlyTmpOrphans) {
   EXPECT_EQ(support::sweepOrphanTmpFiles(Dir), 0u); // Idempotent.
   // A directory that never existed sweeps as zero, not an error.
   EXPECT_EQ(support::sweepOrphanTmpFiles(Dir + "/nope"), 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// FileLock: cross-process claim files
+//===----------------------------------------------------------------------===//
+
+TEST(FileLock, ClaimIsExclusiveUntilReleased) {
+  std::string Dir = freshTmpDir("cuasmrl_filelock_test");
+  std::string Path = Dir + "/claims/key.lock";
+  std::string A = support::FileLock::makeToken();
+  std::string B = support::FileLock::makeToken();
+  EXPECT_NE(A, B); // Same process, distinct claimants.
+
+  // A wins the race; B cannot claim or release what A owns.
+  EXPECT_TRUE(support::FileLock::tryClaim(Path, A));
+  EXPECT_FALSE(support::FileLock::tryClaim(Path, B));
+  EXPECT_EQ(support::FileLock::owner(Path).value_or(""), A);
+  EXPECT_FALSE(support::FileLock::release(Path, B));
+  EXPECT_TRUE(std::filesystem::exists(Path));
+
+  EXPECT_TRUE(support::FileLock::release(Path, A));
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  EXPECT_FALSE(support::FileLock::owner(Path).has_value());
+  EXPECT_FALSE(support::FileLock::release(Path, A)); // Already gone.
+
+  // Released path is claimable again.
+  EXPECT_TRUE(support::FileLock::tryClaim(Path, B));
+  EXPECT_TRUE(support::FileLock::release(Path, B));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(FileLock, RefreshIsOwnershipChecked) {
+  std::string Dir = freshTmpDir("cuasmrl_filelock_refresh_test");
+  std::string Path = Dir + "/key.lock";
+  std::string A = support::FileLock::makeToken();
+  std::string B = support::FileLock::makeToken();
+  EXPECT_FALSE(support::FileLock::refresh(Path, A)); // No claim yet.
+  ASSERT_TRUE(support::FileLock::tryClaim(Path, A));
+  EXPECT_TRUE(support::FileLock::refresh(Path, A));
+  EXPECT_FALSE(support::FileLock::refresh(Path, B)); // Not the owner.
+  auto Age = support::FileLock::age(Path);
+  ASSERT_TRUE(Age.has_value());
+  EXPECT_GE(Age->count(), 0); // Clamped against clock skew.
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(FileLock, BreakStaleRemovesOnlyOldClaims) {
+  std::string Dir = freshTmpDir("cuasmrl_filelock_stale_test");
+  std::string Path = Dir + "/key.lock";
+  std::string A = support::FileLock::makeToken();
+  ASSERT_TRUE(support::FileLock::tryClaim(Path, A));
+
+  // A fresh heartbeat survives a generous staleness budget.
+  EXPECT_FALSE(support::FileLock::breakStale(
+      Path, std::chrono::milliseconds(60000)));
+  EXPECT_TRUE(std::filesystem::exists(Path));
+
+  // Backdate the heartbeat past the budget: the claim is breakable,
+  // and the late original owner can no longer refresh or release a
+  // path someone else re-claimed.
+  std::filesystem::last_write_time(
+      Path, std::filesystem::file_time_type::clock::now() -
+                std::chrono::seconds(120));
+  ASSERT_TRUE(support::FileLock::age(Path).has_value());
+  EXPECT_GE(support::FileLock::age(Path)->count(), 100000);
+  EXPECT_TRUE(support::FileLock::breakStale(
+      Path, std::chrono::milliseconds(60000)));
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  EXPECT_FALSE(support::FileLock::breakStale(
+      Path, std::chrono::milliseconds(60000))); // Nothing left to break.
+
+  std::string B = support::FileLock::makeToken();
+  ASSERT_TRUE(support::FileLock::tryClaim(Path, B));
+  EXPECT_FALSE(support::FileLock::refresh(Path, A));
+  EXPECT_FALSE(support::FileLock::release(Path, A));
+  EXPECT_EQ(support::FileLock::owner(Path).value_or(""), B);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(FileLock, ConcurrentClaimantsExactlyOneWins) {
+  std::string Dir = freshTmpDir("cuasmrl_filelock_race_test");
+  std::string Path = Dir + "/key.lock";
+  constexpr unsigned N = 8;
+  std::vector<std::string> Tokens;
+  for (unsigned I = 0; I < N; ++I)
+    Tokens.push_back(support::FileLock::makeToken());
+  std::atomic<unsigned> Wins{0};
+  {
+    support::ThreadPool Pool(N);
+    Pool.parallelFor(N, [&](size_t I) {
+      if (support::FileLock::tryClaim(Path, Tokens[I]))
+        Wins.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(Wins.load(), 1u);
+  auto Owner = support::FileLock::owner(Path);
+  ASSERT_TRUE(Owner.has_value());
+  EXPECT_TRUE(support::FileLock::release(Path, *Owner));
   std::filesystem::remove_all(Dir);
 }

@@ -50,9 +50,12 @@ SCHEMA_VERSION = 1
 # counters are schedule-exact: a ratio bar would let drift through.
 # The warm-start tensor-transfer count is determined by the net
 # geometry alone, so any drift there is an architecture change worth
-# flagging, not measurement noise.
+# flagging, not measurement noise. Likewise the RPC framing-health
+# counters (net_count_*): a clean loopback run produces exactly zero
+# decode errors and quota rejections.
 DEFAULT_PER_METRIC = [("faulty_count_*", "exact"),
-                      ("warm_start_tensors", "exact")]
+                      ("warm_start_tensors", "exact"),
+                      ("net_count_*", "exact")]
 
 
 def load_report(path):

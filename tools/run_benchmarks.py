@@ -7,11 +7,13 @@ CMake build tree and writes `BENCH_step_throughput.json`, plus
 `bench_serve_throughput` writing `BENCH_serve_throughput.json` (and a
 live `BENCH_serve_snapshots.jsonl` trajectory), `bench_batch_sim`
 writing `BENCH_batch_sim.json` and `bench_warm_start` writing
-`BENCH_warm_start.json`, so the per-PR perf trajectory of the env-step
-hot path, the autotune sweep engine, the optimization service, the
-lockstep batch-simulation entry points and the generalist-policy
-warm-start payoff can be tracked by CI and compared across revisions
-with tools/bench_compare.py.
+`BENCH_warm_start.json` and `bench_net_roundtrip` writing
+`BENCH_net_roundtrip.json`, so the per-PR perf trajectory of the
+env-step hot path, the autotune sweep engine, the optimization
+service, the lockstep batch-simulation entry points, the
+generalist-policy warm-start payoff and the network front door's
+round-trip overhead can be tracked by CI and compared across
+revisions with tools/bench_compare.py.
 
 Every report is a versioned BenchReport document (see
 docs/OBSERVABILITY.md): schema_version, run metadata (git sha / build /
@@ -26,6 +28,7 @@ Usage:
                             [--serve-snapshots BENCH_serve_snapshots.jsonl]
                             [--batch-out BENCH_batch_sim.json]
                             [--warm-out BENCH_warm_start.json]
+                            [--net-out BENCH_net_roundtrip.json]
                             [--steps N] [--timeout SECONDS]
 
 Exit status: 0 on success (reports written), 1 when a benchmark binary
@@ -173,6 +176,7 @@ def main():
                         "phase ('' disables)")
     parser.add_argument("--batch-out", default="BENCH_batch_sim.json")
     parser.add_argument("--warm-out", default="BENCH_warm_start.json")
+    parser.add_argument("--net-out", default="BENCH_net_roundtrip.json")
     parser.add_argument("--steps", type=int, default=0,
                         help="step budget per kernel (0 = bench default)")
     parser.add_argument("--timeout", type=int, default=1200,
@@ -253,6 +257,18 @@ def main():
               f"({metric(warm, 'warm_start_tensors'):.0f} tensors "
               f"transferred)")
         print(f"wrote {args.warm_out}")
+
+    net = run_bench("bench_net_roundtrip", args.build_dir, args.net_out,
+                    args.timeout, optional=True)
+    if net is None:
+        return 1
+    if net != "absent":
+        print(f"net roundtrip: "
+              f"{metric(net, 'net_sequential_us_per_request'):.1f} us/req "
+              f"sequential vs {metric(net, 'inproc_us_per_request'):.1f} "
+              f"in-process over {net['extra']['requests']} requests "
+              f"(identical={net['extra']['identical_results']})")
+        print(f"wrote {args.net_out}")
     return 0
 
 
